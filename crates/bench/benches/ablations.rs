@@ -1,0 +1,67 @@
+//! Ablation benches: the runtime cost of the design choices — strict vs
+//! lenient filtering policy, and memoized vs naive table collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manrs_bgp::propagate::{propagate_dense, DenseGraph};
+use manrs_bgp::{collect_table, FilteringPolicy, PolicyTable};
+use manrs_scenario::{ScenarioConfig, ScenarioWorld};
+use std::hint::black_box;
+
+fn bench_policy_cost(c: &mut Criterion) {
+    // Does filtering make propagation cheaper (fewer nodes explored) or
+    // more expensive (policy checks)? The answer motivates the
+    // memoization design.
+    let world = ScenarioWorld::build(ScenarioConfig::small(16));
+    let ann = world
+        .announcements
+        .iter()
+        .find(|a| a.rpki.is_invalid())
+        .copied()
+        .expect("an invalid announcement exists");
+
+    let mut group = c.benchmark_group("policy_cost_invalid_route");
+    for (label, policy) in [
+        ("open", FilteringPolicy::OPEN),
+        ("manrs_isp", FilteringPolicy::MANRS_ISP),
+        ("manrs_cdn_strict", FilteringPolicy {
+            irr_strict_length: true,
+            ..FilteringPolicy::MANRS_CDN
+        }),
+    ] {
+        let graph = DenseGraph::build(&world.world.topology, &PolicyTable::with_default(policy));
+        group.bench_function(label, |b| b.iter(|| black_box(propagate_dense(&graph, &ann))));
+    }
+    group.finish();
+}
+
+fn bench_memoization_effect(c: &mut Criterion) {
+    let world = ScenarioWorld::build(ScenarioConfig::small(17));
+    let mut group = c.benchmark_group("memoization");
+    group.sample_size(10);
+    group.bench_function("memoized_full_table", |b| {
+        b.iter(|| {
+            black_box(collect_table(
+                &world.world.topology,
+                &world.policies,
+                &world.announcements,
+                &world.vantages,
+            ))
+        })
+    });
+    // Naive: defeat memoization by giving every announcement a distinct
+    // origin-class via per-announcement propagation.
+    group.bench_function("unmemoized_per_announcement", |b| {
+        b.iter(|| {
+            let graph = DenseGraph::build(&world.world.topology, &world.policies);
+            let mut total = 0usize;
+            for ann in &world.announcements {
+                total += propagate_dense(&graph, ann).reached();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_cost, bench_memoization_effect);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end timing of each figure/table regeneration on a small world
+//! (the analysis stage only; world construction is done once outside the
+//! measured region).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manrs_bench::experiments;
+use manrs_scenario::{ScenarioConfig, ScenarioWorld};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let world = ScenarioWorld::build(ScenarioConfig::small(14));
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    type Exp = (&'static str, fn(&ScenarioWorld) -> manrs_bench::ExperimentResult);
+    let experiments: Vec<Exp> = vec![
+        ("fig2", experiments::fig2),
+        ("fig4a", experiments::fig4a),
+        ("fig4b", experiments::fig4b),
+        ("f70", experiments::finding7),
+        ("fig5a", experiments::fig5a),
+        ("fig5b", experiments::fig5b),
+        ("f83", experiments::finding8_conformance),
+        ("tab1", experiments::table1),
+        ("f87", experiments::finding8_stability),
+        ("fig6", experiments::fig6),
+        ("fig7", experiments::fig7),
+        ("fig8", experiments::fig8),
+        ("tab2", experiments::table2),
+        ("fig9", experiments::fig9),
+    ];
+    for (id, f) in experiments {
+        group.bench_function(id, |b| b.iter(|| black_box(f(&world))));
+    }
+    group.finish();
+
+    // And the world build itself, the dominant end-to-end cost.
+    let mut group = c.benchmark_group("world_build");
+    group.sample_size(10);
+    group.bench_function("small", |b| {
+        b.iter(|| black_box(ScenarioWorld::build(ScenarioConfig::small(15))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

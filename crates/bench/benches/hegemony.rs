@@ -1,0 +1,47 @@
+//! AS hegemony computation cost: per prefix-origin path set, and the
+//! full IHR snapshot build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use manrs_ihr::{build_snapshot, hegemony_scores};
+use manrs_net::Asn;
+use manrs_scenario::{ScenarioConfig, ScenarioWorld};
+use std::hint::black_box;
+
+fn bench_hegemony(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hegemony_scores");
+    for viewpoints in [10usize, 40, 100] {
+        // Synthetic path set: `viewpoints` paths of length 5 sharing a
+        // backbone.
+        let paths: Vec<Vec<Asn>> = (0..viewpoints)
+            .map(|i| {
+                vec![
+                    Asn(10_000 + i as u32),
+                    Asn(100 + (i % 7) as u32),
+                    Asn(50),
+                    Asn(9),
+                ]
+            })
+            .collect();
+        group.throughput(Throughput::Elements(viewpoints as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(viewpoints),
+            &paths,
+            |b, paths| b.iter(|| black_box(hegemony_scores(paths, paths.len()))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshot_build(c: &mut Criterion) {
+    let world = ScenarioWorld::build(ScenarioConfig::small(13));
+    let mut group = c.benchmark_group("ihr_snapshot");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(world.rib.visible_count() as u64));
+    group.bench_function("build_snapshot", |b| {
+        b.iter(|| black_box(build_snapshot(&world.rib, &world.world.topology)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hegemony, bench_snapshot_build);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Scaling of the Gao–Rexford propagation engine and the memoized
+//! whole-table collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use manrs_bgp::propagate::{propagate_dense, DenseGraph};
+use manrs_bgp::{collect_table, PolicyTable};
+use manrs_scenario::{ScenarioConfig, ScenarioWorld};
+use manrs_topology::{GeneratorConfig, TopologyBuilder};
+use std::hint::black_box;
+
+fn bench_single_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagate_one_announcement");
+    for n in [500usize, 2_000, 8_000] {
+        let world = TopologyBuilder::new(GeneratorConfig {
+            seed: 5,
+            total_ases: n,
+            tier1_count: 10,
+            mid_tier_count: n / 15,
+            cdn_count: 10,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let policies = PolicyTable::default();
+        let graph = DenseGraph::build(&world.topology, &policies);
+        let (prefix, origin) = world.intended.entries()[world.intended.len() / 2];
+        let ann = manrs_bgp::Announcement::new(
+            prefix,
+            origin,
+            manrs_rpki::RpkiStatus::NotFound,
+            manrs_irr::IrrStatus::NotFound,
+        );
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(propagate_dense(&graph, &ann)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_table(c: &mut Criterion) {
+    let world = ScenarioWorld::build(ScenarioConfig::small(12));
+    let mut group = c.benchmark_group("collect_table");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(world.announcements.len() as u64));
+    group.bench_function(
+        BenchmarkId::new("memoized", world.announcements.len()),
+        |b| {
+            b.iter(|| {
+                black_box(collect_table(
+                    &world.world.topology,
+                    &world.policies,
+                    &world.announcements,
+                    &world.vantages,
+                ))
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_propagation, bench_whole_table);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Radix-trie micro-benchmarks: the covering-prefix query sits on the
+//! hot path of every validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use manrs_net::{AddressSpace, Ipv4Prefix, Prefix, PrefixMap};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn random_prefixes(n: usize, seed: u64) -> Vec<Prefix> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let bits: u32 = rng.random();
+            let len = rng.random_range(8..=24u8);
+            Prefix::V4(Ipv4Prefix::from_bits_truncated(bits, len).expect("len in range"))
+        })
+        .collect()
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_map");
+    for n in [1_000usize, 10_000, 100_000] {
+        let prefixes = random_prefixes(n, 1);
+        let queries = random_prefixes(1_000, 2);
+
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("insert", n), &prefixes, |b, ps| {
+            b.iter(|| {
+                let mut map: PrefixMap<u32> = PrefixMap::new();
+                for (i, p) in ps.iter().enumerate() {
+                    map.insert(*p, i as u32);
+                }
+                black_box(map.len())
+            })
+        });
+
+        let map: PrefixMap<u32> = prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect();
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("covering", n), &queries, |b, qs| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for q in qs {
+                    found += map.covering(q).len();
+                }
+                black_box(found)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_address_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("address_space");
+    for n in [1_000usize, 20_000] {
+        let prefixes = random_prefixes(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("union", n), &prefixes, |b, ps| {
+            b.iter(|| {
+                let mut space = AddressSpace::new();
+                for p in ps {
+                    space.add(p);
+                }
+                black_box(space.v4_len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trie, bench_address_space);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Throughput of the two validation kernels: RFC 6811 route origin
+//! validation against the VRP trie, and IRR validity classification
+//! against the registry collection. These run once per (prefix, origin)
+//! per snapshot in the pipeline, so they dominate snapshot rebuilds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use manrs_irr::validate_irr;
+use manrs_rpki::validate_origin;
+use manrs_scenario::{ScenarioConfig, ScenarioWorld};
+use std::hint::black_box;
+
+fn bench_validation(c: &mut Criterion) {
+    let world = ScenarioWorld::build(ScenarioConfig::small(11));
+    let routes: Vec<_> = world
+        .announcements
+        .iter()
+        .map(|a| (a.prefix, a.origin))
+        .collect();
+
+    let mut group = c.benchmark_group("validation");
+    group.throughput(Throughput::Elements(routes.len() as u64));
+    group.bench_function(BenchmarkId::new("rfc6811", routes.len()), |b| {
+        b.iter(|| {
+            for (prefix, origin) in &routes {
+                black_box(validate_origin(&world.vrps, prefix, *origin));
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("irr", routes.len()), |b| {
+        b.iter(|| {
+            for (prefix, origin) in &routes {
+                black_box(validate_irr(&world.irr, prefix, *origin));
+            }
+        })
+    });
+    group.finish();
+
+    // The relying-party pass (certificate checks + trie build).
+    c.bench_function("relying_party_full_pass", |b| {
+        b.iter(|| {
+            let rp = manrs_rpki::RelyingParty::new(world.config.snapshot_date);
+            black_box(rp.validate(&world.repository))
+        })
+    });
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

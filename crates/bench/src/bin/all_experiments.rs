@@ -1,0 +1,20 @@
+//! Runs every paper table/figure regeneration and writes
+//! `EXPERIMENTS.json` next to the workspace root.
+//!
+//! ```sh
+//! MANRS_SCALE=medium cargo run --release -p manrs-bench --bin all_experiments
+//! ```
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    let results = experiments::all(&world);
+    for r in &results {
+        r.print();
+    }
+    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    let path = "EXPERIMENTS.json";
+    std::fs::write(path, json).expect("write EXPERIMENTS.json");
+    println!("wrote {path} ({} experiments)", results.len());
+}

@@ -1,0 +1,10 @@
+//! Figure 2: MANRS participant growth.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::fig2(&world).print();
+}

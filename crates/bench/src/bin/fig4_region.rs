@@ -1,0 +1,11 @@
+//! Figures 4a/4b: per-RIR ASes and routed space.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::fig4a(&world).print();
+    experiments::fig4b(&world).print();
+}

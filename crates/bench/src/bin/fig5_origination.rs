@@ -1,0 +1,11 @@
+//! Figures 5a/5b: origination validity CDFs.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::fig5a(&world).print();
+    experiments::fig5b(&world).print();
+}

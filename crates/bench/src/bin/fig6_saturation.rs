@@ -1,0 +1,10 @@
+//! Figure 6: RPKI saturation over time.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::fig6(&world).print();
+}

@@ -1,0 +1,10 @@
+//! Figures 7a/7b: propagated invalid shares.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::fig7(&world).print();
+}

@@ -1,0 +1,10 @@
+//! Figure 8: unconformant customer prefixes.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::fig8(&world).print();
+}

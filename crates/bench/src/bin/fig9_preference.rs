@@ -1,0 +1,10 @@
+//! Figure 9: MANRS preference scores.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::fig9(&world).print();
+}

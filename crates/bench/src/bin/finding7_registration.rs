@@ -1,0 +1,10 @@
+//! Finding 7.0: registration completeness.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::finding7(&world).print();
+}

@@ -1,0 +1,10 @@
+//! Findings 8.3/8.4: Action 4 conformance.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::finding8_conformance(&world).print();
+}

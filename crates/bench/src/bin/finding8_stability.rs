@@ -1,0 +1,10 @@
+//! Finding 8.7: weekly conformance stability.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::finding8_stability(&world).print();
+}

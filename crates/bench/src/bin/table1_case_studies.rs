@@ -1,0 +1,10 @@
+//! Table 1: unconformant-origin attribution.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::table1(&world).print();
+}

@@ -1,0 +1,10 @@
+//! Table 2: Action 1 conformance counts.
+//!
+//! Scale with `MANRS_SCALE=small|medium|paper` (default: medium).
+
+use manrs_bench::{build_world, experiments};
+
+fn main() {
+    let world = build_world();
+    experiments::table2(&world).print();
+}

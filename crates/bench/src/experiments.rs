@@ -1,0 +1,702 @@
+//! One function per paper table/figure, each returning an
+//! [`ExperimentResult`] comparing the paper's reported numbers with the
+//! simulation's. The binaries in `src/bin/` are thin wrappers; the
+//! `all_experiments` binary runs everything and writes
+//! `EXPERIMENTS.json`.
+
+use crate::{cdf_row, pct, ExperimentResult};
+use manrs_core::{
+    action1_verdict, action4_verdict, attribute_mismatches, compute_action1,
+    compute_action4, conformance_histories, fraction_preferring_manrs,
+    preference_scores, rpki_saturation, stability_summary, Action4Metrics,
+    ConformanceThreshold, Ecdf, ManrsProgram, ParticipationAnalysis, StabilityClass,
+};
+use manrs_ihr::PrefixOriginRecord;
+use manrs_net::{Asn, Date, Rir};
+use manrs_rpki::RpkiStatus;
+use manrs_scenario::timeline::{weekly_snapshots, yearly_snapshots};
+use manrs_scenario::ScenarioWorld;
+use manrs_topology::SizeClass;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn members(world: &ScenarioWorld) -> BTreeSet<Asn> {
+    world.member_asns()
+}
+
+/// Figure 2: growth of MANRS organizations and ASes, 2015–2022.
+pub fn fig2(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig2", "MANRS participant growth 2015-2022");
+    let dates: Vec<Date> = yearly_snapshots(world).iter().map(|s| s.date).collect();
+    let series = ParticipationAnalysis::growth_series(&world.manrs, &dates);
+    for p in &series {
+        r.push(
+            format!("{} orgs/ASes", p.date.year()),
+            "monotone growth, steep from 2019",
+            format!("{} / {}", p.orgs, p.asns),
+        );
+    }
+    let first = series.first().expect("series nonempty");
+    let last = series.last().expect("series nonempty");
+    r.push(
+        "growth factor (orgs)",
+        "~10x over the window",
+        format!("{:.1}x", last.orgs as f64 / first.orgs.max(1) as f64),
+    );
+    r
+}
+
+/// Figure 4a: MANRS ASes per RIR over time.
+pub fn fig4a(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig4a", "MANRS ASes by RIR over time");
+    let dates: Vec<Date> = yearly_snapshots(world).iter().map(|s| s.date).collect();
+    let series =
+        ParticipationAnalysis::by_rir_series(&world.manrs, &world.world.topology, &dates);
+    for (date, counts) in &series {
+        let cells: Vec<String> = Rir::ALL
+            .iter()
+            .map(|rir| format!("{}:{}", rir.name(), counts.get(rir).copied().unwrap_or(0)))
+            .collect();
+        r.push(format!("{}", date.year()), "-", cells.join(" "));
+    }
+    // The Brazil event: LACNIC count jumps across 2020.
+    let lacnic = |idx: usize| series[idx].1.get(&Rir::Lacnic).copied().unwrap_or(0);
+    let pre = lacnic(5); // 2020-01-01
+    let post = lacnic(6); // 2021-01-01
+    r.push(
+        "LACNIC jump across 2020 (NIC.br outreach)",
+        "+90 small ASes (Brazil)",
+        format!("{pre} -> {post}"),
+    );
+    r
+}
+
+/// Figure 4b: percentage of routed IPv4 space announced by MANRS ASes,
+/// per RIR, over time.
+pub fn fig4b(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig4b", "% of routed IPv4 space by RIR over time");
+    let snaps = yearly_snapshots(world);
+    let mut last_total = 0.0;
+    for snap in &snaps {
+        let shares = ParticipationAnalysis::routed_space_share(
+            &world.manrs,
+            &world.world.topology,
+            &snap.table,
+            snap.date,
+        );
+        let total: f64 = shares.values().sum();
+        last_total = total;
+        let cells: Vec<String> = Rir::ALL
+            .iter()
+            .map(|rir| format!("{}:{:.1}%", rir.name(), shares.get(rir).copied().unwrap_or(0.0)))
+            .collect();
+        r.push(format!("{}", snap.date.year()), "-", cells.join(" "));
+    }
+    r.push(
+        "total MANRS share of routed space, 2022",
+        "~18% (Fig. 4b stack)",
+        format!("{last_total:.1}%"),
+    );
+    r.push(
+        "dominant region",
+        "ARIN announces the most member space",
+        dominant_region(world),
+    );
+    // RQ1 characterization: members are disproportionately significant.
+    let member_set = members(world);
+    let non_members: Vec<manrs_net::Asn> = world
+        .world
+        .topology
+        .asns()
+        .filter(|a| !member_set.contains(a))
+        .collect();
+    let mp = manrs_core::characterize(
+        member_set.iter(),
+        &world.cones,
+        &world.observed_table,
+        &world.vrps,
+    );
+    let np = manrs_core::characterize(
+        non_members.iter(),
+        &world.cones,
+        &world.observed_table,
+        &world.vrps,
+    );
+    r.push(
+        "RQ1: median cone (members vs non)",
+        "members skew large",
+        format!("{} vs {}", mp.median_cone, np.median_cone),
+    );
+    r.push(
+        "RQ1: RPKI-covered share of originated space",
+        "members better covered",
+        format!("{:.1}% vs {:.1}%", mp.rpki_covered_pct, np.rpki_covered_pct),
+    );
+    r
+}
+
+fn dominant_region(world: &ScenarioWorld) -> String {
+    let shares = ParticipationAnalysis::routed_space_share(
+        &world.manrs,
+        &world.world.topology,
+        &world.observed_table,
+        world.config.snapshot_date,
+    );
+    shares
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .map(|(rir, share)| format!("{} ({share:.1}%)", rir.name()))
+        .unwrap_or_else(|| "-".into())
+}
+
+/// Finding 7.0: organization registration completeness.
+pub fn finding7(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new("f70", "Registration completeness (Finding 7.0)");
+    let c = ParticipationAnalysis::registration_completeness(
+        &world.manrs,
+        &world.world.orgs,
+        &world.observed_table,
+        world.config.snapshot_date,
+    );
+    r.push("member organizations", "663", c.total().to_string());
+    r.push(
+        "registered all their ASes",
+        "463 (70%)",
+        format!("{} ({})", c.fully_registered(), pct(c.fully_registered(), c.total())),
+    );
+    r.push(
+        "announce all space via registered ASes",
+        "543 (82%)",
+        format!(
+            "{} ({})",
+            c.all_space_via_registered(),
+            pct(c.all_space_via_registered(), c.total())
+        ),
+    );
+    r.push(
+        "announce some space from unregistered ASes",
+        "117",
+        c.some_space_unregistered().to_string(),
+    );
+    r.push(
+        "announce only from unregistered ASes",
+        "8",
+        c.only_space_unregistered().to_string(),
+    );
+    r.push(
+        "quiescent unregistered ASes only",
+        "80",
+        c.quiescent_unregistered().to_string(),
+    );
+    r
+}
+
+struct ClassSplit<'a> {
+    manrs: Vec<(&'a Asn, &'a Action4Metrics)>,
+    non_manrs: Vec<(&'a Asn, &'a Action4Metrics)>,
+}
+
+fn split_by_class<'a>(
+    world: &ScenarioWorld,
+    metrics: &'a BTreeMap<Asn, Action4Metrics>,
+    class: SizeClass,
+    member_set: &BTreeSet<Asn>,
+) -> ClassSplit<'a> {
+    let mut split = ClassSplit { manrs: Vec::new(), non_manrs: Vec::new() };
+    for (asn, m) in metrics {
+        if world.cones.size_class(*asn) != class {
+            continue;
+        }
+        if member_set.contains(asn) {
+            split.manrs.push((asn, m));
+        } else {
+            split.non_manrs.push((asn, m));
+        }
+    }
+    split
+}
+
+/// Figure 5a: CDFs of % originated RPKI-Valid prefixes by size class and
+/// membership, plus the §8.1 bimodality counts.
+pub fn fig5a(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r =
+        ExperimentResult::new("fig5a", "% of originated RPKI-Valid prefixes (CDF by group)");
+    let metrics = compute_action4(&world.ihr);
+    let member_set = members(world);
+    let paper_anchor = [
+        ("small", "bimodal; 60.1% vs 24.7% all-Valid"),
+        ("medium", "41.5% vs 23.8% all-Valid"),
+        ("large", "every MANRS AS has some Valid"),
+    ];
+    for (class, anchor) in SizeClass::ALL.into_iter().zip(paper_anchor) {
+        let split = split_by_class(world, &metrics, class, &member_set);
+        let ecdf_m =
+            Ecdf::new(split.manrs.iter().map(|(_, m)| m.og_rpki_valid_pct()).collect());
+        let ecdf_n =
+            Ecdf::new(split.non_manrs.iter().map(|(_, m)| m.og_rpki_valid_pct()).collect());
+        r.push(format!("{class} MANRS CDF"), anchor.1, cdf_row(&ecdf_m));
+        r.push(format!("{class} non-MANRS CDF"), "-", cdf_row(&ecdf_n));
+        let all_valid =
+            |v: &[(&Asn, &Action4Metrics)]| v.iter().filter(|(_, m)| m.only_rpki_valid()).count();
+        let none_valid =
+            |v: &[(&Asn, &Action4Metrics)]| v.iter().filter(|(_, m)| m.no_rpki_valid()).count();
+        r.push(
+            format!("{class}: only-Valid originators MANRS vs non"),
+            match class {
+                SizeClass::Small => "60.1% vs 24.7%",
+                SizeClass::Medium => "41.5% vs 23.8%",
+                SizeClass::Large => "12.5% vs 5.9%",
+            },
+            format!(
+                "{} vs {}",
+                pct(all_valid(&split.manrs), split.manrs.len()),
+                pct(all_valid(&split.non_manrs), split.non_manrs.len())
+            ),
+        );
+        r.push(
+            format!("{class}: zero-Valid originators MANRS vs non"),
+            match class {
+                SizeClass::Small => "23.6% vs 68.1%",
+                SizeClass::Medium => "14.8% vs 41.4%",
+                SizeClass::Large => "0 ASes vs 11 ASes",
+            },
+            format!(
+                "{} vs {}",
+                pct(none_valid(&split.manrs), split.manrs.len()),
+                pct(none_valid(&split.non_manrs), split.non_manrs.len())
+            ),
+        );
+    }
+    r
+}
+
+/// Figure 5b: CDFs of % originated IRR-Valid prefixes, plus the §8.2
+/// medians and IRR-only counts.
+pub fn fig5b(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r =
+        ExperimentResult::new("fig5b", "% of originated IRR-Valid prefixes (CDF by group)");
+    let metrics = compute_action4(&world.ihr);
+    let member_set = members(world);
+    for class in SizeClass::ALL {
+        let split = split_by_class(world, &metrics, class, &member_set);
+        let ecdf_m =
+            Ecdf::new(split.manrs.iter().map(|(_, m)| m.og_irr_valid_pct()).collect());
+        let ecdf_n =
+            Ecdf::new(split.non_manrs.iter().map(|(_, m)| m.og_irr_valid_pct()).collect());
+        let paper_median = match class {
+            SizeClass::Large => "median 63.5% (MANRS) vs 84.0% (non)",
+            _ => "similar between groups",
+        };
+        r.push(format!("{class} MANRS CDF"), paper_median, cdf_row(&ecdf_m));
+        r.push(format!("{class} non-MANRS CDF"), "-", cdf_row(&ecdf_n));
+        let irr_only =
+            |v: &[(&Asn, &Action4Metrics)]| v.iter().filter(|(_, m)| m.irr_only()).count();
+        r.push(
+            format!("{class}: IRR-only registrants MANRS vs non"),
+            match class {
+                SizeClass::Small => "23.6% vs 65.4%",
+                SizeClass::Medium => "14.8% vs 41.0%",
+                SizeClass::Large => "0% vs 11.8%",
+            },
+            format!(
+                "{} vs {}",
+                pct(irr_only(&split.manrs), split.manrs.len()),
+                pct(irr_only(&split.non_manrs), split.non_manrs.len())
+            ),
+        );
+    }
+    r
+}
+
+/// Findings 8.3/8.4: AS-level Action 4 conformance for the CDN and ISP
+/// programs.
+pub fn finding8_conformance(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new("f83", "Action 4 conformance (Findings 8.3-8.4)");
+    let metrics = compute_action4(&world.ihr);
+    let date = world.config.snapshot_date;
+    for (label, paper, program, threshold) in [
+        ("CDN program ASes conformant", "18/21 (86%)", ManrsProgram::Cdn, ConformanceThreshold::Cdn),
+        ("ISP program ASes conformant", "810/849 (95%)", ManrsProgram::Isp, ConformanceThreshold::Isp),
+    ] {
+        let asns = world.manrs.program_asns(program, date);
+        let conformant = asns
+            .iter()
+            .filter(|a| action4_verdict(metrics.get(a), threshold).is_conformant())
+            .count();
+        let trivially = asns.iter().filter(|a| metrics.get(a).is_none()).count();
+        r.push(
+            label,
+            paper,
+            format!("{}/{} ({})", conformant, asns.len(), pct(conformant, asns.len())),
+        );
+        r.push(
+            format!("{label} [originating nothing]"),
+            if program == ManrsProgram::Isp { "95 ASes" } else { "1 AS" },
+            format!("{trivially} ASes"),
+        );
+    }
+    r
+}
+
+/// Table 1: case-study attribution of unconformant prefix-origins.
+pub fn table1(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "tab1",
+        "Unconformant prefix-origins attributed Sibling/C-P vs Unrelated (Table 1)",
+    );
+    let date = world.config.snapshot_date;
+    let by_origin = world.ihr.origins_by_as();
+    // Member organizations with unconformant announcements, worst first.
+    let mut orgs: Vec<(manrs_topology::OrgId, usize)> = Vec::new();
+    for org in world.manrs.member_orgs(date) {
+        let rows: Vec<&PrefixOriginRecord> = world
+            .world
+            .orgs
+            .asns_of(org)
+            .iter()
+            .flat_map(|asn| by_origin.get(asn).into_iter().flatten().copied())
+            .collect();
+        let unconf = rows
+            .iter()
+            .filter(|po| manrs_core::is_unconformant_pair(po.rpki, po.irr))
+            .count();
+        if unconf > 0 {
+            orgs.push((org, unconf));
+        }
+    }
+    orgs.sort_by_key(|(org, n)| (std::cmp::Reverse(*n), *org));
+    r.push(
+        "unconformant member orgs found",
+        "6 studied (3 CDNs + 3 largest ISPs)",
+        orgs.len().to_string(),
+    );
+    for (idx, (org, _)) in orgs.iter().take(6).enumerate() {
+        let rows: Vec<&PrefixOriginRecord> = world
+            .world
+            .orgs
+            .asns_of(*org)
+            .iter()
+            .flat_map(|asn| by_origin.get(asn).into_iter().flatten().copied())
+            .collect();
+        let row = attribute_mismatches(
+            &rows,
+            &world.vrps,
+            &world.irr,
+            &world.world.orgs,
+            &world.world.topology,
+        );
+        r.push(
+            format!("case {}: RPKI-Invalid (sibling/CP | unrelated)", idx + 1),
+            "mostly sibling/C-P (e.g. ISP2: 6 | 2)",
+            format!("{} ({} | {})", row.rpki_invalid, row.rpki_sibling_cp, row.rpki_unrelated),
+        );
+        r.push(
+            format!("case {}: IRR-Invalid   (sibling/CP | unrelated)", idx + 1),
+            ">50% sibling/C-P (e.g. ISP3: 359 | 127)",
+            format!("{} ({} | {})", row.irr_invalid, row.irr_sibling_cp, row.irr_unrelated),
+        );
+    }
+    // Aggregate share, the paper's Finding 8.5.
+    let mut sib = 0usize;
+    let mut unrel = 0usize;
+    for (org, _) in orgs.iter().take(6) {
+        let rows: Vec<&PrefixOriginRecord> = world
+            .world
+            .orgs
+            .asns_of(*org)
+            .iter()
+            .flat_map(|asn| by_origin.get(asn).into_iter().flatten().copied())
+            .collect();
+        let row = attribute_mismatches(
+            &rows,
+            &world.vrps,
+            &world.irr,
+            &world.world.orgs,
+            &world.world.topology,
+        );
+        sib += row.rpki_sibling_cp + row.irr_sibling_cp;
+        unrel += row.rpki_unrelated + row.irr_unrelated;
+    }
+    r.push(
+        "sibling/C-P share across cases (Finding 8.5)",
+        ">50%",
+        pct(sib, sib + unrel),
+    );
+    r
+}
+
+/// Finding 8.7: conformance stability over 12 weekly snapshots.
+pub fn finding8_stability(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r =
+        ExperimentResult::new("f87", "Conformance stability, 12 weekly snapshots (§8.5)");
+    let snapshots = weekly_snapshots(world, 12, 0.004);
+    let date = world.config.snapshot_date;
+    for (label, paper_stable, program, threshold) in [
+        ("CDN", "18/21 consistently conformant", ManrsProgram::Cdn, ConformanceThreshold::Cdn),
+        ("ISP", "803/849 consistently conformant", ManrsProgram::Isp, ConformanceThreshold::Isp),
+    ] {
+        let asns: Vec<Asn> = world.manrs.program_asns(program, date).into_iter().collect();
+        let histories = conformance_histories(&snapshots, &asns, threshold);
+        let summary = stability_summary(&histories);
+        let get = |c: StabilityClass| summary.get(&c).copied().unwrap_or(0);
+        r.push(
+            format!("{label}: always conformant"),
+            paper_stable,
+            format!("{}/{}", get(StabilityClass::AlwaysConformant), asns.len()),
+        );
+        r.push(
+            format!("{label}: always unconformant"),
+            if label == "ISP" { "35 ASes" } else { "3 ASes" },
+            get(StabilityClass::AlwaysUnconformant).to_string(),
+        );
+        r.push(
+            format!("{label}: fluctuating"),
+            if label == "ISP" { "11 ASes" } else { "0 ASes" },
+            get(StabilityClass::Fluctuating).to_string(),
+        );
+    }
+    r
+}
+
+/// Figure 6: RPKI saturation of MANRS vs non-MANRS space over time.
+pub fn fig6(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig6", "RPKI-covered routed address space (Fig. 6)");
+    let snaps = yearly_snapshots(world);
+    for snap in &snaps {
+        let sat = rpki_saturation(&snap.table, &snap.members, &snap.vrps, snap.date);
+        r.push(
+            format!("{}", snap.date.year()),
+            "-",
+            format!("MANRS {:.1}% / non {:.1}%", sat.manrs_pct, sat.non_manrs_pct),
+        );
+    }
+    let last = snaps.last().expect("snapshots");
+    let sat = rpki_saturation(&last.table, &last.members, &last.vrps, last.date);
+    r.push(
+        "2022 saturation MANRS vs non-MANRS",
+        "58.2% vs 30.2%",
+        format!("{:.1}% vs {:.1}%", sat.manrs_pct, sat.non_manrs_pct),
+    );
+    r
+}
+
+/// Figures 7a/7b: propagated RPKI-Invalid and IRR-Invalid shares.
+pub fn fig7(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig7",
+        "% of propagated RPKI-Invalid (7a) and IRR-Invalid (7b) prefixes",
+    );
+    let metrics = compute_action1(&world.ihr);
+    let member_set = members(world);
+    for class in SizeClass::ALL {
+        let collect = |member: bool, f: fn(&manrs_core::Action1Metrics) -> f64| -> Ecdf {
+            Ecdf::new(
+                metrics
+                    .iter()
+                    .filter(|(asn, m)| {
+                        world.cones.size_class(**asn) == class
+                            && member_set.contains(*asn) == member
+                            && m.propagated > 0
+                    })
+                    .map(|(_, m)| f(m))
+                    .collect(),
+            )
+        };
+        let rpki_m = collect(true, |m| m.pg_rpki_invalid_pct());
+        let rpki_n = collect(false, |m| m.pg_rpki_invalid_pct());
+        let paper_7a = match class {
+            SizeClass::Large => "MANRS max 1.1% vs non 6.4%",
+            SizeClass::Medium => "91.3% vs 92.4% propagate none",
+            SizeClass::Small => "99.2% vs 99.1% propagate none",
+        };
+        r.push(format!("7a {class} MANRS"), paper_7a, cdf_row(&rpki_m));
+        r.push(format!("7a {class} non-MANRS"), "-", cdf_row(&rpki_n));
+        let irr_m = collect(true, |m| m.pg_irr_invalid_pct());
+        let irr_n = collect(false, |m| m.pg_irr_invalid_pct());
+        let paper_7b = match class {
+            SizeClass::Large => "MANRS max 25.5% vs non 74.5%",
+            _ => "small MANRS cleaner than small non-MANRS",
+        };
+        r.push(format!("7b {class} MANRS"), paper_7b, cdf_row(&irr_m));
+        r.push(format!("7b {class} non-MANRS"), "-", cdf_row(&irr_n));
+    }
+    // §9.2's variance comparison for large networks.
+    let var = |member: bool| -> f64 {
+        Ecdf::new(
+            metrics
+                .iter()
+                .filter(|(asn, m)| {
+                    world.cones.size_class(**asn) == SizeClass::Large
+                        && member_set.contains(*asn) == member
+                        && m.propagated > 0
+                })
+                .map(|(_, m)| m.pg_irr_invalid_pct())
+                .collect(),
+        )
+        .variance()
+        .unwrap_or(0.0)
+    };
+    r.push(
+        "variance of large-network IRR invalidity MANRS vs non",
+        "39 vs 134",
+        format!("{:.0} vs {:.0}", var(true), var(false)),
+    );
+    r
+}
+
+/// Figure 8: % of propagated MANRS-unconformant customer prefixes.
+pub fn fig8(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig8",
+        "% of propagated unconformant customer prefixes (Fig. 8)",
+    );
+    let metrics = compute_action1(&world.ihr);
+    let member_set = members(world);
+    for class in SizeClass::ALL {
+        let collect = |member: bool| -> Ecdf {
+            Ecdf::new(
+                metrics
+                    .iter()
+                    .filter(|(asn, m)| {
+                        world.cones.size_class(**asn) == class
+                            && member_set.contains(*asn) == member
+                            && m.customer_propagated > 0
+                    })
+                    .map(|(_, m)| m.pg_unconformant_pct())
+                    .collect(),
+            )
+        };
+        let m = collect(true);
+        let n = collect(false);
+        let paper = match class {
+            SizeClass::Large => "MANRS max <15% vs non max 41.4%; MANRS median 2.5%",
+            _ => "MANRS curves dominate (less unconformant)",
+        };
+        r.push(format!("{class} MANRS"), paper, cdf_row(&m));
+        r.push(format!("{class} non-MANRS"), "-", cdf_row(&n));
+    }
+    r
+}
+
+/// Table 2: Action 1 conformance counts by size class.
+pub fn table2(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r = ExperimentResult::new("tab2", "Action 1 (filtering) conformance (Table 2)");
+    let metrics = compute_action1(&world.ihr);
+    let member_set = members(world);
+    let paper = [
+        ("small", "101 (97.1%) | 104 | 448 (99.3%) | 451"),
+        ("medium", "200 (65.1%) | 307 | 212 (66.4%) | 319"),
+        ("large", "0 (0%) | 24 | 0 (0%) | 24"),
+    ];
+    for (class, (_, paper_row)) in SizeClass::ALL.into_iter().zip(paper) {
+        let class_members: Vec<Asn> = member_set
+            .iter()
+            .copied()
+            .filter(|asn| world.cones.size_class(*asn) == class)
+            .collect();
+        let mut transit_total = 0usize;
+        let mut transit_conformant = 0usize;
+        let mut trivially = 0usize;
+        for asn in &class_members {
+            match metrics.get(asn) {
+                None => trivially += 1,
+                Some(m) if m.propagated == 0 => trivially += 1,
+                Some(m) => {
+                    transit_total += 1;
+                    if action1_verdict(Some(m)).is_conformant() {
+                        transit_conformant += 1;
+                    }
+                }
+            }
+        }
+        let total_conformant = transit_conformant + trivially;
+        r.push(
+            format!("{class}: transit-conf | transit | total-conf | total"),
+            paper_row,
+            format!(
+                "{} ({}) | {} | {} ({}) | {}",
+                transit_conformant,
+                pct(transit_conformant, transit_total),
+                transit_total,
+                total_conformant,
+                pct(total_conformant, class_members.len()),
+                class_members.len()
+            ),
+        );
+    }
+    r
+}
+
+/// Figure 9: MANRS preference score distribution by RPKI status.
+pub fn fig9(world: &ScenarioWorld) -> ExperimentResult {
+    let mut r =
+        ExperimentResult::new("fig9", "MANRS preference score by RPKI status (Fig. 9)");
+    let scores = preference_scores(&world.ihr, &members(world));
+    for (label, paper, pred) in [
+        ("RPKI Valid", "34% prefer MANRS", pred_valid as fn(&RpkiStatus) -> bool),
+        ("RPKI NotFound", "36% prefer MANRS", pred_notfound),
+        ("RPKI Invalid", "14% prefer MANRS (avoid MANRS)", pred_invalid),
+    ] {
+        let subset: Vec<_> = scores.iter().filter(|s| pred(&s.rpki)).copied().collect();
+        let mean = subset.iter().map(|s| s.score).sum::<f64>() / subset.len().max(1) as f64;
+        r.push(
+            label,
+            paper,
+            format!(
+                "{:.0}% of {} prefer MANRS (mean score {:+.2})",
+                fraction_preferring_manrs(&subset) * 100.0,
+                subset.len(),
+                mean
+            ),
+        );
+    }
+    r
+}
+
+fn pred_valid(s: &RpkiStatus) -> bool {
+    *s == RpkiStatus::Valid
+}
+fn pred_notfound(s: &RpkiStatus) -> bool {
+    *s == RpkiStatus::NotFound
+}
+fn pred_invalid(s: &RpkiStatus) -> bool {
+    s.is_invalid()
+}
+
+/// Every experiment in paper order.
+pub fn all(world: &ScenarioWorld) -> Vec<ExperimentResult> {
+    vec![
+        fig2(world),
+        fig4a(world),
+        fig4b(world),
+        finding7(world),
+        fig5a(world),
+        fig5b(world),
+        finding8_conformance(world),
+        table1(world),
+        finding8_stability(world),
+        fig6(world),
+        fig7(world),
+        fig8(world),
+        table2(world),
+        fig9(world),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_scenario::ScenarioConfig;
+
+    #[test]
+    fn every_experiment_runs_on_a_small_world() {
+        let world = ScenarioWorld::build(ScenarioConfig::small(5));
+        let results = all(&world);
+        assert_eq!(results.len(), 14);
+        for r in &results {
+            assert!(!r.rows.is_empty(), "{} produced no rows", r.id);
+            r.print();
+        }
+        let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+        assert!(ids.contains(&"fig5a") && ids.contains(&"tab2") && ids.contains(&"fig9"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Shared machinery for the experiment harness.
+//!
+//! Every paper table and figure has a binary in `src/bin/` that builds a
+//! world, runs the corresponding analysis, and prints the same rows or
+//! series the paper reports, alongside the paper's own numbers for
+//! comparison. This module holds what they share: scale selection,
+//! world caching, result formatting, and the JSON experiment record
+//! written by `all_experiments`.
+//!
+//! Scale is chosen with the `MANRS_SCALE` environment variable:
+//! `small` (~400 ASes, seconds), `medium` (~3000 ASes, the default;
+//! realistic shapes), or `paper` (~20k ASes, release builds only).
+
+pub mod experiments;
+
+use manrs_core::Ecdf;
+use manrs_scenario::{ScenarioConfig, ScenarioWorld};
+use serde::{Deserialize, Serialize};
+
+/// The scale of a generated world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~400 ASes.
+    Small,
+    /// ~3000 ASes.
+    Medium,
+    /// ~20000 ASes.
+    Paper,
+}
+
+impl Scale {
+    /// Reads `MANRS_SCALE` (default: medium).
+    pub fn from_env() -> Scale {
+        match std::env::var("MANRS_SCALE").as_deref() {
+            Ok("small") => Scale::Small,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Medium,
+        }
+    }
+
+    /// The scenario configuration for this scale with the harness seed.
+    pub fn config(self, seed: u64) -> ScenarioConfig {
+        match self {
+            Scale::Small => ScenarioConfig::small(seed),
+            Scale::Medium => ScenarioConfig::medium(seed),
+            Scale::Paper => ScenarioConfig::paper_scale(seed),
+        }
+    }
+}
+
+/// The seed every experiment binary uses, so their worlds agree.
+pub const HARNESS_SEED: u64 = 20_220_501;
+
+/// Builds the world at the environment-selected scale, logging progress.
+pub fn build_world() -> ScenarioWorld {
+    let scale = Scale::from_env();
+    eprintln!("building {scale:?} world (seed {HARNESS_SEED}) ...");
+    let start = std::time::Instant::now();
+    let world = ScenarioWorld::build(scale.config(HARNESS_SEED));
+    eprintln!(
+        "world ready: {} ASes, {} announcements, {:.1}s",
+        world.world.topology.len(),
+        world.announcements.len(),
+        start.elapsed().as_secs_f64()
+    );
+    world
+}
+
+/// One row of an experiment result: a named quantity, the paper's value,
+/// and ours.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// What the row measures.
+    pub label: String,
+    /// The paper's reported value (textual — units vary).
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+}
+
+/// One regenerated table or figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (e.g. `fig5a`, `table2`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The comparison rows.
+    pub rows: Vec<Row>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: &str) -> Self {
+        ExperimentResult { id: id.into(), title: title.into(), rows: Vec::new() }
+    }
+
+    /// Adds one comparison row.
+    pub fn push(&mut self, label: impl Into<String>, paper: impl Into<String>, measured: impl Into<String>) {
+        self.rows.push(Row { label: label.into(), paper: paper.into(), measured: measured.into() });
+    }
+
+    /// Prints the result as an aligned table.
+    pub fn print(&self) {
+        println!("==== {} — {} ====", self.id, self.title);
+        let w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(10)
+            .max(10);
+        println!("{:<w$}  {:>22}  {:>22}", "quantity", "paper", "measured (sim)", w = w);
+        for r in &self.rows {
+            println!("{:<w$}  {:>22}  {:>22}", r.label, r.paper, r.measured, w = w);
+        }
+        println!();
+    }
+}
+
+/// Summarizes a CDF as the series the paper's figures plot: selected
+/// percentiles of the sample distribution.
+pub fn cdf_row(ecdf: &Ecdf) -> String {
+    if ecdf.is_empty() {
+        return "n=0".into();
+    }
+    format!(
+        "n={} p25={:.1} p50={:.1} p75={:.1} max={:.1}",
+        ecdf.len(),
+        ecdf.quantile(0.25).expect("nonempty"),
+        ecdf.median().expect("nonempty"),
+        ecdf.quantile(0.75).expect("nonempty"),
+        ecdf.max().expect("nonempty"),
+    )
+}
+
+/// Percentage formatting that tolerates empty denominators.
+pub fn pct(n: usize, d: usize) -> String {
+    if d == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}%", n as f64 / d as f64 * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_medium() {
+        // Not setting the variable in-process: just exercise config
+        // construction for each scale.
+        for scale in [Scale::Small, Scale::Medium, Scale::Paper] {
+            let cfg = scale.config(1);
+            assert!(cfg.topology.total_ases >= 400);
+        }
+    }
+
+    #[test]
+    fn result_formatting() {
+        let mut r = ExperimentResult::new("figX", "Test");
+        r.push("alpha", "1", "2");
+        assert_eq!(r.rows.len(), 1);
+        r.print(); // must not panic
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(1, 0), "-");
+    }
+
+    #[test]
+    fn cdf_row_formats() {
+        let e = Ecdf::new(vec![0.0, 50.0, 100.0]);
+        let row = cdf_row(&e);
+        assert!(row.contains("n=3"));
+        assert!(row.contains("max=100.0"));
+        assert_eq!(cdf_row(&Ecdf::new(vec![])), "n=0");
+    }
+}

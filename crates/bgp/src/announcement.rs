@@ -1,0 +1,99 @@
+//! Announcements: validated (prefix, origin) pairs.
+
+use manrs_irr::IrrStatus;
+use manrs_net::{Asn, Prefix};
+use manrs_rpki::RpkiStatus;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One (prefix, origin) pair entering the routing system, annotated with
+/// the registry statuses every filtering decision consults.
+///
+/// The statuses are carried on the announcement (rather than recomputed
+/// at each hop) because they are global facts: RFC 6811 validation of a
+/// route yields the same answer at every AS evaluating the same VRP set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The origin AS.
+    pub origin: Asn,
+    /// RPKI validation status against the current VRP set.
+    pub rpki: RpkiStatus,
+    /// IRR validity against the registry collection.
+    pub irr: IrrStatus,
+}
+
+impl Announcement {
+    /// Creates an announcement.
+    pub fn new(prefix: Prefix, origin: Asn, rpki: RpkiStatus, irr: IrrStatus) -> Self {
+        Announcement { prefix, origin, rpki, irr }
+    }
+
+    /// MANRS conformance of the prefix-origin pair (§6.4): conformant iff
+    /// RPKI Valid, or IRR Valid / Invalid-length.
+    pub fn is_manrs_conformant(&self) -> bool {
+        self.rpki == RpkiStatus::Valid
+            || matches!(self.irr, IrrStatus::Valid | IrrStatus::InvalidLength)
+    }
+
+    /// MANRS *un*conformance (§6.4): RPKI Invalid, or RPKI NotFound with
+    /// IRR Invalid. Note this is not the complement of
+    /// [`Self::is_manrs_conformant`]: (RPKI NotFound, IRR NotFound) is
+    /// neither conformant nor unconformant.
+    pub fn is_manrs_unconformant(&self) -> bool {
+        self.rpki.is_invalid()
+            || (self.rpki == RpkiStatus::NotFound && self.irr == IrrStatus::InvalidAsn)
+    }
+}
+
+impl fmt::Display for Announcement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} from {} [rpki: {}, irr: {}]",
+            self.prefix, self.origin, self.rpki, self.irr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(rpki: RpkiStatus, irr: IrrStatus) -> Announcement {
+        Announcement::new("10.0.0.0/16".parse().unwrap(), Asn(1), rpki, irr)
+    }
+
+    #[test]
+    fn conformance_matrix() {
+        use IrrStatus as I;
+        use RpkiStatus as R;
+        // RPKI Valid is always conformant.
+        assert!(ann(R::Valid, I::NotFound).is_manrs_conformant());
+        assert!(ann(R::Valid, I::InvalidAsn).is_manrs_conformant());
+        // IRR Valid / InvalidLength are conformant regardless of RPKI
+        // NotFound.
+        assert!(ann(R::NotFound, I::Valid).is_manrs_conformant());
+        assert!(ann(R::NotFound, I::InvalidLength).is_manrs_conformant());
+        // RPKI Invalid is unconformant even with IRR Valid? The paper's
+        // definition: unconformant if RPKI Invalid, conformant if IRR
+        // Valid — an announcement can be both (inconsistent registries);
+        // both predicates report their side.
+        assert!(ann(R::InvalidAsn, I::Valid).is_manrs_unconformant());
+        assert!(ann(R::InvalidAsn, I::Valid).is_manrs_conformant());
+        // The clean unconformant case.
+        assert!(ann(R::NotFound, I::InvalidAsn).is_manrs_unconformant());
+        assert!(!ann(R::NotFound, I::InvalidAsn).is_manrs_conformant());
+        // The grey zone: nothing registered anywhere.
+        let grey = ann(R::NotFound, I::NotFound);
+        assert!(!grey.is_manrs_conformant());
+        assert!(!grey.is_manrs_unconformant());
+    }
+
+    #[test]
+    fn display() {
+        let a = ann(RpkiStatus::Valid, IrrStatus::NotFound);
+        assert_eq!(a.to_string(), "10.0.0.0/16 from AS1 [rpki: Valid, irr: NotFound]");
+    }
+}

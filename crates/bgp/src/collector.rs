@@ -1,0 +1,156 @@
+//! Route collectors and the observed RIB.
+//!
+//! RouteViews and RIPE RIS peer with a set of vantage ASes and archive
+//! whatever those ASes' best routes are. The paper's §11 is explicit that
+//! everything downstream inherits this partial view; [`CollectedRib`] is
+//! that view for the simulator: per (prefix, origin), the AS paths seen
+//! from each vantage point that has a route.
+
+use crate::announcement::Announcement;
+use crate::propagate::{DenseGraph, RoutingOutcome};
+use manrs_irr::IrrStatus;
+use manrs_net::{Asn, Prefix};
+use manrs_rpki::RpkiStatus;
+use serde::{Deserialize, Serialize};
+
+/// One collected table entry: an announcement and the vantage paths that
+/// observed it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The origin AS.
+    pub origin: Asn,
+    /// RPKI status carried from the announcement.
+    pub rpki: RpkiStatus,
+    /// IRR status carried from the announcement.
+    pub irr: IrrStatus,
+    /// AS paths, one per vantage point that had a route, each running
+    /// vantage → … → origin.
+    pub paths: Vec<Vec<Asn>>,
+}
+
+impl Observation {
+    /// `true` if at least one vantage point saw the announcement.
+    pub fn is_visible(&self) -> bool {
+        !self.paths.is_empty()
+    }
+
+    /// The announcement view of this observation.
+    pub fn announcement(&self) -> Announcement {
+        Announcement::new(self.prefix, self.origin, self.rpki, self.irr)
+    }
+}
+
+/// The observed routing table: every announcement with its vantage paths.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CollectedRib {
+    /// The vantage ASes the collector peers with.
+    pub vantages: Vec<Asn>,
+    /// All observations, visible or not (callers filter).
+    pub observations: Vec<Observation>,
+}
+
+impl CollectedRib {
+    /// Observations with at least one vantage path.
+    pub fn visible(&self) -> impl Iterator<Item = &Observation> {
+        self.observations.iter().filter(|o| o.is_visible())
+    }
+
+    /// Number of visible (prefix, origin) pairs.
+    pub fn visible_count(&self) -> usize {
+        self.visible().count()
+    }
+}
+
+/// Extracts the vantage paths for one propagated announcement.
+pub fn observe(
+    graph: &DenseGraph,
+    outcome: &RoutingOutcome,
+    announcement: &Announcement,
+    vantages: &[Asn],
+) -> Observation {
+    let paths = vantages
+        .iter()
+        .filter_map(|v| outcome.as_path(graph, *v))
+        .collect();
+    Observation {
+        prefix: announcement.prefix,
+        origin: announcement.origin,
+        rpki: announcement.rpki,
+        irr: announcement.irr,
+        paths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyTable;
+    use crate::propagate::propagate;
+    use manrs_net::Rir;
+    use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId};
+
+    fn topo() -> AsTopology {
+        // 1 -> 2 -> 3; 4 isolated.
+        let mut t = AsTopology::new();
+        for asn in 1..=4 {
+            t.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(asn),
+                rir: Rir::Arin,
+                country: "US".into(),
+                kind: NetworkKind::Transit,
+            });
+        }
+        t.add_provider_customer(Asn(1), Asn(2));
+        t.add_provider_customer(Asn(2), Asn(3));
+        t
+    }
+
+    fn ann() -> Announcement {
+        Announcement::new(
+            "10.0.0.0/16".parse().unwrap(),
+            Asn(3),
+            RpkiStatus::Valid,
+            IrrStatus::Valid,
+        )
+    }
+
+    #[test]
+    fn observe_collects_vantage_paths() {
+        let t = topo();
+        let a = ann();
+        let (g, o) = propagate(&t, &PolicyTable::default(), &a);
+        let obs = observe(&g, &o, &a, &[Asn(1), Asn(4)]);
+        assert!(obs.is_visible());
+        // AS4 is isolated: only AS1's path appears.
+        assert_eq!(obs.paths, vec![vec![Asn(1), Asn(2), Asn(3)]]);
+        assert_eq!(obs.announcement(), a);
+    }
+
+    #[test]
+    fn invisible_when_no_vantage_reached() {
+        let t = topo();
+        let a = ann();
+        let (g, o) = propagate(&t, &PolicyTable::default(), &a);
+        let obs = observe(&g, &o, &a, &[Asn(4)]);
+        assert!(!obs.is_visible());
+    }
+
+    #[test]
+    fn rib_visibility_helpers() {
+        let t = topo();
+        let a = ann();
+        let (g, o) = propagate(&t, &PolicyTable::default(), &a);
+        let rib = CollectedRib {
+            vantages: vec![Asn(1), Asn(4)],
+            observations: vec![
+                observe(&g, &o, &a, &[Asn(1)]),
+                observe(&g, &o, &a, &[Asn(4)]),
+            ],
+        };
+        assert_eq!(rib.observations.len(), 2);
+        assert_eq!(rib.visible_count(), 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Origin-hijack construction.
+//!
+//! A prefix origin hijack (§2.1) is an announcement of someone else's
+//! prefix with the attacker as origin. This module builds the
+//! announcement the attacker injects, in the two classic flavours:
+//! exact-prefix (competes on path length) and more-specific (wins by
+//! longest-prefix match wherever it propagates — and, when the victim
+//! registered a ROA without slack, is RPKI Invalid-length for everyone
+//! running ROV).
+
+use crate::announcement::Announcement;
+use manrs_irr::{validate_irr, IrrRegistry};
+use manrs_net::{Asn, Prefix};
+use manrs_rpki::{validate_origin, VrpSet};
+use serde::{Deserialize, Serialize};
+
+/// The shape of the forged announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HijackKind {
+    /// Announce the victim's prefix as-is.
+    ExactPrefix,
+    /// Announce a one-bit-longer subprefix (the low half).
+    MoreSpecific,
+}
+
+/// An origin hijack scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hijack {
+    /// The prefix under attack (as announced by the victim).
+    pub victim_prefix: Prefix,
+    /// The attacking origin AS.
+    pub attacker: Asn,
+    /// Exact or more-specific.
+    pub kind: HijackKind,
+}
+
+impl Hijack {
+    /// The prefix the attacker announces.
+    pub fn forged_prefix(&self) -> Prefix {
+        match self.kind {
+            HijackKind::ExactPrefix => self.victim_prefix,
+            HijackKind::MoreSpecific => match self.victim_prefix {
+                Prefix::V4(p) => p
+                    .children()
+                    .map(|(lo, _)| Prefix::V4(lo))
+                    .unwrap_or(self.victim_prefix),
+                Prefix::V6(p) => p
+                    .children()
+                    .map(|(lo, _)| Prefix::V6(lo))
+                    .unwrap_or(self.victim_prefix),
+            },
+        }
+    }
+
+    /// Builds the forged announcement, validating it against the real
+    /// registries exactly as any other announcement would be.
+    pub fn announcement(&self, vrps: &VrpSet, irr: &IrrRegistry) -> Announcement {
+        let prefix = self.forged_prefix();
+        Announcement::new(
+            prefix,
+            self.attacker,
+            validate_origin(vrps, &prefix, self.attacker),
+            validate_irr(irr, &prefix, self.attacker),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_irr::IrrDatabase;
+    use manrs_net::Date;
+    use manrs_rpki::{RpkiStatus, Vrp};
+
+    fn vrps() -> VrpSet {
+        // Victim AS1 registered 10.0.0.0/16 maxlen 16.
+        [Vrp::new("10.0.0.0/16".parse().unwrap(), Asn(1), 16)]
+            .into_iter()
+            .collect()
+    }
+
+    fn irr() -> IrrRegistry {
+        let mut db = IrrDatabase::new("RADB", None);
+        db.add_route(manrs_irr::RouteObject {
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            origin: Asn(1),
+            descr: String::new(),
+            mnt_by: "M".into(),
+            source: "RADB".into(),
+            last_modified: Date::ymd(2022, 1, 1),
+        });
+        let mut reg = IrrRegistry::new();
+        reg.add_database(db);
+        reg
+    }
+
+    #[test]
+    fn exact_hijack_is_rpki_invalid_asn() {
+        let h = Hijack {
+            victim_prefix: "10.0.0.0/16".parse().unwrap(),
+            attacker: Asn(666),
+            kind: HijackKind::ExactPrefix,
+        };
+        let a = h.announcement(&vrps(), &irr());
+        assert_eq!(a.prefix, h.victim_prefix);
+        assert_eq!(a.rpki, RpkiStatus::InvalidAsn);
+        assert!(a.is_manrs_unconformant());
+    }
+
+    #[test]
+    fn more_specific_hijack_forges_subprefix() {
+        let h = Hijack {
+            victim_prefix: "10.0.0.0/16".parse().unwrap(),
+            attacker: Asn(666),
+            kind: HijackKind::MoreSpecific,
+        };
+        let a = h.announcement(&vrps(), &irr());
+        assert_eq!(a.prefix, "10.0.0.0/17".parse::<Prefix>().unwrap());
+        assert_eq!(a.rpki, RpkiStatus::InvalidAsn);
+    }
+
+    #[test]
+    fn self_deaggregation_is_invalid_length_not_asn() {
+        // The victim de-aggregating its own ROA-covered prefix beyond
+        // maxLength: Invalid length, the misconfiguration case.
+        let h = Hijack {
+            victim_prefix: "10.0.0.0/16".parse().unwrap(),
+            attacker: Asn(1),
+            kind: HijackKind::MoreSpecific,
+        };
+        let a = h.announcement(&vrps(), &irr());
+        assert_eq!(a.rpki, RpkiStatus::InvalidLength);
+        // IRR: same origin, more specific than the route object.
+        assert_eq!(a.irr, manrs_irr::IrrStatus::InvalidLength);
+        assert!(a.is_manrs_conformant());
+    }
+
+    #[test]
+    fn host_route_cannot_deaggregate() {
+        let h = Hijack {
+            victim_prefix: "10.0.0.1/32".parse().unwrap(),
+            attacker: Asn(666),
+            kind: HijackKind::MoreSpecific,
+        };
+        assert_eq!(h.forged_prefix(), h.victim_prefix);
+    }
+}

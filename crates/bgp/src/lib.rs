@@ -1,0 +1,47 @@
+//! AS-level BGP route propagation.
+//!
+//! The paper's raw input is the global routing table as seen from
+//! RouteViews and RIPE RIS collectors (via the Internet Health Report).
+//! This crate produces the same shape of data from a synthetic topology:
+//!
+//! * [`announcement`] — the unit of routing state: a (prefix, origin)
+//!   pair annotated with its RPKI and IRR validity.
+//! * [`policy`] — per-AS filtering policy: Route Origin Validation
+//!   (drop RPKI-Invalid from any neighbor) and IRR-based customer
+//!   filtering (drop IRR-Invalid announcements learned from customers) —
+//!   the two behaviours MANRS Action 1 asks for.
+//! * [`mod@propagate`] — a deterministic Gao–Rexford propagation engine:
+//!   valley-free economics (customer routes preferred over peer over
+//!   provider; no transit between peers/providers), shortest-path and
+//!   lowest-neighbor tie-breaks, with the filtering policies applied at
+//!   import time.
+//! * [`collector`] — vantage points in the style of RouteViews/RIS
+//!   peers: the observed table is what the vantage ASes see, complete
+//!   with the visibility limitations the paper discusses in §11.
+//! * [`hijack`] — origin-hijack construction (exact and more-specific),
+//!   for failure-injection experiments.
+//! * [`dump`] — TABLE_DUMP2-style text serialization of collected RIBs,
+//!   so tables can live on disk and be re-ingested like the real
+//!   archives.
+//! * [`table`] — the full pipeline: a set of announcements in, the
+//!   collected RIB (per prefix-origin vantage AS paths) out, with
+//!   per-(origin, filter-class) memoization so whole-table runs stay
+//!   affordable.
+
+pub mod announcement;
+pub mod collector;
+pub mod dump;
+pub mod hijack;
+pub mod policy;
+pub mod propagate;
+pub mod stats;
+pub mod table;
+
+pub use announcement::Announcement;
+pub use collector::{CollectedRib, Observation};
+pub use dump::{parse_table_dump, write_table_dump};
+pub use hijack::{Hijack, HijackKind};
+pub use policy::{FilteringPolicy, PolicyTable};
+pub use propagate::{propagate, Provenance, RouteEntry, RoutingOutcome};
+pub use stats::{moas_conflicts, table_stats, TableStats};
+pub use table::collect_table;

@@ -1,0 +1,189 @@
+//! Per-AS filtering policies.
+//!
+//! Two mechanisms matter to the paper:
+//!
+//! * **Route Origin Validation** (ROV): drop RPKI-Invalid announcements
+//!   from *any* neighbor (RFC 6811 deployment; §9.1).
+//! * **IRR customer filtering**: drop announcements learned from
+//!   customers whose (prefix, origin) is IRR-Invalid — MANRS Action 1's
+//!   "check the validity of customer announcements" implemented with IRR
+//!   data (§9.2). CDNs extend this to peers ("ingress filtering on peers
+//!   and customers").
+
+use crate::announcement::Announcement;
+use manrs_irr::IrrStatus;
+use manrs_net::Asn;
+use manrs_topology::Relationship;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One AS's import-filtering behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FilteringPolicy {
+    /// Drop RPKI-Invalid (either kind) announcements from any neighbor.
+    pub rov: bool,
+    /// Drop IRR-Invalid announcements learned from customers.
+    pub irr_filter_customers: bool,
+    /// Extend IRR filtering to announcements learned from peers
+    /// (the CDN ingress-filtering posture).
+    pub irr_filter_peers: bool,
+    /// Ablation knob: also treat IRR Invalid-length as filterable. The
+    /// paper deliberately does *not* (§3); flipping this quantifies that
+    /// design choice.
+    pub irr_strict_length: bool,
+}
+
+impl FilteringPolicy {
+    /// A network doing nothing — the common case in the wild.
+    pub const OPEN: FilteringPolicy = FilteringPolicy {
+        rov: false,
+        irr_filter_customers: false,
+        irr_filter_peers: false,
+        irr_strict_length: false,
+    };
+
+    /// The full MANRS Action 1 posture for an ISP: ROV plus IRR customer
+    /// filtering.
+    pub const MANRS_ISP: FilteringPolicy = FilteringPolicy {
+        rov: true,
+        irr_filter_customers: true,
+        irr_filter_peers: false,
+        irr_strict_length: false,
+    };
+
+    /// The CDN posture: ingress filtering on peers as well.
+    pub const MANRS_CDN: FilteringPolicy = FilteringPolicy {
+        rov: true,
+        irr_filter_customers: true,
+        irr_filter_peers: true,
+        irr_strict_length: false,
+    };
+
+    /// Whether this policy accepts `announcement` from a neighbor that
+    /// is, from the importing AS's perspective, `sender_rel`.
+    ///
+    /// The origin AS always "accepts" its own announcement; this is the
+    /// import decision for learned routes.
+    pub fn accepts(&self, announcement: &Announcement, sender_rel: Relationship) -> bool {
+        if self.rov && announcement.rpki.dropped_by_rov() {
+            return false;
+        }
+        let irr_applies = match sender_rel {
+            Relationship::Customer => self.irr_filter_customers,
+            Relationship::Peer => self.irr_filter_peers,
+            Relationship::Provider => false,
+        };
+        if irr_applies {
+            let invalid = announcement.irr == IrrStatus::InvalidAsn
+                || (self.irr_strict_length && announcement.irr == IrrStatus::InvalidLength);
+            if invalid {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Policies for every AS, with a default for ASes not explicitly listed.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PolicyTable {
+    default: FilteringPolicy,
+    overrides: BTreeMap<Asn, FilteringPolicy>,
+}
+
+impl PolicyTable {
+    /// A table where every AS uses `default`.
+    pub fn with_default(default: FilteringPolicy) -> Self {
+        PolicyTable { default, overrides: BTreeMap::new() }
+    }
+
+    /// Sets one AS's policy.
+    pub fn set(&mut self, asn: Asn, policy: FilteringPolicy) {
+        self.overrides.insert(asn, policy);
+    }
+
+    /// The policy of `asn`.
+    pub fn get(&self, asn: Asn) -> FilteringPolicy {
+        self.overrides.get(&asn).copied().unwrap_or(self.default)
+    }
+
+    /// Number of explicitly-set policies.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Iterates over the explicit overrides.
+    pub fn overrides(&self) -> impl Iterator<Item = (Asn, FilteringPolicy)> + '_ {
+        self.overrides.iter().map(|(a, p)| (*a, *p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_net::Prefix;
+    use manrs_rpki::RpkiStatus;
+
+    fn ann(rpki: RpkiStatus, irr: IrrStatus) -> Announcement {
+        let p: Prefix = "10.0.0.0/16".parse().unwrap();
+        Announcement::new(p, Asn(1), rpki, irr)
+    }
+
+    #[test]
+    fn open_policy_accepts_everything() {
+        let a = ann(RpkiStatus::InvalidAsn, IrrStatus::InvalidAsn);
+        for rel in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
+            assert!(FilteringPolicy::OPEN.accepts(&a, rel));
+        }
+    }
+
+    #[test]
+    fn rov_drops_invalid_from_anyone() {
+        let p = FilteringPolicy { rov: true, ..FilteringPolicy::OPEN };
+        let invalid_asn = ann(RpkiStatus::InvalidAsn, IrrStatus::NotFound);
+        let invalid_len = ann(RpkiStatus::InvalidLength, IrrStatus::NotFound);
+        let notfound = ann(RpkiStatus::NotFound, IrrStatus::NotFound);
+        for rel in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
+            assert!(!p.accepts(&invalid_asn, rel));
+            assert!(!p.accepts(&invalid_len, rel));
+            assert!(p.accepts(&notfound, rel), "ROV must let NotFound through");
+        }
+    }
+
+    #[test]
+    fn irr_filtering_is_customer_scoped() {
+        let p = FilteringPolicy::MANRS_ISP;
+        let irr_invalid = ann(RpkiStatus::NotFound, IrrStatus::InvalidAsn);
+        assert!(!p.accepts(&irr_invalid, Relationship::Customer));
+        assert!(p.accepts(&irr_invalid, Relationship::Peer));
+        assert!(p.accepts(&irr_invalid, Relationship::Provider));
+    }
+
+    #[test]
+    fn cdn_policy_filters_peers_too() {
+        let p = FilteringPolicy::MANRS_CDN;
+        let irr_invalid = ann(RpkiStatus::NotFound, IrrStatus::InvalidAsn);
+        assert!(!p.accepts(&irr_invalid, Relationship::Customer));
+        assert!(!p.accepts(&irr_invalid, Relationship::Peer));
+        assert!(p.accepts(&irr_invalid, Relationship::Provider));
+    }
+
+    #[test]
+    fn invalid_length_passes_unless_strict() {
+        let lenient = FilteringPolicy::MANRS_ISP;
+        let il = ann(RpkiStatus::NotFound, IrrStatus::InvalidLength);
+        assert!(lenient.accepts(&il, Relationship::Customer));
+        let strict = FilteringPolicy { irr_strict_length: true, ..FilteringPolicy::MANRS_ISP };
+        assert!(!strict.accepts(&il, Relationship::Customer));
+    }
+
+    #[test]
+    fn table_defaults_and_overrides() {
+        let mut table = PolicyTable::with_default(FilteringPolicy::OPEN);
+        table.set(Asn(5), FilteringPolicy::MANRS_ISP);
+        assert_eq!(table.get(Asn(5)), FilteringPolicy::MANRS_ISP);
+        assert_eq!(table.get(Asn(6)), FilteringPolicy::OPEN);
+        assert_eq!(table.override_count(), 1);
+        assert_eq!(table.overrides().count(), 1);
+    }
+}

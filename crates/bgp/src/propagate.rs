@@ -1,0 +1,463 @@
+//! Deterministic Gao–Rexford route propagation.
+//!
+//! Routes propagate under the standard valley-free economic model:
+//!
+//! 1. **Customer routes climb.** Starting at the origin, announcements
+//!    propagate from customers to providers. An AS with a customer route
+//!    exports it to everyone (providers, peers, customers).
+//! 2. **Peer routes cross once.** An AS with a customer route (or the
+//!    origin) exports to its peers; a peer route is never re-exported to
+//!    peers or providers.
+//! 3. **Provider routes descend.** Any routed AS exports to its
+//!    customers; routes learned from providers or peers go only to
+//!    customers.
+//!
+//! Route preference at each AS: customer > peer > provider; then shorter
+//! AS path; then lowest neighbor ASN (a deterministic stand-in for real
+//! tie-breaks). Import filtering ([`crate::FilteringPolicy`]) is applied
+//! before installation, so a filtered route is neither used nor
+//! re-exported — exactly the behaviour the paper's §9 measures from
+//! outside.
+
+use crate::announcement::Announcement;
+use crate::policy::{FilteringPolicy, PolicyTable};
+use manrs_net::Asn;
+use manrs_topology::{AsTopology, Relationship};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// How an AS obtained its best route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Provenance {
+    /// The AS originates the prefix itself.
+    Origin,
+    /// Learned from the given customer.
+    Customer(Asn),
+    /// Learned from the given peer.
+    Peer(Asn),
+    /// Learned from the given provider.
+    Provider(Asn),
+}
+
+impl Provenance {
+    /// The neighbor the route was learned from, if any.
+    pub fn learned_from(&self) -> Option<Asn> {
+        match self {
+            Provenance::Origin => None,
+            Provenance::Customer(a) | Provenance::Peer(a) | Provenance::Provider(a) => Some(*a),
+        }
+    }
+
+    /// The relationship of the sender from the receiver's perspective.
+    pub fn relationship(&self) -> Option<Relationship> {
+        match self {
+            Provenance::Origin => None,
+            Provenance::Customer(_) => Some(Relationship::Customer),
+            Provenance::Peer(_) => Some(Relationship::Peer),
+            Provenance::Provider(_) => Some(Relationship::Provider),
+        }
+    }
+}
+
+/// One AS's best route toward the announced prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    /// How the route was learned.
+    pub provenance: Provenance,
+    /// AS-path length in hops (0 at the origin).
+    pub hops: u32,
+}
+
+/// Dense, index-based view of a topology plus per-AS policies, built once
+/// and reused across many propagations.
+#[derive(Debug, Clone)]
+pub struct DenseGraph {
+    asns: Vec<Asn>,
+    pos: HashMap<Asn, usize>,
+    providers: Vec<Vec<u32>>,
+    customers: Vec<Vec<u32>>,
+    peers: Vec<Vec<u32>>,
+    policies: Vec<FilteringPolicy>,
+}
+
+impl DenseGraph {
+    /// Builds the dense view. O(V + E).
+    pub fn build(topology: &AsTopology, policies: &PolicyTable) -> Self {
+        let asns: Vec<Asn> = topology.asns().collect();
+        let pos: HashMap<Asn, usize> =
+            asns.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        let to_idx = |list: &[Asn]| -> Vec<u32> {
+            list.iter().map(|a| pos[a] as u32).collect()
+        };
+        let providers = asns.iter().map(|a| to_idx(topology.providers(*a))).collect();
+        let customers = asns.iter().map(|a| to_idx(topology.customers(*a))).collect();
+        let peers = asns.iter().map(|a| to_idx(topology.peers(*a))).collect();
+        let pol = asns.iter().map(|a| policies.get(*a)).collect();
+        DenseGraph { asns, pos, providers, customers, peers, policies: pol }
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// Dense index of an ASN.
+    pub fn index_of(&self, asn: Asn) -> Option<usize> {
+        self.pos.get(&asn).copied()
+    }
+
+    /// ASN at a dense index.
+    pub fn asn_at(&self, idx: usize) -> Asn {
+        self.asns[idx]
+    }
+}
+
+/// The result of propagating one announcement: every AS's best route.
+#[derive(Debug, Clone)]
+pub struct RoutingOutcome {
+    /// Indexed by dense AS index.
+    entries: Vec<Option<RouteEntry>>,
+}
+
+impl RoutingOutcome {
+    /// The best route of `asn`, via the graph used for propagation.
+    pub fn route(&self, graph: &DenseGraph, asn: Asn) -> Option<RouteEntry> {
+        self.entries[graph.index_of(asn)?]
+    }
+
+    /// The route at a dense index.
+    pub fn route_at(&self, idx: usize) -> Option<RouteEntry> {
+        self.entries[idx]
+    }
+
+    /// Number of ASes with a route (including the origin).
+    pub fn reached(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Reconstructs the AS path from `asn` to the origin (inclusive of
+    /// both ends), or `None` if `asn` has no route.
+    pub fn as_path(&self, graph: &DenseGraph, asn: Asn) -> Option<Vec<Asn>> {
+        let mut idx = graph.index_of(asn)?;
+        let mut path = Vec::new();
+        loop {
+            let entry = self.entries[idx]?;
+            path.push(graph.asn_at(idx));
+            match entry.provenance.learned_from() {
+                None => return Some(path),
+                Some(next) => {
+                    idx = graph.index_of(next).expect("via pointer within graph");
+                }
+            }
+        }
+    }
+}
+
+/// Propagates one announcement over a prebuilt dense graph.
+pub fn propagate_dense(graph: &DenseGraph, announcement: &Announcement) -> RoutingOutcome {
+    let n = graph.len();
+    let mut entries: Vec<Option<RouteEntry>> = vec![None; n];
+    let Some(origin_idx) = graph.index_of(announcement.origin) else {
+        // Unknown origin: nothing propagates.
+        return RoutingOutcome { entries };
+    };
+    entries[origin_idx] = Some(RouteEntry { provenance: Provenance::Origin, hops: 0 });
+
+    // --- Phase 1: customer routes climb provider edges (level BFS) ----
+    let mut frontier: Vec<usize> = vec![origin_idx];
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next: Vec<usize> = Vec::new();
+        // Ascending-ASN processing makes the lowest-neighbor tie-break
+        // deterministic without per-node candidate lists.
+        frontier.sort_by_key(|&i| graph.asn_at(i));
+        for &u in &frontier {
+            for &p in &graph.providers[u] {
+                let p = p as usize;
+                match entries[p] {
+                    // First offer at this depth wins (lowest sender ASN
+                    // thanks to the sort); entries from earlier depths
+                    // are strictly better and never replaced.
+                    Some(_) => continue,
+                    None => {
+                        let sender = graph.asn_at(u);
+                        if graph.policies[p]
+                            .accepts(announcement, Relationship::Customer)
+                        {
+                            entries[p] = Some(RouteEntry {
+                                provenance: Provenance::Customer(sender),
+                                hops: depth,
+                            });
+                            next.push(p);
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    // --- Phase 2: one peer hop ----------------------------------------
+    // Every AS with a customer route (or the origin) offers to its peers.
+    // A peer accepts the best offer (shortest, then lowest sender ASN)
+    // if it has no customer route.
+    let mut peer_offers: Vec<Option<(u32, Asn)>> = vec![None; n];
+    let mut senders: Vec<usize> = (0..n).filter(|&i| entries[i].is_some()).collect();
+    senders.sort_by_key(|&i| (entries[i].expect("routed").hops, graph.asn_at(i)));
+    for &u in &senders {
+        let du = entries[u].expect("routed").hops;
+        let sender = graph.asn_at(u);
+        for &v in &graph.peers[u] {
+            let v = v as usize;
+            if entries[v].is_some() {
+                continue; // customer route (or origin) is preferred
+            }
+            if !graph.policies[v].accepts(announcement, Relationship::Peer) {
+                continue;
+            }
+            let offer = (du + 1, sender);
+            match peer_offers[v] {
+                Some((d, a)) if (d, a) <= offer => {}
+                _ => peer_offers[v] = Some(offer),
+            }
+        }
+    }
+    for v in 0..n {
+        if let Some((d, sender)) = peer_offers[v] {
+            entries[v] = Some(RouteEntry { provenance: Provenance::Peer(sender), hops: d });
+        }
+    }
+
+    // --- Phase 3: provider routes descend customer edges ---------------
+    // Dijkstra-flavoured since sources start at heterogeneous depths;
+    // the heap orders by (hops, sender ASN) for the same deterministic
+    // tie-breaks.
+    let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
+    for u in 0..n {
+        if let Some(e) = entries[u] {
+            for &c in &graph.customers[u] {
+                let c = c as usize;
+                if entries[c].is_none() {
+                    heap.push(Reverse((e.hops + 1, graph.asn_at(u).value(), c as u32)));
+                }
+            }
+        }
+    }
+    while let Some(Reverse((d, sender_value, v))) = heap.pop() {
+        let v = v as usize;
+        if entries[v].is_some() {
+            continue;
+        }
+        if !graph.policies[v].accepts(announcement, Relationship::Provider) {
+            continue;
+        }
+        entries[v] = Some(RouteEntry {
+            provenance: Provenance::Provider(Asn(sender_value)),
+            hops: d,
+        });
+        for &c in &graph.customers[v] {
+            let c = c as usize;
+            if entries[c].is_none() {
+                heap.push(Reverse((d + 1, graph.asn_at(v).value(), c as u32)));
+            }
+        }
+    }
+
+    RoutingOutcome { entries }
+}
+
+/// Convenience wrapper: builds the dense graph and propagates once.
+/// For repeated propagation build a [`DenseGraph`] and call
+/// [`propagate_dense`].
+pub fn propagate(
+    topology: &AsTopology,
+    policies: &PolicyTable,
+    announcement: &Announcement,
+) -> (DenseGraph, RoutingOutcome) {
+    let graph = DenseGraph::build(topology, policies);
+    let outcome = propagate_dense(&graph, announcement);
+    (graph, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_irr::IrrStatus;
+    use manrs_net::Rir;
+    use manrs_rpki::RpkiStatus;
+    use manrs_topology::{AsInfo, NetworkKind, OrgId};
+
+    fn topo(n: u32, cp: &[(u32, u32)], pp: &[(u32, u32)]) -> AsTopology {
+        let mut t = AsTopology::new();
+        for asn in 1..=n {
+            t.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(asn),
+                rir: Rir::Arin,
+                country: "US".into(),
+                kind: NetworkKind::Transit,
+            });
+        }
+        for &(p, c) in cp {
+            t.add_provider_customer(Asn(p), Asn(c));
+        }
+        for &(a, b) in pp {
+            t.add_peer(Asn(a), Asn(b));
+        }
+        t
+    }
+
+    fn ann(origin: u32) -> Announcement {
+        Announcement::new(
+            "10.0.0.0/16".parse().unwrap(),
+            Asn(origin),
+            RpkiStatus::NotFound,
+            IrrStatus::NotFound,
+        )
+    }
+
+    fn ann_with(origin: u32, rpki: RpkiStatus, irr: IrrStatus) -> Announcement {
+        Announcement::new("10.0.0.0/16".parse().unwrap(), Asn(origin), rpki, irr)
+    }
+
+    #[test]
+    fn chain_propagation_up_and_down() {
+        // 1 -> 2 -> 3 (providers to customers); origin at 3.
+        let t = topo(3, &[(1, 2), (2, 3)], &[]);
+        let (g, o) = propagate(&t, &PolicyTable::default(), &ann(3));
+        assert_eq!(o.reached(), 3);
+        assert_eq!(o.as_path(&g, Asn(1)).unwrap(), vec![Asn(1), Asn(2), Asn(3)]);
+        assert_eq!(o.route(&g, Asn(2)).unwrap().provenance, Provenance::Customer(Asn(3)));
+        // Origin at 1 instead: routes descend.
+        let (g, o) = propagate(&t, &PolicyTable::default(), &ann(1));
+        assert_eq!(o.reached(), 3);
+        assert_eq!(o.route(&g, Asn(3)).unwrap().provenance, Provenance::Provider(Asn(2)));
+        assert_eq!(o.as_path(&g, Asn(3)).unwrap(), vec![Asn(3), Asn(2), Asn(1)]);
+    }
+
+    #[test]
+    fn valley_free_no_transit_through_peer() {
+        // 1 -- 2 peers; 1 -> 3, 2 -> 4 customers. Origin at 3:
+        // 2 hears via peer 1; 4 hears from provider 2 (provider route).
+        // But 2 must NOT export the peer route to its peer or providers.
+        let t = topo(4, &[(1, 3), (2, 4)], &[(1, 2)]);
+        let (g, o) = propagate(&t, &PolicyTable::default(), &ann(3));
+        assert_eq!(o.route(&g, Asn(2)).unwrap().provenance, Provenance::Peer(Asn(1)));
+        assert_eq!(o.route(&g, Asn(4)).unwrap().provenance, Provenance::Provider(Asn(2)));
+        assert_eq!(o.as_path(&g, Asn(4)).unwrap(), vec![Asn(4), Asn(2), Asn(1), Asn(3)]);
+    }
+
+    #[test]
+    fn peer_route_not_reexported_to_peer() {
+        // Chain of peers: 1 -- 2 -- 3; 1 originates. 3 must NOT learn
+        // (peer routes do not cross two peer links).
+        let t = topo(3, &[], &[(1, 2), (2, 3)]);
+        let (g, o) = propagate(&t, &PolicyTable::default(), &ann(1));
+        assert!(o.route(&g, Asn(2)).is_some());
+        assert!(o.route(&g, Asn(3)).is_none());
+    }
+
+    #[test]
+    fn customer_route_preferred_over_peer_and_provider() {
+        // 4 originates. 2 is a provider of 4; 2 also peers with 3 which
+        // is a provider of 4. 2 must pick the customer route (via 4
+        // directly), not the peer route via 3.
+        let t = topo(4, &[(2, 4), (3, 4)], &[(2, 3)]);
+        let (g, o) = propagate(&t, &PolicyTable::default(), &ann(4));
+        assert_eq!(o.route(&g, Asn(2)).unwrap().provenance, Provenance::Customer(Asn(4)));
+        assert_eq!(o.route(&g, Asn(3)).unwrap().provenance, Provenance::Customer(Asn(4)));
+    }
+
+    #[test]
+    fn shortest_path_tie_break() {
+        // Two provider chains to 1: via 2 (one hop) and via 3->4 (two
+        // hops). 5 provides to both 2 and 4; 5 must route via 2.
+        let t = topo(5, &[(2, 1), (4, 3), (3, 1), (5, 2), (5, 4)], &[]);
+        let (g, o) = propagate(&t, &PolicyTable::default(), &ann(1));
+        assert_eq!(o.as_path(&g, Asn(5)).unwrap(), vec![Asn(5), Asn(2), Asn(1)]);
+    }
+
+    #[test]
+    fn lowest_asn_tie_break() {
+        // 1 is originated; 2 and 3 both provide to 1; 4 provides to both
+        // 2 and 3. Equal length: 4 must pick via 2 (lower ASN).
+        let t = topo(4, &[(2, 1), (3, 1), (4, 2), (4, 3)], &[]);
+        let (g, o) = propagate(&t, &PolicyTable::default(), &ann(1));
+        assert_eq!(o.route(&g, Asn(4)).unwrap().provenance, Provenance::Customer(Asn(2)));
+    }
+
+    #[test]
+    fn rov_filtering_blocks_and_stops_reexport() {
+        // Chain 1 -> 2 -> 3, origin 3, with 2 deploying ROV and the
+        // announcement RPKI-Invalid: 2 rejects, so 1 never hears it.
+        let t = topo(3, &[(1, 2), (2, 3)], &[]);
+        let mut policies = PolicyTable::default();
+        policies.set(Asn(2), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+        let a = ann_with(3, RpkiStatus::InvalidAsn, IrrStatus::NotFound);
+        let (g, o) = propagate(&t, &policies, &a);
+        assert!(o.route(&g, Asn(2)).is_none());
+        assert!(o.route(&g, Asn(1)).is_none());
+        assert_eq!(o.reached(), 1);
+    }
+
+    #[test]
+    fn irr_filtering_only_blocks_customer_side() {
+        // 2 filters customers by IRR. Origin 3 (customer of 2) with IRR
+        // Invalid: blocked. But if 3 is 2's *provider*, not blocked.
+        let t = topo(3, &[(1, 2), (2, 3)], &[]);
+        let mut policies = PolicyTable::default();
+        policies.set(
+            Asn(2),
+            FilteringPolicy { irr_filter_customers: true, ..FilteringPolicy::OPEN },
+        );
+        let a = ann_with(3, RpkiStatus::NotFound, IrrStatus::InvalidAsn);
+        let (g, o) = propagate(&t, &policies, &a);
+        assert!(o.route(&g, Asn(2)).is_none());
+
+        // Origin at 1 (2's provider): the IRR-invalid route flows down.
+        let a = ann_with(1, RpkiStatus::NotFound, IrrStatus::InvalidAsn);
+        let (g, o) = propagate(&t, &policies, &a);
+        assert!(o.route(&g, Asn(2)).is_some());
+        assert!(o.route(&g, Asn(3)).is_some());
+    }
+
+    #[test]
+    fn origin_always_installs_its_own_route() {
+        let t = topo(1, &[], &[]);
+        let mut policies = PolicyTable::default();
+        policies.set(Asn(1), FilteringPolicy::MANRS_CDN);
+        let a = ann_with(1, RpkiStatus::InvalidAsn, IrrStatus::InvalidAsn);
+        let (g, o) = propagate(&t, &policies, &a);
+        assert_eq!(o.route(&g, Asn(1)).unwrap().provenance, Provenance::Origin);
+    }
+
+    #[test]
+    fn unknown_origin_reaches_nobody() {
+        let t = topo(2, &[(1, 2)], &[]);
+        let (_, o) = propagate(&t, &PolicyTable::default(), &ann(99));
+        assert_eq!(o.reached(), 0);
+    }
+
+    #[test]
+    fn diamond_paths_are_loop_free() {
+        // 1 -> {2,3} -> 4 -> 5 chains with peering noise.
+        let t = topo(5, &[(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)], &[(2, 3)]);
+        let (g, o) = propagate(&t, &PolicyTable::default(), &ann(5));
+        for asn in 1..=5 {
+            if let Some(path) = o.as_path(&g, Asn(asn)) {
+                let mut dedup = path.clone();
+                dedup.sort();
+                dedup.dedup();
+                assert_eq!(dedup.len(), path.len(), "loop in path {path:?}");
+                assert_eq!(*path.last().unwrap(), Asn(5));
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Descriptive statistics over a collected RIB.
+//!
+//! The sanity numbers every measurement paper reports before the real
+//! analysis: table size, origin counts, MOAS prefixes (multiple origin
+//! ASes — legitimate multi-homing or a hijack in progress), path-length
+//! distribution, and per-announcement visibility.
+
+use crate::collector::CollectedRib;
+use manrs_net::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Summary statistics of a collected RIB.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Visible (prefix, origin) pairs.
+    pub prefix_origins: usize,
+    /// Distinct visible prefixes.
+    pub prefixes: usize,
+    /// Distinct origin ASes.
+    pub origins: usize,
+    /// Prefixes announced by more than one origin (MOAS).
+    pub moas_prefixes: usize,
+    /// Mean AS-path length over all vantage paths (hops counted as
+    /// path elements).
+    pub mean_path_length: f64,
+    /// Longest observed AS path.
+    pub max_path_length: usize,
+    /// Mean fraction of vantage points seeing each visible pair.
+    pub mean_visibility: f64,
+}
+
+/// Computes [`TableStats`] for a RIB.
+pub fn table_stats(rib: &CollectedRib) -> TableStats {
+    let mut prefixes: BTreeSet<Prefix> = BTreeSet::new();
+    let mut origins: BTreeSet<Asn> = BTreeSet::new();
+    let mut origins_per_prefix: BTreeMap<Prefix, BTreeSet<Asn>> = BTreeMap::new();
+    let mut pair_count = 0usize;
+    let mut path_count = 0usize;
+    let mut path_len_sum = 0usize;
+    let mut max_path = 0usize;
+    let mut visibility_sum = 0.0;
+    let vantage_count = rib.vantages.len().max(1);
+    for obs in rib.visible() {
+        pair_count += 1;
+        prefixes.insert(obs.prefix);
+        origins.insert(obs.origin);
+        origins_per_prefix.entry(obs.prefix).or_default().insert(obs.origin);
+        visibility_sum += obs.paths.len() as f64 / vantage_count as f64;
+        for path in &obs.paths {
+            path_count += 1;
+            path_len_sum += path.len();
+            max_path = max_path.max(path.len());
+        }
+    }
+    TableStats {
+        prefix_origins: pair_count,
+        prefixes: prefixes.len(),
+        origins: origins.len(),
+        moas_prefixes: origins_per_prefix.values().filter(|s| s.len() > 1).count(),
+        mean_path_length: if path_count == 0 {
+            0.0
+        } else {
+            path_len_sum as f64 / path_count as f64
+        },
+        max_path_length: max_path,
+        mean_visibility: if pair_count == 0 { 0.0 } else { visibility_sum / pair_count as f64 },
+    }
+}
+
+/// The MOAS (multiple-origin) prefixes with their origin sets — hijacks
+/// and sibling mis-originations surface here.
+pub fn moas_conflicts(rib: &CollectedRib) -> BTreeMap<Prefix, Vec<Asn>> {
+    let mut origins_per_prefix: BTreeMap<Prefix, BTreeSet<Asn>> = BTreeMap::new();
+    for obs in rib.visible() {
+        origins_per_prefix.entry(obs.prefix).or_default().insert(obs.origin);
+    }
+    origins_per_prefix
+        .into_iter()
+        .filter(|(_, origins)| origins.len() > 1)
+        .map(|(p, origins)| (p, origins.into_iter().collect()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::announcement::Announcement;
+    use crate::policy::PolicyTable;
+    use crate::table::collect_table;
+    use manrs_irr::IrrStatus;
+    use manrs_net::Rir;
+    use manrs_rpki::RpkiStatus;
+    use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId};
+
+    fn rib() -> CollectedRib {
+        let mut t = AsTopology::new();
+        for asn in 1..=4 {
+            t.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(asn),
+                rir: Rir::Arin,
+                country: "US".into(),
+                kind: NetworkKind::Transit,
+            });
+        }
+        t.add_provider_customer(Asn(1), Asn(2));
+        t.add_provider_customer(Asn(2), Asn(3));
+        t.add_provider_customer(Asn(2), Asn(4));
+        let p: Prefix = "10.0.0.0/16".parse().unwrap();
+        let q: Prefix = "10.1.0.0/16".parse().unwrap();
+        let anns = vec![
+            // MOAS on p: both 3 and 4 announce it.
+            Announcement::new(p, Asn(3), RpkiStatus::Valid, IrrStatus::Valid),
+            Announcement::new(p, Asn(4), RpkiStatus::InvalidAsn, IrrStatus::NotFound),
+            Announcement::new(q, Asn(3), RpkiStatus::NotFound, IrrStatus::Valid),
+        ];
+        collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1)])
+    }
+
+    #[test]
+    fn counts_and_moas() {
+        let stats = table_stats(&rib());
+        assert_eq!(stats.prefix_origins, 3);
+        assert_eq!(stats.prefixes, 2);
+        assert_eq!(stats.origins, 2);
+        assert_eq!(stats.moas_prefixes, 1);
+        assert_eq!(stats.max_path_length, 3); // 1-2-3
+        assert!((stats.mean_path_length - 3.0).abs() < 1e-12);
+        assert!((stats.mean_visibility - 1.0).abs() < 1e-12); // single vantage sees all
+    }
+
+    #[test]
+    fn moas_conflict_listing() {
+        let conflicts = moas_conflicts(&rib());
+        assert_eq!(conflicts.len(), 1);
+        let origins = &conflicts[&"10.0.0.0/16".parse().unwrap()];
+        assert_eq!(origins, &vec![Asn(3), Asn(4)]);
+    }
+
+    #[test]
+    fn empty_rib() {
+        let stats = table_stats(&CollectedRib::default());
+        assert_eq!(stats.prefix_origins, 0);
+        assert_eq!(stats.mean_path_length, 0.0);
+        assert_eq!(stats.mean_visibility, 0.0);
+        assert!(moas_conflicts(&CollectedRib::default()).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Whole-table collection with per-(origin, filter-class) memoization.
+//!
+//! Propagating every (prefix, origin) pair independently would repeat
+//! identical work: the routing outcome depends only on the origin and on
+//! how filters react to the announcement's registry statuses. Policies
+//! consult exactly (a) whether ROV drops it and (b) its IRR status, so
+//! announcements from the same origin fall into a handful of equivalence
+//! classes; one propagation per class serves every prefix in it.
+
+use crate::announcement::Announcement;
+use crate::collector::{observe, CollectedRib};
+use crate::policy::PolicyTable;
+use crate::propagate::{propagate_dense, DenseGraph};
+use manrs_irr::IrrStatus;
+use manrs_net::Asn;
+use manrs_topology::AsTopology;
+use std::collections::HashMap;
+
+/// The projection of an announcement that filtering can observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct FilterClass {
+    rov_dropped: bool,
+    irr: IrrStatus,
+}
+
+impl FilterClass {
+    fn of(a: &Announcement) -> Self {
+        FilterClass { rov_dropped: a.rpki.dropped_by_rov(), irr: a.irr }
+    }
+}
+
+/// Propagates every announcement and collects the vantage view.
+///
+/// Announcement order is preserved in the output. Memoization is per
+/// (origin, filter class); with the four RPKI × four IRR statuses there
+/// are at most eight classes per origin, and real mixes produce one or
+/// two.
+pub fn collect_table(
+    topology: &AsTopology,
+    policies: &PolicyTable,
+    announcements: &[Announcement],
+    vantages: &[Asn],
+) -> CollectedRib {
+    let graph = DenseGraph::build(topology, policies);
+    let mut memo: HashMap<(Asn, FilterClass), usize> = HashMap::new();
+    let mut outcomes = Vec::new();
+    let mut observations = Vec::with_capacity(announcements.len());
+    for ann in announcements {
+        let key = (ann.origin, FilterClass::of(ann));
+        let outcome_idx = *memo.entry(key).or_insert_with(|| {
+            outcomes.push(propagate_dense(&graph, ann));
+            outcomes.len() - 1
+        });
+        observations.push(observe(&graph, &outcomes[outcome_idx], ann, vantages));
+    }
+    CollectedRib { vantages: vantages.to_vec(), observations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::FilteringPolicy;
+    use manrs_net::{Prefix, Rir};
+    use manrs_rpki::RpkiStatus;
+    use manrs_topology::{AsInfo, NetworkKind, OrgId};
+
+    fn topo() -> AsTopology {
+        // 1 -> 2 -> {3, 4}; 1 is the vantage's home.
+        let mut t = AsTopology::new();
+        for asn in 1..=4 {
+            t.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(asn),
+                rir: Rir::Arin,
+                country: "US".into(),
+                kind: NetworkKind::Transit,
+            });
+        }
+        t.add_provider_customer(Asn(1), Asn(2));
+        t.add_provider_customer(Asn(2), Asn(3));
+        t.add_provider_customer(Asn(2), Asn(4));
+        t
+    }
+
+    fn ann(prefix: &str, origin: u32, rpki: RpkiStatus, irr: IrrStatus) -> Announcement {
+        Announcement::new(prefix.parse::<Prefix>().unwrap(), Asn(origin), rpki, irr)
+    }
+
+    #[test]
+    fn collects_all_announcements_in_order() {
+        let t = topo();
+        let anns = vec![
+            ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.1.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.2.0.0/16", 4, RpkiStatus::NotFound, IrrStatus::NotFound),
+        ];
+        let rib = collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1)]);
+        assert_eq!(rib.observations.len(), 3);
+        assert_eq!(rib.observations[0].prefix, anns[0].prefix);
+        assert_eq!(rib.observations[2].origin, Asn(4));
+        assert_eq!(rib.visible_count(), 3);
+        // Shared origin and class: identical paths.
+        assert_eq!(rib.observations[0].paths, rib.observations[1].paths);
+    }
+
+    #[test]
+    fn memoization_does_not_conflate_classes() {
+        let t = topo();
+        let mut policies = PolicyTable::default();
+        policies.set(Asn(2), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+        let anns = vec![
+            ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.1.0.0/16", 3, RpkiStatus::InvalidAsn, IrrStatus::Valid),
+        ];
+        let rib = collect_table(&t, &policies, &anns, &[Asn(1)]);
+        // Valid one is seen, invalid one blocked at AS2.
+        assert!(rib.observations[0].is_visible());
+        assert!(!rib.observations[1].is_visible());
+    }
+
+    #[test]
+    fn vantage_order_and_identity_preserved() {
+        let t = topo();
+        let anns = vec![ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid)];
+        let rib = collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1), Asn(4)]);
+        assert_eq!(rib.vantages, vec![Asn(1), Asn(4)]);
+        // Both vantages see it (4 via provider route).
+        assert_eq!(rib.observations[0].paths.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = topo();
+        let rib = collect_table(&t, &PolicyTable::default(), &[], &[Asn(1)]);
+        assert_eq!(rib.observations.len(), 0);
+        assert_eq!(rib.visible_count(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for route propagation: every produced path must be
+//! loop-free and valley-free, preferences must be respected, and
+//! filtering must only ever shrink reach.
+
+use manrs_bgp::{collect_table, propagate, Announcement, FilteringPolicy, PolicyTable};
+use manrs_irr::IrrStatus;
+use manrs_net::{Asn, Rir};
+use manrs_rpki::RpkiStatus;
+use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId, Relationship};
+use proptest::prelude::*;
+
+/// Builds a random layered topology guaranteed free of provider cycles:
+/// each AS may only pick providers among lower-numbered ASes, peers
+/// anywhere.
+fn arb_topology() -> impl Strategy<Value = AsTopology> {
+    (
+        4usize..30,
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..40),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..15),
+    )
+        .prop_map(|(n, cp_seeds, pp_seeds)| {
+            let mut t = AsTopology::new();
+            for i in 0..n {
+                t.add_as(AsInfo {
+                    asn: Asn(i as u32 + 1),
+                    org: OrgId(i as u32),
+                    rir: Rir::Arin,
+                    country: "US".into(),
+                    kind: NetworkKind::Transit,
+                });
+            }
+            for (a, b) in cp_seeds {
+                let customer = (a as usize % n).max(1);
+                let provider = b as usize % customer;
+                t.add_provider_customer(Asn(provider as u32 + 1), Asn(customer as u32 + 1));
+            }
+            for (a, b) in pp_seeds {
+                let x = a as usize % n;
+                let y = b as usize % n;
+                if x != y && t.relationship(Asn(x as u32 + 1), Asn(y as u32 + 1)).is_none() {
+                    t.add_peer(Asn(x as u32 + 1), Asn(y as u32 + 1));
+                }
+            }
+            t
+        })
+}
+
+fn ann(origin: u32, rpki: RpkiStatus, irr: IrrStatus) -> Announcement {
+    Announcement::new("10.0.0.0/16".parse().unwrap(), Asn(origin), rpki, irr)
+}
+
+/// Checks the Gao–Rexford export rules along a vantage→origin path.
+fn assert_valley_free(t: &AsTopology, path: &[Asn]) {
+    // Walk from origin toward the vantage (reverse) and track the phase:
+    // climbing customer→provider links, then at most one peer link, then
+    // descending provider→customer links.
+    let mut phase = 0; // 0 = climbing, 1 = after peer, 2 = descending
+    for w in path.windows(2).rev() {
+        let (closer, further) = (w[0], w[1]); // further is nearer the origin
+        let rel = t
+            .relationship(closer, further)
+            .expect("adjacent path hops are neighbors");
+        match rel {
+            // closer learned from its customer: still climbing.
+            Relationship::Customer => {
+                assert_eq!(phase, 0, "customer link after peer/descent in {path:?}");
+            }
+            Relationship::Peer => {
+                assert_eq!(phase, 0, "second peer or peer after descent in {path:?}");
+                phase = 1;
+            }
+            Relationship::Provider => {
+                phase = 2;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All produced paths are simple (no repeated AS) and valley-free.
+    #[test]
+    fn paths_are_simple_and_valley_free(t in arb_topology(), origin_seed in any::<u16>()) {
+        let n = t.len() as u32;
+        let origin = (origin_seed as u32 % n) + 1;
+        let a = ann(origin, RpkiStatus::NotFound, IrrStatus::NotFound);
+        let (g, o) = propagate(&t, &PolicyTable::default(), &a);
+        for asn in t.asns() {
+            if let Some(path) = o.as_path(&g, asn) {
+                prop_assert_eq!(*path.first().unwrap(), asn);
+                prop_assert_eq!(*path.last().unwrap(), Asn(origin));
+                let mut sorted = path.clone();
+                sorted.sort();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), path.len(), "loop in {:?}", path);
+                assert_valley_free(&t, &path);
+            }
+        }
+    }
+
+    /// Path length equals the recorded hop count + 1.
+    #[test]
+    fn hops_match_path_length(t in arb_topology(), origin_seed in any::<u16>()) {
+        let n = t.len() as u32;
+        let origin = (origin_seed as u32 % n) + 1;
+        let a = ann(origin, RpkiStatus::NotFound, IrrStatus::NotFound);
+        let (g, o) = propagate(&t, &PolicyTable::default(), &a);
+        for asn in t.asns() {
+            if let Some(entry) = o.route(&g, asn) {
+                let path = o.as_path(&g, asn).expect("routed AS has a path");
+                prop_assert_eq!(path.len() as u32, entry.hops + 1);
+            }
+        }
+    }
+
+    /// Universal ROV deployment can only shrink reach for invalid
+    /// announcements, and never affects valid ones.
+    #[test]
+    fn filtering_is_monotone(t in arb_topology(), origin_seed in any::<u16>()) {
+        let n = t.len() as u32;
+        let origin = (origin_seed as u32 % n) + 1;
+        let open = PolicyTable::default();
+        let strict = PolicyTable::with_default(FilteringPolicy {
+            rov: true,
+            irr_filter_customers: true,
+            irr_filter_peers: true,
+            irr_strict_length: false,
+        });
+
+        let invalid = ann(origin, RpkiStatus::InvalidAsn, IrrStatus::InvalidAsn);
+        let (_, open_out) = propagate(&t, &open, &invalid);
+        let (_, strict_out) = propagate(&t, &strict, &invalid);
+        prop_assert!(strict_out.reached() <= open_out.reached());
+        // Under universal ROV an invalid announcement reaches only its origin.
+        prop_assert_eq!(strict_out.reached(), 1);
+
+        let valid = ann(origin, RpkiStatus::Valid, IrrStatus::Valid);
+        let (_, open_v) = propagate(&t, &open, &valid);
+        let (_, strict_v) = propagate(&t, &strict, &valid);
+        prop_assert_eq!(open_v.reached(), strict_v.reached());
+    }
+
+    /// collect_table memoization returns exactly the same observations as
+    /// propagating each announcement separately.
+    #[test]
+    fn memoized_table_matches_unmemoized(
+        t in arb_topology(),
+        specs in prop::collection::vec((any::<u16>(), 0u8..4, 0u8..4), 1..12),
+    ) {
+        let n = t.len() as u32;
+        let rpki_of = |k: u8| [RpkiStatus::Valid, RpkiStatus::InvalidAsn,
+                               RpkiStatus::InvalidLength, RpkiStatus::NotFound][k as usize];
+        let irr_of = |k: u8| [IrrStatus::Valid, IrrStatus::InvalidAsn,
+                              IrrStatus::InvalidLength, IrrStatus::NotFound][k as usize];
+        let anns: Vec<Announcement> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (o, r, ir))| {
+                let prefix = format!("10.{}.0.0/16", i % 250).parse().unwrap();
+                Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
+            })
+            .collect();
+        let policies = PolicyTable::with_default(FilteringPolicy {
+            rov: true,
+            irr_filter_customers: true,
+            irr_filter_peers: false,
+            irr_strict_length: false,
+        });
+        let vantages: Vec<Asn> = vec![Asn(1), Asn(2)];
+        let rib = collect_table(&t, &policies, &anns, &vantages);
+        for (i, a) in anns.iter().enumerate() {
+            let (g, o) = propagate(&t, &policies, a);
+            let expect: Vec<Vec<Asn>> = vantages
+                .iter()
+                .filter_map(|v| o.as_path(&g, *v))
+                .collect();
+            prop_assert_eq!(&rib.observations[i].paths, &expect);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! MANRS Action 1: route filtering behaviour (§6.4, §9).
+//!
+//! Per AS, over the announcements it *propagated* (the IHR transit
+//! dataset):
+//!
+//! * Formula 4 — `PG_rpki_inv` = (RPKI Invalid + Invalid-length)
+//!   propagated prefixes / total propagated.
+//! * Formula 5 — `PG_irr_inv` = IRR-Invalid propagated prefixes / total.
+//! * Formula 6 — `PG_unc` = MANRS-unconformant prefixes received from
+//!   *direct customers* / total propagated customer prefixes.
+//!
+//! A MANRS AS is fully Action 1 conformant when it propagates zero
+//! unconformant customer announcements; ASes providing no transit are
+//! trivially conformant (§9.3, Table 2).
+
+use crate::action4::is_unconformant_pair;
+use manrs_ihr::IhrSnapshot;
+use manrs_irr::IrrStatus;
+use manrs_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Propagation counters for one AS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action1Metrics {
+    /// Total (prefix, origin) pairs this AS was observed propagating.
+    pub propagated: usize,
+    /// Of those: RPKI Invalid (ASN or length).
+    pub rpki_invalid: usize,
+    /// Of those: IRR Invalid (wrong origin).
+    pub irr_invalid: usize,
+    /// Propagated pairs learned from a direct customer.
+    pub customer_propagated: usize,
+    /// Customer-learned pairs that are MANRS-unconformant.
+    pub customer_unconformant: usize,
+}
+
+impl Action1Metrics {
+    fn pct(count: usize, total: usize) -> f64 {
+        if total == 0 {
+            0.0 // nothing propagated, nothing invalid
+        } else {
+            count as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Formula 4: percentage of propagated prefixes that are RPKI
+    /// Invalid.
+    pub fn pg_rpki_invalid_pct(&self) -> f64 {
+        Self::pct(self.rpki_invalid, self.propagated)
+    }
+
+    /// Formula 5: percentage of propagated prefixes that are IRR
+    /// Invalid.
+    pub fn pg_irr_invalid_pct(&self) -> f64 {
+        Self::pct(self.irr_invalid, self.propagated)
+    }
+
+    /// Formula 6: percentage of unconformant prefixes among those
+    /// received from direct customers.
+    pub fn pg_unconformant_pct(&self) -> f64 {
+        Self::pct(self.customer_unconformant, self.customer_propagated)
+    }
+}
+
+/// AS-level Action 1 verdict (§9.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action1Verdict {
+    /// The AS propagated no announcements at all (no transit role).
+    TriviallyConformant,
+    /// Propagated announcements, none unconformant from customers.
+    Conformant,
+    /// Propagated at least one unconformant customer announcement.
+    Unconformant,
+}
+
+impl Action1Verdict {
+    /// `true` for either conformant flavour.
+    pub fn is_conformant(&self) -> bool {
+        !matches!(self, Action1Verdict::Unconformant)
+    }
+}
+
+/// Computes per-AS propagation metrics from the IHR transit dataset.
+pub fn compute_action1(snapshot: &IhrSnapshot) -> BTreeMap<Asn, Action1Metrics> {
+    let mut map: BTreeMap<Asn, Action1Metrics> = BTreeMap::new();
+    for t in &snapshot.transits {
+        let m = map.entry(t.transit).or_default();
+        m.propagated += 1;
+        if t.rpki.is_invalid() {
+            m.rpki_invalid += 1;
+        }
+        if t.irr == IrrStatus::InvalidAsn {
+            m.irr_invalid += 1;
+        }
+        if t.from_customer {
+            m.customer_propagated += 1;
+            if is_unconformant_pair(t.rpki, t.irr) {
+                m.customer_unconformant += 1;
+            }
+        }
+    }
+    map
+}
+
+/// Judges one AS's Action 1 conformance. Pass `None` for ASes that never
+/// appear as transits.
+pub fn action1_verdict(metrics: Option<&Action1Metrics>) -> Action1Verdict {
+    match metrics {
+        None => Action1Verdict::TriviallyConformant,
+        Some(m) if m.propagated == 0 => Action1Verdict::TriviallyConformant,
+        Some(m) => {
+            if m.customer_unconformant == 0 {
+                Action1Verdict::Conformant
+            } else {
+                Action1Verdict::Unconformant
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_ihr::TransitRecord;
+    use manrs_net::Prefix;
+    use manrs_rpki::RpkiStatus;
+
+    fn tr(
+        prefix: &str,
+        transit: u32,
+        rpki: RpkiStatus,
+        irr: IrrStatus,
+        from_customer: bool,
+    ) -> TransitRecord {
+        TransitRecord {
+            prefix: prefix.parse::<Prefix>().unwrap(),
+            origin: Asn(9_999),
+            transit: Asn(transit),
+            rpki,
+            irr,
+            hegemony: 0.5,
+            from_customer,
+        }
+    }
+
+    fn snapshot(rows: Vec<TransitRecord>) -> IhrSnapshot {
+        IhrSnapshot { prefix_origins: vec![], transits: rows }
+    }
+
+    #[test]
+    fn formulas_four_and_five() {
+        let s = snapshot(vec![
+            tr("10.0.0.0/16", 1, RpkiStatus::Valid, IrrStatus::Valid, false),
+            tr("10.1.0.0/16", 1, RpkiStatus::InvalidAsn, IrrStatus::NotFound, false),
+            tr("10.2.0.0/16", 1, RpkiStatus::InvalidLength, IrrStatus::NotFound, false),
+            tr("10.3.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::InvalidAsn, false),
+        ]);
+        let m = &compute_action1(&s)[&Asn(1)];
+        assert_eq!(m.propagated, 4);
+        assert_eq!(m.pg_rpki_invalid_pct(), 50.0); // both invalid kinds count
+        assert_eq!(m.pg_irr_invalid_pct(), 25.0);
+    }
+
+    #[test]
+    fn formula_six_customer_scope() {
+        let s = snapshot(vec![
+            // Unconformant but from a peer: not counted by Formula 6.
+            tr("10.0.0.0/16", 1, RpkiStatus::InvalidAsn, IrrStatus::NotFound, false),
+            // Unconformant from a customer: counted.
+            tr("10.1.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::InvalidAsn, true),
+            // Conformant from a customer.
+            tr("10.2.0.0/16", 1, RpkiStatus::Valid, IrrStatus::Valid, true),
+        ]);
+        let m = &compute_action1(&s)[&Asn(1)];
+        assert_eq!(m.customer_propagated, 2);
+        assert_eq!(m.customer_unconformant, 1);
+        assert_eq!(m.pg_unconformant_pct(), 50.0);
+    }
+
+    #[test]
+    fn verdicts() {
+        let clean = snapshot(vec![tr(
+            "10.0.0.0/16",
+            1,
+            RpkiStatus::Valid,
+            IrrStatus::Valid,
+            true,
+        )]);
+        let m = compute_action1(&clean);
+        assert_eq!(action1_verdict(m.get(&Asn(1))), Action1Verdict::Conformant);
+        assert_eq!(action1_verdict(None), Action1Verdict::TriviallyConformant);
+        assert!(Action1Verdict::TriviallyConformant.is_conformant());
+
+        let dirty = snapshot(vec![tr(
+            "10.0.0.0/16",
+            1,
+            RpkiStatus::InvalidAsn,
+            IrrStatus::NotFound,
+            true,
+        )]);
+        let m = compute_action1(&dirty);
+        assert_eq!(action1_verdict(m.get(&Asn(1))), Action1Verdict::Unconformant);
+    }
+
+    #[test]
+    fn invalid_length_customer_announcement_is_conformant() {
+        // §3: de-aggregated (IRR invalid-length) customer announcements
+        // are conformant; propagating them must not flip the verdict.
+        let s = snapshot(vec![tr(
+            "10.0.0.0/17",
+            1,
+            RpkiStatus::NotFound,
+            IrrStatus::InvalidLength,
+            true,
+        )]);
+        let m = compute_action1(&s);
+        assert_eq!(action1_verdict(m.get(&Asn(1))), Action1Verdict::Conformant);
+    }
+
+    #[test]
+    fn zero_propagation_percentages() {
+        let m = Action1Metrics::default();
+        assert_eq!(m.pg_rpki_invalid_pct(), 0.0);
+        assert_eq!(m.pg_unconformant_pct(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! MANRS Action 3: facilitate global operational communication.
+//!
+//! Action 3 (mandatory in both the ISP and CDN programs) requires
+//! members to "maintain up-to-date network contact information in IRR
+//! databases or PeeringDB" (§2.4). The paper scopes its measurement to
+//! Actions 1 and 4 and names Action 3 as future work (§12); this module
+//! implements that extension: a contact-freshness check over the IRR
+//! aut-num objects and a PeeringDB analog.
+
+use manrs_irr::IrrRegistry;
+use manrs_net::{Asn, Date};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One network's PeeringDB record (the fields Action 3 cares about).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeeringDbRecord {
+    /// The network's ASN.
+    pub asn: Asn,
+    /// NOC / policy contact e-mail.
+    pub contact: String,
+    /// When the record was last updated.
+    pub updated: Date,
+}
+
+/// A PeeringDB analog: per-ASN records.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PeeringDb {
+    records: BTreeMap<Asn, PeeringDbRecord>,
+}
+
+impl PeeringDb {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces a record.
+    pub fn upsert(&mut self, record: PeeringDbRecord) {
+        self.records.insert(record.asn, record);
+    }
+
+    /// The record for `asn`.
+    pub fn get(&self, asn: Asn) -> Option<&PeeringDbRecord> {
+        self.records.get(&asn)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Where (if anywhere) an AS publishes usable contact information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContactSource {
+    /// A non-empty admin-c on an IRR aut-num object.
+    Irr,
+    /// A fresh PeeringDB record.
+    PeeringDb,
+    /// Both registries.
+    Both,
+    /// Neither — unconformant with Action 3.
+    None,
+}
+
+/// Per-AS Action 3 verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action3Verdict {
+    /// Where contact info was found.
+    pub source: ContactSource,
+    /// `true` if the AS meets Action 3 (any source).
+    pub conformant: bool,
+}
+
+/// Checks Action 3 for one AS: a non-empty IRR admin-c, or a PeeringDB
+/// record updated within `max_age_days` of `date`.
+pub fn action3_verdict(
+    asn: Asn,
+    irr: &IrrRegistry,
+    peeringdb: &PeeringDb,
+    date: Date,
+    max_age_days: i64,
+) -> Action3Verdict {
+    let irr_ok = irr
+        .aut_num(asn)
+        .map(|a| !a.admin_c.trim().is_empty())
+        .unwrap_or(false);
+    let pdb_ok = peeringdb
+        .get(asn)
+        .map(|r| !r.contact.trim().is_empty() && r.updated.days_until(&date) <= max_age_days)
+        .unwrap_or(false);
+    let source = match (irr_ok, pdb_ok) {
+        (true, true) => ContactSource::Both,
+        (true, false) => ContactSource::Irr,
+        (false, true) => ContactSource::PeeringDb,
+        (false, false) => ContactSource::None,
+    };
+    Action3Verdict { source, conformant: irr_ok || pdb_ok }
+}
+
+/// Action 3 conformance counts over a population.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action3Summary {
+    /// ASes checked.
+    pub total: usize,
+    /// Conformant ASes.
+    pub conformant: usize,
+    /// Per-source breakdown.
+    pub irr_only: usize,
+    /// Fresh PeeringDB record only.
+    pub peeringdb_only: usize,
+    /// Both sources.
+    pub both: usize,
+}
+
+/// Summarizes Action 3 over `asns`.
+pub fn action3_summary<'a, I: IntoIterator<Item = &'a Asn>>(
+    asns: I,
+    irr: &IrrRegistry,
+    peeringdb: &PeeringDb,
+    date: Date,
+    max_age_days: i64,
+) -> Action3Summary {
+    let mut summary = Action3Summary::default();
+    for asn in asns {
+        summary.total += 1;
+        let v = action3_verdict(*asn, irr, peeringdb, date, max_age_days);
+        if v.conformant {
+            summary.conformant += 1;
+        }
+        match v.source {
+            ContactSource::Irr => summary.irr_only += 1,
+            ContactSource::PeeringDb => summary.peeringdb_only += 1,
+            ContactSource::Both => summary.both += 1,
+            ContactSource::None => {}
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_irr::{AutNum, IrrDatabase};
+
+    fn irr_with_autnum(asn: u32, contact: &str) -> IrrRegistry {
+        let mut db = IrrDatabase::new("RIPE", Some(manrs_net::Rir::RipeNcc));
+        db.add_aut_num(AutNum {
+            asn: Asn(asn),
+            as_name: "TEST".into(),
+            mnt_by: "M".into(),
+            source: "RIPE".into(),
+            admin_c: contact.into(),
+        });
+        let mut reg = IrrRegistry::new();
+        reg.add_database(db);
+        reg
+    }
+
+    fn pdb(asn: u32, contact: &str, updated: Date) -> PeeringDb {
+        let mut db = PeeringDb::new();
+        db.upsert(PeeringDbRecord { asn: Asn(asn), contact: contact.into(), updated });
+        db
+    }
+
+    #[test]
+    fn irr_contact_conforms() {
+        let date = Date::ymd(2022, 5, 1);
+        let v = action3_verdict(
+            Asn(1),
+            &irr_with_autnum(1, "noc@example.net"),
+            &PeeringDb::new(),
+            date,
+            365,
+        );
+        assert!(v.conformant);
+        assert_eq!(v.source, ContactSource::Irr);
+    }
+
+    #[test]
+    fn empty_contact_does_not_conform() {
+        let date = Date::ymd(2022, 5, 1);
+        let v = action3_verdict(Asn(1), &irr_with_autnum(1, "  "), &PeeringDb::new(), date, 365);
+        assert!(!v.conformant);
+        assert_eq!(v.source, ContactSource::None);
+    }
+
+    #[test]
+    fn fresh_peeringdb_conforms_stale_does_not() {
+        let date = Date::ymd(2022, 5, 1);
+        let fresh = pdb(1, "peering@example.net", Date::ymd(2022, 1, 1));
+        let v = action3_verdict(Asn(1), &IrrRegistry::new(), &fresh, date, 365);
+        assert!(v.conformant);
+        assert_eq!(v.source, ContactSource::PeeringDb);
+        let stale = pdb(1, "peering@example.net", Date::ymd(2018, 1, 1));
+        let v = action3_verdict(Asn(1), &IrrRegistry::new(), &stale, date, 365);
+        assert!(!v.conformant);
+    }
+
+    #[test]
+    fn both_sources() {
+        let date = Date::ymd(2022, 5, 1);
+        let v = action3_verdict(
+            Asn(1),
+            &irr_with_autnum(1, "noc@example.net"),
+            &pdb(1, "peering@example.net", Date::ymd(2022, 3, 1)),
+            date,
+            365,
+        );
+        assert_eq!(v.source, ContactSource::Both);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let date = Date::ymd(2022, 5, 1);
+        let irr = irr_with_autnum(1, "noc@example.net");
+        let peeringdb = pdb(2, "x@example.net", Date::ymd(2022, 4, 1));
+        let asns = [Asn(1), Asn(2), Asn(3)];
+        let s = action3_summary(asns.iter(), &irr, &peeringdb, date, 365);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.conformant, 2);
+        assert_eq!(s.irr_only, 1);
+        assert_eq!(s.peeringdb_only, 1);
+        assert_eq!(s.both, 0);
+    }
+}

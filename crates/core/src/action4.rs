@@ -1,0 +1,300 @@
+//! MANRS Action 4: prefix origination behaviour (§6.4, §8).
+//!
+//! Per AS, over the prefixes it originates (the IHR prefix-origin
+//! dataset):
+//!
+//! * Formula 1 — `OG_rpki_valid` = RPKI-Valid prefixes / originated.
+//! * Formula 2 — `OG_irr_valid` = IRR-Valid prefixes / originated.
+//! * Formula 3 — `OG_conformant` = MANRS-conformant prefixes /
+//!   originated, where a (prefix, origin) is conformant iff RPKI Valid,
+//!   or IRR Valid, or IRR Invalid-length (§6.4).
+//!
+//! AS-level verdicts (§8.3): ISP program members must exceed 90%
+//! conformant origination, CDN members 100%; an AS that originates
+//! nothing is *trivially conformant*.
+
+use manrs_ihr::IhrSnapshot;
+use manrs_irr::IrrStatus;
+use manrs_net::Asn;
+use manrs_rpki::RpkiStatus;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// MANRS conformance of one (prefix, origin) pair (§6.4).
+pub fn is_conformant_pair(rpki: RpkiStatus, irr: IrrStatus) -> bool {
+    rpki == RpkiStatus::Valid || matches!(irr, IrrStatus::Valid | IrrStatus::InvalidLength)
+}
+
+/// MANRS *un*conformance of one pair (§6.4): RPKI Invalid, or
+/// (RPKI NotFound, IRR Invalid).
+pub fn is_unconformant_pair(rpki: RpkiStatus, irr: IrrStatus) -> bool {
+    rpki.is_invalid() || (rpki == RpkiStatus::NotFound && irr == IrrStatus::InvalidAsn)
+}
+
+/// Origination counters for one AS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action4Metrics {
+    /// Total originated (prefix, origin) pairs observed.
+    pub originated: usize,
+    /// RPKI Valid prefixes.
+    pub rpki_valid: usize,
+    /// RPKI Invalid (ASN or length).
+    pub rpki_invalid: usize,
+    /// RPKI NotFound.
+    pub rpki_not_found: usize,
+    /// IRR Valid prefixes.
+    pub irr_valid: usize,
+    /// IRR Invalid-length prefixes (conformant for MANRS purposes).
+    pub irr_invalid_length: usize,
+    /// IRR Invalid (wrong origin).
+    pub irr_invalid_asn: usize,
+    /// IRR NotFound.
+    pub irr_not_found: usize,
+    /// MANRS-conformant prefixes (§6.4).
+    pub conformant: usize,
+}
+
+impl Action4Metrics {
+    fn pct(count: usize, total: usize) -> f64 {
+        if total == 0 {
+            100.0 // vacuous: nothing originated, nothing wrong
+        } else {
+            count as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Formula 1: percentage of originated prefixes that are RPKI Valid.
+    pub fn og_rpki_valid_pct(&self) -> f64 {
+        Self::pct(self.rpki_valid, self.originated)
+    }
+
+    /// Formula 2: percentage of originated prefixes that are IRR Valid.
+    pub fn og_irr_valid_pct(&self) -> f64 {
+        Self::pct(self.irr_valid, self.originated)
+    }
+
+    /// Formula 3: percentage of MANRS-conformant originated prefixes.
+    pub fn og_conformant_pct(&self) -> f64 {
+        Self::pct(self.conformant, self.originated)
+    }
+
+    /// `true` if this AS originated only RPKI Valid prefixes (used by
+    /// the §8.1 bimodality counts).
+    pub fn only_rpki_valid(&self) -> bool {
+        self.originated > 0 && self.rpki_valid == self.originated
+    }
+
+    /// `true` if this AS originated no RPKI Valid prefix.
+    pub fn no_rpki_valid(&self) -> bool {
+        self.originated > 0 && self.rpki_valid == 0
+    }
+
+    /// `true` if registered in IRR (some covering object with the right
+    /// origin) but with zero RPKI-Valid prefixes — the "IRR only"
+    /// population of §8.2.
+    pub fn irr_only(&self) -> bool {
+        self.originated > 0
+            && self.rpki_valid == 0
+            && (self.irr_valid + self.irr_invalid_length) > 0
+    }
+}
+
+/// The conformance threshold an AS is judged against (§8.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConformanceThreshold {
+    /// ISP program: at least 90% of originated prefixes conformant.
+    Isp,
+    /// CDN program: 100%.
+    Cdn,
+    /// Ablation: any custom minimum percentage.
+    Custom(f64),
+}
+
+impl ConformanceThreshold {
+    /// The minimum conformant percentage required.
+    pub fn min_pct(&self) -> f64 {
+        match self {
+            ConformanceThreshold::Isp => 90.0,
+            ConformanceThreshold::Cdn => 100.0,
+            ConformanceThreshold::Custom(p) => *p,
+        }
+    }
+}
+
+/// AS-level Action 4 verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Action4Verdict {
+    /// The AS originated nothing (§8.3 treats these as conformant).
+    TriviallyConformant,
+    /// Meets the threshold.
+    Conformant,
+    /// Below the threshold.
+    Unconformant,
+}
+
+impl Action4Verdict {
+    /// `true` for either conformant flavour.
+    pub fn is_conformant(&self) -> bool {
+        !matches!(self, Action4Verdict::Unconformant)
+    }
+}
+
+/// Computes per-AS origination metrics from an IHR snapshot.
+pub fn compute_action4(snapshot: &IhrSnapshot) -> BTreeMap<Asn, Action4Metrics> {
+    let mut map: BTreeMap<Asn, Action4Metrics> = BTreeMap::new();
+    for po in &snapshot.prefix_origins {
+        let m = map.entry(po.origin).or_default();
+        m.originated += 1;
+        match po.rpki {
+            RpkiStatus::Valid => m.rpki_valid += 1,
+            RpkiStatus::InvalidAsn | RpkiStatus::InvalidLength => m.rpki_invalid += 1,
+            RpkiStatus::NotFound => m.rpki_not_found += 1,
+        }
+        match po.irr {
+            IrrStatus::Valid => m.irr_valid += 1,
+            IrrStatus::InvalidLength => m.irr_invalid_length += 1,
+            IrrStatus::InvalidAsn => m.irr_invalid_asn += 1,
+            IrrStatus::NotFound => m.irr_not_found += 1,
+        }
+        if is_conformant_pair(po.rpki, po.irr) {
+            m.conformant += 1;
+        }
+    }
+    map
+}
+
+/// Judges one AS's metrics against a threshold. ASes absent from the
+/// metrics map (originating nothing) are trivially conformant; pass
+/// `None`.
+pub fn action4_verdict(
+    metrics: Option<&Action4Metrics>,
+    threshold: ConformanceThreshold,
+) -> Action4Verdict {
+    match metrics {
+        None => Action4Verdict::TriviallyConformant,
+        Some(m) if m.originated == 0 => Action4Verdict::TriviallyConformant,
+        Some(m) => {
+            if m.og_conformant_pct() >= threshold.min_pct() {
+                Action4Verdict::Conformant
+            } else {
+                Action4Verdict::Unconformant
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_ihr::PrefixOriginRecord;
+    use manrs_net::Prefix;
+
+    fn po(prefix: &str, origin: u32, rpki: RpkiStatus, irr: IrrStatus) -> PrefixOriginRecord {
+        PrefixOriginRecord {
+            prefix: prefix.parse::<Prefix>().unwrap(),
+            origin: Asn(origin),
+            rpki,
+            irr,
+            viewpoints: 1,
+        }
+    }
+
+    fn snapshot(rows: Vec<PrefixOriginRecord>) -> IhrSnapshot {
+        IhrSnapshot { prefix_origins: rows, transits: vec![] }
+    }
+
+    #[test]
+    fn pair_conformance_rules() {
+        use IrrStatus as I;
+        use RpkiStatus as R;
+        assert!(is_conformant_pair(R::Valid, I::NotFound));
+        assert!(is_conformant_pair(R::NotFound, I::Valid));
+        assert!(is_conformant_pair(R::NotFound, I::InvalidLength));
+        assert!(!is_conformant_pair(R::NotFound, I::NotFound));
+        assert!(!is_conformant_pair(R::InvalidAsn, I::NotFound));
+        assert!(is_unconformant_pair(R::InvalidAsn, I::Valid));
+        assert!(is_unconformant_pair(R::InvalidLength, I::NotFound));
+        assert!(is_unconformant_pair(R::NotFound, I::InvalidAsn));
+        assert!(!is_unconformant_pair(R::NotFound, I::NotFound));
+        assert!(!is_unconformant_pair(R::Valid, I::InvalidAsn));
+    }
+
+    #[test]
+    fn formulas_over_mixed_origination() {
+        let s = snapshot(vec![
+            po("10.0.0.0/16", 1, RpkiStatus::Valid, IrrStatus::Valid),
+            po("10.1.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::Valid),
+            po("10.2.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::InvalidAsn),
+            po("10.3.0.0/16", 1, RpkiStatus::InvalidAsn, IrrStatus::NotFound),
+        ]);
+        let metrics = compute_action4(&s);
+        let m = &metrics[&Asn(1)];
+        assert_eq!(m.originated, 4);
+        assert_eq!(m.og_rpki_valid_pct(), 25.0);
+        assert_eq!(m.og_irr_valid_pct(), 50.0);
+        assert_eq!(m.og_conformant_pct(), 50.0);
+        assert_eq!(m.rpki_invalid, 1);
+        assert_eq!(m.irr_invalid_asn, 1);
+    }
+
+    #[test]
+    fn verdicts_and_thresholds() {
+        // 9 of 10 conformant = 90%: passes ISP, fails CDN.
+        let mut rows: Vec<PrefixOriginRecord> = (0..9)
+            .map(|i| {
+                po(&format!("10.{i}.0.0/16"), 1, RpkiStatus::Valid, IrrStatus::Valid)
+            })
+            .collect();
+        rows.push(po("10.9.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::NotFound));
+        let metrics = compute_action4(&snapshot(rows));
+        let m = metrics.get(&Asn(1));
+        assert_eq!(action4_verdict(m, ConformanceThreshold::Isp), Action4Verdict::Conformant);
+        assert_eq!(action4_verdict(m, ConformanceThreshold::Cdn), Action4Verdict::Unconformant);
+        assert_eq!(
+            action4_verdict(m, ConformanceThreshold::Custom(95.0)),
+            Action4Verdict::Unconformant
+        );
+        assert_eq!(
+            action4_verdict(None, ConformanceThreshold::Cdn),
+            Action4Verdict::TriviallyConformant
+        );
+        assert!(Action4Verdict::TriviallyConformant.is_conformant());
+        assert!(!Action4Verdict::Unconformant.is_conformant());
+    }
+
+    #[test]
+    fn bimodality_helpers() {
+        let all_valid = compute_action4(&snapshot(vec![
+            po("10.0.0.0/16", 1, RpkiStatus::Valid, IrrStatus::NotFound),
+        ]));
+        assert!(all_valid[&Asn(1)].only_rpki_valid());
+        assert!(!all_valid[&Asn(1)].no_rpki_valid());
+        assert!(!all_valid[&Asn(1)].irr_only());
+
+        let irr_only = compute_action4(&snapshot(vec![
+            po("10.0.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::Valid),
+        ]));
+        assert!(irr_only[&Asn(1)].irr_only());
+        assert!(irr_only[&Asn(1)].no_rpki_valid());
+    }
+
+    #[test]
+    fn multiple_origins_tracked_separately() {
+        let s = snapshot(vec![
+            po("10.0.0.0/16", 1, RpkiStatus::Valid, IrrStatus::Valid),
+            po("10.1.0.0/16", 2, RpkiStatus::NotFound, IrrStatus::NotFound),
+        ]);
+        let metrics = compute_action4(&s);
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[&Asn(1)].og_conformant_pct(), 100.0);
+        assert_eq!(metrics[&Asn(2)].og_conformant_pct(), 0.0);
+    }
+
+    #[test]
+    fn empty_metrics_percentages_are_vacuous() {
+        let m = Action4Metrics::default();
+        assert_eq!(m.og_conformant_pct(), 100.0);
+        assert!(!m.only_rpki_valid());
+        assert!(!m.irr_only());
+    }
+}

@@ -1,0 +1,269 @@
+//! Case-study attribution of unconformant prefix-origins (§8.4, Table 1).
+//!
+//! For each unconformant (prefix, origin) pair of an organization's ASes,
+//! the paper asks *who the registries say should be announcing it*: the
+//! mismatching origin in covering VRPs / route objects. If that
+//! registered origin is a sibling (same organization) or has a
+//! customer-provider relationship with the BGP origin, the unconformance
+//! is "likely internal misconfiguration or business dynamics, easily
+//! corrected"; otherwise it is unrelated.
+
+use crate::action4::is_unconformant_pair;
+use manrs_ihr::PrefixOriginRecord;
+use manrs_irr::IrrRegistry;
+use manrs_net::Asn;
+use manrs_rpki::VrpSet;
+use manrs_topology::{AsTopology, OrgDirectory};
+use serde::{Deserialize, Serialize};
+
+/// How an unconformant pair relates to the registered origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MismatchAttribution {
+    /// The mismatching registered origin is a sibling AS or has a
+    /// customer-provider relationship with the BGP origin.
+    SiblingOrCustomerProvider,
+    /// No relationship found.
+    Unrelated,
+}
+
+/// One organization's row of Table 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseStudyRow {
+    /// RPKI-Invalid prefix-origins.
+    pub rpki_invalid: usize,
+    /// Of those, attributed Sibling/C-P.
+    pub rpki_sibling_cp: usize,
+    /// Of those, unrelated.
+    pub rpki_unrelated: usize,
+    /// IRR-Invalid (and RPKI-NotFound) prefix-origins.
+    pub irr_invalid: usize,
+    /// Of those, attributed Sibling/C-P.
+    pub irr_sibling_cp: usize,
+    /// Of those, unrelated.
+    pub irr_unrelated: usize,
+}
+
+impl CaseStudyRow {
+    /// Total unconformant pairs captured by the row.
+    pub fn total(&self) -> usize {
+        self.rpki_invalid + self.irr_invalid
+    }
+}
+
+/// Attributes one unconformant pair given the registered origins that
+/// mismatch it.
+fn attribute(
+    bgp_origin: Asn,
+    registered_origins: &[Asn],
+    orgs: &OrgDirectory,
+    topology: &AsTopology,
+) -> MismatchAttribution {
+    let related = registered_origins.iter().any(|reg| {
+        *reg != bgp_origin
+            && (orgs.are_siblings(bgp_origin, *reg)
+                || topology.has_customer_provider_link(bgp_origin, *reg))
+    });
+    if related {
+        MismatchAttribution::SiblingOrCustomerProvider
+    } else {
+        MismatchAttribution::Unrelated
+    }
+}
+
+/// Builds one organization's Table 1 row from its ASes' unconformant
+/// prefix-origins.
+///
+/// `prefix_origins` should be the IHR prefix-origin rows of the
+/// organization's ASes (the caller filters); conformant rows are
+/// ignored. Pairs that are RPKI Invalid go in the RPKI columns; pairs
+/// that are RPKI NotFound with IRR Invalid go in the IRR columns
+/// (mirroring the paper's Table 1, whose IRR column holds RPKI-NotFound
+/// pairs only).
+pub fn attribute_mismatches(
+    prefix_origins: &[&PrefixOriginRecord],
+    vrps: &VrpSet,
+    irr: &IrrRegistry,
+    orgs: &OrgDirectory,
+    topology: &AsTopology,
+) -> CaseStudyRow {
+    let mut row = CaseStudyRow::default();
+    for po in prefix_origins {
+        if !is_unconformant_pair(po.rpki, po.irr) {
+            continue;
+        }
+        if po.rpki.is_invalid() {
+            // Mismatching origins: ASNs of covering VRPs.
+            let registered: Vec<Asn> = vrps
+                .covering(&po.prefix)
+                .iter()
+                .map(|v| v.asn)
+                .collect();
+            row.rpki_invalid += 1;
+            match attribute(po.origin, &registered, orgs, topology) {
+                MismatchAttribution::SiblingOrCustomerProvider => row.rpki_sibling_cp += 1,
+                MismatchAttribution::Unrelated => row.rpki_unrelated += 1,
+            }
+        } else {
+            // RPKI NotFound, IRR Invalid: mismatching origins come from
+            // covering route objects.
+            let registered: Vec<Asn> = irr
+                .covering_routes(&po.prefix)
+                .iter()
+                .map(|r| r.origin)
+                .collect();
+            row.irr_invalid += 1;
+            match attribute(po.origin, &registered, orgs, topology) {
+                MismatchAttribution::SiblingOrCustomerProvider => row.irr_sibling_cp += 1,
+                MismatchAttribution::Unrelated => row.irr_unrelated += 1,
+            }
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_irr::{IrrDatabase, IrrStatus, RouteObject};
+    use manrs_net::{Date, Prefix, Rir};
+    use manrs_rpki::{RpkiStatus, Vrp};
+    use manrs_topology::{AsInfo, NetworkKind, Organization, OrgId};
+
+    fn world() -> (OrgDirectory, AsTopology) {
+        let mut orgs = OrgDirectory::new();
+        orgs.add_org(Organization {
+            id: OrgId(1),
+            name: "Org1".into(),
+            country: "US".into(),
+            rir: Rir::Arin,
+        });
+        orgs.add_org(Organization {
+            id: OrgId(2),
+            name: "Org2".into(),
+            country: "US".into(),
+            rir: Rir::Arin,
+        });
+        let mut topology = AsTopology::new();
+        for (asn, org) in [(1u32, 1u32), (2, 1), (3, 2), (4, 2)] {
+            orgs.assign(Asn(asn), OrgId(org));
+            topology.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(org),
+                rir: Rir::Arin,
+                country: "US".into(),
+                kind: NetworkKind::Stub,
+            });
+        }
+        // AS3 provides transit to AS1 (C-P relationship across orgs).
+        topology.add_provider_customer(Asn(3), Asn(1));
+        (orgs, topology)
+    }
+
+    fn po(prefix: &str, origin: u32, rpki: RpkiStatus, irr: IrrStatus) -> PrefixOriginRecord {
+        PrefixOriginRecord {
+            prefix: prefix.parse::<Prefix>().unwrap(),
+            origin: Asn(origin),
+            rpki,
+            irr,
+            viewpoints: 1,
+        }
+    }
+
+    fn irr_with(entries: &[(&str, u32)]) -> IrrRegistry {
+        let mut db = IrrDatabase::new("RADB", None);
+        for (p, o) in entries {
+            db.add_route(RouteObject {
+                prefix: p.parse().unwrap(),
+                origin: Asn(*o),
+                descr: String::new(),
+                mnt_by: "M".into(),
+                source: "RADB".into(),
+                last_modified: Date::ymd(2022, 1, 1),
+            });
+        }
+        let mut reg = IrrRegistry::new();
+        reg.add_database(db);
+        reg
+    }
+
+    #[test]
+    fn sibling_attribution() {
+        let (orgs, topology) = world();
+        // AS1 announces, but the ROA names sibling AS2.
+        let vrps: VrpSet = [Vrp::new("10.0.0.0/16".parse().unwrap(), Asn(2), 16)]
+            .into_iter()
+            .collect();
+        let rows = [po("10.0.0.0/16", 1, RpkiStatus::InvalidAsn, IrrStatus::NotFound)];
+        let refs: Vec<&PrefixOriginRecord> = rows.iter().collect();
+        let row =
+            attribute_mismatches(&refs, &vrps, &IrrRegistry::new(), &orgs, &topology);
+        assert_eq!(row.rpki_invalid, 1);
+        assert_eq!(row.rpki_sibling_cp, 1);
+        assert_eq!(row.rpki_unrelated, 0);
+        assert_eq!(row.total(), 1);
+    }
+
+    #[test]
+    fn customer_provider_attribution() {
+        let (orgs, topology) = world();
+        // AS1 announces; the route object names AS3 (AS1's provider,
+        // different org).
+        let irr = irr_with(&[("10.0.0.0/16", 3)]);
+        let rows = [po("10.0.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::InvalidAsn)];
+        let refs: Vec<&PrefixOriginRecord> = rows.iter().collect();
+        let row = attribute_mismatches(&refs, &VrpSet::new(), &irr, &orgs, &topology);
+        assert_eq!(row.irr_invalid, 1);
+        assert_eq!(row.irr_sibling_cp, 1);
+    }
+
+    #[test]
+    fn unrelated_attribution() {
+        let (orgs, topology) = world();
+        // AS1 announces; registered origin is AS4 (different org, no
+        // relationship).
+        let irr = irr_with(&[("10.0.0.0/16", 4)]);
+        let rows = [po("10.0.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::InvalidAsn)];
+        let refs: Vec<&PrefixOriginRecord> = rows.iter().collect();
+        let row = attribute_mismatches(&refs, &VrpSet::new(), &irr, &orgs, &topology);
+        assert_eq!(row.irr_unrelated, 1);
+        assert_eq!(row.irr_sibling_cp, 0);
+    }
+
+    #[test]
+    fn conformant_rows_ignored() {
+        let (orgs, topology) = world();
+        let rows = [
+            po("10.0.0.0/16", 1, RpkiStatus::Valid, IrrStatus::Valid),
+            po("10.1.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::NotFound),
+            po("10.2.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::InvalidLength),
+        ];
+        let refs: Vec<&PrefixOriginRecord> = rows.iter().collect();
+        let row = attribute_mismatches(
+            &refs,
+            &VrpSet::new(),
+            &IrrRegistry::new(),
+            &orgs,
+            &topology,
+        );
+        assert_eq!(row.total(), 0);
+    }
+
+    #[test]
+    fn rpki_invalid_and_irr_invalid_split_into_columns() {
+        let (orgs, topology) = world();
+        let vrps: VrpSet = [Vrp::new("10.0.0.0/16".parse().unwrap(), Asn(2), 16)]
+            .into_iter()
+            .collect();
+        let irr = irr_with(&[("10.1.0.0/16", 4)]);
+        let rows = [
+            po("10.0.0.0/16", 1, RpkiStatus::InvalidAsn, IrrStatus::NotFound),
+            po("10.1.0.0/16", 1, RpkiStatus::NotFound, IrrStatus::InvalidAsn),
+        ];
+        let refs: Vec<&PrefixOriginRecord> = rows.iter().collect();
+        let row = attribute_mismatches(&refs, &vrps, &irr, &orgs, &topology);
+        assert_eq!(row.rpki_invalid, 1);
+        assert_eq!(row.irr_invalid, 1);
+        assert_eq!(row.rpki_sibling_cp, 1);
+        assert_eq!(row.irr_unrelated, 1);
+    }
+}

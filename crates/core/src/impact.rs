@@ -1,0 +1,194 @@
+//! MANRS impact on the broader ecosystem (§6.5, §8.6, §9.4).
+//!
+//! * **RPKI saturation** (Eq. 7–8): the fraction of a group's routed
+//!   IPv4 address space covered by VRPs, compared between MANRS and
+//!   non-MANRS origins over time (Fig. 6).
+//! * **MANRS preference score** (Eq. 9): for each prefix-origin, the sum
+//!   of MANRS transit hegemonies minus the sum of non-MANRS transit
+//!   hegemonies. If MANRS networks filter better, RPKI-Invalid
+//!   announcements shift toward negative scores (Fig. 9).
+
+use manrs_ihr::IhrSnapshot;
+use manrs_net::{AddressSpace, Asn, Date, Prefix};
+use manrs_rpki::{RpkiStatus, VrpSet};
+use manrs_topology::Prefix2As;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One point of the Fig. 6 saturation series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturationPoint {
+    /// Snapshot date.
+    pub date: Date,
+    /// Eq. 7: % of MANRS routed space covered by ROAs.
+    pub manrs_pct: f64,
+    /// Eq. 8: % of non-MANRS routed space covered by ROAs.
+    pub non_manrs_pct: f64,
+}
+
+/// Computes RPKI saturation for one snapshot: the routed space of
+/// members vs non-members, each intersected with the VRP-covered space.
+pub fn rpki_saturation(
+    table: &Prefix2As,
+    members: &BTreeSet<Asn>,
+    vrps: &VrpSet,
+    date: Date,
+) -> SaturationPoint {
+    let covered = vrps.covered_space();
+    let mut manrs_space = AddressSpace::new();
+    let mut other_space = AddressSpace::new();
+    for (prefix, origin) in table.entries() {
+        if members.contains(origin) {
+            manrs_space.add(prefix);
+        } else {
+            other_space.add(prefix);
+        }
+    }
+    SaturationPoint {
+        date,
+        manrs_pct: manrs_space.v4_covered_fraction(&covered) * 100.0,
+        non_manrs_pct: other_space.v4_covered_fraction(&covered) * 100.0,
+    }
+}
+
+/// Eq. 9 output for one prefix-origin pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreferenceScore {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// The origin.
+    pub origin: Asn,
+    /// RPKI status of the pair (the Fig. 9 grouping key).
+    pub rpki: RpkiStatus,
+    /// Σ hegemony over MANRS transits − Σ hegemony over non-MANRS
+    /// transits.
+    pub score: f64,
+}
+
+/// Computes MANRS preference scores for every prefix-origin with at
+/// least one transit row.
+pub fn preference_scores(
+    snapshot: &IhrSnapshot,
+    members: &BTreeSet<Asn>,
+) -> Vec<PreferenceScore> {
+    let mut acc: BTreeMap<(Prefix, Asn), (RpkiStatus, f64)> = BTreeMap::new();
+    for t in &snapshot.transits {
+        let entry = acc.entry((t.prefix, t.origin)).or_insert((t.rpki, 0.0));
+        if members.contains(&t.transit) {
+            entry.1 += t.hegemony;
+        } else {
+            entry.1 -= t.hegemony;
+        }
+    }
+    acc.into_iter()
+        .map(|((prefix, origin), (rpki, score))| PreferenceScore {
+            prefix,
+            origin,
+            rpki,
+            score,
+        })
+        .collect()
+}
+
+/// Fraction of scores strictly greater than zero, the Fig. 9 headline
+/// statistic ("34% of RPKI Valid pairs preferred MANRS transit").
+pub fn fraction_preferring_manrs(scores: &[PreferenceScore]) -> f64 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().filter(|s| s.score > 0.0).count() as f64 / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_ihr::TransitRecord;
+    use manrs_irr::IrrStatus;
+    use manrs_rpki::Vrp;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn saturation_splits_groups() {
+        let mut table = Prefix2As::new();
+        table.add(p("10.0.0.0/16"), Asn(1)); // member, covered
+        table.add(p("10.1.0.0/16"), Asn(1)); // member, uncovered
+        table.add(p("10.2.0.0/16"), Asn(2)); // non-member, uncovered
+        table.add(p("10.3.0.0/16"), Asn(2)); // non-member, covered
+        let vrps: VrpSet = [
+            Vrp::new(p("10.0.0.0/16"), Asn(1), 16),
+            Vrp::new(p("10.3.0.0/16"), Asn(2), 16),
+        ]
+        .into_iter()
+        .collect();
+        let members: BTreeSet<Asn> = [Asn(1)].into();
+        let sat = rpki_saturation(&table, &members, &vrps, Date::ymd(2022, 5, 1));
+        assert!((sat.manrs_pct - 50.0).abs() < 1e-9);
+        assert!((sat.non_manrs_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturation_counts_cover_regardless_of_vrp_origin() {
+        // Coverage is address-space coverage: a VRP for someone else
+        // still covers the space (the announcement would be Invalid, but
+        // the space is signed).
+        let mut table = Prefix2As::new();
+        table.add(p("10.0.0.0/16"), Asn(1));
+        let vrps: VrpSet = [Vrp::new(p("10.0.0.0/16"), Asn(9), 16)].into_iter().collect();
+        let sat = rpki_saturation(&table, &BTreeSet::new(), &vrps, Date::ymd(2022, 5, 1));
+        assert!((sat.non_manrs_pct - 100.0).abs() < 1e-9);
+        assert_eq!(sat.manrs_pct, 0.0); // no member space at all
+    }
+
+    fn transit(
+        prefix: &str,
+        origin: u32,
+        transit: u32,
+        hegemony: f64,
+        rpki: RpkiStatus,
+    ) -> TransitRecord {
+        TransitRecord {
+            prefix: p(prefix),
+            origin: Asn(origin),
+            transit: Asn(transit),
+            rpki,
+            irr: IrrStatus::NotFound,
+            hegemony,
+            from_customer: false,
+        }
+    }
+
+    #[test]
+    fn preference_score_signs() {
+        let snapshot = IhrSnapshot {
+            prefix_origins: vec![],
+            transits: vec![
+                transit("10.0.0.0/16", 9, 1, 0.8, RpkiStatus::Valid),
+                transit("10.0.0.0/16", 9, 2, 0.3, RpkiStatus::Valid),
+                transit("10.1.0.0/16", 9, 2, 0.9, RpkiStatus::InvalidAsn),
+            ],
+        };
+        let members: BTreeSet<Asn> = [Asn(1)].into();
+        let scores = preference_scores(&snapshot, &members);
+        assert_eq!(scores.len(), 2);
+        let valid = scores.iter().find(|s| s.rpki == RpkiStatus::Valid).unwrap();
+        assert!((valid.score - 0.5).abs() < 1e-12); // 0.8 − 0.3
+        let invalid = scores.iter().find(|s| s.rpki == RpkiStatus::InvalidAsn).unwrap();
+        assert!((invalid.score + 0.9).abs() < 1e-12); // −0.9
+    }
+
+    #[test]
+    fn fraction_preferring() {
+        let mk = |score| PreferenceScore {
+            prefix: p("10.0.0.0/16"),
+            origin: Asn(1),
+            rpki: RpkiStatus::Valid,
+            score,
+        };
+        let scores = vec![mk(0.5), mk(-0.1), mk(0.0), mk(1.0)];
+        assert!((fraction_preferring_manrs(&scores) - 0.5).abs() < 1e-12);
+        assert_eq!(fraction_preferring_manrs(&[]), 0.0);
+    }
+}

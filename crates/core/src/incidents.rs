@@ -1,0 +1,237 @@
+//! Routing-incident analysis — the paper's §12 future work ("compare
+//! the number of routing incidents before and after the launch of
+//! MANRS").
+//!
+//! An incident is an observed mis-origination of someone's address
+//! space. Given an incident log and the membership registry, this
+//! module answers two questions:
+//!
+//! * **Exposure:** how often is each organization's space the victim of
+//!   an incident before vs after it joined MANRS (normalizing by time
+//!   at risk)?
+//! * **Containment:** how far do incidents spread, split by whether the
+//!   victim's space was RPKI-protected at the time — the operational
+//!   payoff of Action 4.
+
+use crate::registry::ManrsRegistry;
+use manrs_net::{Asn, Date, Prefix};
+use manrs_topology::OrgDirectory;
+use serde::{Deserialize, Serialize};
+
+/// One observed routing incident.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// When it was observed.
+    pub date: Date,
+    /// The victim's prefix (as forged by the attacker).
+    pub prefix: Prefix,
+    /// The legitimate holder's AS.
+    pub victim: Asn,
+    /// The mis-originating AS.
+    pub attacker: Asn,
+    /// Whether the victim's space had a covering ROA at the time.
+    pub victim_protected: bool,
+    /// How many vantage points accepted the forged route.
+    pub vantages_accepting: usize,
+    /// How many vantage points were watching.
+    pub vantages_total: usize,
+}
+
+impl Incident {
+    /// Fraction of viewpoints that accepted the forged route.
+    pub fn visibility(&self) -> f64 {
+        if self.vantages_total == 0 {
+            0.0
+        } else {
+            self.vantages_accepting as f64 / self.vantages_total as f64
+        }
+    }
+}
+
+/// Exposure of one member organization before vs after joining.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrePostExposure {
+    /// Incidents against the org's space before it joined.
+    pub before: usize,
+    /// Days in the observation window before joining.
+    pub days_before: i64,
+    /// Incidents after joining.
+    pub after: usize,
+    /// Days after joining (to the end of the window).
+    pub days_after: i64,
+}
+
+impl PrePostExposure {
+    /// Incidents per year before joining.
+    pub fn rate_before(&self) -> f64 {
+        if self.days_before <= 0 {
+            0.0
+        } else {
+            self.before as f64 * 365.25 / self.days_before as f64
+        }
+    }
+
+    /// Incidents per year after joining.
+    pub fn rate_after(&self) -> f64 {
+        if self.days_after <= 0 {
+            0.0
+        } else {
+            self.after as f64 * 365.25 / self.days_after as f64
+        }
+    }
+}
+
+/// Aggregates pre/post-join exposure across all member organizations.
+///
+/// The window runs from `window_start` to `window_end`; incidents
+/// outside it are ignored, as are organizations joining outside it.
+pub fn pre_post_exposure(
+    incidents: &[Incident],
+    registry: &ManrsRegistry,
+    orgs: &OrgDirectory,
+    window_start: Date,
+    window_end: Date,
+) -> PrePostExposure {
+    let mut total = PrePostExposure { before: 0, days_before: 0, after: 0, days_after: 0 };
+    for record in registry.members() {
+        if record.joined < window_start || record.joined > window_end {
+            continue;
+        }
+        total.days_before += window_start.days_until(&record.joined);
+        total.days_after += record.joined.days_until(&window_end);
+        for incident in incidents {
+            if incident.date < window_start || incident.date > window_end {
+                continue;
+            }
+            let victim_org = orgs.org_of(incident.victim).map(|o| o.id);
+            if victim_org != Some(record.org) {
+                continue;
+            }
+            if incident.date < record.joined {
+                total.before += 1;
+            } else {
+                total.after += 1;
+            }
+        }
+    }
+    total
+}
+
+/// Containment comparison: mean visibility of incidents against
+/// protected vs unprotected victims. Returns `(protected, unprotected)`
+/// mean visibilities; `None` for an empty side.
+pub fn containment_by_protection(incidents: &[Incident]) -> (Option<f64>, Option<f64>) {
+    let mean = |protected: bool| -> Option<f64> {
+        let vis: Vec<f64> = incidents
+            .iter()
+            .filter(|i| i.victim_protected == protected)
+            .map(|i| i.visibility())
+            .collect();
+        if vis.is_empty() {
+            None
+        } else {
+            Some(vis.iter().sum::<f64>() / vis.len() as f64)
+        }
+    };
+    (mean(true), mean(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ManrsProgram, MemberRecord};
+    use manrs_topology::{Organization, OrgId};
+
+    fn incident(date: Date, victim: u32, protected: bool, seen: usize) -> Incident {
+        Incident {
+            date,
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            victim: Asn(victim),
+            attacker: Asn(666),
+            victim_protected: protected,
+            vantages_accepting: seen,
+            vantages_total: 10,
+        }
+    }
+
+    fn setup() -> (ManrsRegistry, OrgDirectory) {
+        let mut orgs = OrgDirectory::new();
+        orgs.add_org(Organization {
+            id: OrgId(1),
+            name: "Org".into(),
+            country: "US".into(),
+            rir: manrs_net::Rir::Arin,
+        });
+        orgs.assign(Asn(1), OrgId(1));
+        let mut reg = ManrsRegistry::new();
+        reg.enroll(MemberRecord {
+            org: OrgId(1),
+            program: ManrsProgram::Isp,
+            joined: Date::ymd(2019, 1, 1),
+            registered_asns: vec![Asn(1)],
+        });
+        (reg, orgs)
+    }
+
+    #[test]
+    fn splits_incidents_at_join_date() {
+        let (reg, orgs) = setup();
+        let incidents = vec![
+            incident(Date::ymd(2017, 6, 1), 1, false, 8),
+            incident(Date::ymd(2018, 6, 1), 1, false, 8),
+            incident(Date::ymd(2020, 6, 1), 1, true, 2),
+            incident(Date::ymd(2020, 7, 1), 99, true, 2), // different victim
+        ];
+        let e = pre_post_exposure(
+            &incidents,
+            &reg,
+            &orgs,
+            Date::ymd(2015, 1, 1),
+            Date::ymd(2022, 5, 1),
+        );
+        assert_eq!(e.before, 2);
+        assert_eq!(e.after, 1);
+        assert!(e.days_before > 0 && e.days_after > 0);
+        assert!(e.rate_before() > e.rate_after());
+    }
+
+    #[test]
+    fn window_filters_incidents_and_members() {
+        let (reg, orgs) = setup();
+        let incidents = vec![incident(Date::ymd(2010, 1, 1), 1, false, 5)];
+        let e = pre_post_exposure(
+            &incidents,
+            &reg,
+            &orgs,
+            Date::ymd(2015, 1, 1),
+            Date::ymd(2022, 5, 1),
+        );
+        assert_eq!(e.before + e.after, 0);
+    }
+
+    #[test]
+    fn containment_split() {
+        let incidents = vec![
+            incident(Date::ymd(2021, 1, 1), 1, true, 1),
+            incident(Date::ymd(2021, 2, 1), 1, true, 3),
+            incident(Date::ymd(2021, 3, 1), 1, false, 9),
+        ];
+        let (protected, unprotected) = containment_by_protection(&incidents);
+        assert!((protected.unwrap() - 0.2).abs() < 1e-12);
+        assert!((unprotected.unwrap() - 0.9).abs() < 1e-12);
+        let (none_p, _) = containment_by_protection(&[incident(
+            Date::ymd(2021, 1, 1),
+            1,
+            false,
+            1,
+        )]);
+        assert!(none_p.is_none());
+    }
+
+    #[test]
+    fn visibility_handles_zero_vantages() {
+        let mut i = incident(Date::ymd(2021, 1, 1), 1, true, 0);
+        i.vantages_total = 0;
+        assert_eq!(i.visibility(), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! MANRS ecosystem measurement — the paper's contribution.
+//!
+//! Everything in this crate corresponds to a section of *Mind Your MANRS:
+//! Measuring the MANRS Ecosystem* (IMC '22):
+//!
+//! * [`registry`] — the MANRS membership registry: ISP and CDN programs,
+//!   per-organization AS registration (possibly partial), join dates
+//!   (§2.4, §5.2).
+//! * [`participation`] — who is part of MANRS (§7): growth over time,
+//!   per-RIR distribution, routed address-space share, and
+//!   organization-level registration completeness (Finding 7.0).
+//! * [`action4`] — prefix origination behaviour (§8): Formulas 1–3
+//!   (RPKI/IRR origination validity, MANRS conformance per AS) and the
+//!   AS-level conformance verdicts with the ISP 90% / CDN 100%
+//!   thresholds (§8.3).
+//! * [`action3`] — the Action 3 extension (contact information in IRR
+//!   aut-nums or PeeringDB) the paper lists as future work (§12).
+//! * [`action1`] — route filtering behaviour (§9): Formulas 4–6
+//!   (propagated RPKI/IRR invalidity, unconformant customer
+//!   announcements) and full-conformance verdicts (§9.3, Table 2).
+//! * [`case_study`] — attribution of unconformant prefix-origins to
+//!   Sibling / customer-provider / Unrelated mismatching origins
+//!   (Table 1, §8.4).
+//! * [`stability`] — conformance over a series of snapshots (§8.5).
+//! * [`incidents`] — the §12 future-work extension: routing-incident
+//!   exposure before vs after joining, and incident containment by
+//!   RPKI protection.
+//! * [`impact`] — RPKI saturation (Eq. 7–8, §8.6) and the MANRS
+//!   preference score over transit hegemonies (Eq. 9, §9.4).
+//! * [`report`] — actionable per-member conformance reports (what the
+//!   operators surveyed in §10 said the official monthly reports lack).
+//! * [`stats`] — the small statistics toolkit (empirical CDFs,
+//!   percentiles) the figures are expressed in.
+
+pub mod action1;
+pub mod action3;
+pub mod action4;
+pub mod case_study;
+pub mod impact;
+pub mod incidents;
+pub mod participation;
+pub mod registry;
+pub mod report;
+pub mod stability;
+pub mod stats;
+
+pub use action1::{action1_verdict, compute_action1, Action1Metrics, Action1Verdict};
+pub use action3::{
+    action3_summary, action3_verdict, Action3Summary, Action3Verdict, ContactSource,
+    PeeringDb, PeeringDbRecord,
+};
+pub use action4::{
+    action4_verdict, compute_action4, is_conformant_pair, is_unconformant_pair,
+    Action4Metrics, Action4Verdict, ConformanceThreshold,
+};
+pub use case_study::{attribute_mismatches, CaseStudyRow, MismatchAttribution};
+pub use incidents::{containment_by_protection, pre_post_exposure, Incident, PrePostExposure};
+pub use impact::{
+    fraction_preferring_manrs, preference_scores, rpki_saturation, PreferenceScore,
+    SaturationPoint,
+};
+pub use participation::{
+    characterize, GrowthPoint, OrgCompleteness, ParticipationAnalysis,
+    PopulationProfile, RegistrationCompleteness,
+};
+pub use registry::{ManrsProgram, ManrsRegistry, MemberRecord};
+pub use report::{remediation_for, Finding, MemberReport};
+pub use stability::{
+    conformance_histories, stability_summary, ConformanceHistory, StabilityClass,
+};
+pub use stats::Ecdf;

@@ -1,0 +1,412 @@
+//! MANRS participation analysis (§6.3, §7).
+//!
+//! Three views of who is in MANRS:
+//!
+//! * growth of member organizations and ASes over time (Fig. 2);
+//! * member ASes and routed IPv4 space by RIR over time (Fig. 4a/4b);
+//! * organization-level registration completeness (Finding 7.0): how
+//!   many member organizations registered *all* their ASes, and how much
+//!   of their address space is announced through registered ASes.
+
+use crate::registry::ManrsRegistry;
+use manrs_net::{AddressSpace, Date, Rir};
+use manrs_topology::{AsTopology, OrgDirectory, Prefix2As};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One point of the Fig. 2 growth series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrowthPoint {
+    /// Snapshot date.
+    pub date: Date,
+    /// Member organizations as of the date.
+    pub orgs: usize,
+    /// Registered member ASes as of the date.
+    pub asns: usize,
+}
+
+/// One organization's registration completeness (Finding 7.0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrgCompleteness {
+    /// The organization.
+    pub org: manrs_topology::OrgId,
+    /// ASes the organization owns.
+    pub owned_asns: usize,
+    /// ASes it registered in MANRS.
+    pub registered_asns: usize,
+    /// IPv4 /32-equivalents announced by its registered ASes.
+    pub registered_space: u128,
+    /// IPv4 /32-equivalents announced by all its ASes.
+    pub total_space: u128,
+}
+
+impl OrgCompleteness {
+    /// All owned ASes are registered.
+    pub fn fully_registered(&self) -> bool {
+        self.registered_asns == self.owned_asns
+    }
+
+    /// Everything the org announces flows through registered ASes.
+    pub fn announces_only_via_registered(&self) -> bool {
+        self.registered_space == self.total_space
+    }
+
+    /// The org announces space, but none of it from registered ASes.
+    pub fn announces_only_via_unregistered(&self) -> bool {
+        self.total_space > 0 && self.registered_space == 0
+    }
+}
+
+/// Aggregate registration-completeness results (Finding 7.0).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RegistrationCompleteness {
+    /// Per-organization rows.
+    pub orgs: Vec<OrgCompleteness>,
+}
+
+impl RegistrationCompleteness {
+    /// Number of member organizations.
+    pub fn total(&self) -> usize {
+        self.orgs.len()
+    }
+
+    /// Organizations with every AS registered (paper: 70%).
+    pub fn fully_registered(&self) -> usize {
+        self.orgs.iter().filter(|o| o.fully_registered()).count()
+    }
+
+    /// Organizations announcing all space via registered ASes (82%).
+    pub fn all_space_via_registered(&self) -> usize {
+        self.orgs
+            .iter()
+            .filter(|o| o.announces_only_via_registered())
+            .count()
+    }
+
+    /// Organizations leaking space from unregistered ASes (117 in the
+    /// paper).
+    pub fn some_space_unregistered(&self) -> usize {
+        self.orgs
+            .iter()
+            .filter(|o| !o.announces_only_via_registered())
+            .count()
+    }
+
+    /// Of those, organizations whose *entire* announced space comes from
+    /// unregistered ASes (8 in the paper).
+    pub fn only_space_unregistered(&self) -> usize {
+        self.orgs
+            .iter()
+            .filter(|o| o.announces_only_via_unregistered())
+            .count()
+    }
+
+    /// Organizations not fully registered that nevertheless announce
+    /// only through registered ASes — quiescent unregistered ASes
+    /// (80 in the paper).
+    pub fn quiescent_unregistered(&self) -> usize {
+        self.orgs
+            .iter()
+            .filter(|o| !o.fully_registered() && o.announces_only_via_registered())
+            .count()
+    }
+}
+
+/// A population profile for the paper's RQ1: "we use customer-cone size,
+/// size of originated address space, and size of address space covered
+/// by RPKI objects ... to further characterize MANRS participants".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PopulationProfile {
+    /// ASes in the population.
+    pub count: usize,
+    /// Median customer-cone size.
+    pub median_cone: usize,
+    /// Largest customer cone.
+    pub max_cone: usize,
+    /// IPv4 /32-equivalents originated by the population.
+    pub originated_space: u128,
+    /// Percentage of that space covered by RPKI VRPs.
+    pub rpki_covered_pct: f64,
+}
+
+/// Characterizes a set of ASes (RQ1).
+pub fn characterize<'a, I: IntoIterator<Item = &'a manrs_net::Asn>>(
+    asns: I,
+    cones: &manrs_topology::ConeAnalysis,
+    table: &Prefix2As,
+    vrps: &manrs_rpki::VrpSet,
+) -> PopulationProfile {
+    let asns: Vec<manrs_net::Asn> = asns.into_iter().copied().collect();
+    let mut cone_sizes: Vec<usize> = asns.iter().map(|a| cones.cone_size(*a)).collect();
+    cone_sizes.sort_unstable();
+    let space = table.space_of_many(asns.iter());
+    let covered = vrps.covered_space();
+    PopulationProfile {
+        count: asns.len(),
+        median_cone: cone_sizes.get(cone_sizes.len() / 2).copied().unwrap_or(0),
+        max_cone: cone_sizes.last().copied().unwrap_or(0),
+        originated_space: space.v4_len(),
+        rpki_covered_pct: space.v4_covered_fraction(&covered) * 100.0,
+    }
+}
+
+/// The participation analysis entry points.
+pub struct ParticipationAnalysis;
+
+impl ParticipationAnalysis {
+    /// Fig. 2: growth of member organizations and ASes at each date.
+    pub fn growth_series(registry: &ManrsRegistry, dates: &[Date]) -> Vec<GrowthPoint> {
+        dates
+            .iter()
+            .map(|d| GrowthPoint {
+                date: *d,
+                orgs: registry.member_orgs(*d).len(),
+                asns: registry.member_asns(*d).len(),
+            })
+            .collect()
+    }
+
+    /// Fig. 4a: member AS counts per RIR at each date. ASes whose RIR is
+    /// unknown to the topology are skipped.
+    pub fn by_rir_series(
+        registry: &ManrsRegistry,
+        topology: &AsTopology,
+        dates: &[Date],
+    ) -> Vec<(Date, BTreeMap<Rir, usize>)> {
+        dates
+            .iter()
+            .map(|d| {
+                let mut counts: BTreeMap<Rir, usize> = BTreeMap::new();
+                for asn in registry.member_asns(*d) {
+                    if let Some(info) = topology.info(asn) {
+                        *counts.entry(info.rir).or_insert(0) += 1;
+                    }
+                }
+                (*d, counts)
+            })
+            .collect()
+    }
+
+    /// Fig. 4b: percentage of routed IPv4 space announced by member ASes,
+    /// per RIR, for one routing snapshot. The denominator is the entire
+    /// routed space of the snapshot.
+    pub fn routed_space_share(
+        registry: &ManrsRegistry,
+        topology: &AsTopology,
+        table: &Prefix2As,
+        date: Date,
+    ) -> BTreeMap<Rir, f64> {
+        let total = table.total_space().v4_len();
+        let mut shares = BTreeMap::new();
+        if total == 0 {
+            return shares;
+        }
+        let members = registry.member_asns(date);
+        let mut per_rir: BTreeMap<Rir, AddressSpace> = BTreeMap::new();
+        for asn in members {
+            let Some(info) = topology.info(asn) else { continue };
+            let space = per_rir.entry(info.rir).or_default();
+            for p in table.prefixes_of(asn) {
+                space.add(p);
+            }
+        }
+        for (rir, space) in per_rir {
+            shares.insert(rir, space.v4_len() as f64 / total as f64 * 100.0);
+        }
+        shares
+    }
+
+    /// Finding 7.0: registration completeness of each member org at
+    /// `date`, measured against a routing table.
+    pub fn registration_completeness(
+        registry: &ManrsRegistry,
+        orgs: &OrgDirectory,
+        table: &Prefix2As,
+        date: Date,
+    ) -> RegistrationCompleteness {
+        let mut rows = Vec::new();
+        for org in registry.member_orgs(date) {
+            let owned = orgs.asns_of(org);
+            let registered: Vec<_> = owned
+                .iter()
+                .filter(|a| registry.is_member_as(**a, date))
+                .collect();
+            let registered_space = table
+                .space_of_many(registered.iter().copied())
+                .v4_len();
+            let total_space = table.space_of_many(owned.iter()).v4_len();
+            rows.push(OrgCompleteness {
+                org,
+                owned_asns: owned.len(),
+                registered_asns: registered.len(),
+                registered_space,
+                total_space,
+            });
+        }
+        RegistrationCompleteness { orgs: rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{ManrsProgram, MemberRecord};
+    use manrs_net::{Asn, Prefix};
+    use manrs_topology::{AsInfo, NetworkKind, Organization, OrgId};
+
+    fn setup() -> (ManrsRegistry, AsTopology, OrgDirectory, Prefix2As) {
+        let mut topology = AsTopology::new();
+        let mut orgs = OrgDirectory::new();
+        // Org 1 owns AS1 (ARIN) and AS2 (ARIN); registers only AS1.
+        // Org 2 owns AS3 (RIPE); registers it.
+        for (asn, org, rir) in [(1, 1, Rir::Arin), (2, 1, Rir::Arin), (3, 2, Rir::RipeNcc)] {
+            if orgs.org(OrgId(org)).is_none() {
+                orgs.add_org(Organization {
+                    id: OrgId(org),
+                    name: format!("O{org}"),
+                    country: "US".into(),
+                    rir,
+                });
+            }
+            orgs.assign(Asn(asn), OrgId(org));
+            topology.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(org),
+                rir,
+                country: "US".into(),
+                kind: NetworkKind::Stub,
+            });
+        }
+        let mut registry = ManrsRegistry::new();
+        registry.enroll(MemberRecord {
+            org: OrgId(1),
+            program: ManrsProgram::Isp,
+            joined: Date::ymd(2019, 1, 1),
+            registered_asns: vec![Asn(1)],
+        });
+        registry.enroll(MemberRecord {
+            org: OrgId(2),
+            program: ManrsProgram::Isp,
+            joined: Date::ymd(2021, 1, 1),
+            registered_asns: vec![Asn(3)],
+        });
+        let mut table = Prefix2As::new();
+        table.add("10.0.0.0/16".parse::<Prefix>().unwrap(), Asn(1));
+        table.add("10.1.0.0/16".parse::<Prefix>().unwrap(), Asn(2)); // unregistered sibling
+        table.add("77.0.0.0/16".parse::<Prefix>().unwrap(), Asn(3));
+        table.add("110.0.0.0/15".parse::<Prefix>().unwrap(), Asn(99)); // non-member
+        (registry, topology, orgs, table)
+    }
+
+    #[test]
+    fn growth_series_counts() {
+        let (registry, ..) = setup();
+        let series = ParticipationAnalysis::growth_series(
+            &registry,
+            &[Date::ymd(2018, 1, 1), Date::ymd(2020, 1, 1), Date::ymd(2022, 1, 1)],
+        );
+        assert_eq!(series[0].orgs, 0);
+        assert_eq!(series[1].orgs, 1);
+        assert_eq!(series[1].asns, 1);
+        assert_eq!(series[2].orgs, 2);
+        assert_eq!(series[2].asns, 2);
+    }
+
+    #[test]
+    fn by_rir_counts() {
+        let (registry, topology, ..) = setup();
+        let series = ParticipationAnalysis::by_rir_series(
+            &registry,
+            &topology,
+            &[Date::ymd(2022, 1, 1)],
+        );
+        let (_, counts) = &series[0];
+        assert_eq!(counts[&Rir::Arin], 1);
+        assert_eq!(counts[&Rir::RipeNcc], 1);
+    }
+
+    #[test]
+    fn routed_space_share_percentages() {
+        let (registry, topology, _, table) = setup();
+        let shares = ParticipationAnalysis::routed_space_share(
+            &registry,
+            &topology,
+            &table,
+            Date::ymd(2022, 1, 1),
+        );
+        // Routed space: 3 × /16 + /15 = 5 × /16 total. Member ASes: AS1
+        // (one /16, ARIN) and AS3 (one /16, RIPE) → 20% each.
+        assert!((shares[&Rir::Arin] - 20.0).abs() < 1e-9);
+        assert!((shares[&Rir::RipeNcc] - 20.0).abs() < 1e-9);
+        assert!(!shares.contains_key(&Rir::Apnic));
+    }
+
+    #[test]
+    fn completeness_finding_70() {
+        let (registry, _, orgs, table) = setup();
+        let c = ParticipationAnalysis::registration_completeness(
+            &registry,
+            &orgs,
+            &table,
+            Date::ymd(2022, 1, 1),
+        );
+        assert_eq!(c.total(), 2);
+        // Org 2 registered its only AS; org 1 left AS2 out.
+        assert_eq!(c.fully_registered(), 1);
+        // Org 1 announces from the unregistered AS2 as well.
+        assert_eq!(c.all_space_via_registered(), 1);
+        assert_eq!(c.some_space_unregistered(), 1);
+        assert_eq!(c.only_space_unregistered(), 0);
+        assert_eq!(c.quiescent_unregistered(), 0);
+    }
+
+    #[test]
+    fn quiescent_unregistered_orgs() {
+        let (registry, _, orgs, _) = setup();
+        // A table where org 1's unregistered AS2 announces nothing.
+        let mut table = Prefix2As::new();
+        table.add("10.0.0.0/16".parse::<Prefix>().unwrap(), Asn(1));
+        table.add("77.0.0.0/16".parse::<Prefix>().unwrap(), Asn(3));
+        let c = ParticipationAnalysis::registration_completeness(
+            &registry,
+            &orgs,
+            &table,
+            Date::ymd(2022, 1, 1),
+        );
+        assert_eq!(c.quiescent_unregistered(), 1);
+        assert_eq!(c.all_space_via_registered(), 2);
+    }
+
+    #[test]
+    fn characterize_profiles() {
+        use manrs_rpki::{Vrp, VrpSet};
+        use manrs_topology::{ConeAnalysis, SizeThresholds};
+        let (_, topology, _, table) = setup();
+        let cones = ConeAnalysis::compute(&topology, SizeThresholds::PAPER);
+        let vrps: VrpSet = [Vrp::new("10.0.0.0/16".parse().unwrap(), Asn(1), 16)]
+            .into_iter()
+            .collect();
+        let profile = super::characterize([Asn(1), Asn(2)].iter(), &cones, &table, &vrps);
+        assert_eq!(profile.count, 2);
+        assert_eq!(profile.median_cone, 1);
+        assert_eq!(profile.max_cone, 1);
+        // AS1 + AS2 originate two /16s; one is VRP-covered.
+        assert_eq!(profile.originated_space, 2 << 16);
+        assert!((profile.rpki_covered_pct - 50.0).abs() < 1e-9);
+        let empty = super::characterize([].iter(), &cones, &table, &vrps);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.rpki_covered_pct, 0.0);
+    }
+
+    #[test]
+    fn empty_table_has_no_shares() {
+        let (registry, topology, ..) = setup();
+        let shares = ParticipationAnalysis::routed_space_share(
+            &registry,
+            &topology,
+            &Prefix2As::new(),
+            Date::ymd(2022, 1, 1),
+        );
+        assert!(shares.is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! The MANRS membership registry.
+//!
+//! Membership is per-organization and per-program (§2.4): an organization
+//! joins the Network Operators (ISP) or CDN & Cloud program and registers
+//! a chosen subset of its AS numbers — possibly not all of them, which is
+//! what Finding 7.0 measures. Join dates (the paper's private
+//! *historical MANRS dataset*, §5.2) drive every time series.
+
+use manrs_net::{Asn, Date};
+use manrs_topology::OrgId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The two MANRS programs this reproduction analyzes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ManrsProgram {
+    /// MANRS for Network Operators.
+    Isp,
+    /// MANRS for CDN and Cloud Providers (launched 2020).
+    Cdn,
+}
+
+impl std::fmt::Display for ManrsProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ManrsProgram::Isp => "ISP",
+            ManrsProgram::Cdn => "CDN",
+        })
+    }
+}
+
+/// One organization's membership in one program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberRecord {
+    /// The member organization.
+    pub org: OrgId,
+    /// Which program it joined.
+    pub program: ManrsProgram,
+    /// When it joined.
+    pub joined: Date,
+    /// The AS numbers the organization registered (a subset of the ASes
+    /// it owns).
+    pub registered_asns: Vec<Asn>,
+}
+
+/// The registry of all memberships.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ManrsRegistry {
+    members: Vec<MemberRecord>,
+    by_asn: BTreeMap<Asn, usize>,
+    by_org: BTreeMap<OrgId, Vec<usize>>,
+}
+
+impl ManrsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a membership record.
+    ///
+    /// # Panics
+    /// Panics if one of the record's ASNs is already registered through
+    /// another record — an AS belongs to at most one MANRS entry.
+    pub fn enroll(&mut self, record: MemberRecord) {
+        let idx = self.members.len();
+        for asn in &record.registered_asns {
+            let prev = self.by_asn.insert(*asn, idx);
+            assert!(prev.is_none(), "{asn} registered twice in MANRS");
+        }
+        self.by_org.entry(record.org).or_default().push(idx);
+        self.members.push(record);
+    }
+
+    /// All membership records.
+    pub fn members(&self) -> &[MemberRecord] {
+        &self.members
+    }
+
+    /// The record registering `asn`, if any.
+    pub fn record_of(&self, asn: Asn) -> Option<&MemberRecord> {
+        self.by_asn.get(&asn).map(|idx| &self.members[*idx])
+    }
+
+    /// `true` if `asn` is a MANRS member AS as of `date`.
+    pub fn is_member_as(&self, asn: Asn, date: Date) -> bool {
+        self.record_of(asn).is_some_and(|r| r.joined <= date)
+    }
+
+    /// The program of `asn` as of `date`.
+    pub fn program_of(&self, asn: Asn, date: Date) -> Option<ManrsProgram> {
+        self.record_of(asn)
+            .filter(|r| r.joined <= date)
+            .map(|r| r.program)
+    }
+
+    /// All member ASNs as of `date`.
+    pub fn member_asns(&self, date: Date) -> BTreeSet<Asn> {
+        self.members
+            .iter()
+            .filter(|r| r.joined <= date)
+            .flat_map(|r| r.registered_asns.iter().copied())
+            .collect()
+    }
+
+    /// Member ASNs of one program as of `date`.
+    pub fn program_asns(&self, program: ManrsProgram, date: Date) -> BTreeSet<Asn> {
+        self.members
+            .iter()
+            .filter(|r| r.joined <= date && r.program == program)
+            .flat_map(|r| r.registered_asns.iter().copied())
+            .collect()
+    }
+
+    /// All member organizations as of `date`.
+    pub fn member_orgs(&self, date: Date) -> BTreeSet<OrgId> {
+        self.members
+            .iter()
+            .filter(|r| r.joined <= date)
+            .map(|r| r.org)
+            .collect()
+    }
+
+    /// The records of one organization (an org can be in both programs).
+    pub fn records_of_org(&self, org: OrgId) -> Vec<&MemberRecord> {
+        self.by_org
+            .get(&org)
+            .map(|idxs| idxs.iter().map(|i| &self.members[*i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// `true` if `org` is a member (of any program) as of `date`.
+    pub fn is_member_org(&self, org: OrgId, date: Date) -> bool {
+        self.records_of_org(org).iter().any(|r| r.joined <= date)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(org: u32, program: ManrsProgram, joined: Date, asns: &[u32]) -> MemberRecord {
+        MemberRecord {
+            org: OrgId(org),
+            program,
+            joined,
+            registered_asns: asns.iter().map(|a| Asn(*a)).collect(),
+        }
+    }
+
+    #[test]
+    fn membership_respects_join_date() {
+        let mut reg = ManrsRegistry::new();
+        reg.enroll(record(1, ManrsProgram::Isp, Date::ymd(2019, 6, 1), &[10, 11]));
+        assert!(!reg.is_member_as(Asn(10), Date::ymd(2019, 5, 31)));
+        assert!(reg.is_member_as(Asn(10), Date::ymd(2019, 6, 1)));
+        assert!(reg.is_member_as(Asn(11), Date::ymd(2022, 5, 1)));
+        assert!(!reg.is_member_as(Asn(12), Date::ymd(2022, 5, 1)));
+    }
+
+    #[test]
+    fn program_queries() {
+        let mut reg = ManrsRegistry::new();
+        reg.enroll(record(1, ManrsProgram::Isp, Date::ymd(2018, 1, 1), &[10]));
+        reg.enroll(record(2, ManrsProgram::Cdn, Date::ymd(2020, 3, 1), &[20, 21]));
+        let d = Date::ymd(2022, 5, 1);
+        assert_eq!(reg.program_of(Asn(10), d), Some(ManrsProgram::Isp));
+        assert_eq!(reg.program_of(Asn(20), d), Some(ManrsProgram::Cdn));
+        assert_eq!(reg.program_asns(ManrsProgram::Cdn, d).len(), 2);
+        assert_eq!(reg.program_asns(ManrsProgram::Isp, d).len(), 1);
+        // Before the CDN program existed.
+        assert_eq!(reg.program_asns(ManrsProgram::Cdn, Date::ymd(2019, 1, 1)).len(), 0);
+    }
+
+    #[test]
+    fn org_queries() {
+        let mut reg = ManrsRegistry::new();
+        reg.enroll(record(1, ManrsProgram::Isp, Date::ymd(2018, 1, 1), &[10]));
+        reg.enroll(record(1, ManrsProgram::Cdn, Date::ymd(2021, 1, 1), &[11]));
+        let d = Date::ymd(2022, 5, 1);
+        assert_eq!(reg.records_of_org(OrgId(1)).len(), 2);
+        assert!(reg.is_member_org(OrgId(1), d));
+        assert!(!reg.is_member_org(OrgId(2), d));
+        assert_eq!(reg.member_orgs(d).len(), 1);
+        assert_eq!(reg.member_asns(d).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_panics() {
+        let mut reg = ManrsRegistry::new();
+        reg.enroll(record(1, ManrsProgram::Isp, Date::ymd(2018, 1, 1), &[10]));
+        reg.enroll(record(2, ManrsProgram::Isp, Date::ymd(2019, 1, 1), &[10]));
+    }
+}

@@ -1,0 +1,328 @@
+//! Actionable per-member conformance reports.
+//!
+//! ISOC sends MANRS members a private monthly conformance report; the
+//! operators the paper surveyed either did not know it existed or
+//! "needed more actionable information" (§10). This module generates
+//! the report the paper wishes existed: per-prefix findings with
+//! concrete remediation, plus the Action 1 evidence (which customer
+//! announcements were propagated while unconformant).
+
+use crate::action1::{action1_verdict, Action1Metrics, Action1Verdict};
+use crate::action3::Action3Verdict;
+use crate::action4::{action4_verdict, Action4Metrics, Action4Verdict, ConformanceThreshold};
+use manrs_ihr::IhrSnapshot;
+use manrs_irr::IrrStatus;
+use manrs_net::{Asn, Date, Prefix};
+use manrs_rpki::RpkiStatus;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One problematic prefix with remediation guidance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// The prefix at issue.
+    pub prefix: Prefix,
+    /// Its RPKI status.
+    pub rpki: RpkiStatus,
+    /// Its IRR status.
+    pub irr: IrrStatus,
+    /// What to do about it.
+    pub remediation: String,
+}
+
+/// Remediation text for a (rpki, irr) status pair.
+pub fn remediation_for(rpki: RpkiStatus, irr: IrrStatus) -> String {
+    match (rpki, irr) {
+        (RpkiStatus::Valid, _) => "no action needed".into(),
+        // RPKI problems first: an Invalid announcement is dropped by
+        // ROV deployers regardless of its IRR state.
+        (RpkiStatus::InvalidAsn, _) => {
+            "a covering ROA names a different origin: correct the ROA or stop \
+             announcing from this AS"
+                .into()
+        }
+        (RpkiStatus::InvalidLength, _) => {
+            "announcement exceeds the ROA's maxLength: raise maxLength or stop \
+             de-aggregating"
+                .into()
+        }
+        (RpkiStatus::NotFound, IrrStatus::Valid) => {
+            "covered by IRR only: create a ROA to gain ROV protection".into()
+        }
+        (RpkiStatus::NotFound, IrrStatus::InvalidLength) => {
+            "announcement is more specific than the registered route: acceptable \
+             for MANRS, but register the specifics if they are long-lived"
+                .into()
+        }
+        (RpkiStatus::NotFound, IrrStatus::InvalidAsn) => {
+            "a covering route object names a different origin: update or delete \
+             the stale object"
+                .into()
+        }
+        (RpkiStatus::NotFound, IrrStatus::NotFound) => {
+            "no registration anywhere: create a route object and a ROA".into()
+        }
+    }
+}
+
+/// A member's monthly report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberReport {
+    /// The member AS.
+    pub asn: Asn,
+    /// Report date.
+    pub date: Date,
+    /// Action 4 verdict at the given threshold.
+    pub action4: Action4Verdict,
+    /// The member's origination metrics (absent if it originates
+    /// nothing).
+    pub action4_metrics: Option<Action4Metrics>,
+    /// Per-prefix findings needing attention (unconformant or
+    /// improvable), worst first.
+    pub findings: Vec<Finding>,
+    /// Action 1 verdict.
+    pub action1: Action1Verdict,
+    /// The member's propagation metrics (absent if it provides no
+    /// transit).
+    pub action1_metrics: Option<Action1Metrics>,
+    /// Unconformant customer announcements this AS propagated:
+    /// (prefix, customer origin).
+    pub leaked_customer_routes: Vec<(Prefix, Asn)>,
+    /// Action 3 verdict, when contact data was checked.
+    pub action3: Option<Action3Verdict>,
+}
+
+impl MemberReport {
+    /// Builds the report for `asn` from an IHR snapshot.
+    pub fn build(
+        asn: Asn,
+        date: Date,
+        snapshot: &IhrSnapshot,
+        threshold: ConformanceThreshold,
+        action3: Option<Action3Verdict>,
+    ) -> Self {
+        let a4 = crate::action4::compute_action4(snapshot);
+        let a1 = crate::action1::compute_action1(snapshot);
+        let action4_metrics = a4.get(&asn).copied();
+        let action1_metrics = a1.get(&asn).copied();
+
+        let mut findings: Vec<Finding> = snapshot
+            .prefix_origins
+            .iter()
+            .filter(|po| po.origin == asn && po.rpki != RpkiStatus::Valid)
+            .map(|po| Finding {
+                prefix: po.prefix,
+                rpki: po.rpki,
+                irr: po.irr,
+                remediation: remediation_for(po.rpki, po.irr),
+            })
+            .collect();
+        // Worst first: unconformant, then IRR-only, then invalid-length.
+        findings.sort_by_key(|f| {
+            let severity = if crate::action4::is_unconformant_pair(f.rpki, f.irr) {
+                0
+            } else if f.irr == IrrStatus::Valid {
+                2
+            } else {
+                1
+            };
+            (severity, f.prefix)
+        });
+
+        let leaked_customer_routes: Vec<(Prefix, Asn)> = snapshot
+            .transits
+            .iter()
+            .filter(|t| {
+                t.transit == asn
+                    && t.from_customer
+                    && crate::action4::is_unconformant_pair(t.rpki, t.irr)
+            })
+            .map(|t| (t.prefix, t.origin))
+            .collect();
+
+        MemberReport {
+            asn,
+            date,
+            action4: action4_verdict(action4_metrics.as_ref(), threshold),
+            action4_metrics,
+            findings,
+            action1: action1_verdict(action1_metrics.as_ref()),
+            action1_metrics,
+            leaked_customer_routes,
+            action3,
+        }
+    }
+
+    /// Renders the report as operator-facing text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "MANRS conformance report for {} — {}", self.asn, self.date);
+        let _ = writeln!(out, "Action 4 (register your announcements): {:?}", self.action4);
+        if let Some(m) = &self.action4_metrics {
+            let _ = writeln!(
+                out,
+                "  {} announced prefixes, {:.1}% conformant ({:.1}% RPKI-valid, {:.1}% IRR-valid)",
+                m.originated,
+                m.og_conformant_pct(),
+                m.og_rpki_valid_pct(),
+                m.og_irr_valid_pct()
+            );
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(out, "  nothing needs attention");
+        } else {
+            let _ = writeln!(out, "  prefixes needing attention:");
+            for f in &self.findings {
+                let _ = writeln!(
+                    out,
+                    "    {} [RPKI {}, IRR {}]: {}",
+                    f.prefix, f.rpki, f.irr, f.remediation
+                );
+            }
+        }
+        let _ = writeln!(out, "Action 1 (filter your customers): {:?}", self.action1);
+        if self.leaked_customer_routes.is_empty() {
+            let _ = writeln!(out, "  no unconformant customer announcements propagated");
+        } else {
+            let _ = writeln!(out, "  unconformant customer announcements you propagated:");
+            for (prefix, origin) in &self.leaked_customer_routes {
+                let _ = writeln!(out, "    {prefix} announced by customer-side {origin}");
+            }
+        }
+        if let Some(a3) = &self.action3 {
+            let _ = writeln!(
+                out,
+                "Action 3 (publish contact info): {} (source: {:?})",
+                if a3.conformant { "OK" } else { "MISSING" },
+                a3.source
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_ihr::{PrefixOriginRecord, TransitRecord};
+
+    fn snapshot() -> IhrSnapshot {
+        IhrSnapshot {
+            prefix_origins: vec![
+                PrefixOriginRecord {
+                    prefix: "10.0.0.0/16".parse().unwrap(),
+                    origin: Asn(1),
+                    rpki: RpkiStatus::Valid,
+                    irr: IrrStatus::Valid,
+                    viewpoints: 3,
+                },
+                PrefixOriginRecord {
+                    prefix: "10.1.0.0/16".parse().unwrap(),
+                    origin: Asn(1),
+                    rpki: RpkiStatus::NotFound,
+                    irr: IrrStatus::InvalidAsn,
+                    viewpoints: 3,
+                },
+                PrefixOriginRecord {
+                    prefix: "10.2.0.0/16".parse().unwrap(),
+                    origin: Asn(1),
+                    rpki: RpkiStatus::NotFound,
+                    irr: IrrStatus::Valid,
+                    viewpoints: 3,
+                },
+            ],
+            transits: vec![TransitRecord {
+                prefix: "10.9.0.0/16".parse().unwrap(),
+                origin: Asn(7),
+                transit: Asn(1),
+                rpki: RpkiStatus::InvalidAsn,
+                irr: IrrStatus::NotFound,
+                hegemony: 0.4,
+                from_customer: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_collects_findings_worst_first() {
+        let r = MemberReport::build(
+            Asn(1),
+            Date::ymd(2022, 5, 1),
+            &snapshot(),
+            ConformanceThreshold::Isp,
+            None,
+        );
+        assert_eq!(r.findings.len(), 2);
+        // The unconformant one first.
+        assert_eq!(r.findings[0].prefix, "10.1.0.0/16".parse().unwrap());
+        assert!(r.findings[0].remediation.contains("stale object"));
+        assert!(r.findings[1].remediation.contains("create a ROA"));
+        assert_eq!(r.action4, Action4Verdict::Unconformant); // 2/3 < 90%
+    }
+
+    #[test]
+    fn report_captures_customer_leaks() {
+        let r = MemberReport::build(
+            Asn(1),
+            Date::ymd(2022, 5, 1),
+            &snapshot(),
+            ConformanceThreshold::Isp,
+            None,
+        );
+        assert_eq!(r.action1, Action1Verdict::Unconformant);
+        assert_eq!(r.leaked_customer_routes, vec![("10.9.0.0/16".parse().unwrap(), Asn(7))]);
+    }
+
+    #[test]
+    fn report_for_quiet_as_is_trivial() {
+        let r = MemberReport::build(
+            Asn(42),
+            Date::ymd(2022, 5, 1),
+            &snapshot(),
+            ConformanceThreshold::Cdn,
+            None,
+        );
+        assert_eq!(r.action4, Action4Verdict::TriviallyConformant);
+        assert_eq!(r.action1, Action1Verdict::TriviallyConformant);
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let r = MemberReport::build(
+            Asn(1),
+            Date::ymd(2022, 5, 1),
+            &snapshot(),
+            ConformanceThreshold::Isp,
+            Some(Action3Verdict {
+                source: crate::action3::ContactSource::Irr,
+                conformant: true,
+            }),
+        );
+        let text = r.render();
+        assert!(text.contains("Action 4"));
+        assert!(text.contains("Action 1"));
+        assert!(text.contains("Action 3"));
+        assert!(text.contains("10.1.0.0/16"));
+        assert!(text.contains("customer-side AS7"));
+    }
+
+    #[test]
+    fn remediation_covers_all_pairs() {
+        for rpki in [
+            RpkiStatus::Valid,
+            RpkiStatus::InvalidAsn,
+            RpkiStatus::InvalidLength,
+            RpkiStatus::NotFound,
+        ] {
+            for irr in [
+                IrrStatus::Valid,
+                IrrStatus::InvalidAsn,
+                IrrStatus::InvalidLength,
+                IrrStatus::NotFound,
+            ] {
+                assert!(!remediation_for(rpki, irr).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Conformance stability over time (§8.5).
+//!
+//! The paper takes 12 weekly IHR snapshots (February–May 2022) and asks
+//! whether each MANRS AS's Action 4 verdict is stable: most ASes stay
+//! conformant or unconformant throughout, a few fluctuate.
+
+use crate::action4::{action4_verdict, compute_action4, Action4Verdict, ConformanceThreshold};
+use manrs_ihr::IhrSnapshot;
+use manrs_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An AS's stability classification over a snapshot series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StabilityClass {
+    /// Conformant (including trivially) in every snapshot.
+    AlwaysConformant,
+    /// Unconformant in every snapshot.
+    AlwaysUnconformant,
+    /// Both verdicts appear across the series.
+    Fluctuating,
+}
+
+/// One AS's verdict sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConformanceHistory {
+    /// The AS.
+    pub asn: Asn,
+    /// The verdict at each snapshot, in series order.
+    pub verdicts: Vec<Action4Verdict>,
+}
+
+impl ConformanceHistory {
+    /// Classifies the sequence.
+    pub fn class(&self) -> StabilityClass {
+        let any_unconformant = self
+            .verdicts
+            .iter()
+            .any(|v| !v.is_conformant());
+        let any_conformant = self.verdicts.iter().any(|v| v.is_conformant());
+        match (any_conformant, any_unconformant) {
+            (_, false) => StabilityClass::AlwaysConformant,
+            (false, true) => StabilityClass::AlwaysUnconformant,
+            (true, true) => StabilityClass::Fluctuating,
+        }
+    }
+
+    /// Number of snapshots in which the AS was unconformant.
+    pub fn unconformant_count(&self) -> usize {
+        self.verdicts.iter().filter(|v| !v.is_conformant()).count()
+    }
+}
+
+/// Computes conformance histories for `asns` across a snapshot series.
+pub fn conformance_histories(
+    snapshots: &[IhrSnapshot],
+    asns: &[Asn],
+    threshold: ConformanceThreshold,
+) -> Vec<ConformanceHistory> {
+    let per_snapshot: Vec<_> = snapshots.iter().map(compute_action4).collect();
+    asns.iter()
+        .map(|asn| ConformanceHistory {
+            asn: *asn,
+            verdicts: per_snapshot
+                .iter()
+                .map(|metrics| action4_verdict(metrics.get(asn), threshold))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Counts histories per stability class.
+pub fn stability_summary(
+    histories: &[ConformanceHistory],
+) -> BTreeMap<StabilityClass, usize> {
+    let mut counts = BTreeMap::new();
+    for h in histories {
+        *counts.entry(h.class()).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_ihr::PrefixOriginRecord;
+    use manrs_irr::IrrStatus;
+    use manrs_rpki::RpkiStatus;
+
+    fn snapshot(origin_status: &[(u32, RpkiStatus)]) -> IhrSnapshot {
+        IhrSnapshot {
+            prefix_origins: origin_status
+                .iter()
+                .enumerate()
+                .map(|(i, (origin, rpki))| PrefixOriginRecord {
+                    prefix: format!("10.{i}.0.0/16").parse().unwrap(),
+                    origin: Asn(*origin),
+                    rpki: *rpki,
+                    irr: IrrStatus::NotFound,
+                    viewpoints: 1,
+                })
+                .collect(),
+            transits: vec![],
+        }
+    }
+
+    #[test]
+    fn always_conformant() {
+        let snaps = vec![
+            snapshot(&[(1, RpkiStatus::Valid)]),
+            snapshot(&[(1, RpkiStatus::Valid)]),
+        ];
+        let hist = conformance_histories(&snaps, &[Asn(1)], ConformanceThreshold::Cdn);
+        assert_eq!(hist[0].class(), StabilityClass::AlwaysConformant);
+        assert_eq!(hist[0].unconformant_count(), 0);
+    }
+
+    #[test]
+    fn always_unconformant() {
+        let snaps = vec![
+            snapshot(&[(1, RpkiStatus::NotFound)]),
+            snapshot(&[(1, RpkiStatus::NotFound)]),
+        ];
+        let hist = conformance_histories(&snaps, &[Asn(1)], ConformanceThreshold::Cdn);
+        assert_eq!(hist[0].class(), StabilityClass::AlwaysUnconformant);
+        assert_eq!(hist[0].unconformant_count(), 2);
+    }
+
+    #[test]
+    fn fluctuating() {
+        let snaps = vec![
+            snapshot(&[(1, RpkiStatus::Valid)]),
+            snapshot(&[(1, RpkiStatus::NotFound)]),
+            snapshot(&[(1, RpkiStatus::Valid)]),
+        ];
+        let hist = conformance_histories(&snaps, &[Asn(1)], ConformanceThreshold::Cdn);
+        assert_eq!(hist[0].class(), StabilityClass::Fluctuating);
+        assert_eq!(hist[0].unconformant_count(), 1);
+    }
+
+    #[test]
+    fn absent_as_is_trivially_conformant_throughout() {
+        let snaps = vec![snapshot(&[(1, RpkiStatus::Valid)]); 3];
+        let hist = conformance_histories(&snaps, &[Asn(42)], ConformanceThreshold::Cdn);
+        assert_eq!(hist[0].class(), StabilityClass::AlwaysConformant);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let snaps = vec![
+            snapshot(&[(1, RpkiStatus::Valid), (2, RpkiStatus::NotFound)]),
+            snapshot(&[(1, RpkiStatus::NotFound), (2, RpkiStatus::NotFound)]),
+        ];
+        let hist = conformance_histories(&snaps, &[Asn(1), Asn(2)], ConformanceThreshold::Cdn);
+        let summary = stability_summary(&hist);
+        assert_eq!(summary[&StabilityClass::Fluctuating], 1);
+        assert_eq!(summary[&StabilityClass::AlwaysUnconformant], 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Small statistics toolkit: empirical CDFs and summary helpers.
+//!
+//! Every figure in §8–§9 is a CDF of a per-AS percentage; [`Ecdf`] is the
+//! common representation the bench harness prints.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution over f64 samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples (NaNs are rejected).
+    ///
+    /// # Panics
+    /// Panics if any sample is NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (0 for an empty distribution).
+    pub fn fraction_at_most(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|v| *v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples strictly greater than `x`.
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.fraction_at_most(x)
+    }
+
+    /// The `q`-quantile for `q` in [0, 1] (nearest-rank); `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// The median, `None` when empty.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Arithmetic mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Population variance, `None` when empty (the §9.2 comparison of
+    /// large-network IRR invalidity uses variance).
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        Some(
+            self.sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / self.sorted.len() as f64,
+        )
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// (x, F(x)) pairs suitable for plotting or printing as a series.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (*x, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_distribution() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.fraction_at_most(1.0), 0.0);
+        assert_eq!(e.fraction_above(1.0), 0.0);
+        assert!(e.median().is_none());
+        assert!(e.mean().is_none());
+        assert!(e.variance().is_none());
+    }
+
+    #[test]
+    fn fractions() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.fraction_at_most(0.5), 0.0);
+        assert_eq!(e.fraction_at_most(2.0), 0.5);
+        assert_eq!(e.fraction_at_most(10.0), 1.0);
+        assert_eq!(e.fraction_above(2.0), 0.5);
+        assert_eq!(e.fraction_above(4.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 5.0, 4.0]);
+        assert_eq!(e.median(), Some(3.0));
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(5.0));
+        assert_eq!(e.quantile(0.2), Some(1.0));
+        assert_eq!(e.quantile(0.21), Some(2.0));
+        assert_eq!(e.min(), Some(1.0));
+        assert_eq!(e.max(), Some(5.0));
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let e = Ecdf::new(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(e.mean(), Some(5.0));
+        assert_eq!(e.variance(), Some(4.0));
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let e = Ecdf::new(vec![0.5, 0.1, 0.9]);
+        let pts = e.points();
+        assert_eq!(pts.len(), 3);
+        assert!((pts[2].1 - 1.0).abs() < 1e-12);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0 && w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Ecdf::new(vec![f64::NAN]);
+    }
+}

@@ -1,0 +1,227 @@
+//! The IHR prefix-origin and transit datasets.
+//!
+//! Built from a [`CollectedRib`]: each visible (prefix, origin) becomes
+//! one [`PrefixOriginRecord`] (the trivial-transit row the paper splits
+//! out, §5.3), and every non-origin AS with positive hegemony on its
+//! paths becomes a [`TransitRecord`]. Transit records carry whether the
+//! transit learned the route from a direct customer — the relationship
+//! context Formula 6 (Action 1 unconformance) needs.
+
+use crate::hegemony::hegemony_scores;
+use manrs_bgp::CollectedRib;
+use manrs_irr::IrrStatus;
+use manrs_net::{Asn, Prefix};
+use manrs_rpki::RpkiStatus;
+use manrs_topology::{AsTopology, Relationship};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One routed (prefix, origin) pair with registry statuses — a row of
+/// the paper's *IHR prefix-origin dataset*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefixOriginRecord {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The origin AS (trivial transit, hegemony 1).
+    pub origin: Asn,
+    /// RPKI validation status.
+    pub rpki: RpkiStatus,
+    /// IRR validity.
+    pub irr: IrrStatus,
+    /// Number of vantage points that saw the announcement.
+    pub viewpoints: usize,
+}
+
+/// One (prefix, origin, transit) row of the *IHR transit dataset*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitRecord {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The origin AS.
+    pub origin: Asn,
+    /// The transit AS (never the origin).
+    pub transit: Asn,
+    /// RPKI status of the announcement.
+    pub rpki: RpkiStatus,
+    /// IRR status of the announcement.
+    pub irr: IrrStatus,
+    /// AS hegemony of the transit toward this prefix.
+    pub hegemony: f64,
+    /// `true` if, on at least one observed path, the transit learned the
+    /// announcement from one of its direct customers.
+    pub from_customer: bool,
+}
+
+/// The two datasets for one snapshot date.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IhrSnapshot {
+    /// Visible (prefix, origin) pairs.
+    pub prefix_origins: Vec<PrefixOriginRecord>,
+    /// Transit rows (hegemony > 0, transit ≠ origin).
+    pub transits: Vec<TransitRecord>,
+}
+
+impl IhrSnapshot {
+    /// Transit rows grouped by transit AS.
+    pub fn transits_by_as(&self) -> BTreeMap<Asn, Vec<&TransitRecord>> {
+        let mut map: BTreeMap<Asn, Vec<&TransitRecord>> = BTreeMap::new();
+        for t in &self.transits {
+            map.entry(t.transit).or_default().push(t);
+        }
+        map
+    }
+
+    /// Prefix-origin rows grouped by origin AS.
+    pub fn origins_by_as(&self) -> BTreeMap<Asn, Vec<&PrefixOriginRecord>> {
+        let mut map: BTreeMap<Asn, Vec<&PrefixOriginRecord>> = BTreeMap::new();
+        for po in &self.prefix_origins {
+            map.entry(po.origin).or_default().push(po);
+        }
+        map
+    }
+}
+
+/// Builds both datasets from a collected RIB.
+///
+/// Only visible observations contribute — announcements no vantage point
+/// saw simply do not exist to the measurement, the §11 limitation.
+pub fn build_snapshot(rib: &CollectedRib, topology: &AsTopology) -> IhrSnapshot {
+    let mut snapshot = IhrSnapshot::default();
+    for obs in rib.visible() {
+        snapshot.prefix_origins.push(PrefixOriginRecord {
+            prefix: obs.prefix,
+            origin: obs.origin,
+            rpki: obs.rpki,
+            irr: obs.irr,
+            viewpoints: obs.paths.len(),
+        });
+        let scores = hegemony_scores(&obs.paths, rib.vantages.len());
+        for (asn, hegemony) in scores {
+            if asn == obs.origin {
+                continue; // trivial transit, lives in prefix_origins
+            }
+            // Did this transit learn the route from a direct customer on
+            // any observed path? The AS after it (toward the origin) is
+            // the neighbor it learned from.
+            let mut from_customer = false;
+            for path in &obs.paths {
+                if let Some(pos) = path.iter().position(|a| *a == asn) {
+                    if let Some(next) = path.get(pos + 1) {
+                        if topology.relationship(asn, *next) == Some(Relationship::Customer) {
+                            from_customer = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            snapshot.transits.push(TransitRecord {
+                prefix: obs.prefix,
+                origin: obs.origin,
+                transit: asn,
+                rpki: obs.rpki,
+                irr: obs.irr,
+                hegemony,
+                from_customer,
+            });
+        }
+    }
+    snapshot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_bgp::{collect_table, Announcement, PolicyTable};
+    use manrs_net::Rir;
+    use manrs_topology::{AsInfo, NetworkKind, OrgId};
+
+    fn topo() -> AsTopology {
+        // 1 -> 2 -> 3; 1 -> 4; vantages at 1 and 4.
+        let mut t = AsTopology::new();
+        for asn in 1..=4 {
+            t.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(asn),
+                rir: Rir::Arin,
+                country: "US".into(),
+                kind: NetworkKind::Transit,
+            });
+        }
+        t.add_provider_customer(Asn(1), Asn(2));
+        t.add_provider_customer(Asn(2), Asn(3));
+        t.add_provider_customer(Asn(1), Asn(4));
+        t
+    }
+
+    fn snapshot() -> IhrSnapshot {
+        let t = topo();
+        let anns = vec![Announcement::new(
+            "10.0.0.0/16".parse().unwrap(),
+            Asn(3),
+            RpkiStatus::Valid,
+            IrrStatus::Valid,
+        )];
+        let rib = collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1), Asn(4)]);
+        build_snapshot(&rib, &t)
+    }
+
+    #[test]
+    fn prefix_origin_rows() {
+        let s = snapshot();
+        assert_eq!(s.prefix_origins.len(), 1);
+        let po = &s.prefix_origins[0];
+        assert_eq!(po.origin, Asn(3));
+        assert_eq!(po.viewpoints, 2);
+        assert_eq!(po.rpki, RpkiStatus::Valid);
+    }
+
+    #[test]
+    fn transit_rows_exclude_origin_and_score_hegemony() {
+        let s = snapshot();
+        // Paths: [1,2,3] and [4,1,2,3]. Transits: 1 (2/2), 2 (2/2),
+        // 4 appears only as a vantage head — 4 is on its own path so it
+        // transits with score 1/2.
+        let by_as = s.transits_by_as();
+        assert!(by_as.contains_key(&Asn(1)));
+        assert!(by_as.contains_key(&Asn(2)));
+        assert!(!by_as.contains_key(&Asn(3)), "origin must not be a transit row");
+        let t2 = &by_as[&Asn(2)][0];
+        assert!((t2.hegemony - 1.0).abs() < 1e-12);
+        let t4 = &by_as[&Asn(4)][0];
+        assert!((t4.hegemony - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_customer_flags() {
+        let s = snapshot();
+        let by_as = s.transits_by_as();
+        // AS2 learned from its customer AS3.
+        assert!(by_as[&Asn(2)][0].from_customer);
+        // AS1 learned from its customer AS2.
+        assert!(by_as[&Asn(1)][0].from_customer);
+        // AS4 learned from its *provider* AS1.
+        assert!(!by_as[&Asn(4)][0].from_customer);
+    }
+
+    #[test]
+    fn invisible_observations_excluded() {
+        let t = topo();
+        let anns = vec![Announcement::new(
+            "10.0.0.0/16".parse().unwrap(),
+            Asn(99), // unknown origin: reaches nobody
+            RpkiStatus::Valid,
+            IrrStatus::Valid,
+        )];
+        let rib = collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1)]);
+        let s = build_snapshot(&rib, &t);
+        assert!(s.prefix_origins.is_empty());
+        assert!(s.transits.is_empty());
+    }
+
+    #[test]
+    fn grouping_helpers() {
+        let s = snapshot();
+        assert_eq!(s.origins_by_as().len(), 1);
+        assert_eq!(s.origins_by_as()[&Asn(3)].len(), 1);
+    }
+}

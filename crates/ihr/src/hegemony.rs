@@ -1,0 +1,149 @@
+//! AS hegemony.
+//!
+//! Fontugne et al. define AS hegemony as the average, over BGP viewpoints,
+//! of the fraction of paths toward some destination that cross a given
+//! AS — after discarding the most and least biased viewpoints (a 10%
+//! two-sided trim) so that one collector peer cannot dominate the score.
+//! For a single prefix with one path per viewpoint, the per-viewpoint
+//! fraction is an indicator, and hegemony reduces to the trimmed mean of
+//! indicators. Scores sit in [0, 1]; the origin trivially scores 1.
+
+use manrs_net::Asn;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The fraction trimmed from *each* side of the viewpoint distribution
+/// (10%, following the AS hegemony paper).
+pub const TRIM_FRACTION: f64 = 0.1;
+
+/// Computes hegemony scores for every AS appearing on `paths`, where
+/// each path is one viewpoint's AS path toward the destination
+/// (viewpoint first, origin last).
+///
+/// `viewpoints` is the total number of viewpoints consulted — including
+/// those with *no* route to the destination, which contribute
+/// zero-indicators exactly as they do in the published estimator. This
+/// matters: scoring only over the viewpoints that saw a route would
+/// inflate every AS on a poorly-visible (e.g. heavily filtered)
+/// announcement. When `viewpoints < paths.len()` the path count is used.
+///
+/// Returns an empty map when there are no paths. With `v` viewpoints,
+/// `floor(v * 0.1)` are dropped from each end of each AS's indicator
+/// distribution; for small `v` the trim vanishes, matching the
+/// published estimator's behaviour at low viewpoint counts.
+pub fn hegemony_scores(paths: &[Vec<Asn>], viewpoints: usize) -> BTreeMap<Asn, f64> {
+    let v = viewpoints.max(paths.len());
+    let mut scores = BTreeMap::new();
+    if v == 0 || paths.is_empty() {
+        return scores;
+    }
+    let trim = ((v as f64) * TRIM_FRACTION).floor() as usize;
+    let kept = v - 2 * trim;
+    if kept == 0 {
+        return scores;
+    }
+    // Count, per AS, how many viewpoints' paths contain it.
+    let mut on_paths: BTreeMap<Asn, usize> = BTreeMap::new();
+    for path in paths {
+        // Dedup within a path defensively: a loop would double-count.
+        let unique: BTreeSet<Asn> = path.iter().copied().collect();
+        for asn in unique {
+            *on_paths.entry(asn).or_insert(0) += 1;
+        }
+    }
+    // Trimmed mean of `count` ones and `v - count` zeros. The sorted
+    // indicator list is [0 × zeros, 1 × ones]; the low-side trim removes
+    // zeros first (then ones if it runs out), the high-side trim removes
+    // ones first.
+    for (asn, count) in on_paths {
+        let ones = count.min(v);
+        let zeros = v - ones;
+        let low_from_zeros = trim.min(zeros);
+        let low_from_ones = trim - low_from_zeros;
+        let high_from_ones = trim.min(ones);
+        let surviving_ones = ones.saturating_sub(low_from_ones + high_from_ones);
+        let score = surviving_ones as f64 / kept as f64;
+        if score > 0.0 {
+            scores.insert(asn, score);
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths(specs: &[&[u32]]) -> Vec<Vec<Asn>> {
+        specs
+            .iter()
+            .map(|p| p.iter().map(|a| Asn(*a)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(hegemony_scores(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn single_path_scores_all_ases_one() {
+        let scores = hegemony_scores(&paths(&[&[1, 2, 3]]), 1);
+        assert_eq!(scores.len(), 3);
+        for asn in [1, 2, 3] {
+            assert_eq!(scores[&Asn(asn)], 1.0);
+        }
+    }
+
+    #[test]
+    fn origin_scores_one_everywhere() {
+        // Origin 9 on every path.
+        let scores = hegemony_scores(&paths(&[&[1, 2, 9], &[3, 4, 9], &[5, 9]]), 3);
+        assert_eq!(scores[&Asn(9)], 1.0);
+    }
+
+    #[test]
+    fn fractional_scores_without_trim() {
+        // 4 viewpoints (< 10 so trim = 0): AS2 on 2 of 4 paths.
+        let scores = hegemony_scores(&paths(&[&[1, 2, 9], &[3, 2, 9], &[4, 9], &[5, 9]]), 4);
+        assert_eq!(scores[&Asn(2)], 0.5);
+        assert_eq!(scores[&Asn(9)], 1.0);
+        assert_eq!(scores[&Asn(1)], 0.25);
+    }
+
+    #[test]
+    fn trim_drops_outlier_viewpoints() {
+        // 10 viewpoints: AS7 appears on exactly 1 path. Trim = 1 per
+        // side; the single 1 is trimmed away → score 0 → absent.
+        let mut ps: Vec<Vec<Asn>> = (0..9).map(|i| vec![Asn(100 + i), Asn(9)]).collect();
+        ps.push(vec![Asn(50), Asn(7), Asn(9)]);
+        let scores = hegemony_scores(&ps, 10);
+        assert!(!scores.contains_key(&Asn(7)), "outlier should trim to zero");
+        // The origin survives trimming: 10 ones, trim 1 each side → 8/8.
+        assert_eq!(scores[&Asn(9)], 1.0);
+    }
+
+    #[test]
+    fn trim_keeps_majority_ases() {
+        // 10 viewpoints, AS7 on 5 paths: ones=5, zeros=5, trim=1.
+        // low trim takes a zero, high trim takes a one → 4 ones / 8 kept.
+        let mut ps: Vec<Vec<Asn>> = (0..5).map(|i| vec![Asn(100 + i), Asn(7), Asn(9)]).collect();
+        ps.extend((0..5).map(|i| vec![Asn(200 + i), Asn(9)]));
+        let scores = hegemony_scores(&ps, 10);
+        assert!((scores[&Asn(7)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loops_do_not_double_count() {
+        // Defensive: a pathological path repeating AS2.
+        let scores = hegemony_scores(&[vec![Asn(1), Asn(2), Asn(2), Asn(9)], vec![Asn(3), Asn(9)]], 2);
+        assert_eq!(scores[&Asn(2)], 0.5);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let ps = paths(&[&[1, 2, 9], &[2, 9], &[3, 2, 9], &[4, 9], &[1, 9]]);
+        for (_, s) in hegemony_scores(&ps, 5) {
+            assert!(s > 0.0 && s <= 1.0);
+        }
+    }
+}

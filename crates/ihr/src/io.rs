@@ -1,0 +1,164 @@
+//! CSV serialization of the IHR datasets.
+//!
+//! The real Internet Health Report exposes its ROV feed as CSV-ish rows;
+//! these writers/parsers let a built snapshot live on disk and be
+//! re-ingested by any analysis stage (the same decoupling the paper
+//! relies on when it re-processes IHR snapshots for twelve weeks of
+//! history).
+
+use crate::dataset::{IhrSnapshot, PrefixOriginRecord, TransitRecord};
+use manrs_net::{Asn, NetError, Prefix};
+use std::fmt::Write as _;
+
+/// Serializes the prefix-origin dataset:
+/// `prefix,origin,rpki,irr,viewpoints`.
+pub fn write_prefix_origins(snapshot: &IhrSnapshot) -> String {
+    let mut out = String::from("prefix,origin,rpki,irr,viewpoints\n");
+    for po in &snapshot.prefix_origins {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            po.prefix, po.origin, po.rpki, po.irr, po.viewpoints
+        );
+    }
+    out
+}
+
+/// Serializes the transit dataset:
+/// `prefix,origin,transit,rpki,irr,hegemony,from_customer`.
+pub fn write_transits(snapshot: &IhrSnapshot) -> String {
+    let mut out = String::from("prefix,origin,transit,rpki,irr,hegemony,from_customer\n");
+    for t in &snapshot.transits {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{}",
+            t.prefix, t.origin, t.transit, t.rpki, t.irr, t.hegemony, t.from_customer
+        );
+    }
+    out
+}
+
+fn split_fields(line: &str, expected: usize) -> Result<Vec<&str>, NetError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != expected {
+        Err(NetError::InvalidAddress(line.to_owned()))
+    } else {
+        Ok(fields)
+    }
+}
+
+/// Parses a prefix-origin CSV (header optional).
+pub fn parse_prefix_origins(text: &str) -> Result<Vec<PrefixOriginRecord>, NetError> {
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (idx == 0 && line.starts_with("prefix,")) {
+            continue;
+        }
+        let f = split_fields(line, 5)?;
+        rows.push(PrefixOriginRecord {
+            prefix: f[0].parse::<Prefix>()?,
+            origin: f[1].parse::<Asn>()?,
+            rpki: f[2].parse()?,
+            irr: f[3].parse()?,
+            viewpoints: f[4]
+                .parse()
+                .map_err(|_| NetError::InvalidAddress(line.to_owned()))?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Parses a transit CSV (header optional).
+pub fn parse_transits(text: &str) -> Result<Vec<TransitRecord>, NetError> {
+    let mut rows = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (idx == 0 && line.starts_with("prefix,")) {
+            continue;
+        }
+        let f = split_fields(line, 7)?;
+        let bad = || NetError::InvalidAddress(line.to_owned());
+        rows.push(TransitRecord {
+            prefix: f[0].parse::<Prefix>()?,
+            origin: f[1].parse::<Asn>()?,
+            transit: f[2].parse::<Asn>()?,
+            rpki: f[3].parse()?,
+            irr: f[4].parse()?,
+            hegemony: f[5].parse().map_err(|_| bad())?,
+            from_customer: match f[6] {
+                "true" => true,
+                "false" => false,
+                _ => return Err(bad()),
+            },
+        });
+    }
+    Ok(rows)
+}
+
+/// Full snapshot round trip: both datasets from their CSV forms.
+pub fn parse_snapshot(prefix_origins: &str, transits: &str) -> Result<IhrSnapshot, NetError> {
+    Ok(IhrSnapshot {
+        prefix_origins: parse_prefix_origins(prefix_origins)?,
+        transits: parse_transits(transits)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_irr::IrrStatus;
+    use manrs_rpki::RpkiStatus;
+
+    fn snapshot() -> IhrSnapshot {
+        IhrSnapshot {
+            prefix_origins: vec![PrefixOriginRecord {
+                prefix: "10.0.0.0/16".parse().unwrap(),
+                origin: Asn(64_500),
+                rpki: RpkiStatus::Valid,
+                irr: IrrStatus::InvalidLength,
+                viewpoints: 7,
+            }],
+            transits: vec![TransitRecord {
+                prefix: "10.0.0.0/16".parse().unwrap(),
+                origin: Asn(64_500),
+                transit: Asn(3356),
+                rpki: RpkiStatus::Valid,
+                irr: IrrStatus::InvalidLength,
+                hegemony: 0.428571,
+                from_customer: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = snapshot();
+        let back = parse_snapshot(&write_prefix_origins(&s), &write_transits(&s)).unwrap();
+        assert_eq!(back.prefix_origins, s.prefix_origins);
+        assert_eq!(back.transits.len(), 1);
+        let t = &back.transits[0];
+        assert_eq!(t.transit, Asn(3356));
+        assert!((t.hegemony - 0.428571).abs() < 1e-9);
+        assert!(t.from_customer);
+    }
+
+    #[test]
+    fn header_and_blank_tolerance() {
+        let rows = parse_prefix_origins(
+            "prefix,origin,rpki,irr,viewpoints\n\n10.0.0.0/16,AS1,Valid,NotFound,3\n",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].viewpoints, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(parse_prefix_origins("10.0.0.0/16,AS1,Valid,NotFound\n").is_err());
+        assert!(parse_prefix_origins("banana,AS1,Valid,NotFound,3\n").is_err());
+        assert!(parse_prefix_origins("10.0.0.0/16,AS1,Martian,NotFound,3\n").is_err());
+        assert!(parse_transits("10.0.0.0/16,AS1,AS2,Valid,NotFound,0.5,maybe\n").is_err());
+        assert!(parse_transits("10.0.0.0/16,AS1,AS2,Valid,NotFound,x,true\n").is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Internet Health Report analog.
+//!
+//! The paper consumes the IHR Route Origin Validation feed (§5.3): routed
+//! (prefix, origin) pairs from RouteViews/RIS annotated with RPKI and IRR
+//! statuses, each pair's transit ASes, and per-transit *AS hegemony*
+//! scores. The IHR treats the origin as a trivial transit with hegemony
+//! 1 and the paper splits those rows out as the *prefix-origin dataset*,
+//! using the rest as the *transit dataset* — this crate reproduces both.
+//!
+//! * [`hegemony`] — Fontugne-style AS hegemony: the trimmed mean, over
+//!   vantage points, of "is this AS on the vantage's path toward the
+//!   prefix", discarding the most and least biased 10% of viewpoints.
+//! * [`dataset`] — builds the two datasets from a [`CollectedRib`],
+//!   carrying the relationship context (was the announcement learned
+//!   from a direct customer?) that the Action 1 analysis needs.
+
+pub mod dataset;
+pub mod hegemony;
+pub mod io;
+
+pub use dataset::{build_snapshot, IhrSnapshot, PrefixOriginRecord, TransitRecord};
+pub use hegemony::hegemony_scores;
+pub use io::{parse_snapshot, write_prefix_origins, write_transits};
+
+// Re-exported so downstream analysis code can name the RIB type without
+// depending on manrs-bgp directly.
+pub use manrs_bgp::CollectedRib;

@@ -1,0 +1,133 @@
+//! `as-set` expansion.
+//!
+//! IXPs and cloud providers expand a peer's `as-set` into the concrete
+//! list of ASNs they will accept announcements from (§2.2). Sets nest and
+//! — in the wild — contain cycles and dangling references; expansion must
+//! tolerate both.
+
+use crate::database::IrrRegistry;
+use crate::object::AsSetMember;
+use manrs_net::Asn;
+use std::collections::BTreeSet;
+
+/// The result of expanding an as-set.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Expansion {
+    /// All concrete ASNs reachable from the root set.
+    pub asns: BTreeSet<Asn>,
+    /// Names of referenced sets that no database defines.
+    pub missing: BTreeSet<String>,
+    /// Number of distinct sets visited (including the root, if defined).
+    pub sets_visited: usize,
+}
+
+/// Expands `name` against the registry, following nested sets
+/// breadth-first. Cycles are harmless (each set is visited once);
+/// undefined references are reported in [`Expansion::missing`].
+pub fn expand_as_set(registry: &IrrRegistry, name: &str) -> Expansion {
+    let mut expansion = Expansion::default();
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    let mut queue: Vec<String> = vec![name.to_owned()];
+    while let Some(current) = queue.pop() {
+        if !visited.insert(current.clone()) {
+            continue;
+        }
+        let Some(set) = registry.as_set(&current) else {
+            expansion.missing.insert(current);
+            continue;
+        };
+        expansion.sets_visited += 1;
+        for member in &set.members {
+            match member {
+                AsSetMember::Asn(asn) => {
+                    expansion.asns.insert(*asn);
+                }
+                AsSetMember::Set(nested) => queue.push(nested.clone()),
+            }
+        }
+    }
+    expansion
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::IrrDatabase;
+    use crate::object::AsSet;
+
+    fn set(name: &str, members: Vec<AsSetMember>) -> AsSet {
+        AsSet { name: name.into(), members, mnt_by: "M".into(), source: "RADB".into() }
+    }
+
+    fn registry(sets: Vec<AsSet>) -> IrrRegistry {
+        let mut db = IrrDatabase::new("RADB", None);
+        for s in sets {
+            db.add_as_set(s);
+        }
+        let mut reg = IrrRegistry::new();
+        reg.add_database(db);
+        reg
+    }
+
+    #[test]
+    fn flat_set() {
+        let reg = registry(vec![set(
+            "AS-FLAT",
+            vec![AsSetMember::Asn(Asn(1)), AsSetMember::Asn(Asn(2))],
+        )]);
+        let e = expand_as_set(&reg, "AS-FLAT");
+        assert_eq!(e.asns, [Asn(1), Asn(2)].into_iter().collect());
+        assert!(e.missing.is_empty());
+        assert_eq!(e.sets_visited, 1);
+    }
+
+    #[test]
+    fn nested_sets() {
+        let reg = registry(vec![
+            set("AS-TOP", vec![AsSetMember::Asn(Asn(1)), AsSetMember::Set("AS-MID".into())]),
+            set("AS-MID", vec![AsSetMember::Asn(Asn(2)), AsSetMember::Set("AS-LEAF".into())]),
+            set("AS-LEAF", vec![AsSetMember::Asn(Asn(3))]),
+        ]);
+        let e = expand_as_set(&reg, "AS-TOP");
+        assert_eq!(e.asns, [Asn(1), Asn(2), Asn(3)].into_iter().collect());
+        assert_eq!(e.sets_visited, 3);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let reg = registry(vec![
+            set("AS-A", vec![AsSetMember::Asn(Asn(1)), AsSetMember::Set("AS-B".into())]),
+            set("AS-B", vec![AsSetMember::Asn(Asn(2)), AsSetMember::Set("AS-A".into())]),
+        ]);
+        let e = expand_as_set(&reg, "AS-A");
+        assert_eq!(e.asns, [Asn(1), Asn(2)].into_iter().collect());
+        assert_eq!(e.sets_visited, 2);
+        assert!(e.missing.is_empty());
+    }
+
+    #[test]
+    fn self_referencing_set() {
+        let reg = registry(vec![set(
+            "AS-SELF",
+            vec![AsSetMember::Asn(Asn(9)), AsSetMember::Set("AS-SELF".into())],
+        )]);
+        let e = expand_as_set(&reg, "AS-SELF");
+        assert_eq!(e.asns, [Asn(9)].into_iter().collect());
+    }
+
+    #[test]
+    fn missing_references_reported() {
+        let reg = registry(vec![set("AS-HAS-GAP", vec![AsSetMember::Set("AS-GONE".into())])]);
+        let e = expand_as_set(&reg, "AS-HAS-GAP");
+        assert!(e.asns.is_empty());
+        assert_eq!(e.missing, ["AS-GONE".to_owned()].into_iter().collect());
+    }
+
+    #[test]
+    fn missing_root() {
+        let reg = registry(vec![]);
+        let e = expand_as_set(&reg, "AS-NOWHERE");
+        assert_eq!(e.sets_visited, 0);
+        assert_eq!(e.missing.len(), 1);
+    }
+}

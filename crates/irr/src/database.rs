@@ -1,0 +1,317 @@
+//! IRR databases and the assembled registry view.
+//!
+//! Authoritative IRR databases are run by the five RIRs and contain only
+//! the address space that RIR manages; other organizations run
+//! non-authoritative registries (RADb being the big one), and RADb-style
+//! mirroring folds many databases into one collection (§2.2).
+//! [`IrrRegistry`] models the union view the paper's pipeline validates
+//! against.
+
+use crate::object::{AsSet, AutNum, RouteObject, RpslObject};
+use manrs_net::{AddressSpace, Asn, Prefix, PrefixMap, Rir};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One IRR database.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IrrDatabase {
+    /// Database tag, e.g. `"RIPE"` or `"RADB"`.
+    pub source: String,
+    /// `Some(rir)` if the database is authoritative for that RIR's space.
+    pub authoritative: Option<Rir>,
+    routes: PrefixMap<RouteObject>,
+    as_sets: BTreeMap<String, AsSet>,
+    aut_nums: BTreeMap<Asn, AutNum>,
+    route_count: usize,
+}
+
+impl IrrDatabase {
+    /// Creates an empty database.
+    pub fn new(source: impl Into<String>, authoritative: Option<Rir>) -> Self {
+        IrrDatabase {
+            source: source.into(),
+            authoritative,
+            routes: PrefixMap::new(),
+            as_sets: BTreeMap::new(),
+            aut_nums: BTreeMap::new(),
+            route_count: 0,
+        }
+    }
+
+    /// Adds any RPSL object. `mntner` objects are accepted and ignored
+    /// (the pipeline does not index them).
+    pub fn add(&mut self, object: RpslObject) {
+        match object {
+            RpslObject::Route(r) => self.add_route(r),
+            RpslObject::AsSet(s) => self.add_as_set(s),
+            RpslObject::AutNum(a) => self.add_aut_num(a),
+            RpslObject::Mntner(_) => {}
+        }
+    }
+
+    /// Registers an aut-num object (replacing a previous one for the
+    /// same ASN). Contact attributes on aut-nums are what MANRS
+    /// Action 3 is about.
+    pub fn add_aut_num(&mut self, aut_num: AutNum) {
+        self.aut_nums.insert(aut_num.asn, aut_num);
+    }
+
+    /// The aut-num object for `asn`, if registered here.
+    pub fn aut_num(&self, asn: Asn) -> Option<&AutNum> {
+        self.aut_nums.get(&asn)
+    }
+
+    /// Registers a route object.
+    pub fn add_route(&mut self, route: RouteObject) {
+        self.routes.insert(route.prefix, route);
+        self.route_count += 1;
+    }
+
+    /// Removes route objects for `prefix` originated by `origin`;
+    /// returns how many were deleted.
+    pub fn remove_route(&mut self, prefix: &Prefix, origin: Asn) -> usize {
+        let removed = self.routes.remove_where(prefix, |r| r.origin == origin);
+        self.route_count -= removed;
+        removed
+    }
+
+    /// Registers an as-set (replacing a previous one of the same name).
+    pub fn add_as_set(&mut self, set: AsSet) {
+        self.as_sets.insert(set.name.clone(), set);
+    }
+
+    /// Number of route objects.
+    pub fn route_count(&self) -> usize {
+        self.route_count
+    }
+
+    /// Route objects whose prefix covers `prefix`.
+    pub fn covering_routes(&self, prefix: &Prefix) -> Vec<&RouteObject> {
+        self.routes.covering(prefix)
+    }
+
+    /// Route objects registered at exactly `prefix`.
+    pub fn exact_routes(&self, prefix: &Prefix) -> &[RouteObject] {
+        self.routes.exact(prefix)
+    }
+
+    /// The as-set with the given name.
+    pub fn as_set(&self, name: &str) -> Option<&AsSet> {
+        self.as_sets.get(name)
+    }
+
+    /// Every route object.
+    pub fn routes(&self) -> Vec<&RouteObject> {
+        self.routes.values()
+    }
+
+    /// Address space covered by registered route objects.
+    pub fn covered_space(&self) -> AddressSpace {
+        let mut space = AddressSpace::new();
+        self.routes.for_each(|r| space.add(&r.prefix));
+        space
+    }
+}
+
+/// The union view over a set of IRR databases, in a fixed resolution
+/// order. Queries are answered across *all* databases — the IHR's IRR
+/// status (§5.3) likewise validates against the merged collection.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IrrRegistry {
+    databases: Vec<IrrDatabase>,
+}
+
+impl IrrRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a database. Order matters only for as-set name shadowing
+    /// (earlier databases win), mirroring RADb resolution.
+    pub fn add_database(&mut self, db: IrrDatabase) {
+        self.databases.push(db);
+    }
+
+    /// The databases, in resolution order.
+    pub fn databases(&self) -> &[IrrDatabase] {
+        &self.databases
+    }
+
+    /// Mutable access by source tag.
+    pub fn database_mut(&mut self, source: &str) -> Option<&mut IrrDatabase> {
+        self.databases.iter_mut().find(|d| d.source == source)
+    }
+
+    /// Route objects covering `prefix`, across every database.
+    pub fn covering_routes(&self, prefix: &Prefix) -> Vec<&RouteObject> {
+        let mut out = Vec::new();
+        for db in &self.databases {
+            out.extend(db.covering_routes(prefix));
+        }
+        out
+    }
+
+    /// Resolves an as-set name: the first database that defines it wins.
+    pub fn as_set(&self, name: &str) -> Option<&AsSet> {
+        self.databases.iter().find_map(|db| db.as_set(name))
+    }
+
+    /// Resolves an aut-num: the first database that registers it wins.
+    pub fn aut_num(&self, asn: Asn) -> Option<&AutNum> {
+        self.databases.iter().find_map(|db| db.aut_num(asn))
+    }
+
+    /// Total route objects across databases (duplicates across mirrors
+    /// count separately, as they do in the real collection).
+    pub fn route_count(&self) -> usize {
+        self.databases.iter().map(|d| d.route_count()).sum()
+    }
+
+    /// Address space covered by route objects in any database — the
+    /// "IRR covered" side of the paper's §8.6 comparison.
+    pub fn covered_space(&self) -> AddressSpace {
+        let mut space = AddressSpace::new();
+        for db in &self.databases {
+            space.union_with(&db.covered_space());
+        }
+        space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_net::Date;
+
+    fn route(prefix: &str, origin: u32, source: &str) -> RouteObject {
+        RouteObject {
+            prefix: prefix.parse().unwrap(),
+            origin: Asn(origin),
+            descr: String::new(),
+            mnt_by: "M".into(),
+            source: source.into(),
+            last_modified: Date::ymd(2022, 1, 1),
+        }
+    }
+
+    #[test]
+    fn add_and_query_routes() {
+        let mut db = IrrDatabase::new("RIPE", Some(Rir::RipeNcc));
+        db.add_route(route("10.0.0.0/8", 1, "RIPE"));
+        db.add_route(route("10.1.0.0/16", 2, "RIPE"));
+        assert_eq!(db.route_count(), 2);
+        let covering = db.covering_routes(&"10.1.0.0/16".parse().unwrap());
+        assert_eq!(covering.len(), 2);
+        assert_eq!(db.exact_routes(&"10.0.0.0/8".parse().unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn remove_route() {
+        let mut db = IrrDatabase::new("RADB", None);
+        db.add_route(route("10.0.0.0/8", 1, "RADB"));
+        db.add_route(route("10.0.0.0/8", 2, "RADB"));
+        assert_eq!(db.remove_route(&"10.0.0.0/8".parse().unwrap(), Asn(1)), 1);
+        assert_eq!(db.route_count(), 1);
+        assert_eq!(db.exact_routes(&"10.0.0.0/8".parse().unwrap())[0].origin, Asn(2));
+    }
+
+    #[test]
+    fn registry_merges_databases() {
+        let mut ripe = IrrDatabase::new("RIPE", Some(Rir::RipeNcc));
+        ripe.add_route(route("10.0.0.0/8", 1, "RIPE"));
+        let mut radb = IrrDatabase::new("RADB", None);
+        radb.add_route(route("10.0.0.0/16", 2, "RADB"));
+        let mut reg = IrrRegistry::new();
+        reg.add_database(ripe);
+        reg.add_database(radb);
+        assert_eq!(reg.route_count(), 2);
+        let covering = reg.covering_routes(&"10.0.0.0/16".parse().unwrap());
+        assert_eq!(covering.len(), 2);
+    }
+
+    #[test]
+    fn as_set_resolution_order() {
+        let mut first = IrrDatabase::new("RIPE", Some(Rir::RipeNcc));
+        first.add_as_set(AsSet {
+            name: "AS-X".into(),
+            members: vec![],
+            mnt_by: "A".into(),
+            source: "RIPE".into(),
+        });
+        let mut second = IrrDatabase::new("RADB", None);
+        second.add_as_set(AsSet {
+            name: "AS-X".into(),
+            members: vec![],
+            mnt_by: "B".into(),
+            source: "RADB".into(),
+        });
+        let mut reg = IrrRegistry::new();
+        reg.add_database(first);
+        reg.add_database(second);
+        assert_eq!(reg.as_set("AS-X").unwrap().mnt_by, "A");
+        assert!(reg.as_set("AS-MISSING").is_none());
+    }
+
+    #[test]
+    fn covered_space_union() {
+        let mut a = IrrDatabase::new("A", None);
+        a.add_route(route("10.0.0.0/9", 1, "A"));
+        let mut b = IrrDatabase::new("B", None);
+        b.add_route(route("10.0.0.0/8", 1, "B")); // superset
+        let mut reg = IrrRegistry::new();
+        reg.add_database(a);
+        reg.add_database(b);
+        assert_eq!(reg.covered_space().v4_len(), 1 << 24);
+    }
+
+    #[test]
+    fn aut_num_registration_and_resolution() {
+        use crate::object::AutNum;
+        let mk = |asn: u32, source: &str, contact: &str| AutNum {
+            asn: Asn(asn),
+            as_name: format!("AS{asn}-NAME"),
+            mnt_by: "M".into(),
+            source: source.into(),
+            admin_c: contact.into(),
+        };
+        let mut ripe = IrrDatabase::new("RIPE", Some(Rir::RipeNcc));
+        ripe.add_aut_num(mk(1, "RIPE", "noc@one.example"));
+        let mut radb = IrrDatabase::new("RADB", None);
+        radb.add_aut_num(mk(1, "RADB", "stale@old.example"));
+        radb.add_aut_num(mk(2, "RADB", ""));
+        let mut reg = IrrRegistry::new();
+        reg.add_database(ripe);
+        reg.add_database(radb);
+        // Resolution order: RIPE's record wins for AS1.
+        assert_eq!(reg.aut_num(Asn(1)).unwrap().admin_c, "noc@one.example");
+        assert_eq!(reg.aut_num(Asn(2)).unwrap().admin_c, "");
+        assert!(reg.aut_num(Asn(3)).is_none());
+        // Replacement within one database.
+        let db = reg.database_mut("RADB").unwrap();
+        db.add_aut_num(mk(2, "RADB", "fresh@two.example"));
+        assert_eq!(reg.aut_num(Asn(2)).unwrap().admin_c, "fresh@two.example");
+    }
+
+    #[test]
+    fn add_dispatches_by_class() {
+        let mut db = IrrDatabase::new("RADB", None);
+        db.add(RpslObject::Route(route("10.0.0.0/8", 1, "RADB")));
+        db.add(RpslObject::AsSet(AsSet {
+            name: "AS-Y".into(),
+            members: vec![],
+            mnt_by: String::new(),
+            source: "RADB".into(),
+        }));
+        db.add(RpslObject::AutNum(crate::object::AutNum {
+            asn: Asn(7),
+            as_name: "SEVEN".into(),
+            mnt_by: String::new(),
+            source: "RADB".into(),
+            admin_c: "ops@seven.example".into(),
+        }));
+        assert_eq!(db.route_count(), 1);
+        assert!(db.as_set("AS-Y").is_some());
+        assert!(db.aut_num(Asn(7)).is_some());
+    }
+}

@@ -1,0 +1,30 @@
+//! Internet Routing Registry model.
+//!
+//! The IRR (§2.2 of the paper) is a collection of RPSL databases in which
+//! networks register the routes they intend to originate. This crate
+//! provides:
+//!
+//! * [`object`] — the RPSL objects the analysis touches: `route`/`route6`
+//!   objects (prefix → origin AS), `aut-num`, `as-set`, and `mntner`.
+//! * [`rpsl`] — a line-oriented RPSL text parser and serializer
+//!   (attribute/value pairs, continuation lines, `#` comments, objects
+//!   separated by blank lines), with round-trip guarantees.
+//! * [`database`] — a single IRR database (authoritative to one RIR, or a
+//!   third-party registry), plus [`database::IrrRegistry`]: the world view
+//!   assembled from many databases the way RADb mirrors aggregate them.
+//! * [`asset`] — `as-set` expansion with cycle tolerance, as used by IXPs
+//!   and cloud providers to build filter lists.
+//! * [`validation`] — IRR validity of a (prefix, origin) pair using the
+//!   paper's §6.1 rule: the RPKI algorithm with each route object's own
+//!   prefix length standing in for the missing maxLength attribute.
+
+pub mod asset;
+pub mod database;
+pub mod object;
+pub mod rpsl;
+pub mod validation;
+
+pub use asset::expand_as_set;
+pub use database::{IrrDatabase, IrrRegistry};
+pub use object::{AsSet, AsSetMember, AutNum, Mntner, RouteObject, RpslObject};
+pub use validation::{validate_irr, IrrStatus};

@@ -1,0 +1,187 @@
+//! RPSL objects.
+//!
+//! Only the attributes the measurement pipeline consumes are modelled as
+//! typed fields; everything else an operator might put in an object is
+//! carried in `remarks`-style free attributes by the [`crate::rpsl`]
+//! parser layer.
+
+use manrs_net::{Asn, Date, Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `route` (IPv4) or `route6` (IPv6) object: the registration of an
+/// intended (prefix, origin) announcement.
+///
+/// This is the object MANRS Action 4 is about: members must register the
+/// announcements they intend to originate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteObject {
+    /// The registered prefix.
+    pub prefix: Prefix,
+    /// The AS authorized to originate it.
+    pub origin: Asn,
+    /// Human-readable description.
+    pub descr: String,
+    /// Maintainer responsible for the object.
+    pub mnt_by: String,
+    /// Source database tag (e.g. `RIPE`, `RADB`).
+    pub source: String,
+    /// Last modification date — stale objects are the paper's §8.2 story.
+    pub last_modified: Date,
+}
+
+impl RouteObject {
+    /// The RPSL class name for this object's family.
+    pub fn class(&self) -> &'static str {
+        match self.prefix {
+            Prefix::V4(_) => "route",
+            Prefix::V6(_) => "route6",
+        }
+    }
+}
+
+impl fmt::Display for RouteObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} origin {}", self.class(), self.prefix, self.origin)
+    }
+}
+
+/// An `aut-num` object: registration of an AS and its policy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AutNum {
+    /// The AS number.
+    pub asn: Asn,
+    /// The network's name.
+    pub as_name: String,
+    /// Maintainer.
+    pub mnt_by: String,
+    /// Source database tag.
+    pub source: String,
+    /// Contact e-mail — MANRS Action 3 requires this to be current.
+    pub admin_c: String,
+}
+
+/// A member of an `as-set`: either a concrete ASN or a nested set.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsSetMember {
+    /// A concrete AS number.
+    Asn(Asn),
+    /// A nested `as-set` referenced by name.
+    Set(String),
+}
+
+impl fmt::Display for AsSetMember {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsSetMember::Asn(asn) => asn.fmt(f),
+            AsSetMember::Set(name) => f.write_str(name),
+        }
+    }
+}
+
+/// An `as-set` object: a named collection of ASes (and nested sets) used
+/// to authorize customer origination (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsSet {
+    /// The set's name, canonically starting with `AS-`.
+    pub name: String,
+    /// Direct members.
+    pub members: Vec<AsSetMember>,
+    /// Maintainer.
+    pub mnt_by: String,
+    /// Source database tag.
+    pub source: String,
+}
+
+/// A `mntner` object: the authentication anchor for modifications.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mntner {
+    /// The maintainer handle.
+    pub name: String,
+    /// Authentication scheme descriptor (opaque to the pipeline).
+    pub auth: String,
+    /// Source database tag.
+    pub source: String,
+}
+
+/// Any RPSL object the pipeline understands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RpslObject {
+    /// `route` / `route6`.
+    Route(RouteObject),
+    /// `aut-num`.
+    AutNum(AutNum),
+    /// `as-set`.
+    AsSet(AsSet),
+    /// `mntner`.
+    Mntner(Mntner),
+}
+
+impl RpslObject {
+    /// The RPSL class name.
+    pub fn class(&self) -> &'static str {
+        match self {
+            RpslObject::Route(r) => r.class(),
+            RpslObject::AutNum(_) => "aut-num",
+            RpslObject::AsSet(_) => "as-set",
+            RpslObject::Mntner(_) => "mntner",
+        }
+    }
+
+    /// The route object, if this is one.
+    pub fn as_route(&self) -> Option<&RouteObject> {
+        match self {
+            RpslObject::Route(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_class_follows_family() {
+        let mk = |p: &str| RouteObject {
+            prefix: p.parse().unwrap(),
+            origin: Asn(64_500),
+            descr: "test".into(),
+            mnt_by: "MAINT-TEST".into(),
+            source: "RADB".into(),
+            last_modified: Date::ymd(2022, 1, 1),
+        };
+        assert_eq!(mk("10.0.0.0/8").class(), "route");
+        assert_eq!(mk("2001:db8::/32").class(), "route6");
+        assert_eq!(mk("10.0.0.0/8").to_string(), "route: 10.0.0.0/8 origin AS64500");
+    }
+
+    #[test]
+    fn object_class_names() {
+        let route = RpslObject::Route(RouteObject {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            origin: Asn(1),
+            descr: String::new(),
+            mnt_by: String::new(),
+            source: String::new(),
+            last_modified: Date::ymd(2022, 1, 1),
+        });
+        assert_eq!(route.class(), "route");
+        assert!(route.as_route().is_some());
+        let autnum = RpslObject::AutNum(AutNum {
+            asn: Asn(1),
+            as_name: "TEST".into(),
+            mnt_by: String::new(),
+            source: String::new(),
+            admin_c: String::new(),
+        });
+        assert_eq!(autnum.class(), "aut-num");
+        assert!(autnum.as_route().is_none());
+    }
+
+    #[test]
+    fn as_set_member_display() {
+        assert_eq!(AsSetMember::Asn(Asn(1)).to_string(), "AS1");
+        assert_eq!(AsSetMember::Set("AS-EXAMPLE".into()).to_string(), "AS-EXAMPLE");
+    }
+}

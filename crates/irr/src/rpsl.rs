@@ -1,0 +1,422 @@
+//! RPSL text parsing and serialization.
+//!
+//! The IRR snapshots the paper consumes (§5.4) are flat RPSL text files:
+//! objects are blocks of `attribute: value` lines separated by blank
+//! lines; a line starting with whitespace or `+` continues the previous
+//! value; `#` starts a comment. This module parses that format into
+//! [`RpslObject`]s and serializes them back, with a lossless round trip
+//! for the attributes the pipeline models.
+
+use crate::object::{AsSet, AsSetMember, AutNum, Mntner, RouteObject, RpslObject};
+use manrs_net::{Asn, Date, Prefix};
+use std::fmt::Write as _;
+
+/// A parse failure, with the (1-based) line where the offending object
+/// starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpslError {
+    /// Line number of the object's first line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for RpslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RPSL parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RpslError {}
+
+/// One raw attribute block: ordered (key, value) pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawObject {
+    /// Line number of the first attribute.
+    pub line: usize,
+    /// Attributes in file order; keys are lowercased.
+    pub attributes: Vec<(String, String)>,
+}
+
+impl RawObject {
+    /// First value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, RpslError> {
+        self.get(key).ok_or_else(|| RpslError {
+            line: self.line,
+            message: format!("missing required attribute {key:?}"),
+        })
+    }
+}
+
+/// Splits RPSL text into raw attribute blocks.
+pub fn split_objects(text: &str) -> Result<Vec<RawObject>, RpslError> {
+    let mut objects = Vec::new();
+    let mut current: Option<RawObject> = None;
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip comments; a '#' inside a value starts a comment in RPSL.
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        if line.trim().is_empty() {
+            if let Some(obj) = current.take() {
+                objects.push(obj);
+            }
+            continue;
+        }
+        let continuation = line.starts_with(' ') || line.starts_with('\t') || line.starts_with('+');
+        if continuation {
+            let Some(obj) = current.as_mut() else {
+                return Err(RpslError {
+                    line: line_no,
+                    message: "continuation line before any attribute".into(),
+                });
+            };
+            let Some(last) = obj.attributes.last_mut() else {
+                return Err(RpslError {
+                    line: line_no,
+                    message: "continuation line before any attribute".into(),
+                });
+            };
+            let cont = line.trim_start_matches(['+', ' ', '\t']).trim_end();
+            if !cont.is_empty() {
+                if !last.1.is_empty() {
+                    last.1.push(' ');
+                }
+                last.1.push_str(cont);
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            return Err(RpslError {
+                line: line_no,
+                message: format!("expected `attribute: value`, got {raw_line:?}"),
+            });
+        };
+        let obj = current.get_or_insert_with(|| RawObject { line: line_no, attributes: Vec::new() });
+        obj.attributes
+            .push((key.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    if let Some(obj) = current.take() {
+        objects.push(obj);
+    }
+    Ok(objects)
+}
+
+/// Interprets one raw block as a typed object. The block's first
+/// attribute determines the class, as in real RPSL.
+pub fn parse_object(raw: &RawObject) -> Result<RpslObject, RpslError> {
+    let Some((class, first_value)) = raw.attributes.first() else {
+        return Err(RpslError { line: raw.line, message: "empty object".into() });
+    };
+    let err = |message: String| RpslError { line: raw.line, message };
+    match class.as_str() {
+        "route" | "route6" => {
+            let prefix: Prefix = first_value
+                .parse()
+                .map_err(|e| err(format!("bad prefix {first_value:?}: {e}")))?;
+            let origin: Asn = raw
+                .require("origin")?
+                .parse()
+                .map_err(|e| err(format!("bad origin: {e}")))?;
+            let last_modified: Date = match raw.get("last-modified") {
+                Some(v) => v.parse().map_err(|e| err(format!("bad last-modified: {e}")))?,
+                None => Date::ymd(1995, 1, 1), // IRR predates the attribute
+            };
+            Ok(RpslObject::Route(RouteObject {
+                prefix,
+                origin,
+                descr: raw.get("descr").unwrap_or_default().to_owned(),
+                mnt_by: raw.get("mnt-by").unwrap_or_default().to_owned(),
+                source: raw.get("source").unwrap_or_default().to_owned(),
+                last_modified,
+            }))
+        }
+        "aut-num" => {
+            let asn: Asn = first_value
+                .parse()
+                .map_err(|e| err(format!("bad aut-num: {e}")))?;
+            Ok(RpslObject::AutNum(AutNum {
+                asn,
+                as_name: raw.get("as-name").unwrap_or_default().to_owned(),
+                mnt_by: raw.get("mnt-by").unwrap_or_default().to_owned(),
+                source: raw.get("source").unwrap_or_default().to_owned(),
+                admin_c: raw.get("admin-c").unwrap_or_default().to_owned(),
+            }))
+        }
+        "as-set" => {
+            let mut members = Vec::new();
+            for (k, v) in &raw.attributes {
+                if k != "members" {
+                    continue;
+                }
+                for part in v.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        continue;
+                    }
+                    match part.parse::<Asn>() {
+                        Ok(asn) => members.push(AsSetMember::Asn(asn)),
+                        Err(_) => members.push(AsSetMember::Set(part.to_owned())),
+                    }
+                }
+            }
+            Ok(RpslObject::AsSet(AsSet {
+                name: first_value.clone(),
+                members,
+                mnt_by: raw.get("mnt-by").unwrap_or_default().to_owned(),
+                source: raw.get("source").unwrap_or_default().to_owned(),
+            }))
+        }
+        "mntner" => Ok(RpslObject::Mntner(Mntner {
+            name: first_value.clone(),
+            auth: raw.get("auth").unwrap_or_default().to_owned(),
+            source: raw.get("source").unwrap_or_default().to_owned(),
+        })),
+        other => Err(err(format!("unknown object class {other:?}"))),
+    }
+}
+
+/// Parses a whole RPSL file. Unknown object classes are skipped (real
+/// snapshots carry many classes the pipeline does not model); malformed
+/// objects of known classes are errors.
+pub fn parse_file(text: &str) -> Result<Vec<RpslObject>, RpslError> {
+    let mut out = Vec::new();
+    for raw in split_objects(text)? {
+        match parse_object(&raw) {
+            Ok(obj) => out.push(obj),
+            Err(e) if e.message.starts_with("unknown object class") => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes one object to RPSL text (no trailing blank line).
+pub fn serialize_object(obj: &RpslObject) -> String {
+    let mut s = String::new();
+    match obj {
+        RpslObject::Route(r) => {
+            let _ = writeln!(s, "{}:         {}", r.class(), r.prefix);
+            let _ = writeln!(s, "origin:        {}", r.origin);
+            if !r.descr.is_empty() {
+                let _ = writeln!(s, "descr:         {}", r.descr);
+            }
+            if !r.mnt_by.is_empty() {
+                let _ = writeln!(s, "mnt-by:        {}", r.mnt_by);
+            }
+            let _ = writeln!(s, "last-modified: {}", r.last_modified);
+            if !r.source.is_empty() {
+                let _ = writeln!(s, "source:        {}", r.source);
+            }
+        }
+        RpslObject::AutNum(a) => {
+            let _ = writeln!(s, "aut-num:       {}", a.asn);
+            let _ = writeln!(s, "as-name:       {}", a.as_name);
+            if !a.admin_c.is_empty() {
+                let _ = writeln!(s, "admin-c:       {}", a.admin_c);
+            }
+            if !a.mnt_by.is_empty() {
+                let _ = writeln!(s, "mnt-by:        {}", a.mnt_by);
+            }
+            if !a.source.is_empty() {
+                let _ = writeln!(s, "source:        {}", a.source);
+            }
+        }
+        RpslObject::AsSet(set) => {
+            let _ = writeln!(s, "as-set:        {}", set.name);
+            if !set.members.is_empty() {
+                let members: Vec<String> = set.members.iter().map(|m| m.to_string()).collect();
+                let _ = writeln!(s, "members:       {}", members.join(", "));
+            }
+            if !set.mnt_by.is_empty() {
+                let _ = writeln!(s, "mnt-by:        {}", set.mnt_by);
+            }
+            if !set.source.is_empty() {
+                let _ = writeln!(s, "source:        {}", set.source);
+            }
+        }
+        RpslObject::Mntner(m) => {
+            let _ = writeln!(s, "mntner:        {}", m.name);
+            if !m.auth.is_empty() {
+                let _ = writeln!(s, "auth:          {}", m.auth);
+            }
+            if !m.source.is_empty() {
+                let _ = writeln!(s, "source:        {}", m.source);
+            }
+        }
+    }
+    s
+}
+
+/// Serializes many objects into one file, blank-line separated.
+pub fn serialize_file(objects: &[RpslObject]) -> String {
+    objects
+        .iter()
+        .map(serialize_object)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_route() {
+        let text = "route: 192.0.2.0/24\norigin: AS64500\ndescr: Example\nmnt-by: MAINT-EX\nlast-modified: 2022-03-01\nsource: RADB\n";
+        let objs = parse_file(text).unwrap();
+        assert_eq!(objs.len(), 1);
+        let r = objs[0].as_route().unwrap();
+        assert_eq!(r.prefix, "192.0.2.0/24".parse().unwrap());
+        assert_eq!(r.origin, Asn(64_500));
+        assert_eq!(r.descr, "Example");
+        assert_eq!(r.source, "RADB");
+        assert_eq!(r.last_modified, Date::ymd(2022, 3, 1));
+    }
+
+    #[test]
+    fn parses_multiple_objects_and_comments() {
+        let text = "\
+route: 192.0.2.0/24   # the prefix
+origin: AS64500
+
+# a full-line comment between objects
+
+aut-num: AS64500
+as-name: EXAMPLE-AS
+";
+        let objs = parse_file(text).unwrap();
+        assert_eq!(objs.len(), 2);
+        assert_eq!(objs[1].class(), "aut-num");
+    }
+
+    #[test]
+    fn continuation_lines_join_values() {
+        let text = "route: 192.0.2.0/24\norigin: AS64500\ndescr: first part\n  second part\n+ third part\n";
+        let objs = parse_file(text).unwrap();
+        let r = objs[0].as_route().unwrap();
+        assert_eq!(r.descr, "first part second part third part");
+    }
+
+    #[test]
+    fn route6_objects() {
+        let text = "route6: 2001:db8::/32\norigin: AS64500\n";
+        let objs = parse_file(text).unwrap();
+        let r = objs[0].as_route().unwrap();
+        assert_eq!(r.prefix, "2001:db8::/32".parse().unwrap());
+        assert_eq!(r.class(), "route6");
+    }
+
+    #[test]
+    fn as_set_members_parse() {
+        let text = "as-set: AS-EXAMPLE\nmembers: AS1, AS2, AS-CUSTOMERS\nmembers: AS3\n";
+        let objs = parse_file(text).unwrap();
+        match &objs[0] {
+            RpslObject::AsSet(set) => {
+                assert_eq!(set.name, "AS-EXAMPLE");
+                assert_eq!(
+                    set.members,
+                    vec![
+                        AsSetMember::Asn(Asn(1)),
+                        AsSetMember::Asn(Asn(2)),
+                        AsSetMember::Set("AS-CUSTOMERS".into()),
+                        AsSetMember::Asn(Asn(3)),
+                    ]
+                );
+            }
+            other => panic!("expected as-set, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_classes_are_skipped() {
+        let text = "inetnum: 192.0.2.0 - 192.0.2.255\nnetname: EXAMPLE\n\nroute: 192.0.2.0/24\norigin: AS64500\n";
+        let objs = parse_file(text).unwrap();
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].class(), "route");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "\n\nroute: not-a-prefix\norigin: AS1\n";
+        let err = parse_file(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("bad prefix"));
+    }
+
+    #[test]
+    fn missing_origin_is_an_error() {
+        let err = parse_file("route: 192.0.2.0/24\n").unwrap_err();
+        assert!(err.message.contains("origin"));
+    }
+
+    #[test]
+    fn continuation_without_attribute_is_an_error() {
+        let err = parse_file("  dangling\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn garbage_line_is_an_error() {
+        assert!(parse_file("route: 192.0.2.0/24\norigin: AS1\nnonsense line\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_route() {
+        let original = RpslObject::Route(RouteObject {
+            prefix: "198.51.100.0/24".parse().unwrap(),
+            origin: Asn(64_501),
+            descr: "Round trip".into(),
+            mnt_by: "MAINT-RT".into(),
+            source: "RIPE".into(),
+            last_modified: Date::ymd(2021, 7, 15),
+        });
+        let text = serialize_object(&original);
+        let parsed = parse_file(&text).unwrap();
+        assert_eq!(parsed, vec![original]);
+    }
+
+    #[test]
+    fn round_trip_file_of_everything() {
+        let objects = vec![
+            RpslObject::Route(RouteObject {
+                prefix: "192.0.2.0/24".parse().unwrap(),
+                origin: Asn(1),
+                descr: "a".into(),
+                mnt_by: "M".into(),
+                source: "RADB".into(),
+                last_modified: Date::ymd(2022, 1, 1),
+            }),
+            RpslObject::AutNum(AutNum {
+                asn: Asn(1),
+                as_name: "ONE".into(),
+                mnt_by: "M".into(),
+                source: "RADB".into(),
+                admin_c: "OP1-EX".into(),
+            }),
+            RpslObject::AsSet(AsSet {
+                name: "AS-ONE".into(),
+                members: vec![AsSetMember::Asn(Asn(2)), AsSetMember::Set("AS-TWO".into())],
+                mnt_by: "M".into(),
+                source: "RADB".into(),
+            }),
+            RpslObject::Mntner(Mntner {
+                name: "M".into(),
+                auth: "MAGIC".into(),
+                source: "RADB".into(),
+            }),
+        ];
+        let text = serialize_file(&objects);
+        let parsed = parse_file(&text).unwrap();
+        assert_eq!(parsed, objects);
+    }
+}

@@ -1,0 +1,233 @@
+//! IRR validity classification.
+//!
+//! The paper (§6.1) classifies a (prefix, origin) pair against the IRR
+//! with "the same classification method as RPKI, but since there is no
+//! standardized max length attribute in IRR, we consider the prefix
+//! length as the max length value". Concretely, with the covering route
+//! objects of the announced prefix:
+//!
+//! * `Valid` — a covering route object has the same origin **and** the
+//!   same prefix (exact match).
+//! * `InvalidLength` — a covering route object has the same origin but
+//!   the announcement is more specific (the de-aggregation case that §3
+//!   treats as MANRS-conformant).
+//! * `InvalidAsn` — covering route objects exist, none with this origin.
+//! * `NotFound` — nothing covers the prefix.
+
+use crate::database::IrrRegistry;
+use manrs_net::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// IRR validity of a (prefix, origin) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IrrStatus {
+    /// Exact route object match (prefix and origin).
+    Valid,
+    /// Matching origin, but the announcement is more specific than the
+    /// registered route — treated as conformant by MANRS (§3).
+    InvalidLength,
+    /// Covering route objects exist, none authorizing this origin.
+    InvalidAsn,
+    /// No covering route object.
+    NotFound,
+}
+
+impl IrrStatus {
+    /// `true` for the hard-invalid state (wrong origin). `InvalidLength`
+    /// is *not* included: the paper treats it as conformant.
+    pub const fn is_invalid(self) -> bool {
+        matches!(self, IrrStatus::InvalidAsn)
+    }
+}
+
+impl std::str::FromStr for IrrStatus {
+    type Err = manrs_net::NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(' ', "-").as_str() {
+            "valid" => Ok(IrrStatus::Valid),
+            "invalid-length" | "invalid-prefix-length" => Ok(IrrStatus::InvalidLength),
+            "invalid-asn" | "invalid" => Ok(IrrStatus::InvalidAsn),
+            "notfound" | "not-found" => Ok(IrrStatus::NotFound),
+            _ => Err(manrs_net::NetError::InvalidAddress(s.to_owned())),
+        }
+    }
+}
+
+impl fmt::Display for IrrStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IrrStatus::Valid => "Valid",
+            IrrStatus::InvalidLength => "Invalid Length",
+            IrrStatus::InvalidAsn => "Invalid ASN",
+            IrrStatus::NotFound => "NotFound",
+        })
+    }
+}
+
+/// Classifies `(prefix, origin)` against every database in the registry.
+///
+/// ```
+/// use manrs_irr::{validate_irr, IrrRegistry, IrrDatabase, IrrStatus, RouteObject};
+/// use manrs_net::{Asn, Date};
+///
+/// let mut db = IrrDatabase::new("RADB", None);
+/// db.add_route(RouteObject {
+///     prefix: "203.0.113.0/24".parse().unwrap(),
+///     origin: Asn(64500),
+///     descr: String::new(),
+///     mnt_by: "M".into(),
+///     source: "RADB".into(),
+///     last_modified: Date::ymd(2022, 1, 1),
+/// });
+/// let mut reg = IrrRegistry::new();
+/// reg.add_database(db);
+///
+/// let p = "203.0.113.0/24".parse().unwrap();
+/// assert_eq!(validate_irr(&reg, &p, Asn(64500)), IrrStatus::Valid);
+/// assert_eq!(validate_irr(&reg, &p, Asn(64501)), IrrStatus::InvalidAsn);
+/// ```
+pub fn validate_irr(registry: &IrrRegistry, prefix: &Prefix, origin: Asn) -> IrrStatus {
+    let covering = registry.covering_routes(prefix);
+    if covering.is_empty() {
+        return IrrStatus::NotFound;
+    }
+    let mut saw_matching_origin = false;
+    for route in covering {
+        if route.origin == origin {
+            if route.prefix.len() == prefix.len() {
+                return IrrStatus::Valid;
+            }
+            saw_matching_origin = true;
+        }
+    }
+    if saw_matching_origin {
+        IrrStatus::InvalidLength
+    } else {
+        IrrStatus::InvalidAsn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::IrrDatabase;
+    use crate::object::RouteObject;
+    use manrs_net::Date;
+
+    fn registry(entries: &[(&str, u32)]) -> IrrRegistry {
+        let mut db = IrrDatabase::new("RADB", None);
+        for (prefix, origin) in entries {
+            db.add_route(RouteObject {
+                prefix: prefix.parse().unwrap(),
+                origin: Asn(*origin),
+                descr: String::new(),
+                mnt_by: "M".into(),
+                source: "RADB".into(),
+                last_modified: Date::ymd(2022, 1, 1),
+            });
+        }
+        let mut reg = IrrRegistry::new();
+        reg.add_database(db);
+        reg
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn status_display_parse_round_trip() {
+        for status in [
+            IrrStatus::Valid,
+            IrrStatus::InvalidLength,
+            IrrStatus::InvalidAsn,
+            IrrStatus::NotFound,
+        ] {
+            let parsed: IrrStatus = status.to_string().parse().unwrap();
+            assert_eq!(parsed, status);
+        }
+        assert!("martian".parse::<IrrStatus>().is_err());
+    }
+
+    #[test]
+    fn not_found() {
+        let reg = registry(&[("10.0.0.0/16", 1)]);
+        assert_eq!(validate_irr(&reg, &p("11.0.0.0/16"), Asn(1)), IrrStatus::NotFound);
+        // Less specific than the registration: not covered.
+        assert_eq!(validate_irr(&reg, &p("10.0.0.0/8"), Asn(1)), IrrStatus::NotFound);
+    }
+
+    #[test]
+    fn exact_match_is_valid() {
+        let reg = registry(&[("10.0.0.0/16", 1)]);
+        assert_eq!(validate_irr(&reg, &p("10.0.0.0/16"), Asn(1)), IrrStatus::Valid);
+    }
+
+    #[test]
+    fn more_specific_is_invalid_length() {
+        let reg = registry(&[("10.0.0.0/16", 1)]);
+        assert_eq!(validate_irr(&reg, &p("10.0.128.0/20"), Asn(1)), IrrStatus::InvalidLength);
+        assert!(!IrrStatus::InvalidLength.is_invalid());
+    }
+
+    #[test]
+    fn wrong_origin_is_invalid_asn() {
+        let reg = registry(&[("10.0.0.0/16", 1)]);
+        assert_eq!(validate_irr(&reg, &p("10.0.0.0/16"), Asn(2)), IrrStatus::InvalidAsn);
+        assert!(IrrStatus::InvalidAsn.is_invalid());
+    }
+
+    #[test]
+    fn invalid_length_beats_invalid_asn() {
+        // One covering object with the right origin (but shorter), one
+        // exact object with the wrong origin.
+        let reg = registry(&[("10.0.0.0/8", 1), ("10.0.0.0/16", 2)]);
+        assert_eq!(validate_irr(&reg, &p("10.0.0.0/16"), Asn(1)), IrrStatus::InvalidLength);
+    }
+
+    #[test]
+    fn any_exact_match_wins() {
+        // Two objects at the same prefix with different origins:
+        // both origins validate (multi-homing / multiple registrations).
+        let reg = registry(&[("10.0.0.0/16", 1), ("10.0.0.0/16", 2)]);
+        assert_eq!(validate_irr(&reg, &p("10.0.0.0/16"), Asn(1)), IrrStatus::Valid);
+        assert_eq!(validate_irr(&reg, &p("10.0.0.0/16"), Asn(2)), IrrStatus::Valid);
+        assert_eq!(validate_irr(&reg, &p("10.0.0.0/16"), Asn(3)), IrrStatus::InvalidAsn);
+    }
+
+    #[test]
+    fn cross_database_objects_combine() {
+        let mut ripe = IrrDatabase::new("RIPE", Some(manrs_net::Rir::RipeNcc));
+        ripe.add_route(RouteObject {
+            prefix: p("10.0.0.0/16"),
+            origin: Asn(1),
+            descr: String::new(),
+            mnt_by: "M".into(),
+            source: "RIPE".into(),
+            last_modified: Date::ymd(2022, 1, 1),
+        });
+        let mut radb = IrrDatabase::new("RADB", None);
+        radb.add_route(RouteObject {
+            prefix: p("10.0.0.0/16"),
+            origin: Asn(2),
+            descr: String::new(),
+            mnt_by: "M".into(),
+            source: "RADB".into(),
+            last_modified: Date::ymd(2022, 1, 1),
+        });
+        let mut reg = IrrRegistry::new();
+        reg.add_database(ripe);
+        reg.add_database(radb);
+        assert_eq!(validate_irr(&reg, &p("10.0.0.0/16"), Asn(2)), IrrStatus::Valid);
+    }
+
+    #[test]
+    fn v6_validation() {
+        let reg = registry(&[("2001:db8::/32", 1)]);
+        assert_eq!(validate_irr(&reg, &p("2001:db8::/32"), Asn(1)), IrrStatus::Valid);
+        assert_eq!(validate_irr(&reg, &p("2001:db8::/48"), Asn(1)), IrrStatus::InvalidLength);
+        assert_eq!(validate_irr(&reg, &p("2001:db8::/48"), Asn(2)), IrrStatus::InvalidAsn);
+    }
+}

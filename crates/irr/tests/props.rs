@@ -1,0 +1,119 @@
+//! Property tests for the IRR crate: parser round trips and validation
+//! against a naive oracle.
+
+use manrs_irr::{
+    validate_irr, IrrDatabase, IrrRegistry, IrrStatus, RouteObject, RpslObject,
+};
+use manrs_net::{Asn, Date, Ipv4Prefix, Prefix};
+use proptest::prelude::*;
+
+fn prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..8, 8u8..=28).prop_map(|(net, len)| {
+        let bits = 0x0A00_0000 | (net << 20);
+        Prefix::V4(Ipv4Prefix::from_bits_truncated(bits, len).unwrap())
+    })
+}
+
+fn route_object() -> impl Strategy<Value = RouteObject> {
+    (prefix(), 1u32..6, 0i64..3000, "[A-Za-z0-9 ]{0,20}").prop_map(
+        |(prefix, origin, age, descr)| RouteObject {
+            prefix,
+            origin: Asn(origin),
+            descr: descr.trim().to_owned(),
+            mnt_by: "MAINT-PROP".into(),
+            source: "RADB".into(),
+            last_modified: Date::ymd(2014, 1, 1).plus_days(age),
+        },
+    )
+}
+
+fn registry(routes: &[RouteObject]) -> IrrRegistry {
+    let mut db = IrrDatabase::new("RADB", None);
+    for r in routes {
+        db.add_route(r.clone());
+    }
+    let mut reg = IrrRegistry::new();
+    reg.add_database(db);
+    reg
+}
+
+/// Straight transcription of the paper's §6.1 IRR rule.
+fn oracle(routes: &[RouteObject], prefix: &Prefix, origin: Asn) -> IrrStatus {
+    let covering: Vec<&RouteObject> =
+        routes.iter().filter(|r| r.prefix.contains(prefix)).collect();
+    if covering.is_empty() {
+        return IrrStatus::NotFound;
+    }
+    if covering
+        .iter()
+        .any(|r| r.origin == origin && r.prefix.len() == prefix.len())
+    {
+        return IrrStatus::Valid;
+    }
+    if covering.iter().any(|r| r.origin == origin) {
+        IrrStatus::InvalidLength
+    } else {
+        IrrStatus::InvalidAsn
+    }
+}
+
+proptest! {
+    /// RPSL serialization round-trips every generated route object.
+    #[test]
+    fn rpsl_route_round_trip(routes in prop::collection::vec(route_object(), 1..10)) {
+        let objects: Vec<RpslObject> =
+            routes.iter().cloned().map(RpslObject::Route).collect();
+        let text = manrs_irr::rpsl::serialize_file(&objects);
+        let parsed = manrs_irr::rpsl::parse_file(&text).expect("serialized text parses");
+        prop_assert_eq!(parsed, objects);
+    }
+
+    /// Trie-backed IRR validation agrees with the linear oracle.
+    #[test]
+    fn irr_validation_matches_oracle(
+        routes in prop::collection::vec(route_object(), 0..25),
+        query in prefix(),
+        origin in 1u32..6,
+    ) {
+        let reg = registry(&routes);
+        prop_assert_eq!(
+            validate_irr(&reg, &query, Asn(origin)),
+            oracle(&routes, &query, Asn(origin))
+        );
+    }
+
+    /// Registering a route object for an announcement makes it Valid;
+    /// removing it restores the prior status.
+    #[test]
+    fn register_then_remove_round_trip(
+        routes in prop::collection::vec(route_object(), 0..15),
+        target in prefix(),
+        origin in 1u32..6,
+    ) {
+        let mut db = IrrDatabase::new("RADB", None);
+        for r in &routes {
+            db.add_route(r.clone());
+        }
+        // Only safe when no identical (prefix, origin) object pre-exists.
+        prop_assume!(!routes.iter().any(|r| r.prefix == target && r.origin == Asn(origin)));
+        let before = {
+            let mut reg = IrrRegistry::new();
+            reg.add_database(db.clone());
+            validate_irr(&reg, &target, Asn(origin))
+        };
+        db.add_route(RouteObject {
+            prefix: target,
+            origin: Asn(origin),
+            descr: String::new(),
+            mnt_by: "M".into(),
+            source: "RADB".into(),
+            last_modified: Date::ymd(2022, 1, 1),
+        });
+        let mut reg = IrrRegistry::new();
+        reg.add_database(db);
+        prop_assert_eq!(validate_irr(&reg, &target, Asn(origin)), IrrStatus::Valid);
+        let db = reg.database_mut("RADB").unwrap();
+        prop_assert_eq!(db.remove_route(&target, Asn(origin)), 1);
+        prop_assert_eq!(validate_irr(&reg, &target, Asn(origin)), before);
+    }
+}

@@ -1,0 +1,160 @@
+//! Autonomous System Numbers.
+
+use crate::error::NetError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 32-bit Autonomous System Number.
+///
+/// ASNs identify the networks that participate in BGP. The type is a thin
+/// newtype over `u32` with the special values that matter for routing
+/// security made explicit:
+///
+/// * [`Asn::ZERO`] (AS0) — used in RPKI "AS0 ROAs" to declare that a prefix
+///   must **not** be originated by anyone. The paper's §8.1 case study of
+///   the Indonesian ISP hinges on an AS0 registration.
+/// * Reserved and documentation ranges, which a well-formed synthetic
+///   topology must avoid handing out to generated networks.
+///
+/// ```
+/// use manrs_net::Asn;
+/// let asn: Asn = "AS64500".parse().unwrap();
+/// assert_eq!(asn, Asn::new(64500));
+/// assert!(asn.is_documentation());
+/// assert_eq!(asn.to_string(), "AS64500");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// AS0: "no AS may originate this prefix" (RFC 7607 / RFC 6483 §4).
+    pub const ZERO: Asn = Asn(0);
+
+    /// AS23456: the 16-bit transition ASN (RFC 6793), never a real origin.
+    pub const TRANS: Asn = Asn(23_456);
+
+    /// Creates an ASN from its numeric value.
+    pub const fn new(value: u32) -> Self {
+        Asn(value)
+    }
+
+    /// The numeric value of the ASN.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` for AS0.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` if the ASN falls in a documentation range
+    /// (64496–64511 or 65536–65551, RFC 5398).
+    pub const fn is_documentation(self) -> bool {
+        (self.0 >= 64_496 && self.0 <= 64_511) || (self.0 >= 65_536 && self.0 <= 65_551)
+    }
+
+    /// Returns `true` if the ASN is private-use (64512–65534 or
+    /// 4200000000–4294967294, RFC 6996).
+    pub const fn is_private(self) -> bool {
+        (self.0 >= 64_512 && self.0 <= 65_534) || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+    }
+
+    /// Returns `true` if the ASN is reserved and must never appear as a
+    /// legitimate origin in the global table: AS0, the transition ASN,
+    /// 65535, and 4294967295 (RFC 7300).
+    pub const fn is_reserved(self) -> bool {
+        self.0 == 0 || self.0 == 23_456 || self.0 == 65_535 || self.0 == u32::MAX
+    }
+
+    /// Returns `true` if the ASN may be handed out to a synthetic network:
+    /// not reserved, not documentation, not private-use.
+    pub const fn is_assignable(self) -> bool {
+        !self.is_reserved() && !self.is_documentation() && !self.is_private()
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(value: u32) -> Self {
+        Asn(value)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = NetError;
+
+    /// Parses `"AS64500"`, `"as64500"`, or a bare `"64500"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .or_else(|| s.strip_prefix("As"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| NetError::InvalidAsn(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_with_and_without_prefix() {
+        assert_eq!("AS1".parse::<Asn>().unwrap(), Asn(1));
+        assert_eq!("as42".parse::<Asn>().unwrap(), Asn(42));
+        assert_eq!("65000".parse::<Asn>().unwrap(), Asn(65_000));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("ASX".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("AS4294967296".parse::<Asn>().is_err());
+        assert!("-1".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let asn = Asn(3356);
+        assert_eq!(asn.to_string(), "AS3356");
+        assert_eq!(asn.to_string().parse::<Asn>().unwrap(), asn);
+    }
+
+    #[test]
+    fn special_values() {
+        assert!(Asn::ZERO.is_zero());
+        assert!(Asn::ZERO.is_reserved());
+        assert!(Asn::TRANS.is_reserved());
+        assert!(Asn(65_535).is_reserved());
+        assert!(Asn(u32::MAX).is_reserved());
+        assert!(!Asn(3356).is_reserved());
+    }
+
+    #[test]
+    fn classification_ranges() {
+        assert!(Asn(64_500).is_documentation());
+        assert!(Asn(65_540).is_documentation());
+        assert!(Asn(64_512).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(Asn(3356).is_assignable());
+        assert!(!Asn(64_500).is_assignable());
+        assert!(!Asn::ZERO.is_assignable());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Asn(9) < Asn(10));
+        assert!(Asn(100) > Asn(99));
+    }
+}

@@ -1,0 +1,188 @@
+//! A minimal civil date.
+//!
+//! The pipeline is organized around dated snapshots (monthly RPKI archives
+//! 2014–2022, weekly IHR snapshots Feb–May 2022, MANRS join dates), so a
+//! small proleptic-Gregorian date type is part of the shared vocabulary.
+//! The epoch-day conversion uses Howard Hinnant's `days_from_civil`
+//! algorithm, which is exact over the entire supported range.
+
+use crate::error::NetError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A calendar date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+impl Date {
+    /// Constructs a date, validating month and day-of-month.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, NetError> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return Err(NetError::InvalidAddress(format!("{year:04}-{month:02}-{day:02}")));
+        }
+        Ok(Date { year, month, day })
+    }
+
+    /// Constructs a date from components known to be valid; panics
+    /// otherwise. For literals in generators and tests.
+    pub fn ymd(year: i32, month: u8, day: u8) -> Self {
+        Self::new(year, month, day).expect("valid date literal")
+    }
+
+    /// The calendar year.
+    pub const fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// The month (1–12).
+    pub const fn month(&self) -> u8 {
+        self.month
+    }
+
+    /// The day of month (1–31).
+    pub const fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Days since 1970-01-01 (may be negative).
+    pub fn days_since_epoch(&self) -> i64 {
+        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// The date `days` after 1970-01-01.
+    pub fn from_days_since_epoch(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+        let year = (if m <= 2 { y + 1 } else { y }) as i32;
+        Date { year, month: m, day: d }
+    }
+
+    /// The date `n` days later (or earlier if negative).
+    pub fn plus_days(&self, n: i64) -> Self {
+        Self::from_days_since_epoch(self.days_since_epoch() + n)
+    }
+
+    /// Whole days from `self` to `other` (positive if `other` is later).
+    pub fn days_until(&self, other: &Date) -> i64 {
+        other.days_since_epoch() - self.days_since_epoch()
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl FromStr for Date {
+    type Err = NetError;
+
+    /// Parses `YYYY-MM-DD`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.splitn(3, '-');
+        let err = || NetError::InvalidAddress(s.to_owned());
+        let year: i32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let month: u8 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let day: u8 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        Date::new(year, month, day)
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(Date::ymd(1970, 1, 1).days_since_epoch(), 0);
+        assert_eq!(Date::from_days_since_epoch(0), Date::ymd(1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // May 1 2022, the paper's main snapshot date.
+        let d = Date::ymd(2022, 5, 1);
+        assert_eq!(d.days_since_epoch(), 19_113);
+        assert_eq!(Date::from_days_since_epoch(19_113), d);
+    }
+
+    #[test]
+    fn round_trip_over_decades() {
+        for days in (0..25_000).step_by(13) {
+            let d = Date::from_days_since_epoch(days);
+            assert_eq!(d.days_since_epoch(), days);
+        }
+    }
+
+    #[test]
+    fn leap_handling() {
+        assert!(Date::new(2020, 2, 29).is_ok());
+        assert!(Date::new(2022, 2, 29).is_err());
+        assert!(Date::new(2000, 2, 29).is_ok());
+        assert!(Date::new(1900, 2, 29).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_components() {
+        assert!(Date::new(2022, 0, 1).is_err());
+        assert!(Date::new(2022, 13, 1).is_err());
+        assert!(Date::new(2022, 4, 31).is_err());
+        assert!(Date::new(2022, 1, 0).is_err());
+    }
+
+    #[test]
+    fn parse_display_round_trip() {
+        let d: Date = "2022-05-01".parse().unwrap();
+        assert_eq!(d, Date::ymd(2022, 5, 1));
+        assert_eq!(d.to_string(), "2022-05-01");
+        assert!("2022-05".parse::<Date>().is_err());
+        assert!("2022-05-32".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let d = Date::ymd(2022, 2, 1);
+        assert_eq!(d.plus_days(7), Date::ymd(2022, 2, 8));
+        assert_eq!(d.plus_days(-1), Date::ymd(2022, 1, 31));
+        assert_eq!(d.days_until(&Date::ymd(2022, 5, 1)), 89);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Date::ymd(2021, 12, 31) < Date::ymd(2022, 1, 1));
+        assert!(Date::ymd(2022, 5, 1) > Date::ymd(2022, 4, 30));
+    }
+}

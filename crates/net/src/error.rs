@@ -1,0 +1,43 @@
+//! Error type for parsing and constructing network primitives.
+
+use std::fmt;
+
+/// Errors produced when parsing or constructing ASNs and prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The ASN string was not a number, or exceeded the 32-bit range.
+    InvalidAsn(String),
+    /// The prefix string was not in `addr/len` form.
+    MalformedPrefix(String),
+    /// The address part of a prefix failed to parse.
+    InvalidAddress(String),
+    /// The prefix length exceeds the width of the address family
+    /// (32 for IPv4, 128 for IPv6).
+    InvalidLength { len: u16, max: u8 },
+    /// The address has bits set beyond the prefix length
+    /// (e.g. `10.0.0.1/8`); prefixes must be in canonical form.
+    HostBitsSet(String),
+    /// A max-length attribute is shorter than the prefix itself.
+    MaxLengthTooShort { prefix_len: u8, max_len: u8 },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidAsn(s) => write!(f, "invalid ASN: {s:?}"),
+            NetError::MalformedPrefix(s) => write!(f, "malformed prefix: {s:?}"),
+            NetError::InvalidAddress(s) => write!(f, "invalid address: {s:?}"),
+            NetError::InvalidLength { len, max } => {
+                write!(f, "prefix length {len} exceeds family width {max}")
+            }
+            NetError::HostBitsSet(s) => {
+                write!(f, "prefix {s:?} has host bits set beyond its length")
+            }
+            NetError::MaxLengthTooShort { prefix_len, max_len } => {
+                write!(f, "max length {max_len} is shorter than prefix length {prefix_len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

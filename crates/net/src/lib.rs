@@ -1,0 +1,35 @@
+//! Network primitives for the MANRS ecosystem measurement library.
+//!
+//! This crate provides the vocabulary types shared by every other crate in
+//! the workspace:
+//!
+//! * [`Asn`] — a 32-bit Autonomous System Number with the special values
+//!   (AS0, reserved ranges) that matter for route origin validation.
+//! * [`Ipv4Prefix`], [`Ipv6Prefix`] and the address-family-erased
+//!   [`Prefix`] — CIDR prefixes with containment and subdivision operations.
+//! * [`PrefixMap`] — a binary radix trie keyed by prefix, supporting the
+//!   *covering prefix* queries at the heart of RFC 6811 route origin
+//!   validation ("find every VRP whose prefix contains this announcement").
+//! * [`space`] — exact address-space accounting as unions of disjoint
+//!   integer intervals, used for every "% of routed address space" metric
+//!   in the paper (Fig. 4b, Fig. 6, Eq. 7–8).
+//!
+//! The crate is deliberately synchronous and allocation-light: the whole
+//! pipeline is CPU-bound batch analysis, so there is no async machinery —
+//! just plain data structures with predictable behaviour.
+
+pub mod asn;
+pub mod date;
+pub mod error;
+pub mod prefix;
+pub mod rir;
+pub mod space;
+pub mod trie;
+
+pub use asn::Asn;
+pub use date::Date;
+pub use error::NetError;
+pub use prefix::{AddressFamily, Ipv4Prefix, Ipv6Prefix, Prefix};
+pub use rir::Rir;
+pub use space::{AddressSpace, IntervalSet};
+pub use trie::PrefixMap;

@@ -1,0 +1,494 @@
+//! CIDR prefixes for IPv4 and IPv6.
+//!
+//! Prefixes are stored in canonical form: the address bits beyond the
+//! prefix length are always zero. Construction from non-canonical input is
+//! an error (the RPKI and IRR pipelines must never silently reinterpret a
+//! registration), but [`Ipv4Prefix::new_truncated`] is available for
+//! generators that want the masking behaviour.
+
+use crate::error::NetError;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+/// The two IP address families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AddressFamily {
+    /// 32-bit IPv4.
+    Ipv4,
+    /// 128-bit IPv6.
+    Ipv6,
+}
+
+impl AddressFamily {
+    /// The number of bits in an address of this family.
+    pub const fn width(self) -> u8 {
+        match self {
+            AddressFamily::Ipv4 => 32,
+            AddressFamily::Ipv6 => 128,
+        }
+    }
+}
+
+macro_rules! prefix_impl {
+    ($name:ident, $bits:ty, $addr:ty, $width:expr, $family:expr) => {
+        impl $name {
+            /// The full address space of this family (`0.0.0.0/0` / `::/0`).
+            pub const DEFAULT: $name = $name { bits: 0, len: 0 };
+
+            /// Creates a prefix, rejecting over-long lengths and host bits
+            /// set beyond the prefix length.
+            pub fn new(addr: $addr, len: u8) -> Result<Self, NetError> {
+                if len > $width {
+                    return Err(NetError::InvalidLength { len: len as u16, max: $width });
+                }
+                let bits = <$bits>::from(addr);
+                let canonical = mask_bits::<$bits>(bits, len, $width);
+                if canonical != bits {
+                    return Err(NetError::HostBitsSet(format!("{}/{}", addr, len)));
+                }
+                Ok($name { bits, len })
+            }
+
+            /// Creates a prefix, silently zeroing host bits beyond the
+            /// length. Intended for generators and arithmetic, not parsers.
+            pub fn new_truncated(addr: $addr, len: u8) -> Result<Self, NetError> {
+                if len > $width {
+                    return Err(NetError::InvalidLength { len: len as u16, max: $width });
+                }
+                let bits = mask_bits::<$bits>(<$bits>::from(addr), len, $width);
+                Ok($name { bits, len })
+            }
+
+            /// Creates a prefix directly from raw integer bits, truncating
+            /// to canonical form.
+            pub fn from_bits_truncated(bits: $bits, len: u8) -> Result<Self, NetError> {
+                if len > $width {
+                    return Err(NetError::InvalidLength { len: len as u16, max: $width });
+                }
+                Ok($name { bits: mask_bits::<$bits>(bits, len, $width), len })
+            }
+
+            /// The network address of the prefix.
+            pub fn addr(&self) -> $addr {
+                <$addr>::from(self.bits)
+            }
+
+            /// The raw integer value of the network address.
+            pub const fn bits(&self) -> $bits {
+                self.bits
+            }
+
+            /// The prefix length in bits.
+            pub const fn len(&self) -> u8 {
+                self.len
+            }
+
+            /// `true` only for the default route, which contains everything.
+            pub const fn is_default(&self) -> bool {
+                self.len == 0
+            }
+
+            /// First address covered by the prefix, as an integer.
+            pub const fn range_start(&self) -> $bits {
+                self.bits
+            }
+
+            /// Last address covered by the prefix, as an integer.
+            pub fn range_end(&self) -> $bits {
+                if self.len == 0 {
+                    <$bits>::MAX
+                } else if self.len >= $width {
+                    self.bits
+                } else {
+                    self.bits | (<$bits>::MAX >> self.len)
+                }
+            }
+
+            /// Returns `true` if `self` contains `other` (`other` is equal
+            /// to or more specific than `self` and shares the prefix bits).
+            pub fn contains(&self, other: &Self) -> bool {
+                self.len <= other.len
+                    && mask_bits::<$bits>(other.bits, self.len, $width) == self.bits
+            }
+
+            /// Returns `true` if the two prefixes share any address.
+            pub fn overlaps(&self, other: &Self) -> bool {
+                self.contains(other) || other.contains(self)
+            }
+
+            /// The immediate parent prefix (one bit shorter), or `None` for
+            /// the default route.
+            pub fn parent(&self) -> Option<Self> {
+                if self.len == 0 {
+                    None
+                } else {
+                    let len = self.len - 1;
+                    Some($name { bits: mask_bits::<$bits>(self.bits, len, $width), len })
+                }
+            }
+
+            /// The two children of the prefix (one bit longer), or `None`
+            /// if the prefix is a host route.
+            pub fn children(&self) -> Option<(Self, Self)> {
+                if self.len >= $width {
+                    None
+                } else {
+                    let len = self.len + 1;
+                    let hi_bit: $bits = (1 as $bits) << ($width - len);
+                    Some((
+                        $name { bits: self.bits, len },
+                        $name { bits: self.bits | hi_bit, len },
+                    ))
+                }
+            }
+
+            /// The value of bit `index` (0 = most significant) of the
+            /// network address. Used by the radix trie.
+            pub fn bit(&self, index: u8) -> bool {
+                debug_assert!(index < $width);
+                (self.bits >> ($width - 1 - index)) & 1 == 1
+            }
+
+            /// Number of addresses covered, as a u128 (2^(width − len)).
+            pub fn address_count(&self) -> u128 {
+                1u128 << ($width - self.len).min(127)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}/{}", self.addr(), self.len)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = NetError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let (addr_s, len_s) = s
+                    .split_once('/')
+                    .ok_or_else(|| NetError::MalformedPrefix(s.to_owned()))?;
+                let addr: $addr = addr_s
+                    .parse()
+                    .map_err(|_| NetError::InvalidAddress(addr_s.to_owned()))?;
+                let len: u16 = len_s
+                    .parse()
+                    .map_err(|_| NetError::MalformedPrefix(s.to_owned()))?;
+                if len > $width {
+                    return Err(NetError::InvalidLength { len, max: $width });
+                }
+                Self::new(addr, len as u8)
+            }
+        }
+
+        impl Ord for $name {
+            /// Orders by network address, then by length (shorter first),
+            /// which sorts covering prefixes immediately before the
+            /// prefixes they cover.
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.bits.cmp(&other.bits).then(self.len.cmp(&other.len))
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+    };
+}
+
+/// Zeroes the bits of `bits` beyond `len` within a `width`-bit value.
+fn mask_bits<B>(bits: B, len: u8, width: u8) -> B
+where
+    B: Copy
+        + std::ops::Shr<u32, Output = B>
+        + std::ops::Shl<u32, Output = B>
+        + Default
+        + PartialEq,
+{
+    if len == 0 {
+        B::default()
+    } else if len >= width {
+        bits
+    } else {
+        let shift = (width - len) as u32;
+        (bits >> shift) << shift
+    }
+}
+
+/// An IPv4 CIDR prefix in canonical form.
+///
+/// ```
+/// use manrs_net::Ipv4Prefix;
+/// let p: Ipv4Prefix = "192.0.2.0/24".parse().unwrap();
+/// let sub: Ipv4Prefix = "192.0.2.128/25".parse().unwrap();
+/// assert!(p.contains(&sub));
+/// assert_eq!(p.address_count(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    bits: u32,
+    len: u8,
+}
+
+/// An IPv6 CIDR prefix in canonical form.
+///
+/// ```
+/// use manrs_net::Ipv6Prefix;
+/// let p: Ipv6Prefix = "2001:db8::/32".parse().unwrap();
+/// assert_eq!(p.len(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv6Prefix {
+    bits: u128,
+    len: u8,
+}
+
+prefix_impl!(Ipv4Prefix, u32, Ipv4Addr, 32, AddressFamily::Ipv4);
+prefix_impl!(Ipv6Prefix, u128, Ipv6Addr, 128, AddressFamily::Ipv6);
+
+/// An address-family-erased prefix.
+///
+/// Most of the analysis pipeline is family-agnostic (the paper analyses
+/// IPv4 and IPv6 with identical logic), so datasets carry `Prefix` and the
+/// family-specific tries are an internal detail of [`crate::PrefixMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Prefix {
+    /// An IPv4 prefix.
+    V4(Ipv4Prefix),
+    /// An IPv6 prefix.
+    V6(Ipv6Prefix),
+}
+
+impl Prefix {
+    /// The address family of the prefix.
+    pub const fn family(&self) -> AddressFamily {
+        match self {
+            Prefix::V4(_) => AddressFamily::Ipv4,
+            Prefix::V6(_) => AddressFamily::Ipv6,
+        }
+    }
+
+    /// The prefix length in bits.
+    pub const fn len(&self) -> u8 {
+        match self {
+            Prefix::V4(p) => p.len(),
+            Prefix::V6(p) => p.len(),
+        }
+    }
+
+    /// `true` only for a default route.
+    pub const fn is_default(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if `self` contains `other`. Prefixes of different
+    /// families never contain each other.
+    pub fn contains(&self, other: &Prefix) -> bool {
+        match (self, other) {
+            (Prefix::V4(a), Prefix::V4(b)) => a.contains(b),
+            (Prefix::V6(a), Prefix::V6(b)) => a.contains(b),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the prefixes share any address.
+    pub fn overlaps(&self, other: &Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// Number of addresses covered (for IPv4, the "/32-equivalents" used
+    /// in the paper's address-space percentages).
+    pub fn address_count(&self) -> u128 {
+        match self {
+            Prefix::V4(p) => p.address_count(),
+            Prefix::V6(p) => p.address_count(),
+        }
+    }
+
+    /// The IPv4 prefix, if this is one.
+    pub fn as_v4(&self) -> Option<Ipv4Prefix> {
+        match self {
+            Prefix::V4(p) => Some(*p),
+            Prefix::V6(_) => None,
+        }
+    }
+
+    /// The IPv6 prefix, if this is one.
+    pub fn as_v6(&self) -> Option<Ipv6Prefix> {
+        match self {
+            Prefix::V6(p) => Some(*p),
+            Prefix::V4(_) => None,
+        }
+    }
+}
+
+impl From<Ipv4Prefix> for Prefix {
+    fn from(p: Ipv4Prefix) -> Self {
+        Prefix::V4(p)
+    }
+}
+
+impl From<Ipv6Prefix> for Prefix {
+    fn from(p: Ipv6Prefix) -> Self {
+        Prefix::V6(p)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prefix::V4(p) => p.fmt(f),
+            Prefix::V6(p) => p.fmt(f),
+        }
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = NetError;
+
+    /// Parses either family; the presence of a `:` selects IPv6.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.contains(':') {
+            s.parse::<Ipv6Prefix>().map(Prefix::V6)
+        } else {
+            s.parse::<Ipv4Prefix>().map(Prefix::V4)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p4(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn p6(s: &str) -> Ipv6Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_v4() {
+        let p = p4("10.0.0.0/8");
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+        assert_eq!(p.addr(), Ipv4Addr::new(10, 0, 0, 0));
+    }
+
+    #[test]
+    fn parse_and_display_v6() {
+        let p = p6("2001:db8::/32");
+        assert_eq!(p.len(), 32);
+        assert_eq!(p.to_string(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn rejects_host_bits() {
+        assert_eq!(
+            "10.0.0.1/8".parse::<Ipv4Prefix>(),
+            Err(NetError::HostBitsSet("10.0.0.1/8".into()))
+        );
+        assert!("2001:db8::1/32".parse::<Ipv6Prefix>().is_err());
+    }
+
+    #[test]
+    fn truncation_zeroes_host_bits() {
+        let p = Ipv4Prefix::new_truncated(Ipv4Addr::new(10, 1, 2, 3), 8).unwrap();
+        assert_eq!(p, p4("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn rejects_overlong() {
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("::/129".parse::<Ipv6Prefix>().is_err());
+        assert!(Ipv4Prefix::new_truncated(Ipv4Addr::UNSPECIFIED, 33).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("banana/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn containment_v4() {
+        let a = p4("10.0.0.0/8");
+        let b = p4("10.128.0.0/9");
+        let c = p4("11.0.0.0/8");
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert!(a.contains(&a));
+        assert!(!a.contains(&c));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn default_contains_everything() {
+        assert!(Ipv4Prefix::DEFAULT.contains(&p4("203.0.113.0/24")));
+        assert!(Ipv6Prefix::DEFAULT.contains(&p6("2001:db8::/32")));
+        assert!(Ipv4Prefix::DEFAULT.is_default());
+    }
+
+    #[test]
+    fn range_bounds() {
+        let p = p4("192.0.2.0/24");
+        assert_eq!(p.range_start(), u32::from(Ipv4Addr::new(192, 0, 2, 0)));
+        assert_eq!(p.range_end(), u32::from(Ipv4Addr::new(192, 0, 2, 255)));
+        assert_eq!(Ipv4Prefix::DEFAULT.range_end(), u32::MAX);
+    }
+
+    #[test]
+    fn parent_child_round_trip() {
+        let p = p4("192.0.2.0/24");
+        let (lo, hi) = p.children().unwrap();
+        assert_eq!(lo, p4("192.0.2.0/25"));
+        assert_eq!(hi, p4("192.0.2.128/25"));
+        assert_eq!(lo.parent().unwrap(), p);
+        assert_eq!(hi.parent().unwrap(), p);
+        assert!(Ipv4Prefix::DEFAULT.parent().is_none());
+        assert!(p4("192.0.2.1/32").children().is_none());
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let p = p4("128.0.0.0/1");
+        assert!(p.bit(0));
+        let q = p4("64.0.0.0/2");
+        assert!(!q.bit(0));
+        assert!(q.bit(1));
+    }
+
+    #[test]
+    fn address_count() {
+        assert_eq!(p4("10.0.0.0/8").address_count(), 1 << 24);
+        assert_eq!(p4("192.0.2.1/32").address_count(), 1);
+        assert_eq!(Prefix::from(p4("0.0.0.0/0")).address_count(), 1u128 << 32);
+    }
+
+    #[test]
+    fn family_erased_containment() {
+        let a: Prefix = "10.0.0.0/8".parse().unwrap();
+        let b: Prefix = "10.1.0.0/16".parse().unwrap();
+        let c: Prefix = "2001:db8::/32".parse().unwrap();
+        assert!(a.contains(&b));
+        assert!(!a.contains(&c));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.family(), AddressFamily::Ipv4);
+        assert_eq!(c.family(), AddressFamily::Ipv6);
+    }
+
+    #[test]
+    fn ordering_sorts_covering_first() {
+        let mut v = vec![p4("10.0.0.0/9"), p4("10.0.0.0/8"), p4("9.0.0.0/8")];
+        v.sort();
+        assert_eq!(v, vec![p4("9.0.0.0/8"), p4("10.0.0.0/8"), p4("10.0.0.0/9")]);
+    }
+}

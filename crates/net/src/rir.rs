@@ -1,0 +1,92 @@
+//! Regional Internet Registries.
+//!
+//! The five RIRs anchor everything regional in the paper: each is an RPKI
+//! trust anchor (§2.3), operates an authoritative IRR database (§2.2), and
+//! is the unit of the geographic participation analysis (§7, Fig. 4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the five Regional Internet Registries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Rir {
+    /// AFRINIC — Africa.
+    Afrinic,
+    /// APNIC — Asia-Pacific.
+    Apnic,
+    /// ARIN — North America.
+    Arin,
+    /// LACNIC — Latin America and the Caribbean.
+    Lacnic,
+    /// RIPE NCC — Europe, Middle East, Central Asia.
+    RipeNcc,
+}
+
+impl Rir {
+    /// All five RIRs, in the order the paper's figures stack them
+    /// (AFRINIC, LACNIC, APNIC, RIPE, ARIN).
+    pub const ALL: [Rir; 5] = [Rir::Afrinic, Rir::Lacnic, Rir::Apnic, Rir::RipeNcc, Rir::Arin];
+
+    /// Canonical lowercase name, as used in dataset files.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rir::Afrinic => "afrinic",
+            Rir::Apnic => "apnic",
+            Rir::Arin => "arin",
+            Rir::Lacnic => "lacnic",
+            Rir::RipeNcc => "ripe",
+        }
+    }
+}
+
+impl fmt::Display for Rir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rir::Afrinic => "AFRINIC",
+            Rir::Apnic => "APNIC",
+            Rir::Arin => "ARIN",
+            Rir::Lacnic => "LACNIC",
+            Rir::RipeNcc => "RIPE NCC",
+        })
+    }
+}
+
+impl FromStr for Rir {
+    type Err = crate::NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "afrinic" => Ok(Rir::Afrinic),
+            "apnic" => Ok(Rir::Apnic),
+            "arin" => Ok(Rir::Arin),
+            "lacnic" => Ok(Rir::Lacnic),
+            "ripe" | "ripencc" | "ripe ncc" | "ripe-ncc" => Ok(Rir::RipeNcc),
+            _ => Err(crate::NetError::InvalidAddress(s.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_five() {
+        assert_eq!(Rir::ALL.len(), 5);
+    }
+
+    #[test]
+    fn name_parse_round_trip() {
+        for rir in Rir::ALL {
+            assert_eq!(rir.name().parse::<Rir>().unwrap(), rir);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rir::RipeNcc.to_string(), "RIPE NCC");
+        assert_eq!("RIPE NCC".parse::<Rir>().unwrap(), Rir::RipeNcc);
+        assert!("mars".parse::<Rir>().is_err());
+    }
+}

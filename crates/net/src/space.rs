@@ -1,0 +1,348 @@
+//! Exact address-space accounting.
+//!
+//! Every "percentage of routed address space" number in the paper
+//! (Fig. 4b, Fig. 6, Eq. 7–8) requires counting addresses in a *union* of
+//! possibly overlapping prefixes — double counting a /16 announced both as
+//! itself and as two /17s would skew the metric. [`IntervalSet`] maintains
+//! a sorted set of disjoint, inclusive integer intervals; [`AddressSpace`]
+//! wraps one per family and converts prefixes to intervals.
+
+use crate::prefix::Prefix;
+use serde::{Deserialize, Serialize};
+
+/// A set of `u128` values stored as sorted, disjoint, inclusive intervals.
+///
+/// Adjacent intervals are coalesced, so the representation is canonical:
+/// two sets with equal contents compare equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSet {
+    /// Sorted, pairwise-disjoint, non-adjacent `(start, end)` inclusive.
+    ranges: Vec<(u128, u128)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` if the set contains no values.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of maximal disjoint intervals.
+    pub fn interval_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Inserts the inclusive range `[start, end]`, merging as needed.
+    pub fn insert(&mut self, start: u128, end: u128) {
+        assert!(start <= end, "inverted interval");
+        // Find the first existing range that could touch the new one.
+        // A range (s, e) touches [start, end] if e + 1 >= start (adjacency
+        // coalesces) and s <= end + 1.
+        // Ranges strictly before the touch zone satisfy e < start - 1: a
+        // gap of at least one value remains between them and the new range.
+        let lo = self.ranges.partition_point(|&(_, e)| e < start.saturating_sub(1));
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut hi = lo;
+        while hi < self.ranges.len() {
+            let (s, e) = self.ranges[hi];
+            if s > end.saturating_add(1) {
+                break;
+            }
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            hi += 1;
+        }
+        self.ranges.splice(lo..hi, std::iter::once((new_start, new_end)));
+    }
+
+    /// `true` if `value` is in the set.
+    pub fn contains(&self, value: u128) -> bool {
+        match self.ranges.binary_search_by(|&(s, _)| s.cmp(&value)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.ranges[i - 1].1 >= value,
+        }
+    }
+
+    /// Number of values in the set. Saturates at `u128::MAX` (only
+    /// reachable when the set covers the entire 2^128 space).
+    pub fn len(&self) -> u128 {
+        self.ranges
+            .iter()
+            .fold(0u128, |acc, &(s, e)| acc.saturating_add((e - s).saturating_add(1)))
+    }
+
+    /// Size of the intersection with `other`, by two-pointer merge.
+    pub fn intersection_len(&self, other: &IntervalSet) -> u128 {
+        let (mut i, mut j) = (0, 0);
+        let mut total = 0u128;
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (s1, e1) = self.ranges[i];
+            let (s2, e2) = other.ranges[j];
+            let lo = s1.max(s2);
+            let hi = e1.min(e2);
+            if lo <= hi {
+                total = total.saturating_add((hi - lo).saturating_add(1));
+            }
+            if e1 < e2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        total
+    }
+
+    /// Merges `other` into `self`.
+    pub fn union_with(&mut self, other: &IntervalSet) {
+        for &(s, e) in &other.ranges {
+            self.insert(s, e);
+        }
+    }
+
+    /// The raw intervals, for inspection.
+    pub fn intervals(&self) -> &[(u128, u128)] {
+        &self.ranges
+    }
+}
+
+/// Address-space accounting over both families.
+///
+/// IPv4 addresses are counted in /32-equivalents and IPv6 in
+/// /128-equivalents; the two families are tracked independently because
+/// the paper reports IPv4 percentages (its Fig. 4b and Fig. 6 are IPv4).
+///
+/// ```
+/// use manrs_net::AddressSpace;
+/// let mut space = AddressSpace::new();
+/// space.add(&"10.0.0.0/8".parse().unwrap());
+/// space.add(&"10.0.0.0/9".parse().unwrap()); // nested: no double count
+/// assert_eq!(space.v4_len(), 1 << 24);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressSpace {
+    v4: IntervalSet,
+    v6: IntervalSet,
+}
+
+impl AddressSpace {
+    /// Creates an empty accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a space from an iterator of prefixes.
+    pub fn from_prefixes<'a, I: IntoIterator<Item = &'a Prefix>>(prefixes: I) -> Self {
+        let mut space = Self::new();
+        for p in prefixes {
+            space.add(p);
+        }
+        space
+    }
+
+    /// Adds all addresses of `prefix` to the set.
+    pub fn add(&mut self, prefix: &Prefix) {
+        match prefix {
+            Prefix::V4(p) => self.v4.insert(p.range_start() as u128, p.range_end() as u128),
+            Prefix::V6(p) => self.v6.insert(p.range_start(), p.range_end()),
+        }
+    }
+
+    /// Number of distinct IPv4 addresses (/32-equivalents).
+    pub fn v4_len(&self) -> u128 {
+        self.v4.len()
+    }
+
+    /// Number of distinct IPv6 addresses (/128-equivalents).
+    pub fn v6_len(&self) -> u128 {
+        self.v6.len()
+    }
+
+    /// IPv4 fraction of this space relative to the full 2^32.
+    pub fn v4_fraction_of_internet(&self) -> f64 {
+        self.v4_len() as f64 / 2f64.powi(32)
+    }
+
+    /// Size of the IPv4 intersection with another space.
+    pub fn v4_intersection_len(&self, other: &AddressSpace) -> u128 {
+        self.v4.intersection_len(&other.v4)
+    }
+
+    /// Size of the IPv6 intersection with another space.
+    pub fn v6_intersection_len(&self, other: &AddressSpace) -> u128 {
+        self.v6.intersection_len(&other.v6)
+    }
+
+    /// Fraction of `self`'s IPv4 space also present in `other`
+    /// (e.g. "ROA-covered routed address space / routed address space",
+    /// Eq. 7). Returns 0 when `self` is empty.
+    pub fn v4_covered_fraction(&self, other: &AddressSpace) -> f64 {
+        let total = self.v4_len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.v4_intersection_len(other) as f64 / total as f64
+    }
+
+    /// Merges another space into this one.
+    pub fn union_with(&mut self, other: &AddressSpace) {
+        self.v4.union_with(&other.v4);
+        self.v6.union_with(&other.v6);
+    }
+
+    /// The IPv4 interval set.
+    pub fn v4(&self) -> &IntervalSet {
+        &self.v4
+    }
+
+    /// The IPv6 interval set.
+    pub fn v6(&self) -> &IntervalSet {
+        &self.v6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = IntervalSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn insert_disjoint() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.interval_count(), 2);
+        assert_eq!(s.len(), 22);
+        assert!(s.contains(10) && s.contains(20) && s.contains(35));
+        assert!(!s.contains(25) && !s.contains(9) && !s.contains(41));
+    }
+
+    #[test]
+    fn insert_overlapping_merges() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(15, 30);
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.intervals(), &[(10, 30)]);
+    }
+
+    #[test]
+    fn insert_adjacent_coalesces() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(21, 30);
+        assert_eq!(s.interval_count(), 1);
+        assert_eq!(s.len(), 21);
+    }
+
+    #[test]
+    fn insert_bridging_many() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 11);
+        s.insert(20, 21);
+        s.insert(30, 31);
+        s.insert(5, 50);
+        assert_eq!(s.intervals(), &[(5, 50)]);
+    }
+
+    #[test]
+    fn insert_contained_is_noop() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        s.insert(10, 20);
+        assert_eq!(s.intervals(), &[(0, 100)]);
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let mut a = IntervalSet::new();
+        a.insert(0, 5);
+        a.insert(6, 10);
+        let mut b = IntervalSet::new();
+        b.insert(0, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intersection() {
+        let mut a = IntervalSet::new();
+        a.insert(0, 10);
+        a.insert(20, 30);
+        let mut b = IntervalSet::new();
+        b.insert(5, 25);
+        assert_eq!(a.intersection_len(&b), 6 + 6); // [5,10] and [20,25]
+        assert_eq!(b.intersection_len(&a), 12);
+        assert_eq!(a.intersection_len(&IntervalSet::new()), 0);
+    }
+
+    #[test]
+    fn full_u128_range_saturates() {
+        let mut s = IntervalSet::new();
+        s.insert(0, u128::MAX);
+        assert_eq!(s.len(), u128::MAX); // saturated, documented
+        assert!(s.contains(u128::MAX));
+    }
+
+    #[test]
+    fn nested_prefixes_counted_once() {
+        let mut space = AddressSpace::new();
+        space.add(&p("10.0.0.0/8"));
+        space.add(&p("10.0.0.0/9"));
+        space.add(&p("10.128.0.0/9"));
+        assert_eq!(space.v4_len(), 1 << 24);
+    }
+
+    #[test]
+    fn families_tracked_separately() {
+        let mut space = AddressSpace::new();
+        space.add(&p("10.0.0.0/8"));
+        space.add(&p("2001:db8::/32"));
+        assert_eq!(space.v4_len(), 1 << 24);
+        assert_eq!(space.v6_len(), 1u128 << 96);
+    }
+
+    #[test]
+    fn covered_fraction() {
+        let mut routed = AddressSpace::new();
+        routed.add(&p("10.0.0.0/8"));
+        let mut signed = AddressSpace::new();
+        signed.add(&p("10.0.0.0/9"));
+        signed.add(&p("192.0.2.0/24")); // outside routed; must not count
+        let f = routed.v4_covered_fraction(&signed);
+        assert!((f - 0.5).abs() < 1e-12);
+        assert_eq!(AddressSpace::new().v4_covered_fraction(&signed), 0.0);
+    }
+
+    #[test]
+    fn union_with_merges_spaces() {
+        let mut a = AddressSpace::new();
+        a.add(&p("10.0.0.0/9"));
+        let mut b = AddressSpace::new();
+        b.add(&p("10.128.0.0/9"));
+        a.union_with(&b);
+        assert_eq!(a.v4_len(), 1 << 24);
+    }
+
+    #[test]
+    fn internet_fraction() {
+        let mut a = AddressSpace::new();
+        a.add(&p("0.0.0.0/2"));
+        assert!((a.v4_fraction_of_internet() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,402 @@
+//! Binary radix tries keyed by IP prefix.
+//!
+//! The central query of RFC 6811 route origin validation is: *given an
+//! announced prefix, find every registered object whose prefix covers it*.
+//! [`PrefixMap`] answers that in O(prefix length) by walking a binary trie
+//! from the root toward the query prefix, collecting the values stored at
+//! every node on the path.
+//!
+//! The map stores a `Vec<T>` per exact prefix (several VRPs or route
+//! objects may share a prefix), and keeps IPv4 and IPv6 in separate
+//! sub-tries so the bit-walk never mixes families.
+
+use crate::prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// One node of a binary trie. `entries` holds the values registered at
+/// exactly this node's prefix; interior nodes without registrations have an
+/// empty `entries`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node<T> {
+    entries: Vec<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node { entries: Vec::new(), children: [None, None] }
+    }
+}
+
+impl<T> Node<T> {
+    fn is_empty_leaf(&self) -> bool {
+        self.entries.is_empty() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A single-family binary trie; `B` supplies the bit-walk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Trie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for Trie<T> {
+    fn default() -> Self {
+        Trie { root: Node::default(), len: 0 }
+    }
+}
+
+/// Something that can be walked bit-by-bit to a given depth.
+trait BitPath: Copy {
+    fn depth(&self) -> u8;
+    fn bit_at(&self, index: u8) -> bool;
+}
+
+impl BitPath for Ipv4Prefix {
+    fn depth(&self) -> u8 {
+        self.len()
+    }
+    fn bit_at(&self, index: u8) -> bool {
+        self.bit(index)
+    }
+}
+
+impl BitPath for Ipv6Prefix {
+    fn depth(&self) -> u8 {
+        self.len()
+    }
+    fn bit_at(&self, index: u8) -> bool {
+        self.bit(index)
+    }
+}
+
+impl<T> Trie<T> {
+    fn insert<P: BitPath>(&mut self, key: P, value: T) {
+        let mut node = &mut self.root;
+        for i in 0..key.depth() {
+            let branch = key.bit_at(i) as usize;
+            node = node.children[branch].get_or_insert_with(Box::default);
+        }
+        node.entries.push(value);
+        self.len += 1;
+    }
+
+    fn exact<P: BitPath>(&self, key: P) -> &[T] {
+        let mut node = &self.root;
+        for i in 0..key.depth() {
+            match &node.children[key.bit_at(i) as usize] {
+                Some(child) => node = child,
+                None => return &[],
+            }
+        }
+        &node.entries
+    }
+
+    /// Values at every prefix on the path from the root to `key`
+    /// inclusive — i.e. at every stored prefix that covers `key`.
+    fn covering<'a, P: BitPath>(&'a self, key: P, out: &mut Vec<&'a T>) {
+        let mut node = &self.root;
+        out.extend(node.entries.iter());
+        for i in 0..key.depth() {
+            match &node.children[key.bit_at(i) as usize] {
+                Some(child) => {
+                    node = child;
+                    out.extend(node.entries.iter());
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Values at every stored prefix covered by `key` (equal or more
+    /// specific), i.e. the whole subtree rooted at `key`.
+    fn covered_by<'a, P: BitPath>(&'a self, key: P, out: &mut Vec<&'a T>) {
+        let mut node = &self.root;
+        for i in 0..key.depth() {
+            match &node.children[key.bit_at(i) as usize] {
+                Some(child) => node = child,
+                None => return,
+            }
+        }
+        collect_subtree(node, out);
+    }
+
+    fn remove_where<P: BitPath, F: FnMut(&T) -> bool>(&mut self, key: P, mut pred: F) -> usize {
+        let mut node = &mut self.root;
+        for i in 0..key.depth() {
+            match &mut node.children[key.bit_at(i) as usize] {
+                Some(child) => node = child,
+                None => return 0,
+            }
+        }
+        let before = node.entries.len();
+        node.entries.retain(|t| !pred(t));
+        let removed = before - node.entries.len();
+        self.len -= removed;
+        removed
+    }
+
+    fn for_each<'a, F: FnMut(&'a T)>(&'a self, f: &mut F) {
+        fn walk<'a, T, F: FnMut(&'a T)>(node: &'a Node<T>, f: &mut F) {
+            for t in &node.entries {
+                f(t);
+            }
+            for child in node.children.iter().flatten() {
+                walk(child, f);
+            }
+        }
+        walk(&self.root, f);
+    }
+
+    /// Prunes empty leaves left behind by removals. Called opportunistically.
+    fn prune(&mut self) {
+        fn walk<T>(node: &mut Node<T>) {
+            for slot in node.children.iter_mut() {
+                if let Some(child) = slot {
+                    walk(child);
+                    if child.is_empty_leaf() {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+        walk(&mut self.root);
+    }
+}
+
+fn collect_subtree<'a, T>(node: &'a Node<T>, out: &mut Vec<&'a T>) {
+    out.extend(node.entries.iter());
+    for child in node.children.iter().flatten() {
+        collect_subtree(child, out);
+    }
+}
+
+/// A prefix-keyed multimap over both address families.
+///
+/// ```
+/// use manrs_net::{Prefix, PrefixMap};
+/// let mut map: PrefixMap<&str> = PrefixMap::new();
+/// let p8: Prefix = "10.0.0.0/8".parse().unwrap();
+/// let p16: Prefix = "10.1.0.0/16".parse().unwrap();
+/// map.insert(p8, "eight");
+/// map.insert(p16, "sixteen");
+///
+/// // Everything covering 10.1.2.0/24:
+/// let q: Prefix = "10.1.2.0/24".parse().unwrap();
+/// let covering = map.covering(&q);
+/// assert_eq!(covering, vec![&"eight", &"sixteen"]);
+///
+/// // Everything inside 10.0.0.0/8:
+/// assert_eq!(map.covered_by(&p8).len(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixMap<T> {
+    v4: Trie<T>,
+    v6: Trie<T>,
+}
+
+impl<T> Default for PrefixMap<T> {
+    fn default() -> Self {
+        PrefixMap { v4: Trie::default(), v6: Trie::default() }
+    }
+}
+
+impl<T> PrefixMap<T> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of stored values (not distinct prefixes).
+    pub fn len(&self) -> usize {
+        self.v4.len + self.v6.len
+    }
+
+    /// `true` if no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a value at `prefix`. Multiple values may share a prefix.
+    pub fn insert(&mut self, prefix: Prefix, value: T) {
+        match prefix {
+            Prefix::V4(p) => self.v4.insert(p, value),
+            Prefix::V6(p) => self.v6.insert(p, value),
+        }
+    }
+
+    /// The values stored at exactly `prefix`.
+    pub fn exact(&self, prefix: &Prefix) -> &[T] {
+        match prefix {
+            Prefix::V4(p) => self.v4.exact(*p),
+            Prefix::V6(p) => self.v6.exact(*p),
+        }
+    }
+
+    /// All values whose prefix **covers** `prefix` (equal or less
+    /// specific), in root-to-leaf order. This is the RFC 6811 "covering
+    /// VRP" query.
+    pub fn covering(&self, prefix: &Prefix) -> Vec<&T> {
+        let mut out = Vec::new();
+        match prefix {
+            Prefix::V4(p) => self.v4.covering(*p, &mut out),
+            Prefix::V6(p) => self.v6.covering(*p, &mut out),
+        }
+        out
+    }
+
+    /// All values whose prefix is **covered by** `prefix` (equal or more
+    /// specific).
+    pub fn covered_by(&self, prefix: &Prefix) -> Vec<&T> {
+        let mut out = Vec::new();
+        match prefix {
+            Prefix::V4(p) => self.v4.covered_by(*p, &mut out),
+            Prefix::V6(p) => self.v6.covered_by(*p, &mut out),
+        }
+        out
+    }
+
+    /// Removes the values at `prefix` matching `pred`; returns how many
+    /// were removed.
+    pub fn remove_where<F: FnMut(&T) -> bool>(&mut self, prefix: &Prefix, pred: F) -> usize {
+        let removed = match prefix {
+            Prefix::V4(p) => self.v4.remove_where(*p, pred),
+            Prefix::V6(p) => self.v6.remove_where(*p, pred),
+        };
+        if removed > 0 {
+            self.v4.prune();
+            self.v6.prune();
+        }
+        removed
+    }
+
+    /// Visits every stored value.
+    pub fn for_each<'a, F: FnMut(&'a T)>(&'a self, mut f: F) {
+        self.v4.for_each(&mut f);
+        self.v6.for_each(&mut f);
+    }
+
+    /// Collects every stored value into a vector.
+    pub fn values(&self) -> Vec<&T> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|t| out.push(t));
+        out
+    }
+}
+
+impl<T> FromIterator<(Prefix, T)> for PrefixMap<T> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> Self {
+        let mut map = PrefixMap::new();
+        for (p, t) in iter {
+            map.insert(p, t);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_map() {
+        let map: PrefixMap<u32> = PrefixMap::new();
+        assert!(map.is_empty());
+        assert!(map.covering(&p("10.0.0.0/8")).is_empty());
+        assert!(map.covered_by(&p("0.0.0.0/0")).is_empty());
+        assert!(map.exact(&p("10.0.0.0/8")).is_empty());
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let mut map = PrefixMap::new();
+        map.insert(p("10.0.0.0/8"), 1);
+        map.insert(p("10.0.0.0/8"), 2);
+        assert_eq!(map.exact(&p("10.0.0.0/8")), &[1, 2]);
+        assert!(map.exact(&p("10.0.0.0/9")).is_empty());
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn covering_walks_root_to_leaf() {
+        let mut map = PrefixMap::new();
+        map.insert(p("0.0.0.0/0"), "default");
+        map.insert(p("10.0.0.0/8"), "eight");
+        map.insert(p("10.1.0.0/16"), "sixteen");
+        map.insert(p("11.0.0.0/8"), "other");
+        let covering = map.covering(&p("10.1.2.0/24"));
+        assert_eq!(covering, vec![&"default", &"eight", &"sixteen"]);
+        // The query prefix itself counts as covering.
+        let covering = map.covering(&p("10.1.0.0/16"));
+        assert_eq!(covering.len(), 3);
+    }
+
+    #[test]
+    fn covered_by_returns_subtree() {
+        let mut map = PrefixMap::new();
+        map.insert(p("10.0.0.0/8"), 8);
+        map.insert(p("10.1.0.0/16"), 16);
+        map.insert(p("10.1.2.0/24"), 24);
+        map.insert(p("192.168.0.0/16"), 99);
+        let mut inside: Vec<i32> = map.covered_by(&p("10.0.0.0/8")).into_iter().copied().collect();
+        inside.sort();
+        assert_eq!(inside, vec![8, 16, 24]);
+        assert_eq!(map.covered_by(&p("10.1.0.0/16")).len(), 2);
+        assert_eq!(map.covered_by(&p("10.2.0.0/16")).len(), 0);
+    }
+
+    #[test]
+    fn families_do_not_mix() {
+        let mut map = PrefixMap::new();
+        map.insert(p("0.0.0.0/0"), "v4");
+        map.insert(p("::/0"), "v6");
+        assert_eq!(map.covering(&p("10.0.0.0/8")), vec![&"v4"]);
+        assert_eq!(map.covering(&p("2001:db8::/32")), vec![&"v6"]);
+    }
+
+    #[test]
+    fn remove_where_removes_and_prunes() {
+        let mut map = PrefixMap::new();
+        map.insert(p("10.1.2.0/24"), 1);
+        map.insert(p("10.1.2.0/24"), 2);
+        assert_eq!(map.remove_where(&p("10.1.2.0/24"), |v| *v == 1), 1);
+        assert_eq!(map.exact(&p("10.1.2.0/24")), &[2]);
+        assert_eq!(map.remove_where(&p("10.1.2.0/24"), |_| true), 1);
+        assert!(map.is_empty());
+        assert_eq!(map.remove_where(&p("10.9.9.0/24"), |_| true), 0);
+    }
+
+    #[test]
+    fn values_and_for_each_visit_everything() {
+        let mut map = PrefixMap::new();
+        for (i, s) in ["10.0.0.0/8", "10.1.0.0/16", "2001:db8::/32"].iter().enumerate() {
+            map.insert(p(s), i);
+        }
+        let mut vals: Vec<usize> = map.values().into_iter().copied().collect();
+        vals.sort();
+        assert_eq!(vals, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let map: PrefixMap<u8> = vec![(p("10.0.0.0/8"), 1u8), (p("10.0.0.0/9"), 2u8)]
+            .into_iter()
+            .collect();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.covering(&p("10.0.0.0/9")).len(), 2);
+    }
+
+    #[test]
+    fn deep_v6_paths() {
+        let mut map = PrefixMap::new();
+        map.insert(p("2001:db8::/32"), "a");
+        map.insert(p("2001:db8:0:0:8000::/65"), "b");
+        let q: Prefix = "2001:db8:0:0:8000::/80".parse().unwrap();
+        assert_eq!(map.covering(&q), vec![&"a", &"b"]);
+    }
+}

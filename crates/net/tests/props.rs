@@ -1,0 +1,155 @@
+//! Property-based tests for the network primitives: every data structure is
+//! checked against a naive model implementation.
+
+use manrs_net::{AddressSpace, IntervalSet, Ipv4Prefix, Prefix, PrefixMap};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Strategy for arbitrary canonical IPv4 prefixes.
+fn v4_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
+        Ipv4Prefix::from_bits_truncated(bits, len).expect("len in range")
+    })
+}
+
+/// Strategy biased toward prefixes that collide (small space).
+fn clustered_v4_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (0u32..16, 24u8..=32).prop_map(|(host, len)| {
+        let bits = 0x0A00_0000 | (host << 4);
+        Ipv4Prefix::from_bits_truncated(bits, len).expect("len in range")
+    })
+}
+
+proptest! {
+    /// Display → FromStr is the identity on canonical prefixes.
+    #[test]
+    fn prefix_display_parse_round_trip(p in v4_prefix()) {
+        let s = p.to_string();
+        let back: Ipv4Prefix = s.parse().expect("canonical display re-parses");
+        prop_assert_eq!(p, back);
+    }
+
+    /// Containment agrees with the range view: a contains b iff a's
+    /// address range includes b's.
+    #[test]
+    fn containment_matches_ranges(a in v4_prefix(), b in v4_prefix()) {
+        let by_ranges = a.range_start() <= b.range_start() && b.range_end() <= a.range_end();
+        prop_assert_eq!(a.contains(&b), by_ranges);
+    }
+
+    /// Parent of a child is the prefix itself.
+    #[test]
+    fn parent_child_inverse(p in v4_prefix()) {
+        if let Some((lo, hi)) = p.children() {
+            prop_assert_eq!(lo.parent().unwrap(), p);
+            prop_assert_eq!(hi.parent().unwrap(), p);
+            prop_assert!(p.contains(&lo) && p.contains(&hi));
+            prop_assert!(!lo.overlaps(&hi));
+        }
+    }
+
+    /// Truncation is idempotent and never sets host bits.
+    #[test]
+    fn truncation_idempotent(bits in any::<u32>(), len in 0u8..=32) {
+        let p = Ipv4Prefix::from_bits_truncated(bits, len).unwrap();
+        let again = Ipv4Prefix::new(Ipv4Addr::from(p.bits()), len).unwrap();
+        prop_assert_eq!(p, again);
+    }
+
+    /// Trie covering query agrees with a naive scan.
+    #[test]
+    fn trie_covering_matches_naive(
+        stored in prop::collection::vec(clustered_v4_prefix(), 0..40),
+        query in clustered_v4_prefix(),
+    ) {
+        let mut map: PrefixMap<Ipv4Prefix> = PrefixMap::new();
+        for p in &stored {
+            map.insert(Prefix::V4(*p), *p);
+        }
+        let mut got: Vec<Ipv4Prefix> =
+            map.covering(&Prefix::V4(query)).into_iter().copied().collect();
+        got.sort();
+        let mut want: Vec<Ipv4Prefix> =
+            stored.iter().copied().filter(|p| p.contains(&query)).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Trie covered_by query agrees with a naive scan.
+    #[test]
+    fn trie_covered_by_matches_naive(
+        stored in prop::collection::vec(clustered_v4_prefix(), 0..40),
+        query in clustered_v4_prefix(),
+    ) {
+        let mut map: PrefixMap<Ipv4Prefix> = PrefixMap::new();
+        for p in &stored {
+            map.insert(Prefix::V4(*p), *p);
+        }
+        let mut got: Vec<Ipv4Prefix> =
+            map.covered_by(&Prefix::V4(query)).into_iter().copied().collect();
+        got.sort();
+        let mut want: Vec<Ipv4Prefix> =
+            stored.iter().copied().filter(|p| query.contains(p)).collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// IntervalSet membership and length agree with a BTreeSet model on a
+    /// small universe.
+    #[test]
+    fn interval_set_matches_model(
+        ops in prop::collection::vec((0u128..200, 0u128..40), 0..30),
+    ) {
+        let mut set = IntervalSet::new();
+        let mut model: BTreeSet<u128> = BTreeSet::new();
+        for (start, width) in ops {
+            let end = start + width;
+            set.insert(start, end);
+            model.extend(start..=end);
+        }
+        prop_assert_eq!(set.len(), model.len() as u128);
+        for v in 0u128..=250 {
+            prop_assert_eq!(set.contains(v), model.contains(&v));
+        }
+        // Canonical: intervals sorted, disjoint, non-adjacent.
+        for w in set.intervals().windows(2) {
+            prop_assert!(w[0].1 + 1 < w[1].0);
+        }
+    }
+
+    /// Intersection length agrees with the model.
+    #[test]
+    fn intersection_matches_model(
+        a_ops in prop::collection::vec((0u128..200, 0u128..30), 0..15),
+        b_ops in prop::collection::vec((0u128..200, 0u128..30), 0..15),
+    ) {
+        let mut a = IntervalSet::new();
+        let mut am: BTreeSet<u128> = BTreeSet::new();
+        for (s, w) in a_ops {
+            a.insert(s, s + w);
+            am.extend(s..=s + w);
+        }
+        let mut b = IntervalSet::new();
+        let mut bm: BTreeSet<u128> = BTreeSet::new();
+        for (s, w) in b_ops {
+            b.insert(s, s + w);
+            bm.extend(s..=s + w);
+        }
+        prop_assert_eq!(a.intersection_len(&b), am.intersection(&bm).count() as u128);
+    }
+
+    /// AddressSpace counts a union of prefixes without double counting.
+    #[test]
+    fn address_space_matches_model(
+        prefixes in prop::collection::vec(clustered_v4_prefix(), 0..25),
+    ) {
+        let ps: Vec<Prefix> = prefixes.iter().copied().map(Prefix::V4).collect();
+        let space = AddressSpace::from_prefixes(&ps);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for p in &prefixes {
+            model.extend(p.range_start()..=p.range_end());
+        }
+        prop_assert_eq!(space.v4_len(), model.len() as u128);
+    }
+}

@@ -1,0 +1,193 @@
+//! Dated VRP archives.
+//!
+//! The paper downloads monthly *validated ROA* snapshots from RIPE NCC
+//! covering 2014–2022 (§5.4) and pairs each with a same-date routing
+//! snapshot to track RPKI saturation over time (Fig. 6). [`VrpArchive`]
+//! models that: a time-ordered sequence of VRP sets, queried by "latest
+//! snapshot at or before date" exactly as the analysis pairs datasets.
+
+use crate::vrp::{Vrp, VrpSet};
+use manrs_net::Date;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A time series of VRP snapshots.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VrpArchive {
+    snapshots: BTreeMap<Date, Vec<Vrp>>,
+}
+
+impl VrpArchive {
+    /// Creates an empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a snapshot for `date`, replacing any existing one.
+    pub fn insert(&mut self, date: Date, vrps: Vec<Vrp>) {
+        self.snapshots.insert(date, vrps);
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// `true` if no snapshots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The most recent snapshot at or before `date`, if any, with its
+    /// actual date.
+    pub fn at(&self, date: Date) -> Option<(Date, &[Vrp])> {
+        self.snapshots
+            .range(..=date)
+            .next_back()
+            .map(|(d, v)| (*d, v.as_slice()))
+    }
+
+    /// Builds the indexed [`VrpSet`] for the snapshot at or before `date`.
+    /// Returns an empty set when the archive has no snapshot that early —
+    /// the same as validating before the RPKI existed.
+    pub fn set_at(&self, date: Date) -> VrpSet {
+        match self.at(date) {
+            Some((_, vrps)) => vrps.iter().copied().collect(),
+            None => VrpSet::new(),
+        }
+    }
+
+    /// All snapshot dates in order.
+    pub fn dates(&self) -> impl Iterator<Item = Date> + '_ {
+        self.snapshots.keys().copied()
+    }
+}
+
+/// Serializes VRPs in the RIPE NCC validated-ROA CSV shape:
+/// `ASN,IP Prefix,Max Length` with a header line.
+pub fn write_vrps_csv(vrps: &[Vrp]) -> String {
+    let mut out = String::from("ASN,IP Prefix,Max Length\n");
+    for vrp in vrps {
+        out.push_str(&format!("{},{},{}\n", vrp.asn, vrp.prefix, vrp.max_length));
+    }
+    out
+}
+
+/// Parses the CSV produced by [`write_vrps_csv`] (and tolerates the real
+/// archives' quoting-free rows). The header line is skipped when
+/// present.
+pub fn parse_vrps_csv(text: &str) -> Result<Vec<Vrp>, manrs_net::NetError> {
+    let mut vrps = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if idx == 0 && line.to_ascii_lowercase().starts_with("asn,") {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let bad = || manrs_net::NetError::InvalidAddress(line.to_owned());
+        let asn: manrs_net::Asn = parts.next().ok_or_else(bad)?.trim().parse()?;
+        let prefix: manrs_net::Prefix = parts.next().ok_or_else(bad)?.trim().parse()?;
+        let max_length: u8 = parts
+            .next()
+            .ok_or_else(bad)?
+            .trim()
+            .parse()
+            .map_err(|_| bad())?;
+        if max_length < prefix.len() || max_length > prefix.family().width() {
+            return Err(manrs_net::NetError::MaxLengthTooShort {
+                prefix_len: prefix.len(),
+                max_len: max_length,
+            });
+        }
+        vrps.push(Vrp::new(prefix, asn, max_length));
+    }
+    Ok(vrps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_net::{Asn, Prefix};
+
+    fn vrp(s: &str, asn: u32) -> Vrp {
+        let p: Prefix = s.parse().unwrap();
+        Vrp::new(p, Asn(asn), p.len())
+    }
+
+    #[test]
+    fn empty_archive() {
+        let a = VrpArchive::new();
+        assert!(a.is_empty());
+        assert!(a.at(Date::ymd(2022, 5, 1)).is_none());
+        assert!(a.set_at(Date::ymd(2022, 5, 1)).is_empty());
+    }
+
+    #[test]
+    fn latest_at_or_before() {
+        let mut a = VrpArchive::new();
+        a.insert(Date::ymd(2021, 1, 1), vec![vrp("10.0.0.0/8", 1)]);
+        a.insert(Date::ymd(2022, 1, 1), vec![vrp("10.0.0.0/8", 1), vrp("11.0.0.0/8", 2)]);
+        // Before the first snapshot: nothing.
+        assert!(a.at(Date::ymd(2020, 6, 1)).is_none());
+        // Between snapshots: the earlier one.
+        let (d, v) = a.at(Date::ymd(2021, 7, 1)).unwrap();
+        assert_eq!(d, Date::ymd(2021, 1, 1));
+        assert_eq!(v.len(), 1);
+        // Exactly on a snapshot date.
+        let (d, v) = a.at(Date::ymd(2022, 1, 1)).unwrap();
+        assert_eq!(d, Date::ymd(2022, 1, 1));
+        assert_eq!(v.len(), 2);
+        // After the last one.
+        assert_eq!(a.set_at(Date::ymd(2022, 5, 1)).len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_snapshot() {
+        let mut a = VrpArchive::new();
+        a.insert(Date::ymd(2022, 1, 1), vec![vrp("10.0.0.0/8", 1)]);
+        a.insert(Date::ymd(2022, 1, 1), vec![]);
+        assert_eq!(a.len(), 1);
+        assert!(a.set_at(Date::ymd(2022, 5, 1)).is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let vrps = vec![
+            Vrp::new("10.0.0.0/16".parse().unwrap(), Asn(64_500), 20),
+            Vrp::new("2001:db8::/32".parse().unwrap(), Asn(64_501), 48),
+            Vrp::new("203.0.113.0/24".parse().unwrap(), Asn::ZERO, 24),
+        ];
+        let csv = write_vrps_csv(&vrps);
+        assert!(csv.starts_with("ASN,IP Prefix,Max Length\n"));
+        let parsed = parse_vrps_csv(&csv).unwrap();
+        assert_eq!(parsed, vrps);
+    }
+
+    #[test]
+    fn csv_without_header_and_with_blanks() {
+        let parsed = parse_vrps_csv("AS1,10.0.0.0/16,16\n\nAS2,10.1.0.0/16,20\n").unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].max_length, 20);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(parse_vrps_csv("AS1,banana,16\n").is_err());
+        assert!(parse_vrps_csv("AS1,10.0.0.0/16\n").is_err());
+        assert!(parse_vrps_csv("AS1,10.0.0.0/16,8\n").is_err()); // maxlen < len
+        assert!(parse_vrps_csv("AS1,10.0.0.0/16,40\n").is_err()); // maxlen > 32
+        assert!(parse_vrps_csv("ASX,10.0.0.0/16,16\n").is_err());
+    }
+
+    #[test]
+    fn dates_in_order() {
+        let mut a = VrpArchive::new();
+        a.insert(Date::ymd(2022, 1, 1), vec![]);
+        a.insert(Date::ymd(2021, 1, 1), vec![]);
+        let dates: Vec<Date> = a.dates().collect();
+        assert_eq!(dates, vec![Date::ymd(2021, 1, 1), Date::ymd(2022, 1, 1)]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Resource Public Key Infrastructure model and route origin validation.
+//!
+//! This crate implements the RPKI side of the paper's pipeline (§2.3, §6.1):
+//!
+//! * [`roa`] — Route Origin Authorization objects with the fields that
+//!   matter for validation: prefix, origin ASN, maxLength, validity window.
+//! * [`repository`] — the publication side: five RIR trust anchors, CA
+//!   certificates with resource sets (RFC 6487-style containment), ROA
+//!   issuance and revocation. The cryptography itself is simulated — the
+//!   structures, resource-containment rules, expiry, and revocation
+//!   semantics that relying-party software actually enforces are not.
+//! * [`relying_party`] — the relying party (RP) pass: walk the trust
+//!   anchors, reject expired/revoked/over-claiming objects, and emit the
+//!   set of Validated ROA Payloads (VRPs).
+//! * [`validation`] — RFC 6811 route origin validation of a
+//!   (prefix, origin) pair against the VRP set: `Valid`, `InvalidAsn`,
+//!   `InvalidLength`, or `NotFound`.
+//! * [`archive`] — dated VRP snapshots, modelling the monthly validated
+//!   ROA archives (2014–2022) the paper downloads from RIPE NCC.
+
+pub mod archive;
+pub mod relying_party;
+pub mod repository;
+pub mod roa;
+pub mod validation;
+pub mod vrp;
+
+pub use archive::{parse_vrps_csv, write_vrps_csv, VrpArchive};
+pub use relying_party::{RelyingParty, ValidationReport};
+pub use repository::{CaCertificate, CaId, RoaId, RpkiRepository, TrustAnchor};
+pub use roa::Roa;
+pub use validation::{validate_origin, RpkiStatus};
+pub use vrp::{Vrp, VrpSet};

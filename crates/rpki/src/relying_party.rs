@@ -1,0 +1,207 @@
+//! The relying-party (RP) pass: repository state in, VRPs out.
+//!
+//! Models what Routinator/rpki-client-style software does after fetching
+//! the repositories (§2.3): walk each trust anchor, check every CA
+//! certificate and ROA for currency, revocation, and resource containment,
+//! and emit the surviving payloads as a [`VrpSet`].
+
+use crate::repository::RpkiRepository;
+use crate::vrp::{Vrp, VrpSet};
+use manrs_net::Date;
+use serde::{Deserialize, Serialize};
+
+/// Why a signed ROA was rejected during the RP pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The signing CA certificate is unknown to any trust anchor.
+    OrphanCa,
+    /// The signing CA certificate is revoked.
+    CaRevoked,
+    /// The evaluation date is outside the CA certificate's window.
+    CaExpired,
+    /// The CA's issuer anchor no longer holds the CA's claimed prefix for
+    /// this ROA, or the ROA claims space outside the CA's resources.
+    OverClaim,
+    /// The ROA object itself is revoked.
+    RoaRevoked,
+    /// The evaluation date is outside the ROA's own validity window.
+    RoaExpired,
+}
+
+/// Statistics from one relying-party validation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Signed objects examined.
+    pub examined: usize,
+    /// Payloads accepted into the VRP set.
+    pub accepted: usize,
+    /// Rejections, as (reason, count) pairs in a fixed order.
+    pub rejected: Vec<(RejectReason, usize)>,
+}
+
+impl ValidationReport {
+    fn note(&mut self, reason: RejectReason) {
+        if let Some(slot) = self.rejected.iter_mut().find(|(r, _)| *r == reason) {
+            slot.1 += 1;
+        } else {
+            self.rejected.push((reason, 1));
+        }
+    }
+
+    /// Total rejected objects.
+    pub fn rejected_total(&self) -> usize {
+        self.rejected.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// A relying party evaluating the repository at a fixed date.
+#[derive(Debug, Clone, Copy)]
+pub struct RelyingParty {
+    /// The date at which validity windows are evaluated.
+    pub evaluation_date: Date,
+}
+
+impl RelyingParty {
+    /// Creates a relying party for the given evaluation date.
+    pub fn new(evaluation_date: Date) -> Self {
+        RelyingParty { evaluation_date }
+    }
+
+    /// Runs the full validation pass, producing the VRP set and a report.
+    pub fn validate(&self, repo: &RpkiRepository) -> (VrpSet, ValidationReport) {
+        let mut vrps = VrpSet::new();
+        let mut report = ValidationReport::default();
+        for signed in repo.roas() {
+            report.examined += 1;
+            if signed.revoked {
+                report.note(RejectReason::RoaRevoked);
+                continue;
+            }
+            let Some(ca) = repo.ca(signed.ca) else {
+                report.note(RejectReason::OrphanCa);
+                continue;
+            };
+            if ca.revoked {
+                report.note(RejectReason::CaRevoked);
+                continue;
+            }
+            if !(ca.not_before <= self.evaluation_date && self.evaluation_date <= ca.not_after) {
+                report.note(RejectReason::CaExpired);
+                continue;
+            }
+            // Resource containment, re-checked bottom-up: the ROA must be
+            // within the CA's resources, and the CA's claim on that space
+            // must be within its anchor's administration.
+            let anchored = repo
+                .anchor(ca.issuer)
+                .map(|anchor| anchor.holds(&signed.roa.prefix))
+                .unwrap_or(false);
+            if !ca.holds(&signed.roa.prefix) || !anchored {
+                report.note(RejectReason::OverClaim);
+                continue;
+            }
+            if !signed.roa.is_current(self.evaluation_date) {
+                report.note(RejectReason::RoaExpired);
+                continue;
+            }
+            vrps.insert(Vrp::from(&signed.roa));
+            report.accepted += 1;
+        }
+        (vrps, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repository::{RpkiRepository, TrustAnchor};
+    use crate::roa::Roa;
+    use manrs_net::{Asn, Prefix, Rir};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn d(s: &str) -> Date {
+        s.parse().unwrap()
+    }
+
+    fn base_repo() -> (RpkiRepository, crate::repository::CaId) {
+        let mut repo = RpkiRepository::new();
+        repo.install_anchor(TrustAnchor { rir: Rir::RipeNcc, resources: vec![p("10.0.0.0/8")] });
+        let ca = repo
+            .issue_ca(Rir::RipeNcc, vec![p("10.1.0.0/16")], d("2020-01-01"), d("2024-01-01"))
+            .unwrap();
+        (repo, ca)
+    }
+
+    #[test]
+    fn accepts_valid_chain() {
+        let (mut repo, ca) = base_repo();
+        let roa = Roa::exact(p("10.1.2.0/24"), Asn(1), d("2021-01-01"), d("2023-01-01"));
+        repo.sign_roa(ca, roa).unwrap();
+        let (vrps, report) = RelyingParty::new(d("2022-05-01")).validate(&repo);
+        assert_eq!(vrps.len(), 1);
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.rejected_total(), 0);
+    }
+
+    #[test]
+    fn rejects_expired_roa() {
+        let (mut repo, ca) = base_repo();
+        let roa = Roa::exact(p("10.1.2.0/24"), Asn(1), d("2020-01-01"), d("2021-01-01"));
+        repo.sign_roa(ca, roa).unwrap();
+        let (vrps, report) = RelyingParty::new(d("2022-05-01")).validate(&repo);
+        assert!(vrps.is_empty());
+        assert_eq!(report.rejected, vec![(RejectReason::RoaExpired, 1)]);
+    }
+
+    #[test]
+    fn rejects_expired_ca() {
+        let (mut repo, ca) = base_repo();
+        let roa = Roa::exact(p("10.1.2.0/24"), Asn(1), d("2020-01-01"), d("2030-01-01"));
+        repo.sign_roa(ca, roa).unwrap();
+        let (_, report) = RelyingParty::new(d("2025-01-01")).validate(&repo);
+        assert_eq!(report.rejected, vec![(RejectReason::CaExpired, 1)]);
+    }
+
+    #[test]
+    fn rejects_revoked_objects() {
+        let (mut repo, ca) = base_repo();
+        let roa = Roa::exact(p("10.1.2.0/24"), Asn(1), d("2021-01-01"), d("2023-01-01"));
+        let id = repo.sign_roa(ca, roa).unwrap();
+        repo.revoke_roa(id).unwrap();
+        let (_, report) = RelyingParty::new(d("2022-05-01")).validate(&repo);
+        assert_eq!(report.rejected, vec![(RejectReason::RoaRevoked, 1)]);
+
+        let (mut repo, ca) = base_repo();
+        repo.sign_roa(ca, roa).unwrap();
+        repo.revoke_ca(ca).unwrap();
+        let (_, report) = RelyingParty::new(d("2022-05-01")).validate(&repo);
+        assert_eq!(report.rejected, vec![(RejectReason::CaRevoked, 1)]);
+    }
+
+    #[test]
+    fn rejects_over_claiming_roa() {
+        let (mut repo, ca) = base_repo();
+        // Outside the CA's /16 — only reachable via the unchecked path.
+        let roa = Roa::exact(p("10.2.0.0/24"), Asn(1), d("2021-01-01"), d("2023-01-01"));
+        repo.sign_roa_unchecked(ca, roa);
+        let (vrps, report) = RelyingParty::new(d("2022-05-01")).validate(&repo);
+        assert!(vrps.is_empty());
+        assert_eq!(report.rejected, vec![(RejectReason::OverClaim, 1)]);
+    }
+
+    #[test]
+    fn mixed_repository_counts() {
+        let (mut repo, ca) = base_repo();
+        let good = Roa::exact(p("10.1.2.0/24"), Asn(1), d("2021-01-01"), d("2023-01-01"));
+        let stale = Roa::exact(p("10.1.3.0/24"), Asn(1), d("2019-01-01"), d("2020-06-01"));
+        repo.sign_roa(ca, good).unwrap();
+        repo.sign_roa(ca, stale).unwrap();
+        let (vrps, report) = RelyingParty::new(d("2022-05-01")).validate(&repo);
+        assert_eq!(report.examined, 2);
+        assert_eq!(report.accepted, 1);
+        assert_eq!(vrps.len(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! The publication side of the RPKI: trust anchors, CA certificates, and
+//! signed ROAs.
+//!
+//! Cryptographic signatures are simulated — what is modelled faithfully is
+//! everything a relying party actually *checks* beyond the signature
+//! bytes: certificate validity windows, RFC 6487 resource containment
+//! (a CA may only sign ROAs for address space its own certificate holds),
+//! and revocation. Those are the mechanisms behind the misconfigurations
+//! the paper observes (expired ROAs, AS0 registrations, stale objects).
+
+use crate::roa::Roa;
+use manrs_net::{Date, Prefix, Rir};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of a CA certificate within a repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CaId(pub u64);
+
+/// Identifier of a signed ROA object within a repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RoaId(pub u64);
+
+/// A CA certificate: the resources (prefixes) the subject may sign for,
+/// and its validity window. Issued by an RIR trust anchor to an address
+/// holder (or by the RIR on the holder's behalf — hosted RPKI).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaCertificate {
+    /// The certificate's identifier.
+    pub id: CaId,
+    /// The trust anchor that issued it.
+    pub issuer: Rir,
+    /// Certified resources: the prefixes this CA may sign ROAs for.
+    pub resources: Vec<Prefix>,
+    /// Start of validity (inclusive).
+    pub not_before: Date,
+    /// End of validity (inclusive).
+    pub not_after: Date,
+    /// `true` once revoked by the trust anchor.
+    pub revoked: bool,
+}
+
+impl CaCertificate {
+    /// `true` if the certificate is usable on `date`.
+    pub fn is_current(&self, date: Date) -> bool {
+        !self.revoked && self.not_before <= date && date <= self.not_after
+    }
+
+    /// `true` if the certificate's resources contain `prefix`
+    /// (RFC 6487 §7 resource containment).
+    pub fn holds(&self, prefix: &Prefix) -> bool {
+        self.resources.iter().any(|r| r.contains(prefix))
+    }
+}
+
+/// A signed ROA object: a [`Roa`] payload bound to the CA that signed it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignedRoa {
+    /// The object's identifier.
+    pub id: RoaId,
+    /// The signing CA.
+    pub ca: CaId,
+    /// The payload.
+    pub roa: Roa,
+    /// `true` once revoked (withdrawn from the repository).
+    pub revoked: bool,
+}
+
+/// One RIR trust anchor: the root of one of the five RPKI trees.
+///
+/// Its `resources` are the address space the RIR administers; every CA
+/// certificate below it must stay within them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrustAnchor {
+    /// Which RIR this anchor belongs to.
+    pub rir: Rir,
+    /// The address space the RIR administers.
+    pub resources: Vec<Prefix>,
+}
+
+impl TrustAnchor {
+    /// `true` if the anchor administers `prefix`.
+    pub fn holds(&self, prefix: &Prefix) -> bool {
+        self.resources.iter().any(|r| r.contains(prefix))
+    }
+}
+
+/// The global RPKI publication state: five trust anchors, the CA
+/// certificates they issued, and the signed ROAs below those CAs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RpkiRepository {
+    anchors: BTreeMap<Rir, TrustAnchor>,
+    cas: BTreeMap<CaId, CaCertificate>,
+    roas: BTreeMap<RoaId, SignedRoa>,
+    next_ca: u64,
+    next_roa: u64,
+}
+
+/// Errors from repository operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepositoryError {
+    /// No trust anchor exists for the RIR.
+    UnknownAnchor(Rir),
+    /// The referenced CA does not exist.
+    UnknownCa(CaId),
+    /// The referenced ROA does not exist.
+    UnknownRoa(RoaId),
+    /// The requested resources are not held by the issuer
+    /// (RFC 6487 containment violation at issuance time).
+    ResourceNotHeld(Prefix),
+}
+
+impl std::fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepositoryError::UnknownAnchor(rir) => write!(f, "no trust anchor for {rir}"),
+            RepositoryError::UnknownCa(id) => write!(f, "unknown CA certificate {}", id.0),
+            RepositoryError::UnknownRoa(id) => write!(f, "unknown ROA object {}", id.0),
+            RepositoryError::ResourceNotHeld(p) => {
+                write!(f, "issuer does not hold resource {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepositoryError {}
+
+impl RpkiRepository {
+    /// Creates an empty repository with no trust anchors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a trust anchor (replacing any previous anchor for the RIR).
+    pub fn install_anchor(&mut self, anchor: TrustAnchor) {
+        self.anchors.insert(anchor.rir, anchor);
+    }
+
+    /// The trust anchor for `rir`, if installed.
+    pub fn anchor(&self, rir: Rir) -> Option<&TrustAnchor> {
+        self.anchors.get(&rir)
+    }
+
+    /// All installed anchors.
+    pub fn anchors(&self) -> impl Iterator<Item = &TrustAnchor> {
+        self.anchors.values()
+    }
+
+    /// Issues a CA certificate under `rir` for `resources`.
+    ///
+    /// Issuance enforces containment: the anchor must hold every requested
+    /// prefix. (Relying parties re-check this at validation time, which
+    /// matters once anchors or resources change after issuance.)
+    pub fn issue_ca(
+        &mut self,
+        rir: Rir,
+        resources: Vec<Prefix>,
+        not_before: Date,
+        not_after: Date,
+    ) -> Result<CaId, RepositoryError> {
+        let anchor = self.anchors.get(&rir).ok_or(RepositoryError::UnknownAnchor(rir))?;
+        if let Some(outside) = resources.iter().find(|p| !anchor.holds(p)) {
+            return Err(RepositoryError::ResourceNotHeld(*outside));
+        }
+        let id = CaId(self.next_ca);
+        self.next_ca += 1;
+        self.cas.insert(
+            id,
+            CaCertificate { id, issuer: rir, resources, not_before, not_after, revoked: false },
+        );
+        Ok(id)
+    }
+
+    /// Signs a ROA under CA `ca`. Containment within the CA's resources is
+    /// enforced at signing time.
+    pub fn sign_roa(&mut self, ca: CaId, roa: Roa) -> Result<RoaId, RepositoryError> {
+        let cert = self.cas.get(&ca).ok_or(RepositoryError::UnknownCa(ca))?;
+        if !cert.holds(&roa.prefix) {
+            return Err(RepositoryError::ResourceNotHeld(roa.prefix));
+        }
+        let id = RoaId(self.next_roa);
+        self.next_roa += 1;
+        self.roas.insert(id, SignedRoa { id, ca, roa, revoked: false });
+        Ok(id)
+    }
+
+    /// Signs a ROA without checking containment — models a misbehaving or
+    /// misconfigured publication point that a relying party must reject.
+    pub fn sign_roa_unchecked(&mut self, ca: CaId, roa: Roa) -> RoaId {
+        let id = RoaId(self.next_roa);
+        self.next_roa += 1;
+        self.roas.insert(id, SignedRoa { id, ca, roa, revoked: false });
+        id
+    }
+
+    /// Revokes a CA certificate (all ROAs under it become invalid to a
+    /// relying party).
+    pub fn revoke_ca(&mut self, ca: CaId) -> Result<(), RepositoryError> {
+        self.cas.get_mut(&ca).ok_or(RepositoryError::UnknownCa(ca))?.revoked = true;
+        Ok(())
+    }
+
+    /// Revokes (withdraws) a single ROA object.
+    pub fn revoke_roa(&mut self, roa: RoaId) -> Result<(), RepositoryError> {
+        self.roas.get_mut(&roa).ok_or(RepositoryError::UnknownRoa(roa))?.revoked = true;
+        Ok(())
+    }
+
+    /// The CA certificate with the given id.
+    pub fn ca(&self, id: CaId) -> Option<&CaCertificate> {
+        self.cas.get(&id)
+    }
+
+    /// The signed ROA with the given id.
+    pub fn roa(&self, id: RoaId) -> Option<&SignedRoa> {
+        self.roas.get(&id)
+    }
+
+    /// All signed ROA objects (including revoked ones).
+    pub fn roas(&self) -> impl Iterator<Item = &SignedRoa> {
+        self.roas.values()
+    }
+
+    /// Number of signed, unrevoked ROA objects.
+    pub fn active_roa_count(&self) -> usize {
+        self.roas.values().filter(|r| !r.revoked).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_net::Asn;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn window() -> (Date, Date) {
+        (Date::ymd(2020, 1, 1), Date::ymd(2024, 1, 1))
+    }
+
+    fn repo_with_arin() -> RpkiRepository {
+        let mut repo = RpkiRepository::new();
+        repo.install_anchor(TrustAnchor { rir: Rir::Arin, resources: vec![p("10.0.0.0/8")] });
+        repo
+    }
+
+    #[test]
+    fn issue_ca_enforces_containment() {
+        let mut repo = repo_with_arin();
+        let (nb, na) = window();
+        assert!(repo.issue_ca(Rir::Arin, vec![p("10.1.0.0/16")], nb, na).is_ok());
+        assert_eq!(
+            repo.issue_ca(Rir::Arin, vec![p("11.0.0.0/16")], nb, na),
+            Err(RepositoryError::ResourceNotHeld(p("11.0.0.0/16")))
+        );
+        assert_eq!(
+            repo.issue_ca(Rir::Apnic, vec![p("10.1.0.0/16")], nb, na),
+            Err(RepositoryError::UnknownAnchor(Rir::Apnic))
+        );
+    }
+
+    #[test]
+    fn sign_roa_enforces_containment() {
+        let mut repo = repo_with_arin();
+        let (nb, na) = window();
+        let ca = repo.issue_ca(Rir::Arin, vec![p("10.1.0.0/16")], nb, na).unwrap();
+        let inside = Roa::exact(p("10.1.2.0/24"), Asn(1), nb, na);
+        let outside = Roa::exact(p("10.2.0.0/24"), Asn(1), nb, na);
+        assert!(repo.sign_roa(ca, inside).is_ok());
+        assert_eq!(
+            repo.sign_roa(ca, outside),
+            Err(RepositoryError::ResourceNotHeld(p("10.2.0.0/24")))
+        );
+        // The unchecked path records it anyway.
+        let id = repo.sign_roa_unchecked(ca, outside);
+        assert!(repo.roa(id).is_some());
+        assert_eq!(repo.active_roa_count(), 2);
+    }
+
+    #[test]
+    fn revocation() {
+        let mut repo = repo_with_arin();
+        let (nb, na) = window();
+        let ca = repo.issue_ca(Rir::Arin, vec![p("10.1.0.0/16")], nb, na).unwrap();
+        let roa = repo.sign_roa(ca, Roa::exact(p("10.1.2.0/24"), Asn(1), nb, na)).unwrap();
+        repo.revoke_roa(roa).unwrap();
+        assert!(repo.roa(roa).unwrap().revoked);
+        assert_eq!(repo.active_roa_count(), 0);
+        repo.revoke_ca(ca).unwrap();
+        assert!(repo.ca(ca).unwrap().revoked);
+        assert!(repo.revoke_roa(RoaId(999)).is_err());
+        assert!(repo.revoke_ca(CaId(999)).is_err());
+    }
+
+    #[test]
+    fn certificate_currency() {
+        let (nb, na) = window();
+        let cert = CaCertificate {
+            id: CaId(0),
+            issuer: Rir::Arin,
+            resources: vec![p("10.0.0.0/8")],
+            not_before: nb,
+            not_after: na,
+            revoked: false,
+        };
+        assert!(cert.is_current(Date::ymd(2022, 5, 1)));
+        assert!(!cert.is_current(Date::ymd(2019, 1, 1)));
+        let mut revoked = cert.clone();
+        revoked.revoked = true;
+        assert!(!revoked.is_current(Date::ymd(2022, 5, 1)));
+    }
+}

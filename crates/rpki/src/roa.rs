@@ -1,0 +1,124 @@
+//! Route Origin Authorization objects.
+
+use manrs_net::{Asn, Date, NetError, Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Route Origin Authorization: "origin `asn` is authorized to announce
+/// `prefix` at lengths up to `max_length`".
+///
+/// Real ROAs may authorize several prefixes in one signed object; the
+/// paper (and relying-party output) works at the granularity of one
+/// (prefix, asn, maxLength) triple, so this type models one authorization.
+/// An `asn` of [`Asn::ZERO`] is an *AS0 ROA*: it makes every announcement
+/// of the prefix RPKI-Invalid (the paper's §8.1 Indonesian-ISP case study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Roa {
+    /// The authorized prefix.
+    pub prefix: Prefix,
+    /// The authorized origin AS (AS0 = nobody may originate).
+    pub asn: Asn,
+    /// Maximum announced prefix length; always ≥ `prefix.len()`.
+    pub max_length: u8,
+    /// Start of the validity window (inclusive).
+    pub not_before: Date,
+    /// End of the validity window (inclusive).
+    pub not_after: Date,
+}
+
+impl Roa {
+    /// Creates a ROA, validating that `max_length` is within
+    /// `[prefix.len(), family width]`.
+    pub fn new(
+        prefix: Prefix,
+        asn: Asn,
+        max_length: u8,
+        not_before: Date,
+        not_after: Date,
+    ) -> Result<Self, NetError> {
+        if max_length < prefix.len() {
+            return Err(NetError::MaxLengthTooShort {
+                prefix_len: prefix.len(),
+                max_len: max_length,
+            });
+        }
+        let width = prefix.family().width();
+        if max_length > width {
+            return Err(NetError::InvalidLength { len: max_length as u16, max: width });
+        }
+        Ok(Roa { prefix, asn, max_length, not_before, not_after })
+    }
+
+    /// A ROA with `max_length == prefix.len()` (the recommended practice:
+    /// no de-aggregation allowed).
+    pub fn exact(prefix: Prefix, asn: Asn, not_before: Date, not_after: Date) -> Self {
+        Roa { prefix, asn, max_length: prefix.len(), not_before, not_after }
+    }
+
+    /// `true` if the validity window contains `date`.
+    pub fn is_current(&self, date: Date) -> bool {
+        self.not_before <= date && date <= self.not_after
+    }
+}
+
+impl fmt::Display for Roa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ROA {} -> {} maxlen {}", self.prefix, self.asn, self.max_length)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn window() -> (Date, Date) {
+        (Date::ymd(2021, 1, 1), Date::ymd(2023, 1, 1))
+    }
+
+    #[test]
+    fn rejects_short_max_length() {
+        let (nb, na) = window();
+        assert_eq!(
+            Roa::new(p("10.0.0.0/16"), Asn(1), 8, nb, na),
+            Err(NetError::MaxLengthTooShort { prefix_len: 16, max_len: 8 })
+        );
+    }
+
+    #[test]
+    fn rejects_overlong_max_length() {
+        let (nb, na) = window();
+        assert!(Roa::new(p("10.0.0.0/16"), Asn(1), 33, nb, na).is_err());
+        assert!(Roa::new(p("2001:db8::/32"), Asn(1), 129, nb, na).is_err());
+        // 33 is fine for v6.
+        assert!(Roa::new(p("2001:db8::/32"), Asn(1), 48, nb, na).is_ok());
+    }
+
+    #[test]
+    fn exact_pins_max_length() {
+        let (nb, na) = window();
+        let roa = Roa::exact(p("192.0.2.0/24"), Asn(64_496), nb, na);
+        assert_eq!(roa.max_length, 24);
+    }
+
+    #[test]
+    fn validity_window() {
+        let (nb, na) = window();
+        let roa = Roa::exact(p("192.0.2.0/24"), Asn(1), nb, na);
+        assert!(roa.is_current(Date::ymd(2022, 5, 1)));
+        assert!(roa.is_current(nb));
+        assert!(roa.is_current(na));
+        assert!(!roa.is_current(Date::ymd(2020, 12, 31)));
+        assert!(!roa.is_current(Date::ymd(2023, 1, 2)));
+    }
+
+    #[test]
+    fn as0_roa_constructs() {
+        let (nb, na) = window();
+        let roa = Roa::exact(p("203.0.113.0/24"), Asn::ZERO, nb, na);
+        assert!(roa.asn.is_zero());
+    }
+}

@@ -1,0 +1,211 @@
+//! RFC 6811 route origin validation.
+
+use crate::vrp::VrpSet;
+use manrs_net::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The RPKI validation state of a (prefix, origin) pair, per RFC 6811 as
+/// refined by the paper's §6.1 classification:
+///
+/// * `Valid` — at least one covering VRP matches prefix, ASN, and
+///   maxLength.
+/// * `InvalidLength` — at least one covering VRP has a matching ASN, but
+///   the announcement is more specific than its maxLength allows.
+/// * `InvalidAsn` — covering VRPs exist, but none has a matching ASN
+///   (AS0 ROAs always land here).
+/// * `NotFound` — no covering VRP exists.
+///
+/// `InvalidLength` takes precedence over `InvalidAsn` when both kinds of
+/// covering VRPs exist, matching the paper's classification ("if at least
+/// one VRP has a matching ASN but the max length attribute is not covering
+/// the route, then the route is classified as Invalid Length").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RpkiStatus {
+    /// Matched by a covering VRP.
+    Valid,
+    /// Covered, matching ASN exists, but announced length exceeds maxLength.
+    InvalidLength,
+    /// Covered, but no covering VRP authorizes this origin AS.
+    InvalidAsn,
+    /// No covering VRP.
+    NotFound,
+}
+
+impl RpkiStatus {
+    /// `true` for either invalid state.
+    pub const fn is_invalid(self) -> bool {
+        matches!(self, RpkiStatus::InvalidAsn | RpkiStatus::InvalidLength)
+    }
+
+    /// ROV-filtering networks drop announcements in either invalid state
+    /// while letting `NotFound` through (§8.1).
+    pub const fn dropped_by_rov(self) -> bool {
+        self.is_invalid()
+    }
+}
+
+impl std::str::FromStr for RpkiStatus {
+    type Err = manrs_net::NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace(' ', "-").as_str() {
+            "valid" => Ok(RpkiStatus::Valid),
+            "invalid-length" | "invalid-prefix-length" => Ok(RpkiStatus::InvalidLength),
+            "invalid-asn" | "invalid" => Ok(RpkiStatus::InvalidAsn),
+            "notfound" | "not-found" => Ok(RpkiStatus::NotFound),
+            _ => Err(manrs_net::NetError::InvalidAddress(s.to_owned())),
+        }
+    }
+}
+
+impl fmt::Display for RpkiStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RpkiStatus::Valid => "Valid",
+            RpkiStatus::InvalidLength => "Invalid Length",
+            RpkiStatus::InvalidAsn => "Invalid ASN",
+            RpkiStatus::NotFound => "NotFound",
+        })
+    }
+}
+
+/// Validates a route `(prefix, origin)` against the VRP set, per RFC 6811.
+///
+/// ```
+/// use manrs_net::{Asn, Prefix};
+/// use manrs_rpki::{validate_origin, RpkiStatus, Vrp, VrpSet};
+///
+/// let set: VrpSet = [Vrp::new("10.0.0.0/16".parse().unwrap(), Asn(64496), 20)]
+///     .into_iter().collect();
+/// let p: Prefix = "10.0.0.0/16".parse().unwrap();
+/// assert_eq!(validate_origin(&set, &p, Asn(64496)), RpkiStatus::Valid);
+/// assert_eq!(validate_origin(&set, &p, Asn(64497)), RpkiStatus::InvalidAsn);
+/// let specific: Prefix = "10.0.0.0/24".parse().unwrap();
+/// assert_eq!(validate_origin(&set, &specific, Asn(64496)), RpkiStatus::InvalidLength);
+/// let other: Prefix = "192.0.2.0/24".parse().unwrap();
+/// assert_eq!(validate_origin(&set, &other, Asn(64496)), RpkiStatus::NotFound);
+/// ```
+pub fn validate_origin(vrps: &VrpSet, prefix: &Prefix, origin: Asn) -> RpkiStatus {
+    let covering = vrps.covering(prefix);
+    if covering.is_empty() {
+        return RpkiStatus::NotFound;
+    }
+    let mut saw_matching_asn = false;
+    for vrp in covering {
+        if vrp.matches(prefix, origin) {
+            return RpkiStatus::Valid;
+        }
+        if !vrp.asn.is_zero() && vrp.asn == origin {
+            saw_matching_asn = true;
+        }
+    }
+    if saw_matching_asn {
+        RpkiStatus::InvalidLength
+    } else {
+        RpkiStatus::InvalidAsn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vrp::Vrp;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn set(vrps: &[Vrp]) -> VrpSet {
+        vrps.iter().copied().collect()
+    }
+
+    #[test]
+    fn not_found_when_uncovered() {
+        let s = set(&[Vrp::new(p("10.0.0.0/16"), Asn(1), 16)]);
+        assert_eq!(validate_origin(&s, &p("11.0.0.0/16"), Asn(1)), RpkiStatus::NotFound);
+        // A *less specific* announcement is not covered either.
+        assert_eq!(validate_origin(&s, &p("10.0.0.0/8"), Asn(1)), RpkiStatus::NotFound);
+    }
+
+    #[test]
+    fn valid_beats_everything() {
+        // One VRP matches, another covers with a different ASN: Valid wins.
+        let s = set(&[
+            Vrp::new(p("10.0.0.0/8"), Asn(2), 16),
+            Vrp::new(p("10.0.0.0/16"), Asn(1), 16),
+        ]);
+        assert_eq!(validate_origin(&s, &p("10.0.0.0/16"), Asn(1)), RpkiStatus::Valid);
+        assert_eq!(validate_origin(&s, &p("10.0.0.0/16"), Asn(2)), RpkiStatus::Valid);
+    }
+
+    #[test]
+    fn invalid_length_takes_precedence_over_invalid_asn() {
+        let s = set(&[
+            Vrp::new(p("10.0.0.0/8"), Asn(9), 8), // wrong ASN for our origin
+            Vrp::new(p("10.0.0.0/16"), Asn(1), 16), // right ASN, maxlen too short
+        ]);
+        assert_eq!(validate_origin(&s, &p("10.0.0.0/24"), Asn(1)), RpkiStatus::InvalidLength);
+    }
+
+    #[test]
+    fn invalid_asn_when_no_matching_origin() {
+        let s = set(&[Vrp::new(p("10.0.0.0/16"), Asn(1), 24)]);
+        assert_eq!(validate_origin(&s, &p("10.0.0.0/24"), Asn(2)), RpkiStatus::InvalidAsn);
+    }
+
+    #[test]
+    fn as0_roa_invalidates_everyone() {
+        let s = set(&[Vrp::new(p("203.0.113.0/24"), Asn::ZERO, 24)]);
+        assert_eq!(validate_origin(&s, &p("203.0.113.0/24"), Asn(7)), RpkiStatus::InvalidAsn);
+        assert_eq!(
+            validate_origin(&s, &p("203.0.113.0/24"), Asn::ZERO),
+            RpkiStatus::InvalidAsn
+        );
+    }
+
+    #[test]
+    fn max_length_boundary() {
+        let s = set(&[Vrp::new(p("10.0.0.0/16"), Asn(1), 20)]);
+        assert_eq!(validate_origin(&s, &p("10.0.0.0/20"), Asn(1)), RpkiStatus::Valid);
+        assert_eq!(validate_origin(&s, &p("10.0.0.0/21"), Asn(1)), RpkiStatus::InvalidLength);
+    }
+
+    #[test]
+    fn exact_match_at_full_length() {
+        let s = set(&[Vrp::new(p("192.0.2.1/32"), Asn(1), 32)]);
+        assert_eq!(validate_origin(&s, &p("192.0.2.1/32"), Asn(1)), RpkiStatus::Valid);
+    }
+
+    #[test]
+    fn v6_validation() {
+        let s = set(&[Vrp::new(p("2001:db8::/32"), Asn(1), 48)]);
+        assert_eq!(validate_origin(&s, &p("2001:db8::/48"), Asn(1)), RpkiStatus::Valid);
+        assert_eq!(validate_origin(&s, &p("2001:db8::/64"), Asn(1)), RpkiStatus::InvalidLength);
+        assert_eq!(validate_origin(&s, &p("2001:db9::/48"), Asn(1)), RpkiStatus::NotFound);
+    }
+
+    #[test]
+    fn status_display_parse_round_trip() {
+        for status in [
+            RpkiStatus::Valid,
+            RpkiStatus::InvalidLength,
+            RpkiStatus::InvalidAsn,
+            RpkiStatus::NotFound,
+        ] {
+            let parsed: RpkiStatus = status.to_string().parse().unwrap();
+            assert_eq!(parsed, status);
+        }
+        assert!("martian".parse::<RpkiStatus>().is_err());
+    }
+
+    #[test]
+    fn status_predicates() {
+        assert!(RpkiStatus::InvalidAsn.is_invalid());
+        assert!(RpkiStatus::InvalidLength.is_invalid());
+        assert!(!RpkiStatus::Valid.is_invalid());
+        assert!(!RpkiStatus::NotFound.is_invalid());
+        assert!(RpkiStatus::InvalidAsn.dropped_by_rov());
+        assert!(!RpkiStatus::NotFound.dropped_by_rov());
+    }
+}

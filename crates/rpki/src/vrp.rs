@@ -1,0 +1,189 @@
+//! Validated ROA Payloads and the indexed VRP set.
+
+use crate::roa::Roa;
+use manrs_net::{AddressSpace, Asn, Prefix, PrefixMap};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Validated ROA Payload: the (prefix, asn, maxLength) triple emitted by
+/// relying-party software after certificate-chain validation (RFC 6811 §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Vrp {
+    /// The authorized prefix.
+    pub prefix: Prefix,
+    /// The authorized origin AS.
+    pub asn: Asn,
+    /// Maximum announced prefix length.
+    pub max_length: u8,
+}
+
+impl Vrp {
+    /// Creates a VRP. Invariants are assumed already checked (VRPs come
+    /// out of validated [`Roa`]s).
+    pub fn new(prefix: Prefix, asn: Asn, max_length: u8) -> Self {
+        debug_assert!(max_length >= prefix.len());
+        Vrp { prefix, asn, max_length }
+    }
+
+    /// `true` if this VRP covers `prefix` (the VRP prefix contains it).
+    pub fn covers(&self, prefix: &Prefix) -> bool {
+        self.prefix.contains(prefix)
+    }
+
+    /// `true` if this VRP *matches* a route `(prefix, origin)`: it covers
+    /// the prefix, the ASN matches (and is not AS0), and the announced
+    /// length does not exceed maxLength (RFC 6811 §2).
+    pub fn matches(&self, prefix: &Prefix, origin: Asn) -> bool {
+        !self.asn.is_zero()
+            && self.asn == origin
+            && self.covers(prefix)
+            && prefix.len() <= self.max_length
+    }
+}
+
+impl From<&Roa> for Vrp {
+    fn from(roa: &Roa) -> Self {
+        Vrp { prefix: roa.prefix, asn: roa.asn, max_length: roa.max_length }
+    }
+}
+
+impl fmt::Display for Vrp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} maxlen {}", self.prefix, self.asn, self.max_length)
+    }
+}
+
+/// A set of VRPs indexed by prefix for O(prefix-length) covering queries.
+///
+/// This is the data structure every route origin validation consults; see
+/// [`crate::validate_origin`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VrpSet {
+    map: PrefixMap<Vrp>,
+}
+
+impl VrpSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of VRPs in the set.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if the set holds no VRPs.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Adds a VRP.
+    pub fn insert(&mut self, vrp: Vrp) {
+        self.map.insert(vrp.prefix, vrp);
+    }
+
+    /// All VRPs whose prefix covers `prefix` — the covering-VRP set of
+    /// RFC 6811.
+    pub fn covering(&self, prefix: &Prefix) -> Vec<&Vrp> {
+        self.map.covering(prefix)
+    }
+
+    /// `true` if at least one VRP covers `prefix`.
+    pub fn is_covered(&self, prefix: &Prefix) -> bool {
+        !self.map.covering(prefix).is_empty()
+    }
+
+    /// Every VRP in the set.
+    pub fn iter(&self) -> Vec<&Vrp> {
+        self.map.values()
+    }
+
+    /// The address space covered by all VRP prefixes — the numerator of
+    /// the paper's RPKI saturation metric (Eq. 7–8) is the intersection of
+    /// this with the routed space.
+    pub fn covered_space(&self) -> AddressSpace {
+        let mut space = AddressSpace::new();
+        self.map.for_each(|vrp| space.add(&vrp.prefix));
+        space
+    }
+}
+
+impl FromIterator<Vrp> for VrpSet {
+    fn from_iter<I: IntoIterator<Item = Vrp>>(iter: I) -> Self {
+        let mut set = VrpSet::new();
+        for vrp in iter {
+            set.insert(vrp);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn matches_requires_all_three() {
+        let vrp = Vrp::new(p("10.0.0.0/16"), Asn(1), 20);
+        assert!(vrp.matches(&p("10.0.0.0/16"), Asn(1)));
+        assert!(vrp.matches(&p("10.0.128.0/20"), Asn(1)));
+        assert!(!vrp.matches(&p("10.0.128.0/21"), Asn(1))); // too specific
+        assert!(!vrp.matches(&p("10.0.0.0/16"), Asn(2))); // wrong origin
+        assert!(!vrp.matches(&p("11.0.0.0/16"), Asn(1))); // not covered
+    }
+
+    #[test]
+    fn as0_never_matches() {
+        let vrp = Vrp::new(p("10.0.0.0/16"), Asn::ZERO, 24);
+        assert!(!vrp.matches(&p("10.0.0.0/16"), Asn::ZERO));
+        assert!(vrp.covers(&p("10.0.0.0/16")));
+    }
+
+    #[test]
+    fn set_covering_queries() {
+        let set: VrpSet = vec![
+            Vrp::new(p("10.0.0.0/8"), Asn(1), 16),
+            Vrp::new(p("10.1.0.0/16"), Asn(2), 16),
+            Vrp::new(p("192.0.2.0/24"), Asn(3), 24),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.covering(&p("10.1.0.0/16")).len(), 2);
+        assert_eq!(set.covering(&p("10.2.0.0/16")).len(), 1);
+        assert!(set.is_covered(&p("192.0.2.128/25")));
+        assert!(!set.is_covered(&p("198.51.100.0/24")));
+    }
+
+    #[test]
+    fn covered_space_deduplicates() {
+        let set: VrpSet = vec![
+            Vrp::new(p("10.0.0.0/8"), Asn(1), 16),
+            Vrp::new(p("10.0.0.0/16"), Asn(2), 16), // nested
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.covered_space().v4_len(), 1 << 24);
+    }
+
+    #[test]
+    fn vrp_from_roa() {
+        let roa = Roa::new(
+            p("10.0.0.0/16"),
+            Asn(5),
+            24,
+            manrs_net::Date::ymd(2021, 1, 1),
+            manrs_net::Date::ymd(2023, 1, 1),
+        )
+        .unwrap();
+        let vrp = Vrp::from(&roa);
+        assert_eq!(vrp.prefix, roa.prefix);
+        assert_eq!(vrp.asn, roa.asn);
+        assert_eq!(vrp.max_length, 24);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests: RFC 6811 validation against a naive oracle, and
+//! relying-party invariants.
+
+use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
+use manrs_rpki::repository::TrustAnchor;
+use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};
+use proptest::prelude::*;
+
+/// Small clustered prefix space so VRPs and routes actually interact.
+fn prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..8, 8u8..=28).prop_map(|(net, len)| {
+        let bits = 0x0A00_0000 | (net << 20);
+        Prefix::V4(Ipv4Prefix::from_bits_truncated(bits, len).unwrap())
+    })
+}
+
+fn vrp() -> impl Strategy<Value = Vrp> {
+    (prefix(), 0u32..6, 0u8..=6).prop_map(|(p, asn, extra)| {
+        let max_length = (p.len() + extra).min(32);
+        Vrp::new(p, Asn(asn), max_length)
+    })
+}
+
+/// A straight transcription of RFC 6811 §2 over a linear scan.
+fn oracle(vrps: &[Vrp], prefix: &Prefix, origin: Asn) -> RpkiStatus {
+    let covering: Vec<&Vrp> = vrps.iter().filter(|v| v.prefix.contains(prefix)).collect();
+    if covering.is_empty() {
+        return RpkiStatus::NotFound;
+    }
+    if covering
+        .iter()
+        .any(|v| !v.asn.is_zero() && v.asn == origin && prefix.len() <= v.max_length)
+    {
+        return RpkiStatus::Valid;
+    }
+    if covering.iter().any(|v| !v.asn.is_zero() && v.asn == origin) {
+        RpkiStatus::InvalidLength
+    } else {
+        RpkiStatus::InvalidAsn
+    }
+}
+
+proptest! {
+    /// Trie-based validation agrees with the linear-scan oracle.
+    #[test]
+    fn validation_matches_oracle(
+        vrps in prop::collection::vec(vrp(), 0..30),
+        route in prefix(),
+        origin in 0u32..6,
+    ) {
+        let set: VrpSet = vrps.iter().copied().collect();
+        prop_assert_eq!(
+            validate_origin(&set, &route, Asn(origin)),
+            oracle(&vrps, &route, Asn(origin))
+        );
+    }
+
+    /// A route exactly matching one of its own VRPs is always Valid
+    /// (unless that VRP is AS0).
+    #[test]
+    fn own_vrp_validates(v in vrp()) {
+        let set: VrpSet = [v].into_iter().collect();
+        let status = validate_origin(&set, &v.prefix, v.asn);
+        if v.asn.is_zero() {
+            prop_assert_eq!(status, RpkiStatus::InvalidAsn);
+        } else {
+            prop_assert_eq!(status, RpkiStatus::Valid);
+        }
+    }
+
+    /// Relying-party output is monotone in repository additions: adding a
+    /// valid ROA never removes existing VRPs.
+    #[test]
+    fn rp_accepts_are_monotone(count in 1usize..10) {
+        let eval = Date::ymd(2022, 5, 1);
+        let mut repo = RpkiRepository::new();
+        repo.install_anchor(TrustAnchor {
+            rir: Rir::Arin,
+            resources: vec!["10.0.0.0/8".parse().unwrap()],
+        });
+        let ca = repo
+            .issue_ca(
+                Rir::Arin,
+                vec!["10.0.0.0/8".parse().unwrap()],
+                Date::ymd(2020, 1, 1),
+                Date::ymd(2024, 1, 1),
+            )
+            .unwrap();
+        let mut prev = 0usize;
+        for i in 0..count {
+            let p: Prefix = format!("10.{}.0.0/16", i).parse().unwrap();
+            repo.sign_roa(ca, Roa::exact(p, Asn(i as u32 + 1), Date::ymd(2021, 1, 1), Date::ymd(2023, 1, 1)))
+                .unwrap();
+            let (vrps, report) = RelyingParty::new(eval).validate(&repo);
+            prop_assert!(vrps.len() > prev);
+            prop_assert_eq!(report.accepted, vrps.len());
+            prev = vrps.len();
+        }
+    }
+
+    /// Accepted + rejected always equals examined.
+    #[test]
+    fn rp_report_is_consistent(
+        windows in prop::collection::vec((0i64..2000, 0i64..2000), 1..20),
+    ) {
+        let eval = Date::ymd(2022, 5, 1);
+        let mut repo = RpkiRepository::new();
+        repo.install_anchor(TrustAnchor {
+            rir: Rir::Arin,
+            resources: vec!["10.0.0.0/8".parse().unwrap()],
+        });
+        let ca = repo
+            .issue_ca(
+                Rir::Arin,
+                vec!["10.0.0.0/8".parse().unwrap()],
+                Date::ymd(2015, 1, 1),
+                Date::ymd(2030, 1, 1),
+            )
+            .unwrap();
+        let base = Date::ymd(2020, 1, 1);
+        for (i, (start, len)) in windows.iter().enumerate() {
+            let nb = base.plus_days(*start);
+            let na = nb.plus_days(*len);
+            let p: Prefix = format!("10.{}.0.0/16", i % 250).parse().unwrap();
+            repo.sign_roa(ca, Roa::exact(p, Asn(i as u32 + 1), nb, na)).unwrap();
+        }
+        let (vrps, report) = RelyingParty::new(eval).validate(&repo);
+        prop_assert_eq!(report.examined, windows.len());
+        prop_assert_eq!(report.accepted + report.rejected_total(), report.examined);
+        prop_assert_eq!(vrps.len(), report.accepted);
+    }
+}

@@ -1,0 +1,648 @@
+//! The scenario world builder.
+//!
+//! Assembles every substrate into one coherent, seeded world:
+//!
+//! 1. generate the topology and address plan (`manrs-topology`);
+//! 2. enroll MANRS members ([`crate::enroll`]);
+//! 3. populate the RPKI repository and IRR databases according to the
+//!    behaviour matrix — including the misconfigurations the paper
+//!    observes (stale IRR objects, AS0 ROAs, maxLength slips);
+//! 4. perturb announcements (sibling / customer-provider / unrelated
+//!    mis-originations, §8.4);
+//! 5. assign filtering policies (ROV, IRR customer filtering) and record
+//!    the ground truth for the inference-validation ablation;
+//! 6. validate every (prefix, origin) against both registries, propagate
+//!    the table, collect it at the vantage points, and build the IHR
+//!    datasets.
+
+use crate::behavior::BehaviorModel;
+use crate::config::ScenarioConfig;
+use crate::enroll::enroll;
+use manrs_bgp::{collect_table, Announcement, CollectedRib, FilteringPolicy, PolicyTable};
+use manrs_core::{ManrsProgram, ManrsRegistry, PeeringDb, PeeringDbRecord};
+use manrs_ihr::{build_snapshot, IhrSnapshot};
+use manrs_irr::{validate_irr, AutNum, IrrDatabase, IrrRegistry, RouteObject};
+use manrs_net::{Asn, Date, Prefix, Rir};
+use manrs_rpki::repository::TrustAnchor;
+use manrs_rpki::{
+    validate_origin, RelyingParty, Roa, RpkiRepository, ValidationReport, VrpSet,
+};
+use manrs_topology::{
+    ConeAnalysis, GeneratedWorld, NetworkKind, OrgId, Prefix2As, TopologyBuilder,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A fully-built world plus every intermediate artifact the analyses and
+/// experiments need.
+pub struct ScenarioWorld {
+    /// The configuration that produced this world.
+    pub config: ScenarioConfig,
+    /// Topology, organizations, address plan, intended announcements.
+    pub world: GeneratedWorld,
+    /// Customer cones and size classes.
+    pub cones: ConeAnalysis,
+    /// MANRS membership.
+    pub manrs: ManrsRegistry,
+    /// The RPKI publication state (all eras; validate at any date).
+    pub repository: RpkiRepository,
+    /// VRPs validated at the snapshot date.
+    pub vrps: VrpSet,
+    /// The relying-party report for the snapshot validation.
+    pub rp_report: ValidationReport,
+    /// The IRR registry (authoritative databases plus a RADB-style
+    /// catch-all).
+    pub irr: IrrRegistry,
+    /// The PeeringDB analog (Action 3 contact records).
+    pub peeringdb: PeeringDb,
+    /// Per-AS filtering policies.
+    pub policies: PolicyTable,
+    /// Every announcement injected into BGP, validated.
+    pub announcements: Vec<Announcement>,
+    /// The observed routing table (visible prefix-origin pairs).
+    pub observed_table: Prefix2As,
+    /// The collected RIB (vantage paths per announcement).
+    pub rib: CollectedRib,
+    /// The IHR datasets derived from the RIB.
+    pub ihr: IhrSnapshot,
+    /// The vantage ASes.
+    pub vantages: Vec<Asn>,
+    /// When each AS became active in BGP (drives the yearly series).
+    pub active_since: BTreeMap<Asn, Date>,
+    /// Ground truth: ASes that actually deploy ROV.
+    pub truth_rov: BTreeSet<Asn>,
+    /// Ground truth: ASes that actually IRR-filter customers.
+    pub truth_irr_filter: BTreeSet<Asn>,
+}
+
+impl ScenarioWorld {
+    /// Builds the world from a configuration. Deterministic in the
+    /// config's seeds.
+    pub fn build(config: ScenarioConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5343_454E);
+        let world = TopologyBuilder::new(config.topology.clone()).generate();
+        let cones = ConeAnalysis::compute(&world.topology, config.thresholds);
+        let manrs = enroll(&world, &cones, &config.enrollment, config.seed);
+        let snapshot = config.snapshot_date;
+
+        // --- Activation dates -----------------------------------------
+        // Infrastructure (transit, CDN) is old; stubs appear over the
+        // years, so the routed table grows like Fig. 4's.
+        let mut active_since = BTreeMap::new();
+        for asn in world.topology.asns() {
+            let info = world.topology.info(asn).expect("known");
+            let date = match info.kind {
+                NetworkKind::Transit | NetworkKind::Cdn => Date::ymd(2014, 1, 1),
+                NetworkKind::Stub => {
+                    if rng.random_bool(0.5) {
+                        Date::ymd(2014, 1, 1)
+                    } else {
+                        let year = 2015 + rng.random_range(0..7i32);
+                        Date::ymd(year, rng.random_range(1..=12u8), rng.random_range(1..=28u8))
+                    }
+                }
+            };
+            active_since.insert(asn, date);
+        }
+
+        // --- Behaviour per AS -------------------------------------------
+        let model_of = |asn: Asn| -> BehaviorModel {
+            let is_member = manrs.is_member_as(asn, snapshot);
+            let is_cdn_member =
+                manrs.program_of(asn, snapshot) == Some(ManrsProgram::Cdn);
+            config
+                .behaviors
+                .model(is_member, is_cdn_member, cones.size_class(asn))
+        };
+
+        // --- RPKI repository ---------------------------------------------
+        let mut repository = RpkiRepository::new();
+        for rir in Rir::ALL {
+            repository.install_anchor(TrustAnchor {
+                rir,
+                resources: world.allocator.pool_prefixes(rir),
+            });
+        }
+        // One CA per organization holding all its ASes' blocks.
+        let mut org_blocks: BTreeMap<OrgId, (Rir, Vec<Prefix>)> = BTreeMap::new();
+        for asn in world.topology.asns() {
+            let info = world.topology.info(asn).expect("known");
+            let entry = org_blocks.entry(info.org).or_insert((info.rir, Vec::new()));
+            entry
+                .1
+                .extend(world.all_resources(asn));
+        }
+        let mut org_ca = BTreeMap::new();
+        for (org, (rir, blocks)) in &org_blocks {
+            let ca = repository
+                .issue_ca(*rir, blocks.clone(), Date::ymd(2012, 1, 1), Date::ymd(2030, 1, 1))
+                .expect("org blocks within anchor pools");
+            org_ca.insert(*org, ca);
+        }
+
+        let all_asns: Vec<Asn> = world.topology.asns().collect();
+        let not_after = Date::ymd(2030, 1, 1);
+        for &asn in &all_asns {
+            let model = model_of(asn);
+            if !rng.random_bool(model.rpki_registers) {
+                continue;
+            }
+            let info = world.topology.info(asn).expect("known");
+            let ca = org_ca[&info.org];
+            // Registration happens late in the study window — and for
+            // members, mostly after joining (drives Fig. 6's divergence).
+            let base_reg_year = 2018 + rng.random_range(0..4i32);
+            let mut not_before = Date::ymd(
+                base_reg_year,
+                rng.random_range(1..=12u8),
+                rng.random_range(1..=28u8),
+            );
+            if let Some(record) = manrs.record_of(asn) {
+                if record.joined > not_before {
+                    not_before = record.joined;
+                }
+            }
+            if not_before > snapshot {
+                not_before = snapshot;
+            }
+            for prefix in world.all_resources(asn) {
+                let correct = rng.random_bool(model.rpki_correct);
+                let roa = if correct {
+                    // maxLength leaves room for the generator's one-level
+                    // de-aggregation (v4 children stop at /24, v6 at /48).
+                    let cap = match prefix {
+                        Prefix::V4(_) => 24,
+                        Prefix::V6(_) => 48,
+                    };
+                    let max_length = (prefix.len() + 1).min(cap).max(prefix.len());
+                    Roa::new(prefix, asn, max_length, not_before, not_after)
+                        .expect("valid maxLength")
+                } else if rng.random_bool(config.perturbations.as0_misconfiguration * 20.0) {
+                    // AS0 slip (rare even among misconfigurations).
+                    Roa::exact(prefix, Asn::ZERO, not_before, not_after)
+                } else if rng.random_bool(0.5) {
+                    // Wrong origin: usually a related AS (the paper's
+                    // Table 1 finds >50% of mismatching origins are
+                    // siblings or customers/providers).
+                    let wrong = related_wrong_origin(&world, asn, &all_asns, &mut rng);
+                    Roa::exact(prefix, wrong, not_before, not_after)
+                } else {
+                    // maxLength too tight for the announced children.
+                    Roa::exact(prefix, asn, not_before, not_after)
+                };
+                repository.sign_roa(ca, roa).expect("block within org CA");
+            }
+        }
+
+        // --- IRR databases -------------------------------------------------
+        let mut authoritative: BTreeMap<Rir, IrrDatabase> = Rir::ALL
+            .into_iter()
+            .map(|rir| (rir, IrrDatabase::new(rir.name().to_uppercase(), Some(rir))))
+            .collect();
+        let mut radb = IrrDatabase::new("RADB", None);
+        for &asn in &all_asns {
+            let model = model_of(asn);
+            if !rng.random_bool(model.irr_registers) {
+                continue;
+            }
+            let info = world.topology.info(asn).expect("known");
+            for prefix in world.all_resources(asn) {
+                let stale = rng.random_bool(model.irr_stale);
+                let (origin, last_modified) = if stale {
+                    // Stale object: the outdated origin from the era the
+                    // block changed hands — usually the previous holder,
+                    // a sibling or a direct customer/provider (the
+                    // paper's Table 1: >50% Sibling/C-P).
+                    let wrong = related_wrong_origin(&world, asn, &all_asns, &mut rng);
+                    let year = 2015 + rng.random_range(0..3i32);
+                    (wrong, Date::ymd(year, rng.random_range(1..=12u8), 15))
+                } else {
+                    let year = 2019 + rng.random_range(0..3i32);
+                    (asn, Date::ymd(year, rng.random_range(1..=12u8), 15))
+                };
+                let object = RouteObject {
+                    prefix,
+                    origin,
+                    descr: format!("{}", world.orgs.org(info.org).expect("org").name),
+                    mnt_by: format!("MAINT-{}", info.org),
+                    source: String::new(), // set below by destination DB
+                    last_modified,
+                };
+                // Authoritative database of the region ~60%, RADB 40%.
+                if rng.random_bool(0.6) {
+                    let db = authoritative.get_mut(&info.rir).expect("all RIRs");
+                    let mut obj = object.clone();
+                    obj.source = db.source.clone();
+                    db.add_route(obj);
+                } else {
+                    let mut obj = object;
+                    obj.source = "RADB".into();
+                    radb.add_route(obj);
+                }
+            }
+        }
+        // Contact information (MANRS Action 3): aut-num objects with an
+        // admin-c go to the region's authoritative database; a parallel
+        // PeeringDB record may exist, fresher for diligent networks.
+        let mut peeringdb = PeeringDb::new();
+        for &asn in &all_asns {
+            let model = model_of(asn);
+            let info = world.topology.info(asn).expect("known");
+            let current = rng.random_bool(model.contact_current);
+            let db = authoritative.get_mut(&info.rir).expect("all RIRs");
+            db.add_aut_num(AutNum {
+                asn,
+                as_name: format!("AS{}-{}", asn.value(), info.country),
+                mnt_by: format!("MAINT-{}", info.org),
+                source: db.source.clone(),
+                admin_c: if current {
+                    format!("noc-{}@{}.example", asn.value(), info.country.to_lowercase())
+                } else {
+                    String::new() // contact never filled in or scrubbed
+                },
+            });
+            if rng.random_bool(0.7) {
+                let updated = if current {
+                    Date::ymd(2021 + rng.random_range(0..2i32), rng.random_range(1..=4u8), 10)
+                } else {
+                    Date::ymd(2016 + rng.random_range(0..3i32), rng.random_range(1..=12u8), 10)
+                };
+                peeringdb.upsert(PeeringDbRecord {
+                    asn,
+                    contact: format!("peering-{}@example.net", asn.value()),
+                    updated,
+                });
+            }
+        }
+
+        // as-sets: every transit publishes AS-<n>-CUSTOMERS listing its
+        // direct customers plus their customer sets — the filter-list
+        // machinery IXPs and clouds expand (§2.2). Diligent networks
+        // keep them current; others let entries drift (a dropped
+        // customer).
+        for &asn in &all_asns {
+            let customers = world.topology.customers(asn);
+            if customers.is_empty() {
+                continue;
+            }
+            let model = model_of(asn);
+            let mut members_list: Vec<manrs_irr::AsSetMember> = Vec::new();
+            for &c in customers {
+                if rng.random_bool(model.irr_stale) {
+                    continue; // stale set: this customer never got added
+                }
+                if !world.topology.customers(c).is_empty() {
+                    members_list
+                        .push(manrs_irr::AsSetMember::Set(format!("AS-{}-CUSTOMERS", c.value())));
+                }
+                members_list.push(manrs_irr::AsSetMember::Asn(c));
+            }
+            radb.add_as_set(manrs_irr::AsSet {
+                name: format!("AS-{}-CUSTOMERS", asn.value()),
+                members: members_list,
+                mnt_by: format!("MAINT-{}", world.topology.info(asn).expect("known").org),
+                source: "RADB".into(),
+            });
+        }
+
+        let mut irr = IrrRegistry::new();
+        for (_, db) in authoritative {
+            irr.add_database(db);
+        }
+        irr.add_database(radb);
+
+        // --- Announcement perturbations --------------------------------
+        // Quiescent ASes hold (and may have registered) space but
+        // announce nothing — the paper's trivially-conformant members
+        // and Finding 7.0's quiescent unregistered ASes. Vantage
+        // candidates stay active: real collectors peer with live
+        // networks.
+        let quiescent: BTreeSet<Asn> = all_asns
+            .iter()
+            .copied()
+            .filter(|asn| {
+                world.topology.info(*asn).map(|i| i.kind) == Some(NetworkKind::Stub)
+                    && rng.random_bool(config.perturbations.quiescent)
+            })
+            .collect();
+        // Start from the intended table minus quiescent origins, then
+        // mis-originate.
+        let mut raw: Vec<(Prefix, Asn)> = world
+            .intended
+            .entries()
+            .iter()
+            .filter(|(_, origin)| !quiescent.contains(origin))
+            .copied()
+            .collect();
+        for &asn in &all_asns {
+            if quiescent.contains(&asn) {
+                continue;
+            }
+            let info = world.topology.info(asn).expect("known");
+            // Sibling mis-origination: announce one of a sibling's
+            // blocks from this AS.
+            let siblings = world.orgs.asns_of(info.org);
+            if siblings.len() > 1 && rng.random_bool(config.perturbations.sibling_misorigin) {
+                let victim = *siblings.iter().find(|s| **s != asn).expect("len > 1");
+                if let Some(block) = world.all_resources(victim).first() {
+                    raw.push((*block, asn));
+                }
+            }
+            // Customer/provider mis-origination.
+            if rng.random_bool(config.perturbations.neighbor_misorigin) {
+                let neighbor = world
+                    .topology
+                    .providers(asn)
+                    .first()
+                    .or_else(|| world.topology.customers(asn).first())
+                    .copied();
+                if let Some(n) = neighbor {
+                    if let Some(block) = world.all_resources(n).first() {
+                        raw.push((*block, asn));
+                    }
+                }
+            }
+            // Unrelated fat-finger.
+            if rng.random_bool(config.perturbations.unrelated_misorigin) {
+                let victim = *all_asns.choose(&mut rng).expect("nonempty");
+                if victim != asn && !world.orgs.are_siblings(victim, asn) {
+                    if let Some(block) = world.all_resources(victim).first() {
+                        raw.push((*block, asn));
+                    }
+                }
+            }
+        }
+
+        // --- Policies -------------------------------------------------------
+        let mut policies = PolicyTable::with_default(FilteringPolicy::OPEN);
+        let mut truth_rov = BTreeSet::new();
+        let mut truth_irr_filter = BTreeSet::new();
+        for &asn in &all_asns {
+            let model = model_of(asn);
+            let rov = rng.random_bool(model.rov_deploys);
+            let irr_filter = rng.random_bool(model.irr_filters_customers);
+            let is_cdn_member =
+                manrs.program_of(asn, snapshot) == Some(ManrsProgram::Cdn);
+            if rov || irr_filter {
+                policies.set(
+                    asn,
+                    FilteringPolicy {
+                        rov,
+                        irr_filter_customers: irr_filter,
+                        irr_filter_peers: irr_filter && is_cdn_member,
+                        irr_strict_length: false,
+                    },
+                );
+            }
+            if rov {
+                truth_rov.insert(asn);
+            }
+            if irr_filter {
+                truth_irr_filter.insert(asn);
+            }
+        }
+
+        // --- Validation and propagation -----------------------------------
+        let (vrps, rp_report) = RelyingParty::new(snapshot).validate(&repository);
+        let announcements: Vec<Announcement> = raw
+            .iter()
+            .map(|(prefix, origin)| {
+                Announcement::new(
+                    *prefix,
+                    *origin,
+                    validate_origin(&vrps, prefix, *origin),
+                    validate_irr(&irr, prefix, *origin),
+                )
+            })
+            .collect();
+
+        // Vantage points: the largest cones (RouteViews-like full-table
+        // peers) plus a few mid-rank viewpoints for diversity.
+        let ranked = cones.ranked();
+        let mut vantages: Vec<Asn> = ranked
+            .iter()
+            .copied()
+            .take(config.vantage_count.saturating_sub(config.vantage_count / 4))
+            .collect();
+        let mid_start = ranked.len() / 4;
+        for i in 0..config.vantage_count / 4 {
+            if let Some(asn) = ranked.get(mid_start + i * 7) {
+                if !vantages.contains(asn) {
+                    vantages.push(*asn);
+                }
+            }
+        }
+
+        let rib = collect_table(&world.topology, &policies, &announcements, &vantages);
+        let ihr = build_snapshot(&rib, &world.topology);
+        let mut observed_table = Prefix2As::new();
+        for obs in rib.visible() {
+            observed_table.add(obs.prefix, obs.origin);
+        }
+
+        ScenarioWorld {
+            config,
+            world,
+            cones,
+            manrs,
+            repository,
+            vrps,
+            rp_report,
+            irr,
+            peeringdb,
+            policies,
+            announcements,
+            observed_table,
+            rib,
+            ihr,
+            vantages,
+            active_since,
+            truth_rov,
+            truth_irr_filter,
+        }
+    }
+
+    /// Member ASNs at the snapshot date.
+    pub fn member_asns(&self) -> BTreeSet<Asn> {
+        self.manrs.member_asns(self.config.snapshot_date)
+    }
+
+    /// Convenience: is this AS a MANRS member at the snapshot date?
+    pub fn is_member(&self, asn: Asn) -> bool {
+        self.manrs.is_member_as(asn, self.config.snapshot_date)
+    }
+}
+
+/// Picks a plausible "wrong origin" for a misconfigured registration:
+/// usually a sibling AS or a direct customer/provider (a prefix that
+/// changed hands within the business), occasionally an unrelated AS.
+fn related_wrong_origin(
+    world: &GeneratedWorld,
+    asn: Asn,
+    all_asns: &[Asn],
+    rng: &mut StdRng,
+) -> Asn {
+    let info = world.topology.info(asn).expect("known AS");
+    if rng.random_bool(0.75) {
+        // Related: sibling first, then neighbor.
+        let sibling = world
+            .orgs
+            .asns_of(info.org)
+            .iter()
+            .copied()
+            .find(|s| *s != asn);
+        if let Some(s) = sibling {
+            if rng.random_bool(0.5) {
+                return s;
+            }
+        }
+        let neighbor = world
+            .topology
+            .providers(asn)
+            .first()
+            .or_else(|| world.topology.customers(asn).first())
+            .copied();
+        if let Some(n) = neighbor {
+            return n;
+        }
+        if let Some(s) = sibling {
+            return s;
+        }
+    }
+    *all_asns.choose(rng).expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    fn built() -> ScenarioWorld {
+        ScenarioWorld::build(ScenarioConfig::small(42))
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = built();
+        let b = built();
+        assert_eq!(a.announcements, b.announcements);
+        assert_eq!(a.vantages, b.vantages);
+        assert_eq!(a.manrs.members(), b.manrs.members());
+        assert_eq!(a.vrps.len(), b.vrps.len());
+    }
+
+    #[test]
+    fn world_is_populated() {
+        let w = built();
+        assert!(!w.announcements.is_empty());
+        assert!(w.vrps.len() > 0, "some ROAs must validate");
+        assert!(w.irr.route_count() > 0);
+        assert!(!w.member_asns().is_empty());
+        assert!(!w.truth_rov.is_empty());
+        assert!(w.ihr.prefix_origins.len() > 0);
+        assert!(w.ihr.transits.len() > 0);
+        assert_eq!(w.rp_report.accepted, w.vrps.len());
+    }
+
+    #[test]
+    fn most_announcements_are_visible() {
+        let w = built();
+        let visible = w.rib.visible_count();
+        let total = w.announcements.len();
+        assert!(
+            visible * 10 >= total * 8,
+            "at least 80% visibility expected, got {visible}/{total}"
+        );
+    }
+
+    #[test]
+    fn statuses_are_mixed() {
+        use manrs_rpki::RpkiStatus;
+        let w = built();
+        let valid = w.announcements.iter().filter(|a| a.rpki == RpkiStatus::Valid).count();
+        let invalid = w.announcements.iter().filter(|a| a.rpki.is_invalid()).count();
+        let notfound = w
+            .announcements
+            .iter()
+            .filter(|a| a.rpki == RpkiStatus::NotFound)
+            .count();
+        assert!(valid > 0 && invalid > 0 && notfound > 0, "{valid}/{invalid}/{notfound}");
+        let irr_valid = w
+            .announcements
+            .iter()
+            .filter(|a| a.irr == manrs_irr::IrrStatus::Valid)
+            .count();
+        assert!(irr_valid > valid, "IRR adoption must exceed RPKI adoption");
+    }
+
+    #[test]
+    fn as_sets_expand_to_customer_cones() {
+        use manrs_irr::expand_as_set;
+        let w = built();
+        // Pick a transit with customers; its as-set expansion must be a
+        // subset of its customer cone (stale entries may be missing,
+        // never extra).
+        let transit = w
+            .world
+            .topology
+            .asns()
+            .find(|a| w.world.topology.customers(*a).len() >= 3)
+            .expect("a transit with customers");
+        let expansion = expand_as_set(&w.irr, &format!("AS-{}-CUSTOMERS", transit.value()));
+        assert!(!expansion.asns.is_empty(), "expansion must find customers");
+        let mut cone: std::collections::BTreeSet<Asn> = std::collections::BTreeSet::new();
+        let mut stack = vec![transit];
+        while let Some(u) = stack.pop() {
+            for &c in w.world.topology.customers(u) {
+                if cone.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+        for asn in &expansion.asns {
+            assert!(cone.contains(asn), "{asn} in as-set but outside the cone");
+        }
+    }
+
+    #[test]
+    fn contact_data_is_generated() {
+        let w = built();
+        assert!(!w.peeringdb.is_empty());
+        // Every AS has an aut-num (possibly with empty contact).
+        for asn in w.world.topology.asns() {
+            assert!(w.irr.aut_num(asn).is_some(), "{asn} missing aut-num");
+        }
+    }
+
+    #[test]
+    fn members_are_more_contactable() {
+        use manrs_core::action3_summary;
+        let w = built();
+        let date = w.config.snapshot_date;
+        let members: Vec<_> = w.member_asns().into_iter().collect();
+        let non: Vec<_> = w
+            .world
+            .topology
+            .asns()
+            .filter(|a| !w.is_member(*a))
+            .collect();
+        let ms = action3_summary(members.iter(), &w.irr, &w.peeringdb, date, 365);
+        let ns = action3_summary(non.iter(), &w.irr, &w.peeringdb, date, 365);
+        let rate = |s: &manrs_core::Action3Summary| s.conformant as f64 / s.total.max(1) as f64;
+        assert!(
+            rate(&ms) > rate(&ns),
+            "members must publish contacts more often ({:.2} vs {:.2})",
+            rate(&ms),
+            rate(&ns)
+        );
+    }
+
+    #[test]
+    fn active_since_covers_every_as() {
+        let w = built();
+        for asn in w.world.topology.asns() {
+            assert!(w.active_since.contains_key(&asn));
+        }
+    }
+}

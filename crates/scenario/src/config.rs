@@ -1,0 +1,190 @@
+//! Scenario configuration and presets.
+
+use crate::behavior::BehaviorMatrix;
+use manrs_net::Date;
+use manrs_topology::{GeneratorConfig, SizeThresholds};
+use serde::{Deserialize, Serialize};
+
+/// Enrollment parameters: which fraction of each population joins MANRS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnrollmentConfig {
+    /// Fraction of organizations joining the ISP program, by the size
+    /// class of their largest AS [small, medium, large].
+    pub isp_fraction: [f64; 3],
+    /// Fraction of CDN organizations joining the CDN program (it only
+    /// exists from 2020 on).
+    pub cdn_fraction: f64,
+    /// Probability a multi-AS member registers *all* its ASes (the
+    /// paper: 70% did).
+    pub full_registration: f64,
+    /// Number of additional small LACNIC organizations enrolled in 2020
+    /// by the Brazil outreach event (scaled to world size; Fig. 4a).
+    pub brazil_2020_boost: usize,
+}
+
+impl Default for EnrollmentConfig {
+    fn default() -> Self {
+        EnrollmentConfig {
+            // Membership skews large: 24 of 109 large ASes are MANRS vs
+            // 433 of 67k small ones.
+            isp_fraction: [0.02, 0.07, 0.25],
+            cdn_fraction: 0.6,
+            full_registration: 0.40,
+            brazil_2020_boost: 20,
+        }
+    }
+}
+
+/// Announcement-perturbation probabilities (the raw material for
+/// Table 1's attribution and the §8 invalid counts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerturbationConfig {
+    /// Probability an organization with siblings mis-originates one of
+    /// its blocks from the wrong sibling AS.
+    pub sibling_misorigin: f64,
+    /// Probability an AS announces one block of a direct
+    /// customer/provider (business dynamics, the C-P column).
+    pub neighbor_misorigin: f64,
+    /// Probability of an unrelated mis-origination (fat-finger hijack).
+    pub unrelated_misorigin: f64,
+    /// Probability an RPKI-registering AS signs one block as AS0 by
+    /// mistake (the §8.1 Indonesian-ISP case).
+    pub as0_misconfiguration: f64,
+    /// Probability an AS is quiescent: it holds (and may register)
+    /// address space but announces nothing. The paper found 95 MANRS ISP
+    /// ASes originating no prefix (§8.3) and 80 member orgs with
+    /// quiescent unregistered ASes (Finding 7.0).
+    pub quiescent: f64,
+}
+
+impl Default for PerturbationConfig {
+    fn default() -> Self {
+        PerturbationConfig {
+            sibling_misorigin: 0.06,
+            neighbor_misorigin: 0.03,
+            unrelated_misorigin: 0.01,
+            as0_misconfiguration: 0.005,
+            quiescent: 0.12,
+        }
+    }
+}
+
+/// Full scenario configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Master seed (independent of the topology seed).
+    pub seed: u64,
+    /// Topology generation parameters.
+    pub topology: GeneratorConfig,
+    /// Size-class thresholds (scaled worlds need scaled thresholds).
+    pub thresholds: SizeThresholds,
+    /// The headline snapshot date (the paper: 2022-05-01).
+    pub snapshot_date: Date,
+    /// Enrollment parameters.
+    pub enrollment: EnrollmentConfig,
+    /// Behaviour matrix.
+    pub behaviors: BehaviorMatrix,
+    /// Announcement perturbations.
+    pub perturbations: PerturbationConfig,
+    /// Number of vantage ASes (largest cones are picked first, like
+    /// RouteViews peers).
+    pub vantage_count: usize,
+}
+
+impl ScenarioConfig {
+    /// A small world for unit/integration tests: ~400 ASes, a few
+    /// seconds end to end in debug builds.
+    pub fn small(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            topology: GeneratorConfig {
+                seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+                total_ases: 400,
+                tier1_count: 6,
+                mid_tier_count: 45,
+                cdn_count: 8,
+                ..GeneratorConfig::default()
+            },
+            thresholds: SizeThresholds::scaled(2, 25),
+            snapshot_date: Date::ymd(2022, 5, 1),
+            enrollment: EnrollmentConfig {
+                // Small worlds need higher fractions to produce usable
+                // member populations.
+                isp_fraction: [0.10, 0.25, 0.50],
+                cdn_fraction: 0.6,
+                ..EnrollmentConfig::default()
+            },
+            behaviors: BehaviorMatrix::calibrated(),
+            perturbations: PerturbationConfig::default(),
+            vantage_count: 12,
+        }
+    }
+
+    /// A medium world for examples and figure regeneration: ~3000 ASes.
+    pub fn medium(seed: u64) -> Self {
+        ScenarioConfig {
+            topology: GeneratorConfig {
+                seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+                total_ases: 3_000,
+                tier1_count: 10,
+                mid_tier_count: 220,
+                cdn_count: 18,
+                ..GeneratorConfig::default()
+            },
+            thresholds: SizeThresholds::scaled(2, 60),
+            enrollment: EnrollmentConfig {
+                isp_fraction: [0.05, 0.15, 0.35],
+                ..EnrollmentConfig::default()
+            },
+            vantage_count: 25,
+            ..ScenarioConfig::small(seed)
+        }
+    }
+
+    /// A paper-scale world (tens of thousands of ASes). Only sensible in
+    /// release builds; used by the heavyweight benches.
+    pub fn paper_scale(seed: u64) -> Self {
+        ScenarioConfig {
+            topology: GeneratorConfig {
+                seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+                total_ases: 20_000,
+                tier1_count: 14,
+                mid_tier_count: 1_200,
+                cdn_count: 40,
+                ..GeneratorConfig::default()
+            },
+            thresholds: SizeThresholds::scaled(2, 120),
+            enrollment: EnrollmentConfig::default(),
+            vantage_count: 40,
+            ..ScenarioConfig::small(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for cfg in [
+            ScenarioConfig::small(1),
+            ScenarioConfig::medium(1),
+            ScenarioConfig::paper_scale(1),
+        ] {
+            assert!(cfg.topology.tier1_count + cfg.topology.mid_tier_count
+                + cfg.topology.cdn_count <= cfg.topology.total_ases);
+            assert!(cfg.vantage_count > 0);
+            assert!(cfg.vantage_count < cfg.topology.total_ases);
+            assert_eq!(cfg.snapshot_date, Date::ymd(2022, 5, 1));
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate_topology_from_scenario() {
+        let a = ScenarioConfig::small(1);
+        let b = ScenarioConfig::small(2);
+        assert_ne!(a.topology.seed, b.topology.seed);
+        assert_ne!(a.seed, a.topology.seed);
+    }
+}

@@ -1,0 +1,264 @@
+//! MANRS enrollment generation.
+//!
+//! Builds a [`ManrsRegistry`] over a generated world, reproducing the
+//! participation dynamics of §7: membership skewed toward larger
+//! networks, join dates following the observed growth curve (slow start,
+//! acceleration from 2019), the 2020 NIC.br outreach wave of small
+//! Brazilian ASes, a China-Telecom-like large APNIC ISP joining in 2020,
+//! the CDN program existing only from 2020, and organizations that
+//! register only part of their AS holdings (Finding 7.0).
+
+use crate::config::EnrollmentConfig;
+use manrs_core::{ManrsProgram, ManrsRegistry, MemberRecord};
+use manrs_net::{Asn, Date};
+use manrs_topology::{ConeAnalysis, GeneratedWorld, NetworkKind, OrgId, SizeClass};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+
+/// Relative weight of each join year 2015–2022, matching the Fig. 2
+/// growth shape (most joins in 2019–2021).
+const YEAR_WEIGHTS: [(i32, f64); 8] = [
+    (2015, 0.03),
+    (2016, 0.04),
+    (2017, 0.06),
+    (2018, 0.09),
+    (2019, 0.16),
+    (2020, 0.28),
+    (2021, 0.20),
+    (2022, 0.14),
+];
+
+fn sample_join_date(rng: &mut StdRng, earliest_year: i32) -> Date {
+    let total: f64 = YEAR_WEIGHTS
+        .iter()
+        .filter(|(y, _)| *y >= earliest_year)
+        .map(|(_, w)| w)
+        .sum();
+    let mut x = rng.random_range(0.0..total);
+    let mut year = earliest_year;
+    for (y, w) in YEAR_WEIGHTS {
+        if y < earliest_year {
+            continue;
+        }
+        if x < w {
+            year = y;
+            break;
+        }
+        x -= w;
+        year = y;
+    }
+    let month = rng.random_range(1..=12u8);
+    // 2022 joins must precede the paper's May 1 snapshot to be visible.
+    let month = if year == 2022 { month.min(4) } else { month };
+    Date::ymd(year, month, rng.random_range(1..=28u8))
+}
+
+/// Generates the enrollment.
+pub fn enroll(
+    world: &GeneratedWorld,
+    cones: &ConeAnalysis,
+    config: &EnrollmentConfig,
+    seed: u64,
+) -> ManrsRegistry {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4D41_4E52_53);
+    let mut registry = ManrsRegistry::new();
+
+    // Group ASes by organization, noting each org's largest class and
+    // whether it runs a CDN.
+    let mut org_asns: BTreeMap<OrgId, Vec<Asn>> = BTreeMap::new();
+    for asn in world.topology.asns() {
+        let org = world.topology.info(asn).expect("known AS").org;
+        org_asns.entry(org).or_default().push(asn);
+    }
+
+    let mut brazil_budget = config.brazil_2020_boost;
+    let mut largest_apnic: Option<(OrgId, usize)> = None;
+
+    for (org, asns) in &org_asns {
+        let org_info = world.orgs.org(*org).expect("org exists");
+        let max_class = asns
+            .iter()
+            .map(|a| cones.size_class(*a))
+            .max()
+            .unwrap_or(SizeClass::Small);
+        let is_cdn = asns.iter().any(|a| {
+            world.topology.info(*a).map(|i| i.kind) == Some(NetworkKind::Cdn)
+        });
+
+        // Track the biggest APNIC transit org for the China Telecom
+        // event.
+        if org_info.rir == manrs_net::Rir::Apnic && !is_cdn {
+            let cone: usize = asns.iter().map(|a| cones.cone_size(*a)).max().unwrap_or(0);
+            if largest_apnic.map(|(_, c)| cone > c).unwrap_or(true) {
+                largest_apnic = Some((*org, cone));
+            }
+        }
+
+        let (program, base_fraction, earliest) = if is_cdn {
+            (ManrsProgram::Cdn, config.cdn_fraction, 2020)
+        } else {
+            let idx = match max_class {
+                SizeClass::Small => 0,
+                SizeClass::Medium => 1,
+                SizeClass::Large => 2,
+            };
+            (ManrsProgram::Isp, config.isp_fraction[idx], 2015)
+        };
+
+        // The NIC.br wave: small Brazilian orgs get pulled in, join date
+        // pinned to 2020.
+        let brazil_wave = brazil_budget > 0
+            && org_info.country == "BR"
+            && max_class == SizeClass::Small
+            && !is_cdn;
+
+        let joins = rng.random_bool(base_fraction.clamp(0.0, 1.0)) || brazil_wave;
+        if !joins {
+            continue;
+        }
+
+        let joined = if brazil_wave {
+            brazil_budget -= 1;
+            Date::ymd(2020, rng.random_range(5..=9u8), rng.random_range(1..=28u8))
+        } else {
+            sample_join_date(&mut rng, earliest)
+        };
+
+        // Partial registration (Finding 7.0): most orgs register all
+        // ASes; the rest leave a nonempty subset out.
+        let registered: Vec<Asn> = if asns.len() == 1
+            || rng.random_bool(config.full_registration.clamp(0.0, 1.0))
+        {
+            asns.clone()
+        } else {
+            let keep = rng.random_range(1..asns.len());
+            let mut shuffled = asns.clone();
+            shuffled.shuffle(&mut rng);
+            let mut subset: Vec<Asn> = shuffled.into_iter().take(keep).collect();
+            subset.sort();
+            subset
+        };
+
+        registry.enroll(MemberRecord { org: *org, program, joined, registered_asns: registered });
+    }
+
+    // China Telecom event: the largest APNIC transit org joins in 2020
+    // if it has not already.
+    if let Some((org, _)) = largest_apnic {
+        if !registry.is_member_org(org, Date::ymd(2023, 1, 1)) {
+            registry.enroll(MemberRecord {
+                org,
+                program: ManrsProgram::Isp,
+                joined: Date::ymd(2020, 8, 15),
+                registered_asns: org_asns[&org].clone(),
+            });
+        }
+    }
+
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_topology::{GeneratorConfig, SizeThresholds, TopologyBuilder};
+
+    fn world() -> (GeneratedWorld, ConeAnalysis) {
+        let w = TopologyBuilder::new(GeneratorConfig {
+            seed: 11,
+            total_ases: 500,
+            tier1_count: 6,
+            mid_tier_count: 50,
+            cdn_count: 8,
+            ..GeneratorConfig::default()
+        })
+        .generate();
+        let cones = ConeAnalysis::compute(&w.topology, SizeThresholds::scaled(2, 25));
+        (w, cones)
+    }
+
+    fn config() -> EnrollmentConfig {
+        EnrollmentConfig {
+            isp_fraction: [0.10, 0.30, 0.60],
+            cdn_fraction: 0.6,
+            full_registration: 0.7,
+            brazil_2020_boost: 10,
+        }
+    }
+
+    #[test]
+    fn enrollment_is_deterministic() {
+        let (w, cones) = world();
+        let a = enroll(&w, &cones, &config(), 3);
+        let b = enroll(&w, &cones, &config(), 3);
+        assert_eq!(a.members(), b.members());
+        assert!(!a.members().is_empty());
+    }
+
+    #[test]
+    fn join_dates_precede_snapshot() {
+        let (w, cones) = world();
+        let reg = enroll(&w, &cones, &config(), 4);
+        let snapshot = Date::ymd(2022, 5, 1);
+        for m in reg.members() {
+            assert!(m.joined >= Date::ymd(2015, 1, 1));
+            assert!(m.joined <= snapshot, "join date {} after snapshot", m.joined);
+        }
+    }
+
+    #[test]
+    fn cdn_members_join_after_program_launch() {
+        let (w, cones) = world();
+        let reg = enroll(&w, &cones, &config(), 5);
+        let cdn_members: Vec<_> = reg
+            .members()
+            .iter()
+            .filter(|m| m.program == ManrsProgram::Cdn)
+            .collect();
+        assert!(!cdn_members.is_empty(), "some CDNs must join");
+        for m in cdn_members {
+            assert!(m.joined >= Date::ymd(2020, 1, 1), "CDN joined {} before 2020", m.joined);
+        }
+    }
+
+    #[test]
+    fn some_orgs_register_partially() {
+        let (w, cones) = world();
+        let reg = enroll(&w, &cones, &config(), 6);
+        let partial = reg.members().iter().any(|m| {
+            let owned = w.orgs.asns_of(m.org).len();
+            owned > m.registered_asns.len()
+        });
+        assert!(partial, "expected at least one partially-registered org");
+    }
+
+    #[test]
+    fn membership_skews_large() {
+        let (w, cones) = world();
+        // Widely-separated fractions: small member counts are inflated
+        // by small sibling ASes of large member orgs, so the per-class
+        // gap in the *config* must be big for the per-AS gap to be
+        // testable on a 500-AS world.
+        let cfg = EnrollmentConfig { isp_fraction: [0.03, 0.3, 0.95], ..config() };
+        let reg = enroll(&w, &cones, &cfg, 7);
+        let date = Date::ymd(2022, 5, 1);
+        let mut rates: Vec<f64> = Vec::new();
+        for class in [SizeClass::Small, SizeClass::Large] {
+            let (mut member, mut total) = (0usize, 0usize);
+            for asn in w.topology.asns() {
+                if cones.size_class(asn) == class {
+                    total += 1;
+                    if reg.is_member_as(asn, date) {
+                        member += 1;
+                    }
+                }
+            }
+            rates.push(member as f64 / total.max(1) as f64);
+        }
+        assert!(
+            rates[1] > rates[0],
+            "large networks should join more often ({rates:?})"
+        );
+    }
+}

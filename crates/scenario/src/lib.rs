@@ -1,0 +1,36 @@
+//! Calibrated synthetic worlds for the MANRS experiments.
+//!
+//! The paper measures real operators; this crate encodes the paper's
+//! *measured* behavioural differences as generative parameters and runs
+//! the full pipeline over the result, so that every figure and table can
+//! be regenerated end-to-end. The honest core of the reproduction lives
+//! here: if the behaviour matrix says MANRS members register ROAs more
+//! often, the pipeline should *recover* that difference through the same
+//! metrics the paper uses — and the integration tests assert it does.
+//!
+//! * [`config`] — scenario configuration with presets from test-sized to
+//!   paper-scale worlds.
+//! * [`behavior`] — the behaviour matrix: per (membership, size class)
+//!   probabilities for RPKI registration, IRR hygiene, ROV deployment
+//!   and IRR customer filtering, calibrated to §8–§9.
+//! * [`enroll`] — MANRS enrollment with the paper's documented growth
+//!   events (NIC.br Brazil push, China Telecom, the 2020 CDN program).
+//! * [`build`] — the world builder: registries, policies, announcements,
+//!   propagation, collection, IHR datasets.
+//! * [`timeline`] — yearly snapshots 2015–2022 (Figs. 2/4/6) and weekly
+//!   churn snapshots (§8.5 stability).
+//! * [`incidents`] — incident-log generation for the §12 future-work
+//!   pre/post-join exposure analysis.
+
+pub mod behavior;
+pub mod build;
+pub mod config;
+pub mod enroll;
+pub mod incidents;
+pub mod timeline;
+
+pub use behavior::{BehaviorMatrix, BehaviorModel};
+pub use build::ScenarioWorld;
+pub use config::ScenarioConfig;
+pub use incidents::{generate_incidents, protection_payoff};
+pub use timeline::{weekly_snapshots, yearly_dates, YearlySnapshot};

@@ -1,0 +1,243 @@
+//! Time series over a built world.
+//!
+//! Two granularities, matching the paper's two longitudinal analyses:
+//!
+//! * **Yearly snapshots 2015–2022** (Figs. 2, 4a, 4b, 6): the routed
+//!   table at each year contains the announcements of ASes active by
+//!   then; the VRP set is the repository validated at that date (ROAs
+//!   carry real validity windows, so history falls out of RFC 6487
+//!   currency checks); membership follows join dates.
+//! * **Weekly snapshots Feb–May 2022** (§8.5 stability): routing held
+//!   fixed, registration churning — a few ROAs and route objects appear
+//!   or disappear each week, statuses are re-validated, and the IHR
+//!   prefix-origin dataset is rebuilt over the same visible set.
+
+use crate::build::ScenarioWorld;
+use manrs_bgp::Announcement;
+use manrs_ihr::{IhrSnapshot, PrefixOriginRecord};
+use manrs_irr::{validate_irr, IrrRegistry};
+use manrs_net::{Asn, Date};
+use manrs_rpki::{validate_origin, RelyingParty, VrpSet};
+use manrs_topology::Prefix2As;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::BTreeSet;
+
+/// One yearly snapshot of the world.
+pub struct YearlySnapshot {
+    /// The snapshot date (January 1 of the year, except the final
+    /// snapshot which is the paper's May 1, 2022).
+    pub date: Date,
+    /// The routed table as of the date.
+    pub table: Prefix2As,
+    /// VRPs validated at the date.
+    pub vrps: VrpSet,
+    /// Member ASNs as of the date.
+    pub members: BTreeSet<Asn>,
+}
+
+/// The paper's yearly series: January 1 of 2015–2022, with the 2022
+/// point at May 1 (the headline snapshot).
+pub fn yearly_dates() -> Vec<Date> {
+    let mut dates: Vec<Date> = (2015..2022).map(|y| Date::ymd(y, 1, 1)).collect();
+    dates.push(Date::ymd(2022, 5, 1));
+    dates
+}
+
+/// Builds the yearly snapshots for a world.
+pub fn yearly_snapshots(world: &ScenarioWorld) -> Vec<YearlySnapshot> {
+    yearly_dates()
+        .into_iter()
+        .map(|date| {
+            let mut table = Prefix2As::new();
+            for (prefix, origin) in world.world.intended.entries() {
+                let active = world
+                    .active_since
+                    .get(origin)
+                    .map(|d| *d <= date)
+                    .unwrap_or(false);
+                if active {
+                    table.add(*prefix, *origin);
+                }
+            }
+            let (vrps, _) = RelyingParty::new(date).validate(&world.repository);
+            YearlySnapshot {
+                date,
+                table,
+                vrps,
+                members: world.manrs.member_asns(date),
+            }
+        })
+        .collect()
+}
+
+/// Weekly registration-churn snapshots (§8.5).
+///
+/// Starting from the world's registries, each week flips a small number
+/// of registrations: some ASes lose a ROA (revoked/expired), some gain
+/// one, some IRR objects churn. The visible prefix-origin set is held
+/// fixed (routing does not change in this model — the paper likewise
+/// observed prefix sets to be stable) and statuses are re-validated.
+pub fn weekly_snapshots(world: &ScenarioWorld, weeks: usize, churn: f64) -> Vec<IhrSnapshot> {
+    let mut rng = StdRng::seed_from_u64(world.config.seed ^ 0x5745_454B);
+    let mut repository = world.repository.clone();
+    let mut irr = world.irr.clone();
+    let base_date = Date::ymd(2022, 2, 1);
+    let mut snapshots = Vec::with_capacity(weeks);
+    let roa_ids: Vec<_> = repository.roas().map(|r| r.id).collect();
+    for week in 0..weeks {
+        let date = base_date.plus_days(7 * week as i64);
+        if week > 0 {
+            // Churn: revoke a few ROAs...
+            for id in &roa_ids {
+                if rng.random_bool(churn) {
+                    let _ = repository.revoke_roa(*id);
+                }
+            }
+            // ...and churn a few IRR route objects (drop one origin's
+            // object at a random announcement's prefix).
+            let entries = world.world.intended.entries();
+            if !entries.is_empty() {
+                for _ in 0..((entries.len() as f64 * churn).ceil() as usize) {
+                    let (prefix, origin) = entries[rng.random_range(0..entries.len())];
+                    remove_route_everywhere(&mut irr, &prefix, origin);
+                }
+            }
+        }
+        let (vrps, _) = RelyingParty::new(date).validate(&repository);
+        let prefix_origins = world
+            .rib
+            .visible()
+            .map(|obs| PrefixOriginRecord {
+                prefix: obs.prefix,
+                origin: obs.origin,
+                rpki: validate_origin(&vrps, &obs.prefix, obs.origin),
+                irr: validate_irr(&irr, &obs.prefix, obs.origin),
+                viewpoints: obs.paths.len(),
+            })
+            .collect();
+        snapshots.push(IhrSnapshot { prefix_origins, transits: Vec::new() });
+    }
+    snapshots
+}
+
+fn remove_route_everywhere(irr: &mut IrrRegistry, prefix: &manrs_net::Prefix, origin: Asn) {
+    let sources: Vec<String> = irr.databases().iter().map(|d| d.source.clone()).collect();
+    for source in sources {
+        if let Some(db) = irr.database_mut(&source) {
+            db.remove_route(prefix, origin);
+        }
+    }
+}
+
+/// Re-validates the world's announcements against arbitrary registries
+/// (used by ablations and by tests that perturb registries).
+pub fn revalidate(
+    world: &ScenarioWorld,
+    vrps: &VrpSet,
+    irr: &IrrRegistry,
+) -> Vec<Announcement> {
+    world
+        .announcements
+        .iter()
+        .map(|a| {
+            Announcement::new(
+                a.prefix,
+                a.origin,
+                validate_origin(vrps, &a.prefix, a.origin),
+                validate_irr(irr, &a.prefix, a.origin),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    fn world() -> ScenarioWorld {
+        ScenarioWorld::build(ScenarioConfig::small(7))
+    }
+
+    #[test]
+    fn yearly_series_shape() {
+        let dates = yearly_dates();
+        assert_eq!(dates.len(), 8);
+        assert_eq!(dates[0], Date::ymd(2015, 1, 1));
+        assert_eq!(*dates.last().unwrap(), Date::ymd(2022, 5, 1));
+    }
+
+    #[test]
+    fn yearly_snapshots_grow() {
+        let w = world();
+        let snaps = yearly_snapshots(&w);
+        assert_eq!(snaps.len(), 8);
+        // Routed table, membership and VRP set all grow monotonically
+        // over the years (nothing is removed in the yearly model).
+        for pair in snaps.windows(2) {
+            assert!(pair[0].table.len() <= pair[1].table.len());
+            assert!(pair[0].members.len() <= pair[1].members.len());
+            assert!(pair[0].vrps.len() <= pair[1].vrps.len());
+        }
+        assert!(snaps[0].members.len() < snaps[7].members.len());
+        assert!(snaps[0].vrps.len() < snaps[7].vrps.len());
+    }
+
+    #[test]
+    fn weekly_snapshots_hold_visibility_fixed() {
+        let w = world();
+        let weeks = weekly_snapshots(&w, 4, 0.01);
+        assert_eq!(weeks.len(), 4);
+        let visible = w.rib.visible_count();
+        for snap in &weeks {
+            assert_eq!(snap.prefix_origins.len(), visible);
+        }
+    }
+
+    #[test]
+    fn weekly_churn_changes_some_statuses() {
+        let w = world();
+        let weeks = weekly_snapshots(&w, 6, 0.02);
+        let first = &weeks[0];
+        let last = &weeks[5];
+        let changed = first
+            .prefix_origins
+            .iter()
+            .zip(&last.prefix_origins)
+            .filter(|(a, b)| a.rpki != b.rpki || a.irr != b.irr)
+            .count();
+        assert!(changed > 0, "churn must flip some statuses");
+        // But most stay stable, like the paper found.
+        assert!(changed * 2 < first.prefix_origins.len());
+    }
+
+    #[test]
+    fn zero_churn_only_improves_statuses() {
+        // Even with zero churn, ROAs whose validity windows open during
+        // the 12-week span activate — statuses may flip away from
+        // NotFound but never toward it, and the IRR (no validity
+        // windows) stays frozen.
+        let w = world();
+        let weeks = weekly_snapshots(&w, 3, 0.0);
+        for pair in weeks.windows(2) {
+            let nf = |snap: &manrs_ihr::IhrSnapshot| {
+                snap.prefix_origins
+                    .iter()
+                    .filter(|po| po.rpki == manrs_rpki::RpkiStatus::NotFound)
+                    .count()
+            };
+            assert!(nf(&pair[1]) <= nf(&pair[0]), "NotFound count grew without churn");
+            for (a, b) in pair[0].prefix_origins.iter().zip(&pair[1].prefix_origins) {
+                assert_eq!(a.irr, b.irr, "IRR status changed without churn");
+            }
+        }
+    }
+
+    #[test]
+    fn revalidate_round_trips_unchanged_registries() {
+        let w = world();
+        let again = revalidate(&w, &w.vrps, &w.irr);
+        assert_eq!(again, w.announcements);
+    }
+}

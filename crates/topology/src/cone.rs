@@ -1,0 +1,255 @@
+//! Customer cones, degrees, AS Rank, and size classes.
+//!
+//! The paper classifies ASes by *customer degree* — the number of direct
+//! AS-level customers inferred by CAIDA AS Rank — into small (≤2), medium
+//! (≤180), and large (>180) networks (§6.2, thresholds from Dhamdhere &
+//! Dovrolis). The customer *cone* (all ASes reachable by walking only
+//! provider→customer edges) gives the AS Rank ordering used to
+//! characterize participants (§3, RQ1).
+
+use crate::graph::AsTopology;
+use manrs_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Customer-degree thresholds separating the size classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SizeThresholds {
+    /// Maximum customer degree of a small network.
+    pub small_max: usize,
+    /// Maximum customer degree of a medium network.
+    pub medium_max: usize,
+}
+
+impl SizeThresholds {
+    /// The paper's thresholds: small ≤ 2 < medium ≤ 180 < large.
+    pub const PAPER: SizeThresholds = SizeThresholds { small_max: 2, medium_max: 180 };
+
+    /// Scaled-down thresholds for small synthetic worlds where no AS can
+    /// plausibly reach 180 direct customers.
+    pub fn scaled(small_max: usize, medium_max: usize) -> Self {
+        assert!(small_max < medium_max);
+        SizeThresholds { small_max, medium_max }
+    }
+}
+
+impl Default for SizeThresholds {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+/// The paper's three network size classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// Customer degree ≤ small_max (edge networks; the vast majority).
+    Small,
+    /// small_max < degree ≤ medium_max (regional transits).
+    Medium,
+    /// degree > medium_max (major transit providers).
+    Large,
+}
+
+impl SizeClass {
+    /// Classifies a customer degree.
+    pub fn classify(degree: usize, thresholds: SizeThresholds) -> SizeClass {
+        if degree <= thresholds.small_max {
+            SizeClass::Small
+        } else if degree <= thresholds.medium_max {
+            SizeClass::Medium
+        } else {
+            SizeClass::Large
+        }
+    }
+
+    /// All classes in ascending order.
+    pub const ALL: [SizeClass; 3] = [SizeClass::Small, SizeClass::Medium, SizeClass::Large];
+}
+
+impl std::fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SizeClass::Small => "small",
+            SizeClass::Medium => "medium",
+            SizeClass::Large => "large",
+        })
+    }
+}
+
+/// Customer-cone and degree analysis over a topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConeAnalysis {
+    degrees: BTreeMap<Asn, usize>,
+    cone_sizes: BTreeMap<Asn, usize>,
+    thresholds: SizeThresholds,
+}
+
+impl ConeAnalysis {
+    /// Computes degrees and cone sizes for every AS.
+    ///
+    /// Cone sizes are computed by walking provider→customer edges from
+    /// each AS with memoization over the customer DAG; cycles (which CAIDA
+    /// data does contain in rare cases, and a generator bug could create)
+    /// are tolerated by counting the reachable set directly when a cycle
+    /// is detected.
+    pub fn compute(topology: &AsTopology, thresholds: SizeThresholds) -> Self {
+        let degrees: BTreeMap<Asn, usize> = topology
+            .asns()
+            .map(|asn| (asn, topology.customers(asn).len()))
+            .collect();
+        let mut cone_sizes = BTreeMap::new();
+        // Memoized cone *sets* would be O(n^2) memory on big graphs;
+        // instead run one BFS per AS over customer edges. The customer
+        // DAG is shallow (provider hierarchies are a handful of levels),
+        // and stubs (the vast majority) terminate immediately.
+        for asn in topology.asns() {
+            let mut seen: BTreeSet<Asn> = BTreeSet::new();
+            seen.insert(asn);
+            let mut queue = vec![asn];
+            while let Some(current) = queue.pop() {
+                for &c in topology.customers(current) {
+                    if seen.insert(c) {
+                        queue.push(c);
+                    }
+                }
+            }
+            cone_sizes.insert(asn, seen.len());
+        }
+        ConeAnalysis { degrees, cone_sizes, thresholds }
+    }
+
+    /// Direct customer degree of `asn` (0 for unknown ASes).
+    pub fn degree(&self, asn: Asn) -> usize {
+        self.degrees.get(&asn).copied().unwrap_or(0)
+    }
+
+    /// Customer cone size of `asn`, **including itself** (CAIDA's
+    /// convention); 0 for unknown ASes.
+    pub fn cone_size(&self, asn: Asn) -> usize {
+        self.cone_sizes.get(&asn).copied().unwrap_or(0)
+    }
+
+    /// The size class of `asn`.
+    pub fn size_class(&self, asn: Asn) -> SizeClass {
+        SizeClass::classify(self.degree(asn), self.thresholds)
+    }
+
+    /// The thresholds in use.
+    pub fn thresholds(&self) -> SizeThresholds {
+        self.thresholds
+    }
+
+    /// ASNs ordered by descending cone size (AS Rank order; ties by
+    /// ascending ASN for determinism).
+    pub fn ranked(&self) -> Vec<Asn> {
+        let mut asns: Vec<Asn> = self.cone_sizes.keys().copied().collect();
+        asns.sort_by_key(|asn| (std::cmp::Reverse(self.cone_size(*asn)), *asn));
+        asns
+    }
+
+    /// Count of ASes per size class.
+    pub fn class_counts(&self) -> BTreeMap<SizeClass, usize> {
+        let mut counts = BTreeMap::new();
+        for &asn in self.degrees.keys() {
+            *counts.entry(self.size_class(asn)).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{AsInfo, NetworkKind};
+    use crate::org::OrgId;
+    use manrs_net::Rir;
+
+    fn topology(edges: &[(u32, u32)], n: u32) -> AsTopology {
+        let mut t = AsTopology::new();
+        for asn in 1..=n {
+            t.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(asn),
+                rir: Rir::Arin,
+                country: "US".into(),
+                kind: NetworkKind::Transit,
+            });
+        }
+        for &(p, c) in edges {
+            t.add_provider_customer(Asn(p), Asn(c));
+        }
+        t
+    }
+
+    #[test]
+    fn classify_paper_thresholds() {
+        let t = SizeThresholds::PAPER;
+        assert_eq!(SizeClass::classify(0, t), SizeClass::Small);
+        assert_eq!(SizeClass::classify(2, t), SizeClass::Small);
+        assert_eq!(SizeClass::classify(3, t), SizeClass::Medium);
+        assert_eq!(SizeClass::classify(180, t), SizeClass::Medium);
+        assert_eq!(SizeClass::classify(181, t), SizeClass::Large);
+    }
+
+    #[test]
+    fn chain_cones() {
+        // 1 -> 2 -> 3 -> 4 (provider to customer).
+        let t = topology(&[(1, 2), (2, 3), (3, 4)], 4);
+        let cones = ConeAnalysis::compute(&t, SizeThresholds::PAPER);
+        assert_eq!(cones.cone_size(Asn(1)), 4);
+        assert_eq!(cones.cone_size(Asn(2)), 3);
+        assert_eq!(cones.cone_size(Asn(4)), 1);
+        assert_eq!(cones.degree(Asn(1)), 1);
+        assert_eq!(cones.degree(Asn(4)), 0);
+    }
+
+    #[test]
+    fn diamond_counts_once() {
+        // 1 -> {2,3} -> 4: 4 must be counted once in 1's cone.
+        let t = topology(&[(1, 2), (1, 3), (2, 4), (3, 4)], 4);
+        let cones = ConeAnalysis::compute(&t, SizeThresholds::PAPER);
+        assert_eq!(cones.cone_size(Asn(1)), 4);
+        assert_eq!(cones.degree(Asn(1)), 2);
+    }
+
+    #[test]
+    fn cycle_tolerated() {
+        // Pathological 1 -> 2 -> 1 cycle plus 2 -> 3.
+        let t = topology(&[(1, 2), (2, 1), (2, 3)], 3);
+        let cones = ConeAnalysis::compute(&t, SizeThresholds::PAPER);
+        assert_eq!(cones.cone_size(Asn(1)), 3);
+        assert_eq!(cones.cone_size(Asn(2)), 3);
+        assert_eq!(cones.cone_size(Asn(3)), 1);
+    }
+
+    #[test]
+    fn ranked_by_cone() {
+        let t = topology(&[(1, 2), (2, 3), (2, 4)], 4);
+        let cones = ConeAnalysis::compute(&t, SizeThresholds::PAPER);
+        let ranked = cones.ranked();
+        assert_eq!(ranked[0], Asn(1));
+        assert_eq!(ranked[1], Asn(2));
+        // Ties (3 and 4 both have cone 1) break by ASN.
+        assert_eq!(&ranked[2..], &[Asn(3), Asn(4)]);
+    }
+
+    #[test]
+    fn class_counts_with_scaled_thresholds() {
+        let t = topology(&[(1, 2), (1, 3), (1, 4), (2, 4)], 4);
+        let cones = ConeAnalysis::compute(&t, SizeThresholds::scaled(0, 2));
+        let counts = cones.class_counts();
+        // Degrees: 1 -> 3 customers (large), 2 -> 1 (medium), 3,4 -> 0 (small).
+        assert_eq!(counts.get(&SizeClass::Large), Some(&1));
+        assert_eq!(counts.get(&SizeClass::Medium), Some(&1));
+        assert_eq!(counts.get(&SizeClass::Small), Some(&2));
+    }
+
+    #[test]
+    fn unknown_asn_defaults() {
+        let t = topology(&[], 1);
+        let cones = ConeAnalysis::compute(&t, SizeThresholds::PAPER);
+        assert_eq!(cones.degree(Asn(99)), 0);
+        assert_eq!(cones.cone_size(Asn(99)), 0);
+        assert_eq!(cones.size_class(Asn(99)), SizeClass::Small);
+    }
+}

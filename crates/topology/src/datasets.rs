@@ -1,0 +1,225 @@
+//! Text serializations in the shape of the CAIDA datasets (§5.1).
+//!
+//! The original analysis reads flat files: `as-rel` (`a|b|-1` for
+//! provider→customer, `a|b|0` for peers), `prefix2as`
+//! (`prefix<TAB>length<TAB>asn`), and an `as2org`-style mapping. These
+//! writers/parsers let the pipeline round-trip a generated world through
+//! the same file shapes, so any stage can be pointed at files on disk.
+
+use crate::graph::{AsInfo, AsTopology, NetworkKind};
+use crate::org::{OrgDirectory, Organization, OrgId};
+use crate::prefixes::Prefix2As;
+use manrs_net::{Asn, NetError, Prefix, Rir};
+use std::fmt::Write as _;
+
+/// Serializes the relationship edges in CAIDA `as-rel` format:
+/// `provider|customer|-1` and `peer|peer|0` lines, `#` comments allowed.
+pub fn write_as_rel(topology: &AsTopology) -> String {
+    let mut out = String::from("# <provider-as>|<customer-as>|-1  or  <peer-as>|<peer-as>|0\n");
+    for asn in topology.asns() {
+        for &customer in topology.customers(asn) {
+            let _ = writeln!(out, "{}|{}|-1", asn.value(), customer.value());
+        }
+        for &peer in topology.peers(asn) {
+            // Each peer edge once, from the lower ASN.
+            if asn < peer {
+                let _ = writeln!(out, "{}|{}|0", asn.value(), peer.value());
+            }
+        }
+    }
+    out
+}
+
+/// Parses `as-rel` text into edge lists: `(provider, customer)` pairs and
+/// `(peer, peer)` pairs.
+pub fn parse_as_rel(text: &str) -> Result<(Vec<(Asn, Asn)>, Vec<(Asn, Asn)>), NetError> {
+    let mut cp = Vec::new();
+    let mut pp = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('|');
+        let bad = || NetError::InvalidAddress(line.to_owned());
+        let a: Asn = parts.next().ok_or_else(bad)?.parse()?;
+        let b: Asn = parts.next().ok_or_else(bad)?.parse()?;
+        match parts.next().ok_or_else(bad)? {
+            "-1" => cp.push((a, b)),
+            "0" => pp.push((a, b)),
+            _ => return Err(bad()),
+        }
+    }
+    Ok((cp, pp))
+}
+
+/// Serializes a [`Prefix2As`] in CAIDA prefix2as format:
+/// `address<TAB>length<TAB>asn`.
+pub fn write_prefix2as(map: &Prefix2As) -> String {
+    let mut out = String::new();
+    for (prefix, asn) in map.entries() {
+        let (addr, len) = match prefix {
+            Prefix::V4(p) => (p.addr().to_string(), p.len()),
+            Prefix::V6(p) => (p.addr().to_string(), p.len()),
+        };
+        let _ = writeln!(out, "{addr}\t{len}\t{}", asn.value());
+    }
+    out
+}
+
+/// Parses prefix2as text.
+pub fn parse_prefix2as(text: &str) -> Result<Prefix2As, NetError> {
+    let mut map = Prefix2As::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let bad = || NetError::MalformedPrefix(line.to_owned());
+        let addr = parts.next().ok_or_else(bad)?;
+        let len = parts.next().ok_or_else(bad)?;
+        let asn: Asn = parts.next().ok_or_else(bad)?.parse()?;
+        let prefix: Prefix = format!("{addr}/{len}").parse()?;
+        map.add(prefix, asn);
+    }
+    Ok(map)
+}
+
+/// Serializes the as2org mapping: `asn|org_id|org_name|country|rir`.
+pub fn write_as2org(topology: &AsTopology, orgs: &OrgDirectory) -> String {
+    let mut out = String::from("# <asn>|<org-id>|<org-name>|<country>|<rir>\n");
+    for asn in topology.asns() {
+        if let Some(org) = orgs.org_of(asn) {
+            let _ = writeln!(
+                out,
+                "{}|{}|{}|{}|{}",
+                asn.value(),
+                org.id.0,
+                org.name,
+                org.country,
+                org.rir.name()
+            );
+        }
+    }
+    out
+}
+
+/// Parses as2org text into a fresh directory plus kind-less node records.
+/// Returned `AsInfo` entries carry [`NetworkKind::Stub`] — the file format
+/// does not encode roles, just as CAIDA's does not.
+pub fn parse_as2org(text: &str) -> Result<(Vec<AsInfo>, OrgDirectory), NetError> {
+    let mut dir = OrgDirectory::new();
+    let mut infos = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('|').collect();
+        if parts.len() != 5 {
+            return Err(NetError::InvalidAddress(line.to_owned()));
+        }
+        let asn: Asn = parts[0].parse()?;
+        let org_id = OrgId(
+            parts[1]
+                .parse()
+                .map_err(|_| NetError::InvalidAddress(line.to_owned()))?,
+        );
+        let rir: Rir = parts[4].parse()?;
+        if dir.org(org_id).is_none() {
+            dir.add_org(Organization {
+                id: org_id,
+                name: parts[2].to_owned(),
+                country: parts[3].to_owned(),
+                rir,
+            });
+        }
+        dir.assign(asn, org_id);
+        infos.push(AsInfo {
+            asn,
+            org: org_id,
+            rir,
+            country: parts[3].to_owned(),
+            kind: NetworkKind::Stub,
+        });
+    }
+    Ok((infos, dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{GeneratorConfig, TopologyBuilder};
+
+    fn world() -> crate::generate::GeneratedWorld {
+        TopologyBuilder::new(GeneratorConfig {
+            seed: 42,
+            total_ases: 120,
+            tier1_count: 4,
+            mid_tier_count: 12,
+            cdn_count: 3,
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn as_rel_round_trip() {
+        let w = world();
+        let text = write_as_rel(&w.topology);
+        let (cp, pp) = parse_as_rel(&text).unwrap();
+        // Every parsed edge exists in the topology with the right kind.
+        for (p, c) in &cp {
+            assert!(w.topology.customers(*p).contains(c));
+        }
+        for (a, b) in &pp {
+            assert!(w.topology.peers(*a).contains(b));
+        }
+        // Counts match.
+        let cp_count: usize = w.topology.asns().map(|a| w.topology.customers(a).len()).sum();
+        let pp_count: usize =
+            w.topology.asns().map(|a| w.topology.peers(a).len()).sum::<usize>() / 2;
+        assert_eq!(cp.len(), cp_count);
+        assert_eq!(pp.len(), pp_count);
+    }
+
+    #[test]
+    fn prefix2as_round_trip() {
+        let w = world();
+        let text = write_prefix2as(&w.intended);
+        let parsed = parse_prefix2as(&text).unwrap();
+        assert_eq!(parsed.entries(), w.intended.entries());
+    }
+
+    #[test]
+    fn as2org_round_trip() {
+        let w = world();
+        let text = write_as2org(&w.topology, &w.orgs);
+        let (infos, dir) = parse_as2org(&text).unwrap();
+        assert_eq!(infos.len(), w.topology.len());
+        for asn in w.topology.asns() {
+            let orig = w.orgs.org_of(asn).unwrap();
+            let parsed = dir.org_of(asn).unwrap();
+            assert_eq!(orig.id, parsed.id);
+            assert_eq!(orig.country, parsed.country);
+            assert_eq!(orig.rir, parsed.rir);
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_as_rel("1|2|9").is_err());
+        assert!(parse_as_rel("1|2").is_err());
+        assert!(parse_prefix2as("10.0.0.0\tbad\t1").is_err());
+        assert!(parse_as2org("1|2|name|US").is_err());
+        assert!(parse_as2org("x|2|name|US|arin").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let (cp, pp) = parse_as_rel("# header\n\n1|2|-1\n3|4|0\n").unwrap();
+        assert_eq!(cp, vec![(Asn(1), Asn(2))]);
+        assert_eq!(pp, vec![(Asn(3), Asn(4))]);
+    }
+}

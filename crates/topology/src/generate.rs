@@ -1,0 +1,563 @@
+//! Random Internet topology generation.
+//!
+//! The generator builds a three-layer hierarchy that reproduces the macro
+//! shape the paper's size classes assume (§6.2): a small clique of tier-1
+//! transits peering with each other, a preferential-attachment middle
+//! tier of regional transits, and a heavy-tailed edge of stub networks.
+//! CDNs attach like stubs but multi-home and peer widely, and originate
+//! many more prefixes — as the paper's CDN program members do (§8.3: two
+//! CDNs originate more than 3,500 prefixes).
+//!
+//! Generation is fully deterministic in the seed.
+
+use crate::graph::{AsInfo, AsTopology, NetworkKind};
+use crate::org::{OrgDirectory, Organization, OrgId};
+use crate::prefixes::{Prefix2As, PrefixAllocator};
+use manrs_net::{Asn, Ipv4Prefix, Ipv6Prefix, Prefix, Rir};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of the topology generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// RNG seed; everything is deterministic in it.
+    pub seed: u64,
+    /// Total number of ASes (tier-1 + mid + CDN + stubs).
+    pub total_ases: usize,
+    /// Number of tier-1 transit providers (fully peered clique).
+    pub tier1_count: usize,
+    /// Number of mid-tier (regional) transit providers.
+    pub mid_tier_count: usize,
+    /// Number of CDN / cloud networks.
+    pub cdn_count: usize,
+    /// Per-RIR share of ASes; normalized internally. The default is
+    /// loosely the real 2022 distribution (RIPE and APNIC heavy in AS
+    /// count, ARIN heavy in space).
+    pub region_weights: [(Rir, f64); 5],
+    /// Probability that a new AS joins an existing organization of its
+    /// region rather than founding a new one (multi-AS organizations are
+    /// the subject of the paper's Finding 7.0).
+    pub sibling_probability: f64,
+    /// Cap on ASes per organization.
+    pub max_asns_per_org: usize,
+    /// Probability that an announced block is also de-aggregated into
+    /// more-specifics (traffic engineering, §3).
+    pub deaggregate_probability: f64,
+    /// Probability a stub network is dual-stacked (holds and announces
+    /// IPv6 space). Transit and CDN networks are always dual-stacked.
+    pub stub_dual_stack_probability: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0,
+            total_ases: 2_000,
+            tier1_count: 10,
+            mid_tier_count: 150,
+            cdn_count: 15,
+            region_weights: [
+                (Rir::Arin, 0.18),
+                (Rir::RipeNcc, 0.30),
+                (Rir::Apnic, 0.22),
+                (Rir::Lacnic, 0.22),
+                (Rir::Afrinic, 0.08),
+            ],
+            sibling_probability: 0.18,
+            max_asns_per_org: 30,
+            deaggregate_probability: 0.25,
+            stub_dual_stack_probability: 0.35,
+        }
+    }
+}
+
+/// Everything the generator produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedWorld {
+    /// The relationship graph.
+    pub topology: AsTopology,
+    /// Organizations and the as2org mapping.
+    pub orgs: OrgDirectory,
+    /// The allocator after allocation (usable for region lookups and
+    /// trust-anchor resources).
+    pub allocator: PrefixAllocator,
+    /// Allocated (held) IPv4 blocks per AS.
+    pub resources: BTreeMap<Asn, Vec<Ipv4Prefix>>,
+    /// Allocated (held) IPv6 blocks per AS (empty for v4-only networks).
+    pub resources_v6: BTreeMap<Asn, Vec<Ipv6Prefix>>,
+    /// The *intended* announcements of every AS: what each network means
+    /// to originate (whole blocks plus de-aggregated specifics). The
+    /// scenario layer perturbs this into the observed table.
+    pub intended: Prefix2As,
+}
+
+impl GeneratedWorld {
+    /// The IPv4 resources held by `asn`.
+    pub fn resources_of(&self, asn: Asn) -> &[Ipv4Prefix] {
+        self.resources.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The IPv6 resources held by `asn`.
+    pub fn resources_v6_of(&self, asn: Asn) -> &[Ipv6Prefix] {
+        self.resources_v6.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every block held by `asn`, both families, as family-erased
+    /// prefixes.
+    pub fn all_resources(&self, asn: Asn) -> Vec<Prefix> {
+        self.resources_of(asn)
+            .iter()
+            .map(|p| Prefix::V4(*p))
+            .chain(self.resources_v6_of(asn).iter().map(|p| Prefix::V6(*p)))
+            .collect()
+    }
+}
+
+/// The topology generator. See the module docs for the model.
+pub struct TopologyBuilder {
+    config: GeneratorConfig,
+}
+
+impl TopologyBuilder {
+    /// Creates a builder with the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        assert!(
+            config.tier1_count + config.mid_tier_count + config.cdn_count <= config.total_ases,
+            "role counts exceed total_ases"
+        );
+        assert!(config.tier1_count >= 1, "need at least one tier-1");
+        TopologyBuilder { config }
+    }
+
+    /// Generates the world.
+    pub fn generate(&self) -> GeneratedWorld {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // --- Roles -----------------------------------------------------
+        let n = cfg.total_ases;
+        let mut kinds = Vec::with_capacity(n);
+        for i in 0..n {
+            let kind = if i < cfg.tier1_count {
+                NetworkKind::Transit
+            } else if i < cfg.tier1_count + cfg.mid_tier_count {
+                NetworkKind::Transit
+            } else if i < cfg.tier1_count + cfg.mid_tier_count + cfg.cdn_count {
+                NetworkKind::Cdn
+            } else {
+                NetworkKind::Stub
+            };
+            kinds.push(kind);
+        }
+
+        // --- Regions ---------------------------------------------------
+        let weight_sum: f64 = cfg.region_weights.iter().map(|(_, w)| w).sum();
+        let pick_region = |rng: &mut StdRng| -> Rir {
+            let mut x = rng.random_range(0.0..weight_sum);
+            for (rir, w) in cfg.region_weights {
+                if x < w {
+                    return rir;
+                }
+                x -= w;
+            }
+            cfg.region_weights[0].0
+        };
+        // Tier-1s skew toward ARIN, matching "most large networks are
+        // from the ARIN region" (Fig. 4 caption).
+        let mut regions = Vec::with_capacity(n);
+        for i in 0..n {
+            let rir = if i < cfg.tier1_count && rng.random_bool(0.6) {
+                Rir::Arin
+            } else if kinds[i] == NetworkKind::Cdn && rng.random_bool(0.7) {
+                Rir::Arin
+            } else {
+                pick_region(&mut rng)
+            };
+            regions.push(rir);
+        }
+
+        // --- Organizations ----------------------------------------------
+        let mut orgs = OrgDirectory::new();
+        let mut region_orgs: BTreeMap<Rir, Vec<(OrgId, usize)>> = BTreeMap::new();
+        let mut next_org = 0u32;
+        let mut org_of: Vec<OrgId> = Vec::with_capacity(n);
+        for i in 0..n {
+            let rir = regions[i];
+            let candidates = region_orgs.entry(rir).or_default();
+            let join_existing = !candidates.is_empty()
+                && kinds[i] == NetworkKind::Stub
+                && rng.random_bool(cfg.sibling_probability);
+            let org_id = if join_existing {
+                let idx = rng.random_range(0..candidates.len());
+                let (id, count) = &mut candidates[idx];
+                let id = *id;
+                *count += 1;
+                if *count >= cfg.max_asns_per_org {
+                    candidates.swap_remove(idx);
+                }
+                id
+            } else {
+                let id = OrgId(next_org);
+                next_org += 1;
+                orgs.add_org(Organization {
+                    id,
+                    name: format!("Org-{}-{}", rir.name(), id.0),
+                    country: country_for(rir, &mut rng),
+                    rir,
+                });
+                candidates.push((id, 1));
+                id
+            };
+            org_of.push(org_id);
+        }
+
+        // --- Nodes -------------------------------------------------------
+        // ASNs are dense small integers offset to avoid reserved ranges.
+        let mut topology = AsTopology::new();
+        let asn_of = |i: usize| Asn(1_000 + i as u32);
+        for i in 0..n {
+            let asn = asn_of(i);
+            topology.add_as(AsInfo {
+                asn,
+                org: org_of[i],
+                rir: regions[i],
+                country: orgs.org(org_of[i]).expect("org exists").country.clone(),
+                kind: kinds[i],
+            });
+            orgs.assign(asn, org_of[i]);
+        }
+
+        // --- Edges -------------------------------------------------------
+        // Tier-1 clique.
+        for a in 0..cfg.tier1_count {
+            for b in (a + 1)..cfg.tier1_count {
+                topology.add_peer(asn_of(a), asn_of(b));
+            }
+        }
+        // Transit pool with preferential-attachment weights
+        // (weight = current customer count + 1).
+        let transit_end = cfg.tier1_count + cfg.mid_tier_count;
+        let pick_transit =
+            |rng: &mut StdRng, topology: &AsTopology, upper: usize, exclude: Asn| -> Asn {
+                let total: usize = (0..upper)
+                    .map(|i| topology.customers(asn_of(i)).len() + 1)
+                    .sum();
+                let mut x = rng.random_range(0..total.max(1));
+                for i in 0..upper {
+                    let w = topology.customers(asn_of(i)).len() + 1;
+                    if x < w && asn_of(i) != exclude {
+                        return asn_of(i);
+                    }
+                    x = x.saturating_sub(w);
+                }
+                // Fallback: first non-excluded.
+                (0..upper)
+                    .map(asn_of)
+                    .find(|a| *a != exclude)
+                    .unwrap_or_else(|| asn_of(0))
+            };
+
+        // Mid tier: 1–3 providers among tier-1s and earlier mids.
+        for i in cfg.tier1_count..transit_end {
+            let asn = asn_of(i);
+            let provider_count = 1 + rng.random_range(0..3usize);
+            for _ in 0..provider_count {
+                let provider = pick_transit(&mut rng, &topology, i.max(cfg.tier1_count), asn);
+                if provider != asn {
+                    topology.add_provider_customer(provider, asn);
+                }
+            }
+            // Occasional lateral peering between mids.
+            if i > cfg.tier1_count && rng.random_bool(0.3) {
+                let j = rng.random_range(cfg.tier1_count..i);
+                topology.add_peer(asn, asn_of(j));
+            }
+        }
+
+        // CDNs: multi-home to 2–4 transits and peer widely with mids.
+        let cdn_end = transit_end + cfg.cdn_count;
+        for i in transit_end..cdn_end {
+            let asn = asn_of(i);
+            for _ in 0..(2 + rng.random_range(0..3usize)) {
+                let provider = pick_transit(&mut rng, &topology, transit_end, asn);
+                topology.add_provider_customer(provider, asn);
+            }
+            let peer_count = rng.random_range(2..8usize).min(cfg.mid_tier_count);
+            for _ in 0..peer_count {
+                if cfg.mid_tier_count > 0 {
+                    let j = rng.random_range(cfg.tier1_count..transit_end);
+                    topology.add_peer(asn, asn_of(j));
+                }
+            }
+        }
+
+        // Stubs: 1–2 providers, preferential attachment over all transits.
+        for i in cdn_end..n {
+            let asn = asn_of(i);
+            let multi_homed = rng.random_bool(0.3);
+            let provider_count = if multi_homed { 2 } else { 1 };
+            for _ in 0..provider_count {
+                let provider = pick_transit(&mut rng, &topology, transit_end, asn);
+                topology.add_provider_customer(provider, asn);
+            }
+            // Sibling stubs usually sit behind another AS of the same org.
+            let siblings = orgs.asns_of(org_of[i]);
+            if siblings.len() > 1 && rng.random_bool(0.5) {
+                let main = siblings[0];
+                if main != asn && topology.contains(main) {
+                    topology.add_provider_customer(main, asn);
+                }
+            }
+        }
+
+        // --- Prefixes ------------------------------------------------------
+        let mut allocator = PrefixAllocator::new();
+        let mut resources: BTreeMap<Asn, Vec<Ipv4Prefix>> = BTreeMap::new();
+        let mut resources_v6: BTreeMap<Asn, Vec<Ipv6Prefix>> = BTreeMap::new();
+        let mut intended = Prefix2As::new();
+        for i in 0..n {
+            let asn = asn_of(i);
+            let rir = regions[i];
+            let (block_count, len_lo, len_hi) = match kinds[i] {
+                NetworkKind::Stub => (1 + rng.random_range(0..3usize), 21, 24),
+                NetworkKind::Cdn => (8 + rng.random_range(0..20usize), 18, 22),
+                NetworkKind::Transit if i < cfg.tier1_count => {
+                    (6 + rng.random_range(0..12usize), 14, 19)
+                }
+                NetworkKind::Transit => (2 + rng.random_range(0..6usize), 18, 22),
+            };
+            let mut blocks = Vec::with_capacity(block_count);
+            for _ in 0..block_count {
+                let len = rng.random_range(len_lo..=len_hi) as u8;
+                let block = allocator
+                    .allocate(rir, len)
+                    .expect("default pools sized for generated worlds");
+                blocks.push(block);
+                intended.add(Prefix::V4(block), asn);
+                // De-aggregation: also announce the two children of the
+                // block (a common traffic-engineering shape).
+                if len < 24 && rng.random_bool(cfg.deaggregate_probability) {
+                    if let Some((lo, hi)) = block.children() {
+                        intended.add(Prefix::V4(lo), asn);
+                        intended.add(Prefix::V4(hi), asn);
+                    }
+                }
+            }
+            resources.insert(asn, blocks);
+
+            // IPv6: infrastructure is dual-stacked, stubs often not.
+            let dual_stack = kinds[i] != NetworkKind::Stub
+                || rng.random_bool(cfg.stub_dual_stack_probability);
+            let mut v6_blocks = Vec::new();
+            if dual_stack {
+                let (count6, lo6, hi6) = match kinds[i] {
+                    NetworkKind::Stub => (1usize, 40u8, 48u8),
+                    NetworkKind::Cdn => (2 + rng.random_range(0..4usize), 32, 40),
+                    NetworkKind::Transit if i < cfg.tier1_count => (2, 28, 32),
+                    NetworkKind::Transit => (1 + rng.random_range(0..2usize), 32, 40),
+                };
+                for _ in 0..count6 {
+                    let len = rng.random_range(lo6..=hi6.max(lo6));
+                    let block = allocator
+                        .allocate_v6(rir, len.min(64))
+                        .expect("v6 pools sized for generated worlds");
+                    v6_blocks.push(block);
+                    intended.add(Prefix::V6(block), asn);
+                    if len < 48 && rng.random_bool(cfg.deaggregate_probability) {
+                        if let Some((lo, hi)) = block.children() {
+                            intended.add(Prefix::V6(lo), asn);
+                            intended.add(Prefix::V6(hi), asn);
+                        }
+                    }
+                }
+            }
+            resources_v6.insert(asn, v6_blocks);
+        }
+
+        GeneratedWorld { topology, orgs, allocator, resources, resources_v6, intended }
+    }
+}
+
+fn country_for(rir: Rir, rng: &mut StdRng) -> String {
+    let options: &[&str] = match rir {
+        Rir::Arin => &["US", "US", "US", "CA"],
+        Rir::RipeNcc => &["DE", "GB", "FR", "NL", "RU"],
+        Rir::Apnic => &["CN", "JP", "IN", "AU", "ID"],
+        Rir::Lacnic => &["BR", "BR", "AR", "MX", "CL"],
+        Rir::Afrinic => &["ZA", "NG", "KE", "EG"],
+    };
+    (*options.choose(rng).expect("non-empty")).to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cone::{ConeAnalysis, SizeThresholds};
+
+    fn small_world(seed: u64) -> GeneratedWorld {
+        TopologyBuilder::new(GeneratorConfig {
+            seed,
+            total_ases: 400,
+            tier1_count: 6,
+            mid_tier_count: 40,
+            cdn_count: 6,
+            ..GeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = small_world(7);
+        let b = small_world(7);
+        assert_eq!(a.topology.len(), b.topology.len());
+        assert_eq!(a.intended.entries(), b.intended.entries());
+        for asn in a.topology.asns() {
+            assert_eq!(a.topology.customers(asn), b.topology.customers(asn));
+            assert_eq!(a.resources_of(asn), b.resources_of(asn));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_world(1);
+        let b = small_world(2);
+        assert_ne!(a.intended.entries(), b.intended.entries());
+    }
+
+    #[test]
+    fn every_as_has_a_path_to_tier1() {
+        // Every non-tier-1 AS must have at least one provider, so routes
+        // can always climb to the clique.
+        let world = small_world(3);
+        for (i, asn) in world.topology.asns().enumerate() {
+            if i >= 6 {
+                assert!(
+                    !world.topology.providers(asn).is_empty(),
+                    "{asn} has no providers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intended_announcements_cover_resources() {
+        let world = small_world(4);
+        for asn in world.topology.asns() {
+            let blocks = world.all_resources(asn);
+            assert!(!blocks.is_empty());
+            let announced = world.intended.prefixes_of(asn);
+            for block in &blocks {
+                assert!(announced.contains(block));
+            }
+            // Every announced prefix is within some held block.
+            for p in announced {
+                assert!(
+                    blocks.iter().any(|b| b.contains(p)),
+                    "{asn} announces {p} outside its resources"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v6_presence_matches_roles() {
+        let world = small_world(12);
+        // Tier-1s (the first 6 ASes) are always dual-stacked.
+        for i in 0..6 {
+            let asn = Asn(1_000 + i);
+            assert!(
+                !world.resources_v6_of(asn).is_empty(),
+                "{asn} is tier-1 and must hold v6"
+            );
+        }
+        // Some stubs are v6-less, some dual-stacked.
+        let stubs_with: usize = world
+            .topology
+            .asns()
+            .filter(|a| {
+                world.topology.info(*a).unwrap().kind == NetworkKind::Stub
+                    && !world.resources_v6_of(*a).is_empty()
+            })
+            .count();
+        let stubs_without: usize = world
+            .topology
+            .asns()
+            .filter(|a| {
+                world.topology.info(*a).unwrap().kind == NetworkKind::Stub
+                    && world.resources_v6_of(*a).is_empty()
+            })
+            .count();
+        assert!(stubs_with > 0 && stubs_without > 0);
+        // v6 allocations are globally disjoint.
+        let mut space = manrs_net::AddressSpace::new();
+        let mut total = 0u128;
+        for asn in world.topology.asns() {
+            for b in world.resources_v6_of(asn) {
+                total += b.address_count();
+                space.add(&Prefix::V6(*b));
+            }
+        }
+        assert_eq!(space.v6_len(), total, "v6 blocks overlap");
+    }
+
+    #[test]
+    fn resources_are_globally_disjoint() {
+        let world = small_world(5);
+        let mut space = manrs_net::AddressSpace::new();
+        let mut total = 0u128;
+        for asn in world.topology.asns() {
+            for b in world.resources_of(asn) {
+                total += b.address_count();
+                space.add(&Prefix::V4(*b));
+            }
+        }
+        assert_eq!(space.v4_len(), total, "allocated blocks overlap");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let world = small_world(6);
+        let cones = ConeAnalysis::compute(&world.topology, SizeThresholds::scaled(2, 30));
+        let counts = cones.class_counts();
+        let small = counts.get(&crate::SizeClass::Small).copied().unwrap_or(0);
+        let large = counts.get(&crate::SizeClass::Large).copied().unwrap_or(0);
+        assert!(small > 300, "most ASes should be small, got {small}");
+        assert!(large >= 1, "at least one large transit expected");
+    }
+
+    #[test]
+    fn multi_as_orgs_exist() {
+        let world = small_world(8);
+        let multi = world
+            .orgs
+            .orgs()
+            .filter(|o| world.orgs.asns_of(o.id).len() > 1)
+            .count();
+        assert!(multi > 5, "expected multi-AS organizations, got {multi}");
+    }
+
+    #[test]
+    fn regions_match_allocator() {
+        let world = small_world(9);
+        for asn in world.topology.asns() {
+            let rir = world.topology.info(asn).unwrap().rir;
+            for block in world.resources_of(asn) {
+                assert_eq!(world.allocator.region_of(block), Some(rir));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "role counts exceed total_ases")]
+    fn rejects_inconsistent_config() {
+        TopologyBuilder::new(GeneratorConfig {
+            total_ases: 10,
+            tier1_count: 8,
+            mid_tier_count: 8,
+            ..GeneratorConfig::default()
+        });
+    }
+}

@@ -1,0 +1,261 @@
+//! The AS-level business-relationship graph.
+//!
+//! Mirrors the information content of CAIDA's `as-rel` dataset: each edge
+//! is either customer–provider (the customer pays) or peer–peer
+//! (settlement-free). The propagation engine in `manrs-bgp` and the
+//! Action 1 analysis in `manrs-core` both run over this graph.
+
+use crate::org::OrgId;
+use manrs_net::{Asn, Rir};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Coarse role of a network, used by the generator and by program
+/// enrollment in the scenario layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// A transit provider (sells connectivity to customers).
+    Transit,
+    /// An edge/stub network (enterprise, access ISP).
+    Stub,
+    /// A content distribution network or cloud provider.
+    Cdn,
+}
+
+/// Per-AS metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Owning organization.
+    pub org: OrgId,
+    /// The RIR that allocated the ASN.
+    pub rir: Rir,
+    /// Country of operation.
+    pub country: String,
+    /// Coarse role.
+    pub kind: NetworkKind,
+}
+
+/// The relationship between two ASes, from the first AS's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The other AS is my customer (I provide transit to them).
+    Customer,
+    /// The other AS is my provider.
+    Provider,
+    /// Settlement-free peer.
+    Peer,
+}
+
+/// The AS-level topology: nodes with metadata and relationship edges.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AsTopology {
+    nodes: BTreeMap<Asn, AsInfo>,
+    /// For each AS: its direct customers.
+    customers: BTreeMap<Asn, Vec<Asn>>,
+    /// For each AS: its providers.
+    providers: BTreeMap<Asn, Vec<Asn>>,
+    /// For each AS: its peers.
+    peers: BTreeMap<Asn, Vec<Asn>>,
+}
+
+impl AsTopology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node. Re-adding an ASN replaces its metadata but keeps
+    /// edges.
+    pub fn add_as(&mut self, info: AsInfo) {
+        let asn = info.asn;
+        self.nodes.insert(asn, info);
+        self.customers.entry(asn).or_default();
+        self.providers.entry(asn).or_default();
+        self.peers.entry(asn).or_default();
+    }
+
+    /// Adds a customer–provider edge. No-op if already present.
+    ///
+    /// # Panics
+    /// Panics if either AS is unknown — edges between unregistered nodes
+    /// are always a construction bug.
+    pub fn add_provider_customer(&mut self, provider: Asn, customer: Asn) {
+        assert!(self.nodes.contains_key(&provider), "unknown provider {provider}");
+        assert!(self.nodes.contains_key(&customer), "unknown customer {customer}");
+        let c = self.customers.get_mut(&provider).expect("registered");
+        if !c.contains(&customer) {
+            c.push(customer);
+        }
+        let p = self.providers.get_mut(&customer).expect("registered");
+        if !p.contains(&provider) {
+            p.push(provider);
+        }
+    }
+
+    /// Adds a symmetric peer edge. No-op if already present.
+    pub fn add_peer(&mut self, a: Asn, b: Asn) {
+        assert!(self.nodes.contains_key(&a), "unknown peer {a}");
+        assert!(self.nodes.contains_key(&b), "unknown peer {b}");
+        let pa = self.peers.get_mut(&a).expect("registered");
+        if !pa.contains(&b) {
+            pa.push(b);
+        }
+        let pb = self.peers.get_mut(&b).expect("registered");
+        if !pb.contains(&a) {
+            pb.push(a);
+        }
+    }
+
+    /// Node metadata.
+    pub fn info(&self, asn: Asn) -> Option<&AsInfo> {
+        self.nodes.get(&asn)
+    }
+
+    /// `true` if the AS exists.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.nodes.contains_key(&asn)
+    }
+
+    /// All ASNs, ascending.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if there are no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Direct customers of `asn`.
+    pub fn customers(&self, asn: Asn) -> &[Asn] {
+        self.customers.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Providers of `asn`.
+    pub fn providers(&self, asn: Asn) -> &[Asn] {
+        self.providers.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Peers of `asn`.
+    pub fn peers(&self, asn: Asn) -> &[Asn] {
+        self.peers.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The relationship from `a` toward `b`, if the two are adjacent.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        if self.customers(a).contains(&b) {
+            Some(Relationship::Customer)
+        } else if self.providers(a).contains(&b) {
+            Some(Relationship::Provider)
+        } else if self.peers(a).contains(&b) {
+            Some(Relationship::Peer)
+        } else {
+            None
+        }
+    }
+
+    /// Number of directed customer edges plus peer edges (each peer link
+    /// counted once).
+    pub fn edge_count(&self) -> usize {
+        let cp: usize = self.customers.values().map(Vec::len).sum();
+        let pp: usize = self.peers.values().map(Vec::len).sum();
+        cp + pp / 2
+    }
+
+    /// `true` if `a` and `b` have a customer–provider relationship in
+    /// either direction — half of the paper's Table 1 "Sibling/C-P"
+    /// attribution test.
+    pub fn has_customer_provider_link(&self, a: Asn, b: Asn) -> bool {
+        matches!(
+            self.relationship(a, b),
+            Some(Relationship::Customer) | Some(Relationship::Provider)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(asn: u32) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            org: OrgId(asn),
+            rir: Rir::Arin,
+            country: "US".into(),
+            kind: NetworkKind::Transit,
+        }
+    }
+
+    fn triangle() -> AsTopology {
+        // 1 provides to 2; 2 provides to 3; 1 peers with 3.
+        let mut t = AsTopology::new();
+        for asn in 1..=3 {
+            t.add_as(node(asn));
+        }
+        t.add_provider_customer(Asn(1), Asn(2));
+        t.add_provider_customer(Asn(2), Asn(3));
+        t.add_peer(Asn(1), Asn(3));
+        t
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let t = triangle();
+        assert_eq!(t.customers(Asn(1)), &[Asn(2)]);
+        assert_eq!(t.providers(Asn(2)), &[Asn(1)]);
+        assert_eq!(t.peers(Asn(3)), &[Asn(1)]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.edge_count(), 3);
+    }
+
+    #[test]
+    fn relationship_perspective() {
+        let t = triangle();
+        assert_eq!(t.relationship(Asn(1), Asn(2)), Some(Relationship::Customer));
+        assert_eq!(t.relationship(Asn(2), Asn(1)), Some(Relationship::Provider));
+        assert_eq!(t.relationship(Asn(1), Asn(3)), Some(Relationship::Peer));
+        assert_eq!(t.relationship(Asn(2), Asn(3)), Some(Relationship::Customer));
+        assert_eq!(t.relationship(Asn(3), Asn(2)), Some(Relationship::Provider));
+    }
+
+    #[test]
+    fn cp_link_test() {
+        let t = triangle();
+        assert!(t.has_customer_provider_link(Asn(1), Asn(2)));
+        assert!(t.has_customer_provider_link(Asn(2), Asn(1)));
+        assert!(!t.has_customer_provider_link(Asn(1), Asn(3))); // peers
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut t = triangle();
+        t.add_provider_customer(Asn(1), Asn(2));
+        t.add_peer(Asn(3), Asn(1));
+        assert_eq!(t.customers(Asn(1)).len(), 1);
+        assert_eq!(t.peers(Asn(1)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown customer")]
+    fn edge_to_unknown_panics() {
+        let mut t = AsTopology::new();
+        t.add_as(node(1));
+        t.add_provider_customer(Asn(1), Asn(99));
+    }
+
+    #[test]
+    fn missing_nodes_queries() {
+        let t = triangle();
+        assert!(t.customers(Asn(42)).is_empty());
+        assert!(t.relationship(Asn(1), Asn(42)).is_none());
+        assert!(!t.contains(Asn(42)));
+    }
+}

@@ -1,0 +1,36 @@
+//! Synthetic AS-level Internet topology.
+//!
+//! The paper leans on four CAIDA inference datasets: `as2org` (which
+//! organization owns which ASes), `as-rel` (customer/provider/peer
+//! relationships), AS Rank (customer cones), and `prefix2as` (who
+//! originates what). This crate builds a synthetic Internet with the same
+//! interfaces:
+//!
+//! * [`org`] — organizations and the AS-to-organization mapping.
+//! * [`graph`] — the business-relationship graph ([`AsTopology`]):
+//!   customer–provider and peer–peer edges with adjacency queries.
+//! * [`cone`] — customer cones, customer degrees, AS Rank ordering, and
+//!   the paper's small/medium/large size classes (§6.2: ≤2, ≤180, >180
+//!   customers, thresholds from Dhamdhere & Dovrolis).
+//! * [`prefixes`] — address allocation: per-RIR pools handing out
+//!   disjoint blocks, and the prefix2as view of who originates what.
+//! * [`generate`] — the random topology generator: a clique of tier-1
+//!   transits, a preferential-attachment middle tier, and a large stub
+//!   edge, calibrated to produce the heavy-tailed degree distribution the
+//!   size classes assume.
+//! * [`datasets`] — text serializations in the shape of the CAIDA files
+//!   (`as-rel`, `prefix2as`, `as2org`) so the pipeline can be pointed at
+//!   files on disk exactly as the original analysis was.
+
+pub mod cone;
+pub mod datasets;
+pub mod generate;
+pub mod graph;
+pub mod org;
+pub mod prefixes;
+
+pub use cone::{ConeAnalysis, SizeClass, SizeThresholds};
+pub use generate::{GeneratedWorld, GeneratorConfig, TopologyBuilder};
+pub use graph::{AsInfo, AsTopology, NetworkKind, Relationship};
+pub use org::{OrgDirectory, OrgId, Organization};
+pub use prefixes::{PrefixAllocator, Prefix2As};

@@ -1,0 +1,155 @@
+//! Organizations and the AS-to-organization mapping.
+//!
+//! The paper's §7 registration-completeness analysis is entirely
+//! organization-level: MANRS membership is per-organization, but an
+//! organization may own many ASes and register only some of them.
+
+use manrs_net::{Asn, Rir};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of an organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OrgId(pub u32);
+
+impl std::fmt::Display for OrgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ORG{}", self.0)
+    }
+}
+
+/// An organization: the unit of MANRS membership and of the as2org
+/// dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Organization {
+    /// The organization's identifier.
+    pub id: OrgId,
+    /// Display name.
+    pub name: String,
+    /// ISO-3166-ish country code of the headquarters.
+    pub country: String,
+    /// The RIR serving the headquarters region.
+    pub rir: Rir,
+}
+
+/// The as2org mapping: organizations and their ASes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OrgDirectory {
+    orgs: BTreeMap<OrgId, Organization>,
+    by_asn: BTreeMap<Asn, OrgId>,
+    members: BTreeMap<OrgId, Vec<Asn>>,
+}
+
+impl OrgDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an organization.
+    pub fn add_org(&mut self, org: Organization) {
+        self.members.entry(org.id).or_default();
+        self.orgs.insert(org.id, org);
+    }
+
+    /// Assigns an ASN to an organization (an ASN belongs to exactly one
+    /// organization; re-assignment moves it).
+    pub fn assign(&mut self, asn: Asn, org: OrgId) {
+        if let Some(prev) = self.by_asn.insert(asn, org) {
+            if let Some(list) = self.members.get_mut(&prev) {
+                list.retain(|a| *a != asn);
+            }
+        }
+        self.members.entry(org).or_default().push(asn);
+    }
+
+    /// The organization owning `asn`.
+    pub fn org_of(&self, asn: Asn) -> Option<&Organization> {
+        self.by_asn.get(&asn).and_then(|id| self.orgs.get(id))
+    }
+
+    /// All ASes of an organization — the "sibling" set used by the
+    /// paper's Table 1 attribution.
+    pub fn asns_of(&self, org: OrgId) -> &[Asn] {
+        self.members.get(&org).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `true` if two ASNs belong to the same organization.
+    pub fn are_siblings(&self, a: Asn, b: Asn) -> bool {
+        match (self.by_asn.get(&a), self.by_asn.get(&b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Every organization.
+    pub fn orgs(&self) -> impl Iterator<Item = &Organization> {
+        self.orgs.values()
+    }
+
+    /// Number of organizations.
+    pub fn org_count(&self) -> usize {
+        self.orgs.len()
+    }
+
+    /// The organization record by id.
+    pub fn org(&self, id: OrgId) -> Option<&Organization> {
+        self.orgs.get(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn org(id: u32, name: &str) -> Organization {
+        Organization { id: OrgId(id), name: name.into(), country: "US".into(), rir: Rir::Arin }
+    }
+
+    #[test]
+    fn assignment_and_lookup() {
+        let mut dir = OrgDirectory::new();
+        dir.add_org(org(1, "Example"));
+        dir.assign(Asn(100), OrgId(1));
+        dir.assign(Asn(200), OrgId(1));
+        assert_eq!(dir.org_of(Asn(100)).unwrap().name, "Example");
+        assert_eq!(dir.asns_of(OrgId(1)), &[Asn(100), Asn(200)]);
+        assert!(dir.org_of(Asn(999)).is_none());
+    }
+
+    #[test]
+    fn siblings() {
+        let mut dir = OrgDirectory::new();
+        dir.add_org(org(1, "A"));
+        dir.add_org(org(2, "B"));
+        dir.assign(Asn(1), OrgId(1));
+        dir.assign(Asn(2), OrgId(1));
+        dir.assign(Asn(3), OrgId(2));
+        assert!(dir.are_siblings(Asn(1), Asn(2)));
+        assert!(!dir.are_siblings(Asn(1), Asn(3)));
+        assert!(!dir.are_siblings(Asn(1), Asn(99)));
+    }
+
+    #[test]
+    fn reassignment_moves_asn() {
+        let mut dir = OrgDirectory::new();
+        dir.add_org(org(1, "A"));
+        dir.add_org(org(2, "B"));
+        dir.assign(Asn(1), OrgId(1));
+        dir.assign(Asn(1), OrgId(2));
+        assert!(dir.asns_of(OrgId(1)).is_empty());
+        assert_eq!(dir.asns_of(OrgId(2)), &[Asn(1)]);
+        assert_eq!(dir.org_of(Asn(1)).unwrap().id, OrgId(2));
+    }
+
+    #[test]
+    fn counts() {
+        let mut dir = OrgDirectory::new();
+        dir.add_org(org(1, "A"));
+        dir.add_org(org(2, "B"));
+        assert_eq!(dir.org_count(), 2);
+        assert_eq!(dir.orgs().count(), 2);
+        assert!(dir.org(OrgId(1)).is_some());
+        assert!(dir.org(OrgId(9)).is_none());
+    }
+}

@@ -1,0 +1,320 @@
+//! Address allocation and the prefix2as view.
+//!
+//! Each RIR administers disjoint top-level IPv4 space; [`PrefixAllocator`]
+//! hands out non-overlapping blocks from per-RIR pools, so a generated
+//! world has the same invariant as the real one: a prefix belongs to
+//! exactly one RIR region. [`Prefix2As`] is the routing-table view — who
+//! originates what — mirroring CAIDA's prefix2as dataset (§5.1).
+
+use manrs_net::{AddressSpace, Asn, Ipv4Prefix, Ipv6Prefix, NetError, Prefix, Rir};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Hands out disjoint IPv4 blocks from per-RIR pools.
+///
+/// Pools are fixed /8-aligned regions (one slice of the space per RIR),
+/// loosely modelled on real allocation history. Allocation is a simple
+/// bump pointer at a given prefix length; the allocator never reuses
+/// space, so every handed-out block is disjoint by construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixAllocator {
+    /// Per RIR: (pool start /8 index, pool end /8 index exclusive,
+    /// next free address).
+    pools: BTreeMap<Rir, Pool>,
+    /// Per RIR IPv6 pools (each a slice of 2000::/12 space).
+    pools_v6: BTreeMap<Rir, PoolV6>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Pool {
+    start: u32,
+    end: u32,
+    next: u32,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PoolV6 {
+    start: u128,
+    end: u128,
+    next: u128,
+}
+
+impl Default for PrefixAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PrefixAllocator {
+    /// Creates an allocator with the default per-RIR pools: ARIN starting
+    /// at 4.0.0.0, RIPE at 77.0.0.0, APNIC at 110.0.0.0, LACNIC at
+    /// 148.0.0.0, AFRINIC at 196.0.0.0. Each pool is 28 /8s wide —
+    /// disjoint by construction and roomy enough for any generated world.
+    pub fn new() -> Self {
+        let mk = |first_octet: u32| {
+            let start = first_octet << 24;
+            Pool { start, end: start + (28 << 24), next: start }
+        };
+        let pools = [
+            (Rir::Arin, mk(4)),
+            (Rir::RipeNcc, mk(77)),
+            (Rir::Apnic, mk(110)),
+            (Rir::Lacnic, mk(148)),
+            (Rir::Afrinic, mk(196)),
+        ]
+        .into_iter()
+        .collect();
+        // IPv6: one /16 of space per RIR carved out of 2000::/12,
+        // mirroring the real 2001::, 2400::, 2600::, 2800::, 2c00::
+        // allocations (APNIC, ARIN, LACNIC, AFRINIC order approximated).
+        let mk6 = |first_hextet: u128| {
+            let start = first_hextet << 112;
+            PoolV6 { start, end: start + (1u128 << 112), next: start }
+        };
+        let pools_v6 = [
+            (Rir::RipeNcc, mk6(0x2001)),
+            (Rir::Apnic, mk6(0x2400)),
+            (Rir::Arin, mk6(0x2600)),
+            (Rir::Lacnic, mk6(0x2800)),
+            (Rir::Afrinic, mk6(0x2c00)),
+        ]
+        .into_iter()
+        .collect();
+        PrefixAllocator { pools, pools_v6 }
+    }
+
+    /// Allocates one IPv6 block of length `len` from `rir`'s pool.
+    pub fn allocate_v6(&mut self, rir: Rir, len: u8) -> Result<Ipv6Prefix, NetError> {
+        assert!((16..=64).contains(&len), "v6 allocation length out of range");
+        let pool = self.pools_v6.get_mut(&rir).expect("every RIR has a v6 pool");
+        let size = 1u128 << (128 - len);
+        let aligned = pool.next.div_ceil(size) * size;
+        if aligned + size > pool.end {
+            return Err(NetError::InvalidAddress(format!("{rir} v6 pool exhausted")));
+        }
+        pool.next = aligned + size;
+        Ipv6Prefix::from_bits_truncated(aligned, len)
+    }
+
+    /// The RIR whose IPv6 pool contains `prefix`, if any.
+    pub fn region_of_v6(&self, prefix: &Ipv6Prefix) -> Option<Rir> {
+        let addr = prefix.range_start();
+        self.pools_v6
+            .iter()
+            .find(|(_, pool)| pool.start <= addr && addr < pool.end)
+            .map(|(rir, _)| *rir)
+    }
+
+    /// Allocates one block of length `len` from `rir`'s pool.
+    pub fn allocate(&mut self, rir: Rir, len: u8) -> Result<Ipv4Prefix, NetError> {
+        assert!((8..=32).contains(&len), "allocation length out of range");
+        let pool = self.pools.get_mut(&rir).expect("every RIR has a pool");
+        let size = 1u32 << (32 - len);
+        // Align the bump pointer to the block size.
+        let aligned = pool.next.div_ceil(size) * size;
+        if aligned + size > pool.end {
+            return Err(NetError::InvalidAddress(format!("{rir} pool exhausted")));
+        }
+        pool.next = aligned + size;
+        Ipv4Prefix::from_bits_truncated(aligned, len)
+    }
+
+    /// The RIR whose pool contains `prefix`, if any.
+    pub fn region_of(&self, prefix: &Ipv4Prefix) -> Option<Rir> {
+        let addr = prefix.range_start();
+        self.pools
+            .iter()
+            .find(|(_, pool)| pool.start <= addr && addr < pool.end)
+            .map(|(rir, _)| *rir)
+    }
+
+    /// The full pools of a RIR as a prefix set (for trust anchor
+    /// resources), both families.
+    pub fn pool_prefixes(&self, rir: Rir) -> Vec<Prefix> {
+        let pool = &self.pools[&rir];
+        let mut out = Vec::new();
+        let mut addr = pool.start;
+        while addr < pool.end {
+            out.push(Prefix::V4(Ipv4Prefix::from_bits_truncated(addr, 8).expect("aligned /8")));
+            addr += 1 << 24;
+        }
+        let pool6 = &self.pools_v6[&rir];
+        out.push(Prefix::V6(
+            Ipv6Prefix::from_bits_truncated(pool6.start, 16).expect("aligned /16"),
+        ));
+        out
+    }
+}
+
+/// The prefix2as mapping: each routed prefix and its origin AS(es).
+///
+/// A prefix can legitimately appear with several origins (multi-origin
+/// announcements, or a hijack); the dataset keeps them all, as CAIDA's
+/// does.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Prefix2As {
+    entries: Vec<(Prefix, Asn)>,
+    by_origin: BTreeMap<Asn, Vec<Prefix>>,
+}
+
+impl Prefix2As {
+    /// Creates an empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `origin` originates `prefix`.
+    pub fn add(&mut self, prefix: Prefix, origin: Asn) {
+        self.entries.push((prefix, origin));
+        self.by_origin.entry(origin).or_default().push(prefix);
+    }
+
+    /// All (prefix, origin) pairs, in insertion order.
+    pub fn entries(&self) -> &[(Prefix, Asn)] {
+        &self.entries
+    }
+
+    /// The prefixes originated by `asn`.
+    pub fn prefixes_of(&self, asn: Asn) -> &[Prefix] {
+        self.by_origin.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All origin ASNs present.
+    pub fn origins(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.by_origin.keys().copied()
+    }
+
+    /// Number of (prefix, origin) pairs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Address space routed by `asn`.
+    pub fn space_of(&self, asn: Asn) -> AddressSpace {
+        AddressSpace::from_prefixes(self.prefixes_of(asn))
+    }
+
+    /// Address space routed by any origin in `asns`.
+    pub fn space_of_many<'a, I: IntoIterator<Item = &'a Asn>>(&self, asns: I) -> AddressSpace {
+        let mut space = AddressSpace::new();
+        for asn in asns {
+            for p in self.prefixes_of(*asn) {
+                space.add(p);
+            }
+        }
+        space
+    }
+
+    /// Total routed address space across all origins.
+    pub fn total_space(&self) -> AddressSpace {
+        let mut space = AddressSpace::new();
+        for (p, _) in &self.entries {
+            space.add(p);
+        }
+        space
+    }
+}
+
+impl FromIterator<(Prefix, Asn)> for Prefix2As {
+    fn from_iter<I: IntoIterator<Item = (Prefix, Asn)>>(iter: I) -> Self {
+        let mut map = Prefix2As::new();
+        for (p, a) in iter {
+            map.add(p, a);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let mut alloc = PrefixAllocator::new();
+        let mut space = AddressSpace::new();
+        let mut total = 0u128;
+        for len in [16u8, 20, 24, 24, 16, 22] {
+            let p = alloc.allocate(Rir::Arin, len).unwrap();
+            total += p.address_count();
+            space.add(&Prefix::V4(p));
+        }
+        // No overlap: union size equals the sum of block sizes.
+        assert_eq!(space.v4_len(), total);
+    }
+
+    #[test]
+    fn pools_are_disjoint_across_rirs() {
+        let mut alloc = PrefixAllocator::new();
+        let a = alloc.allocate(Rir::Arin, 16).unwrap();
+        let r = alloc.allocate(Rir::RipeNcc, 16).unwrap();
+        assert!(!Prefix::V4(a).overlaps(&Prefix::V4(r)));
+        assert_eq!(alloc.region_of(&a), Some(Rir::Arin));
+        assert_eq!(alloc.region_of(&r), Some(Rir::RipeNcc));
+    }
+
+    #[test]
+    fn region_of_unpooled_space() {
+        let alloc = PrefixAllocator::new();
+        let p: Ipv4Prefix = "203.0.113.0/24".parse().unwrap();
+        assert_eq!(alloc.region_of(&p), Some(Rir::Afrinic)); // 196+28 > 203
+        let q: Ipv4Prefix = "1.0.0.0/8".parse().unwrap();
+        assert_eq!(alloc.region_of(&q), None);
+    }
+
+    #[test]
+    fn pool_prefixes_cover_allocations() {
+        let mut alloc = PrefixAllocator::new();
+        let p = alloc.allocate(Rir::Apnic, 20).unwrap();
+        let pool = alloc.pool_prefixes(Rir::Apnic);
+        assert_eq!(pool.len(), 29); // 28 v4 /8s + one v6 /16
+        assert!(pool.iter().any(|pp| pp.contains(&Prefix::V4(p))));
+        let p6 = alloc.allocate_v6(Rir::Apnic, 32).unwrap();
+        assert!(pool.iter().any(|pp| pp.contains(&Prefix::V6(p6))));
+    }
+
+    #[test]
+    fn v6_allocations_disjoint_and_regional() {
+        let mut alloc = PrefixAllocator::new();
+        let a = alloc.allocate_v6(Rir::RipeNcc, 32).unwrap();
+        let b = alloc.allocate_v6(Rir::RipeNcc, 40).unwrap();
+        let c = alloc.allocate_v6(Rir::Arin, 32).unwrap();
+        assert!(!Prefix::V6(a).overlaps(&Prefix::V6(b)));
+        assert!(!Prefix::V6(a).overlaps(&Prefix::V6(c)));
+        assert_eq!(alloc.region_of_v6(&a), Some(Rir::RipeNcc));
+        assert_eq!(alloc.region_of_v6(&c), Some(Rir::Arin));
+        // 2001:: space belongs to RIPE in our pools.
+        let outside: Ipv6Prefix = "3001::/32".parse().unwrap();
+        assert_eq!(alloc.region_of_v6(&outside), None);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut alloc = PrefixAllocator::new();
+        // 28 /8s = 28 * 2^24 addresses; /9 blocks are 2^23 → 56 fit.
+        for _ in 0..56 {
+            alloc.allocate(Rir::Lacnic, 9).unwrap();
+        }
+        assert!(alloc.allocate(Rir::Lacnic, 9).is_err());
+    }
+
+    #[test]
+    fn prefix2as_queries() {
+        let p1: Prefix = "10.0.0.0/8".parse().unwrap();
+        let p2: Prefix = "192.0.2.0/24".parse().unwrap();
+        let map: Prefix2As = [(p1, Asn(1)), (p2, Asn(1)), (p2, Asn(2))].into_iter().collect();
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.prefixes_of(Asn(1)), &[p1, p2]);
+        assert_eq!(map.prefixes_of(Asn(2)), &[p2]);
+        assert!(map.prefixes_of(Asn(3)).is_empty());
+        assert_eq!(map.origins().count(), 2);
+        assert_eq!(map.space_of(Asn(2)).v4_len(), 256);
+        assert_eq!(map.total_space().v4_len(), (1 << 24) + 256);
+        assert_eq!(map.space_of_many([Asn(1), Asn(2)].iter()).v4_len(), (1 << 24) + 256);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the topology crate: cone computation against a
+//! naive reachability model, and dataset round trips on random graphs.
+
+use manrs_net::{Asn, Rir};
+use manrs_topology::{
+    datasets, AsInfo, AsTopology, ConeAnalysis, NetworkKind, OrgId, SizeClass,
+    SizeThresholds,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Random DAG-ish topology: customers always have higher indices than
+/// their providers, peers arbitrary.
+fn arb_topology() -> impl Strategy<Value = AsTopology> {
+    (
+        3usize..25,
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..50),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..10),
+    )
+        .prop_map(|(n, cp, pp)| {
+            let mut t = AsTopology::new();
+            for i in 0..n {
+                t.add_as(AsInfo {
+                    asn: Asn(i as u32 + 1),
+                    org: OrgId(i as u32 / 2),
+                    rir: Rir::ALL[i % 5],
+                    country: "XX".into(),
+                    kind: NetworkKind::Transit,
+                });
+            }
+            for (a, b) in cp {
+                let customer = (a as usize % n).max(1);
+                let provider = b as usize % customer;
+                t.add_provider_customer(Asn(provider as u32 + 1), Asn(customer as u32 + 1));
+            }
+            for (a, b) in pp {
+                let x = a as usize % n;
+                let y = b as usize % n;
+                if x != y && t.relationship(Asn(x as u32 + 1), Asn(y as u32 + 1)).is_none() {
+                    t.add_peer(Asn(x as u32 + 1), Asn(y as u32 + 1));
+                }
+            }
+            t
+        })
+}
+
+/// Naive reachability over customer edges.
+fn naive_cone(t: &AsTopology, root: Asn) -> BTreeSet<Asn> {
+    let mut seen: BTreeSet<Asn> = [root].into();
+    let mut stack = vec![root];
+    while let Some(u) = stack.pop() {
+        for &c in t.customers(u) {
+            if seen.insert(c) {
+                stack.push(c);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    /// Cone sizes equal naive reachable-set sizes for every AS.
+    #[test]
+    fn cone_matches_naive_reachability(t in arb_topology()) {
+        let cones = ConeAnalysis::compute(&t, SizeThresholds::PAPER);
+        for asn in t.asns() {
+            prop_assert_eq!(cones.cone_size(asn), naive_cone(&t, asn).len());
+            prop_assert_eq!(cones.degree(asn), t.customers(asn).len());
+        }
+    }
+
+    /// A provider's cone contains each customer's cone.
+    #[test]
+    fn cones_are_monotone_along_provider_edges(t in arb_topology()) {
+        let cones = ConeAnalysis::compute(&t, SizeThresholds::PAPER);
+        for asn in t.asns() {
+            for &c in t.customers(asn) {
+                prop_assert!(
+                    cones.cone_size(asn) >= cones.cone_size(c),
+                    "{} cone smaller than its customer {}", asn, c
+                );
+                let customer_cone = naive_cone(&t, c);
+                let provider_cone = naive_cone(&t, asn);
+                prop_assert!(customer_cone.is_subset(&provider_cone));
+            }
+        }
+    }
+
+    /// AS Rank ordering is by descending cone size, ties by ASN.
+    #[test]
+    fn ranking_is_sorted(t in arb_topology()) {
+        let cones = ConeAnalysis::compute(&t, SizeThresholds::PAPER);
+        let ranked = cones.ranked();
+        prop_assert_eq!(ranked.len(), t.len());
+        for w in ranked.windows(2) {
+            let (a, b) = (cones.cone_size(w[0]), cones.cone_size(w[1]));
+            prop_assert!(a > b || (a == b && w[0] < w[1]));
+        }
+    }
+
+    /// as-rel serialization round-trips the edge sets exactly.
+    #[test]
+    fn as_rel_round_trip(t in arb_topology()) {
+        let text = datasets::write_as_rel(&t);
+        let (cp, pp) = datasets::parse_as_rel(&text).expect("own output parses");
+        let mut expect_cp: Vec<(Asn, Asn)> = Vec::new();
+        for asn in t.asns() {
+            for &c in t.customers(asn) {
+                expect_cp.push((asn, c));
+            }
+        }
+        let mut got_cp = cp;
+        expect_cp.sort();
+        got_cp.sort();
+        prop_assert_eq!(got_cp, expect_cp);
+        // Every peer edge once.
+        let mut count = 0usize;
+        for asn in t.asns() {
+            count += t.peers(asn).len();
+        }
+        prop_assert_eq!(pp.len() * 2, count);
+        for (a, b) in pp {
+            prop_assert!(t.peers(a).contains(&b));
+        }
+    }
+
+    /// Size classes partition every AS and respect threshold ordering.
+    #[test]
+    fn size_classes_partition(t in arb_topology(), small in 0usize..3, gap in 1usize..5) {
+        let thresholds = SizeThresholds::scaled(small, small + gap);
+        let cones = ConeAnalysis::compute(&t, thresholds);
+        let counts = cones.class_counts();
+        let total: usize = counts.values().sum();
+        prop_assert_eq!(total, t.len());
+        for asn in t.asns() {
+            let class = cones.size_class(asn);
+            let d = cones.degree(asn);
+            match class {
+                SizeClass::Small => prop_assert!(d <= small),
+                SizeClass::Medium => prop_assert!(d > small && d <= small + gap),
+                SizeClass::Large => prop_assert!(d > small + gap),
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Conformance audit for one network — the tool the paper's §12 promises
+//! operators: "check if you meet the requirements to join MANRS".
+//!
+//! Picks an interesting (unconformant) member AS from a generated world
+//! and prints a per-prefix breakdown with remediation hints, then shows
+//! the same audit for a clean AS.
+//!
+//! ```sh
+//! cargo run --example conformance_audit
+//! ```
+
+use manrs_ecosystem::prelude::*;
+
+fn audit(world: &ScenarioWorld, asn: Asn) {
+    let date = world.config.snapshot_date;
+    let info = world.world.topology.info(asn).expect("AS exists");
+    let metrics = compute_action4(&world.ihr);
+    let m = metrics.get(&asn);
+
+    println!("=== Audit of {asn} ===");
+    println!("organization:   {}", world.world.orgs.org(info.org).unwrap().name);
+    println!("region:         {} ({})", info.rir, info.country);
+    println!("size class:     {}", world.cones.size_class(asn));
+    println!("customer degree: {}", world.cones.degree(asn));
+    println!(
+        "MANRS member:   {}",
+        match world.manrs.program_of(asn, date) {
+            Some(p) => format!("yes ({p} program)"),
+            None => "no".into(),
+        }
+    );
+    println!();
+
+    // Per-prefix origination report.
+    let rows: Vec<_> = world
+        .ihr
+        .prefix_origins
+        .iter()
+        .filter(|po| po.origin == asn)
+        .collect();
+    if rows.is_empty() {
+        println!("originates nothing: trivially conformant to Action 4");
+    } else {
+        println!("{:<20} {:>15} {:>15}  remediation", "prefix", "RPKI", "IRR");
+        for po in &rows {
+            let hint = match (po.rpki, po.irr) {
+                (RpkiStatus::Valid, _) => "-",
+                (_, IrrStatus::Valid) => "consider adding a ROA",
+                (_, IrrStatus::InvalidLength) => "registered less-specific; OK for MANRS",
+                (RpkiStatus::InvalidAsn, _) => "ROA names another AS: fix origin or ROA",
+                (RpkiStatus::InvalidLength, _) => "announcement exceeds maxLength: raise it",
+                (_, IrrStatus::InvalidAsn) => "route object names another AS: update it",
+                _ => "register a route object or ROA",
+            };
+            println!("{:<20} {:>15} {:>15}  {hint}", po.prefix.to_string(), po.rpki.to_string(), po.irr.to_string());
+        }
+        let m = m.expect("has rows, has metrics");
+        println!();
+        println!("RPKI-valid origination: {:>6.1}%  (Formula 1)", m.og_rpki_valid_pct());
+        println!("IRR-valid origination:  {:>6.1}%  (Formula 2)", m.og_irr_valid_pct());
+        println!("MANRS conformance:      {:>6.1}%  (Formula 3)", m.og_conformant_pct());
+        for (name, threshold) in [
+            ("ISP program (>=90%)", ConformanceThreshold::Isp),
+            ("CDN program (100%)", ConformanceThreshold::Cdn),
+        ] {
+            let verdict = action4_verdict(Some(m), threshold);
+            println!("Action 4 vs {name}: {verdict:?}");
+        }
+    }
+
+    // Action 1 side.
+    let a1 = compute_action1(&world.ihr);
+    println!();
+    match a1.get(&asn) {
+        None => println!("provides no transit: trivially conformant to Action 1"),
+        Some(m) => {
+            println!("propagated announcements:       {}", m.propagated);
+            println!("  RPKI Invalid among them:      {:.2}%  (Formula 4)", m.pg_rpki_invalid_pct());
+            println!("  IRR Invalid among them:       {:.2}%  (Formula 5)", m.pg_irr_invalid_pct());
+            println!("  unconformant from customers:  {:.2}%  (Formula 6)", m.pg_unconformant_pct());
+            println!("Action 1 verdict: {:?}", action1_verdict(Some(m)));
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let world = ScenarioWorld::build(ScenarioConfig::small(7));
+    let metrics = compute_action4(&world.ihr);
+    let members = world.member_asns();
+
+    // An unconformant member, if the world has one; else the worst one.
+    let dirty = members
+        .iter()
+        .filter_map(|asn| metrics.get(asn).map(|m| (*asn, m.og_conformant_pct())))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(asn, _)| asn)
+        .expect("some member originates");
+    audit(&world, dirty);
+
+    // And a clean one for contrast.
+    let clean = members
+        .iter()
+        .filter_map(|asn| metrics.get(asn).map(|m| (*asn, m.og_conformant_pct())))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(asn, _)| asn)
+        .expect("some member originates");
+    if clean != dirty {
+        audit(&world, clean);
+    }
+}

@@ -1,0 +1,76 @@
+//! Hijack containment study: how much does the MANRS posture actually
+//! help when an origin hijack happens?
+//!
+//! Injects exact-prefix and more-specific hijacks against signed and
+//! unsigned victims, under three deployment worlds (nobody filters, the
+//! calibrated world, universal MANRS), and reports how far each hijack
+//! spreads — the §2.1 threat model exercised end to end.
+//!
+//! ```sh
+//! cargo run --example hijack_study
+//! ```
+
+use manrs_ecosystem::bgp::propagate::{propagate_dense, DenseGraph};
+use manrs_ecosystem::prelude::*;
+
+fn main() {
+    let world = ScenarioWorld::build(ScenarioConfig::small(99));
+    let n = world.world.topology.len();
+
+    // Victims: one RPKI-protected announcement, one fully unregistered.
+    let signed = world
+        .announcements
+        .iter()
+        .find(|a| a.rpki == RpkiStatus::Valid && a.prefix.len() < 24)
+        .expect("signed victim");
+    let unsigned = world
+        .announcements
+        .iter()
+        .find(|a| a.rpki == RpkiStatus::NotFound && a.irr == IrrStatus::NotFound && a.prefix.len() < 24)
+        .expect("unsigned victim");
+
+    // The attacker: a small stub network.
+    let attacker = world
+        .world
+        .topology
+        .asns()
+        .find(|a| world.cones.size_class(*a) == SizeClass::Small && !world.is_member(*a))
+        .expect("a stub attacker");
+
+    let worlds: [(&str, PolicyTable); 3] = [
+        ("no filtering anywhere", PolicyTable::with_default(FilteringPolicy::OPEN)),
+        ("calibrated world", world.policies.clone()),
+        ("universal MANRS ISP", PolicyTable::with_default(FilteringPolicy::MANRS_ISP)),
+    ];
+
+    println!("hijack containment: ASes accepting the forged route (of {n})");
+    println!();
+    println!(
+        "{:<28} {:>18} {:>18} {:>18} {:>18}",
+        "deployment", "exact/signed", "specific/signed", "exact/unsigned", "specific/unsigned"
+    );
+    for (label, policies) in &worlds {
+        let graph = DenseGraph::build(&world.world.topology, policies);
+        let mut cells = Vec::new();
+        for victim in [signed, unsigned] {
+            for kind in [HijackKind::ExactPrefix, HijackKind::MoreSpecific] {
+                let hijack = Hijack { victim_prefix: victim.prefix, attacker, kind };
+                let ann = hijack.announcement(&world.vrps, &world.irr);
+                let outcome = propagate_dense(&graph, &ann);
+                // Subtract the attacker itself.
+                cells.push(outcome.reached().saturating_sub(1));
+            }
+        }
+        println!(
+            "{:<28} {:>18} {:>18} {:>18} {:>18}",
+            label, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    println!();
+    println!("Reading the table:");
+    println!("- Signed victims shrink the hijack wherever ROV is deployed;");
+    println!("  under universal MANRS the forged route dies at the first hop.");
+    println!("- Unsigned victims get no protection from ROV at all — the");
+    println!("  incentive the paper's Fig. 6 saturation trend is about.");
+}

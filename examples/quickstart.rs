@@ -1,0 +1,84 @@
+//! Quickstart: build a seeded world, run the full MANRS measurement
+//! pipeline, and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use manrs_ecosystem::prelude::*;
+
+fn main() {
+    // A small, deterministic world: ~400 ASes, full pipeline in seconds.
+    let world = ScenarioWorld::build(ScenarioConfig::small(2024));
+    let date = world.config.snapshot_date;
+    let members = world.member_asns();
+
+    println!("== World ==");
+    println!("ASes:                 {}", world.world.topology.len());
+    println!("organizations:        {}", world.world.orgs.org_count());
+    println!("announcements:        {}", world.announcements.len());
+    println!("visible at vantages:  {}", world.rib.visible_count());
+    println!("VRPs (RPKI):          {}", world.vrps.len());
+    println!("IRR route objects:    {}", world.irr.route_count());
+    println!("MANRS member ASes:    {}", members.len());
+    println!();
+
+    // Action 4: how well do members register what they announce?
+    let a4 = compute_action4(&world.ihr);
+    let mut member_conf = 0usize;
+    let mut member_total = 0usize;
+    for asn in &members {
+        member_total += 1;
+        if action4_verdict(a4.get(asn), ConformanceThreshold::Isp).is_conformant() {
+            member_conf += 1;
+        }
+    }
+    println!("== Action 4 (register your announcements) ==");
+    println!(
+        "conformant members:   {member_conf}/{member_total} ({:.1}%)",
+        member_conf as f64 / member_total.max(1) as f64 * 100.0
+    );
+
+    // Action 1: do members filter their customers?
+    let a1 = compute_action1(&world.ihr);
+    let mut filter_conf = 0usize;
+    for asn in &members {
+        if action1_verdict(a1.get(asn)).is_conformant() {
+            filter_conf += 1;
+        }
+    }
+    println!();
+    println!("== Action 1 (filter your customers) ==");
+    println!(
+        "conformant members:   {filter_conf}/{member_total} ({:.1}%)",
+        filter_conf as f64 / member_total.max(1) as f64 * 100.0
+    );
+
+    // Impact: RPKI saturation and transit preference.
+    let sat = rpki_saturation(&world.observed_table, &members, &world.vrps, date);
+    println!();
+    println!("== Impact ==");
+    println!("RPKI saturation:      MANRS {:.1}%  vs  non-MANRS {:.1}%", sat.manrs_pct, sat.non_manrs_pct);
+
+    let scores = preference_scores(&world.ihr, &members);
+    let by_status = |status: fn(&RpkiStatus) -> bool| -> Vec<_> {
+        scores.iter().filter(|s| status(&s.rpki)).copied().collect()
+    };
+    let mean = |v: &[manrs_ecosystem::core::PreferenceScore]| {
+        v.iter().map(|s| s.score).sum::<f64>() / v.len().max(1) as f64
+    };
+    let valid = by_status(|s| *s == RpkiStatus::Valid);
+    let invalid = by_status(|s| s.is_invalid());
+    println!(
+        "MANRS preference:     RPKI-Valid routes {:+.2} mean score ({} pairs), RPKI-Invalid {:+.2} ({} pairs)",
+        mean(&valid),
+        valid.len(),
+        mean(&invalid),
+        invalid.len()
+    );
+    println!();
+    println!("A lower preference score for Invalid routes means MANRS transits");
+    println!("carry proportionally less invalid traffic — they filter better.");
+    println!("(On a world this small the Invalid sample is tiny; run");
+    println!(" `cargo run --release --example ecosystem_report` for the full picture.)");
+}

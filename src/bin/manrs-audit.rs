@@ -1,0 +1,129 @@
+//! `manrs-audit` — file-driven conformance auditing.
+//!
+//! The paper's §12 promises to "make our analysis code available to
+//! network operators to help them monitor their state of routing
+//! security and to non-MANRS networks for checking if they meet the
+//! requirements to join MANRS". This binary is that tool, operating on
+//! dataset files in the same shapes the original pipeline consumed:
+//!
+//! ```sh
+//! # Write a seeded world's datasets to a directory:
+//! manrs-audit generate <dir> [seed]
+//!
+//! # Audit one AS against those files:
+//! manrs-audit audit <dir> <asn>
+//! ```
+//!
+//! `<dir>` holds: `rib.dump` (TABLE_DUMP2 text), `vrps.csv` (validated
+//! ROAs), `irr.db` (RPSL), `as-rel.txt` and `as2org.txt` (CAIDA shapes).
+
+use manrs_ecosystem::bgp::{parse_table_dump, write_table_dump};
+use manrs_ecosystem::core::{ConformanceThreshold, MemberReport};
+use manrs_ecosystem::irr::{rpsl, IrrDatabase, IrrRegistry, RpslObject};
+use manrs_ecosystem::prelude::*;
+use manrs_ecosystem::rpki::{parse_vrps_csv, write_vrps_csv};
+use manrs_ecosystem::topology::datasets;
+use manrs_ecosystem::topology::{AsInfo, NetworkKind};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") if args.len() >= 2 => {
+            let seed = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+            generate(Path::new(&args[1]), seed)
+        }
+        Some("audit") if args.len() == 3 => audit(Path::new(&args[1]), &args[2]),
+        _ => {
+            eprintln!("usage: manrs-audit generate <dir> [seed]");
+            eprintln!("       manrs-audit audit <dir> <asn>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn generate(dir: &Path, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    eprintln!("building world (seed {seed}) ...");
+    let world = ScenarioWorld::build(ScenarioConfig::small(seed));
+    std::fs::write(dir.join("rib.dump"), write_table_dump(&world.rib, 1_651_363_200))?;
+    let vrps: Vec<Vrp> = world.vrps.iter().into_iter().copied().collect();
+    std::fs::write(dir.join("vrps.csv"), write_vrps_csv(&vrps))?;
+    // Flatten every IRR database into one RPSL file (sources preserved
+    // in each object's `source:` attribute).
+    let mut objects: Vec<RpslObject> = Vec::new();
+    for db in world.irr.databases() {
+        objects.extend(db.routes().into_iter().cloned().map(RpslObject::Route));
+        for asn in world.world.topology.asns() {
+            if let Some(a) = db.aut_num(asn) {
+                objects.push(RpslObject::AutNum(a.clone()));
+            }
+        }
+    }
+    std::fs::write(dir.join("irr.db"), rpsl::serialize_file(&objects))?;
+    std::fs::write(dir.join("as-rel.txt"), datasets::write_as_rel(&world.world.topology))?;
+    std::fs::write(
+        dir.join("as2org.txt"),
+        datasets::write_as2org(&world.world.topology, &world.world.orgs),
+    )?;
+    let members: Vec<String> = world
+        .member_asns()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    std::fs::write(dir.join("manrs-members.txt"), members.join("\n") + "\n")?;
+    eprintln!(
+        "wrote rib.dump ({} paths), vrps.csv ({}), irr.db ({} objects), as-rel.txt, as2org.txt, manrs-members.txt",
+        world.rib.visible().map(|o| o.paths.len()).sum::<usize>(),
+        vrps.len(),
+        objects.len()
+    );
+    Ok(())
+}
+
+fn audit(dir: &Path, asn_arg: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let asn: Asn = asn_arg.parse()?;
+    // Load registries.
+    let vrp_list = parse_vrps_csv(&std::fs::read_to_string(dir.join("vrps.csv"))?)?;
+    let vrps: VrpSet = vrp_list.into_iter().collect();
+    let mut db = IrrDatabase::new("FILE", None);
+    for obj in rpsl::parse_file(&std::fs::read_to_string(dir.join("irr.db"))?)? {
+        db.add(obj);
+    }
+    let mut irr = IrrRegistry::new();
+    irr.add_database(db);
+    // Load the topology (for customer relationships in the IHR build).
+    let (cp, pp) = datasets::parse_as_rel(&std::fs::read_to_string(dir.join("as-rel.txt"))?)?;
+    let (infos, _orgs) =
+        datasets::parse_as2org(&std::fs::read_to_string(dir.join("as2org.txt"))?)?;
+    let mut topology = AsTopology::new();
+    for info in infos {
+        topology.add_as(AsInfo { kind: NetworkKind::Stub, ..info });
+    }
+    for (p, c) in cp {
+        topology.add_provider_customer(p, c);
+    }
+    for (a, b) in pp {
+        topology.add_peer(a, b);
+    }
+    // Load and revalidate the RIB, then build the IHR view.
+    let rib = parse_table_dump(&std::fs::read_to_string(dir.join("rib.dump"))?, &vrps, &irr)?;
+    let ihr = build_snapshot(&rib, &topology);
+    let report = MemberReport::build(
+        asn,
+        Date::ymd(2022, 5, 1),
+        &ihr,
+        ConformanceThreshold::Isp,
+        None,
+    );
+    print!("{}", report.render());
+    Ok(())
+}

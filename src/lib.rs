@@ -1,0 +1,72 @@
+//! # manrs-ecosystem
+//!
+//! A full reproduction of *Mind Your MANRS: Measuring the MANRS
+//! Ecosystem* (IMC '22) as a Rust library: the measurement pipeline, the
+//! registries and routing substrates it runs on, and a calibrated
+//! synthetic Internet to run it against.
+//!
+//! This facade re-exports every subsystem under one roof:
+//!
+//! | module | crate | role |
+//! |--------|-------|------|
+//! | [`net`] | `manrs-net` | prefixes, ASNs, tries, address-space accounting |
+//! | [`rpki`] | `manrs-rpki` | ROAs, relying party, RFC 6811 validation |
+//! | [`irr`] | `manrs-irr` | RPSL objects, IRR databases, IRR validity |
+//! | [`topology`] | `manrs-topology` | AS graph, cones, CAIDA-shaped datasets |
+//! | [`bgp`] | `manrs-bgp` | Gao–Rexford propagation, filtering, collectors |
+//! | [`ihr`] | `manrs-ihr` | prefix-origin/transit datasets, AS hegemony |
+//! | [`core`] | `manrs-core` | the paper's analyses (participation, Action 1/4, impact) |
+//! | [`scenario`] | `manrs-scenario` | calibrated world generation and timelines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use manrs_ecosystem::prelude::*;
+//!
+//! // Build a small seeded world and measure Action 4 conformance.
+//! let world = ScenarioWorld::build(ScenarioConfig::small(42));
+//! let metrics = compute_action4(&world.ihr);
+//! let members = world.member_asns();
+//! let conformant = members
+//!     .iter()
+//!     .filter(|asn| {
+//!         action4_verdict(metrics.get(asn), ConformanceThreshold::Isp).is_conformant()
+//!     })
+//!     .count();
+//! assert!(conformant > 0);
+//! ```
+//!
+//! See `examples/` for complete scenarios and `crates/bench` for the
+//! binaries that regenerate every table and figure of the paper.
+
+pub use manrs_bgp as bgp;
+pub use manrs_core as core;
+pub use manrs_ihr as ihr;
+pub use manrs_irr as irr;
+pub use manrs_net as net;
+pub use manrs_rpki as rpki;
+pub use manrs_scenario as scenario;
+pub use manrs_topology as topology;
+
+/// The commonly-used names in one import.
+pub mod prelude {
+    pub use manrs_bgp::{
+        collect_table, Announcement, CollectedRib, FilteringPolicy, Hijack, HijackKind,
+        PolicyTable,
+    };
+    pub use manrs_core::{
+        action1_verdict, action4_verdict, attribute_mismatches, compute_action1,
+        compute_action4, conformance_histories, fraction_preferring_manrs,
+        preference_scores, rpki_saturation, stability_summary, Action1Metrics,
+        Action1Verdict, Action4Metrics, Action4Verdict, ConformanceThreshold, Ecdf,
+        ManrsProgram, ManrsRegistry, MemberRecord, ParticipationAnalysis, StabilityClass,
+    };
+    pub use manrs_ihr::{build_snapshot, hegemony_scores, IhrSnapshot};
+    pub use manrs_irr::{validate_irr, IrrDatabase, IrrRegistry, IrrStatus, RouteObject};
+    pub use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
+    pub use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};
+    pub use manrs_scenario::{
+        weekly_snapshots, BehaviorMatrix, ScenarioConfig, ScenarioWorld,
+    };
+    pub use manrs_topology::{AsTopology, ConeAnalysis, Prefix2As, SizeClass, SizeThresholds};
+}

@@ -1,0 +1,103 @@
+//! The on-disk round trip: a built world serialized through every
+//! dataset format (RIB dump, VRP CSV, RPSL, as-rel, as2org), parsed
+//! back, and analyzed — the conformance verdicts must be identical to
+//! the in-memory pipeline's. This is the path the `manrs-audit` CLI
+//! drives.
+
+use manrs_ecosystem::bgp::{parse_table_dump, write_table_dump};
+use manrs_ecosystem::irr::{rpsl, IrrDatabase, IrrRegistry, RpslObject};
+use manrs_ecosystem::prelude::*;
+use manrs_ecosystem::rpki::{parse_vrps_csv, write_vrps_csv};
+use manrs_ecosystem::topology::{datasets, AsInfo, NetworkKind};
+use std::sync::OnceLock;
+
+fn world() -> &'static ScenarioWorld {
+    static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
+    WORLD.get_or_init(|| ScenarioWorld::build(ScenarioConfig::small(6)))
+}
+
+/// Serializes and reparses every dataset, rebuilding the analysis inputs.
+fn round_trip() -> (manrs_ecosystem::ihr::IhrSnapshot, VrpSet, IrrRegistry) {
+    let w = world();
+    // RPKI: VRP set → CSV → VRP set.
+    let vrp_list: Vec<Vrp> = w.vrps.iter().into_iter().copied().collect();
+    let vrps: VrpSet = parse_vrps_csv(&write_vrps_csv(&vrp_list))
+        .expect("own CSV parses")
+        .into_iter()
+        .collect();
+    // IRR: all route objects → RPSL text → one database.
+    let mut objects: Vec<RpslObject> = Vec::new();
+    for db in w.irr.databases() {
+        objects.extend(db.routes().into_iter().cloned().map(RpslObject::Route));
+    }
+    let text = rpsl::serialize_file(&objects);
+    let mut db = IrrDatabase::new("FILE", None);
+    for obj in rpsl::parse_file(&text).expect("own RPSL parses") {
+        db.add(obj);
+    }
+    let mut irr = IrrRegistry::new();
+    irr.add_database(db);
+    // Topology: as-rel + as2org.
+    let (cp, pp) = datasets::parse_as_rel(&datasets::write_as_rel(&w.world.topology))
+        .expect("own as-rel parses");
+    let (infos, _) =
+        datasets::parse_as2org(&datasets::write_as2org(&w.world.topology, &w.world.orgs))
+            .expect("own as2org parses");
+    let mut topology = AsTopology::new();
+    for info in infos {
+        topology.add_as(AsInfo { kind: NetworkKind::Stub, ..info });
+    }
+    for (p, c) in cp {
+        topology.add_provider_customer(p, c);
+    }
+    for (a, b) in pp {
+        topology.add_peer(a, b);
+    }
+    // RIB: dump text → parsed, revalidated against the reparsed registries.
+    let dump = write_table_dump(&w.rib, 0);
+    let rib = parse_table_dump(&dump, &vrps, &irr).expect("own dump parses");
+    let ihr = build_snapshot(&rib, &topology);
+    (ihr, vrps, irr)
+}
+
+#[test]
+fn statuses_survive_the_file_round_trip() {
+    let w = world();
+    let (ihr, vrps, irr) = round_trip();
+    // Same visible set.
+    assert_eq!(ihr.prefix_origins.len(), w.rib.visible_count());
+    // Every revalidated status matches the in-memory one.
+    for obs in w.rib.visible() {
+        assert_eq!(validate_origin(&vrps, &obs.prefix, obs.origin), obs.rpki);
+        assert_eq!(validate_irr(&irr, &obs.prefix, obs.origin), obs.irr);
+    }
+}
+
+#[test]
+fn action4_verdicts_identical_after_round_trip() {
+    let w = world();
+    let (ihr, ..) = round_trip();
+    let direct = compute_action4(&w.ihr);
+    let via_files = compute_action4(&ihr);
+    for asn in w.member_asns() {
+        let a = action4_verdict(direct.get(&asn), ConformanceThreshold::Isp);
+        let b = action4_verdict(via_files.get(&asn), ConformanceThreshold::Isp);
+        assert_eq!(a, b, "{asn} verdict changed through the file round trip");
+    }
+}
+
+#[test]
+fn action1_metrics_identical_after_round_trip() {
+    let w = world();
+    let (ihr, ..) = round_trip();
+    let direct = compute_action1(&w.ihr);
+    let via_files = compute_action1(&ihr);
+    assert_eq!(direct.len(), via_files.len());
+    for (asn, m) in &direct {
+        let f = via_files.get(asn).expect("transit AS survives round trip");
+        assert_eq!(m.propagated, f.propagated);
+        assert_eq!(m.rpki_invalid, f.rpki_invalid);
+        assert_eq!(m.customer_propagated, f.customer_propagated);
+        assert_eq!(m.customer_unconformant, f.customer_unconformant);
+    }
+}

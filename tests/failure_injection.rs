@@ -1,0 +1,163 @@
+//! Failure injection: hijacks, registry corruption, vantage loss. The
+//! pipeline must degrade the way the paper's §11 limitations describe —
+//! never panic, and never hallucinate visibility it does not have.
+
+use manrs_ecosystem::prelude::*;
+use manrs_ecosystem::bgp::collect_table as collect;
+use std::sync::OnceLock;
+
+fn world() -> &'static ScenarioWorld {
+    static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
+    WORLD.get_or_init(|| ScenarioWorld::build(ScenarioConfig::small(3)))
+}
+
+/// A more-specific hijack against a ROA-protected victim is RPKI Invalid
+/// and reaches fewer ASes than the same hijack against an unprotected
+/// victim, because deployed ROV filters it.
+#[test]
+fn rov_contains_hijacks_of_signed_prefixes() {
+    let w = world();
+    // Pick a victim whose announcement is RPKI Valid and one NotFound.
+    let signed = w
+        .announcements
+        .iter()
+        .find(|a| a.rpki == RpkiStatus::Valid && a.prefix.len() < 24)
+        .expect("signed victim exists");
+    let unsigned = w
+        .announcements
+        .iter()
+        .find(|a| a.rpki == RpkiStatus::NotFound && a.irr == IrrStatus::NotFound && a.prefix.len() < 24)
+        .expect("unsigned victim exists");
+    let attacker = *w.vantages.last().expect("vantages exist");
+
+    let run = |victim: &Announcement| {
+        let hijack = Hijack {
+            victim_prefix: victim.prefix,
+            attacker,
+            kind: HijackKind::ExactPrefix,
+        };
+        let ann = hijack.announcement(&w.vrps, &w.irr);
+        let rib = collect(
+            &w.world.topology,
+            &w.policies,
+            &[ann],
+            &w.vantages,
+        );
+        (ann, rib.observations[0].paths.len())
+    };
+
+    let (signed_ann, signed_seen) = run(signed);
+    let (unsigned_ann, unsigned_seen) = run(unsigned);
+    assert_eq!(signed_ann.rpki, RpkiStatus::InvalidAsn, "hijack of signed space is Invalid");
+    assert_eq!(unsigned_ann.rpki, RpkiStatus::NotFound, "hijack of unsigned space is NotFound");
+    assert!(
+        signed_seen <= unsigned_seen,
+        "ROV must not make the signed hijack MORE visible ({signed_seen} vs {unsigned_seen})"
+    );
+}
+
+/// Removing vantage points only ever shrinks visibility (§11: limited
+/// routing table visibility).
+#[test]
+fn fewer_vantages_never_increase_visibility() {
+    let w = world();
+    let full = w.rib.visible_count();
+    let half: Vec<Asn> = w.vantages.iter().copied().take(w.vantages.len() / 2).collect();
+    let rib_half = collect(&w.world.topology, &w.policies, &w.announcements, &half);
+    assert!(rib_half.visible_count() <= full);
+    let rib_none = collect(&w.world.topology, &w.policies, &w.announcements, &[]);
+    assert_eq!(rib_none.visible_count(), 0);
+}
+
+/// Revoking every CA kills the VRP set; all announcements become RPKI
+/// NotFound and conformance falls back to the IRR.
+#[test]
+fn revoking_all_cas_degrades_to_irr_only() {
+    let w = world();
+    let mut repo = w.repository.clone();
+    let ca_ids: Vec<_> = w
+        .repository
+        .roas()
+        .map(|r| r.ca)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for ca in ca_ids {
+        repo.revoke_ca(ca).unwrap();
+    }
+    let (vrps, report) = RelyingParty::new(Date::ymd(2022, 5, 1)).validate(&repo);
+    assert!(vrps.is_empty());
+    assert_eq!(report.accepted, 0);
+    for a in &w.announcements {
+        let status = validate_origin(&vrps, &a.prefix, a.origin);
+        assert_eq!(status, RpkiStatus::NotFound);
+    }
+}
+
+/// Corrupt RPSL text yields errors with line numbers, not panics, and
+/// parseable objects around unknown classes still load.
+#[test]
+fn corrupt_rpsl_is_an_error_not_a_panic() {
+    let bad_inputs = [
+        "route: 10.0.0.0/33\norigin: AS1\n",
+        "route: 10.0.0.0/8\n", // missing origin
+        "route: banana\norigin: AS1\n",
+        "   leading continuation\n",
+        "route: 10.0.0.0/8\norigin: ASnope\n",
+    ];
+    for text in bad_inputs {
+        assert!(manrs_ecosystem::irr::rpsl::parse_file(text).is_err(), "{text:?}");
+    }
+    // A file mixing unknown classes and a good object parses the good one.
+    let mixed = "person: Someone\naddress: nowhere\n\nroute: 10.0.0.0/8\norigin: AS1\n";
+    let objs = manrs_ecosystem::irr::rpsl::parse_file(mixed).unwrap();
+    assert_eq!(objs.len(), 1);
+}
+
+/// An announcement for space nobody holds (bogon) is NotFound in both
+/// registries and MANRS-unconformant only if... it is not: NotFound/
+/// NotFound is the grey zone. The pipeline must classify, not crash.
+#[test]
+fn bogon_announcements_are_grey_zone() {
+    let w = world();
+    let bogon: Prefix = "240.0.0.0/8".parse().unwrap();
+    let origin = Asn(64_499);
+    let rpki = validate_origin(&w.vrps, &bogon, origin);
+    let irr = validate_irr(&w.irr, &bogon, origin);
+    assert_eq!(rpki, RpkiStatus::NotFound);
+    assert_eq!(irr, IrrStatus::NotFound);
+    let ann = Announcement::new(bogon, origin, rpki, irr);
+    assert!(!ann.is_manrs_conformant());
+    assert!(!ann.is_manrs_unconformant());
+}
+
+/// AS0 ROAs make every announcement of the prefix Invalid — the §8.1
+/// Indonesian ISP case must be reproducible on demand.
+#[test]
+fn as0_roa_invalidates_the_holder() {
+    let w = world();
+    // Find an AS0 VRP if the calibrated world minted one; otherwise
+    // force the situation directly.
+    let mut vrps = VrpSet::new();
+    let victim: Prefix = "10.0.0.0/16".parse().unwrap();
+    vrps.insert(Vrp::new(victim, Asn::ZERO, 16));
+    assert_eq!(
+        validate_origin(&vrps, &victim, Asn(64_500)),
+        RpkiStatus::InvalidAsn
+    );
+    // And the world's own AS0 misconfigurations, if any, behave the same.
+    let as0_roas = w
+        .repository
+        .roas()
+        .filter(|r| r.roa.asn.is_zero() && !r.revoked)
+        .count();
+    if as0_roas > 0 {
+        let any_as0 = w
+            .repository
+            .roas()
+            .find(|r| r.roa.asn.is_zero() && !r.revoked)
+            .unwrap();
+        let status = validate_origin(&w.vrps, &any_as0.roa.prefix, Asn(64_500));
+        assert!(matches!(status, RpkiStatus::InvalidAsn | RpkiStatus::NotFound));
+    }
+}

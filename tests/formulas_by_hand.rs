@@ -1,0 +1,175 @@
+//! End-to-end verification of the paper's formulas on a hand-built
+//! world small enough to compute by hand, plus behaviour-bracket tests
+//! (all-perfect and all-negligent operator populations).
+
+use manrs_ecosystem::prelude::*;
+use manrs_ecosystem::scenario::{BehaviorMatrix, BehaviorModel};
+
+/// Hand-built world:
+///
+/// ```text
+///      AS1 ──────── AS2     (peers; both vantages)
+///       │            │
+///      AS3          AS4     (customers of 1 / 2)
+///      /  \          │
+///   AS5    AS6      (AS4 originates p4)
+/// ```
+///
+/// * AS5 originates p5a (RPKI Valid) and p5b (RPKI Invalid, IRR Invalid).
+/// * AS6 originates p6 (IRR Valid only).
+/// * AS4 originates p4 (nothing registered).
+fn build() -> (AsTopology, Vec<Announcement>, Vec<Asn>) {
+    let mut t = AsTopology::new();
+    for asn in 1..=6 {
+        t.add_as(manrs_ecosystem::topology::AsInfo {
+            asn: Asn(asn),
+            org: manrs_ecosystem::topology::OrgId(asn),
+            rir: Rir::Arin,
+            country: "US".into(),
+            kind: manrs_ecosystem::topology::NetworkKind::Transit,
+        });
+    }
+    t.add_peer(Asn(1), Asn(2));
+    t.add_provider_customer(Asn(1), Asn(3));
+    t.add_provider_customer(Asn(2), Asn(4));
+    t.add_provider_customer(Asn(3), Asn(5));
+    t.add_provider_customer(Asn(3), Asn(6));
+    let anns = vec![
+        Announcement::new("10.5.0.0/16".parse().unwrap(), Asn(5), RpkiStatus::Valid, IrrStatus::Valid),
+        Announcement::new("10.55.0.0/16".parse().unwrap(), Asn(5), RpkiStatus::InvalidAsn, IrrStatus::InvalidAsn),
+        Announcement::new("10.6.0.0/16".parse().unwrap(), Asn(6), RpkiStatus::NotFound, IrrStatus::Valid),
+        Announcement::new("10.4.0.0/16".parse().unwrap(), Asn(4), RpkiStatus::NotFound, IrrStatus::NotFound),
+    ];
+    (t, anns, vec![Asn(1), Asn(2)])
+}
+
+fn snapshot() -> manrs_ecosystem::ihr::IhrSnapshot {
+    let (t, anns, vantages) = build();
+    let rib = collect_table(&t, &PolicyTable::default(), &anns, &vantages);
+    build_snapshot(&rib, &t)
+}
+
+#[test]
+fn formula_1_2_3_by_hand() {
+    let ihr = snapshot();
+    let a4 = compute_action4(&ihr);
+    // AS5: 2 prefixes, 1 RPKI valid, 1 IRR valid, 1 conformant.
+    let m5 = &a4[&Asn(5)];
+    assert_eq!(m5.originated, 2);
+    assert_eq!(m5.og_rpki_valid_pct(), 50.0); // Formula 1
+    assert_eq!(m5.og_irr_valid_pct(), 50.0); // Formula 2
+    assert_eq!(m5.og_conformant_pct(), 50.0); // Formula 3
+    // AS6: 1 prefix, IRR valid → conformant without RPKI.
+    let m6 = &a4[&Asn(6)];
+    assert_eq!(m6.og_rpki_valid_pct(), 0.0);
+    assert_eq!(m6.og_conformant_pct(), 100.0);
+    assert!(m6.irr_only());
+    // AS4: grey zone — neither conformant nor RPKI valid.
+    let m4 = &a4[&Asn(4)];
+    assert_eq!(m4.og_conformant_pct(), 0.0);
+    // Verdicts at the ISP bar.
+    assert_eq!(
+        action4_verdict(Some(m5), ConformanceThreshold::Isp),
+        Action4Verdict::Unconformant
+    );
+    assert_eq!(
+        action4_verdict(Some(m6), ConformanceThreshold::Cdn),
+        Action4Verdict::Conformant
+    );
+}
+
+#[test]
+fn formula_4_5_6_by_hand() {
+    let ihr = snapshot();
+    let a1 = compute_action1(&ihr);
+    // AS3 transits everything AS5 and AS6 announce: 3 prefixes, one
+    // RPKI-Invalid, one IRR-Invalid (same prefix), all from customers.
+    let m3 = &a1[&Asn(3)];
+    assert_eq!(m3.propagated, 3);
+    assert!((m3.pg_rpki_invalid_pct() - 100.0 / 3.0).abs() < 1e-9); // Formula 4
+    assert!((m3.pg_irr_invalid_pct() - 100.0 / 3.0).abs() < 1e-9); // Formula 5
+    assert_eq!(m3.customer_propagated, 3);
+    assert_eq!(m3.customer_unconformant, 1);
+    assert!((m3.pg_unconformant_pct() - 100.0 / 3.0).abs() < 1e-9); // Formula 6
+    assert_eq!(action1_verdict(Some(m3)), Action1Verdict::Unconformant);
+    // AS1 also carries them (customer side via AS3).
+    let m1 = &a1[&Asn(1)];
+    assert_eq!(m1.customer_propagated, 3);
+    // AS2 carries AS4's prefix from its customer, and AS5/AS6's prefixes
+    // from its *peer* AS1 — peer-learned pairs don't count in Formula 6.
+    let m2 = &a1[&Asn(2)];
+    assert_eq!(m2.customer_propagated, 1);
+    assert_eq!(m2.customer_unconformant, 0);
+    assert_eq!(action1_verdict(Some(m2)), Action1Verdict::Conformant);
+    // AS5/AS6 are origins only: no transit rows at all.
+    assert!(!a1.contains_key(&Asn(5)));
+}
+
+#[test]
+fn equation_9_by_hand() {
+    let ihr = snapshot();
+    // MANRS = {AS1, AS3}.
+    let members: std::collections::BTreeSet<Asn> = [Asn(1), Asn(3)].into();
+    let scores = preference_scores(&ihr, &members);
+    // p5a (valid): paths [1,3,5] and [2,1,3,5]. With 2 viewpoints:
+    // hegemony 1 = 2/2, 3 = 2/2 (members), 2 = 1/2 (non-member).
+    // Score = (1 + 1) − 0.5 = 1.5.
+    let valid = scores
+        .iter()
+        .find(|s| s.rpki == RpkiStatus::Valid)
+        .expect("valid pair present");
+    assert!((valid.score - 1.5).abs() < 1e-9);
+    // p4: paths [2,4] and [1,2,4]: hegemony 2 = 1, 1 = 0.5 (member),
+    // 4 is origin. Score = 0.5 − 1.0 = −0.5.
+    let p4 = scores
+        .iter()
+        .find(|s| s.origin == Asn(4))
+        .expect("AS4 pair present");
+    assert!((p4.score + 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn behaviour_brackets() {
+    // All-perfect world: everyone registers correctly and filters.
+    let mut cfg = ScenarioConfig::small(30);
+    let perfect = BehaviorMatrix {
+        manrs: [BehaviorModel::PERFECT; 3],
+        non_manrs: [BehaviorModel::PERFECT; 3],
+        manrs_cdn: BehaviorModel::PERFECT,
+    };
+    cfg.behaviors = perfect;
+    // Disable mis-origination noise.
+    cfg.perturbations.sibling_misorigin = 0.0;
+    cfg.perturbations.neighbor_misorigin = 0.0;
+    cfg.perturbations.unrelated_misorigin = 0.0;
+    cfg.perturbations.as0_misconfiguration = 0.0;
+    let world = ScenarioWorld::build(cfg);
+    let metrics = compute_action4(&world.ihr);
+    for (asn, m) in &metrics {
+        assert_eq!(
+            m.og_conformant_pct(),
+            100.0,
+            "{asn} unconformant in a perfect world"
+        );
+        assert!(m.rpki_invalid == 0, "{asn} originates invalid in a perfect world");
+    }
+    let a1 = compute_action1(&world.ihr);
+    for (asn, m) in &a1 {
+        assert_eq!(m.customer_unconformant, 0, "{asn} leaks in a perfect world");
+    }
+
+    // All-negligent world: nothing is registered anywhere.
+    let mut cfg = ScenarioConfig::small(31);
+    cfg.behaviors = BehaviorMatrix {
+        manrs: [BehaviorModel::NEGLIGENT; 3],
+        non_manrs: [BehaviorModel::NEGLIGENT; 3],
+        manrs_cdn: BehaviorModel::NEGLIGENT,
+    };
+    let world = ScenarioWorld::build(cfg);
+    assert!(world.vrps.is_empty());
+    assert_eq!(world.irr.route_count(), 0);
+    for po in &world.ihr.prefix_origins {
+        assert_eq!(po.rpki, RpkiStatus::NotFound);
+        assert_eq!(po.irr, IrrStatus::NotFound);
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end pipeline invariants on a seeded world.
+
+use manrs_ecosystem::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static ScenarioWorld {
+    static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
+    WORLD.get_or_init(|| ScenarioWorld::build(ScenarioConfig::small(1)))
+}
+
+#[test]
+fn deterministic_rebuild() {
+    let again = ScenarioWorld::build(ScenarioConfig::small(1));
+    let w = world();
+    assert_eq!(w.announcements, again.announcements);
+    assert_eq!(w.ihr.prefix_origins.len(), again.ihr.prefix_origins.len());
+    assert_eq!(w.ihr.transits.len(), again.ihr.transits.len());
+    assert_eq!(w.observed_table.entries(), again.observed_table.entries());
+}
+
+#[test]
+fn observations_match_announcements() {
+    let w = world();
+    assert_eq!(w.rib.observations.len(), w.announcements.len());
+    for (obs, ann) in w.rib.observations.iter().zip(&w.announcements) {
+        assert_eq!(obs.prefix, ann.prefix);
+        assert_eq!(obs.origin, ann.origin);
+        assert_eq!(obs.rpki, ann.rpki);
+        assert_eq!(obs.irr, ann.irr);
+    }
+}
+
+#[test]
+fn every_path_runs_vantage_to_origin() {
+    let w = world();
+    for obs in w.rib.visible() {
+        for path in &obs.paths {
+            assert_eq!(*path.last().unwrap(), obs.origin);
+            assert!(w.vantages.contains(path.first().unwrap()));
+            // Paths are simple.
+            let mut sorted = path.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), path.len());
+        }
+    }
+}
+
+#[test]
+fn ihr_datasets_are_consistent_with_rib() {
+    let w = world();
+    assert_eq!(w.ihr.prefix_origins.len(), w.rib.visible_count());
+    // Every transit row's AS appears on at least one of that
+    // observation's paths and is never the origin.
+    for t in &w.ihr.transits {
+        assert_ne!(t.transit, t.origin);
+        assert!(t.hegemony > 0.0 && t.hegemony <= 1.0);
+        let obs = w
+            .rib
+            .observations
+            .iter()
+            .find(|o| o.prefix == t.prefix && o.origin == t.origin)
+            .expect("transit row corresponds to an observation");
+        assert!(obs.paths.iter().any(|p| p.contains(&t.transit)));
+    }
+}
+
+#[test]
+fn metrics_cover_exactly_the_observed_ases() {
+    let w = world();
+    let a4 = compute_action4(&w.ihr);
+    let origins: std::collections::BTreeSet<Asn> =
+        w.ihr.prefix_origins.iter().map(|po| po.origin).collect();
+    assert_eq!(a4.keys().copied().collect::<std::collections::BTreeSet<_>>(), origins);
+    let a1 = compute_action1(&w.ihr);
+    let transits: std::collections::BTreeSet<Asn> =
+        w.ihr.transits.iter().map(|t| t.transit).collect();
+    assert_eq!(a1.keys().copied().collect::<std::collections::BTreeSet<_>>(), transits);
+}
+
+#[test]
+fn percentages_are_bounded() {
+    let w = world();
+    for m in compute_action4(&w.ihr).values() {
+        for pct in [m.og_rpki_valid_pct(), m.og_irr_valid_pct(), m.og_conformant_pct()] {
+            assert!((0.0..=100.0).contains(&pct));
+        }
+        assert!(m.conformant <= m.originated);
+    }
+    for m in compute_action1(&w.ihr).values() {
+        for pct in [m.pg_rpki_invalid_pct(), m.pg_irr_invalid_pct(), m.pg_unconformant_pct()] {
+            assert!((0.0..=100.0).contains(&pct));
+        }
+        assert!(m.customer_propagated <= m.propagated);
+        assert!(m.customer_unconformant <= m.customer_propagated);
+    }
+}
+
+#[test]
+fn relying_party_accounting_holds() {
+    let w = world();
+    assert_eq!(
+        w.rp_report.accepted + w.rp_report.rejected_total(),
+        w.rp_report.examined
+    );
+    assert_eq!(w.rp_report.accepted, w.vrps.len());
+}
+
+#[test]
+fn both_address_families_flow_through_the_pipeline() {
+    use manrs_ecosystem::net::AddressFamily;
+    let w = world();
+    let v6_announced = w
+        .announcements
+        .iter()
+        .filter(|a| a.prefix.family() == AddressFamily::Ipv6)
+        .count();
+    assert!(v6_announced > 0, "dual-stack world must announce IPv6");
+    // v6 announcements are validated (some Valid exist), visible, and
+    // reach the analysis datasets.
+    assert!(w
+        .announcements
+        .iter()
+        .any(|a| a.prefix.family() == AddressFamily::Ipv6 && a.rpki == RpkiStatus::Valid));
+    assert!(w
+        .ihr
+        .prefix_origins
+        .iter()
+        .any(|po| po.prefix.family() == AddressFamily::Ipv6));
+    assert!(w
+        .ihr
+        .transits
+        .iter()
+        .any(|t| t.prefix.family() == AddressFamily::Ipv6));
+}
+
+#[test]
+fn member_sets_are_subsets_of_the_topology() {
+    let w = world();
+    for asn in w.member_asns() {
+        assert!(w.world.topology.contains(asn), "{asn} in MANRS but not in topology");
+    }
+    for asn in &w.truth_rov {
+        assert!(w.world.topology.contains(*asn));
+    }
+}

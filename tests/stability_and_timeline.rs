@@ -1,0 +1,109 @@
+//! Longitudinal behaviour: yearly growth series and weekly conformance
+//! stability (§7, §8.5, §8.6).
+
+use manrs_ecosystem::prelude::*;
+use manrs_ecosystem::scenario::timeline::{weekly_snapshots, yearly_snapshots};
+use std::sync::OnceLock;
+
+fn world() -> &'static ScenarioWorld {
+    static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
+    WORLD.get_or_init(|| ScenarioWorld::build(ScenarioConfig::small(4)))
+}
+
+#[test]
+fn growth_series_is_monotone() {
+    let w = world();
+    let dates: Vec<Date> = yearly_snapshots(w).iter().map(|s| s.date).collect();
+    let series = ParticipationAnalysis::growth_series(&w.manrs, &dates);
+    for pair in series.windows(2) {
+        assert!(pair[0].orgs <= pair[1].orgs);
+        assert!(pair[0].asns <= pair[1].asns);
+    }
+    let last = series.last().unwrap();
+    assert!(last.orgs > 0 && last.asns >= last.orgs);
+}
+
+#[test]
+fn saturation_series_rises_and_separates() {
+    let w = world();
+    let snaps = yearly_snapshots(w);
+    let mut points = Vec::new();
+    for snap in &snaps {
+        points.push(rpki_saturation(&snap.table, &snap.members, &snap.vrps, snap.date));
+    }
+    // Saturation rises over the years for both groups...
+    let first = points.first().unwrap();
+    let last = points.last().unwrap();
+    assert!(last.manrs_pct >= first.manrs_pct);
+    assert!(last.non_manrs_pct >= first.non_manrs_pct);
+    // ...and MANRS ends clearly ahead (Fig. 6's 58.2% vs 30.2% shape).
+    assert!(last.manrs_pct > last.non_manrs_pct);
+}
+
+#[test]
+fn brazil_wave_shows_in_lacnic_counts() {
+    let w = world();
+    let series = ParticipationAnalysis::by_rir_series(
+        &w.manrs,
+        &w.world.topology,
+        &[Date::ymd(2020, 1, 1), Date::ymd(2021, 1, 1)],
+    );
+    let before = series[0].1.get(&Rir::Lacnic).copied().unwrap_or(0);
+    let after = series[1].1.get(&Rir::Lacnic).copied().unwrap_or(0);
+    assert!(
+        after > before,
+        "the 2020 NIC.br wave must grow LACNIC membership ({before} -> {after})"
+    );
+}
+
+#[test]
+fn weekly_stability_mostly_stable() {
+    let w = world();
+    let snapshots = weekly_snapshots(w, 12, 0.004);
+    assert_eq!(snapshots.len(), 12);
+    let members: Vec<Asn> = w.member_asns().into_iter().collect();
+    let histories = conformance_histories(&snapshots, &members, ConformanceThreshold::Isp);
+    let summary = stability_summary(&histories);
+    let stable = summary.get(&StabilityClass::AlwaysConformant).copied().unwrap_or(0)
+        + summary.get(&StabilityClass::AlwaysUnconformant).copied().unwrap_or(0);
+    let fluctuating = summary.get(&StabilityClass::Fluctuating).copied().unwrap_or(0);
+    assert!(
+        stable > fluctuating * 3,
+        "most members stay put (stable {stable}, fluctuating {fluctuating})"
+    );
+}
+
+#[test]
+fn higher_churn_more_fluctuation() {
+    let w = world();
+    let members: Vec<Asn> = w.member_asns().into_iter().collect();
+    let count_fluct = |churn: f64| {
+        let snaps = weekly_snapshots(w, 8, churn);
+        let hist = conformance_histories(&snaps, &members, ConformanceThreshold::Isp);
+        stability_summary(&hist)
+            .get(&StabilityClass::Fluctuating)
+            .copied()
+            .unwrap_or(0)
+    };
+    assert!(count_fluct(0.0) == 0);
+    assert!(count_fluct(0.05) >= count_fluct(0.0));
+}
+
+#[test]
+fn registration_completeness_in_credible_band() {
+    let w = world();
+    let c = ParticipationAnalysis::registration_completeness(
+        &w.manrs,
+        &w.world.orgs,
+        &w.observed_table,
+        Date::ymd(2022, 5, 1),
+    );
+    assert!(c.total() > 0);
+    let full = c.fully_registered() as f64 / c.total() as f64;
+    // The paper: 70% fully registered, 82% all space via registered.
+    assert!(
+        (0.4..=1.0).contains(&full),
+        "fully-registered fraction {full:.2} implausible"
+    );
+    assert!(c.all_space_via_registered() >= c.fully_registered());
+}
