@@ -2,8 +2,10 @@
 //! whole-table collection.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use manrs_bgp::propagate::{propagate_dense, DenseGraph};
-use manrs_bgp::{collect_table, PolicyTable};
+use manrs_bgp::propagate::{
+    propagate_dense, propagate_dense_into, DenseGraph, PropagationScratch,
+};
+use manrs_bgp::{collect_table_with, ParallelConfig, PolicyTable};
 use manrs_scenario::{ScenarioConfig, ScenarioWorld};
 use manrs_topology::{GeneratorConfig, TopologyBuilder};
 use std::hint::black_box;
@@ -30,8 +32,17 @@ fn bench_single_propagation(c: &mut Criterion) {
             manrs_irr::IrrStatus::NotFound,
         );
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("fresh", n), &n, |b, _| {
             b.iter(|| black_box(propagate_dense(&graph, &ann)))
+        });
+        // Same propagation with a reused scratch: the steady-state,
+        // allocation-free path.
+        let mut scratch = PropagationScratch::with_capacity(graph.len());
+        group.bench_with_input(BenchmarkId::new("scratch_reuse", n), &n, |b, _| {
+            b.iter(|| {
+                propagate_dense_into(&graph, &ann, &mut scratch);
+                black_box(scratch.reached())
+            })
         });
     }
     group.finish();
@@ -43,14 +54,29 @@ fn bench_whole_table(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(world.announcements.len() as u64));
     group.bench_function(
-        BenchmarkId::new("memoized", world.announcements.len()),
+        BenchmarkId::new("serial", world.announcements.len()),
         |b| {
             b.iter(|| {
-                black_box(collect_table(
+                black_box(collect_table_with(
                     &world.world.topology,
                     &world.policies,
                     &world.announcements,
                     &world.vantages,
+                    &ParallelConfig::serial(),
+                ))
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("parallel", world.announcements.len()),
+        |b| {
+            b.iter(|| {
+                black_box(collect_table_with(
+                    &world.world.topology,
+                    &world.policies,
+                    &world.announcements,
+                    &world.vantages,
+                    &ParallelConfig::auto(),
                 ))
             })
         },

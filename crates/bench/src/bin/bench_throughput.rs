@@ -1,0 +1,180 @@
+//! Machine-readable throughput benchmark for the parallel pipeline.
+//!
+//! Times the two stages the tentpole parallelized — whole-table
+//! collection and per-announcement registry validation — serial versus
+//! parallel, verifies the outputs are identical, and writes the
+//! measurements to `BENCH_propagation.json` (elements/sec, wall time,
+//! thread count, speedup) so regressions are diffable across commits.
+//!
+//! Scales covered: Small and Medium (`paper` scale is opt-in through
+//! the ordinary `MANRS_SCALE` binaries; this file is meant to stay
+//! cheap enough for CI).
+
+use manrs_bench::{Scale, HARNESS_SEED};
+use manrs_bgp::{collect_table_with, par_map, ParallelConfig};
+use manrs_irr::validate_irr;
+use manrs_rpki::validate_origin;
+use manrs_scenario::ScenarioWorld;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    scale: &'static str,
+    stage: &'static str,
+    elements: usize,
+    serial_secs: f64,
+    parallel_secs: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.serial_secs / self.parallel_secs.max(1e-12)
+    }
+
+    fn parallel_eps(&self) -> f64 {
+        self.elements as f64 / self.parallel_secs.max(1e-12)
+    }
+
+    fn serial_eps(&self) -> f64 {
+        self.elements as f64 / self.serial_secs.max(1e-12)
+    }
+}
+
+/// Best-of-`reps` wall time for `f`.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn measure_scale(
+    scale: Scale,
+    name: &'static str,
+    parallel: &ParallelConfig,
+    out: &mut Vec<Measurement>,
+) {
+    eprintln!("[{name}] building world ...");
+    let world = ScenarioWorld::build_with(scale.config(HARNESS_SEED), parallel);
+    let serial = ParallelConfig::serial();
+    let reps = match scale {
+        Scale::Small => 5,
+        _ => 3,
+    };
+
+    // Stage 1: whole-table collection.
+    let (t_serial, rib_serial) = time_best(reps, || {
+        collect_table_with(
+            &world.world.topology,
+            &world.policies,
+            &world.announcements,
+            &world.vantages,
+            &serial,
+        )
+    });
+    let (t_parallel, rib_parallel) = time_best(reps, || {
+        collect_table_with(
+            &world.world.topology,
+            &world.policies,
+            &world.announcements,
+            &world.vantages,
+            parallel,
+        )
+    });
+    assert_eq!(
+        rib_serial.observations, rib_parallel.observations,
+        "parallel collect_table diverged from serial"
+    );
+    assert_eq!(rib_serial.visible_count(), rib_parallel.visible_count());
+    out.push(Measurement {
+        scale: name,
+        stage: "collect_table",
+        elements: world.announcements.len(),
+        serial_secs: t_serial,
+        parallel_secs: t_parallel,
+    });
+
+    // Stage 2: snapshot re-validation of every (prefix, origin) against
+    // the world's RPKI and IRR registries.
+    let pairs: Vec<_> = world.announcements.iter().map(|a| (a.prefix, a.origin)).collect();
+    let (t_serial, v_serial) = time_best(reps, || {
+        par_map(&serial, &pairs, |(prefix, origin)| {
+            (validate_origin(&world.vrps, prefix, *origin), validate_irr(&world.irr, prefix, *origin))
+        })
+    });
+    let (t_parallel, v_parallel) = time_best(reps, || {
+        par_map(parallel, &pairs, |(prefix, origin)| {
+            (validate_origin(&world.vrps, prefix, *origin), validate_irr(&world.irr, prefix, *origin))
+        })
+    });
+    assert_eq!(v_serial, v_parallel, "parallel validation diverged from serial");
+    out.push(Measurement {
+        scale: name,
+        stage: "snapshot_validation",
+        elements: pairs.len(),
+        serial_secs: t_serial,
+        parallel_secs: t_parallel,
+    });
+}
+
+fn render_json(threads: usize, measurements: &[Measurement]) -> String {
+    // Hand-rendered JSON: every value is a number or a fixed-format
+    // string, and keeping serde_json out of the hot path keeps this
+    // binary dependency-light.
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    // Speedup is only meaningful when host_cpus >= threads; on a
+    // single-core host the parallel path can at best tie serial.
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    json.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"scale\": \"{}\",", m.scale);
+        let _ = writeln!(json, "      \"stage\": \"{}\",", m.stage);
+        let _ = writeln!(json, "      \"elements\": {},", m.elements);
+        let _ = writeln!(json, "      \"serial_secs\": {:.6},", m.serial_secs);
+        let _ = writeln!(json, "      \"parallel_secs\": {:.6},", m.parallel_secs);
+        let _ = writeln!(json, "      \"serial_elements_per_sec\": {:.1},", m.serial_eps());
+        let _ = writeln!(json, "      \"parallel_elements_per_sec\": {:.1},", m.parallel_eps());
+        let _ = writeln!(json, "      \"speedup\": {:.3}", m.speedup());
+        let _ = writeln!(json, "    }}{}", if i + 1 == measurements.len() { "" } else { "," });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    let parallel = ParallelConfig::from_env();
+    let threads = parallel.effective_threads(usize::MAX);
+    let mut measurements = Vec::new();
+    measure_scale(Scale::Small, "small", &parallel, &mut measurements);
+    measure_scale(Scale::Medium, "medium", &parallel, &mut measurements);
+
+    println!(
+        "{:<8} {:<20} {:>10} {:>12} {:>12} {:>14} {:>8}",
+        "scale", "stage", "elements", "serial s", "parallel s", "parallel el/s", "speedup"
+    );
+    for m in &measurements {
+        println!(
+            "{:<8} {:<20} {:>10} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x",
+            m.scale,
+            m.stage,
+            m.elements,
+            m.serial_secs,
+            m.parallel_secs,
+            m.parallel_eps(),
+            m.speedup()
+        );
+    }
+
+    let json = render_json(threads, &measurements);
+    let path = "BENCH_propagation.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    eprintln!("wrote {path} ({threads} threads)");
+}

@@ -322,7 +322,7 @@ pub fn finding8_conformance(world: &ScenarioWorld) -> ExperimentResult {
             .iter()
             .filter(|a| action4_verdict(metrics.get(a), threshold).is_conformant())
             .count();
-        let trivially = asns.iter().filter(|a| metrics.get(a).is_none()).count();
+        let trivially = asns.iter().filter(|a| !metrics.contains_key(a)).count();
         r.push(
             label,
             paper,

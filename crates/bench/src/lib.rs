@@ -13,6 +13,7 @@
 
 pub mod experiments;
 
+use manrs_bgp::ParallelConfig;
 use manrs_core::Ecdf;
 use manrs_scenario::{ScenarioConfig, ScenarioWorld};
 use serde::{Deserialize, Serialize};
@@ -51,17 +52,23 @@ impl Scale {
 /// The seed every experiment binary uses, so their worlds agree.
 pub const HARNESS_SEED: u64 = 20_220_501;
 
-/// Builds the world at the environment-selected scale, logging progress.
+/// Builds the world at the environment-selected scale, logging progress
+/// and throughput. Thread count comes from `MANRS_THREADS` (auto when
+/// unset); parallelism never changes the built world.
 pub fn build_world() -> ScenarioWorld {
     let scale = Scale::from_env();
-    eprintln!("building {scale:?} world (seed {HARNESS_SEED}) ...");
+    let par = ParallelConfig::from_env();
+    let threads = par.effective_threads(usize::MAX);
+    eprintln!("building {scale:?} world (seed {HARNESS_SEED}, {threads} threads) ...");
     let start = std::time::Instant::now();
-    let world = ScenarioWorld::build(scale.config(HARNESS_SEED));
+    let world = ScenarioWorld::build_with(scale.config(HARNESS_SEED), &par);
+    let elapsed = start.elapsed().as_secs_f64();
+    let announcements = world.announcements.len();
     eprintln!(
-        "world ready: {} ASes, {} announcements, {:.1}s",
+        "world ready: {} ASes, {announcements} announcements, {elapsed:.1}s \
+         ({:.0} announcements/s)",
         world.world.topology.len(),
-        world.announcements.len(),
-        start.elapsed().as_secs_f64()
+        announcements as f64 / elapsed.max(1e-9)
     );
     world
 }

@@ -49,17 +49,29 @@ pub struct CollectedRib {
     pub vantages: Vec<Asn>,
     /// All observations, visible or not (callers filter).
     pub observations: Vec<Observation>,
+    /// Visible-observation count, fixed at construction. Observations
+    /// are never mutated after a RIB is built, so the count is computed
+    /// once instead of on every [`CollectedRib::visible_count`] call.
+    #[serde(default)]
+    visible: usize,
 }
 
 impl CollectedRib {
+    /// Builds a RIB, counting visible observations once up front.
+    pub fn new(vantages: Vec<Asn>, observations: Vec<Observation>) -> Self {
+        let visible = observations.iter().filter(|o| o.is_visible()).count();
+        CollectedRib { vantages, observations, visible }
+    }
+
     /// Observations with at least one vantage path.
     pub fn visible(&self) -> impl Iterator<Item = &Observation> {
         self.observations.iter().filter(|o| o.is_visible())
     }
 
-    /// Number of visible (prefix, origin) pairs.
+    /// Number of visible (prefix, origin) pairs (cached at
+    /// construction).
     pub fn visible_count(&self) -> usize {
-        self.visible().count()
+        self.visible
     }
 }
 
@@ -143,13 +155,10 @@ mod tests {
         let t = topo();
         let a = ann();
         let (g, o) = propagate(&t, &PolicyTable::default(), &a);
-        let rib = CollectedRib {
-            vantages: vec![Asn(1), Asn(4)],
-            observations: vec![
-                observe(&g, &o, &a, &[Asn(1)]),
-                observe(&g, &o, &a, &[Asn(4)]),
-            ],
-        };
+        let rib = CollectedRib::new(
+            vec![Asn(1), Asn(4)],
+            vec![observe(&g, &o, &a, &[Asn(1)]), observe(&g, &o, &a, &[Asn(4)])],
+        );
         assert_eq!(rib.observations.len(), 2);
         assert_eq!(rib.visible_count(), 1);
     }

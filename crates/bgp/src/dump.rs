@@ -18,6 +18,7 @@
 
 use crate::announcement::Announcement;
 use crate::collector::{CollectedRib, Observation};
+use crate::parallel::{par_map, ParallelConfig};
 use manrs_irr::{validate_irr, IrrRegistry};
 use manrs_net::{Asn, NetError, Prefix};
 use manrs_rpki::{validate_origin, VrpSet};
@@ -58,6 +59,21 @@ pub fn parse_table_dump(
     vrps: &VrpSet,
     irr: &IrrRegistry,
 ) -> Result<CollectedRib, NetError> {
+    parse_table_dump_with(text, vrps, irr, &ParallelConfig::from_env())
+}
+
+/// [`parse_table_dump`] with an explicit parallelism configuration for
+/// the per-(prefix, origin) RPKI/IRR re-validation, which dominates
+/// parse time on large dumps. Line parsing and grouping stay serial
+/// (they are cheap and order-sensitive); validation fans out and is
+/// stitched back in key order, so output is identical for any thread
+/// count.
+pub fn parse_table_dump_with(
+    text: &str,
+    vrps: &VrpSet,
+    irr: &IrrRegistry,
+    cfg: &ParallelConfig,
+) -> Result<CollectedRib, NetError> {
     let mut grouped: BTreeMap<(Prefix, Asn), Vec<Vec<Asn>>> = BTreeMap::new();
     let mut vantages: Vec<Asn> = Vec::new();
     for line in text.lines() {
@@ -85,17 +101,25 @@ pub fn parse_table_dump(
         }
         grouped.entry((prefix, origin)).or_default().push(path);
     }
+    // Re-validate every (prefix, origin) in parallel, then zip the
+    // statuses back with the grouped paths; both run in the BTreeMap's
+    // key order, so pairing by position is exact.
+    let keys: Vec<(Prefix, Asn)> = grouped.keys().copied().collect();
+    let statuses = par_map(cfg, &keys, |(prefix, origin)| {
+        (validate_origin(vrps, prefix, *origin), validate_irr(irr, prefix, *origin))
+    });
     let observations = grouped
         .into_iter()
-        .map(|((prefix, origin), paths)| Observation {
+        .zip(statuses)
+        .map(|(((prefix, origin), paths), (rpki, irr))| Observation {
             prefix,
             origin,
-            rpki: validate_origin(vrps, &prefix, origin),
-            irr: validate_irr(irr, &prefix, origin),
+            rpki,
+            irr,
             paths,
         })
         .collect();
-    Ok(CollectedRib { vantages, observations })
+    Ok(CollectedRib::new(vantages, observations))
 }
 
 /// Round-trip helper: the announcements recoverable from a dump (one

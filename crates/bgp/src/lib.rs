@@ -27,11 +27,15 @@
 //!   collected RIB (per prefix-origin vantage AS paths) out, with
 //!   per-(origin, filter-class) memoization so whole-table runs stay
 //!   affordable.
+//! * [`parallel`] — a deterministic, order-preserving fork–join
+//!   executor used by the table and dump pipelines; thread count is
+//!   controlled by [`ParallelConfig`] / the `MANRS_THREADS` env var.
 
 pub mod announcement;
 pub mod collector;
 pub mod dump;
 pub mod hijack;
+pub mod parallel;
 pub mod policy;
 pub mod propagate;
 pub mod stats;
@@ -39,9 +43,13 @@ pub mod table;
 
 pub use announcement::Announcement;
 pub use collector::{CollectedRib, Observation};
-pub use dump::{parse_table_dump, write_table_dump};
+pub use dump::{parse_table_dump, parse_table_dump_with, write_table_dump};
 pub use hijack::{Hijack, HijackKind};
+pub use parallel::{par_map, par_map_with, ParallelConfig};
 pub use policy::{FilteringPolicy, PolicyTable};
-pub use propagate::{propagate, Provenance, RouteEntry, RoutingOutcome};
+pub use propagate::{
+    propagate, propagate_dense, propagate_dense_into, PropagationScratch, Provenance, RouteEntry,
+    RoutingOutcome,
+};
 pub use stats::{moas_conflicts, table_stats, TableStats};
-pub use table::collect_table;
+pub use table::{collect_table, collect_table_with};

@@ -1,0 +1,205 @@
+//! Deterministic fork–join parallelism for embarrassingly parallel
+//! per-item work (table collection, snapshot validation, dump
+//! re-validation).
+//!
+//! The executor is a small scoped-thread fan-out over `std::thread`:
+//! workers claim fixed-size chunks of the input through an atomic
+//! cursor, compute results tagged with their original index, and the
+//! results are stitched back into input order before returning. Output
+//! is therefore **bit-for-bit identical** to the serial map regardless
+//! of thread count or scheduling — parallelism changes only wall-clock
+//! time, never results.
+//!
+//! `rayon` would provide the same shape; it is deliberately not used so
+//! the workspace keeps zero non-dev dependencies beyond serde/rand and
+//! builds in hermetic environments (see DESIGN.md §2).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Controls how parallel stages fan out. The default (`0`/`0`) means
+/// auto-detect threads and auto-size chunks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads. `0` means auto-detect from
+    /// [`std::thread::available_parallelism`]; `1` forces the serial
+    /// path (no threads spawned).
+    pub threads: usize,
+    /// Items claimed per grab. `0` means auto (items / threads / 4,
+    /// clamped to `1..=256`). Larger chunks lower cursor contention;
+    /// smaller chunks balance uneven per-item cost.
+    pub chunk: usize,
+}
+
+impl ParallelConfig {
+    /// Auto-detected thread count, auto chunk size.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// Serial execution (no threads spawned).
+    pub fn serial() -> Self {
+        ParallelConfig { threads: 1, chunk: 0 }
+    }
+
+    /// A fixed thread count with auto chunk size.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig { threads, chunk: 0 }
+    }
+
+    /// Reads `MANRS_THREADS` (`0` or unset/unparsable = auto).
+    pub fn from_env() -> Self {
+        let threads = std::env::var("MANRS_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        ParallelConfig { threads, chunk: 0 }
+    }
+
+    /// The number of workers that would actually run over `items`
+    /// inputs: the configured (or detected) thread count, capped by the
+    /// item count, and at least 1.
+    pub fn effective_threads(&self, items: usize) -> usize {
+        let hw = || thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let t = if self.threads == 0 { hw() } else { self.threads };
+        t.min(items).max(1)
+    }
+
+    fn effective_chunk(&self, items: usize, threads: usize) -> usize {
+        if self.chunk > 0 {
+            return self.chunk;
+        }
+        (items / (threads * 4).max(1)).clamp(1, 256)
+    }
+}
+
+/// Maps `f` over `items`, preserving input order in the output.
+///
+/// Equivalent to `items.iter().map(f).collect()` but fanned out over
+/// the configured thread count. The output is identical to the serial
+/// map for any thread/chunk configuration.
+pub fn par_map<T, R, F>(cfg: &ParallelConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(cfg, items, || (), move |(), item| f(item))
+}
+
+/// Like [`par_map`] but with per-worker state: `init` runs once per
+/// worker thread and the state is passed (mutably) to every call that
+/// worker makes. Use it to reuse expensive scratch buffers — e.g. one
+/// [`crate::PropagationScratch`] per worker — without cross-thread
+/// sharing.
+pub fn par_map_with<T, R, S, I, F>(cfg: &ParallelConfig, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = cfg.effective_threads(n);
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+    let chunk = cfg.effective_chunk(n, threads);
+
+    let cursor = AtomicUsize::new(0);
+    let mut buffers: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            handles.push(scope.spawn(|| {
+                let mut state = init();
+                let mut out: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    for (i, item) in items[start..end].iter().enumerate() {
+                        out.push((start + i, f(&mut state, item)));
+                    }
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            buffers.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+
+    // Stitch per-worker buffers back into input order.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for buffer in buffers {
+        for (idx, value) in buffer {
+            debug_assert!(slots[idx].is_none(), "duplicate result for index {idx}");
+            slots[idx] = Some(value);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [0, 1, 2, 3, 8, 33] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let got = par_map(&cfg, &items, |&x| x * x);
+            let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_reuses_worker_state() {
+        let items: Vec<u32> = (0..257).collect();
+        let cfg = ParallelConfig { threads: 4, chunk: 16 };
+        let got = par_map_with(
+            &cfg,
+            &items,
+            Vec::<u32>::new,
+            |scratch, &x| {
+                scratch.push(x);
+                // State persists across calls on the same worker.
+                x + scratch.len() as u32 - scratch.len() as u32
+            },
+        );
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let cfg = ParallelConfig::auto();
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&cfg, &empty, |&x| x).is_empty());
+        assert_eq!(par_map(&cfg, &[7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn oversized_chunk_and_thread_counts() {
+        let items: Vec<usize> = (0..10).collect();
+        let cfg = ParallelConfig { threads: 64, chunk: 1000 };
+        assert_eq!(par_map(&cfg, &items, |&x| x), items);
+    }
+
+    #[test]
+    fn effective_threads_caps_and_floors() {
+        assert_eq!(ParallelConfig::serial().effective_threads(100), 1);
+        assert_eq!(ParallelConfig::with_threads(8).effective_threads(3), 3);
+        assert_eq!(ParallelConfig::with_threads(8).effective_threads(0), 1);
+        assert!(ParallelConfig::auto().effective_threads(1000) >= 1);
+    }
+}

@@ -26,6 +26,7 @@ use manrs_topology::{AsTopology, Relationship};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::mem;
 
 /// How an AS obtained its best route.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -144,41 +145,152 @@ impl RoutingOutcome {
     /// Reconstructs the AS path from `asn` to the origin (inclusive of
     /// both ends), or `None` if `asn` has no route.
     pub fn as_path(&self, graph: &DenseGraph, asn: Asn) -> Option<Vec<Asn>> {
-        let mut idx = graph.index_of(asn)?;
-        let mut path = Vec::new();
-        loop {
-            let entry = self.entries[idx]?;
-            path.push(graph.asn_at(idx));
-            match entry.provenance.learned_from() {
-                None => return Some(path),
-                Some(next) => {
-                    idx = graph.index_of(next).expect("via pointer within graph");
-                }
+        walk_path(&self.entries, graph, asn)
+    }
+}
+
+fn walk_path(entries: &[Option<RouteEntry>], graph: &DenseGraph, asn: Asn) -> Option<Vec<Asn>> {
+    let mut idx = graph.index_of(asn)?;
+    let mut path = Vec::new();
+    loop {
+        let entry = entries[idx]?;
+        path.push(graph.asn_at(idx));
+        match entry.provenance.learned_from() {
+            None => return Some(path),
+            Some(next) => {
+                idx = graph.index_of(next).expect("via pointer within graph");
             }
         }
     }
 }
 
+/// Reusable working memory for [`propagate_dense_into`].
+///
+/// Holds every buffer propagation needs — the per-AS route table, the
+/// two BFS frontiers, the peer-offer table, the sorted sender list and
+/// the Dijkstra heap — so steady-state propagation (one scratch reused
+/// across many announcements over one graph) performs no heap
+/// allocation: every buffer is cleared and refilled in place.
+#[derive(Debug, Default)]
+pub struct PropagationScratch {
+    entries: Vec<Option<RouteEntry>>,
+    frontier: Vec<usize>,
+    next_frontier: Vec<usize>,
+    senders: Vec<usize>,
+    peer_offers: Vec<Option<(u32, Asn)>>,
+    heap: BinaryHeap<Reverse<(u32, u32, u32)>>,
+}
+
+impl PropagationScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for a graph with `n` ASes, so even the first
+    /// propagation does not reallocate the per-AS tables.
+    pub fn with_capacity(n: usize) -> Self {
+        PropagationScratch {
+            entries: Vec::with_capacity(n),
+            frontier: Vec::with_capacity(n),
+            next_frontier: Vec::with_capacity(n),
+            senders: Vec::with_capacity(n),
+            peer_offers: Vec::with_capacity(n),
+            heap: BinaryHeap::with_capacity(n),
+        }
+    }
+
+    /// Clears and resizes the per-AS tables for a graph of `n` ASes,
+    /// reusing existing capacity.
+    fn reset(&mut self, n: usize) {
+        self.entries.clear();
+        self.entries.resize(n, None);
+        self.peer_offers.clear();
+        self.peer_offers.resize(n, None);
+        self.frontier.clear();
+        self.next_frontier.clear();
+        self.senders.clear();
+        self.heap.clear();
+    }
+
+    /// The best route of `asn` from the most recent propagation.
+    pub fn route(&self, graph: &DenseGraph, asn: Asn) -> Option<RouteEntry> {
+        self.entries[graph.index_of(asn)?]
+    }
+
+    /// The route at a dense index from the most recent propagation.
+    pub fn route_at(&self, idx: usize) -> Option<RouteEntry> {
+        self.entries[idx]
+    }
+
+    /// Number of ASes routed by the most recent propagation.
+    pub fn reached(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// AS path from `asn` to the origin for the most recent propagation.
+    pub fn as_path(&self, graph: &DenseGraph, asn: Asn) -> Option<Vec<Asn>> {
+        walk_path(&self.entries, graph, asn)
+    }
+
+    /// Copies the most recent propagation result into an owned
+    /// [`RoutingOutcome`].
+    pub fn to_outcome(&self) -> RoutingOutcome {
+        RoutingOutcome { entries: self.entries.clone() }
+    }
+}
+
 /// Propagates one announcement over a prebuilt dense graph.
+///
+/// Thin wrapper over [`propagate_dense_into`] with a fresh scratch; for
+/// repeated propagation reuse one [`PropagationScratch`] to avoid
+/// per-call allocation.
 pub fn propagate_dense(graph: &DenseGraph, announcement: &Announcement) -> RoutingOutcome {
+    let mut scratch = PropagationScratch::with_capacity(graph.len());
+    propagate_dense_into(graph, announcement, &mut scratch);
+    RoutingOutcome { entries: scratch.entries }
+}
+
+/// Propagates one announcement over a prebuilt dense graph into a
+/// reusable scratch. The result is readable through the scratch's
+/// accessors ([`PropagationScratch::route`], `reached`, `as_path`, …)
+/// until the next call; it is bit-for-bit identical to what
+/// [`propagate_dense`] computes, regardless of what the scratch held
+/// before.
+pub fn propagate_dense_into(
+    graph: &DenseGraph,
+    announcement: &Announcement,
+    scratch: &mut PropagationScratch,
+) {
     let n = graph.len();
-    let mut entries: Vec<Option<RouteEntry>> = vec![None; n];
+    scratch.reset(n);
+    // Destructure into disjoint borrows so the buffers can be used
+    // side by side below.
+    let PropagationScratch {
+        entries,
+        frontier,
+        next_frontier,
+        senders,
+        peer_offers,
+        heap,
+    } = scratch;
+
     let Some(origin_idx) = graph.index_of(announcement.origin) else {
         // Unknown origin: nothing propagates.
-        return RoutingOutcome { entries };
+        return;
     };
     entries[origin_idx] = Some(RouteEntry { provenance: Provenance::Origin, hops: 0 });
 
     // --- Phase 1: customer routes climb provider edges (level BFS) ----
-    let mut frontier: Vec<usize> = vec![origin_idx];
+    frontier.push(origin_idx);
     let mut depth = 0u32;
     while !frontier.is_empty() {
         depth += 1;
-        let mut next: Vec<usize> = Vec::new();
+        next_frontier.clear();
         // Ascending-ASN processing makes the lowest-neighbor tie-break
         // deterministic without per-node candidate lists.
         frontier.sort_by_key(|&i| graph.asn_at(i));
-        for &u in &frontier {
+        for &u in frontier.iter() {
             for &p in &graph.providers[u] {
                 let p = p as usize;
                 match entries[p] {
@@ -195,23 +307,22 @@ pub fn propagate_dense(graph: &DenseGraph, announcement: &Announcement) -> Routi
                                 provenance: Provenance::Customer(sender),
                                 hops: depth,
                             });
-                            next.push(p);
+                            next_frontier.push(p);
                         }
                     }
                 }
             }
         }
-        frontier = next;
+        mem::swap(frontier, next_frontier);
     }
 
     // --- Phase 2: one peer hop ----------------------------------------
     // Every AS with a customer route (or the origin) offers to its peers.
     // A peer accepts the best offer (shortest, then lowest sender ASN)
     // if it has no customer route.
-    let mut peer_offers: Vec<Option<(u32, Asn)>> = vec![None; n];
-    let mut senders: Vec<usize> = (0..n).filter(|&i| entries[i].is_some()).collect();
+    senders.extend((0..n).filter(|&i| entries[i].is_some()));
     senders.sort_by_key(|&i| (entries[i].expect("routed").hops, graph.asn_at(i)));
-    for &u in &senders {
+    for &u in senders.iter() {
         let du = entries[u].expect("routed").hops;
         let sender = graph.asn_at(u);
         for &v in &graph.peers[u] {
@@ -239,7 +350,6 @@ pub fn propagate_dense(graph: &DenseGraph, announcement: &Announcement) -> Routi
     // Dijkstra-flavoured since sources start at heterogeneous depths;
     // the heap orders by (hops, sender ASN) for the same deterministic
     // tie-breaks.
-    let mut heap: BinaryHeap<Reverse<(u32, u32, u32)>> = BinaryHeap::new();
     for u in 0..n {
         if let Some(e) = entries[u] {
             for &c in &graph.customers[u] {
@@ -269,8 +379,6 @@ pub fn propagate_dense(graph: &DenseGraph, announcement: &Announcement) -> Routi
             }
         }
     }
-
-    RoutingOutcome { entries }
 }
 
 /// Convenience wrapper: builds the dense graph and propagates once.
@@ -443,6 +551,30 @@ mod tests {
         let t = topo(2, &[(1, 2)], &[]);
         let (_, o) = propagate(&t, &PolicyTable::default(), &ann(99));
         assert_eq!(o.reached(), 0);
+    }
+
+    #[test]
+    fn dirty_scratch_matches_fresh_propagation() {
+        // Reuse one scratch across different origins (including an
+        // unknown one) and compare each result against a fresh
+        // propagate_dense.
+        let t = topo(5, &[(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)], &[(2, 3)]);
+        let policies = PolicyTable::default();
+        let graph = DenseGraph::build(&t, &policies);
+        let mut scratch = PropagationScratch::new();
+        for origin in [5u32, 1, 99, 3, 5] {
+            let a = ann(origin);
+            propagate_dense_into(&graph, &a, &mut scratch);
+            let fresh = propagate_dense(&graph, &a);
+            assert_eq!(scratch.reached(), fresh.reached());
+            for idx in 0..graph.len() {
+                assert_eq!(scratch.route_at(idx), fresh.route_at(idx));
+            }
+            for asn in 1..=5 {
+                assert_eq!(scratch.as_path(&graph, Asn(asn)), fresh.as_path(&graph, Asn(asn)));
+            }
+            assert_eq!(scratch.to_outcome().reached(), fresh.reached());
+        }
     }
 
     #[test]

@@ -9,8 +9,9 @@
 
 use crate::announcement::Announcement;
 use crate::collector::{observe, CollectedRib};
+use crate::parallel::{par_map, par_map_with, ParallelConfig};
 use crate::policy::PolicyTable;
-use crate::propagate::{propagate_dense, DenseGraph};
+use crate::propagate::{propagate_dense_into, DenseGraph, PropagationScratch, RoutingOutcome};
 use manrs_irr::IrrStatus;
 use manrs_net::Asn;
 use manrs_topology::AsTopology;
@@ -29,7 +30,8 @@ impl FilterClass {
     }
 }
 
-/// Propagates every announcement and collects the vantage view.
+/// Propagates every announcement and collects the vantage view, using
+/// the thread count from `MANRS_THREADS` (auto-detected when unset).
 ///
 /// Announcement order is preserved in the output. Memoization is per
 /// (origin, filter class); with the four RPKI × four IRR statuses there
@@ -41,19 +43,61 @@ pub fn collect_table(
     announcements: &[Announcement],
     vantages: &[Asn],
 ) -> CollectedRib {
+    collect_table_with(topology, policies, announcements, vantages, &ParallelConfig::from_env())
+}
+
+/// [`collect_table`] with an explicit parallelism configuration.
+///
+/// The expensive per-class propagations fan out across worker threads
+/// (each worker reusing one [`PropagationScratch`]), as does the
+/// per-announcement vantage observation. Classes are discovered and
+/// numbered serially in announcement order, and results are stitched
+/// back in input order, so the output is bit-for-bit identical for any
+/// thread count — including [`ParallelConfig::serial`].
+pub fn collect_table_with(
+    topology: &AsTopology,
+    policies: &PolicyTable,
+    announcements: &[Announcement],
+    vantages: &[Asn],
+    cfg: &ParallelConfig,
+) -> CollectedRib {
     let graph = DenseGraph::build(topology, policies);
+
+    // Serial pass: number the (origin, filter-class) equivalence classes
+    // in first-appearance order and pick one representative each.
     let mut memo: HashMap<(Asn, FilterClass), usize> = HashMap::new();
-    let mut outcomes = Vec::new();
-    let mut observations = Vec::with_capacity(announcements.len());
+    let mut reps: Vec<&Announcement> = Vec::new();
+    let mut class_of: Vec<usize> = Vec::with_capacity(announcements.len());
     for ann in announcements {
         let key = (ann.origin, FilterClass::of(ann));
-        let outcome_idx = *memo.entry(key).or_insert_with(|| {
-            outcomes.push(propagate_dense(&graph, ann));
-            outcomes.len() - 1
+        let next = reps.len();
+        let idx = *memo.entry(key).or_insert_with(|| {
+            reps.push(ann);
+            next
         });
-        observations.push(observe(&graph, &outcomes[outcome_idx], ann, vantages));
+        class_of.push(idx);
     }
-    CollectedRib { vantages: vantages.to_vec(), observations }
+
+    // Parallel pass 1: one propagation per class, each worker reusing
+    // its own scratch.
+    let outcomes: Vec<RoutingOutcome> = par_map_with(
+        cfg,
+        &reps,
+        || PropagationScratch::with_capacity(graph.len()),
+        |scratch, ann| {
+            propagate_dense_into(&graph, ann, scratch);
+            scratch.to_outcome()
+        },
+    );
+
+    // Parallel pass 2: per-announcement vantage observation.
+    let indexed: Vec<(usize, &Announcement)> =
+        class_of.iter().copied().zip(announcements.iter()).collect();
+    let observations = par_map(cfg, &indexed, |&(class, ann)| {
+        observe(&graph, &outcomes[class], ann, vantages)
+    });
+
+    CollectedRib::new(vantages.to_vec(), observations)
 }
 
 #[cfg(test)]
@@ -134,5 +178,69 @@ mod tests {
         let rib = collect_table(&t, &PolicyTable::default(), &[], &[Asn(1)]);
         assert_eq!(rib.observations.len(), 0);
         assert_eq!(rib.visible_count(), 0);
+    }
+
+    /// A deterministic synthetic mesh big enough for real fan-out:
+    /// layered provider chains plus peering links between siblings.
+    fn wide_topo(n: u32) -> AsTopology {
+        let mut t = AsTopology::new();
+        for asn in 1..=n {
+            t.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(asn),
+                rir: Rir::Arin,
+                country: "US".into(),
+                kind: NetworkKind::Transit,
+            });
+        }
+        for asn in 2..=n {
+            // Two providers among lower-numbered ASes keeps the graph
+            // acyclic in the customer-provider direction.
+            t.add_provider_customer(Asn(1 + (asn * 7) % (asn - 1)), Asn(asn));
+            if asn > 3 {
+                t.add_provider_customer(Asn(1 + (asn * 13) % (asn - 2)), Asn(asn));
+            }
+            if asn % 5 == 0 && asn < n {
+                t.add_peer(Asn(asn), Asn(asn + 1));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn parallel_collection_is_deterministic() {
+        let t = wide_topo(160);
+        let mut policies = PolicyTable::default();
+        for asn in (2u32..=160).step_by(7) {
+            policies.set(Asn(asn), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+        }
+        let statuses = [
+            (RpkiStatus::Valid, IrrStatus::Valid),
+            (RpkiStatus::InvalidAsn, IrrStatus::Valid),
+            (RpkiStatus::NotFound, IrrStatus::InvalidAsn),
+            (RpkiStatus::NotFound, IrrStatus::NotFound),
+        ];
+        let anns: Vec<Announcement> = (0..200u32)
+            .map(|i| {
+                let (rpki, irr) = statuses[(i % 4) as usize];
+                ann(&format!("10.{}.{}.0/24", i / 256, i % 256), 1 + (i * 3) % 160, rpki, irr)
+            })
+            .collect();
+        let vantages = [Asn(1), Asn(2), Asn(15), Asn(80), Asn(160)];
+
+        let serial =
+            collect_table_with(&t, &policies, &anns, &vantages, &ParallelConfig::serial());
+        for threads in [2, 4, 8] {
+            let parallel = collect_table_with(
+                &t,
+                &policies,
+                &anns,
+                &vantages,
+                &ParallelConfig::with_threads(threads),
+            );
+            assert_eq!(parallel.vantages, serial.vantages, "threads={threads}");
+            assert_eq!(parallel.observations, serial.observations, "threads={threads}");
+            assert_eq!(parallel.visible_count(), serial.visible_count(), "threads={threads}");
+        }
     }
 }

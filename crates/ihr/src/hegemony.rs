@@ -9,7 +9,7 @@
 //! indicators. Scores sit in [0, 1]; the origin trivially scores 1.
 
 use manrs_net::Asn;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, HashMap};
 
 /// The fraction trimmed from *each* side of the viewpoint distribution
 /// (10%, following the AS hegemony paper).
@@ -41,12 +41,20 @@ pub fn hegemony_scores(paths: &[Vec<Asn>], viewpoints: usize) -> BTreeMap<Asn, f
     if kept == 0 {
         return scores;
     }
-    // Count, per AS, how many viewpoints' paths contain it.
-    let mut on_paths: BTreeMap<Asn, usize> = BTreeMap::new();
+    // Count, per AS, how many viewpoints' paths contain it. The counter
+    // is a HashMap (O(1) updates on the hot loop); ordering is restored
+    // once at the end when collecting into the BTreeMap result.
+    let mut on_paths: HashMap<Asn, usize> = HashMap::new();
+    // One sort+dedup buffer reused across paths instead of a fresh
+    // BTreeSet per path.
+    let mut unique: Vec<Asn> = Vec::new();
     for path in paths {
         // Dedup within a path defensively: a loop would double-count.
-        let unique: BTreeSet<Asn> = path.iter().copied().collect();
-        for asn in unique {
+        unique.clear();
+        unique.extend_from_slice(path);
+        unique.sort_unstable();
+        unique.dedup();
+        for &asn in &unique {
             *on_paths.entry(asn).or_insert(0) += 1;
         }
     }

@@ -82,6 +82,10 @@ macro_rules! prefix_impl {
             }
 
             /// The prefix length in bits.
+            ///
+            /// A prefix is never "empty"; the zero-length case is the
+            /// default route, tested by `is_default`.
+            #[allow(clippy::len_without_is_empty)]
             pub const fn len(&self) -> u8 {
                 self.len
             }
@@ -274,6 +278,10 @@ impl Prefix {
     }
 
     /// The prefix length in bits.
+    ///
+    /// A prefix is never "empty"; the zero-length case is the default
+    /// route, tested by `is_default`.
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(&self) -> u8 {
         match self {
             Prefix::V4(p) => p.len(),

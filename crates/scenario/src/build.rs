@@ -18,7 +18,10 @@
 use crate::behavior::BehaviorModel;
 use crate::config::ScenarioConfig;
 use crate::enroll::enroll;
-use manrs_bgp::{collect_table, Announcement, CollectedRib, FilteringPolicy, PolicyTable};
+use manrs_bgp::{
+    collect_table_with, par_map, Announcement, CollectedRib, FilteringPolicy, ParallelConfig,
+    PolicyTable,
+};
 use manrs_core::{ManrsProgram, ManrsRegistry, PeeringDb, PeeringDbRecord};
 use manrs_ihr::{build_snapshot, IhrSnapshot};
 use manrs_irr::{validate_irr, AutNum, IrrDatabase, IrrRegistry, RouteObject};
@@ -77,9 +80,21 @@ pub struct ScenarioWorld {
 }
 
 impl ScenarioWorld {
-    /// Builds the world from a configuration. Deterministic in the
-    /// config's seeds.
+    /// Builds the world from a configuration, with the thread count
+    /// taken from `MANRS_THREADS` (auto-detected when unset).
+    /// Deterministic in the config's seeds — parallelism never changes
+    /// the result (see [`ScenarioWorld::build_with`]).
     pub fn build(config: ScenarioConfig) -> Self {
+        let par = ParallelConfig::from_env();
+        Self::build_with(config, &par)
+    }
+
+    /// [`ScenarioWorld::build`] with an explicit parallelism
+    /// configuration. Only the embarrassingly parallel stages fan out
+    /// (per-announcement RPKI/IRR validation and table collection); all
+    /// RNG-driven generation stays serial, so the built world is
+    /// bit-for-bit identical for any thread count.
+    pub fn build_with(config: ScenarioConfig, par: &ParallelConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5343_454E);
         let world = TopologyBuilder::new(config.topology.clone()).generate();
         let cones = ConeAnalysis::compute(&world.topology, config.thresholds);
@@ -224,7 +239,7 @@ impl ScenarioWorld {
                 let object = RouteObject {
                     prefix,
                     origin,
-                    descr: format!("{}", world.orgs.org(info.org).expect("org").name),
+                    descr: world.orgs.org(info.org).expect("org").name.to_string(),
                     mnt_by: format!("MAINT-{}", info.org),
                     source: String::new(), // set below by destination DB
                     last_modified,
@@ -405,17 +420,16 @@ impl ScenarioWorld {
 
         // --- Validation and propagation -----------------------------------
         let (vrps, rp_report) = RelyingParty::new(snapshot).validate(&repository);
-        let announcements: Vec<Announcement> = raw
-            .iter()
-            .map(|(prefix, origin)| {
-                Announcement::new(
-                    *prefix,
-                    *origin,
-                    validate_origin(&vrps, prefix, *origin),
-                    validate_irr(&irr, prefix, *origin),
-                )
-            })
-            .collect();
+        // Per-announcement registry validation is independent per
+        // (prefix, origin): fan it out, order-preserving.
+        let announcements: Vec<Announcement> = par_map(par, &raw, |(prefix, origin)| {
+            Announcement::new(
+                *prefix,
+                *origin,
+                validate_origin(&vrps, prefix, *origin),
+                validate_irr(&irr, prefix, *origin),
+            )
+        });
 
         // Vantage points: the largest cones (RouteViews-like full-table
         // peers) plus a few mid-rank viewpoints for diversity.
@@ -434,7 +448,7 @@ impl ScenarioWorld {
             }
         }
 
-        let rib = collect_table(&world.topology, &policies, &announcements, &vantages);
+        let rib = collect_table_with(&world.topology, &policies, &announcements, &vantages, par);
         let ihr = build_snapshot(&rib, &world.topology);
         let mut observed_table = Prefix2As::new();
         for obs in rib.visible() {
@@ -533,15 +547,27 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_matches_serial() {
+        let serial =
+            ScenarioWorld::build_with(ScenarioConfig::small(42), &ParallelConfig::serial());
+        let parallel =
+            ScenarioWorld::build_with(ScenarioConfig::small(42), &ParallelConfig::with_threads(4));
+        assert_eq!(serial.announcements, parallel.announcements);
+        assert_eq!(serial.vantages, parallel.vantages);
+        assert_eq!(serial.rib.observations, parallel.rib.observations);
+        assert_eq!(serial.rib.visible_count(), parallel.rib.visible_count());
+    }
+
+    #[test]
     fn world_is_populated() {
         let w = built();
         assert!(!w.announcements.is_empty());
-        assert!(w.vrps.len() > 0, "some ROAs must validate");
+        assert!(!w.vrps.is_empty(), "some ROAs must validate");
         assert!(w.irr.route_count() > 0);
         assert!(!w.member_asns().is_empty());
         assert!(!w.truth_rov.is_empty());
-        assert!(w.ihr.prefix_origins.len() > 0);
-        assert!(w.ihr.transits.len() > 0);
+        assert!(!w.ihr.prefix_origins.is_empty());
+        assert!(!w.ihr.transits.is_empty());
         assert_eq!(w.rp_report.accepted, w.vrps.len());
     }
 

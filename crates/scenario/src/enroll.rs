@@ -61,7 +61,7 @@ pub fn enroll(
     config: &EnrollmentConfig,
     seed: u64,
 ) -> ManrsRegistry {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4D41_4E52_53);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4D_414E_5253);
     let mut registry = ManrsRegistry::new();
 
     // Group ASes by organization, noting each org's largest class and

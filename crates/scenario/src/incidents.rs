@@ -13,7 +13,7 @@
 //! pre/post-join comparison) does not depend on that approximation.
 
 use crate::build::ScenarioWorld;
-use manrs_bgp::propagate::{propagate_dense, DenseGraph};
+use manrs_bgp::propagate::{propagate_dense_into, DenseGraph, PropagationScratch};
 use manrs_bgp::Announcement;
 use manrs_core::Incident;
 use manrs_irr::validate_irr;
@@ -32,6 +32,9 @@ pub fn generate_incidents(world: &ScenarioWorld, count: usize, seed: u64) -> Vec
     let window_days = window_start.days_until(&world.config.snapshot_date);
     // One relying-party pass per incident year, cached.
     let mut vrps_by_year: BTreeMap<i32, VrpSet> = BTreeMap::new();
+    // One scratch reused across all incident propagations: no per-
+    // incident allocation.
+    let mut scratch = PropagationScratch::with_capacity(graph.len());
     let mut incidents = Vec::with_capacity(count);
     for _ in 0..count {
         let date = window_start.plus_days(rng.random_range(0..window_days.max(1)));
@@ -51,11 +54,11 @@ pub fn generate_incidents(world: &ScenarioWorld, count: usize, seed: u64) -> Vec
         let rpki = validate_origin(vrps, &prefix, attacker);
         let irr = validate_irr(&world.irr, &prefix, attacker);
         let forged = Announcement::new(prefix, attacker, rpki, irr);
-        let outcome = propagate_dense(&graph, &forged);
+        propagate_dense_into(&graph, &forged, &mut scratch);
         let vantages_accepting = world
             .vantages
             .iter()
-            .filter(|v| outcome.route(&graph, **v).is_some())
+            .filter(|v| scratch.route(&graph, **v).is_some())
             .count();
         incidents.push(Incident {
             date,
@@ -93,6 +96,7 @@ pub fn protection_payoff(world: &ScenarioWorld, incidents: &[Incident]) -> (Opti
 mod tests {
     use super::*;
     use crate::config::ScenarioConfig;
+    use manrs_bgp::propagate::propagate_dense;
     use manrs_core::pre_post_exposure;
 
     fn world() -> ScenarioWorld {

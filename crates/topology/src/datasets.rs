@@ -30,9 +30,13 @@ pub fn write_as_rel(topology: &AsTopology) -> String {
     out
 }
 
+/// Edge lists parsed from `as-rel` text: `(provider, customer)` pairs and
+/// `(peer, peer)` pairs.
+pub type AsRelEdges = (Vec<(Asn, Asn)>, Vec<(Asn, Asn)>);
+
 /// Parses `as-rel` text into edge lists: `(provider, customer)` pairs and
 /// `(peer, peer)` pairs.
-pub fn parse_as_rel(text: &str) -> Result<(Vec<(Asn, Asn)>, Vec<(Asn, Asn)>), NetError> {
+pub fn parse_as_rel(text: &str) -> Result<AsRelEdges, NetError> {
     let mut cp = Vec::new();
     let mut pp = Vec::new();
     for line in text.lines() {

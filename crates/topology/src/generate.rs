@@ -140,9 +140,7 @@ impl TopologyBuilder {
         let n = cfg.total_ases;
         let mut kinds = Vec::with_capacity(n);
         for i in 0..n {
-            let kind = if i < cfg.tier1_count {
-                NetworkKind::Transit
-            } else if i < cfg.tier1_count + cfg.mid_tier_count {
+            let kind = if i < cfg.tier1_count + cfg.mid_tier_count {
                 NetworkKind::Transit
             } else if i < cfg.tier1_count + cfg.mid_tier_count + cfg.cdn_count {
                 NetworkKind::Cdn
@@ -167,10 +165,10 @@ impl TopologyBuilder {
         // Tier-1s skew toward ARIN, matching "most large networks are
         // from the ARIN region" (Fig. 4 caption).
         let mut regions = Vec::with_capacity(n);
-        for i in 0..n {
-            let rir = if i < cfg.tier1_count && rng.random_bool(0.6) {
-                Rir::Arin
-            } else if kinds[i] == NetworkKind::Cdn && rng.random_bool(0.7) {
+        for (i, kind) in kinds.iter().enumerate() {
+            let rir = if (i < cfg.tier1_count && rng.random_bool(0.6))
+                || (*kind == NetworkKind::Cdn && rng.random_bool(0.7))
+            {
                 Rir::Arin
             } else {
                 pick_region(&mut rng)
@@ -294,7 +292,7 @@ impl TopologyBuilder {
         }
 
         // Stubs: 1–2 providers, preferential attachment over all transits.
-        for i in cdn_end..n {
+        for (i, org) in org_of.iter().enumerate().skip(cdn_end) {
             let asn = asn_of(i);
             let multi_homed = rng.random_bool(0.3);
             let provider_count = if multi_homed { 2 } else { 1 };
@@ -303,7 +301,7 @@ impl TopologyBuilder {
                 topology.add_provider_customer(provider, asn);
             }
             // Sibling stubs usually sit behind another AS of the same org.
-            let siblings = orgs.asns_of(org_of[i]);
+            let siblings = orgs.asns_of(*org);
             if siblings.len() > 1 && rng.random_bool(0.5) {
                 let main = siblings[0];
                 if main != asn && topology.contains(main) {

@@ -51,8 +51,8 @@ pub use manrs_topology as topology;
 /// The commonly-used names in one import.
 pub mod prelude {
     pub use manrs_bgp::{
-        collect_table, Announcement, CollectedRib, FilteringPolicy, Hijack, HijackKind,
-        PolicyTable,
+        collect_table, collect_table_with, Announcement, CollectedRib, FilteringPolicy, Hijack,
+        HijackKind, ParallelConfig, PolicyTable, PropagationScratch,
     };
     pub use manrs_core::{
         action1_verdict, action4_verdict, attribute_mismatches, compute_action1,
