@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use manrs_bgp::propagate::{propagate_dense, DenseGraph};
-use manrs_bgp::{collect_table, FilteringPolicy, PolicyTable};
+use manrs_bgp::{FilteringPolicy, PolicyTable, TableCollector};
 use manrs_scenario::{ScenarioConfig, ScenarioWorld};
 use std::hint::black_box;
 
@@ -11,7 +11,7 @@ fn bench_policy_cost(c: &mut Criterion) {
     // Does filtering make propagation cheaper (fewer nodes explored) or
     // more expensive (policy checks)? The answer motivates the
     // memoization design.
-    let world = ScenarioWorld::build(ScenarioConfig::small(16));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(16)).build();
     let ann = world
         .announcements
         .iter()
@@ -35,17 +35,15 @@ fn bench_policy_cost(c: &mut Criterion) {
 }
 
 fn bench_memoization_effect(c: &mut Criterion) {
-    let world = ScenarioWorld::build(ScenarioConfig::small(17));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(17)).build();
     let mut group = c.benchmark_group("memoization");
     group.sample_size(10);
     group.bench_function("memoized_full_table", |b| {
         b.iter(|| {
-            black_box(collect_table(
-                &world.world.topology,
-                &world.policies,
-                &world.announcements,
-                &world.vantages,
-            ))
+            black_box(
+                TableCollector::new(&world.world.topology, &world.policies, &world.vantages)
+                    .collect(&world.announcements),
+            )
         })
     });
     // Naive: defeat memoization by giving every announcement a distinct

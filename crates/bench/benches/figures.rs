@@ -8,7 +8,7 @@ use manrs_scenario::{ScenarioConfig, ScenarioWorld};
 use std::hint::black_box;
 
 fn bench_figures(c: &mut Criterion) {
-    let world = ScenarioWorld::build(ScenarioConfig::small(14));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(14)).build();
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
     type Exp = (&'static str, fn(&ScenarioWorld) -> manrs_bench::ExperimentResult);
@@ -37,7 +37,7 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("world_build");
     group.sample_size(10);
     group.bench_function("small", |b| {
-        b.iter(|| black_box(ScenarioWorld::build(ScenarioConfig::small(15))))
+        b.iter(|| black_box(ScenarioWorld::builder(ScenarioConfig::small(15)).build()))
     });
     group.finish();
 }

@@ -33,7 +33,7 @@ fn bench_hegemony(c: &mut Criterion) {
 }
 
 fn bench_snapshot_build(c: &mut Criterion) {
-    let world = ScenarioWorld::build(ScenarioConfig::small(13));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(13)).build();
     let mut group = c.benchmark_group("ihr_snapshot");
     group.sample_size(20);
     group.throughput(Throughput::Elements(world.rib.visible_count() as u64));

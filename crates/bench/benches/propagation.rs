@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use manrs_bgp::propagate::{
     propagate_dense, propagate_dense_into, DenseGraph, PropagationScratch,
 };
-use manrs_bgp::{collect_table_with, ParallelConfig, PolicyTable};
+use manrs_bgp::{ParallelConfig, PolicyTable, TableCollector};
 use manrs_scenario::{ScenarioConfig, ScenarioWorld};
 use manrs_topology::{GeneratorConfig, TopologyBuilder};
 use std::hint::black_box;
@@ -49,7 +49,7 @@ fn bench_single_propagation(c: &mut Criterion) {
 }
 
 fn bench_whole_table(c: &mut Criterion) {
-    let world = ScenarioWorld::build(ScenarioConfig::small(12));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(12)).build();
     let mut group = c.benchmark_group("collect_table");
     group.sample_size(10);
     group.throughput(Throughput::Elements(world.announcements.len() as u64));
@@ -57,13 +57,11 @@ fn bench_whole_table(c: &mut Criterion) {
         BenchmarkId::new("serial", world.announcements.len()),
         |b| {
             b.iter(|| {
-                black_box(collect_table_with(
-                    &world.world.topology,
-                    &world.policies,
-                    &world.announcements,
-                    &world.vantages,
-                    &ParallelConfig::serial(),
-                ))
+                black_box(
+                    TableCollector::new(&world.world.topology, &world.policies, &world.vantages)
+                        .parallel(ParallelConfig::serial())
+                        .collect(&world.announcements),
+                )
             })
         },
     );
@@ -71,13 +69,11 @@ fn bench_whole_table(c: &mut Criterion) {
         BenchmarkId::new("parallel", world.announcements.len()),
         |b| {
             b.iter(|| {
-                black_box(collect_table_with(
-                    &world.world.topology,
-                    &world.policies,
-                    &world.announcements,
-                    &world.vantages,
-                    &ParallelConfig::auto(),
-                ))
+                black_box(
+                    TableCollector::new(&world.world.topology, &world.policies, &world.vantages)
+                        .parallel(ParallelConfig::auto())
+                        .collect(&world.announcements),
+                )
             })
         },
     );

@@ -10,7 +10,7 @@ use manrs_scenario::{ScenarioConfig, ScenarioWorld};
 use std::hint::black_box;
 
 fn bench_validation(c: &mut Criterion) {
-    let world = ScenarioWorld::build(ScenarioConfig::small(11));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(11)).build();
     let routes: Vec<_> = world
         .announcements
         .iter()

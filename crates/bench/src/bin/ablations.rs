@@ -110,12 +110,8 @@ fn vantage_sweep(world: &ScenarioWorld) -> ExperimentResult {
     let full_vantages = world.vantages.len();
     for keep in [full_vantages, full_vantages / 2, full_vantages / 4, 1] {
         let vantages: Vec<Asn> = world.vantages.iter().copied().take(keep.max(1)).collect();
-        let rib = manrs_bgp::collect_table(
-            &world.world.topology,
-            &world.policies,
-            &world.announcements,
-            &vantages,
-        );
+        let rib = manrs_bgp::TableCollector::new(&world.world.topology, &world.policies, &vantages)
+            .collect(&world.announcements);
         let ihr = build_snapshot(&rib, &world.world.topology);
         let metrics = compute_action4(&ihr);
         let conformant = members

@@ -11,7 +11,7 @@
 //! cheap enough for CI).
 
 use manrs_bench::{Scale, HARNESS_SEED};
-use manrs_bgp::{collect_table_with, par_map, ParallelConfig};
+use manrs_bgp::{par_map, ParallelConfig, TableCollector};
 use manrs_irr::validate_irr;
 use manrs_rpki::validate_origin;
 use manrs_scenario::ScenarioWorld;
@@ -60,7 +60,7 @@ fn measure_scale(
     out: &mut Vec<Measurement>,
 ) {
     eprintln!("[{name}] building world ...");
-    let world = ScenarioWorld::build_with(scale.config(HARNESS_SEED), parallel);
+    let world = ScenarioWorld::builder(scale.config(HARNESS_SEED)).parallel(*parallel).build();
     let serial = ParallelConfig::serial();
     let reps = match scale {
         Scale::Small => 5,
@@ -68,23 +68,12 @@ fn measure_scale(
     };
 
     // Stage 1: whole-table collection.
+    let collector = TableCollector::new(&world.world.topology, &world.policies, &world.vantages);
     let (t_serial, rib_serial) = time_best(reps, || {
-        collect_table_with(
-            &world.world.topology,
-            &world.policies,
-            &world.announcements,
-            &world.vantages,
-            &serial,
-        )
+        collector.clone().parallel(serial).collect(&world.announcements)
     });
     let (t_parallel, rib_parallel) = time_best(reps, || {
-        collect_table_with(
-            &world.world.topology,
-            &world.policies,
-            &world.announcements,
-            &world.vantages,
-            parallel,
-        )
+        collector.clone().parallel(*parallel).collect(&world.announcements)
     });
     assert_eq!(
         rib_serial.observations, rib_parallel.observations,

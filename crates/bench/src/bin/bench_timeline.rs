@@ -1,0 +1,201 @@
+//! Machine-readable benchmark for the incremental timeline engine.
+//!
+//! Replays the same weekly churn delta stream two ways and times each
+//! step:
+//!
+//! * **full rebuild** — the pre-engine algorithm: apply the deltas to
+//!   cloned registries, run a complete relying-party validation, and
+//!   re-validate every visible (prefix, origin) pair from scratch;
+//! * **incremental** — [`TimelineEngine::step`]: apply the deltas, fire
+//!   validity-window events, and re-validate only the affected pairs.
+//!
+//! The two paths are asserted to produce identical per-pair statuses at
+//! every step, then per-step wall times and the engine's work counters
+//! are written to `BENCH_timeline.json` (with `host_cpus` context, like
+//! `BENCH_propagation.json`) so regressions are diffable across commits.
+
+use manrs_bench::{Scale, HARNESS_SEED};
+use manrs_irr::{validate_irr, IrrRegistry, IrrStatus};
+use manrs_net::Date;
+use manrs_rpki::{validate_origin, RelyingParty, RpkiRepository, RpkiStatus};
+use manrs_scenario::{weekly_steps, RegistryDelta, ScenarioWorld, SeriesStep, TimelineEngine};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Measurement {
+    scale: &'static str,
+    weeks: usize,
+    churn: f64,
+    pairs: usize,
+    deltas: usize,
+    full_secs_per_step: f64,
+    incremental_secs_per_step: f64,
+    pairs_revalidated_per_step: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.full_secs_per_step / self.incremental_secs_per_step.max(1e-12)
+    }
+}
+
+/// The pre-engine weekly algorithm, one step at a time: mutate the
+/// registries, then validate everything from scratch.
+struct FullRebuild {
+    repository: RpkiRepository,
+    irr: IrrRegistry,
+    date: Date,
+}
+
+impl FullRebuild {
+    fn new(world: &ScenarioWorld, date: Date) -> Self {
+        FullRebuild { repository: world.repository.clone(), irr: world.irr.clone(), date }
+    }
+
+    fn apply(&mut self, delta: &RegistryDelta) {
+        match delta {
+            RegistryDelta::RoaAdded { ca, roa } => {
+                let _ = self.repository.sign_roa(*ca, *roa);
+            }
+            RegistryDelta::RoaRemoved { roa } => {
+                let _ = self.repository.revoke_roa(*roa);
+            }
+            RegistryDelta::RouteObjectAdded { object } => {
+                self.irr.add_route(object.clone());
+            }
+            RegistryDelta::RouteObjectRemoved { prefix, origin } => {
+                self.irr.remove_route(prefix, *origin);
+            }
+            // Membership and activation do not affect validation state.
+            RegistryDelta::MemberJoined { .. } | RegistryDelta::OriginActivated { .. } => {}
+        }
+    }
+
+    fn step(&mut self, world: &ScenarioWorld, step: &SeriesStep) -> Vec<(RpkiStatus, IrrStatus)> {
+        self.date = step.date;
+        for delta in &step.deltas {
+            self.apply(delta);
+        }
+        let (vrps, _) = RelyingParty::new(self.date).validate(&self.repository);
+        world
+            .rib
+            .visible()
+            .map(|obs| {
+                (
+                    validate_origin(&vrps, &obs.prefix, obs.origin),
+                    validate_irr(&self.irr, &obs.prefix, obs.origin),
+                )
+            })
+            .collect()
+    }
+}
+
+fn measure_scale(
+    scale: Scale,
+    name: &'static str,
+    weeks: usize,
+    churn: f64,
+    out: &mut Vec<Measurement>,
+) {
+    eprintln!("[{name}] building world ...");
+    let world = ScenarioWorld::builder(scale.config(HARNESS_SEED)).build();
+    let steps = weekly_steps(&world, weeks, churn, world.config.seed);
+    let total_deltas: usize = steps.iter().map(|s| s.deltas.len()).sum();
+
+    // Incremental path. Engine construction (the one-time full pass) is
+    // excluded: the comparison is per-step work once both are warm.
+    let mut engine = TimelineEngine::new(&world, steps[0].date);
+    engine.take_stats();
+    let mut full = FullRebuild::new(&world, steps[0].date);
+    let mut incremental_secs = 0.0;
+    let mut full_secs = 0.0;
+    for step in &steps {
+        let start = Instant::now();
+        engine.step(step.date, step.deltas.clone());
+        incremental_secs += start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let reference = full.step(&world, step);
+        full_secs += start.elapsed().as_secs_f64();
+
+        let incremental: Vec<_> =
+            engine.snapshot().prefix_origins.iter().map(|po| (po.rpki, po.irr)).collect();
+        assert_eq!(incremental, reference, "incremental diverged from full rebuild at {:?}", step.date);
+    }
+    let stats = engine.take_stats();
+
+    out.push(Measurement {
+        scale: name,
+        weeks,
+        churn,
+        pairs: engine.pair_count(),
+        deltas: total_deltas,
+        full_secs_per_step: full_secs / weeks as f64,
+        incremental_secs_per_step: incremental_secs / weeks as f64,
+        pairs_revalidated_per_step: stats.pairs_revalidated as f64 / weeks as f64,
+    });
+}
+
+fn render_json(measurements: &[Measurement]) -> String {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    json.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"scale\": \"{}\",", m.scale);
+        let _ = writeln!(json, "      \"weeks\": {},", m.weeks);
+        let _ = writeln!(json, "      \"churn\": {},", m.churn);
+        let _ = writeln!(json, "      \"pairs\": {},", m.pairs);
+        let _ = writeln!(json, "      \"deltas\": {},", m.deltas);
+        let _ = writeln!(json, "      \"full_secs_per_step\": {:.6},", m.full_secs_per_step);
+        let _ = writeln!(
+            json,
+            "      \"incremental_secs_per_step\": {:.6},",
+            m.incremental_secs_per_step
+        );
+        let _ = writeln!(
+            json,
+            "      \"pairs_revalidated_per_step\": {:.1},",
+            m.pairs_revalidated_per_step
+        );
+        let _ = writeln!(json, "      \"speedup\": {:.3}", m.speedup());
+        let _ = writeln!(json, "    }}{}", if i + 1 == measurements.len() { "" } else { "," });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    // The paper's stability analysis: 12 weekly snapshots at a churn
+    // rate that flips a fraction of a percent of registrations per week.
+    let weeks = 12;
+    let churn = 0.004;
+    let mut measurements = Vec::new();
+    measure_scale(Scale::Small, "small", weeks, churn, &mut measurements);
+    measure_scale(Scale::Medium, "medium", weeks, churn, &mut measurements);
+
+    println!(
+        "{:<8} {:>6} {:>8} {:>8} {:>8} {:>14} {:>14} {:>12} {:>8}",
+        "scale", "weeks", "churn", "pairs", "deltas", "full s/step", "incr s/step", "reval/step", "speedup"
+    );
+    for m in &measurements {
+        println!(
+            "{:<8} {:>6} {:>8} {:>8} {:>8} {:>14.6} {:>14.6} {:>12.1} {:>7.2}x",
+            m.scale,
+            m.weeks,
+            m.churn,
+            m.pairs,
+            m.deltas,
+            m.full_secs_per_step,
+            m.incremental_secs_per_step,
+            m.pairs_revalidated_per_step,
+            m.speedup()
+        );
+    }
+
+    let json = render_json(&measurements);
+    let path = "BENCH_timeline.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    eprintln!("wrote {path}");
+}

@@ -14,7 +14,7 @@ use manrs_core::{
 use manrs_ihr::PrefixOriginRecord;
 use manrs_net::{Asn, Date, Rir};
 use manrs_rpki::RpkiStatus;
-use manrs_scenario::timeline::{weekly_snapshots, yearly_snapshots};
+use manrs_scenario::SnapshotSeries;
 use manrs_scenario::ScenarioWorld;
 use manrs_topology::SizeClass;
 use std::collections::{BTreeMap, BTreeSet};
@@ -26,7 +26,7 @@ fn members(world: &ScenarioWorld) -> BTreeSet<Asn> {
 /// Figure 2: growth of MANRS organizations and ASes, 2015–2022.
 pub fn fig2(world: &ScenarioWorld) -> ExperimentResult {
     let mut r = ExperimentResult::new("fig2", "MANRS participant growth 2015-2022");
-    let dates: Vec<Date> = yearly_snapshots(world).iter().map(|s| s.date).collect();
+    let dates: Vec<Date> = SnapshotSeries::yearly(world).map(|s| s.date).collect();
     let series = ParticipationAnalysis::growth_series(&world.manrs, &dates);
     for p in &series {
         r.push(
@@ -48,7 +48,7 @@ pub fn fig2(world: &ScenarioWorld) -> ExperimentResult {
 /// Figure 4a: MANRS ASes per RIR over time.
 pub fn fig4a(world: &ScenarioWorld) -> ExperimentResult {
     let mut r = ExperimentResult::new("fig4a", "MANRS ASes by RIR over time");
-    let dates: Vec<Date> = yearly_snapshots(world).iter().map(|s| s.date).collect();
+    let dates: Vec<Date> = SnapshotSeries::yearly(world).map(|s| s.date).collect();
     let series =
         ParticipationAnalysis::by_rir_series(&world.manrs, &world.world.topology, &dates);
     for (date, counts) in &series {
@@ -74,7 +74,7 @@ pub fn fig4a(world: &ScenarioWorld) -> ExperimentResult {
 /// per RIR, over time.
 pub fn fig4b(world: &ScenarioWorld) -> ExperimentResult {
     let mut r = ExperimentResult::new("fig4b", "% of routed IPv4 space by RIR over time");
-    let snaps = yearly_snapshots(world);
+    let snaps: Vec<_> = SnapshotSeries::yearly(world).collect();
     let mut last_total = 0.0;
     for snap in &snaps {
         let shares = ParticipationAnalysis::routed_space_share(
@@ -428,7 +428,8 @@ pub fn table1(world: &ScenarioWorld) -> ExperimentResult {
 pub fn finding8_stability(world: &ScenarioWorld) -> ExperimentResult {
     let mut r =
         ExperimentResult::new("f87", "Conformance stability, 12 weekly snapshots (§8.5)");
-    let snapshots = weekly_snapshots(world, 12, 0.004);
+    let snapshots: Vec<_> =
+        SnapshotSeries::weekly(world, 12, 0.004).map(|s| s.ihr).collect();
     let date = world.config.snapshot_date;
     for (label, paper_stable, program, threshold) in [
         ("CDN", "18/21 consistently conformant", ManrsProgram::Cdn, ConformanceThreshold::Cdn),
@@ -460,7 +461,7 @@ pub fn finding8_stability(world: &ScenarioWorld) -> ExperimentResult {
 /// Figure 6: RPKI saturation of MANRS vs non-MANRS space over time.
 pub fn fig6(world: &ScenarioWorld) -> ExperimentResult {
     let mut r = ExperimentResult::new("fig6", "RPKI-covered routed address space (Fig. 6)");
-    let snaps = yearly_snapshots(world);
+    let snaps: Vec<_> = SnapshotSeries::yearly(world).collect();
     for snap in &snaps {
         let sat = rpki_saturation(&snap.table, &snap.members, &snap.vrps, snap.date);
         r.push(
@@ -689,7 +690,7 @@ mod tests {
 
     #[test]
     fn every_experiment_runs_on_a_small_world() {
-        let world = ScenarioWorld::build(ScenarioConfig::small(5));
+        let world = ScenarioWorld::builder(ScenarioConfig::small(5)).build();
         let results = all(&world);
         assert_eq!(results.len(), 14);
         for r in &results {

@@ -61,7 +61,7 @@ pub fn build_world() -> ScenarioWorld {
     let threads = par.effective_threads(usize::MAX);
     eprintln!("building {scale:?} world (seed {HARNESS_SEED}, {threads} threads) ...");
     let start = std::time::Instant::now();
-    let world = ScenarioWorld::build_with(scale.config(HARNESS_SEED), &par);
+    let world = ScenarioWorld::builder(scale.config(HARNESS_SEED)).parallel(par).build();
     let elapsed = start.elapsed().as_secs_f64();
     let announcements = world.announcements.len();
     eprintln!(

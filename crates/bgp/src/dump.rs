@@ -132,7 +132,7 @@ pub fn announcements_of(rib: &CollectedRib) -> Vec<Announcement> {
 mod tests {
     use super::*;
     use crate::policy::PolicyTable;
-    use crate::table::collect_table;
+    use crate::table::TableCollector;
     use manrs_irr::IrrStatus;
     use manrs_net::Rir;
     use manrs_rpki::RpkiStatus;
@@ -166,7 +166,7 @@ mod tests {
                 IrrStatus::NotFound,
             ),
         ];
-        collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1), Asn(4)])
+        TableCollector::new(&t, &PolicyTable::default(), &[Asn(1), Asn(4)]).collect(&anns)
     }
 
     #[test]

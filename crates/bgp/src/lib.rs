@@ -52,4 +52,6 @@ pub use propagate::{
     RoutingOutcome,
 };
 pub use stats::{moas_conflicts, table_stats, TableStats};
+#[allow(deprecated)] // shims re-exported for downstream compatibility
 pub use table::{collect_table, collect_table_with};
+pub use table::TableCollector;

@@ -87,7 +87,7 @@ mod tests {
     use super::*;
     use crate::announcement::Announcement;
     use crate::policy::PolicyTable;
-    use crate::table::collect_table;
+    use crate::table::TableCollector;
     use manrs_irr::IrrStatus;
     use manrs_net::Rir;
     use manrs_rpki::RpkiStatus;
@@ -115,7 +115,7 @@ mod tests {
             Announcement::new(p, Asn(4), RpkiStatus::InvalidAsn, IrrStatus::NotFound),
             Announcement::new(q, Asn(3), RpkiStatus::NotFound, IrrStatus::Valid),
         ];
-        collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1)])
+        TableCollector::new(&t, &PolicyTable::default(), &[Asn(1)]).collect(&anns)
     }
 
     #[test]

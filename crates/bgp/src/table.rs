@@ -30,30 +30,112 @@ impl FilterClass {
     }
 }
 
-/// Propagates every announcement and collects the vantage view, using
-/// the thread count from `MANRS_THREADS` (auto-detected when unset).
+/// Builder-style entry point for whole-table collection: fix the
+/// topology, policies, and vantage points once, optionally override the
+/// parallelism, then collect one or more announcement sets.
+///
+/// ```
+/// # use manrs_bgp::{TableCollector, PolicyTable, ParallelConfig};
+/// # use manrs_topology::AsTopology;
+/// # let topology = AsTopology::new();
+/// # let policies = PolicyTable::default();
+/// # let vantages: Vec<manrs_net::Asn> = Vec::new();
+/// let rib = TableCollector::new(&topology, &policies, &vantages)
+///     .parallel(ParallelConfig::serial())
+///     .collect(&[]);
+/// # assert_eq!(rib.observations.len(), 0);
+/// ```
 ///
 /// Announcement order is preserved in the output. Memoization is per
 /// (origin, filter class); with the four RPKI × four IRR statuses there
 /// are at most eight classes per origin, and real mixes produce one or
-/// two.
+/// two. The expensive per-class propagations fan out across worker
+/// threads (each reusing one [`PropagationScratch`]), as does the
+/// per-announcement vantage observation; classes are discovered and
+/// numbered serially in announcement order and results stitched back in
+/// input order, so the output is bit-for-bit identical for any thread
+/// count — including [`ParallelConfig::serial`].
+#[derive(Debug, Clone)]
+pub struct TableCollector<'a> {
+    topology: &'a AsTopology,
+    policies: &'a PolicyTable,
+    vantages: &'a [Asn],
+    parallel: ParallelConfig,
+}
+
+impl<'a> TableCollector<'a> {
+    /// Creates a collector with the thread count taken from
+    /// `MANRS_THREADS` (auto-detected when unset).
+    pub fn new(topology: &'a AsTopology, policies: &'a PolicyTable, vantages: &'a [Asn]) -> Self {
+        TableCollector { topology, policies, vantages, parallel: ParallelConfig::from_env() }
+    }
+
+    /// Overrides the parallelism configuration.
+    pub fn parallel(mut self, cfg: ParallelConfig) -> Self {
+        self.parallel = cfg;
+        self
+    }
+
+    /// Propagates every announcement and collects the vantage view.
+    pub fn collect(&self, announcements: &[Announcement]) -> CollectedRib {
+        let cfg = &self.parallel;
+        let graph = DenseGraph::build(self.topology, self.policies);
+
+        // Serial pass: number the (origin, filter-class) equivalence
+        // classes in first-appearance order, one representative each.
+        let mut memo: HashMap<(Asn, FilterClass), usize> = HashMap::new();
+        let mut reps: Vec<&Announcement> = Vec::new();
+        let mut class_of: Vec<usize> = Vec::with_capacity(announcements.len());
+        for ann in announcements {
+            let key = (ann.origin, FilterClass::of(ann));
+            let next = reps.len();
+            let idx = *memo.entry(key).or_insert_with(|| {
+                reps.push(ann);
+                next
+            });
+            class_of.push(idx);
+        }
+
+        // Parallel pass 1: one propagation per class, each worker
+        // reusing its own scratch.
+        let outcomes: Vec<RoutingOutcome> = par_map_with(
+            cfg,
+            &reps,
+            || PropagationScratch::with_capacity(graph.len()),
+            |scratch, ann| {
+                propagate_dense_into(&graph, ann, scratch);
+                scratch.to_outcome()
+            },
+        );
+
+        // Parallel pass 2: per-announcement vantage observation.
+        let indexed: Vec<(usize, &Announcement)> =
+            class_of.iter().copied().zip(announcements.iter()).collect();
+        let observations = par_map(cfg, &indexed, |&(class, ann)| {
+            observe(&graph, &outcomes[class], ann, self.vantages)
+        });
+
+        CollectedRib::new(self.vantages.to_vec(), observations)
+    }
+}
+
+/// Propagates every announcement and collects the vantage view, using
+/// the thread count from `MANRS_THREADS` (auto-detected when unset).
+#[deprecated(since = "0.2.0", note = "use `TableCollector::new(...).collect(...)`")]
 pub fn collect_table(
     topology: &AsTopology,
     policies: &PolicyTable,
     announcements: &[Announcement],
     vantages: &[Asn],
 ) -> CollectedRib {
-    collect_table_with(topology, policies, announcements, vantages, &ParallelConfig::from_env())
+    TableCollector::new(topology, policies, vantages).collect(announcements)
 }
 
 /// [`collect_table`] with an explicit parallelism configuration.
-///
-/// The expensive per-class propagations fan out across worker threads
-/// (each worker reusing one [`PropagationScratch`]), as does the
-/// per-announcement vantage observation. Classes are discovered and
-/// numbered serially in announcement order, and results are stitched
-/// back in input order, so the output is bit-for-bit identical for any
-/// thread count — including [`ParallelConfig::serial`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TableCollector::new(...).parallel(cfg).collect(...)`"
+)]
 pub fn collect_table_with(
     topology: &AsTopology,
     policies: &PolicyTable,
@@ -61,43 +143,7 @@ pub fn collect_table_with(
     vantages: &[Asn],
     cfg: &ParallelConfig,
 ) -> CollectedRib {
-    let graph = DenseGraph::build(topology, policies);
-
-    // Serial pass: number the (origin, filter-class) equivalence classes
-    // in first-appearance order and pick one representative each.
-    let mut memo: HashMap<(Asn, FilterClass), usize> = HashMap::new();
-    let mut reps: Vec<&Announcement> = Vec::new();
-    let mut class_of: Vec<usize> = Vec::with_capacity(announcements.len());
-    for ann in announcements {
-        let key = (ann.origin, FilterClass::of(ann));
-        let next = reps.len();
-        let idx = *memo.entry(key).or_insert_with(|| {
-            reps.push(ann);
-            next
-        });
-        class_of.push(idx);
-    }
-
-    // Parallel pass 1: one propagation per class, each worker reusing
-    // its own scratch.
-    let outcomes: Vec<RoutingOutcome> = par_map_with(
-        cfg,
-        &reps,
-        || PropagationScratch::with_capacity(graph.len()),
-        |scratch, ann| {
-            propagate_dense_into(&graph, ann, scratch);
-            scratch.to_outcome()
-        },
-    );
-
-    // Parallel pass 2: per-announcement vantage observation.
-    let indexed: Vec<(usize, &Announcement)> =
-        class_of.iter().copied().zip(announcements.iter()).collect();
-    let observations = par_map(cfg, &indexed, |&(class, ann)| {
-        observe(&graph, &outcomes[class], ann, vantages)
-    });
-
-    CollectedRib::new(vantages.to_vec(), observations)
+    TableCollector::new(topology, policies, vantages).parallel(*cfg).collect(announcements)
 }
 
 #[cfg(test)]
@@ -138,7 +184,7 @@ mod tests {
             ann("10.1.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
             ann("10.2.0.0/16", 4, RpkiStatus::NotFound, IrrStatus::NotFound),
         ];
-        let rib = collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1)]);
+        let rib = TableCollector::new(&t, &PolicyTable::default(), &[Asn(1)]).collect(&anns);
         assert_eq!(rib.observations.len(), 3);
         assert_eq!(rib.observations[0].prefix, anns[0].prefix);
         assert_eq!(rib.observations[2].origin, Asn(4));
@@ -156,7 +202,7 @@ mod tests {
             ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
             ann("10.1.0.0/16", 3, RpkiStatus::InvalidAsn, IrrStatus::Valid),
         ];
-        let rib = collect_table(&t, &policies, &anns, &[Asn(1)]);
+        let rib = TableCollector::new(&t, &policies, &[Asn(1)]).collect(&anns);
         // Valid one is seen, invalid one blocked at AS2.
         assert!(rib.observations[0].is_visible());
         assert!(!rib.observations[1].is_visible());
@@ -166,7 +212,7 @@ mod tests {
     fn vantage_order_and_identity_preserved() {
         let t = topo();
         let anns = vec![ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid)];
-        let rib = collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1), Asn(4)]);
+        let rib = TableCollector::new(&t, &PolicyTable::default(), &[Asn(1), Asn(4)]).collect(&anns);
         assert_eq!(rib.vantages, vec![Asn(1), Asn(4)]);
         // Both vantages see it (4 via provider route).
         assert_eq!(rib.observations[0].paths.len(), 2);
@@ -175,7 +221,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let t = topo();
-        let rib = collect_table(&t, &PolicyTable::default(), &[], &[Asn(1)]);
+        let rib = TableCollector::new(&t, &PolicyTable::default(), &[Asn(1)]).collect(&[]);
         assert_eq!(rib.observations.len(), 0);
         assert_eq!(rib.visible_count(), 0);
     }
@@ -228,16 +274,13 @@ mod tests {
             .collect();
         let vantages = [Asn(1), Asn(2), Asn(15), Asn(80), Asn(160)];
 
-        let serial =
-            collect_table_with(&t, &policies, &anns, &vantages, &ParallelConfig::serial());
+        let collector = TableCollector::new(&t, &policies, &vantages);
+        let serial = collector.clone().parallel(ParallelConfig::serial()).collect(&anns);
         for threads in [2, 4, 8] {
-            let parallel = collect_table_with(
-                &t,
-                &policies,
-                &anns,
-                &vantages,
-                &ParallelConfig::with_threads(threads),
-            );
+            let parallel = collector
+                .clone()
+                .parallel(ParallelConfig::with_threads(threads))
+                .collect(&anns);
             assert_eq!(parallel.vantages, serial.vantages, "threads={threads}");
             assert_eq!(parallel.observations, serial.observations, "threads={threads}");
             assert_eq!(parallel.visible_count(), serial.visible_count(), "threads={threads}");

@@ -3,7 +3,7 @@
 //! filtering must only ever shrink reach.
 
 use manrs_bgp::propagate::{propagate_dense, propagate_dense_into, DenseGraph, PropagationScratch};
-use manrs_bgp::{collect_table, propagate, Announcement, FilteringPolicy, PolicyTable};
+use manrs_bgp::{propagate, Announcement, FilteringPolicy, PolicyTable, TableCollector};
 use manrs_irr::IrrStatus;
 use manrs_net::{Asn, Rir};
 use manrs_rpki::RpkiStatus;
@@ -169,7 +169,7 @@ proptest! {
             irr_strict_length: false,
         });
         let vantages: Vec<Asn> = vec![Asn(1), Asn(2)];
-        let rib = collect_table(&t, &policies, &anns, &vantages);
+        let rib = TableCollector::new(&t, &policies, &vantages).collect(&anns);
         for (i, a) in anns.iter().enumerate() {
             let (g, o) = propagate(&t, &policies, a);
             let expect: Vec<Vec<Asn>> = vantages

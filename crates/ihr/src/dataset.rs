@@ -81,6 +81,83 @@ impl IhrSnapshot {
     }
 }
 
+/// A reverse index from (prefix, origin) into a snapshot's rows, for
+/// patching registry statuses **in place** instead of rebuilding the
+/// snapshot — the core of incremental re-validation: a registry delta
+/// touches a handful of pairs, and only those rows change.
+///
+/// The index stores row positions, so it stays valid as long as the
+/// snapshot's row layout is unchanged (statuses may be patched freely;
+/// rows must not be added, removed, or reordered).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotIndex {
+    rows: BTreeMap<(Prefix, Asn), RowSet>,
+}
+
+/// Row positions for one (prefix, origin) pair.
+#[derive(Debug, Clone, Default)]
+struct RowSet {
+    prefix_origins: Vec<usize>,
+    transits: Vec<usize>,
+}
+
+impl SnapshotIndex {
+    /// Indexes a snapshot's rows by (prefix, origin).
+    pub fn build(snapshot: &IhrSnapshot) -> Self {
+        let mut rows: BTreeMap<(Prefix, Asn), RowSet> = BTreeMap::new();
+        for (i, po) in snapshot.prefix_origins.iter().enumerate() {
+            rows.entry((po.prefix, po.origin)).or_default().prefix_origins.push(i);
+        }
+        for (i, t) in snapshot.transits.iter().enumerate() {
+            rows.entry((t.prefix, t.origin)).or_default().transits.push(i);
+        }
+        SnapshotIndex { rows }
+    }
+
+    /// Number of distinct (prefix, origin) pairs indexed.
+    pub fn pair_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Writes new registry statuses onto every row of `(prefix, origin)`
+    /// — the prefix-origin row and all of the pair's transit rows.
+    /// Returns how many rows actually changed (0 both when the statuses
+    /// already matched and when the pair has no rows).
+    ///
+    /// The snapshot must have the same row layout as the one the index
+    /// was built from.
+    pub fn patch(
+        &self,
+        snapshot: &mut IhrSnapshot,
+        prefix: Prefix,
+        origin: Asn,
+        rpki: RpkiStatus,
+        irr: IrrStatus,
+    ) -> usize {
+        let Some(set) = self.rows.get(&(prefix, origin)) else {
+            return 0;
+        };
+        let mut changed = 0;
+        for &i in &set.prefix_origins {
+            let row = &mut snapshot.prefix_origins[i];
+            if row.rpki != rpki || row.irr != irr {
+                row.rpki = rpki;
+                row.irr = irr;
+                changed += 1;
+            }
+        }
+        for &i in &set.transits {
+            let row = &mut snapshot.transits[i];
+            if row.rpki != rpki || row.irr != irr {
+                row.rpki = rpki;
+                row.irr = irr;
+                changed += 1;
+            }
+        }
+        changed
+    }
+}
+
 /// Builds both datasets from a collected RIB.
 ///
 /// Only visible observations contribute — announcements no vantage point
@@ -131,7 +208,7 @@ pub fn build_snapshot(rib: &CollectedRib, topology: &AsTopology) -> IhrSnapshot 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use manrs_bgp::{collect_table, Announcement, PolicyTable};
+    use manrs_bgp::{Announcement, PolicyTable, TableCollector};
     use manrs_net::Rir;
     use manrs_topology::{AsInfo, NetworkKind, OrgId};
 
@@ -161,7 +238,8 @@ mod tests {
             RpkiStatus::Valid,
             IrrStatus::Valid,
         )];
-        let rib = collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1), Asn(4)]);
+        let rib =
+            TableCollector::new(&t, &PolicyTable::default(), &[Asn(1), Asn(4)]).collect(&anns);
         build_snapshot(&rib, &t)
     }
 
@@ -212,10 +290,37 @@ mod tests {
             RpkiStatus::Valid,
             IrrStatus::Valid,
         )];
-        let rib = collect_table(&t, &PolicyTable::default(), &anns, &[Asn(1)]);
+        let rib = TableCollector::new(&t, &PolicyTable::default(), &[Asn(1)]).collect(&anns);
         let s = build_snapshot(&rib, &t);
         assert!(s.prefix_origins.is_empty());
         assert!(s.transits.is_empty());
+    }
+
+    #[test]
+    fn index_patches_all_rows_of_a_pair() {
+        let mut s = snapshot();
+        let index = SnapshotIndex::build(&s);
+        assert_eq!(index.pair_count(), 1);
+        let prefix: Prefix = "10.0.0.0/16".parse().unwrap();
+        let transit_rows = s.transits.len();
+        assert!(transit_rows > 0);
+
+        let changed =
+            index.patch(&mut s, prefix, Asn(3), RpkiStatus::InvalidAsn, IrrStatus::NotFound);
+        assert_eq!(changed, 1 + transit_rows, "prefix-origin row plus every transit row");
+        assert!(s.prefix_origins.iter().all(|po| po.rpki == RpkiStatus::InvalidAsn));
+        assert!(s.transits.iter().all(|t| t.irr == IrrStatus::NotFound));
+
+        // Idempotent: re-patching the same statuses changes nothing.
+        assert_eq!(
+            index.patch(&mut s, prefix, Asn(3), RpkiStatus::InvalidAsn, IrrStatus::NotFound),
+            0
+        );
+        // Unknown pairs are a no-op.
+        assert_eq!(
+            index.patch(&mut s, prefix, Asn(9), RpkiStatus::Valid, IrrStatus::Valid),
+            0
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod dataset;
 pub mod hegemony;
 pub mod io;
 
-pub use dataset::{build_snapshot, IhrSnapshot, PrefixOriginRecord, TransitRecord};
+pub use dataset::{build_snapshot, IhrSnapshot, PrefixOriginRecord, SnapshotIndex, TransitRecord};
 pub use hegemony::hegemony_scores;
 pub use io::{parse_snapshot, write_prefix_origins, write_transits};
 

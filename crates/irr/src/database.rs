@@ -143,6 +143,27 @@ impl IrrRegistry {
         self.databases.iter_mut().find(|d| d.source == source)
     }
 
+    /// Registers a route object in the database whose source tag matches
+    /// the object's `source`; returns `false` (dropping the object) when
+    /// no such database exists. The typed-delta path of the timeline
+    /// engine routes additions through here.
+    pub fn add_route(&mut self, route: RouteObject) -> bool {
+        match self.databases.iter_mut().find(|d| d.source == route.source) {
+            Some(db) => {
+                db.add_route(route);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes route objects for `prefix` originated by `origin` from
+    /// *every* database (mirrors can hold duplicates); returns how many
+    /// were deleted across the collection.
+    pub fn remove_route(&mut self, prefix: &Prefix, origin: Asn) -> usize {
+        self.databases.iter_mut().map(|db| db.remove_route(prefix, origin)).sum()
+    }
+
     /// Route objects covering `prefix`, across every database.
     pub fn covering_routes(&self, prefix: &Prefix) -> Vec<&RouteObject> {
         let mut out = Vec::new();
@@ -228,6 +249,26 @@ mod tests {
         assert_eq!(reg.route_count(), 2);
         let covering = reg.covering_routes(&"10.0.0.0/16".parse().unwrap());
         assert_eq!(covering.len(), 2);
+    }
+
+    #[test]
+    fn registry_level_route_churn() {
+        let mut ripe = IrrDatabase::new("RIPE", Some(Rir::RipeNcc));
+        ripe.add_route(route("10.0.0.0/8", 1, "RIPE"));
+        let mut radb = IrrDatabase::new("RADB", None);
+        radb.add_route(route("10.0.0.0/8", 1, "RADB")); // mirror duplicate
+        let mut reg = IrrRegistry::new();
+        reg.add_database(ripe);
+        reg.add_database(radb);
+
+        assert!(reg.add_route(route("10.1.0.0/16", 2, "RADB")));
+        assert!(!reg.add_route(route("10.1.0.0/16", 2, "ALTDB")), "unknown source dropped");
+        assert_eq!(reg.route_count(), 3);
+
+        // Removal sweeps every database.
+        assert_eq!(reg.remove_route(&"10.0.0.0/8".parse().unwrap(), Asn(1)), 2);
+        assert_eq!(reg.remove_route(&"10.0.0.0/8".parse().unwrap(), Asn(1)), 0);
+        assert_eq!(reg.route_count(), 1);
     }
 
     #[test]

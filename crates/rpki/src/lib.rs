@@ -26,8 +26,8 @@ pub mod validation;
 pub mod vrp;
 
 pub use archive::{parse_vrps_csv, write_vrps_csv, VrpArchive};
-pub use relying_party::{RelyingParty, ValidationReport};
-pub use repository::{CaCertificate, CaId, RoaId, RpkiRepository, TrustAnchor};
+pub use relying_party::{acceptance_window, RejectReason, RelyingParty, ValidationReport};
+pub use repository::{CaCertificate, CaId, RoaId, RpkiRepository, SignedRoa, TrustAnchor};
 pub use roa::Roa;
 pub use validation::{validate_origin, RpkiStatus};
 pub use vrp::{Vrp, VrpSet};

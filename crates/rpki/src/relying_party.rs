@@ -5,7 +5,7 @@
 //! certificate and ROA for currency, revocation, and resource containment,
 //! and emit the surviving payloads as a [`VrpSet`].
 
-use crate::repository::RpkiRepository;
+use crate::repository::{RpkiRepository, SignedRoa};
 use crate::vrp::{Vrp, VrpSet};
 use manrs_net::Date;
 use serde::{Deserialize, Serialize};
@@ -73,42 +73,83 @@ impl RelyingParty {
         let mut report = ValidationReport::default();
         for signed in repo.roas() {
             report.examined += 1;
-            if signed.revoked {
-                report.note(RejectReason::RoaRevoked);
-                continue;
+            match self.evaluate(repo, signed) {
+                Ok(vrp) => {
+                    vrps.insert(vrp);
+                    report.accepted += 1;
+                }
+                Err(reason) => report.note(reason),
             }
-            let Some(ca) = repo.ca(signed.ca) else {
-                report.note(RejectReason::OrphanCa);
-                continue;
-            };
-            if ca.revoked {
-                report.note(RejectReason::CaRevoked);
-                continue;
-            }
-            if !(ca.not_before <= self.evaluation_date && self.evaluation_date <= ca.not_after) {
-                report.note(RejectReason::CaExpired);
-                continue;
-            }
-            // Resource containment, re-checked bottom-up: the ROA must be
-            // within the CA's resources, and the CA's claim on that space
-            // must be within its anchor's administration.
-            let anchored = repo
-                .anchor(ca.issuer)
-                .map(|anchor| anchor.holds(&signed.roa.prefix))
-                .unwrap_or(false);
-            if !ca.holds(&signed.roa.prefix) || !anchored {
-                report.note(RejectReason::OverClaim);
-                continue;
-            }
-            if !signed.roa.is_current(self.evaluation_date) {
-                report.note(RejectReason::RoaExpired);
-                continue;
-            }
-            vrps.insert(Vrp::from(&signed.roa));
-            report.accepted += 1;
         }
         (vrps, report)
     }
+
+    /// Evaluates one signed object's full chain at the evaluation date —
+    /// the single per-object check [`RelyingParty::validate`] runs over
+    /// the whole repository, exposed so incremental re-validation (the
+    /// scenario crate's timeline engine) applies *exactly* the same
+    /// rules to one object at a time.
+    pub fn evaluate(
+        &self,
+        repo: &RpkiRepository,
+        signed: &SignedRoa,
+    ) -> Result<Vrp, RejectReason> {
+        if signed.revoked {
+            return Err(RejectReason::RoaRevoked);
+        }
+        let Some(ca) = repo.ca(signed.ca) else {
+            return Err(RejectReason::OrphanCa);
+        };
+        if ca.revoked {
+            return Err(RejectReason::CaRevoked);
+        }
+        if !(ca.not_before <= self.evaluation_date && self.evaluation_date <= ca.not_after) {
+            return Err(RejectReason::CaExpired);
+        }
+        // Resource containment, re-checked bottom-up: the ROA must be
+        // within the CA's resources, and the CA's claim on that space
+        // must be within its anchor's administration.
+        let anchored = repo
+            .anchor(ca.issuer)
+            .map(|anchor| anchor.holds(&signed.roa.prefix))
+            .unwrap_or(false);
+        if !ca.holds(&signed.roa.prefix) || !anchored {
+            return Err(RejectReason::OverClaim);
+        }
+        if !signed.roa.is_current(self.evaluation_date) {
+            return Err(RejectReason::RoaExpired);
+        }
+        Ok(Vrp::from(&signed.roa))
+    }
+}
+
+/// The dates (inclusive) at which [`RelyingParty::evaluate`] would accept
+/// `signed` given the repository's *current* revocation and containment
+/// state, or `None` if no date can: `evaluate` at date `d` succeeds iff
+/// `d` lies within the returned window.
+///
+/// Only the CA and ROA validity windows are date-dependent; revocation
+/// and resource containment are not, so the window stays correct until
+/// the repository itself changes (which incremental consumers observe as
+/// explicit deltas and re-check).
+pub fn acceptance_window(repo: &RpkiRepository, signed: &SignedRoa) -> Option<(Date, Date)> {
+    if signed.revoked {
+        return None;
+    }
+    let ca = repo.ca(signed.ca)?;
+    if ca.revoked {
+        return None;
+    }
+    let anchored = repo
+        .anchor(ca.issuer)
+        .map(|anchor| anchor.holds(&signed.roa.prefix))
+        .unwrap_or(false);
+    if !ca.holds(&signed.roa.prefix) || !anchored {
+        return None;
+    }
+    let start = ca.not_before.max(signed.roa.not_before);
+    let end = ca.not_after.min(signed.roa.not_after);
+    (start <= end).then_some((start, end))
 }
 
 #[cfg(test)]
@@ -190,6 +231,47 @@ mod tests {
         let (vrps, report) = RelyingParty::new(d("2022-05-01")).validate(&repo);
         assert!(vrps.is_empty());
         assert_eq!(report.rejected, vec![(RejectReason::OverClaim, 1)]);
+    }
+
+    #[test]
+    fn acceptance_window_agrees_with_evaluate() {
+        let (mut repo, ca) = base_repo();
+        // ROA window [2021, 2025] against CA window [2020, 2024]: the
+        // acceptance window is the intersection [2021, 2024].
+        let roa = Roa::exact(p("10.1.2.0/24"), Asn(1), d("2021-01-01"), d("2025-01-01"));
+        let id = repo.sign_roa(ca, roa).unwrap();
+        let signed = repo.roa(id).unwrap();
+        let (start, end) = acceptance_window(&repo, signed).unwrap();
+        assert_eq!(start, d("2021-01-01"));
+        assert_eq!(end, d("2024-01-01"));
+        for probe in
+            ["2020-12-31", "2021-01-01", "2022-06-15", "2024-01-01", "2024-01-02"]
+        {
+            let date = d(probe);
+            let accepted = RelyingParty::new(date).evaluate(&repo, signed).is_ok();
+            assert_eq!(accepted, start <= date && date <= end, "at {probe}");
+        }
+    }
+
+    #[test]
+    fn acceptance_window_none_for_dead_objects() {
+        let (mut repo, ca) = base_repo();
+        let roa = Roa::exact(p("10.1.2.0/24"), Asn(1), d("2021-01-01"), d("2023-01-01"));
+        let id = repo.sign_roa(ca, roa).unwrap();
+        repo.revoke_roa(id).unwrap();
+        assert!(acceptance_window(&repo, repo.roa(id).unwrap()).is_none());
+
+        let (mut repo, ca) = base_repo();
+        // Outside the CA's resources: rejected at every date.
+        let bad = Roa::exact(p("10.2.0.0/24"), Asn(1), d("2021-01-01"), d("2023-01-01"));
+        let id = repo.sign_roa_unchecked(ca, bad);
+        assert!(acceptance_window(&repo, repo.roa(id).unwrap()).is_none());
+
+        let (mut repo, ca) = base_repo();
+        // ROA window entirely after the CA expires: empty intersection.
+        let late = Roa::exact(p("10.1.2.0/24"), Asn(1), d("2025-01-01"), d("2026-01-01"));
+        let id = repo.sign_roa(ca, late).unwrap();
+        assert!(acceptance_window(&repo, repo.roa(id).unwrap()).is_none());
     }
 
     #[test]

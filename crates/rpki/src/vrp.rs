@@ -7,7 +7,7 @@ use std::fmt;
 
 /// A Validated ROA Payload: the (prefix, asn, maxLength) triple emitted by
 /// relying-party software after certificate-chain validation (RFC 6811 §2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Vrp {
     /// The authorized prefix.
     pub prefix: Prefix,
@@ -81,6 +81,23 @@ impl VrpSet {
     /// Adds a VRP.
     pub fn insert(&mut self, vrp: Vrp) {
         self.map.insert(vrp.prefix, vrp);
+    }
+
+    /// Removes at most one VRP equal to `vrp`; returns whether one was
+    /// removed. Identical ROAs produce identical VRPs that the set keeps
+    /// as duplicates, so incremental maintenance (one ROA revoked, its
+    /// twin still valid) must retract exactly one copy.
+    pub fn remove_one(&mut self, vrp: &Vrp) -> bool {
+        let mut removed = false;
+        self.map.remove_where(&vrp.prefix, |v| {
+            if !removed && v == vrp {
+                removed = true;
+                true
+            } else {
+                false
+            }
+        });
+        removed
     }
 
     /// All VRPs whose prefix covers `prefix` — the covering-VRP set of
@@ -169,6 +186,22 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(set.covered_space().v4_len(), 1 << 24);
+    }
+
+    #[test]
+    fn remove_one_takes_a_single_duplicate() {
+        let mut set = VrpSet::new();
+        let vrp = Vrp::new(p("10.0.0.0/16"), Asn(1), 24);
+        set.insert(vrp);
+        set.insert(vrp); // twin registration from an identical ROA
+        set.insert(Vrp::new(p("10.0.0.0/16"), Asn(2), 16));
+        assert_eq!(set.len(), 3);
+        assert!(set.remove_one(&vrp));
+        assert_eq!(set.len(), 2, "only one duplicate goes");
+        assert!(set.remove_one(&vrp));
+        assert!(!set.remove_one(&vrp), "no copies left");
+        assert_eq!(set.len(), 1);
+        assert!(!set.remove_one(&Vrp::new(p("11.0.0.0/16"), Asn(1), 16)));
     }
 
     #[test]

@@ -19,8 +19,8 @@ use crate::behavior::BehaviorModel;
 use crate::config::ScenarioConfig;
 use crate::enroll::enroll;
 use manrs_bgp::{
-    collect_table_with, par_map, Announcement, CollectedRib, FilteringPolicy, ParallelConfig,
-    PolicyTable,
+    par_map, Announcement, CollectedRib, FilteringPolicy, ParallelConfig, PolicyTable,
+    TableCollector,
 };
 use manrs_core::{ManrsProgram, ManrsRegistry, PeeringDb, PeeringDbRecord};
 use manrs_ihr::{build_snapshot, IhrSnapshot};
@@ -79,22 +79,42 @@ pub struct ScenarioWorld {
     pub truth_irr_filter: BTreeSet<Asn>,
 }
 
-impl ScenarioWorld {
-    /// Builds the world from a configuration, with the thread count
-    /// taken from `MANRS_THREADS` (auto-detected when unset).
-    /// Deterministic in the config's seeds — parallelism never changes
-    /// the result (see [`ScenarioWorld::build_with`]).
-    pub fn build(config: ScenarioConfig) -> Self {
-        let par = ParallelConfig::from_env();
-        Self::build_with(config, &par)
+/// Builder-style construction of a [`ScenarioWorld`]: fix the
+/// configuration, optionally override the parallelism, then build.
+///
+/// ```no_run
+/// use manrs_scenario::{ScenarioConfig, ScenarioWorld};
+/// use manrs_bgp::ParallelConfig;
+///
+/// let world = ScenarioWorld::builder(ScenarioConfig::small(42))
+///     .parallel(ParallelConfig::serial())
+///     .build();
+/// # let _ = world;
+/// ```
+///
+/// Only the embarrassingly parallel stages fan out (per-announcement
+/// RPKI/IRR validation and table collection); all RNG-driven generation
+/// stays serial, so the built world is bit-for-bit identical for any
+/// thread count.
+#[derive(Debug, Clone)]
+pub struct ScenarioWorldBuilder {
+    config: ScenarioConfig,
+    parallel: ParallelConfig,
+}
+
+impl ScenarioWorldBuilder {
+    /// Overrides the parallelism configuration (default: thread count
+    /// from `MANRS_THREADS`, auto-detected when unset).
+    pub fn parallel(mut self, cfg: ParallelConfig) -> Self {
+        self.parallel = cfg;
+        self
     }
 
-    /// [`ScenarioWorld::build`] with an explicit parallelism
-    /// configuration. Only the embarrassingly parallel stages fan out
-    /// (per-announcement RPKI/IRR validation and table collection); all
-    /// RNG-driven generation stays serial, so the built world is
-    /// bit-for-bit identical for any thread count.
-    pub fn build_with(config: ScenarioConfig, par: &ParallelConfig) -> Self {
+    /// Builds the world. Deterministic in the config's seeds —
+    /// parallelism never changes the result.
+    pub fn build(self) -> ScenarioWorld {
+        let ScenarioWorldBuilder { config, parallel } = self;
+        let par = &parallel;
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5343_454E);
         let world = TopologyBuilder::new(config.topology.clone()).generate();
         let cones = ConeAnalysis::compute(&world.topology, config.thresholds);
@@ -448,7 +468,9 @@ impl ScenarioWorld {
             }
         }
 
-        let rib = collect_table_with(&world.topology, &policies, &announcements, &vantages, par);
+        let rib = TableCollector::new(&world.topology, &policies, &vantages)
+            .parallel(*par)
+            .collect(&announcements);
         let ihr = build_snapshot(&rib, &world.topology);
         let mut observed_table = Prefix2As::new();
         for obs in rib.visible() {
@@ -475,6 +497,29 @@ impl ScenarioWorld {
             truth_rov,
             truth_irr_filter,
         }
+    }
+}
+
+impl ScenarioWorld {
+    /// Starts building a world from a configuration. See
+    /// [`ScenarioWorldBuilder`].
+    pub fn builder(config: ScenarioConfig) -> ScenarioWorldBuilder {
+        ScenarioWorldBuilder { config, parallel: ParallelConfig::from_env() }
+    }
+
+    /// Builds the world with the thread count taken from `MANRS_THREADS`.
+    #[deprecated(since = "0.2.0", note = "use `ScenarioWorld::builder(config).build()`")]
+    pub fn build(config: ScenarioConfig) -> Self {
+        ScenarioWorld::builder(config).build()
+    }
+
+    /// Builds the world with an explicit parallelism configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ScenarioWorld::builder(config).parallel(cfg).build()`"
+    )]
+    pub fn build_with(config: ScenarioConfig, par: &ParallelConfig) -> Self {
+        ScenarioWorld::builder(config).parallel(*par).build()
     }
 
     /// Member ASNs at the snapshot date.
@@ -533,7 +578,7 @@ mod tests {
     use crate::config::ScenarioConfig;
 
     fn built() -> ScenarioWorld {
-        ScenarioWorld::build(ScenarioConfig::small(42))
+        ScenarioWorld::builder(ScenarioConfig::small(42)).build()
     }
 
     #[test]
@@ -548,10 +593,12 @@ mod tests {
 
     #[test]
     fn parallel_build_matches_serial() {
-        let serial =
-            ScenarioWorld::build_with(ScenarioConfig::small(42), &ParallelConfig::serial());
-        let parallel =
-            ScenarioWorld::build_with(ScenarioConfig::small(42), &ParallelConfig::with_threads(4));
+        let serial = ScenarioWorld::builder(ScenarioConfig::small(42))
+            .parallel(ParallelConfig::serial())
+            .build();
+        let parallel = ScenarioWorld::builder(ScenarioConfig::small(42))
+            .parallel(ParallelConfig::with_threads(4))
+            .build();
         assert_eq!(serial.announcements, parallel.announcements);
         assert_eq!(serial.vantages, parallel.vantages);
         assert_eq!(serial.rib.observations, parallel.rib.observations);

@@ -1,0 +1,598 @@
+//! The incremental timeline engine.
+//!
+//! Both of the paper's longitudinal analyses (§7 yearly participation,
+//! §8.5 weekly stability) step a built world through time while its
+//! registries change. Rebuilding and re-validating the *entire* visible
+//! prefix-origin set at every step is wasteful: a weekly step churns a
+//! handful of ROAs and route objects, each of which can only affect the
+//! pairs its prefix covers. [`TimelineEngine`] maintains per-pair
+//! validation state plus reverse indexes, applies typed
+//! [`RegistryDelta`]s, re-validates **only** the affected pairs, and
+//! patches the [`IhrSnapshot`] in place.
+//!
+//! The incremental path shares its per-object rules with the full
+//! relying-party pass ([`RelyingParty::evaluate`] is the body of
+//! `RelyingParty::validate`'s loop), so incremental state is equivalent
+//! to a full recompute *by construction* — and a property test in this
+//! crate asserts it bit-for-bit across random delta sequences.
+//!
+//! Three reverse indexes make deltas cheap:
+//!
+//! * a coverage trie mapping each visible pair's prefix to its slot, so
+//!   a VRP or route object at prefix `P` re-validates exactly the pairs
+//!   whose prefix is contained in `P` (`PrefixMap::covered_by`);
+//! * a per-ROA contribution map recording which [`Vrp`] each accepted
+//!   object put into the set, so a revocation retracts exactly one copy
+//!   (twin registrations stay);
+//! * a validity-window event queue (from
+//!   [`acceptance_window`](manrs_rpki::acceptance_window)) that turns
+//!   the passage of time itself into deltas: advancing the date fires
+//!   activation/expiry events for exactly the ROAs whose windows open
+//!   or close in between.
+
+use crate::build::ScenarioWorld;
+use manrs_ihr::{IhrSnapshot, SnapshotIndex};
+use manrs_irr::{validate_irr, IrrRegistry, IrrStatus, RouteObject};
+use manrs_net::{Asn, Date, Prefix, PrefixMap};
+use manrs_rpki::{
+    acceptance_window, validate_origin, CaId, RelyingParty, RoaId, Roa, RpkiRepository,
+    RpkiStatus, Vrp, VrpSet,
+};
+use manrs_topology::Prefix2As;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One typed change to the registries or the routed world. The timeline
+/// series are just streams of these applied to a [`TimelineEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryDelta {
+    /// A new ROA is signed under an existing CA. Ignored (like a real
+    /// publication point rejecting it) if the CA is unknown or does not
+    /// hold the prefix.
+    RoaAdded {
+        /// The signing CA.
+        ca: CaId,
+        /// The payload to sign.
+        roa: Roa,
+    },
+    /// An existing ROA is revoked (withdrawn). Unknown or already
+    /// revoked ids are a no-op.
+    RoaRemoved {
+        /// The object to revoke.
+        roa: RoaId,
+    },
+    /// A route object is registered in the IRR database matching its
+    /// `source` tag. Dropped if no such database exists.
+    RouteObjectAdded {
+        /// The object to register.
+        object: RouteObject,
+    },
+    /// Route objects for (prefix, origin) are deleted from every IRR
+    /// database (mirrors hold duplicates).
+    RouteObjectRemoved {
+        /// The registered prefix.
+        prefix: Prefix,
+        /// The registered origin.
+        origin: Asn,
+    },
+    /// An AS (all of an org's ASNs arrive as individual deltas) joins
+    /// MANRS.
+    MemberJoined {
+        /// The joining AS.
+        asn: Asn,
+    },
+    /// An AS starts announcing its intended prefixes (drives the yearly
+    /// routed-table growth). Already-active origins are a no-op.
+    OriginActivated {
+        /// The newly active origin.
+        origin: Asn,
+    },
+}
+
+/// Counters describing how much work the engine actually did — the
+/// numbers `bench_timeline` reports against the full-rebuild baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Deltas applied (including no-ops).
+    pub deltas_applied: usize,
+    /// Validity-window events fired by date advancement.
+    pub events_fired: usize,
+    /// (prefix, origin) pairs re-validated incrementally.
+    pub pairs_revalidated: usize,
+    /// Snapshot rows whose statuses actually changed.
+    pub rows_patched: usize,
+}
+
+/// A fully materialized point of a timeline: everything the yearly and
+/// weekly analyses consume, cloned out of the engine's live state.
+#[derive(Debug, Clone)]
+pub struct TimelineSnapshot {
+    /// The snapshot date.
+    pub date: Date,
+    /// The routed table as of the date (origins active by then).
+    pub table: Prefix2As,
+    /// VRPs validated at the date.
+    pub vrps: VrpSet,
+    /// Member ASNs as of the date.
+    pub members: BTreeSet<Asn>,
+    /// The IHR datasets over the world's fixed visible set, statuses
+    /// validated at the date against the engine's registries.
+    pub ihr: IhrSnapshot,
+}
+
+/// Incremental re-validation state over one built world.
+///
+/// The engine clones the world's registries (so delta streams never
+/// mutate the world) and owns the evolving validation state: the VRP
+/// set, the per-pair statuses, the patched snapshot, the routed table,
+/// and the membership set. Time only moves forward
+/// ([`TimelineEngine::advance_to`]); registry changes arrive as
+/// [`RegistryDelta`]s ([`TimelineEngine::apply_all`]), and
+/// [`TimelineEngine::step`] does both in one re-validation batch.
+pub struct TimelineEngine<'w> {
+    world: &'w ScenarioWorld,
+    date: Date,
+    repository: RpkiRepository,
+    irr: IrrRegistry,
+    vrps: VrpSet,
+    /// Which VRP each accepted ROA currently contributes.
+    contributions: BTreeMap<RoaId, Vrp>,
+    /// Pending validity-window crossings, keyed by the first date the
+    /// ROA's acceptance changes.
+    events: BTreeSet<(Date, RoaId)>,
+    members: BTreeSet<Asn>,
+    active: BTreeSet<Asn>,
+    table: Prefix2As,
+    /// The distinct visible (prefix, origin) pairs, slot-indexed.
+    pairs: Vec<(Prefix, Asn)>,
+    /// Reverse index: pair prefix → slot, queried with `covered_by` to
+    /// find every pair a registry change at some prefix can affect.
+    coverage: PrefixMap<usize>,
+    /// Current (rpki, irr) status per slot — the engine's source of
+    /// truth, mirrored into `snapshot` by in-place patching.
+    status: Vec<(RpkiStatus, IrrStatus)>,
+    snapshot: IhrSnapshot,
+    index: SnapshotIndex,
+    stats: EngineStats,
+}
+
+impl<'w> TimelineEngine<'w> {
+    /// Builds the engine's initial state: registries cloned from the
+    /// world, every visible pair validated at `date`, validity-window
+    /// events scheduled for every ROA whose acceptance changes after
+    /// `date`.
+    pub fn new(world: &'w ScenarioWorld, date: Date) -> Self {
+        let repository = world.repository.clone();
+        let irr = world.irr.clone();
+
+        let rp = RelyingParty::new(date);
+        let mut vrps = VrpSet::new();
+        let mut contributions = BTreeMap::new();
+        let mut events = BTreeSet::new();
+        for signed in repository.roas() {
+            if let Some((start, end)) = acceptance_window(&repository, signed) {
+                if start > date {
+                    events.insert((start, signed.id));
+                }
+                let after_end = end.plus_days(1);
+                if after_end > date {
+                    events.insert((after_end, signed.id));
+                }
+            }
+            if let Ok(vrp) = rp.evaluate(&repository, signed) {
+                vrps.insert(vrp);
+                contributions.insert(signed.id, vrp);
+            }
+        }
+
+        let members = world.manrs.member_asns(date);
+        let active: BTreeSet<Asn> = world
+            .active_since
+            .iter()
+            .filter(|(_, since)| **since <= date)
+            .map(|(asn, _)| *asn)
+            .collect();
+        let mut table = Prefix2As::new();
+        for (prefix, origin) in world.world.intended.entries() {
+            if active.contains(origin) {
+                table.add(*prefix, *origin);
+            }
+        }
+
+        let mut snapshot = world.ihr.clone();
+        let index = SnapshotIndex::build(&snapshot);
+        let mut pairs: Vec<(Prefix, Asn)> = Vec::new();
+        let mut seen: BTreeSet<(Prefix, Asn)> = BTreeSet::new();
+        let mut coverage = PrefixMap::new();
+        for obs in world.rib.visible() {
+            let key = (obs.prefix, obs.origin);
+            if seen.insert(key) {
+                coverage.insert(obs.prefix, pairs.len());
+                pairs.push(key);
+            }
+        }
+        let mut status = Vec::with_capacity(pairs.len());
+        for &(prefix, origin) in &pairs {
+            let rpki = validate_origin(&vrps, &prefix, origin);
+            let irr_status = validate_irr(&irr, &prefix, origin);
+            index.patch(&mut snapshot, prefix, origin, rpki, irr_status);
+            status.push((rpki, irr_status));
+        }
+
+        TimelineEngine {
+            world,
+            date,
+            repository,
+            irr,
+            vrps,
+            contributions,
+            events,
+            members,
+            active,
+            table,
+            pairs,
+            coverage,
+            status,
+            snapshot,
+            index,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The current engine date.
+    pub fn date(&self) -> Date {
+        self.date
+    }
+
+    /// The world this engine steps through time.
+    pub fn world(&self) -> &'w ScenarioWorld {
+        self.world
+    }
+
+    /// The IHR snapshot, patched to the current date and registry state.
+    pub fn snapshot(&self) -> &IhrSnapshot {
+        &self.snapshot
+    }
+
+    /// The routed table as of the current date.
+    pub fn table(&self) -> &Prefix2As {
+        &self.table
+    }
+
+    /// The VRP set as of the current date and registry state.
+    pub fn vrps(&self) -> &VrpSet {
+        &self.vrps
+    }
+
+    /// The engine's (delta-mutated) RPKI repository.
+    pub fn repository(&self) -> &RpkiRepository {
+        &self.repository
+    }
+
+    /// The engine's (delta-mutated) IRR registry.
+    pub fn irr(&self) -> &IrrRegistry {
+        &self.irr
+    }
+
+    /// Member ASNs as of the current date.
+    pub fn members(&self) -> &BTreeSet<Asn> {
+        &self.members
+    }
+
+    /// The distinct visible (prefix, origin) pairs under incremental
+    /// maintenance.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Work counters accumulated since construction (or the last
+    /// [`TimelineEngine::take_stats`]).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Returns and resets the work counters — per-step accounting for
+    /// benchmarks.
+    pub fn take_stats(&mut self) -> EngineStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Advances the engine to `date` (which must not move backwards),
+    /// firing the validity-window events in between and re-validating
+    /// the pairs they cover.
+    pub fn advance_to(&mut self, date: Date) {
+        let mut affected = BTreeSet::new();
+        self.advance_inner(date, &mut affected);
+        self.revalidate_slots(&affected);
+    }
+
+    /// Applies one delta and re-validates the pairs it covers.
+    pub fn apply(&mut self, delta: RegistryDelta) {
+        self.apply_all(std::iter::once(delta));
+    }
+
+    /// Applies a batch of deltas, re-validating each affected pair once
+    /// no matter how many deltas touch it.
+    pub fn apply_all<I: IntoIterator<Item = RegistryDelta>>(&mut self, deltas: I) {
+        let mut affected = BTreeSet::new();
+        for delta in deltas {
+            self.apply_inner(delta, &mut affected);
+        }
+        self.revalidate_slots(&affected);
+    }
+
+    /// One timeline step: advance to `date`, apply the step's deltas,
+    /// and re-validate every affected pair in a single batch.
+    pub fn step<I: IntoIterator<Item = RegistryDelta>>(&mut self, date: Date, deltas: I) {
+        let mut affected = BTreeSet::new();
+        self.advance_inner(date, &mut affected);
+        for delta in deltas {
+            self.apply_inner(delta, &mut affected);
+        }
+        self.revalidate_slots(&affected);
+    }
+
+    /// Clones the current state into a [`TimelineSnapshot`].
+    pub fn materialize(&self) -> TimelineSnapshot {
+        TimelineSnapshot {
+            date: self.date,
+            table: self.table.clone(),
+            vrps: self.vrps.clone(),
+            members: self.members.clone(),
+            ihr: self.snapshot.clone(),
+        }
+    }
+
+    fn advance_inner(&mut self, date: Date, affected: &mut BTreeSet<usize>) {
+        assert!(date >= self.date, "TimelineEngine only moves forward in time");
+        self.date = date;
+        let due: Vec<(Date, RoaId)> =
+            self.events.range(..=(date, RoaId(u64::MAX))).copied().collect();
+        for key in due {
+            self.events.remove(&key);
+            self.stats.events_fired += 1;
+            self.sync_roa(key.1, affected);
+        }
+    }
+
+    fn apply_inner(&mut self, delta: RegistryDelta, affected: &mut BTreeSet<usize>) {
+        self.stats.deltas_applied += 1;
+        match delta {
+            RegistryDelta::RoaAdded { ca, roa } => {
+                if let Ok(id) = self.repository.sign_roa(ca, roa) {
+                    self.schedule_roa(id);
+                    self.sync_roa(id, affected);
+                }
+            }
+            RegistryDelta::RoaRemoved { roa } => {
+                if self.repository.revoke_roa(roa).is_ok() {
+                    self.sync_roa(roa, affected);
+                }
+            }
+            RegistryDelta::RouteObjectAdded { object } => {
+                let prefix = object.prefix;
+                if self.irr.add_route(object) {
+                    self.mark_covered(&prefix, affected);
+                }
+            }
+            RegistryDelta::RouteObjectRemoved { prefix, origin } => {
+                if self.irr.remove_route(&prefix, origin) > 0 {
+                    self.mark_covered(&prefix, affected);
+                }
+            }
+            RegistryDelta::MemberJoined { asn } => {
+                self.members.insert(asn);
+            }
+            RegistryDelta::OriginActivated { origin } => {
+                if self.active.insert(origin) {
+                    for prefix in self.world.world.intended.prefixes_of(origin) {
+                        self.table.add(*prefix, origin);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Schedules the validity-window crossings of a (newly signed) ROA
+    /// that lie after the current date.
+    fn schedule_roa(&mut self, id: RoaId) {
+        let Some(signed) = self.repository.roa(id) else { return };
+        if let Some((start, end)) = acceptance_window(&self.repository, signed) {
+            if start > self.date {
+                self.events.insert((start, id));
+            }
+            let after_end = end.plus_days(1);
+            if after_end > self.date {
+                self.events.insert((after_end, id));
+            }
+        }
+    }
+
+    /// Re-derives one ROA's acceptance at the current date and
+    /// reconciles the VRP set with what it contributed before. Safe to
+    /// call spuriously (an event firing after the ROA was revoked, a
+    /// revocation of an already-rejected object): a no-op when the
+    /// contribution is unchanged.
+    fn sync_roa(&mut self, id: RoaId, affected: &mut BTreeSet<usize>) {
+        let rp = RelyingParty::new(self.date);
+        let accepted =
+            self.repository.roa(id).and_then(|signed| rp.evaluate(&self.repository, signed).ok());
+        let previous = self.contributions.get(&id).copied();
+        match (previous, accepted) {
+            (None, Some(vrp)) => {
+                self.vrps.insert(vrp);
+                self.contributions.insert(id, vrp);
+                self.mark_covered(&vrp.prefix, affected);
+            }
+            (Some(vrp), None) => {
+                self.vrps.remove_one(&vrp);
+                self.contributions.remove(&id);
+                self.mark_covered(&vrp.prefix, affected);
+            }
+            (Some(old), Some(new)) if old != new => {
+                self.vrps.remove_one(&old);
+                self.vrps.insert(new);
+                self.contributions.insert(id, new);
+                self.mark_covered(&old.prefix, affected);
+                self.mark_covered(&new.prefix, affected);
+            }
+            _ => {}
+        }
+    }
+
+    /// Marks every pair whose prefix is covered by `prefix` (equal or
+    /// more specific) — exactly the pairs whose RFC 6811 / IRR outcome a
+    /// registry change at `prefix` can influence.
+    fn mark_covered(&self, prefix: &Prefix, affected: &mut BTreeSet<usize>) {
+        for &slot in self.coverage.covered_by(prefix) {
+            affected.insert(slot);
+        }
+    }
+
+    fn revalidate_slots(&mut self, affected: &BTreeSet<usize>) {
+        for &slot in affected {
+            let (prefix, origin) = self.pairs[slot];
+            let rpki = validate_origin(&self.vrps, &prefix, origin);
+            let irr_status = validate_irr(&self.irr, &prefix, origin);
+            self.stats.pairs_revalidated += 1;
+            if (rpki, irr_status) != self.status[slot] {
+                self.status[slot] = (rpki, irr_status);
+                self.stats.rows_patched +=
+                    self.index.patch(&mut self.snapshot, prefix, origin, rpki, irr_status);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+
+    fn world() -> ScenarioWorld {
+        ScenarioWorld::builder(ScenarioConfig::small(11)).build()
+    }
+
+    /// Full recompute of every pair's statuses against the engine's
+    /// current registries — the reference the incremental path must
+    /// match bit-for-bit.
+    fn reference_statuses(engine: &TimelineEngine<'_>) -> Vec<(RpkiStatus, IrrStatus)> {
+        let (vrps, _) = RelyingParty::new(engine.date()).validate(engine.repository());
+        engine
+            .pairs
+            .iter()
+            .map(|(p, o)| (validate_origin(&vrps, p, *o), validate_irr(engine.irr(), p, *o)))
+            .collect()
+    }
+
+    fn snapshot_statuses(engine: &TimelineEngine<'_>) -> Vec<(RpkiStatus, IrrStatus)> {
+        engine
+            .pairs
+            .iter()
+            .map(|&(prefix, origin)| {
+                let row = engine
+                    .snapshot()
+                    .prefix_origins
+                    .iter()
+                    .find(|po| po.prefix == prefix && po.origin == origin)
+                    .expect("pair has a snapshot row");
+                (row.rpki, row.irr)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn init_matches_world_snapshot() {
+        let w = world();
+        let engine = TimelineEngine::new(&w, w.config.snapshot_date);
+        // At the world's own snapshot date, the engine's patched
+        // snapshot must be exactly the world's.
+        assert_eq!(engine.snapshot().prefix_origins, w.ihr.prefix_origins);
+        assert_eq!(engine.snapshot().transits, w.ihr.transits);
+        assert_eq!(engine.vrps().len(), w.vrps.len());
+        assert_eq!(engine.members(), &w.member_asns());
+    }
+
+    #[test]
+    fn revocation_revalidates_only_covered_pairs() {
+        let w = world();
+        let mut engine = TimelineEngine::new(&w, w.config.snapshot_date);
+        engine.take_stats();
+        // Revoke the ROA behind some accepted contribution.
+        let (&id, _) = engine.contributions.iter().next().expect("accepted ROAs exist");
+        engine.apply(RegistryDelta::RoaRemoved { roa: id });
+        let stats = engine.take_stats();
+        assert!(stats.pairs_revalidated < engine.pair_count());
+        assert_eq!(snapshot_statuses(&engine), reference_statuses(&engine));
+    }
+
+    #[test]
+    fn mixed_delta_batch_matches_full_recompute() {
+        let w = world();
+        let mut engine = TimelineEngine::new(&w, Date::ymd(2022, 2, 1));
+        let ids: Vec<RoaId> = engine.repository().roas().map(|r| r.id).collect();
+        let entries = w.world.intended.entries().to_vec();
+        let mut deltas: Vec<RegistryDelta> = Vec::new();
+        for id in ids.iter().step_by(5) {
+            deltas.push(RegistryDelta::RoaRemoved { roa: *id });
+        }
+        for (prefix, origin) in entries.iter().step_by(7) {
+            deltas.push(RegistryDelta::RouteObjectRemoved { prefix: *prefix, origin: *origin });
+        }
+        engine.step(Date::ymd(2022, 3, 1), deltas);
+        assert_eq!(snapshot_statuses(&engine), reference_statuses(&engine));
+
+        // A second step with nothing to do changes nothing.
+        let before = snapshot_statuses(&engine);
+        engine.apply_all(std::iter::empty());
+        assert_eq!(snapshot_statuses(&engine), before);
+    }
+
+    #[test]
+    fn window_crossings_fire_as_events() {
+        let w = world();
+        // Start early enough that many ROA windows are still closed,
+        // then sweep to the snapshot date: every activation must fire as
+        // an event and land the engine on the full-recompute statuses.
+        let mut engine = TimelineEngine::new(&w, Date::ymd(2015, 1, 1));
+        engine.take_stats();
+        engine.advance_to(Date::ymd(2022, 5, 1));
+        let stats = engine.take_stats();
+        assert!(stats.events_fired > 0, "window openings must fire");
+        assert_eq!(snapshot_statuses(&engine), reference_statuses(&engine));
+        assert_eq!(engine.vrps().len(), w.vrps.len(), "same date, same VRPs as the world");
+    }
+
+    #[test]
+    #[should_panic(expected = "only moves forward")]
+    fn time_cannot_move_backwards() {
+        let w = world();
+        let mut engine = TimelineEngine::new(&w, Date::ymd(2022, 2, 1));
+        engine.advance_to(Date::ymd(2022, 1, 1));
+    }
+
+    #[test]
+    fn origin_activation_and_membership_deltas() {
+        let w = world();
+        let d0 = Date::ymd(2015, 1, 1);
+        let mut engine = TimelineEngine::new(&w, d0);
+        let before = engine.table().len();
+        // Find an origin not yet active at d0 that owns intended space.
+        let origin = w
+            .active_since
+            .iter()
+            .find(|(asn, since)| {
+                **since > d0 && !w.world.intended.prefixes_of(**asn).is_empty()
+            })
+            .map(|(asn, _)| *asn)
+            .expect("some origin activates after 2015");
+        engine.apply(RegistryDelta::OriginActivated { origin });
+        assert!(engine.table().len() > before);
+        let grown = engine.table().len();
+        engine.apply(RegistryDelta::OriginActivated { origin });
+        assert_eq!(engine.table().len(), grown, "re-activation is a no-op");
+
+        assert!(!engine.members().contains(&Asn(u32::MAX)));
+        engine.apply(RegistryDelta::MemberJoined { asn: Asn(u32::MAX) });
+        assert!(engine.members().contains(&Asn(u32::MAX)));
+    }
+}

@@ -100,7 +100,7 @@ mod tests {
     use manrs_core::pre_post_exposure;
 
     fn world() -> ScenarioWorld {
-        ScenarioWorld::build(ScenarioConfig::small(21))
+        ScenarioWorld::builder(ScenarioConfig::small(21)).build()
     }
 
     #[test]

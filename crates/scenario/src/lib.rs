@@ -17,20 +17,31 @@
 //!   events (NIC.br Brazil push, China Telecom, the 2020 CDN program).
 //! * [`build`] — the world builder: registries, policies, announcements,
 //!   propagation, collection, IHR datasets.
+//! * [`engine`] — the incremental [`TimelineEngine`]: typed registry
+//!   deltas, reverse indexes, and affected-pair re-validation, so
+//!   stepping a world through time costs work proportional to what
+//!   changed instead of a full rebuild.
 //! * [`timeline`] — yearly snapshots 2015–2022 (Figs. 2/4/6) and weekly
-//!   churn snapshots (§8.5 stability).
+//!   churn snapshots (§8.5 stability), both expressed as delta streams
+//!   replayed through one engine by [`SnapshotSeries`].
 //! * [`incidents`] — incident-log generation for the §12 future-work
 //!   pre/post-join exposure analysis.
 
 pub mod behavior;
 pub mod build;
 pub mod config;
+pub mod engine;
 pub mod enroll;
 pub mod incidents;
 pub mod timeline;
 
 pub use behavior::{BehaviorMatrix, BehaviorModel};
-pub use build::ScenarioWorld;
+pub use build::{ScenarioWorld, ScenarioWorldBuilder};
 pub use config::ScenarioConfig;
+pub use engine::{EngineStats, RegistryDelta, TimelineEngine, TimelineSnapshot};
 pub use incidents::{generate_incidents, protection_payoff};
-pub use timeline::{weekly_snapshots, yearly_dates, YearlySnapshot};
+#[allow(deprecated)] // shims re-exported for downstream compatibility
+pub use timeline::{weekly_snapshots, yearly_snapshots};
+pub use timeline::{
+    weekly_steps, yearly_dates, yearly_steps, SeriesStep, SnapshotSeries, YearlySnapshot,
+};

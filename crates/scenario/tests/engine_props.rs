@@ -1,0 +1,141 @@
+//! Property test: the incremental [`TimelineEngine`] is bit-for-bit
+//! equivalent to a full recompute, for random delta sequences.
+//!
+//! Each case draws a sequence of steps (a date jump plus a batch of
+//! deltas interpreted against the world's registries) and replays it
+//! through the engine. After every step, the engine's patched snapshot
+//! and VRP set must match the from-scratch reference: a full relying
+//! party run over the engine's (delta-mutated) repository plus a full
+//! IRR validation of every visible pair.
+
+use manrs_irr::{validate_irr, IrrStatus, RouteObject};
+use manrs_net::{Asn, Date};
+use manrs_rpki::{validate_origin, RelyingParty, RpkiStatus, Vrp};
+use manrs_scenario::{RegistryDelta, ScenarioConfig, ScenarioWorld, TimelineEngine};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static ScenarioWorld {
+    static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
+    WORLD.get_or_init(|| ScenarioWorld::builder(ScenarioConfig::small(23)).build())
+}
+
+/// One proptest-drawn delta, interpreted against the world.
+fn interpret(world: &ScenarioWorld, kind: u8, index: usize) -> RegistryDelta {
+    let entries = world.world.intended.entries();
+    match kind % 6 {
+        0 => {
+            let ids: Vec<_> = world.repository.roas().map(|r| r.id).collect();
+            RegistryDelta::RoaRemoved { roa: ids[index % ids.len()] }
+        }
+        1 => {
+            let (prefix, origin) = entries[index % entries.len()];
+            RegistryDelta::RouteObjectRemoved { prefix, origin }
+        }
+        2 => {
+            // Re-sign an existing payload under its own CA: containment
+            // always holds, so the delta is never silently dropped.
+            let signed: Vec<_> = world.repository.roas().collect();
+            let s = signed[index % signed.len()];
+            RegistryDelta::RoaAdded { ca: s.ca, roa: s.roa }
+        }
+        3 => {
+            let (prefix, origin) = entries[index % entries.len()];
+            let source = world.irr.databases()[index % world.irr.databases().len()]
+                .source
+                .clone();
+            RegistryDelta::RouteObjectAdded {
+                object: RouteObject {
+                    prefix,
+                    origin,
+                    descr: "churn".into(),
+                    mnt_by: "MAINT-PROP".into(),
+                    source,
+                    last_modified: Date::ymd(2022, 3, 1),
+                },
+            }
+        }
+        4 => RegistryDelta::MemberJoined { asn: Asn(64_512 + (index as u32 % 1024)) },
+        _ => {
+            let asns: Vec<Asn> = world.active_since.keys().copied().collect();
+            RegistryDelta::OriginActivated { origin: asns[index % asns.len()] }
+        }
+    }
+}
+
+/// Reference: full recompute of every visible pair's statuses against
+/// the engine's current registries, plus the full relying-party VRP set.
+fn reference(engine: &TimelineEngine<'_>) -> (Vec<Vrp>, Vec<(RpkiStatus, IrrStatus)>) {
+    let (vrps, _) = RelyingParty::new(engine.date()).validate(engine.repository());
+    let statuses = engine
+        .snapshot()
+        .prefix_origins
+        .iter()
+        .map(|po| {
+            (
+                validate_origin(&vrps, &po.prefix, po.origin),
+                validate_irr(engine.irr(), &po.prefix, po.origin),
+            )
+        })
+        .collect();
+    let mut sorted: Vec<Vrp> = vrps.iter().into_iter().copied().collect();
+    sorted.sort();
+    (sorted, statuses)
+}
+
+fn engine_statuses(engine: &TimelineEngine<'_>) -> Vec<(RpkiStatus, IrrStatus)> {
+    engine.snapshot().prefix_origins.iter().map(|po| (po.rpki, po.irr)).collect()
+}
+
+fn sorted_engine_vrps(engine: &TimelineEngine<'_>) -> Vec<Vrp> {
+    let mut v: Vec<Vrp> = engine.vrps().iter().into_iter().copied().collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random delta sequences: after every step, incremental state ==
+    /// full recompute, both the per-row statuses and the VRP multiset.
+    #[test]
+    fn incremental_equals_full_recompute(
+        steps in prop::collection::vec(
+            (
+                0u32..45,                                        // days to advance
+                prop::collection::vec((0u8..6, 0usize..10_000), 0..8), // deltas
+            ),
+            1..5,
+        ),
+    ) {
+        let w = world();
+        let mut engine = TimelineEngine::new(w, Date::ymd(2022, 2, 1));
+        let mut date = Date::ymd(2022, 2, 1);
+        for (days, raw) in steps {
+            date = date.plus_days(days as i64);
+            let deltas: Vec<RegistryDelta> =
+                raw.into_iter().map(|(kind, index)| interpret(w, kind, index)).collect();
+            engine.step(date, deltas);
+
+            let (want_vrps, want_statuses) = reference(&engine);
+            prop_assert_eq!(sorted_engine_vrps(&engine), want_vrps);
+            prop_assert_eq!(engine_statuses(&engine), want_statuses);
+        }
+    }
+
+    /// Pure time advancement (no deltas): validity-window events alone
+    /// keep the engine on the reference.
+    #[test]
+    fn advancement_only_equals_full_recompute(jumps in prop::collection::vec(1u32..400, 1..6)) {
+        let w = world();
+        let mut engine = TimelineEngine::new(w, Date::ymd(2015, 1, 1));
+        let mut date = Date::ymd(2015, 1, 1);
+        for days in jumps {
+            date = date.plus_days(days as i64);
+            engine.advance_to(date);
+            let (want_vrps, want_statuses) = reference(&engine);
+            prop_assert_eq!(sorted_engine_vrps(&engine), want_vrps);
+            prop_assert_eq!(engine_statuses(&engine), want_statuses);
+        }
+    }
+}

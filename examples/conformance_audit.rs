@@ -85,7 +85,7 @@ fn audit(world: &ScenarioWorld, asn: Asn) {
 }
 
 fn main() {
-    let world = ScenarioWorld::build(ScenarioConfig::small(7));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(7)).build();
     let metrics = compute_action4(&world.ihr);
     let members = world.member_asns();
 

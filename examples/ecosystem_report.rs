@@ -6,10 +6,10 @@
 //! ```
 
 use manrs_ecosystem::prelude::*;
-use manrs_ecosystem::scenario::timeline::yearly_snapshots;
+use manrs_ecosystem::scenario::SnapshotSeries;
 
 fn main() {
-    let world = ScenarioWorld::build(ScenarioConfig::medium(1));
+    let world = ScenarioWorld::builder(ScenarioConfig::medium(1)).build();
     let date = world.config.snapshot_date;
     let members = world.member_asns();
 
@@ -86,8 +86,7 @@ fn main() {
     println!();
 
     // ---- §8.6: impact ---------------------------------------------------
-    let sat_series: Vec<_> = yearly_snapshots(&world)
-        .iter()
+    let sat_series: Vec<_> = SnapshotSeries::yearly(&world)
         .map(|s| rpki_saturation(&s.table, &s.members, &s.vrps, s.date))
         .collect();
     let last = sat_series.last().unwrap();

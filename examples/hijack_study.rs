@@ -14,7 +14,7 @@ use manrs_ecosystem::bgp::propagate::{propagate_dense, DenseGraph};
 use manrs_ecosystem::prelude::*;
 
 fn main() {
-    let world = ScenarioWorld::build(ScenarioConfig::small(99));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(99)).build();
     let n = world.world.topology.len();
 
     // Victims: one RPKI-protected announcement, one fully unregistered.

@@ -9,7 +9,7 @@ use manrs_ecosystem::prelude::*;
 
 fn main() {
     // A small, deterministic world: ~400 ASes, full pipeline in seconds.
-    let world = ScenarioWorld::build(ScenarioConfig::small(2024));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(2024)).build();
     let date = world.config.snapshot_date;
     let members = world.member_asns();
 

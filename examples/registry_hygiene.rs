@@ -17,7 +17,7 @@ use manrs_ecosystem::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {
-    let world = ScenarioWorld::build(ScenarioConfig::small(77));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(77)).build();
     let members = world.member_asns();
 
     // Joint status distribution.

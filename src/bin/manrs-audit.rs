@@ -53,7 +53,7 @@ fn main() -> ExitCode {
 fn generate(dir: &Path, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(dir)?;
     eprintln!("building world (seed {seed}) ...");
-    let world = ScenarioWorld::build(ScenarioConfig::small(seed));
+    let world = ScenarioWorld::builder(ScenarioConfig::small(seed)).build();
     std::fs::write(dir.join("rib.dump"), write_table_dump(&world.rib, 1_651_363_200))?;
     let vrps: Vec<Vrp> = world.vrps.iter().into_iter().copied().collect();
     std::fs::write(dir.join("vrps.csv"), write_vrps_csv(&vrps))?;

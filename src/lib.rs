@@ -24,7 +24,7 @@
 //! use manrs_ecosystem::prelude::*;
 //!
 //! // Build a small seeded world and measure Action 4 conformance.
-//! let world = ScenarioWorld::build(ScenarioConfig::small(42));
+//! let world = ScenarioWorld::builder(ScenarioConfig::small(42)).build();
 //! let metrics = compute_action4(&world.ihr);
 //! let members = world.member_asns();
 //! let conformant = members
@@ -50,9 +50,11 @@ pub use manrs_topology as topology;
 
 /// The commonly-used names in one import.
 pub mod prelude {
+    #[allow(deprecated)] // shims re-exported for downstream compatibility
+    pub use manrs_bgp::{collect_table, collect_table_with};
     pub use manrs_bgp::{
-        collect_table, collect_table_with, Announcement, CollectedRib, FilteringPolicy, Hijack,
-        HijackKind, ParallelConfig, PolicyTable, PropagationScratch,
+        Announcement, CollectedRib, FilteringPolicy, Hijack, HijackKind, ParallelConfig,
+        PolicyTable, PropagationScratch, TableCollector,
     };
     pub use manrs_core::{
         action1_verdict, action4_verdict, attribute_mismatches, compute_action1,
@@ -65,8 +67,11 @@ pub mod prelude {
     pub use manrs_irr::{validate_irr, IrrDatabase, IrrRegistry, IrrStatus, RouteObject};
     pub use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
     pub use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};
+    #[allow(deprecated)] // shims re-exported for downstream compatibility
+    pub use manrs_scenario::{weekly_snapshots, yearly_snapshots};
     pub use manrs_scenario::{
-        weekly_snapshots, BehaviorMatrix, ScenarioConfig, ScenarioWorld,
+        BehaviorMatrix, RegistryDelta, ScenarioConfig, ScenarioWorld, ScenarioWorldBuilder,
+        SeriesStep, SnapshotSeries, TimelineEngine, TimelineSnapshot, YearlySnapshot,
     };
     pub use manrs_topology::{AsTopology, ConeAnalysis, Prefix2As, SizeClass, SizeThresholds};
 }

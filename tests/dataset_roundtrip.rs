@@ -13,7 +13,7 @@ use std::sync::OnceLock;
 
 fn world() -> &'static ScenarioWorld {
     static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
-    WORLD.get_or_init(|| ScenarioWorld::build(ScenarioConfig::small(6)))
+    WORLD.get_or_init(|| ScenarioWorld::builder(ScenarioConfig::small(6)).build())
 }
 
 /// Serializes and reparses every dataset, rebuilding the analysis inputs.

@@ -3,12 +3,12 @@
 //! never panic, and never hallucinate visibility it does not have.
 
 use manrs_ecosystem::prelude::*;
-use manrs_ecosystem::bgp::collect_table as collect;
+use manrs_ecosystem::bgp::TableCollector;
 use std::sync::OnceLock;
 
 fn world() -> &'static ScenarioWorld {
     static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
-    WORLD.get_or_init(|| ScenarioWorld::build(ScenarioConfig::small(3)))
+    WORLD.get_or_init(|| ScenarioWorld::builder(ScenarioConfig::small(3)).build())
 }
 
 /// A more-specific hijack against a ROA-protected victim is RPKI Invalid
@@ -37,12 +37,8 @@ fn rov_contains_hijacks_of_signed_prefixes() {
             kind: HijackKind::ExactPrefix,
         };
         let ann = hijack.announcement(&w.vrps, &w.irr);
-        let rib = collect(
-            &w.world.topology,
-            &w.policies,
-            &[ann],
-            &w.vantages,
-        );
+        let rib = TableCollector::new(&w.world.topology, &w.policies, &w.vantages)
+            .collect(&[ann]);
         (ann, rib.observations[0].paths.len())
     };
 
@@ -63,9 +59,11 @@ fn fewer_vantages_never_increase_visibility() {
     let w = world();
     let full = w.rib.visible_count();
     let half: Vec<Asn> = w.vantages.iter().copied().take(w.vantages.len() / 2).collect();
-    let rib_half = collect(&w.world.topology, &w.policies, &w.announcements, &half);
+    let rib_half =
+        TableCollector::new(&w.world.topology, &w.policies, &half).collect(&w.announcements);
     assert!(rib_half.visible_count() <= full);
-    let rib_none = collect(&w.world.topology, &w.policies, &w.announcements, &[]);
+    let rib_none =
+        TableCollector::new(&w.world.topology, &w.policies, &[]).collect(&w.announcements);
     assert_eq!(rib_none.visible_count(), 0);
 }
 

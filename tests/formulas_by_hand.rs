@@ -45,7 +45,7 @@ fn build() -> (AsTopology, Vec<Announcement>, Vec<Asn>) {
 
 fn snapshot() -> manrs_ecosystem::ihr::IhrSnapshot {
     let (t, anns, vantages) = build();
-    let rib = collect_table(&t, &PolicyTable::default(), &anns, &vantages);
+    let rib = TableCollector::new(&t, &PolicyTable::default(), &vantages).collect(&anns);
     build_snapshot(&rib, &t)
 }
 
@@ -143,7 +143,7 @@ fn behaviour_brackets() {
     cfg.perturbations.neighbor_misorigin = 0.0;
     cfg.perturbations.unrelated_misorigin = 0.0;
     cfg.perturbations.as0_misconfiguration = 0.0;
-    let world = ScenarioWorld::build(cfg);
+    let world = ScenarioWorld::builder(cfg).build();
     let metrics = compute_action4(&world.ihr);
     for (asn, m) in &metrics {
         assert_eq!(
@@ -165,7 +165,7 @@ fn behaviour_brackets() {
         non_manrs: [BehaviorModel::NEGLIGENT; 3],
         manrs_cdn: BehaviorModel::NEGLIGENT,
     };
-    let world = ScenarioWorld::build(cfg);
+    let world = ScenarioWorld::builder(cfg).build();
     assert!(world.vrps.is_empty());
     assert_eq!(world.irr.route_count(), 0);
     for po in &world.ihr.prefix_origins {

@@ -7,7 +7,7 @@ use std::sync::OnceLock;
 
 fn world() -> &'static ScenarioWorld {
     static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
-    WORLD.get_or_init(|| ScenarioWorld::build(ScenarioConfig::small(2)))
+    WORLD.get_or_init(|| ScenarioWorld::builder(ScenarioConfig::small(2)).build())
 }
 
 fn mean(values: impl Iterator<Item = f64>) -> Option<f64> {

@@ -5,12 +5,12 @@ use std::sync::OnceLock;
 
 fn world() -> &'static ScenarioWorld {
     static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
-    WORLD.get_or_init(|| ScenarioWorld::build(ScenarioConfig::small(1)))
+    WORLD.get_or_init(|| ScenarioWorld::builder(ScenarioConfig::small(1)).build())
 }
 
 #[test]
 fn deterministic_rebuild() {
-    let again = ScenarioWorld::build(ScenarioConfig::small(1));
+    let again = ScenarioWorld::builder(ScenarioConfig::small(1)).build();
     let w = world();
     assert_eq!(w.announcements, again.announcements);
     assert_eq!(w.ihr.prefix_origins.len(), again.ihr.prefix_origins.len());

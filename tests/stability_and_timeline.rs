@@ -2,18 +2,17 @@
 //! stability (§7, §8.5, §8.6).
 
 use manrs_ecosystem::prelude::*;
-use manrs_ecosystem::scenario::timeline::{weekly_snapshots, yearly_snapshots};
 use std::sync::OnceLock;
 
 fn world() -> &'static ScenarioWorld {
     static WORLD: OnceLock<ScenarioWorld> = OnceLock::new();
-    WORLD.get_or_init(|| ScenarioWorld::build(ScenarioConfig::small(4)))
+    WORLD.get_or_init(|| ScenarioWorld::builder(ScenarioConfig::small(4)).build())
 }
 
 #[test]
 fn growth_series_is_monotone() {
     let w = world();
-    let dates: Vec<Date> = yearly_snapshots(w).iter().map(|s| s.date).collect();
+    let dates: Vec<Date> = SnapshotSeries::yearly(w).map(|s| s.date).collect();
     let series = ParticipationAnalysis::growth_series(&w.manrs, &dates);
     for pair in series.windows(2) {
         assert!(pair[0].orgs <= pair[1].orgs);
@@ -26,7 +25,7 @@ fn growth_series_is_monotone() {
 #[test]
 fn saturation_series_rises_and_separates() {
     let w = world();
-    let snaps = yearly_snapshots(w);
+    let snaps: Vec<_> = SnapshotSeries::yearly(w).collect();
     let mut points = Vec::new();
     for snap in &snaps {
         points.push(rpki_saturation(&snap.table, &snap.members, &snap.vrps, snap.date));
@@ -59,7 +58,7 @@ fn brazil_wave_shows_in_lacnic_counts() {
 #[test]
 fn weekly_stability_mostly_stable() {
     let w = world();
-    let snapshots = weekly_snapshots(w, 12, 0.004);
+    let snapshots: Vec<_> = SnapshotSeries::weekly(w, 12, 0.004).map(|s| s.ihr).collect();
     assert_eq!(snapshots.len(), 12);
     let members: Vec<Asn> = w.member_asns().into_iter().collect();
     let histories = conformance_histories(&snapshots, &members, ConformanceThreshold::Isp);
@@ -78,7 +77,7 @@ fn higher_churn_more_fluctuation() {
     let w = world();
     let members: Vec<Asn> = w.member_asns().into_iter().collect();
     let count_fluct = |churn: f64| {
-        let snaps = weekly_snapshots(w, 8, churn);
+        let snaps: Vec<_> = SnapshotSeries::weekly(w, 8, churn).map(|s| s.ihr).collect();
         let hist = conformance_histories(&snaps, &members, ConformanceThreshold::Isp);
         stability_summary(&hist)
             .get(&StabilityClass::Fluctuating)
