@@ -1,22 +1,85 @@
 //! Machine-readable throughput benchmark for the parallel pipeline.
 //!
-//! Times the two stages the tentpole parallelized — whole-table
-//! collection and per-announcement registry validation — serial versus
-//! parallel, verifies the outputs are identical, and writes the
-//! measurements to `BENCH_propagation.json` (elements/sec, wall time,
-//! thread count, speedup) so regressions are diffable across commits.
+//! Times the pipeline's hot stages — whole-table collection, path
+//! extraction out of the collected RIB, and per-announcement registry
+//! validation — serial versus parallel, verifies the outputs are
+//! identical, and writes the measurements to `BENCH_propagation.json`
+//! (elements/sec, wall time, thread count, speedup, allocation counts,
+//! peak RSS) so regressions are diffable across commits.
 //!
-//! Scales covered: Small and Medium (`paper` scale is opt-in through
-//! the ordinary `MANRS_SCALE` binaries; this file is meant to stay
-//! cheap enough for CI).
+//! The `collect_table` stage additionally re-times the *legacy*
+//! pre-pool algorithm — reproduced verbatim in [`legacy`]: nested
+//! `Vec<Vec<u32>>` adjacency behind a HashMap ASN index, a binary-heap
+//! descent phase, one full route-table clone per (origin,
+//! filter-class), and per-announcement vantage path walks that chase
+//! `Provenance` pointers through the HashMap — so the JSON carries
+//! honest before/after elements-per-second for the CSR + bucket-queue
+//! core and the interned path representation.
+//!
+//! Scales covered: Small and Medium by default (`paper` scale is opt-in
+//! through the ordinary `MANRS_SCALE` binaries; this file is meant to
+//! stay cheap enough for CI). Set `MANRS_BENCH_SCALES=small` to run
+//! only the small scale (the CI smoke step does).
 
 use manrs_bench::{Scale, HARNESS_SEED};
 use manrs_bgp::{par_map, ParallelConfig, TableCollector};
 use manrs_irr::validate_irr;
 use manrs_rpki::validate_origin;
 use manrs_scenario::ScenarioWorld;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counts every allocation (alloc / alloc_zeroed / realloc) so stages
+/// can report how many heap allocations their parallel run performs.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// /proc/self/status), or 0 where unavailable. Monotonic over the
+/// process lifetime, so per-stage values record the high-water mark
+/// *reached by* that stage.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+        }
+    }
+    0
+}
 
 struct Measurement {
     scale: &'static str,
@@ -24,6 +87,13 @@ struct Measurement {
     elements: usize,
     serial_secs: f64,
     parallel_secs: f64,
+    /// Heap allocations performed by one parallel run of the stage.
+    parallel_allocations: u64,
+    /// Process peak RSS (KiB) after the stage finished.
+    peak_rss_kb: u64,
+    /// Pre-pool algorithm wall time, serial — only for stages with a
+    /// legacy counterpart (`collect_table`).
+    legacy_serial_secs: Option<f64>,
 }
 
 impl Measurement {
@@ -38,19 +108,235 @@ impl Measurement {
     fn serial_eps(&self) -> f64 {
         self.elements as f64 / self.serial_secs.max(1e-12)
     }
+
+    fn legacy_serial_eps(&self) -> Option<f64> {
+        self.legacy_serial_secs.map(|s| self.elements as f64 / s.max(1e-12))
+    }
 }
 
-/// Best-of-`reps` wall time for `f`.
-fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+/// Best-of-`reps` wall time for `f`, plus the allocation count of the
+/// final rep.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, u64, R) {
     let mut best = f64::INFINITY;
     let mut out = None;
+    let mut allocs = 0;
     for _ in 0..reps {
+        let before = alloc_count();
         let start = Instant::now();
         let r = f();
         best = best.min(start.elapsed().as_secs_f64());
+        allocs = alloc_count() - before;
         out = Some(r);
     }
-    (best, out.expect("reps >= 1"))
+    (best, allocs, out.expect("reps >= 1"))
+}
+
+/// The seed-era collection pipeline, reproduced verbatim so
+/// `collect_table`'s before/after compares two real implementations
+/// rather than two wrappers over the same propagation core.
+mod legacy {
+    use manrs_bgp::propagate::Provenance;
+    use manrs_bgp::{par_map, par_map_with, Announcement, FilteringPolicy, ParallelConfig, PolicyTable};
+    use manrs_irr::IrrStatus;
+    use manrs_net::Asn;
+    use manrs_topology::{AsTopology, Relationship};
+    use std::cmp::Reverse;
+    use std::collections::{BinaryHeap, HashMap};
+    use std::mem;
+
+    #[derive(Clone, Copy)]
+    struct Entry {
+        provenance: Provenance,
+        hops: u32,
+    }
+
+    /// Pre-CSR dense view: one heap-allocated neighbor list per AS and
+    /// a HashMap from ASN to dense index.
+    pub struct Graph {
+        asns: Vec<Asn>,
+        pos: HashMap<Asn, usize>,
+        providers: Vec<Vec<u32>>,
+        customers: Vec<Vec<u32>>,
+        peers: Vec<Vec<u32>>,
+        policies: Vec<FilteringPolicy>,
+    }
+
+    impl Graph {
+        pub fn build(topology: &AsTopology, policies: &PolicyTable) -> Self {
+            let asns: Vec<Asn> = topology.asns().collect();
+            let pos: HashMap<Asn, usize> =
+                asns.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+            let to_idx = |list: &[Asn]| -> Vec<u32> {
+                list.iter().map(|a| pos[a] as u32).collect()
+            };
+            let providers = asns.iter().map(|a| to_idx(topology.providers(*a))).collect();
+            let customers = asns.iter().map(|a| to_idx(topology.customers(*a))).collect();
+            let peers = asns.iter().map(|a| to_idx(topology.peers(*a))).collect();
+            let pol = asns.iter().map(|a| policies.get(*a)).collect();
+            Graph { asns, pos, providers, customers, peers, policies: pol }
+        }
+    }
+
+    #[derive(Default)]
+    struct Scratch {
+        entries: Vec<Option<Entry>>,
+        frontier: Vec<usize>,
+        next_frontier: Vec<usize>,
+        senders: Vec<usize>,
+        peer_offers: Vec<Option<(u32, Asn)>>,
+        heap: BinaryHeap<Reverse<(u32, u32, u32)>>,
+    }
+
+    fn propagate_into(graph: &Graph, announcement: &Announcement, scratch: &mut Scratch) {
+        let n = graph.asns.len();
+        scratch.entries.clear();
+        scratch.entries.resize(n, None);
+        scratch.peer_offers.clear();
+        scratch.peer_offers.resize(n, None);
+        scratch.frontier.clear();
+        scratch.next_frontier.clear();
+        scratch.senders.clear();
+        scratch.heap.clear();
+        let Scratch { entries, frontier, next_frontier, senders, peer_offers, heap } = scratch;
+
+        let Some(&origin_idx) = graph.pos.get(&announcement.origin) else {
+            return;
+        };
+        entries[origin_idx] = Some(Entry { provenance: Provenance::Origin, hops: 0 });
+
+        // Phase 1: customer routes climb provider edges (level BFS).
+        frontier.push(origin_idx);
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            depth += 1;
+            next_frontier.clear();
+            frontier.sort_by_key(|&i| graph.asns[i]);
+            for &u in frontier.iter() {
+                for &p in &graph.providers[u] {
+                    let p = p as usize;
+                    if entries[p].is_none()
+                        && graph.policies[p].accepts(announcement, Relationship::Customer)
+                    {
+                        entries[p] = Some(Entry {
+                            provenance: Provenance::Customer(graph.asns[u]),
+                            hops: depth,
+                        });
+                        next_frontier.push(p);
+                    }
+                }
+            }
+            mem::swap(frontier, next_frontier);
+        }
+
+        // Phase 2: one peer hop.
+        senders.extend((0..n).filter(|&i| entries[i].is_some()));
+        senders.sort_by_key(|&i| (entries[i].expect("routed").hops, graph.asns[i]));
+        for &u in senders.iter() {
+            let du = entries[u].expect("routed").hops;
+            let sender = graph.asns[u];
+            for &v in &graph.peers[u] {
+                let v = v as usize;
+                if entries[v].is_some() {
+                    continue;
+                }
+                if !graph.policies[v].accepts(announcement, Relationship::Peer) {
+                    continue;
+                }
+                let offer = (du + 1, sender);
+                match peer_offers[v] {
+                    Some(best) if best <= offer => {}
+                    _ => peer_offers[v] = Some(offer),
+                }
+            }
+        }
+        for v in 0..n {
+            if let Some((d, sender)) = peer_offers[v] {
+                entries[v] = Some(Entry { provenance: Provenance::Peer(sender), hops: d });
+            }
+        }
+
+        // Phase 3: provider routes descend customer edges (binary heap).
+        for u in 0..n {
+            if let Some(e) = entries[u] {
+                for &c in &graph.customers[u] {
+                    let c = c as usize;
+                    if entries[c].is_none() {
+                        heap.push(Reverse((e.hops + 1, graph.asns[u].value(), c as u32)));
+                    }
+                }
+            }
+        }
+        while let Some(Reverse((d, sender_value, v))) = heap.pop() {
+            let v = v as usize;
+            if entries[v].is_some() {
+                continue;
+            }
+            if !graph.policies[v].accepts(announcement, Relationship::Provider) {
+                continue;
+            }
+            entries[v] =
+                Some(Entry { provenance: Provenance::Provider(Asn(sender_value)), hops: d });
+            for &c in &graph.customers[v] {
+                let c = c as usize;
+                if entries[c].is_none() {
+                    heap.push(Reverse((d + 1, graph.asns[v].value(), c as u32)));
+                }
+            }
+        }
+    }
+
+    /// Vantage-to-origin path by chasing `Provenance` pointers through
+    /// the ASN-to-index HashMap — the seed-era per-hop walk.
+    fn as_path(entries: &[Option<Entry>], graph: &Graph, asn: Asn) -> Option<Vec<Asn>> {
+        let mut idx = *graph.pos.get(&asn)?;
+        let mut path = Vec::new();
+        loop {
+            let entry = entries[idx]?;
+            path.push(graph.asns[idx]);
+            match entry.provenance.learned_from() {
+                None => return Some(path),
+                Some(next) => idx = graph.pos[&next],
+            }
+        }
+    }
+
+    /// One propagation + full route-table clone per (origin,
+    /// filter-class), then per-announcement owned `Vec<Vec<Asn>>`
+    /// vantage paths — the "before" `collect_table` measures against.
+    pub fn collect(
+        graph: &Graph,
+        announcements: &[Announcement],
+        vantages: &[Asn],
+        cfg: &ParallelConfig,
+    ) -> Vec<Vec<Vec<Asn>>> {
+        let mut memo: HashMap<(Asn, bool, IrrStatus), usize> = HashMap::new();
+        let mut reps: Vec<&Announcement> = Vec::new();
+        let mut class_of: Vec<usize> = Vec::with_capacity(announcements.len());
+        for ann in announcements {
+            let key = (ann.origin, ann.rpki.dropped_by_rov(), ann.irr);
+            let next = reps.len();
+            let idx = *memo.entry(key).or_insert_with(|| {
+                reps.push(ann);
+                next
+            });
+            class_of.push(idx);
+        }
+        let outcomes = par_map_with(
+            cfg,
+            &reps,
+            Scratch::default,
+            |scratch, ann| {
+                propagate_into(graph, ann, scratch);
+                scratch.entries.clone()
+            },
+        );
+        par_map(cfg, &class_of, |&class| {
+            vantages
+                .iter()
+                .filter_map(|v| as_path(&outcomes[class], graph, *v))
+                .collect()
+        })
+    }
 }
 
 fn measure_scale(
@@ -67,12 +353,13 @@ fn measure_scale(
         _ => 3,
     };
 
-    // Stage 1: whole-table collection.
+    // Stage 1: whole-table collection (interned), plus the legacy
+    // pre-pool algorithm as the "before" baseline.
     let collector = TableCollector::new(&world.world.topology, &world.policies, &world.vantages);
-    let (t_serial, rib_serial) = time_best(reps, || {
+    let (t_serial, _, rib_serial) = time_best(reps, || {
         collector.clone().parallel(serial).collect(&world.announcements)
     });
-    let (t_parallel, rib_parallel) = time_best(reps, || {
+    let (t_parallel, allocs, rib_parallel) = time_best(reps, || {
         collector.clone().parallel(*parallel).collect(&world.announcements)
     });
     assert_eq!(
@@ -80,23 +367,70 @@ fn measure_scale(
         "parallel collect_table diverged from serial"
     );
     assert_eq!(rib_serial.visible_count(), rib_parallel.visible_count());
+
+    let legacy_graph = legacy::Graph::build(&world.world.topology, &world.policies);
+    let (t_legacy, _, legacy_paths) = time_best(reps, || {
+        legacy::collect(&legacy_graph, &world.announcements, &world.vantages, &serial)
+    });
+    // The interned RIB must materialize to exactly the legacy paths.
+    for (obs, legacy) in rib_serial.observations.iter().zip(&legacy_paths) {
+        assert_eq!(
+            &rib_serial.materialize_paths(obs),
+            legacy,
+            "interned collection diverged from the legacy representation"
+        );
+    }
     out.push(Measurement {
         scale: name,
         stage: "collect_table",
         elements: world.announcements.len(),
         serial_secs: t_serial,
         parallel_secs: t_parallel,
+        parallel_allocations: allocs,
+        peak_rss_kb: peak_rss_kb(),
+        legacy_serial_secs: Some(t_legacy),
     });
 
-    // Stage 2: snapshot re-validation of every (prefix, origin) against
+    // Stage 2: path extraction — resolving every observation's vantage
+    // paths out of the collected RIB (zero-copy pool slices). Elements
+    // are paths resolved per run.
+    let rib = &rib_serial;
+    let total_paths: usize = rib.observations.iter().map(|o| o.paths.len()).sum();
+    let obs_refs: Vec<&manrs_bgp::Observation> = rib.observations.iter().collect();
+    let walk = |cfg: &ParallelConfig| {
+        par_map(cfg, &obs_refs, |obs| {
+            let mut checksum = 0u64;
+            for path in rib.paths_of(obs) {
+                for asn in path {
+                    checksum = checksum.wrapping_add(asn.value() as u64);
+                }
+            }
+            checksum
+        })
+    };
+    let (t_serial, _, sums_serial) = time_best(reps, || walk(&serial));
+    let (t_parallel, allocs, sums_parallel) = time_best(reps, || walk(parallel));
+    assert_eq!(sums_serial, sums_parallel, "parallel path walk diverged from serial");
+    out.push(Measurement {
+        scale: name,
+        stage: "path_extraction",
+        elements: total_paths,
+        serial_secs: t_serial,
+        parallel_secs: t_parallel,
+        parallel_allocations: allocs,
+        peak_rss_kb: peak_rss_kb(),
+        legacy_serial_secs: None,
+    });
+
+    // Stage 3: snapshot re-validation of every (prefix, origin) against
     // the world's RPKI and IRR registries.
     let pairs: Vec<_> = world.announcements.iter().map(|a| (a.prefix, a.origin)).collect();
-    let (t_serial, v_serial) = time_best(reps, || {
+    let (t_serial, _, v_serial) = time_best(reps, || {
         par_map(&serial, &pairs, |(prefix, origin)| {
             (validate_origin(&world.vrps, prefix, *origin), validate_irr(&world.irr, prefix, *origin))
         })
     });
-    let (t_parallel, v_parallel) = time_best(reps, || {
+    let (t_parallel, allocs, v_parallel) = time_best(reps, || {
         par_map(parallel, &pairs, |(prefix, origin)| {
             (validate_origin(&world.vrps, prefix, *origin), validate_irr(&world.irr, prefix, *origin))
         })
@@ -108,6 +442,9 @@ fn measure_scale(
         elements: pairs.len(),
         serial_secs: t_serial,
         parallel_secs: t_parallel,
+        parallel_allocations: allocs,
+        peak_rss_kb: peak_rss_kb(),
+        legacy_serial_secs: None,
     });
 }
 
@@ -131,6 +468,17 @@ fn render_json(threads: usize, measurements: &[Measurement]) -> String {
         let _ = writeln!(json, "      \"parallel_secs\": {:.6},", m.parallel_secs);
         let _ = writeln!(json, "      \"serial_elements_per_sec\": {:.1},", m.serial_eps());
         let _ = writeln!(json, "      \"parallel_elements_per_sec\": {:.1},", m.parallel_eps());
+        let _ = writeln!(json, "      \"parallel_allocations\": {},", m.parallel_allocations);
+        let _ = writeln!(json, "      \"peak_rss_kb\": {},", m.peak_rss_kb);
+        if let (Some(secs), Some(eps)) = (m.legacy_serial_secs, m.legacy_serial_eps()) {
+            let _ = writeln!(json, "      \"legacy_serial_secs\": {secs:.6},");
+            let _ = writeln!(json, "      \"legacy_serial_elements_per_sec\": {eps:.1},");
+            let _ = writeln!(
+                json,
+                "      \"improvement_vs_legacy\": {:.3},",
+                secs / m.serial_secs.max(1e-12)
+            );
+        }
         let _ = writeln!(json, "      \"speedup\": {:.3}", m.speedup());
         let _ = writeln!(json, "    }}{}", if i + 1 == measurements.len() { "" } else { "," });
     }
@@ -141,25 +489,37 @@ fn render_json(threads: usize, measurements: &[Measurement]) -> String {
 fn main() {
     let parallel = ParallelConfig::from_env();
     let threads = parallel.effective_threads(usize::MAX);
+    let scales = std::env::var("MANRS_BENCH_SCALES").unwrap_or_else(|_| "small,medium".into());
     let mut measurements = Vec::new();
-    measure_scale(Scale::Small, "small", &parallel, &mut measurements);
-    measure_scale(Scale::Medium, "medium", &parallel, &mut measurements);
+    if scales.contains("small") {
+        measure_scale(Scale::Small, "small", &parallel, &mut measurements);
+    }
+    if scales.contains("medium") {
+        measure_scale(Scale::Medium, "medium", &parallel, &mut measurements);
+    }
 
     println!(
-        "{:<8} {:<20} {:>10} {:>12} {:>12} {:>14} {:>8}",
-        "scale", "stage", "elements", "serial s", "parallel s", "parallel el/s", "speedup"
+        "{:<8} {:<20} {:>10} {:>12} {:>12} {:>14} {:>12} {:>8}",
+        "scale", "stage", "elements", "serial s", "parallel s", "parallel el/s", "allocs", "speedup"
     );
     for m in &measurements {
         println!(
-            "{:<8} {:<20} {:>10} {:>12.4} {:>12.4} {:>14.1} {:>7.2}x",
+            "{:<8} {:<20} {:>10} {:>12.4} {:>12.4} {:>14.1} {:>12} {:>7.2}x",
             m.scale,
             m.stage,
             m.elements,
             m.serial_secs,
             m.parallel_secs,
             m.parallel_eps(),
+            m.parallel_allocations,
             m.speedup()
         );
+        if let (Some(secs), Some(eps)) = (m.legacy_serial_secs, m.legacy_serial_eps()) {
+            println!(
+                "{:<8} {:<20} {:>10} {:>12.4} {:>12} {:>14.1} {:>12} {:>8}",
+                m.scale, "  (legacy pre-pool)", m.elements, secs, "-", eps, "-", "-"
+            );
+        }
     }
 
     let json = render_json(threads, &measurements);

@@ -5,8 +5,15 @@
 //! everything downstream inherits this partial view; [`CollectedRib`] is
 //! that view for the simulator: per (prefix, origin), the AS paths seen
 //! from each vantage point that has a route.
+//!
+//! Paths are not stored per observation: a RIB owns one [`PathPool`]
+//! and observations hold [`PathId`] handles into it. Announcements in
+//! the same (origin, filter-class) equivalence class share the exact
+//! same ids, and readers borrow `&[Asn]` slices via
+//! [`CollectedRib::path`] / [`CollectedRib::paths_of`] without cloning.
 
 use crate::announcement::Announcement;
+use crate::pathpool::{PathId, PathInterner, PathPool};
 use crate::propagate::{DenseGraph, RoutingOutcome};
 use manrs_irr::IrrStatus;
 use manrs_net::{Asn, Prefix};
@@ -25,9 +32,10 @@ pub struct Observation {
     pub rpki: RpkiStatus,
     /// IRR status carried from the announcement.
     pub irr: IrrStatus,
-    /// AS paths, one per vantage point that had a route, each running
-    /// vantage → … → origin.
-    pub paths: Vec<Vec<Asn>>,
+    /// Interned AS paths, one per vantage point that had a route, each
+    /// running vantage → … → origin. Resolve against the owning RIB's
+    /// [`PathPool`] (see [`CollectedRib::path`]).
+    pub paths: Vec<PathId>,
 }
 
 impl Observation {
@@ -42,25 +50,54 @@ impl Observation {
     }
 }
 
-/// The observed routing table: every announcement with its vantage paths.
+/// The observed routing table: every announcement with its vantage paths,
+/// interned in one shared [`PathPool`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "CollectedRibSerde")]
 pub struct CollectedRib {
     /// The vantage ASes the collector peers with.
     pub vantages: Vec<Asn>,
     /// All observations, visible or not (callers filter).
     pub observations: Vec<Observation>,
+    /// The shared path arena every observation's [`PathId`]s point into.
+    pool: PathPool,
     /// Visible-observation count, fixed at construction. Observations
     /// are never mutated after a RIB is built, so the count is computed
     /// once instead of on every [`CollectedRib::visible_count`] call.
-    #[serde(default)]
+    /// Derived: recomputed on deserialization, never trusted from disk.
+    #[serde(skip)]
     visible: usize,
 }
 
+/// Serialized form of a RIB. The cached visible count is derived data;
+/// deserializing through this shadow recomputes it (a plain
+/// `#[serde(default)]` used to leave it at 0 after a round trip,
+/// silently breaking `visible_count()`).
+#[derive(Deserialize)]
+struct CollectedRibSerde {
+    vantages: Vec<Asn>,
+    observations: Vec<Observation>,
+    #[serde(default)]
+    pool: PathPool,
+}
+
+impl From<CollectedRibSerde> for CollectedRib {
+    fn from(raw: CollectedRibSerde) -> Self {
+        CollectedRib::from_parts(raw.vantages, raw.observations, raw.pool)
+    }
+}
+
 impl CollectedRib {
-    /// Builds a RIB, counting visible observations once up front.
-    pub fn new(vantages: Vec<Asn>, observations: Vec<Observation>) -> Self {
+    /// Builds a RIB from its parts, counting visible observations once
+    /// up front. Every [`PathId`] in `observations` must have been
+    /// minted by `pool`'s interner.
+    pub fn from_parts(
+        vantages: Vec<Asn>,
+        observations: Vec<Observation>,
+        pool: PathPool,
+    ) -> Self {
         let visible = observations.iter().filter(|o| o.is_visible()).count();
-        CollectedRib { vantages, observations, visible }
+        CollectedRib { vantages, observations, pool, visible }
     }
 
     /// Observations with at least one vantage path.
@@ -73,18 +110,46 @@ impl CollectedRib {
     pub fn visible_count(&self) -> usize {
         self.visible
     }
+
+    /// The shared path arena.
+    pub fn pool(&self) -> &PathPool {
+        &self.pool
+    }
+
+    /// Resolves one interned path, zero-copy.
+    pub fn path(&self, id: PathId) -> &[Asn] {
+        self.pool.path(id)
+    }
+
+    /// The AS paths of one observation as borrowed slices.
+    pub fn paths_of<'s>(
+        &'s self,
+        obs: &'s Observation,
+    ) -> impl Iterator<Item = &'s [Asn]> + 's {
+        obs.paths.iter().map(move |&id| self.pool.path(id))
+    }
+
+    /// Compatibility accessor: the observation's paths as owned vectors
+    /// (the pre-pool `Vec<Vec<Asn>>` representation).
+    pub fn materialize_paths(&self, obs: &Observation) -> Vec<Vec<Asn>> {
+        self.paths_of(obs).map(<[Asn]>::to_vec).collect()
+    }
 }
 
-/// Extracts the vantage paths for one propagated announcement.
+/// Extracts the vantage paths for one propagated announcement, interning
+/// them into `interner` (shared across calls so identical paths dedup to
+/// the same [`PathId`]).
 pub fn observe(
     graph: &DenseGraph,
     outcome: &RoutingOutcome,
     announcement: &Announcement,
     vantages: &[Asn],
+    interner: &mut PathInterner,
 ) -> Observation {
     let paths = vantages
         .iter()
         .filter_map(|v| outcome.as_path(graph, *v))
+        .map(|p| interner.intern(&p))
         .collect();
     Observation {
         prefix: announcement.prefix,
@@ -100,25 +165,7 @@ mod tests {
     use super::*;
     use crate::policy::PolicyTable;
     use crate::propagate::propagate;
-    use manrs_net::Rir;
-    use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId};
-
-    fn topo() -> AsTopology {
-        // 1 -> 2 -> 3; 4 isolated.
-        let mut t = AsTopology::new();
-        for asn in 1..=4 {
-            t.add_as(AsInfo {
-                asn: Asn(asn),
-                org: OrgId(asn),
-                rir: Rir::Arin,
-                country: "US".into(),
-                kind: NetworkKind::Transit,
-            });
-        }
-        t.add_provider_customer(Asn(1), Asn(2));
-        t.add_provider_customer(Asn(2), Asn(3));
-        t
-    }
+    use crate::testutil::topo;
 
     fn ann() -> Announcement {
         Announcement::new(
@@ -129,37 +176,68 @@ mod tests {
         )
     }
 
+    // 1 -> 2 -> 3; 4 isolated.
+    fn chain() -> manrs_topology::AsTopology {
+        topo(4, &[(1, 2), (2, 3)], &[])
+    }
+
     #[test]
     fn observe_collects_vantage_paths() {
-        let t = topo();
+        let t = chain();
         let a = ann();
         let (g, o) = propagate(&t, &PolicyTable::default(), &a);
-        let obs = observe(&g, &o, &a, &[Asn(1), Asn(4)]);
+        let mut interner = PathInterner::new();
+        let obs = observe(&g, &o, &a, &[Asn(1), Asn(4)], &mut interner);
         assert!(obs.is_visible());
         // AS4 is isolated: only AS1's path appears.
-        assert_eq!(obs.paths, vec![vec![Asn(1), Asn(2), Asn(3)]]);
+        assert_eq!(obs.paths.len(), 1);
+        assert_eq!(
+            interner.pool().path(obs.paths[0]),
+            &[Asn(1), Asn(2), Asn(3)]
+        );
         assert_eq!(obs.announcement(), a);
     }
 
     #[test]
     fn invisible_when_no_vantage_reached() {
-        let t = topo();
+        let t = chain();
         let a = ann();
         let (g, o) = propagate(&t, &PolicyTable::default(), &a);
-        let obs = observe(&g, &o, &a, &[Asn(4)]);
+        let mut interner = PathInterner::new();
+        let obs = observe(&g, &o, &a, &[Asn(4)], &mut interner);
         assert!(!obs.is_visible());
+        assert!(interner.pool().is_empty());
     }
 
     #[test]
     fn rib_visibility_helpers() {
-        let t = topo();
+        let t = chain();
         let a = ann();
         let (g, o) = propagate(&t, &PolicyTable::default(), &a);
-        let rib = CollectedRib::new(
+        let mut interner = PathInterner::new();
+        let seen = observe(&g, &o, &a, &[Asn(1)], &mut interner);
+        let unseen = observe(&g, &o, &a, &[Asn(4)], &mut interner);
+        let rib = CollectedRib::from_parts(
             vec![Asn(1), Asn(4)],
-            vec![observe(&g, &o, &a, &[Asn(1)]), observe(&g, &o, &a, &[Asn(4)])],
+            vec![seen, unseen],
+            interner.into_pool(),
         );
         assert_eq!(rib.observations.len(), 2);
         assert_eq!(rib.visible_count(), 1);
+        let obs = &rib.observations[0];
+        assert_eq!(rib.materialize_paths(obs), vec![vec![Asn(1), Asn(2), Asn(3)]]);
+        assert_eq!(rib.paths_of(obs).count(), 1);
+    }
+
+    #[test]
+    fn identical_paths_share_one_interned_copy() {
+        let t = chain();
+        let a = ann();
+        let (g, o) = propagate(&t, &PolicyTable::default(), &a);
+        let mut interner = PathInterner::new();
+        let first = observe(&g, &o, &a, &[Asn(1)], &mut interner);
+        let second = observe(&g, &o, &a, &[Asn(1)], &mut interner);
+        assert_eq!(first.paths, second.paths);
+        assert_eq!(interner.pool().len(), 1);
     }
 }

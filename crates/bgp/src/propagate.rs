@@ -24,9 +24,10 @@ use crate::policy::{FilteringPolicy, PolicyTable};
 use manrs_net::Asn;
 use manrs_topology::{AsTopology, Relationship};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 use std::mem;
+
+/// Sentinel for "no upstream": the origin's `via` pointer.
+const NO_VIA: u32 = u32::MAX;
 
 /// How an AS obtained its best route.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,40 +63,101 @@ impl Provenance {
 }
 
 /// One AS's best route toward the announced prefix.
+///
+/// The `via` pointer mirrors `provenance.learned_from()` as a *dense
+/// index* into the graph used for propagation, so path reconstruction
+/// follows raw indices instead of resolving ASNs through a map at every
+/// hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouteEntry {
     /// How the route was learned.
     pub provenance: Provenance,
     /// AS-path length in hops (0 at the origin).
     pub hops: u32,
+    /// Dense index of the neighbor the route was learned from
+    /// ([`NO_VIA`] at the origin). Only meaningful against the graph
+    /// that produced this entry.
+    via: u32,
+}
+
+impl RouteEntry {
+    /// Dense index of the upstream neighbor, if any.
+    pub fn via_index(&self) -> Option<usize> {
+        (self.via != NO_VIA).then_some(self.via as usize)
+    }
 }
 
 /// Dense, index-based view of a topology plus per-AS policies, built once
 /// and reused across many propagations.
+///
+/// Adjacency is stored in CSR (compressed sparse row) form — one offset
+/// table plus one flat edge array per relationship — and dense indices
+/// are assigned in ascending-ASN order, so index order *is* ASN order:
+/// the per-level frontier sort in phase 1 degenerates to a plain integer
+/// sort and every ASN tie-break can compare indices directly.
 #[derive(Debug, Clone)]
 pub struct DenseGraph {
+    /// Ascending; dense index ↔ rank in this list.
     asns: Vec<Asn>,
-    pos: HashMap<Asn, usize>,
-    providers: Vec<Vec<u32>>,
-    customers: Vec<Vec<u32>>,
-    peers: Vec<Vec<u32>>,
+    providers: CsrAdjacency,
+    customers: CsrAdjacency,
+    peers: CsrAdjacency,
     policies: Vec<FilteringPolicy>,
+    /// Dense indices (ascending) of ASes with at least one peer. Peer
+    /// offers can only originate from and land on these, so phase 2
+    /// scans this list instead of every AS — in provider-heavy graphs
+    /// it is a small fraction of the node count.
+    peered: Vec<u32>,
+}
+
+/// Flattened adjacency: node `u`'s neighbors are
+/// `edges[offsets[u]..offsets[u + 1]]`.
+#[derive(Debug, Clone, Default)]
+struct CsrAdjacency {
+    offsets: Vec<u32>,
+    edges: Vec<u32>,
+}
+
+impl CsrAdjacency {
+    fn build(asns: &[Asn], neighbors: impl Fn(Asn) -> Vec<u32>) -> Self {
+        let mut offsets = Vec::with_capacity(asns.len() + 1);
+        let mut edges = Vec::new();
+        offsets.push(0);
+        for &asn in asns {
+            edges.extend(neighbors(asn));
+            offsets.push(edges.len() as u32);
+        }
+        CsrAdjacency { offsets, edges }
+    }
+
+    #[inline]
+    fn row(&self, u: usize) -> &[u32] {
+        &self.edges[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
 }
 
 impl DenseGraph {
-    /// Builds the dense view. O(V + E).
+    /// Builds the dense view. O(V + E log V).
     pub fn build(topology: &AsTopology, policies: &PolicyTable) -> Self {
-        let asns: Vec<Asn> = topology.asns().collect();
-        let pos: HashMap<Asn, usize> =
-            asns.iter().enumerate().map(|(i, a)| (*a, i)).collect();
+        // `AsTopology::asns` iterates ascending, which is exactly the
+        // dense order we need; sort defensively in case that ever
+        // changes (no-op on sorted input).
+        let mut asns: Vec<Asn> = topology.asns().collect();
+        asns.sort_unstable();
         let to_idx = |list: &[Asn]| -> Vec<u32> {
-            list.iter().map(|a| pos[a] as u32).collect()
+            list.iter()
+                .map(|a| asns.binary_search(a).expect("neighbor registered in topology") as u32)
+                .collect()
         };
-        let providers = asns.iter().map(|a| to_idx(topology.providers(*a))).collect();
-        let customers = asns.iter().map(|a| to_idx(topology.customers(*a))).collect();
-        let peers = asns.iter().map(|a| to_idx(topology.peers(*a))).collect();
+        let providers = CsrAdjacency::build(&asns, |a| to_idx(topology.providers(a)));
+        let customers = CsrAdjacency::build(&asns, |a| to_idx(topology.customers(a)));
+        let peers = CsrAdjacency::build(&asns, |a| to_idx(topology.peers(a)));
         let pol = asns.iter().map(|a| policies.get(*a)).collect();
-        DenseGraph { asns, pos, providers, customers, peers, policies: pol }
+        let peered = (0..asns.len())
+            .filter(|&i| !peers.row(i).is_empty())
+            .map(|i| i as u32)
+            .collect();
+        DenseGraph { asns, providers, customers, peers, policies: pol, peered }
     }
 
     /// Number of ASes.
@@ -110,7 +172,7 @@ impl DenseGraph {
 
     /// Dense index of an ASN.
     pub fn index_of(&self, asn: Asn) -> Option<usize> {
-        self.pos.get(&asn).copied()
+        self.asns.binary_search(&asn).ok()
     }
 
     /// ASN at a dense index.
@@ -145,22 +207,27 @@ impl RoutingOutcome {
     /// Reconstructs the AS path from `asn` to the origin (inclusive of
     /// both ends), or `None` if `asn` has no route.
     pub fn as_path(&self, graph: &DenseGraph, asn: Asn) -> Option<Vec<Asn>> {
-        walk_path(&self.entries, graph, asn)
+        walk_path(&self.entries, graph, graph.index_of(asn)?)
+    }
+
+    /// [`RoutingOutcome::as_path`] addressed by dense index.
+    pub fn as_path_at(&self, graph: &DenseGraph, idx: usize) -> Option<Vec<Asn>> {
+        walk_path(&self.entries, graph, idx)
     }
 }
 
-fn walk_path(entries: &[Option<RouteEntry>], graph: &DenseGraph, asn: Asn) -> Option<Vec<Asn>> {
-    let mut idx = graph.index_of(asn)?;
+/// Follows the dense `via` chain from `idx` down to the origin — no
+/// per-hop map lookups, just index chasing through the entry table.
+fn walk_path(entries: &[Option<RouteEntry>], graph: &DenseGraph, idx: usize) -> Option<Vec<Asn>> {
+    let mut idx = idx;
     let mut path = Vec::new();
     loop {
         let entry = entries[idx]?;
         path.push(graph.asn_at(idx));
-        match entry.provenance.learned_from() {
-            None => return Some(path),
-            Some(next) => {
-                idx = graph.index_of(next).expect("via pointer within graph");
-            }
+        if entry.via == NO_VIA {
+            return Some(path);
         }
+        idx = entry.via as usize;
     }
 }
 
@@ -168,17 +235,19 @@ fn walk_path(entries: &[Option<RouteEntry>], graph: &DenseGraph, asn: Asn) -> Op
 ///
 /// Holds every buffer propagation needs — the per-AS route table, the
 /// two BFS frontiers, the peer-offer table, the sorted sender list and
-/// the Dijkstra heap — so steady-state propagation (one scratch reused
-/// across many announcements over one graph) performs no heap
-/// allocation: every buffer is cleared and refilled in place.
+/// the per-depth descent buckets — so steady-state propagation (one
+/// scratch reused across many announcements over one graph) performs no
+/// heap allocation: every buffer is cleared and refilled in place.
 #[derive(Debug, Default)]
 pub struct PropagationScratch {
     entries: Vec<Option<RouteEntry>>,
     frontier: Vec<usize>,
     next_frontier: Vec<usize>,
     senders: Vec<usize>,
-    peer_offers: Vec<Option<(u32, Asn)>>,
-    heap: BinaryHeap<Reverse<(u32, u32, u32)>>,
+    peer_offers: Vec<Option<(u32, u32)>>,
+    /// Phase 3 bucket queue: `buckets[d]` holds the `(sender, receiver)`
+    /// customer-edge offers at path length `d`.
+    buckets: Vec<Vec<(u32, u32)>>,
 }
 
 impl PropagationScratch {
@@ -196,7 +265,7 @@ impl PropagationScratch {
             next_frontier: Vec::with_capacity(n),
             senders: Vec::with_capacity(n),
             peer_offers: Vec::with_capacity(n),
-            heap: BinaryHeap::with_capacity(n),
+            buckets: Vec::new(),
         }
     }
 
@@ -205,12 +274,17 @@ impl PropagationScratch {
     fn reset(&mut self, n: usize) {
         self.entries.clear();
         self.entries.resize(n, None);
-        self.peer_offers.clear();
-        self.peer_offers.resize(n, None);
+        // `peer_offers` is all-`None` between calls — phase 2 clears
+        // each slot as it applies it — so it only ever needs to grow.
+        if self.peer_offers.len() < n {
+            self.peer_offers.resize(n, None);
+        }
         self.frontier.clear();
         self.next_frontier.clear();
         self.senders.clear();
-        self.heap.clear();
+        for bucket in self.buckets.iter_mut() {
+            bucket.clear();
+        }
     }
 
     /// The best route of `asn` from the most recent propagation.
@@ -230,7 +304,14 @@ impl PropagationScratch {
 
     /// AS path from `asn` to the origin for the most recent propagation.
     pub fn as_path(&self, graph: &DenseGraph, asn: Asn) -> Option<Vec<Asn>> {
-        walk_path(&self.entries, graph, asn)
+        walk_path(&self.entries, graph, graph.index_of(asn)?)
+    }
+
+    /// [`PropagationScratch::as_path`] addressed by dense index — the
+    /// hot-path form collection uses after resolving each vantage's
+    /// index once.
+    pub fn as_path_at(&self, graph: &DenseGraph, idx: usize) -> Option<Vec<Asn>> {
+        walk_path(&self.entries, graph, idx)
     }
 
     /// Copies the most recent propagation result into an owned
@@ -272,14 +353,15 @@ pub fn propagate_dense_into(
         next_frontier,
         senders,
         peer_offers,
-        heap,
+        buckets,
     } = scratch;
 
     let Some(origin_idx) = graph.index_of(announcement.origin) else {
         // Unknown origin: nothing propagates.
         return;
     };
-    entries[origin_idx] = Some(RouteEntry { provenance: Provenance::Origin, hops: 0 });
+    entries[origin_idx] =
+        Some(RouteEntry { provenance: Provenance::Origin, hops: 0, via: NO_VIA });
 
     // --- Phase 1: customer routes climb provider edges (level BFS) ----
     frontier.push(origin_idx);
@@ -288,10 +370,11 @@ pub fn propagate_dense_into(
         depth += 1;
         next_frontier.clear();
         // Ascending-ASN processing makes the lowest-neighbor tie-break
-        // deterministic without per-node candidate lists.
-        frontier.sort_by_key(|&i| graph.asn_at(i));
+        // deterministic without per-node candidate lists. Dense index
+        // order is ASN order, so a plain integer sort suffices.
+        frontier.sort_unstable();
         for &u in frontier.iter() {
-            for &p in &graph.providers[u] {
+            for &p in graph.providers.row(u) {
                 let p = p as usize;
                 match entries[p] {
                     // First offer at this depth wins (lowest sender ASN
@@ -299,13 +382,13 @@ pub fn propagate_dense_into(
                     // are strictly better and never replaced.
                     Some(_) => continue,
                     None => {
-                        let sender = graph.asn_at(u);
                         if graph.policies[p]
                             .accepts(announcement, Relationship::Customer)
                         {
                             entries[p] = Some(RouteEntry {
-                                provenance: Provenance::Customer(sender),
+                                provenance: Provenance::Customer(graph.asn_at(u)),
                                 hops: depth,
+                                via: u as u32,
                             });
                             next_frontier.push(p);
                         }
@@ -318,14 +401,16 @@ pub fn propagate_dense_into(
 
     // --- Phase 2: one peer hop ----------------------------------------
     // Every AS with a customer route (or the origin) offers to its peers.
-    // A peer accepts the best offer (shortest, then lowest sender ASN)
-    // if it has no customer route.
-    senders.extend((0..n).filter(|&i| entries[i].is_some()));
-    senders.sort_by_key(|&i| (entries[i].expect("routed").hops, graph.asn_at(i)));
+    // A peer accepts the best offer (shortest, then lowest sender ASN —
+    // equivalently lowest sender index) if it has no customer route.
+    // Only ASes with at least one peer can make or receive an offer, so
+    // the sender scan and sort run over `graph.peered` rather than the
+    // whole node table.
+    senders.extend(graph.peered.iter().map(|&i| i as usize).filter(|&i| entries[i].is_some()));
+    senders.sort_unstable_by_key(|&i| (entries[i].expect("routed").hops, i));
     for &u in senders.iter() {
         let du = entries[u].expect("routed").hops;
-        let sender = graph.asn_at(u);
-        for &v in &graph.peers[u] {
+        for &v in graph.peers.row(u) {
             let v = v as usize;
             if entries[v].is_some() {
                 continue; // customer route (or origin) is preferred
@@ -333,51 +418,82 @@ pub fn propagate_dense_into(
             if !graph.policies[v].accepts(announcement, Relationship::Peer) {
                 continue;
             }
-            let offer = (du + 1, sender);
+            let offer = (du + 1, u as u32);
             match peer_offers[v] {
-                Some((d, a)) if (d, a) <= offer => {}
+                Some(best) if best <= offer => {}
                 _ => peer_offers[v] = Some(offer),
             }
         }
     }
-    for v in 0..n {
-        if let Some((d, sender)) = peer_offers[v] {
-            entries[v] = Some(RouteEntry { provenance: Provenance::Peer(sender), hops: d });
+    // `peered` is ascending, so offers apply in ascending dense index
+    // (= ASN) order; `take` leaves the offer table all-`None` for the
+    // next call.
+    for &v in graph.peered.iter() {
+        let v = v as usize;
+        if let Some((d, sender)) = peer_offers[v].take() {
+            entries[v] = Some(RouteEntry {
+                provenance: Provenance::Peer(graph.asn_at(sender as usize)),
+                hops: d,
+                via: sender,
+            });
         }
     }
 
     // --- Phase 3: provider routes descend customer edges ---------------
-    // Dijkstra-flavoured since sources start at heterogeneous depths;
-    // the heap orders by (hops, sender ASN) for the same deterministic
-    // tie-breaks.
+    // Sources start at heterogeneous depths but every edge adds exactly
+    // one hop, so Dijkstra degenerates to a bucket queue (Dial's
+    // algorithm): an offer made while draining depth d always lands at
+    // d + 1, so bucket d's membership is final before it is drained.
+    // Sorting each bucket by (sender index, receiver index) reproduces
+    // a binary heap's (hops, sender ASN, receiver ASN) pop order
+    // exactly — index order is ASN order — without per-operation sift
+    // cost.
     for u in 0..n {
         if let Some(e) = entries[u] {
-            for &c in &graph.customers[u] {
+            let d = (e.hops + 1) as usize;
+            for &c in graph.customers.row(u) {
                 let c = c as usize;
                 if entries[c].is_none() {
-                    heap.push(Reverse((e.hops + 1, graph.asn_at(u).value(), c as u32)));
+                    if buckets.len() <= d {
+                        buckets.resize_with(d + 1, Vec::new);
+                    }
+                    buckets[d].push((u as u32, c as u32));
                 }
             }
         }
     }
-    while let Some(Reverse((d, sender_value, v))) = heap.pop() {
-        let v = v as usize;
-        if entries[v].is_some() {
-            continue;
-        }
-        if !graph.policies[v].accepts(announcement, Relationship::Provider) {
-            continue;
-        }
-        entries[v] = Some(RouteEntry {
-            provenance: Provenance::Provider(Asn(sender_value)),
-            hops: d,
-        });
-        for &c in &graph.customers[v] {
-            let c = c as usize;
-            if entries[c].is_none() {
-                heap.push(Reverse((d + 1, graph.asn_at(v).value(), c as u32)));
+    let mut d = 0usize;
+    while d < buckets.len() {
+        // Detach the bucket so offers for d + 1 can be filed while it
+        // drains; hand the allocation back afterwards for reuse.
+        let mut bucket = mem::take(&mut buckets[d]);
+        bucket.sort_unstable();
+        for &(sender, v) in bucket.iter() {
+            let v = v as usize;
+            if entries[v].is_some() {
+                continue;
+            }
+            if !graph.policies[v].accepts(announcement, Relationship::Provider) {
+                continue;
+            }
+            entries[v] = Some(RouteEntry {
+                provenance: Provenance::Provider(graph.asn_at(sender as usize)),
+                hops: d as u32,
+                via: sender,
+            });
+            for &c in graph.customers.row(v) {
+                let c = c as usize;
+                if entries[c].is_none() {
+                    if buckets.len() <= d + 1 {
+                        buckets.resize_with(d + 2, Vec::new);
+                    }
+                    buckets[d + 1].push((v as u32, c as u32));
+                }
             }
         }
+        bucket.clear();
+        buckets[d] = bucket;
+        d += 1;
     }
 }
 
@@ -397,30 +513,9 @@ pub fn propagate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::topo;
     use manrs_irr::IrrStatus;
-    use manrs_net::Rir;
     use manrs_rpki::RpkiStatus;
-    use manrs_topology::{AsInfo, NetworkKind, OrgId};
-
-    fn topo(n: u32, cp: &[(u32, u32)], pp: &[(u32, u32)]) -> AsTopology {
-        let mut t = AsTopology::new();
-        for asn in 1..=n {
-            t.add_as(AsInfo {
-                asn: Asn(asn),
-                org: OrgId(asn),
-                rir: Rir::Arin,
-                country: "US".into(),
-                kind: NetworkKind::Transit,
-            });
-        }
-        for &(p, c) in cp {
-            t.add_provider_customer(Asn(p), Asn(c));
-        }
-        for &(a, b) in pp {
-            t.add_peer(Asn(a), Asn(b));
-        }
-        t
-    }
 
     fn ann(origin: u32) -> Announcement {
         Announcement::new(

@@ -47,7 +47,7 @@ pub fn table_stats(rib: &CollectedRib) -> TableStats {
         origins.insert(obs.origin);
         origins_per_prefix.entry(obs.prefix).or_default().insert(obs.origin);
         visibility_sum += obs.paths.len() as f64 / vantage_count as f64;
-        for path in &obs.paths {
+        for path in rib.paths_of(obs) {
             path_count += 1;
             path_len_sum += path.len();
             max_path = max_path.max(path.len());
@@ -88,25 +88,12 @@ mod tests {
     use crate::announcement::Announcement;
     use crate::policy::PolicyTable;
     use crate::table::TableCollector;
+    use crate::testutil::topo;
     use manrs_irr::IrrStatus;
-    use manrs_net::Rir;
     use manrs_rpki::RpkiStatus;
-    use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId};
 
     fn rib() -> CollectedRib {
-        let mut t = AsTopology::new();
-        for asn in 1..=4 {
-            t.add_as(AsInfo {
-                asn: Asn(asn),
-                org: OrgId(asn),
-                rir: Rir::Arin,
-                country: "US".into(),
-                kind: NetworkKind::Transit,
-            });
-        }
-        t.add_provider_customer(Asn(1), Asn(2));
-        t.add_provider_customer(Asn(2), Asn(3));
-        t.add_provider_customer(Asn(2), Asn(4));
+        let t = topo(4, &[(1, 2), (2, 3), (2, 4)], &[]);
         let p: Prefix = "10.0.0.0/16".parse().unwrap();
         let q: Prefix = "10.1.0.0/16".parse().unwrap();
         let anns = vec![

@@ -8,10 +8,11 @@
 //! classes; one propagation per class serves every prefix in it.
 
 use crate::announcement::Announcement;
-use crate::collector::{observe, CollectedRib};
-use crate::parallel::{par_map, par_map_with, ParallelConfig};
+use crate::collector::{CollectedRib, Observation};
+use crate::parallel::{par_map_with, ParallelConfig};
+use crate::pathpool::{PathId, PathInterner};
 use crate::policy::PolicyTable;
-use crate::propagate::{propagate_dense_into, DenseGraph, PropagationScratch, RoutingOutcome};
+use crate::propagate::{propagate_dense_into, DenseGraph, PropagationScratch};
 use manrs_irr::IrrStatus;
 use manrs_net::Asn;
 use manrs_topology::AsTopology;
@@ -50,11 +51,14 @@ impl FilterClass {
 /// (origin, filter class); with the four RPKI × four IRR statuses there
 /// are at most eight classes per origin, and real mixes produce one or
 /// two. The expensive per-class propagations fan out across worker
-/// threads (each reusing one [`PropagationScratch`]), as does the
-/// per-announcement vantage observation; classes are discovered and
-/// numbered serially in announcement order and results stitched back in
-/// input order, so the output is bit-for-bit identical for any thread
-/// count — including [`ParallelConfig::serial`].
+/// threads (each reusing one [`PropagationScratch`]); each worker
+/// extracts only the vantage paths of its class — no per-class
+/// `RoutingOutcome` clone, no per-announcement path walk. Classes are
+/// discovered and numbered serially in announcement order, paths are
+/// interned serially in class order, and every announcement in a class
+/// references the class's [`PathId`]s, so the output (ids included) is
+/// bit-for-bit identical for any thread count — including
+/// [`ParallelConfig::serial`].
 #[derive(Debug, Clone)]
 pub struct TableCollector<'a> {
     topology: &'a AsTopology,
@@ -96,26 +100,51 @@ impl<'a> TableCollector<'a> {
             class_of.push(idx);
         }
 
-        // Parallel pass 1: one propagation per class, each worker
-        // reusing its own scratch.
-        let outcomes: Vec<RoutingOutcome> = par_map_with(
+        // Resolve each vantage's dense index once (unknown vantages
+        // simply never observe anything).
+        let vantage_idx: Vec<usize> =
+            self.vantages.iter().filter_map(|v| graph.index_of(*v)).collect();
+
+        // Parallel pass: one propagation per class, each worker reusing
+        // its own scratch and extracting only the vantage paths — the
+        // full routing outcome dies with the scratch.
+        let class_paths: Vec<Vec<Vec<Asn>>> = par_map_with(
             cfg,
             &reps,
             || PropagationScratch::with_capacity(graph.len()),
             |scratch, ann| {
                 propagate_dense_into(&graph, ann, scratch);
-                scratch.to_outcome()
+                vantage_idx
+                    .iter()
+                    .filter_map(|&i| scratch.as_path_at(&graph, i))
+                    .collect()
             },
         );
 
-        // Parallel pass 2: per-announcement vantage observation.
-        let indexed: Vec<(usize, &Announcement)> =
-            class_of.iter().copied().zip(announcements.iter()).collect();
-        let observations = par_map(cfg, &indexed, |&(class, ann)| {
-            observe(&graph, &outcomes[class], ann, self.vantages)
-        });
+        // Serial pass: intern each class's paths. Class order is the
+        // serial discovery order, so PathIds are deterministic for any
+        // thread count.
+        let mut interner = PathInterner::new();
+        let class_ids: Vec<Vec<PathId>> = class_paths
+            .iter()
+            .map(|paths| paths.iter().map(|p| interner.intern(p)).collect())
+            .collect();
 
-        CollectedRib::new(self.vantages.to_vec(), observations)
+        // Every announcement in a class shares the class's ids; the
+        // per-announcement cost is a Vec<u32> clone.
+        let observations = announcements
+            .iter()
+            .zip(&class_of)
+            .map(|(ann, &class)| Observation {
+                prefix: ann.prefix,
+                origin: ann.origin,
+                rpki: ann.rpki,
+                irr: ann.irr,
+                paths: class_ids[class].clone(),
+            })
+            .collect();
+
+        CollectedRib::from_parts(self.vantages.to_vec(), observations, interner.into_pool())
     }
 }
 
@@ -150,26 +179,13 @@ pub fn collect_table_with(
 mod tests {
     use super::*;
     use crate::policy::FilteringPolicy;
-    use manrs_net::{Prefix, Rir};
+    use crate::testutil::wide_topo;
+    use manrs_net::Prefix;
     use manrs_rpki::RpkiStatus;
-    use manrs_topology::{AsInfo, NetworkKind, OrgId};
 
+    /// 1 -> 2 -> {3, 4}; 1 is the vantage's home.
     fn topo() -> AsTopology {
-        // 1 -> 2 -> {3, 4}; 1 is the vantage's home.
-        let mut t = AsTopology::new();
-        for asn in 1..=4 {
-            t.add_as(AsInfo {
-                asn: Asn(asn),
-                org: OrgId(asn),
-                rir: Rir::Arin,
-                country: "US".into(),
-                kind: NetworkKind::Transit,
-            });
-        }
-        t.add_provider_customer(Asn(1), Asn(2));
-        t.add_provider_customer(Asn(2), Asn(3));
-        t.add_provider_customer(Asn(2), Asn(4));
-        t
+        crate::testutil::topo(4, &[(1, 2), (2, 3), (2, 4)], &[])
     }
 
     fn ann(prefix: &str, origin: u32, rpki: RpkiStatus, irr: IrrStatus) -> Announcement {
@@ -226,33 +242,6 @@ mod tests {
         assert_eq!(rib.visible_count(), 0);
     }
 
-    /// A deterministic synthetic mesh big enough for real fan-out:
-    /// layered provider chains plus peering links between siblings.
-    fn wide_topo(n: u32) -> AsTopology {
-        let mut t = AsTopology::new();
-        for asn in 1..=n {
-            t.add_as(AsInfo {
-                asn: Asn(asn),
-                org: OrgId(asn),
-                rir: Rir::Arin,
-                country: "US".into(),
-                kind: NetworkKind::Transit,
-            });
-        }
-        for asn in 2..=n {
-            // Two providers among lower-numbered ASes keeps the graph
-            // acyclic in the customer-provider direction.
-            t.add_provider_customer(Asn(1 + (asn * 7) % (asn - 1)), Asn(asn));
-            if asn > 3 {
-                t.add_provider_customer(Asn(1 + (asn * 13) % (asn - 2)), Asn(asn));
-            }
-            if asn % 5 == 0 && asn < n {
-                t.add_peer(Asn(asn), Asn(asn + 1));
-            }
-        }
-        t
-    }
-
     #[test]
     fn parallel_collection_is_deterministic() {
         let t = wide_topo(160);
@@ -283,6 +272,7 @@ mod tests {
                 .collect(&anns);
             assert_eq!(parallel.vantages, serial.vantages, "threads={threads}");
             assert_eq!(parallel.observations, serial.observations, "threads={threads}");
+            assert_eq!(parallel.pool(), serial.pool(), "threads={threads}");
             assert_eq!(parallel.visible_count(), serial.visible_count(), "threads={threads}");
         }
     }

@@ -1,0 +1,47 @@
+//! Shared test fixtures for the `manrs-bgp` unit-test modules.
+//!
+//! Every test module used to carry its own copy of the same topology
+//! builders; they live here once instead. Only compiled for tests.
+
+use manrs_net::{Asn, Rir};
+use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId};
+
+/// A topology of `n` transit ASes (ASN 1..=n) with the given
+/// provider→customer and peer links.
+pub fn topo(n: u32, cp: &[(u32, u32)], pp: &[(u32, u32)]) -> AsTopology {
+    let mut t = AsTopology::new();
+    for asn in 1..=n {
+        t.add_as(AsInfo {
+            asn: Asn(asn),
+            org: OrgId(asn),
+            rir: Rir::Arin,
+            country: "US".into(),
+            kind: NetworkKind::Transit,
+        });
+    }
+    for &(p, c) in cp {
+        t.add_provider_customer(Asn(p), Asn(c));
+    }
+    for &(a, b) in pp {
+        t.add_peer(Asn(a), Asn(b));
+    }
+    t
+}
+
+/// A deterministic synthetic mesh big enough for real fan-out:
+/// layered provider chains plus peering links between siblings.
+pub fn wide_topo(n: u32) -> AsTopology {
+    let mut t = topo(n, &[], &[]);
+    for asn in 2..=n {
+        // Two providers among lower-numbered ASes keeps the graph
+        // acyclic in the customer-provider direction.
+        t.add_provider_customer(Asn(1 + (asn * 7) % (asn - 1)), Asn(asn));
+        if asn > 3 {
+            t.add_provider_customer(Asn(1 + (asn * 13) % (asn - 2)), Asn(asn));
+        }
+        if asn % 5 == 0 && asn < n {
+            t.add_peer(Asn(asn), Asn(asn + 1));
+        }
+    }
+    t
+}

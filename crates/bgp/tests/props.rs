@@ -3,7 +3,9 @@
 //! filtering must only ever shrink reach.
 
 use manrs_bgp::propagate::{propagate_dense, propagate_dense_into, DenseGraph, PropagationScratch};
-use manrs_bgp::{propagate, Announcement, FilteringPolicy, PolicyTable, TableCollector};
+use manrs_bgp::{
+    propagate, Announcement, FilteringPolicy, ParallelConfig, PolicyTable, TableCollector,
+};
 use manrs_irr::IrrStatus;
 use manrs_net::{Asn, Rir};
 use manrs_rpki::RpkiStatus;
@@ -142,8 +144,10 @@ proptest! {
         prop_assert_eq!(open_v.reached(), strict_v.reached());
     }
 
-    /// collect_table memoization returns exactly the same observations as
-    /// propagating each announcement separately.
+    /// Interned collection returns exactly the same observations as the
+    /// pre-pool representation: propagating each announcement separately
+    /// and materializing owned vantage paths (the legacy
+    /// `Vec<Vec<Asn>>` form) matches the pool-resolved paths.
     #[test]
     fn memoized_table_matches_unmemoized(
         t in arb_topology(),
@@ -176,7 +180,47 @@ proptest! {
                 .iter()
                 .filter_map(|v| o.as_path(&g, *v))
                 .collect();
-            prop_assert_eq!(&rib.observations[i].paths, &expect);
+            prop_assert_eq!(rib.materialize_paths(&rib.observations[i]), expect);
+        }
+    }
+
+    /// Interned output — PathIds, pool contents, visibility — is
+    /// bit-for-bit identical across serial and 2/4/8-thread collection.
+    #[test]
+    fn interned_collection_is_thread_invariant(
+        t in arb_topology(),
+        specs in prop::collection::vec((any::<u16>(), 0u8..4, 0u8..4), 1..12),
+    ) {
+        let n = t.len() as u32;
+        let rpki_of = |k: u8| [RpkiStatus::Valid, RpkiStatus::InvalidAsn,
+                               RpkiStatus::InvalidLength, RpkiStatus::NotFound][k as usize];
+        let irr_of = |k: u8| [IrrStatus::Valid, IrrStatus::InvalidAsn,
+                              IrrStatus::InvalidLength, IrrStatus::NotFound][k as usize];
+        let anns: Vec<Announcement> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (o, r, ir))| {
+                let prefix = format!("10.{}.0.0/16", i % 250).parse().unwrap();
+                Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
+            })
+            .collect();
+        let policies = PolicyTable::with_default(FilteringPolicy {
+            rov: true,
+            irr_filter_customers: true,
+            irr_filter_peers: false,
+            irr_strict_length: false,
+        });
+        let vantages: Vec<Asn> = vec![Asn(1), Asn(2)];
+        let collector = TableCollector::new(&t, &policies, &vantages);
+        let serial = collector.clone().parallel(ParallelConfig::serial()).collect(&anns);
+        for threads in [2usize, 4, 8] {
+            let par = collector
+                .clone()
+                .parallel(ParallelConfig::with_threads(threads))
+                .collect(&anns);
+            prop_assert_eq!(&par.observations, &serial.observations, "threads={}", threads);
+            prop_assert_eq!(par.pool(), serial.pool(), "threads={}", threads);
+            prop_assert_eq!(par.visible_count(), serial.visible_count(), "threads={}", threads);
         }
     }
 

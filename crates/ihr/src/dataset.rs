@@ -7,7 +7,7 @@
 //! transit learned the route from a direct customer — the relationship
 //! context Formula 6 (Action 1 unconformance) needs.
 
-use crate::hegemony::hegemony_scores;
+use crate::hegemony::HegemonyCounter;
 use manrs_bgp::CollectedRib;
 use manrs_irr::IrrStatus;
 use manrs_net::{Asn, Prefix};
@@ -164,6 +164,9 @@ impl SnapshotIndex {
 /// saw simply do not exist to the measurement, the §11 limitation.
 pub fn build_snapshot(rib: &CollectedRib, topology: &AsTopology) -> IhrSnapshot {
     let mut snapshot = IhrSnapshot::default();
+    // One dense counter reused across every (prefix, origin) pair; paths
+    // resolve as borrowed pool slices, nothing is cloned per pair.
+    let mut counter = HegemonyCounter::new();
     for obs in rib.visible() {
         snapshot.prefix_origins.push(PrefixOriginRecord {
             prefix: obs.prefix,
@@ -172,7 +175,7 @@ pub fn build_snapshot(rib: &CollectedRib, topology: &AsTopology) -> IhrSnapshot 
             irr: obs.irr,
             viewpoints: obs.paths.len(),
         });
-        let scores = hegemony_scores(&obs.paths, rib.vantages.len());
+        let scores = counter.scores(rib.pool(), &obs.paths, rib.vantages.len());
         for (asn, hegemony) in scores {
             if asn == obs.origin {
                 continue; // trivial transit, lives in prefix_origins
@@ -181,7 +184,7 @@ pub fn build_snapshot(rib: &CollectedRib, topology: &AsTopology) -> IhrSnapshot 
             // any observed path? The AS after it (toward the origin) is
             // the neighbor it learned from.
             let mut from_customer = false;
-            for path in &obs.paths {
+            for path in rib.paths_of(obs) {
                 if let Some(pos) = path.iter().position(|a| *a == asn) {
                     if let Some(next) = path.get(pos + 1) {
                         if topology.relationship(asn, *next) == Some(Relationship::Customer) {

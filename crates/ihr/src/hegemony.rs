@@ -8,6 +8,7 @@
 //! fraction is an indicator, and hegemony reduces to the trimmed mean of
 //! indicators. Scores sit in [0, 1]; the origin trivially scores 1.
 
+use manrs_bgp::{PathId, PathPool};
 use manrs_net::Asn;
 use std::collections::{BTreeMap, HashMap};
 
@@ -77,9 +78,93 @@ pub fn hegemony_scores(paths: &[Vec<Asn>], viewpoints: usize) -> BTreeMap<Asn, f
     scores
 }
 
+/// Reusable flat-counter hegemony over pool-interned paths.
+///
+/// [`hegemony_scores`] hashes every ASN of every path into a fresh
+/// `HashMap` per (prefix, origin) pair. Interned paths come with a dense
+/// `u32` id per distinct ASN (see `manrs_bgp::PathPool`), so the counter
+/// can be a flat `Vec` indexed by dense id and reused across pairs —
+/// no hashing, no per-pair allocation. Scores are bit-for-bit identical
+/// to [`hegemony_scores`] over the materialized paths.
+#[derive(Debug, Default)]
+pub struct HegemonyCounter {
+    /// Per dense id: how many of the current pair's paths contain it.
+    counts: Vec<u32>,
+    /// Per dense id: stamp of the last path that touched it (in-path
+    /// dedup, so loops don't double-count).
+    mark: Vec<u32>,
+    /// Dense ids with a nonzero count this pair (reset list).
+    touched: Vec<u32>,
+    /// Monotonic per-path stamp.
+    stamp: u32,
+}
+
+impl HegemonyCounter {
+    /// A counter with no capacity; it grows to the pool's universe on
+    /// first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// [`hegemony_scores`] over interned paths: `paths` hold ids into
+    /// `pool`, `viewpoints` has the same semantics as there.
+    pub fn scores(
+        &mut self,
+        pool: &PathPool,
+        paths: &[PathId],
+        viewpoints: usize,
+    ) -> BTreeMap<Asn, f64> {
+        let v = viewpoints.max(paths.len());
+        let mut scores = BTreeMap::new();
+        if v == 0 || paths.is_empty() {
+            return scores;
+        }
+        let trim = ((v as f64) * TRIM_FRACTION).floor() as usize;
+        let kept = v - 2 * trim;
+        if kept == 0 {
+            return scores;
+        }
+        let universe = pool.universe().len();
+        if self.counts.len() < universe {
+            self.counts.resize(universe, 0);
+            self.mark.resize(universe, 0);
+        }
+        for &id in paths {
+            self.stamp += 1;
+            for &d in pool.dense_path(id) {
+                let d = d as usize;
+                if self.mark[d] != self.stamp {
+                    self.mark[d] = self.stamp;
+                    if self.counts[d] == 0 {
+                        self.touched.push(d as u32);
+                    }
+                    self.counts[d] += 1;
+                }
+            }
+        }
+        for &d in &self.touched {
+            let count = self.counts[d as usize] as usize;
+            self.counts[d as usize] = 0;
+            let ones = count.min(v);
+            let zeros = v - ones;
+            let low_from_zeros = trim.min(zeros);
+            let low_from_ones = trim - low_from_zeros;
+            let high_from_ones = trim.min(ones);
+            let surviving_ones = ones.saturating_sub(low_from_ones + high_from_ones);
+            let score = surviving_ones as f64 / kept as f64;
+            if score > 0.0 {
+                scores.insert(pool.universe()[d as usize], score);
+            }
+        }
+        self.touched.clear();
+        scores
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use manrs_bgp::PathInterner;
 
     fn paths(specs: &[&[u32]]) -> Vec<Vec<Asn>> {
         specs
@@ -152,6 +237,35 @@ mod tests {
         let ps = paths(&[&[1, 2, 9], &[2, 9], &[3, 2, 9], &[4, 9], &[1, 9]]);
         for (_, s) in hegemony_scores(&ps, 5) {
             assert!(s > 0.0 && s <= 1.0);
+        }
+    }
+
+    /// The dense counter matches the HashMap estimator exactly —
+    /// including loops (in-path dedup), trims, and counter reuse across
+    /// pairs with different path sets.
+    #[test]
+    fn counter_matches_hashmap_scores() {
+        let pairs: Vec<Vec<Vec<Asn>>> = vec![
+            paths(&[&[1, 2, 9], &[2, 9], &[3, 2, 9], &[4, 9], &[1, 9]]),
+            paths(&[&[1, 2, 2, 9], &[3, 9]]), // loop: dedup in path
+            (0..12).map(|i| vec![Asn(100 + i), Asn(7), Asn(9)]).collect(),
+            vec![],
+        ];
+        let mut interner = PathInterner::new();
+        let interned: Vec<Vec<PathId>> = pairs
+            .iter()
+            .map(|ps| ps.iter().map(|p| interner.intern(p)).collect())
+            .collect();
+        let pool = interner.into_pool();
+        let mut counter = HegemonyCounter::new();
+        for (ps, ids) in pairs.iter().zip(&interned) {
+            for viewpoints in [0, 1, ps.len(), 20] {
+                assert_eq!(
+                    counter.scores(&pool, ids, viewpoints),
+                    hegemony_scores(ps, viewpoints),
+                    "paths={ps:?} viewpoints={viewpoints}"
+                );
+            }
         }
     }
 }

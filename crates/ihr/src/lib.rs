@@ -19,7 +19,7 @@ pub mod hegemony;
 pub mod io;
 
 pub use dataset::{build_snapshot, IhrSnapshot, PrefixOriginRecord, SnapshotIndex, TransitRecord};
-pub use hegemony::hegemony_scores;
+pub use hegemony::{hegemony_scores, HegemonyCounter};
 pub use io::{parse_snapshot, write_prefix_origins, write_transits};
 
 // Re-exported so downstream analysis code can name the RIB type without

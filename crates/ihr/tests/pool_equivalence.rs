@@ -1,0 +1,121 @@
+//! Interned collection ≡ pre-pool collection, end to end.
+//!
+//! Random topologies, policies, and announcement mixes: the pooled
+//! representation must materialize to exactly the owned paths the
+//! legacy per-announcement propagation produces, visibility must match,
+//! and hegemony — computed by the dense [`HegemonyCounter`] over
+//! interned paths — must be bit-for-bit equal to [`hegemony_scores`]
+//! over the materialized paths, across serial and 2/4/8-thread
+//! collection.
+
+use manrs_bgp::{
+    propagate, Announcement, FilteringPolicy, ParallelConfig, PolicyTable, TableCollector,
+};
+use manrs_ihr::hegemony::{hegemony_scores, HegemonyCounter};
+use manrs_irr::IrrStatus;
+use manrs_net::{Asn, Rir};
+use manrs_rpki::RpkiStatus;
+use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId};
+use proptest::prelude::*;
+
+/// Random layered topology free of provider cycles (providers only among
+/// lower-numbered ASes).
+fn arb_topology() -> impl Strategy<Value = AsTopology> {
+    (
+        4usize..25,
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..35),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..12),
+    )
+        .prop_map(|(n, cp_seeds, pp_seeds)| {
+            let mut t = AsTopology::new();
+            for i in 0..n {
+                t.add_as(AsInfo {
+                    asn: Asn(i as u32 + 1),
+                    org: OrgId(i as u32),
+                    rir: Rir::Arin,
+                    country: "US".into(),
+                    kind: NetworkKind::Transit,
+                });
+            }
+            for (a, b) in cp_seeds {
+                let customer = (a as usize % n).max(1);
+                let provider = b as usize % customer;
+                t.add_provider_customer(Asn(provider as u32 + 1), Asn(customer as u32 + 1));
+            }
+            for (a, b) in pp_seeds {
+                let x = a as usize % n;
+                let y = b as usize % n;
+                if x != y && t.relationship(Asn(x as u32 + 1), Asn(y as u32 + 1)).is_none() {
+                    t.add_peer(Asn(x as u32 + 1), Asn(y as u32 + 1));
+                }
+            }
+            t
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interned_matches_legacy_paths_visibility_and_hegemony(
+        t in arb_topology(),
+        specs in prop::collection::vec((any::<u16>(), 0u8..4, 0u8..4), 1..10),
+    ) {
+        let n = t.len() as u32;
+        let rpki_of = |k: u8| [RpkiStatus::Valid, RpkiStatus::InvalidAsn,
+                               RpkiStatus::InvalidLength, RpkiStatus::NotFound][k as usize];
+        let irr_of = |k: u8| [IrrStatus::Valid, IrrStatus::InvalidAsn,
+                              IrrStatus::InvalidLength, IrrStatus::NotFound][k as usize];
+        let anns: Vec<Announcement> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (o, r, ir))| {
+                let prefix = format!("10.{}.0.0/16", i % 250).parse().unwrap();
+                Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
+            })
+            .collect();
+        let policies = PolicyTable::with_default(FilteringPolicy {
+            rov: true,
+            irr_filter_customers: true,
+            irr_filter_peers: false,
+            irr_strict_length: false,
+        });
+        let vantages: Vec<Asn> = vec![Asn(1), Asn(2), Asn(n.min(4))];
+        let collector = TableCollector::new(&t, &policies, &vantages);
+
+        let configs = [
+            ParallelConfig::serial(),
+            ParallelConfig::with_threads(2),
+            ParallelConfig::with_threads(4),
+            ParallelConfig::with_threads(8),
+        ];
+        for cfg in configs {
+            let rib = collector.clone().parallel(cfg).collect(&anns);
+            let mut counter = HegemonyCounter::new();
+            let mut legacy_visible = 0usize;
+            for (i, a) in anns.iter().enumerate() {
+                // Legacy representation: one propagation per
+                // announcement, owned Vec<Vec<Asn>> vantage paths.
+                let (g, o) = propagate(&t, &policies, a);
+                let legacy: Vec<Vec<Asn>> = vantages
+                    .iter()
+                    .filter_map(|v| o.as_path(&g, *v))
+                    .collect();
+                if !legacy.is_empty() {
+                    legacy_visible += 1;
+                }
+                let obs = &rib.observations[i];
+                prop_assert_eq!(rib.materialize_paths(obs), legacy.clone());
+                prop_assert_eq!(obs.is_visible(), !legacy.is_empty());
+
+                // Hegemony: dense counter over interned paths must equal
+                // the HashMap estimator over materialized paths, bit for
+                // bit (f64 equality, not tolerance).
+                let dense = counter.scores(rib.pool(), &obs.paths, vantages.len());
+                let reference = hegemony_scores(&legacy, vantages.len());
+                prop_assert_eq!(dense, reference);
+            }
+            prop_assert_eq!(rib.visible_count(), legacy_visible);
+        }
+    }
+}

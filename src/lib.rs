@@ -54,7 +54,7 @@ pub mod prelude {
     pub use manrs_bgp::{collect_table, collect_table_with};
     pub use manrs_bgp::{
         Announcement, CollectedRib, FilteringPolicy, Hijack, HijackKind, ParallelConfig,
-        PolicyTable, PropagationScratch, TableCollector,
+        PathId, PathInterner, PathPool, PolicyTable, PropagationScratch, TableCollector,
     };
     pub use manrs_core::{
         action1_verdict, action4_verdict, attribute_mismatches, compute_action1,
@@ -63,7 +63,7 @@ pub mod prelude {
         Action1Verdict, Action4Metrics, Action4Verdict, ConformanceThreshold, Ecdf,
         ManrsProgram, ManrsRegistry, MemberRecord, ParticipationAnalysis, StabilityClass,
     };
-    pub use manrs_ihr::{build_snapshot, hegemony_scores, IhrSnapshot};
+    pub use manrs_ihr::{build_snapshot, hegemony_scores, HegemonyCounter, IhrSnapshot};
     pub use manrs_irr::{validate_irr, IrrDatabase, IrrRegistry, IrrStatus, RouteObject};
     pub use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
     pub use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};

