@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Schema and invariant checks for BENCH_propagation.json.
+
+Shared by the CI smoke step (small scale) and the scheduled paper-scale
+job, so both validate the exact same contract:
+
+* every measurement carries the standard timing/throughput keys;
+* ``collect_table`` also carries the legacy-baseline comparison and must
+  beat the pre-pool algorithm;
+* ``reverse_collection`` records both collection strategies at the same
+  thread count (forward in ``serial_secs``/``forward_secs``, reverse in
+  ``parallel_secs``/``reverse_secs``) plus the vantage/class counts that
+  drive the ``Auto`` strategy choice — and whenever there are fewer
+  vantages than filter classes, the reverse traversal must be strictly
+  faster than the forward one.
+"""
+
+import json
+import sys
+
+STANDARD_KEYS = (
+    "scale",
+    "stage",
+    "elements",
+    "serial_secs",
+    "parallel_secs",
+    "serial_elements_per_sec",
+    "parallel_elements_per_sec",
+    "parallel_allocations",
+    "peak_rss_kb",
+    "speedup",
+)
+
+REQUIRED_STAGES = (
+    "collect_table",
+    "reverse_collection",
+    "path_extraction",
+    "snapshot_validation",
+)
+
+
+def main(path: str) -> None:
+    with open(path) as f:
+        data = json.load(f)
+    assert isinstance(data["host_cpus"], int) and data["host_cpus"] >= 1
+    stages = {m["stage"] for m in data["measurements"]}
+    for required in REQUIRED_STAGES:
+        assert required in stages, f"missing stage {required}"
+    for m in data["measurements"]:
+        for key in STANDARD_KEYS:
+            assert key in m, f"missing {key}"
+        if m["stage"] == "collect_table":
+            for key in (
+                "legacy_serial_secs",
+                "legacy_serial_elements_per_sec",
+                "improvement_vs_legacy",
+            ):
+                assert key in m, f"missing {key}"
+            assert m["improvement_vs_legacy"] > 1.0, (
+                f"interned collection regressed below the pre-pool baseline: {m}"
+            )
+        if m["stage"] == "reverse_collection":
+            for key in ("forward_secs", "reverse_secs", "vantage_count", "class_count"):
+                assert key in m, f"missing {key}"
+            assert m["forward_secs"] == m["serial_secs"]
+            assert m["reverse_secs"] == m["parallel_secs"]
+            if m["vantage_count"] < m["class_count"] and m["scale"] != "small":
+                # Small worlds fit in noise; medium and paper scale must
+                # show the asymptotic win whenever Auto would pick reverse.
+                assert m["reverse_secs"] < m["forward_secs"], (
+                    f"reverse collection not faster with fewer vantages than classes: {m}"
+                )
+    print(f"{path} schema OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_propagation.json")

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Schema and invariant checks for BENCH_timeline.json.
+
+Shared by the CI smoke step (small scale) and the scheduled paper-scale
+job: every measurement carries the step-cost keys, and the incremental
+engine must beat a full rebuild per step.
+"""
+
+import json
+import sys
+
+
+def main(path: str) -> None:
+    with open(path) as f:
+        data = json.load(f)
+    assert isinstance(data["host_cpus"], int) and data["host_cpus"] >= 1
+    assert data["measurements"], "no measurements recorded"
+    for m in data["measurements"]:
+        for key in (
+            "scale",
+            "weeks",
+            "churn",
+            "pairs",
+            "deltas",
+            "full_secs_per_step",
+            "incremental_secs_per_step",
+            "pairs_revalidated_per_step",
+            "speedup",
+        ):
+            assert key in m, f"missing {key}"
+        assert m["incremental_secs_per_step"] < m["full_secs_per_step"], (
+            f"incremental step not faster than full rebuild: {m}"
+        )
+    print(f"{path} schema OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_timeline.json")

@@ -42,6 +42,7 @@ fn bench_memoization_effect(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 TableCollector::new(&world.world.topology, &world.policies, &world.vantages)
+                    .plan()
                     .collect(&world.announcements),
             )
         })

@@ -60,6 +60,7 @@ fn bench_whole_table(c: &mut Criterion) {
                 black_box(
                     TableCollector::new(&world.world.topology, &world.policies, &world.vantages)
                         .parallel(ParallelConfig::serial())
+                        .plan()
                         .collect(&world.announcements),
                 )
             })
@@ -72,6 +73,7 @@ fn bench_whole_table(c: &mut Criterion) {
                 black_box(
                     TableCollector::new(&world.world.topology, &world.policies, &world.vantages)
                         .parallel(ParallelConfig::auto())
+                        .plan()
                         .collect(&world.announcements),
                 )
             })

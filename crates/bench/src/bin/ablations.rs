@@ -111,6 +111,7 @@ fn vantage_sweep(world: &ScenarioWorld) -> ExperimentResult {
     for keep in [full_vantages, full_vantages / 2, full_vantages / 4, 1] {
         let vantages: Vec<Asn> = world.vantages.iter().copied().take(keep.max(1)).collect();
         let rib = manrs_bgp::TableCollector::new(&world.world.topology, &world.policies, &vantages)
+            .plan()
             .collect(&world.announcements);
         let ihr = build_snapshot(&rib, &world.world.topology);
         let metrics = compute_action4(&ihr);

@@ -16,13 +16,19 @@
 //! honest before/after elements-per-second for the CSR + bucket-queue
 //! core and the interned path representation.
 //!
-//! Scales covered: Small and Medium by default (`paper` scale is opt-in
-//! through the ordinary `MANRS_SCALE` binaries; this file is meant to
-//! stay cheap enough for CI). Set `MANRS_BENCH_SCALES=small` to run
-//! only the small scale (the CI smoke step does).
+//! The `reverse_collection` stage times the two [`CollectionStrategy`]
+//! implementations against each other at the same thread count: the
+//! forward per-(origin, filter-class) propagation versus the reverse
+//! per-vantage traversal, asserting the tables are identical and
+//! recording the vantage/class counts that drive the `Auto` choice.
+//!
+//! Scales covered: Small and Medium by default. Set
+//! `MANRS_BENCH_SCALES=small` to run only the small scale (the CI smoke
+//! step does), or include `paper` (~20k ASes, release builds only — the
+//! scheduled CI job does) for the full-size measurement.
 
 use manrs_bench::{Scale, HARNESS_SEED};
-use manrs_bgp::{par_map, ParallelConfig, TableCollector};
+use manrs_bgp::{distinct_classes, par_map, CollectionStrategy, ParallelConfig, TableCollector};
 use manrs_irr::validate_irr;
 use manrs_rpki::validate_origin;
 use manrs_scenario::ScenarioWorld;
@@ -94,6 +100,10 @@ struct Measurement {
     /// Pre-pool algorithm wall time, serial — only for stages with a
     /// legacy counterpart (`collect_table`).
     legacy_serial_secs: Option<f64>,
+    /// `(vantage_count, class_count)` — only for `reverse_collection`,
+    /// where `serial_secs` holds the forward strategy's time and
+    /// `parallel_secs` the reverse strategy's at the same thread count.
+    strategy_split: Option<(usize, usize)>,
 }
 
 impl Measurement {
@@ -357,10 +367,20 @@ fn measure_scale(
     // pre-pool algorithm as the "before" baseline.
     let collector = TableCollector::new(&world.world.topology, &world.policies, &world.vantages);
     let (t_serial, _, rib_serial) = time_best(reps, || {
-        collector.clone().parallel(serial).collect(&world.announcements)
+        collector
+            .clone()
+            .parallel(serial)
+            .plan()
+            .strategy(CollectionStrategy::Forward)
+            .collect(&world.announcements)
     });
     let (t_parallel, allocs, rib_parallel) = time_best(reps, || {
-        collector.clone().parallel(*parallel).collect(&world.announcements)
+        collector
+            .clone()
+            .parallel(*parallel)
+            .plan()
+            .strategy(CollectionStrategy::Forward)
+            .collect(&world.announcements)
     });
     assert_eq!(
         rib_serial.observations, rib_parallel.observations,
@@ -389,6 +409,40 @@ fn measure_scale(
         parallel_allocations: allocs,
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: Some(t_legacy),
+        strategy_split: None,
+    });
+
+    // Stage 1b: collection strategy face-off — the reverse per-vantage
+    // traversal against the forward per-class engine, both at the same
+    // thread count. The tables must be bit-for-bit identical; only the
+    // wall time may differ.
+    let (t_reverse, rev_allocs, rib_reverse) = time_best(reps, || {
+        collector
+            .clone()
+            .parallel(*parallel)
+            .plan()
+            .strategy(CollectionStrategy::Reverse)
+            .collect(&world.announcements)
+    });
+    assert_eq!(
+        rib_parallel.observations, rib_reverse.observations,
+        "reverse collection diverged from forward"
+    );
+    assert_eq!(
+        rib_parallel.pool(),
+        rib_reverse.pool(),
+        "reverse collection interned a different pool"
+    );
+    out.push(Measurement {
+        scale: name,
+        stage: "reverse_collection",
+        elements: world.announcements.len(),
+        serial_secs: t_parallel,
+        parallel_secs: t_reverse,
+        parallel_allocations: rev_allocs,
+        peak_rss_kb: peak_rss_kb(),
+        legacy_serial_secs: None,
+        strategy_split: Some((world.vantages.len(), distinct_classes(&world.announcements))),
     });
 
     // Stage 2: path extraction — resolving every observation's vantage
@@ -420,6 +474,7 @@ fn measure_scale(
         parallel_allocations: allocs,
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
+        strategy_split: None,
     });
 
     // Stage 3: snapshot re-validation of every (prefix, origin) against
@@ -445,6 +500,7 @@ fn measure_scale(
         parallel_allocations: allocs,
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
+        strategy_split: None,
     });
 }
 
@@ -479,6 +535,12 @@ fn render_json(threads: usize, measurements: &[Measurement]) -> String {
                 secs / m.serial_secs.max(1e-12)
             );
         }
+        if let Some((vantages, classes)) = m.strategy_split {
+            let _ = writeln!(json, "      \"forward_secs\": {:.6},", m.serial_secs);
+            let _ = writeln!(json, "      \"reverse_secs\": {:.6},", m.parallel_secs);
+            let _ = writeln!(json, "      \"vantage_count\": {vantages},");
+            let _ = writeln!(json, "      \"class_count\": {classes},");
+        }
         let _ = writeln!(json, "      \"speedup\": {:.3}", m.speedup());
         let _ = writeln!(json, "    }}{}", if i + 1 == measurements.len() { "" } else { "," });
     }
@@ -496,6 +558,9 @@ fn main() {
     }
     if scales.contains("medium") {
         measure_scale(Scale::Medium, "medium", &parallel, &mut measurements);
+    }
+    if scales.contains("paper") {
+        measure_scale(Scale::Paper, "paper", &parallel, &mut measurements);
     }
 
     println!(

@@ -1,0 +1,74 @@
+//! Deprecated 0.2.0 surface, consolidated.
+//!
+//! Everything here forwards through the builder-style APIs
+//! ([`TableCollector`] / [`crate::CollectionPlan`]) and exists only so
+//! pre-0.2.0 callers keep compiling. New code should not import from
+//! this module; the deprecation notes name the replacement.
+
+use crate::announcement::Announcement;
+use crate::collector::CollectedRib;
+use crate::parallel::ParallelConfig;
+use crate::policy::PolicyTable;
+use crate::table::TableCollector;
+use manrs_net::Asn;
+use manrs_topology::AsTopology;
+
+/// Propagates every announcement and collects the vantage view, using
+/// the thread count from `MANRS_THREADS` (auto-detected when unset).
+#[deprecated(since = "0.2.0", note = "use `TableCollector::new(...).plan().collect(...)`")]
+pub fn collect_table(
+    topology: &AsTopology,
+    policies: &PolicyTable,
+    announcements: &[Announcement],
+    vantages: &[Asn],
+) -> CollectedRib {
+    TableCollector::new(topology, policies, vantages).plan().collect(announcements)
+}
+
+/// [`collect_table`] with an explicit parallelism configuration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `TableCollector::new(...).parallel(cfg).plan().collect(...)`"
+)]
+pub fn collect_table_with(
+    topology: &AsTopology,
+    policies: &PolicyTable,
+    announcements: &[Announcement],
+    vantages: &[Asn],
+    cfg: &ParallelConfig,
+) -> CollectedRib {
+    TableCollector::new(topology, policies, vantages)
+        .parallel(*cfg)
+        .plan()
+        .collect(announcements)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(deprecated)]
+
+    use super::*;
+    use manrs_irr::IrrStatus;
+    use manrs_rpki::RpkiStatus;
+
+    #[test]
+    fn shims_match_builder_collection() {
+        let t = crate::testutil::topo(4, &[(1, 2), (2, 3), (2, 4)], &[]);
+        let policies = PolicyTable::default();
+        let anns = vec![Announcement::new(
+            "10.0.0.0/16".parse().unwrap(),
+            Asn(3),
+            RpkiStatus::Valid,
+            IrrStatus::Valid,
+        )];
+        let vantages = [Asn(1), Asn(4)];
+        let via_builder = TableCollector::new(&t, &policies, &vantages).collect(&anns);
+        let via_shim = collect_table(&t, &policies, &anns, &vantages);
+        let via_shim_cfg =
+            collect_table_with(&t, &policies, &anns, &vantages, &ParallelConfig::serial());
+        assert_eq!(via_shim.observations, via_builder.observations);
+        assert_eq!(via_shim.pool(), via_builder.pool());
+        assert_eq!(via_shim_cfg.observations, via_builder.observations);
+        assert_eq!(via_shim_cfg.pool(), via_builder.pool());
+    }
+}

@@ -157,7 +157,7 @@ mod tests {
                 IrrStatus::NotFound,
             ),
         ];
-        TableCollector::new(&t, &PolicyTable::default(), &[Asn(1), Asn(4)]).collect(&anns)
+        TableCollector::new(&t, &PolicyTable::default(), &[Asn(1), Asn(4)]).plan().collect(&anns)
     }
 
     #[test]

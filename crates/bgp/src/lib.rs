@@ -26,7 +26,11 @@
 //! * [`table`] — the full pipeline: a set of announcements in, the
 //!   collected RIB (per prefix-origin vantage AS paths) out, with
 //!   per-(origin, filter-class) memoization so whole-table runs stay
-//!   affordable.
+//!   affordable. Collection is a [`CollectionPlan`]: `Forward` runs one
+//!   propagation per class, `Reverse` runs one backward valley-free
+//!   traversal per vantage (few-vantage regimes), `Auto` picks by
+//!   comparing the two counts — all three produce bit-for-bit
+//!   identical RIBs.
 //! * [`parallel`] — a deterministic, order-preserving fork–join
 //!   executor used by the table and dump pipelines; thread count is
 //!   controlled by [`ParallelConfig`] / the `MANRS_THREADS` env var.
@@ -37,12 +41,14 @@
 
 pub mod announcement;
 pub mod collector;
+pub mod compat;
 pub mod dump;
 pub mod hijack;
 pub mod parallel;
 pub mod pathpool;
 pub mod policy;
 pub mod propagate;
+mod reverse;
 pub mod stats;
 pub mod table;
 
@@ -61,6 +67,5 @@ pub use propagate::{
     RoutingOutcome,
 };
 pub use stats::{moas_conflicts, table_stats, TableStats};
-#[allow(deprecated)] // shims re-exported for downstream compatibility
-pub use table::{collect_table, collect_table_with};
-pub use table::TableCollector;
+pub use table::{distinct_classes, CollectionPlan, CollectionStrategy, TableCollector};
+#[allow(deprecated)] pub use compat::{collect_table, collect_table_with};

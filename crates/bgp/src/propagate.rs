@@ -179,6 +179,26 @@ impl DenseGraph {
     pub fn asn_at(&self, idx: usize) -> Asn {
         self.asns[idx]
     }
+
+    /// Providers of the node at `u`, as dense indices.
+    pub(crate) fn providers_row(&self, u: usize) -> &[u32] {
+        self.providers.row(u)
+    }
+
+    /// Customers of the node at `u`, as dense indices.
+    pub(crate) fn customers_row(&self, u: usize) -> &[u32] {
+        self.customers.row(u)
+    }
+
+    /// Peers of the node at `u`, as dense indices.
+    pub(crate) fn peers_row(&self, u: usize) -> &[u32] {
+        self.peers.row(u)
+    }
+
+    /// Filtering policy of the node at `u`.
+    pub(crate) fn policy_at(&self, u: usize) -> &FilteringPolicy {
+        &self.policies[u]
+    }
 }
 
 /// The result of propagating one announcement: every AS's best route.

@@ -1,0 +1,564 @@
+//! Reverse valley-free propagation: per-vantage backward traversal.
+//!
+//! Forward collection runs one full Gao–Rexford propagation per
+//! (origin, filter-class) and then reads a handful of vantage rows out
+//! of each run. When there are few vantages and many classes that is
+//! almost all wasted work: the collected RIB only ever looks at the
+//! routes *the vantages* select. This module inverts the computation:
+//! for one vantage and one *acceptance class* (the projection of an
+//! announcement that filters can observe — see [`AcceptClass`]), a
+//! single backward traversal over the CSR graph yields, for **every**
+//! reachable origin at once, exactly the route the vantage would have
+//! selected under forward propagation — same provenance, same hops,
+//! same AS path, bit for bit.
+//!
+//! ## Why the forward result is reconstructible backwards
+//!
+//! Forward propagation selects, at every AS, customer > peer > provider
+//! routes, then shortest, then lowest neighbor ASN. The route the
+//! vantage `v` ends up with decomposes into at most three segments:
+//!
+//! 1. **Customer segment.** If `v` has a customer route to origin `o`,
+//!    its path is the lexicographically-least shortest chain of
+//!    customer edges `v → … → o` whose every node except the terminal
+//!    origin accepts the announcement from a customer. (Forward phase 1
+//!    claims each provider with the lowest-ASN customer at the previous
+//!    BFS level; unrolling that greedy choice from `v` is exactly a
+//!    lexicographic-order level BFS *down* customer edges — see
+//!    [`customer_tree`].)
+//! 2. **Peer segment.** Failing that, `v` takes the best single peer
+//!    hop: over all peers `u` with a customer route (or `u == o`), the
+//!    offer `(hops(u) + 1, u)` with the smallest value wins. Backwards
+//!    this is one merged multi-source BFS over the peers' customer
+//!    cones, sources seeded in ascending index order so that each node
+//!    is claimed by exactly the winning (distance, peer) pair — see
+//!    [`peer_tree`].
+//! 3. **Provider segment.** Failing both, the route climbs `v`'s
+//!    *provider closure*: the set of ASes reachable from `v` by
+//!    repeatedly ascending provider edges through nodes that accept
+//!    provider routes. Each closure node `w` exports its own *selected*
+//!    route (origin / customer / peer preferred over provider, even
+//!    when longer!), so the closure is resolved per origin with a tiny
+//!    Dijkstra whose seeds are the closure nodes' own selections and
+//!    whose tie-break mirrors phase 3's bucket order — see
+//!    [`provider_rows`].
+//!
+//! The acceptance class fixes, per node, three booleans (accepts from
+//! customer / peer / provider), so one traversal serves every origin ×
+//! every announcement in the class. [`crate::CollectionPlan`] stitches
+//! the per-(vantage, class) views back into observations in the same
+//! serial order forward collection uses, which keeps [`crate::PathId`]
+//! assignment — and therefore the whole `CollectedRib` — identical.
+
+use crate::announcement::Announcement;
+use crate::propagate::DenseGraph;
+use manrs_irr::IrrStatus;
+use manrs_net::Asn;
+use manrs_topology::Relationship;
+
+/// Sentinel for "unset" in the dense route rows.
+const NONE: u32 = u32::MAX;
+
+/// The projection of an announcement that import filters can observe:
+/// whether ROV drops it and which IRR bucket it falls in. Two
+/// announcements with equal [`AcceptClass`] are accepted/rejected
+/// identically at every AS and every relationship, so one reverse
+/// traversal serves both — regardless of origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct AcceptClass {
+    rov_dropped: bool,
+    /// IRR statuses collapse to the three buckets filters distinguish:
+    /// invalid-ASN, invalid-length, and everything else.
+    irr: u8,
+}
+
+impl AcceptClass {
+    pub(crate) fn of(a: &Announcement) -> Self {
+        let irr = match a.irr {
+            IrrStatus::InvalidAsn => 1,
+            IrrStatus::InvalidLength => 2,
+            _ => 0,
+        };
+        AcceptClass { rov_dropped: a.rpki.dropped_by_rov(), irr }
+    }
+}
+
+/// Per-node acceptance of one class, evaluated once per traversal.
+struct Acceptance {
+    customer: Vec<bool>,
+    peer: Vec<bool>,
+    provider: Vec<bool>,
+}
+
+impl Acceptance {
+    fn evaluate(graph: &DenseGraph, rep: &Announcement) -> Self {
+        let n = graph.len();
+        let mut acc = Acceptance {
+            customer: Vec::with_capacity(n),
+            peer: Vec::with_capacity(n),
+            provider: Vec::with_capacity(n),
+        };
+        for u in 0..n {
+            let pol = graph.policy_at(u);
+            acc.customer.push(pol.accepts(rep, Relationship::Customer));
+            acc.peer.push(pol.accepts(rep, Relationship::Peer));
+            acc.provider.push(pol.accepts(rep, Relationship::Provider));
+        }
+        acc
+    }
+}
+
+/// Origin-indexed route rows of one provider-closure node.
+struct NodeRows {
+    /// Customer-route hops from the closure node down to each origin.
+    cdist: Vec<u32>,
+    /// Parent toward the closure node in the customer-route tree.
+    cpred: Vec<u32>,
+    /// Peer-route hops (winning peer's customer hops + 1).
+    pdist: Vec<u32>,
+    /// Parent in the merged peer-cone tree; peer sources have none.
+    ppred: Vec<u32>,
+    /// Provider-route hops (filled only for origins the closure
+    /// Dijkstra actually resolves).
+    rdist: Vec<u32>,
+    /// Winning provider as a *closure position* (index into
+    /// [`VantageView::closure`]).
+    rvia: Vec<u32>,
+}
+
+impl NodeRows {
+    fn new(n: usize) -> Self {
+        NodeRows {
+            cdist: vec![NONE; n],
+            cpred: vec![NONE; n],
+            pdist: vec![NONE; n],
+            ppred: vec![NONE; n],
+            rdist: vec![NONE; n],
+            rvia: vec![NONE; n],
+        }
+    }
+}
+
+/// Everything one reverse traversal learns: for one vantage and one
+/// acceptance class, the route the vantage selects toward every origin
+/// in the graph. `closure[0]` is the vantage itself.
+pub(crate) struct VantageView {
+    vantage: u32,
+    /// The vantage's provider closure (dense indices, vantage first).
+    closure: Vec<u32>,
+    /// `rows[i]` belongs to `closure[i]`.
+    rows: Vec<NodeRows>,
+}
+
+/// Runs one reverse traversal: vantage `vantage` (dense index), class
+/// represented by `rep`. Cost is roughly the size of the vantage's
+/// customer cone plus its peers' cones plus the closure resolution —
+/// independent of how many origins/classes the table contains.
+pub(crate) fn reverse_view(graph: &DenseGraph, rep: &Announcement, vantage: usize) -> VantageView {
+    let n = graph.len();
+    let acc = Acceptance::evaluate(graph, rep);
+
+    // Provider closure: climb provider edges from the vantage through
+    // nodes that accept provider routes. `pos_of` maps dense index →
+    // closure position for the Dijkstra's edge building.
+    let mut closure: Vec<u32> = vec![vantage as u32];
+    let mut pos_of: Vec<u32> = vec![NONE; n];
+    pos_of[vantage] = 0;
+    let mut i = 0;
+    while i < closure.len() {
+        let x = closure[i] as usize;
+        if acc.provider[x] {
+            for &w in graph.providers_row(x) {
+                if pos_of[w as usize] == NONE {
+                    pos_of[w as usize] = closure.len() as u32;
+                    closure.push(w);
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Per closure node: its customer-route tree and its merged
+    // peer-cone tree. These double as the seeds of the closure
+    // resolution and as path segments during reconstruction.
+    let mut rows: Vec<NodeRows> = closure.iter().map(|_| NodeRows::new(n)).collect();
+    for (j, &w) in closure.iter().enumerate() {
+        customer_tree(graph, &acc, w as usize, &mut rows[j]);
+        peer_tree(graph, &acc, w as usize, &mut rows[j]);
+    }
+
+    if closure.len() > 1 {
+        provider_rows(graph, &acc, &closure, &pos_of, &mut rows);
+    }
+
+    VantageView { vantage: vantage as u32, closure, rows }
+}
+
+/// Lexicographic-order level BFS down customer edges from `w`.
+///
+/// Claims every origin `w` has a customer route to, recording hops and
+/// the parent toward `w`. Per level, nodes are processed in the rank
+/// order of their (unique, lexicographically-least) path from `w`; a
+/// child is claimed by the first parent that reaches it, so the
+/// recorded path is the lexicographically-least shortest admissible
+/// chain — exactly the chain forward phase 1's "lowest customer ASN at
+/// the previous level" greedy builds, unrolled from `w`.
+///
+/// A node that does not accept customer routes is still claimable (it
+/// can be the terminal *origin* of a chain) but never expands.
+fn customer_tree(graph: &DenseGraph, acc: &Acceptance, w: usize, rows: &mut NodeRows) {
+    if !acc.customer[w] {
+        // Forward phase 1 installs nothing at `w` unless `w` accepts
+        // from customers; without that no customer route exists (the
+        // origin case is handled by the caller's origin check).
+        return;
+    }
+    rows.cdist[w] = 0;
+    let mut frontier: Vec<u32> = vec![w as u32];
+    let mut next: Vec<(u32, u32)> = Vec::new();
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        next.clear();
+        for (rank, &x) in frontier.iter().enumerate() {
+            if !acc.customer[x as usize] {
+                continue; // absorbing: origin-only terminal
+            }
+            for &y in graph.customers_row(x as usize) {
+                let yi = y as usize;
+                if rows.cdist[yi] == NONE {
+                    rows.cdist[yi] = depth;
+                    rows.cpred[yi] = x;
+                    next.push((rank as u32, y));
+                }
+            }
+        }
+        // (parent rank, child index) order *is* lexicographic path
+        // order at the next level: same parent ⇒ lower index first,
+        // different parents ⇒ parent order decides.
+        next.sort_unstable();
+        frontier.clear();
+        frontier.extend(next.iter().map(|&(_, y)| y));
+    }
+}
+
+/// Merged multi-source BFS over the customer cones of `w`'s peers.
+///
+/// Forward phase 2 lets every peer `u` of `w` that is routed after
+/// phase 1 (i.e. has a customer route to the origin, or *is* the
+/// origin) offer `(hops(u) + 1, u)`; `w` takes the minimum. Running all
+/// sources in one BFS with sources seeded in ascending index order
+/// reproduces that minimum per origin: a node is claimed at its
+/// smallest (distance, source) pair, including origins that sit inside
+/// several peers' cones, and the recorded parent chain is the winning
+/// source's own lexicographically-least path.
+fn peer_tree(graph: &DenseGraph, acc: &Acceptance, w: usize, rows: &mut NodeRows) {
+    if !acc.peer[w] {
+        return;
+    }
+    let mut sources: Vec<u32> = graph.peers_row(w).to_vec();
+    if sources.is_empty() {
+        return;
+    }
+    sources.sort_unstable();
+    sources.dedup();
+    let mut frontier: Vec<u32> = Vec::with_capacity(sources.len());
+    for &u in &sources {
+        // A peer is claimable as its own origin even when it would not
+        // accept the announcement (the origin installs unconditionally).
+        rows.pdist[u as usize] = 1;
+        rows.ppred[u as usize] = NONE;
+        frontier.push(u);
+    }
+    let mut next: Vec<(u32, u32)> = Vec::new();
+    let mut depth = 1u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        next.clear();
+        for (rank, &x) in frontier.iter().enumerate() {
+            if !acc.customer[x as usize] {
+                continue; // source (or cone node) without a customer route
+            }
+            for &y in graph.customers_row(x as usize) {
+                let yi = y as usize;
+                if rows.pdist[yi] == NONE {
+                    rows.pdist[yi] = depth;
+                    rows.ppred[yi] = x;
+                    next.push((rank as u32, y));
+                }
+            }
+        }
+        next.sort_unstable();
+        frontier.clear();
+        frontier.extend(next.iter().map(|&(_, y)| y));
+    }
+}
+
+/// Resolves provider routes over the closure, one origin at a time.
+///
+/// Every closure node exports its own *selected* route — origin,
+/// customer, or peer routes are preferred over provider routes even
+/// when longer — so seeds come from the nodes' own rows and unseeded
+/// nodes relax along provider→customer edges with the forward tie-break
+/// (fewest hops, then lowest provider ASN). Origins for which the
+/// vantage itself is seeded never consult a provider route and are
+/// skipped outright.
+fn provider_rows(
+    graph: &DenseGraph,
+    acc: &Acceptance,
+    closure: &[u32],
+    pos_of: &[u32],
+    rows: &mut [NodeRows],
+) {
+    let k = closure.len();
+    let n = graph.len();
+    // Closure-local provider → customer edges, grouped by provider
+    // position: when a provider settles it relaxes its closure
+    // customers. A node only receives if it accepts provider routes;
+    // its providers are guaranteed to be in the closure because
+    // closure expansion ascends through exactly those nodes.
+    let mut edges: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for (j, &xj) in closure.iter().enumerate() {
+        if acc.provider[xj as usize] {
+            for &w in graph.providers_row(xj as usize) {
+                edges[pos_of[w as usize] as usize].push(j as u32);
+            }
+        }
+    }
+
+    let mut val = vec![NONE; k];
+    let mut via = vec![NONE; k];
+    let mut seeded = vec![false; k];
+    let mut settled = vec![false; k];
+    for o in 0..n {
+        let mut any = false;
+        for j in 0..k {
+            let wj = closure[j] as usize;
+            let seed = if wj == o {
+                Some(0)
+            } else if rows[j].cdist[o] != NONE {
+                Some(rows[j].cdist[o])
+            } else if rows[j].pdist[o] != NONE {
+                Some(rows[j].pdist[o])
+            } else {
+                None
+            };
+            seeded[j] = seed.is_some();
+            val[j] = seed.unwrap_or(NONE);
+            via[j] = NONE;
+            settled[j] = false;
+            any |= seed.is_some();
+        }
+        if seeded[0] || !any {
+            continue;
+        }
+        // Dijkstra with linear-scan extraction: closures are small
+        // (a vantage's provider ancestry), and equal-hop nodes cannot
+        // relax each other, so settle order among ties is immaterial.
+        loop {
+            let mut best = NONE;
+            let mut bj = k;
+            for j in 0..k {
+                if !settled[j] && val[j] < best {
+                    best = val[j];
+                    bj = j;
+                }
+            }
+            if bj == k {
+                break;
+            }
+            settled[bj] = true;
+            let cand = val[bj] + 1;
+            for &jc in &edges[bj] {
+                let jc = jc as usize;
+                if seeded[jc] || settled[jc] {
+                    continue;
+                }
+                // (hops, provider ASN) tie-break; closure positions are
+                // discovery order, so compare dense indices.
+                let better = cand < val[jc]
+                    || (cand == val[jc] && closure[bj] < closure[via[jc] as usize]);
+                if better {
+                    val[jc] = cand;
+                    via[jc] = bj as u32;
+                }
+            }
+        }
+        for j in 0..k {
+            if !seeded[j] && val[j] != NONE {
+                rows[j].rdist[o] = val[j];
+                rows[j].rvia[o] = via[j];
+            }
+        }
+    }
+}
+
+impl VantageView {
+    /// The route's AS path from the vantage to `origin` (dense index),
+    /// or `None` if the vantage never hears the announcement — exactly
+    /// [`crate::PropagationScratch::as_path_at`] of the forward run.
+    pub(crate) fn path_to(&self, graph: &DenseGraph, origin: usize) -> Option<Vec<Asn>> {
+        let v = self.vantage as usize;
+        if origin == v {
+            return Some(vec![graph.asn_at(v)]);
+        }
+        let r0 = &self.rows[0];
+        if r0.cdist[origin] != NONE {
+            let mut path = walk_pred(graph, &r0.cpred, origin);
+            path.reverse();
+            return Some(path);
+        }
+        if r0.pdist[origin] != NONE {
+            let mut path = walk_pred(graph, &r0.ppred, origin);
+            path.push(graph.asn_at(v));
+            path.reverse();
+            return Some(path);
+        }
+        if r0.rdist[origin] != NONE {
+            let mut path = vec![graph.asn_at(v)];
+            let mut pos = r0.rvia[origin] as usize;
+            loop {
+                let w = self.closure[pos] as usize;
+                if w == origin {
+                    path.push(graph.asn_at(w));
+                    break;
+                }
+                let rw = &self.rows[pos];
+                if rw.cdist[origin] != NONE {
+                    // The chain ends in w's own customer route; the
+                    // pred walk yields [origin .. w], appended reversed.
+                    let seg = walk_pred(graph, &rw.cpred, origin);
+                    path.extend(seg.into_iter().rev());
+                    break;
+                }
+                if rw.pdist[origin] != NONE {
+                    path.push(graph.asn_at(w));
+                    let seg = walk_pred(graph, &rw.ppred, origin);
+                    path.extend(seg.into_iter().rev());
+                    break;
+                }
+                // w itself selected a provider route: keep climbing.
+                path.push(graph.asn_at(w));
+                pos = rw.rvia[origin] as usize;
+            }
+            return Some(path);
+        }
+        None
+    }
+}
+
+/// Collects `[origin, pred(origin), …, root]` by chasing a predecessor
+/// row until the unset sentinel (the tree root, or a peer source).
+fn walk_pred(graph: &DenseGraph, pred: &[u32], origin: usize) -> Vec<Asn> {
+    let mut path = Vec::new();
+    let mut cur = origin;
+    loop {
+        path.push(graph.asn_at(cur));
+        match pred[cur] {
+            NONE => return path,
+            p => cur = p as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{FilteringPolicy, PolicyTable};
+    use crate::propagate::{propagate_dense, DenseGraph};
+    use crate::testutil::{topo, wide_topo};
+    use manrs_irr::IrrStatus;
+    use manrs_rpki::RpkiStatus;
+    use manrs_topology::AsTopology;
+
+    fn ann_with(origin: u32, rpki: RpkiStatus, irr: IrrStatus) -> Announcement {
+        Announcement::new("10.0.0.0/16".parse().unwrap(), Asn(origin), rpki, irr)
+    }
+
+    /// Reverse view of every vantage must reproduce the forward path for
+    /// every origin, for the given policies and announcement statuses.
+    fn assert_matches_forward(
+        t: &AsTopology,
+        policies: &PolicyTable,
+        rpki: RpkiStatus,
+        irr: IrrStatus,
+    ) {
+        let graph = DenseGraph::build(t, policies);
+        let n = graph.len();
+        let rep = ann_with(1, rpki, irr);
+        for vantage in 0..n {
+            let view = reverse_view(&graph, &rep, vantage);
+            for origin in 0..n {
+                let a = ann_with(graph.asn_at(origin).0, rpki, irr);
+                let fwd = propagate_dense(&graph, &a);
+                assert_eq!(
+                    view.path_to(&graph, origin),
+                    fwd.as_path_at(&graph, vantage),
+                    "vantage {:?} origin {:?}",
+                    graph.asn_at(vantage),
+                    graph.asn_at(origin),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_forward_on_small_topologies() {
+        let cases: &[AsTopology] = &[
+            topo(3, &[(1, 2), (2, 3)], &[]),
+            topo(4, &[(1, 3), (2, 4)], &[(1, 2)]),
+            topo(4, &[(2, 4), (3, 4)], &[(2, 3)]),
+            topo(5, &[(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)], &[(2, 3)]),
+            topo(5, &[(2, 1), (4, 3), (3, 1), (5, 2), (5, 4)], &[]),
+            topo(3, &[], &[(1, 2), (2, 3)]),
+        ];
+        for t in cases {
+            assert_matches_forward(t, &PolicyTable::default(), RpkiStatus::NotFound, IrrStatus::NotFound);
+        }
+    }
+
+    #[test]
+    fn matches_forward_under_filtering() {
+        let t = wide_topo(60);
+        let mut policies = PolicyTable::default();
+        for asn in (2u32..=60).step_by(5) {
+            policies.set(Asn(asn), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+        }
+        for asn in (3u32..=60).step_by(7) {
+            policies.set(
+                Asn(asn),
+                FilteringPolicy { irr_filter_customers: true, ..FilteringPolicy::OPEN },
+            );
+        }
+        for asn in (4u32..=60).step_by(11) {
+            policies.set(
+                Asn(asn),
+                FilteringPolicy {
+                    rov: true,
+                    irr_filter_customers: true,
+                    irr_filter_peers: true,
+                    irr_strict_length: true,
+                },
+            );
+        }
+        for (rpki, irr) in [
+            (RpkiStatus::Valid, IrrStatus::Valid),
+            (RpkiStatus::InvalidAsn, IrrStatus::Valid),
+            (RpkiStatus::NotFound, IrrStatus::InvalidAsn),
+            (RpkiStatus::InvalidLength, IrrStatus::InvalidLength),
+        ] {
+            assert_matches_forward(&t, &policies, rpki, irr);
+        }
+    }
+
+    #[test]
+    fn accept_class_collapses_neutral_irr() {
+        let a = ann_with(1, RpkiStatus::Valid, IrrStatus::Valid);
+        let b = ann_with(2, RpkiStatus::NotFound, IrrStatus::NotFound);
+        assert_eq!(AcceptClass::of(&a), AcceptClass::of(&b));
+        let c = ann_with(1, RpkiStatus::Valid, IrrStatus::InvalidAsn);
+        assert_ne!(AcceptClass::of(&a), AcceptClass::of(&c));
+        let d = ann_with(1, RpkiStatus::InvalidAsn, IrrStatus::Valid);
+        assert_ne!(AcceptClass::of(&a), AcceptClass::of(&d));
+    }
+}

@@ -102,7 +102,7 @@ mod tests {
             Announcement::new(p, Asn(4), RpkiStatus::InvalidAsn, IrrStatus::NotFound),
             Announcement::new(q, Asn(3), RpkiStatus::NotFound, IrrStatus::Valid),
         ];
-        TableCollector::new(&t, &PolicyTable::default(), &[Asn(1)]).collect(&anns)
+        TableCollector::new(&t, &PolicyTable::default(), &[Asn(1)]).plan().collect(&anns)
     }
 
     #[test]

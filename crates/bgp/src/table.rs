@@ -1,4 +1,5 @@
-//! Whole-table collection with per-(origin, filter-class) memoization.
+//! Whole-table collection with per-(origin, filter-class) memoization
+//! and a strategy-typed [`CollectionPlan`] entry point.
 //!
 //! Propagating every (prefix, origin) pair independently would repeat
 //! identical work: the routing outcome depends only on the origin and on
@@ -6,13 +7,29 @@
 //! consult exactly (a) whether ROV drops it and (b) its IRR status, so
 //! announcements from the same origin fall into a handful of equivalence
 //! classes; one propagation per class serves every prefix in it.
+//!
+//! Two collection strategies produce the (bit-for-bit identical) result:
+//!
+//! * [`CollectionStrategy::Forward`] — one Gao–Rexford propagation per
+//!   class, vantage rows read out of each run. Cost scales with the
+//!   class count.
+//! * [`CollectionStrategy::Reverse`] — one backward traversal per
+//!   (vantage, acceptance-class) pair ([`crate::reverse`]), yielding the
+//!   vantage's route toward *every* origin at once; classes are stitched
+//!   by masking each class's origin into the shared views. Cost scales
+//!   with the vantage count.
+//!
+//! [`CollectionStrategy::Auto`] (the default) picks reverse exactly when
+//! there are fewer vantages than classes — the regime the paper's
+//! collector-projection pipeline lives in.
 
 use crate::announcement::Announcement;
 use crate::collector::{CollectedRib, Observation};
-use crate::parallel::{par_map_with, ParallelConfig};
+use crate::parallel::{par_map, par_map_with, ParallelConfig};
 use crate::pathpool::{PathId, PathInterner};
 use crate::policy::PolicyTable;
 use crate::propagate::{propagate_dense_into, DenseGraph, PropagationScratch};
+use crate::reverse::{reverse_view, AcceptClass};
 use manrs_irr::IrrStatus;
 use manrs_net::Asn;
 use manrs_topology::AsTopology;
@@ -31,18 +48,54 @@ impl FilterClass {
     }
 }
 
+/// How a [`CollectionPlan`] turns announcements into a [`CollectedRib`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CollectionStrategy {
+    /// One forward propagation per (origin, filter-class); vantage rows
+    /// are read out of each run. Scales with the class count.
+    Forward,
+    /// One reverse valley-free traversal per (vantage,
+    /// acceptance-class); per-class origins are masked into the shared
+    /// views. Scales with the vantage count.
+    Reverse,
+    /// Pick [`CollectionStrategy::Reverse`] exactly when there are
+    /// fewer vantages than (origin, filter-class) equivalence classes,
+    /// otherwise [`CollectionStrategy::Forward`].
+    #[default]
+    Auto,
+}
+
+/// Number of distinct (origin, filter-class) equivalence classes in an
+/// announcement set — the unit of forward-propagation work, and the
+/// quantity [`CollectionStrategy::Auto`] weighs against the vantage
+/// count.
+pub fn distinct_classes(announcements: &[Announcement]) -> usize {
+    let mut seen: HashMap<(Asn, FilterClass), ()> = HashMap::new();
+    for ann in announcements {
+        seen.insert((ann.origin, FilterClass::of(ann)), ());
+    }
+    seen.len()
+}
+
 /// Builder-style entry point for whole-table collection: fix the
 /// topology, policies, and vantage points once, optionally override the
 /// parallelism, then collect one or more announcement sets.
 ///
+/// [`TableCollector::collect`] is shorthand for
+/// `plan().collect(...)` — every collection, including the deprecated
+/// free-function shims in [`crate::compat`], goes through a
+/// [`CollectionPlan`].
+///
 /// ```
-/// # use manrs_bgp::{TableCollector, PolicyTable, ParallelConfig};
+/// # use manrs_bgp::{TableCollector, CollectionStrategy, PolicyTable, ParallelConfig};
 /// # use manrs_topology::AsTopology;
 /// # let topology = AsTopology::new();
 /// # let policies = PolicyTable::default();
 /// # let vantages: Vec<manrs_net::Asn> = Vec::new();
 /// let rib = TableCollector::new(&topology, &policies, &vantages)
 ///     .parallel(ParallelConfig::serial())
+///     .plan()
+///     .strategy(CollectionStrategy::Auto)
 ///     .collect(&[]);
 /// # assert_eq!(rib.observations.len(), 0);
 /// ```
@@ -50,15 +103,11 @@ impl FilterClass {
 /// Announcement order is preserved in the output. Memoization is per
 /// (origin, filter class); with the four RPKI × four IRR statuses there
 /// are at most eight classes per origin, and real mixes produce one or
-/// two. The expensive per-class propagations fan out across worker
-/// threads (each reusing one [`PropagationScratch`]); each worker
-/// extracts only the vantage paths of its class — no per-class
-/// `RoutingOutcome` clone, no per-announcement path walk. Classes are
-/// discovered and numbered serially in announcement order, paths are
-/// interned serially in class order, and every announcement in a class
-/// references the class's [`PathId`]s, so the output (ids included) is
-/// bit-for-bit identical for any thread count — including
-/// [`ParallelConfig::serial`].
+/// two. Classes are discovered and numbered serially in announcement
+/// order, paths are interned serially in class order, and every
+/// announcement in a class references the class's [`PathId`]s, so the
+/// output (ids included) is bit-for-bit identical for any thread count
+/// and either strategy — including [`ParallelConfig::serial`].
 #[derive(Debug, Clone)]
 pub struct TableCollector<'a> {
     topology: &'a AsTopology,
@@ -80,9 +129,67 @@ impl<'a> TableCollector<'a> {
         self
     }
 
+    /// Freezes this collector into a [`CollectionPlan`] (strategy
+    /// defaults to [`CollectionStrategy::Auto`]).
+    pub fn plan(&self) -> CollectionPlan<'a> {
+        CollectionPlan {
+            topology: self.topology,
+            policies: self.policies,
+            vantages: self.vantages,
+            parallel: self.parallel,
+            strategy: CollectionStrategy::default(),
+        }
+    }
+
+    /// Propagates every announcement and collects the vantage view —
+    /// shorthand for `self.plan().collect(announcements)`.
+    pub fn collect(&self, announcements: &[Announcement]) -> CollectedRib {
+        self.plan().collect(announcements)
+    }
+}
+
+/// A fully-specified collection: topology, policies, vantages,
+/// parallelism, and [`CollectionStrategy`]. Built by
+/// [`TableCollector::plan`]; reusable across announcement sets.
+#[derive(Debug, Clone)]
+pub struct CollectionPlan<'a> {
+    topology: &'a AsTopology,
+    policies: &'a PolicyTable,
+    vantages: &'a [Asn],
+    parallel: ParallelConfig,
+    strategy: CollectionStrategy,
+}
+
+impl<'a> CollectionPlan<'a> {
+    /// Overrides the collection strategy.
+    pub fn strategy(mut self, strategy: CollectionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the parallelism configuration.
+    pub fn parallel(mut self, cfg: ParallelConfig) -> Self {
+        self.parallel = cfg;
+        self
+    }
+
+    /// The strategy [`CollectionStrategy::Auto`] would resolve to for
+    /// this announcement set (returns non-`Auto` strategies verbatim).
+    pub fn resolved_strategy(&self, announcements: &[Announcement]) -> CollectionStrategy {
+        match self.strategy {
+            CollectionStrategy::Auto => {
+                if self.vantages.len() < distinct_classes(announcements) {
+                    CollectionStrategy::Reverse
+                } else {
+                    CollectionStrategy::Forward
+                }
+            }
+            s => s,
+        }
+    }
+
     /// Propagates every announcement and collects the vantage view.
     pub fn collect(&self, announcements: &[Announcement]) -> CollectedRib {
-        let cfg = &self.parallel;
         let graph = DenseGraph::build(self.topology, self.policies);
 
         // Serial pass: number the (origin, filter-class) equivalence
@@ -105,25 +212,26 @@ impl<'a> TableCollector<'a> {
         let vantage_idx: Vec<usize> =
             self.vantages.iter().filter_map(|v| graph.index_of(*v)).collect();
 
-        // Parallel pass: one propagation per class, each worker reusing
-        // its own scratch and extracting only the vantage paths — the
-        // full routing outcome dies with the scratch.
-        let class_paths: Vec<Vec<Vec<Asn>>> = par_map_with(
-            cfg,
-            &reps,
-            || PropagationScratch::with_capacity(graph.len()),
-            |scratch, ann| {
-                propagate_dense_into(&graph, ann, scratch);
-                vantage_idx
-                    .iter()
-                    .filter_map(|&i| scratch.as_path_at(&graph, i))
-                    .collect()
-            },
-        );
+        let strategy = match self.strategy {
+            CollectionStrategy::Auto => {
+                if vantage_idx.len() < reps.len() {
+                    CollectionStrategy::Reverse
+                } else {
+                    CollectionStrategy::Forward
+                }
+            }
+            s => s,
+        };
+        let class_paths = match strategy {
+            CollectionStrategy::Forward | CollectionStrategy::Auto => {
+                self.collect_forward(&graph, &reps, &vantage_idx)
+            }
+            CollectionStrategy::Reverse => self.collect_reverse(&graph, &reps, &vantage_idx),
+        };
 
         // Serial pass: intern each class's paths. Class order is the
         // serial discovery order, so PathIds are deterministic for any
-        // thread count.
+        // thread count and identical across strategies.
         let mut interner = PathInterner::new();
         let class_ids: Vec<Vec<PathId>> = class_paths
             .iter()
@@ -146,33 +254,73 @@ impl<'a> TableCollector<'a> {
 
         CollectedRib::from_parts(self.vantages.to_vec(), observations, interner.into_pool())
     }
-}
 
-/// Propagates every announcement and collects the vantage view, using
-/// the thread count from `MANRS_THREADS` (auto-detected when unset).
-#[deprecated(since = "0.2.0", note = "use `TableCollector::new(...).collect(...)`")]
-pub fn collect_table(
-    topology: &AsTopology,
-    policies: &PolicyTable,
-    announcements: &[Announcement],
-    vantages: &[Asn],
-) -> CollectedRib {
-    TableCollector::new(topology, policies, vantages).collect(announcements)
-}
+    /// Forward fan-out: one propagation per class, each worker reusing
+    /// its own scratch and extracting only the vantage paths — the full
+    /// routing outcome dies with the scratch.
+    fn collect_forward(
+        &self,
+        graph: &DenseGraph,
+        reps: &[&Announcement],
+        vantage_idx: &[usize],
+    ) -> Vec<Vec<Vec<Asn>>> {
+        par_map_with(
+            &self.parallel,
+            reps,
+            || PropagationScratch::with_capacity(graph.len()),
+            |scratch, ann| {
+                propagate_dense_into(graph, ann, scratch);
+                vantage_idx
+                    .iter()
+                    .filter_map(|&i| scratch.as_path_at(graph, i))
+                    .collect()
+            },
+        )
+    }
 
-/// [`collect_table`] with an explicit parallelism configuration.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `TableCollector::new(...).parallel(cfg).collect(...)`"
-)]
-pub fn collect_table_with(
-    topology: &AsTopology,
-    policies: &PolicyTable,
-    announcements: &[Announcement],
-    vantages: &[Asn],
-    cfg: &ParallelConfig,
-) -> CollectedRib {
-    TableCollector::new(topology, policies, vantages).parallel(*cfg).collect(announcements)
+    /// Reverse fan-out: filter classes collapse further into
+    /// *acceptance classes* (what filters can observe, origin aside —
+    /// at most six), one backward traversal runs per (acceptance class,
+    /// vantage), and each filter class reads its origin's row out of
+    /// its acceptance class's views. The stitch below iterates classes
+    /// and vantages in exactly the forward extraction order, so interned
+    /// ids come out identical.
+    fn collect_reverse(
+        &self,
+        graph: &DenseGraph,
+        reps: &[&Announcement],
+        vantage_idx: &[usize],
+    ) -> Vec<Vec<Vec<Asn>>> {
+        let mut amemo: HashMap<AcceptClass, usize> = HashMap::new();
+        let mut areps: Vec<&Announcement> = Vec::new();
+        let mut accept_of: Vec<usize> = Vec::with_capacity(reps.len());
+        for &rep in reps {
+            let next = areps.len();
+            let idx = *amemo.entry(AcceptClass::of(rep)).or_insert_with(|| {
+                areps.push(rep);
+                next
+            });
+            accept_of.push(idx);
+        }
+
+        let nv = vantage_idx.len();
+        let work: Vec<(usize, &Announcement)> = areps
+            .iter()
+            .flat_map(|&rep| vantage_idx.iter().map(move |&vi| (vi, rep)))
+            .collect();
+        let views = par_map(&self.parallel, &work, |&(vi, rep)| reverse_view(graph, rep, vi));
+
+        reps.iter()
+            .zip(&accept_of)
+            .map(|(rep, &a)| match graph.index_of(rep.origin) {
+                // Unknown origin: forward propagation reaches nobody.
+                None => Vec::new(),
+                Some(o) => (0..nv)
+                    .filter_map(|p| views[a * nv + p].path_to(graph, o))
+                    .collect(),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +391,64 @@ mod tests {
     }
 
     #[test]
+    fn auto_strategy_resolution_tracks_counts() {
+        let t = topo();
+        let policies = PolicyTable::default();
+        let anns = vec![
+            ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.1.0.0/16", 4, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.2.0.0/16", 4, RpkiStatus::InvalidAsn, IrrStatus::Valid),
+        ];
+        assert_eq!(distinct_classes(&anns), 3);
+        let one = [Asn(1)];
+        let plan = TableCollector::new(&t, &policies, &one).plan();
+        assert_eq!(plan.resolved_strategy(&anns), CollectionStrategy::Reverse);
+        let four = [Asn(1), Asn(2), Asn(3), Asn(4)];
+        let plan = TableCollector::new(&t, &policies, &four).plan();
+        assert_eq!(plan.resolved_strategy(&anns), CollectionStrategy::Forward);
+        assert_eq!(
+            plan.strategy(CollectionStrategy::Reverse).resolved_strategy(&anns),
+            CollectionStrategy::Reverse
+        );
+    }
+
+    #[test]
+    fn strategies_agree_bit_for_bit() {
+        let t = wide_topo(160);
+        let mut policies = PolicyTable::default();
+        for asn in (2u32..=160).step_by(7) {
+            policies.set(Asn(asn), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+        }
+        for asn in (5u32..=160).step_by(9) {
+            policies.set(
+                Asn(asn),
+                FilteringPolicy { irr_filter_customers: true, ..FilteringPolicy::OPEN },
+            );
+        }
+        let statuses = [
+            (RpkiStatus::Valid, IrrStatus::Valid),
+            (RpkiStatus::InvalidAsn, IrrStatus::Valid),
+            (RpkiStatus::NotFound, IrrStatus::InvalidAsn),
+            (RpkiStatus::InvalidLength, IrrStatus::InvalidLength),
+        ];
+        let anns: Vec<Announcement> = (0..120u32)
+            .map(|i| {
+                let (rpki, irr) = statuses[(i % 4) as usize];
+                ann(&format!("10.{}.{}.0/24", i / 256, i % 256), 1 + (i * 3) % 160, rpki, irr)
+            })
+            .collect();
+        let vantages = [Asn(1), Asn(2), Asn(15), Asn(80), Asn(160), Asn(999)];
+        let collector = TableCollector::new(&t, &policies, &vantages)
+            .parallel(ParallelConfig::serial());
+        let forward = collector.plan().strategy(CollectionStrategy::Forward).collect(&anns);
+        let reverse = collector.plan().strategy(CollectionStrategy::Reverse).collect(&anns);
+        assert_eq!(forward.vantages, reverse.vantages);
+        assert_eq!(forward.observations, reverse.observations);
+        assert_eq!(forward.pool(), reverse.pool());
+        assert_eq!(forward.visible_count(), reverse.visible_count());
+    }
+
+    #[test]
     fn parallel_collection_is_deterministic() {
         let t = wide_topo(160);
         let mut policies = PolicyTable::default();
@@ -264,16 +470,34 @@ mod tests {
         let vantages = [Asn(1), Asn(2), Asn(15), Asn(80), Asn(160)];
 
         let collector = TableCollector::new(&t, &policies, &vantages);
-        let serial = collector.clone().parallel(ParallelConfig::serial()).collect(&anns);
-        for threads in [2, 4, 8] {
-            let parallel = collector
-                .clone()
-                .parallel(ParallelConfig::with_threads(threads))
+        for strategy in [
+            CollectionStrategy::Forward,
+            CollectionStrategy::Reverse,
+            CollectionStrategy::Auto,
+        ] {
+            let serial = collector
+                .plan()
+                .parallel(ParallelConfig::serial())
+                .strategy(strategy)
                 .collect(&anns);
-            assert_eq!(parallel.vantages, serial.vantages, "threads={threads}");
-            assert_eq!(parallel.observations, serial.observations, "threads={threads}");
-            assert_eq!(parallel.pool(), serial.pool(), "threads={threads}");
-            assert_eq!(parallel.visible_count(), serial.visible_count(), "threads={threads}");
+            for threads in [2, 4, 8] {
+                let parallel = collector
+                    .plan()
+                    .parallel(ParallelConfig::with_threads(threads))
+                    .strategy(strategy)
+                    .collect(&anns);
+                assert_eq!(parallel.vantages, serial.vantages, "{strategy:?} threads={threads}");
+                assert_eq!(
+                    parallel.observations, serial.observations,
+                    "{strategy:?} threads={threads}"
+                );
+                assert_eq!(parallel.pool(), serial.pool(), "{strategy:?} threads={threads}");
+                assert_eq!(
+                    parallel.visible_count(),
+                    serial.visible_count(),
+                    "{strategy:?} threads={threads}"
+                );
+            }
         }
     }
 }

@@ -4,7 +4,8 @@
 
 use manrs_bgp::propagate::{propagate_dense, propagate_dense_into, DenseGraph, PropagationScratch};
 use manrs_bgp::{
-    propagate, Announcement, FilteringPolicy, ParallelConfig, PolicyTable, TableCollector,
+    propagate, Announcement, CollectionStrategy, FilteringPolicy, ParallelConfig, PolicyTable,
+    TableCollector,
 };
 use manrs_irr::IrrStatus;
 use manrs_net::{Asn, Rir};
@@ -173,7 +174,7 @@ proptest! {
             irr_strict_length: false,
         });
         let vantages: Vec<Asn> = vec![Asn(1), Asn(2)];
-        let rib = TableCollector::new(&t, &policies, &vantages).collect(&anns);
+        let rib = TableCollector::new(&t, &policies, &vantages).plan().collect(&anns);
         for (i, a) in anns.iter().enumerate() {
             let (g, o) = propagate(&t, &policies, a);
             let expect: Vec<Vec<Asn>> = vantages
@@ -212,16 +213,97 @@ proptest! {
         });
         let vantages: Vec<Asn> = vec![Asn(1), Asn(2)];
         let collector = TableCollector::new(&t, &policies, &vantages);
-        let serial = collector.clone().parallel(ParallelConfig::serial()).collect(&anns);
+        let serial = collector.clone().parallel(ParallelConfig::serial()).plan().collect(&anns);
         for threads in [2usize, 4, 8] {
             let par = collector
                 .clone()
                 .parallel(ParallelConfig::with_threads(threads))
+                .plan()
                 .collect(&anns);
             prop_assert_eq!(&par.observations, &serial.observations, "threads={}", threads);
             prop_assert_eq!(par.pool(), serial.pool(), "threads={}", threads);
             prop_assert_eq!(par.visible_count(), serial.visible_count(), "threads={}", threads);
         }
+    }
+
+    /// The reverse per-vantage collection is bit-for-bit identical to
+    /// the forward per-class collection — same interned PathIds, same
+    /// pool, same visible set — over random topologies, heterogeneous
+    /// per-node policies, random vantage sets (including empty sets and
+    /// vantages absent from the graph), and 1/2/4/8 collection threads.
+    /// Single-announcement inputs exercise the one-class degenerate
+    /// case where the forward strategy does minimal work.
+    #[test]
+    fn reverse_collection_matches_forward(
+        t in arb_topology(),
+        specs in prop::collection::vec((any::<u16>(), 0u8..4, 0u8..4), 1..12),
+        policy_seeds in prop::collection::vec(
+            (any::<u16>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+            0..8,
+        ),
+        vantage_seeds in prop::collection::vec(any::<u16>(), 0..6),
+    ) {
+        let n = t.len() as u32;
+        let rpki_of = |k: u8| [RpkiStatus::Valid, RpkiStatus::InvalidAsn,
+                               RpkiStatus::InvalidLength, RpkiStatus::NotFound][k as usize];
+        let irr_of = |k: u8| [IrrStatus::Valid, IrrStatus::InvalidAsn,
+                              IrrStatus::InvalidLength, IrrStatus::NotFound][k as usize];
+        let anns: Vec<Announcement> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (o, r, ir))| {
+                let prefix = format!("10.{}.0.0/16", i % 250).parse().unwrap();
+                Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
+            })
+            .collect();
+        // Heterogeneous policies: random per-node overrides on top of a
+        // filtering default, so acceptance differs between transit ASes.
+        let mut policies = PolicyTable::with_default(FilteringPolicy {
+            rov: true,
+            irr_filter_customers: true,
+            irr_filter_peers: false,
+            irr_strict_length: false,
+        });
+        for (node, rov, irrc, irrp, strict) in policy_seeds {
+            policies.set(
+                Asn((node as u32 % n) + 1),
+                FilteringPolicy {
+                    rov,
+                    irr_filter_customers: irrc,
+                    irr_filter_peers: irrp,
+                    irr_strict_length: strict,
+                },
+            );
+        }
+        // Vantages may repeat, may be empty, and may name ASes the
+        // topology does not contain (n+1, n+2): all must behave the same
+        // under both strategies.
+        let vantages: Vec<Asn> = vantage_seeds
+            .iter()
+            .map(|s| Asn((*s as u32 % (n + 2)) + 1))
+            .collect();
+        let collector = TableCollector::new(&t, &policies, &vantages);
+        let forward = collector
+            .clone()
+            .parallel(ParallelConfig::serial())
+            .plan()
+            .strategy(CollectionStrategy::Forward)
+            .collect(&anns);
+        for threads in [1usize, 2, 4, 8] {
+            let reverse = collector
+                .clone()
+                .parallel(ParallelConfig::with_threads(threads))
+                .plan()
+                .strategy(CollectionStrategy::Reverse)
+                .collect(&anns);
+            prop_assert_eq!(&reverse.observations, &forward.observations, "threads={}", threads);
+            prop_assert_eq!(reverse.pool(), forward.pool(), "threads={}", threads);
+            prop_assert_eq!(reverse.visible_count(), forward.visible_count(), "threads={}", threads);
+        }
+        // Auto picks one of the two; either way the table is the same.
+        let auto = collector.clone().plan().collect(&anns);
+        prop_assert_eq!(&auto.observations, &forward.observations);
+        prop_assert_eq!(auto.pool(), forward.pool());
     }
 
     /// Reusing one dirty scratch across a sequence of announcements

@@ -241,8 +241,9 @@ mod tests {
             RpkiStatus::Valid,
             IrrStatus::Valid,
         )];
-        let rib =
-            TableCollector::new(&t, &PolicyTable::default(), &[Asn(1), Asn(4)]).collect(&anns);
+        let rib = TableCollector::new(&t, &PolicyTable::default(), &[Asn(1), Asn(4)])
+            .plan()
+            .collect(&anns);
         build_snapshot(&rib, &t)
     }
 
@@ -293,7 +294,7 @@ mod tests {
             RpkiStatus::Valid,
             IrrStatus::Valid,
         )];
-        let rib = TableCollector::new(&t, &PolicyTable::default(), &[Asn(1)]).collect(&anns);
+        let rib = TableCollector::new(&t, &PolicyTable::default(), &[Asn(1)]).plan().collect(&anns);
         let s = build_snapshot(&rib, &t);
         assert!(s.prefix_origins.is_empty());
         assert!(s.transits.is_empty());

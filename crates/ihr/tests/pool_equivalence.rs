@@ -6,10 +6,13 @@
 //! and hegemony — computed by the dense [`HegemonyCounter`] over
 //! interned paths — must be bit-for-bit equal to [`hegemony_scores`]
 //! over the materialized paths, across serial and 2/4/8-thread
-//! collection.
+//! collection. The reverse collection strategy must produce the same
+//! pool, the same observations, and therefore the same hegemony as the
+//! forward strategy it replaces.
 
 use manrs_bgp::{
-    propagate, Announcement, FilteringPolicy, ParallelConfig, PolicyTable, TableCollector,
+    propagate, Announcement, CollectionStrategy, FilteringPolicy, ParallelConfig, PolicyTable,
+    TableCollector,
 };
 use manrs_ihr::hegemony::{hegemony_scores, HegemonyCounter};
 use manrs_irr::IrrStatus;
@@ -90,8 +93,25 @@ proptest! {
             ParallelConfig::with_threads(8),
         ];
         for cfg in configs {
-            let rib = collector.clone().parallel(cfg).collect(&anns);
+            let rib = collector
+                .clone()
+                .parallel(cfg)
+                .plan()
+                .strategy(CollectionStrategy::Forward)
+                .collect(&anns);
+            // The per-vantage reverse traversal must reproduce the
+            // forward table bit for bit: same interned pool, same
+            // observations — and so identical hegemony downstream.
+            let reversed = collector
+                .clone()
+                .parallel(cfg)
+                .plan()
+                .strategy(CollectionStrategy::Reverse)
+                .collect(&anns);
+            prop_assert_eq!(reversed.pool(), rib.pool());
+            prop_assert_eq!(&reversed.observations, &rib.observations);
             let mut counter = HegemonyCounter::new();
+            let mut reverse_counter = HegemonyCounter::new();
             let mut legacy_visible = 0usize;
             for (i, a) in anns.iter().enumerate() {
                 // Legacy representation: one propagation per
@@ -113,7 +133,13 @@ proptest! {
                 // bit (f64 equality, not tolerance).
                 let dense = counter.scores(rib.pool(), &obs.paths, vantages.len());
                 let reference = hegemony_scores(&legacy, vantages.len());
-                prop_assert_eq!(dense, reference);
+                prop_assert_eq!(&dense, &reference);
+                let via_reverse = reverse_counter.scores(
+                    reversed.pool(),
+                    &reversed.observations[i].paths,
+                    vantages.len(),
+                );
+                prop_assert_eq!(via_reverse, dense);
             }
             prop_assert_eq!(rib.visible_count(), legacy_visible);
         }

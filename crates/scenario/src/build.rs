@@ -468,8 +468,12 @@ impl ScenarioWorldBuilder {
             }
         }
 
+        // Scenario worlds have a handful of vantages and thousands of
+        // (origin, filter-class) classes, so `Auto` resolves to the
+        // reverse per-vantage traversal here.
         let rib = TableCollector::new(&world.topology, &policies, &vantages)
             .parallel(*par)
+            .plan()
             .collect(&announcements);
         let ihr = build_snapshot(&rib, &world.topology);
         let mut observed_table = Prefix2As::new();
@@ -505,21 +509,6 @@ impl ScenarioWorld {
     /// [`ScenarioWorldBuilder`].
     pub fn builder(config: ScenarioConfig) -> ScenarioWorldBuilder {
         ScenarioWorldBuilder { config, parallel: ParallelConfig::from_env() }
-    }
-
-    /// Builds the world with the thread count taken from `MANRS_THREADS`.
-    #[deprecated(since = "0.2.0", note = "use `ScenarioWorld::builder(config).build()`")]
-    pub fn build(config: ScenarioConfig) -> Self {
-        ScenarioWorld::builder(config).build()
-    }
-
-    /// Builds the world with an explicit parallelism configuration.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `ScenarioWorld::builder(config).parallel(cfg).build()`"
-    )]
-    pub fn build_with(config: ScenarioConfig, par: &ParallelConfig) -> Self {
-        ScenarioWorld::builder(config).parallel(*par).build()
     }
 
     /// Member ASNs at the snapshot date.

@@ -1,0 +1,151 @@
+//! Deprecated 0.2.0 surface, consolidated.
+//!
+//! Everything here forwards through the builder-style APIs
+//! ([`ScenarioWorld::builder`] / [`SnapshotSeries`]) and exists only so
+//! pre-0.2.0 callers keep compiling. New code should not import from
+//! this module; the deprecation notes name the replacement.
+
+use crate::build::ScenarioWorld;
+use crate::config::ScenarioConfig;
+use crate::timeline::{SnapshotSeries, YearlySnapshot};
+use manrs_bgp::ParallelConfig;
+use manrs_ihr::IhrSnapshot;
+
+impl ScenarioWorld {
+    /// Builds the world with the thread count taken from `MANRS_THREADS`.
+    #[deprecated(since = "0.2.0", note = "use `ScenarioWorld::builder(config).build()`")]
+    pub fn build(config: ScenarioConfig) -> Self {
+        ScenarioWorld::builder(config).build()
+    }
+
+    /// Builds the world with an explicit parallelism configuration.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ScenarioWorld::builder(config).parallel(cfg).build()`"
+    )]
+    pub fn build_with(config: ScenarioConfig, par: &ParallelConfig) -> Self {
+        ScenarioWorld::builder(config).parallel(*par).build()
+    }
+}
+
+/// Builds the yearly snapshots for a world.
+#[deprecated(since = "0.2.0", note = "use `SnapshotSeries::yearly(world)`")]
+pub fn yearly_snapshots(world: &ScenarioWorld) -> Vec<YearlySnapshot> {
+    SnapshotSeries::yearly(world)
+        .map(|s| YearlySnapshot { date: s.date, table: s.table, vrps: s.vrps, members: s.members })
+        .collect()
+}
+
+/// Weekly registration-churn snapshots (§8.5).
+///
+/// Starting from the world's registries, each week flips a small number
+/// of registrations: some ASes lose a ROA (revoked/expired), some IRR
+/// objects churn. The visible prefix-origin set is held fixed (routing
+/// does not change in this model — the paper likewise observed prefix
+/// sets to be stable) and statuses are re-validated.
+#[deprecated(since = "0.2.0", note = "use `SnapshotSeries::weekly(world, weeks, churn)`")]
+pub fn weekly_snapshots(world: &ScenarioWorld, weeks: usize, churn: f64) -> Vec<IhrSnapshot> {
+    SnapshotSeries::weekly(world, weeks, churn)
+        .map(|s| IhrSnapshot { prefix_origins: s.ihr.prefix_origins, transits: Vec::new() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(deprecated)]
+
+    use super::*;
+    use manrs_ihr::PrefixOriginRecord;
+    use manrs_irr::validate_irr;
+    use manrs_net::Date;
+    use manrs_rpki::{validate_origin, RelyingParty};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn world() -> ScenarioWorld {
+        ScenarioWorld::builder(ScenarioConfig::small(7)).build()
+    }
+
+    #[test]
+    fn build_shims_match_builder() {
+        let a = ScenarioWorld::build(ScenarioConfig::small(42));
+        let b = ScenarioWorld::build_with(ScenarioConfig::small(42), &ParallelConfig::serial());
+        let c = ScenarioWorld::builder(ScenarioConfig::small(42)).build();
+        assert_eq!(a.announcements, c.announcements);
+        assert_eq!(a.vantages, c.vantages);
+        assert_eq!(b.rib.observations, c.rib.observations);
+        assert_eq!(b.rib.visible_count(), c.rib.visible_count());
+    }
+
+    #[test]
+    fn yearly_shim_matches_series() {
+        let w = world();
+        let legacy = yearly_snapshots(&w);
+        let series: Vec<_> = SnapshotSeries::yearly(&w).collect();
+        assert_eq!(legacy.len(), series.len());
+        for (l, s) in legacy.iter().zip(&series) {
+            assert_eq!(l.date, s.date);
+            assert_eq!(l.table.entries(), s.table.entries());
+            assert_eq!(l.members, s.members);
+        }
+    }
+
+    #[test]
+    fn zero_weeks_shim_is_a_no_op() {
+        let w = world();
+        assert!(weekly_snapshots(&w, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn weekly_shim_matches_legacy_algorithm() {
+        // The deprecated shim must reproduce the pre-engine output
+        // exactly: same RNG stream, same statuses, empty transits.
+        let w = world();
+        let churn = 0.02;
+        let weeks = 4;
+
+        // The legacy algorithm, verbatim: clone registries, churn them
+        // in place, full-revalidate the visible set each week.
+        let mut rng = StdRng::seed_from_u64(w.config.seed ^ 0x5745_454B);
+        let mut repository = w.repository.clone();
+        let mut irr = w.irr.clone();
+        let base_date = Date::ymd(2022, 2, 1);
+        let roa_ids: Vec<_> = repository.roas().map(|r| r.id).collect();
+        let mut legacy: Vec<IhrSnapshot> = Vec::new();
+        for week in 0..weeks {
+            let date = base_date.plus_days(7 * week as i64);
+            if week > 0 {
+                for id in &roa_ids {
+                    if rng.random_bool(churn) {
+                        let _ = repository.revoke_roa(*id);
+                    }
+                }
+                let entries = w.world.intended.entries();
+                for _ in 0..((entries.len() as f64 * churn).ceil() as usize) {
+                    let (prefix, origin) = entries[rng.random_range(0..entries.len())];
+                    irr.remove_route(&prefix, origin);
+                }
+            }
+            let (vrps, _) = RelyingParty::new(date).validate(&repository);
+            let prefix_origins = w
+                .rib
+                .visible()
+                .map(|obs| PrefixOriginRecord {
+                    prefix: obs.prefix,
+                    origin: obs.origin,
+                    rpki: validate_origin(&vrps, &obs.prefix, obs.origin),
+                    irr: validate_irr(&irr, &obs.prefix, obs.origin),
+                    viewpoints: obs.paths.len(),
+                })
+                .collect();
+            legacy.push(IhrSnapshot { prefix_origins, transits: Vec::new() });
+        }
+
+        let shimmed = weekly_snapshots(&w, weeks, churn);
+        assert_eq!(shimmed.len(), legacy.len());
+        for (s, l) in shimmed.iter().zip(&legacy) {
+            assert_eq!(s.prefix_origins, l.prefix_origins);
+            assert!(s.transits.is_empty());
+        }
+    }
+}

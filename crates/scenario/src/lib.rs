@@ -29,6 +29,7 @@
 
 pub mod behavior;
 pub mod build;
+pub mod compat;
 pub mod config;
 pub mod engine;
 pub mod enroll;
@@ -40,8 +41,7 @@ pub use build::{ScenarioWorld, ScenarioWorldBuilder};
 pub use config::ScenarioConfig;
 pub use engine::{EngineStats, RegistryDelta, TimelineEngine, TimelineSnapshot};
 pub use incidents::{generate_incidents, protection_payoff};
-#[allow(deprecated)] // shims re-exported for downstream compatibility
-pub use timeline::{weekly_snapshots, yearly_snapshots};
 pub use timeline::{
     weekly_steps, yearly_dates, yearly_steps, SeriesStep, SnapshotSeries, YearlySnapshot,
 };
+#[allow(deprecated)] pub use compat::{weekly_snapshots, yearly_snapshots};

@@ -23,7 +23,6 @@
 use crate::build::ScenarioWorld;
 use crate::engine::{RegistryDelta, TimelineEngine, TimelineSnapshot};
 use manrs_bgp::Announcement;
-use manrs_ihr::IhrSnapshot;
 use manrs_irr::{validate_irr, IrrRegistry};
 use manrs_net::{Asn, Date};
 use manrs_rpki::{validate_origin, VrpSet};
@@ -209,28 +208,6 @@ impl<'w> Iterator for SnapshotSeries<'w> {
 
 impl ExactSizeIterator for SnapshotSeries<'_> {}
 
-/// Builds the yearly snapshots for a world.
-#[deprecated(since = "0.2.0", note = "use `SnapshotSeries::yearly(world)`")]
-pub fn yearly_snapshots(world: &ScenarioWorld) -> Vec<YearlySnapshot> {
-    SnapshotSeries::yearly(world)
-        .map(|s| YearlySnapshot { date: s.date, table: s.table, vrps: s.vrps, members: s.members })
-        .collect()
-}
-
-/// Weekly registration-churn snapshots (§8.5).
-///
-/// Starting from the world's registries, each week flips a small number
-/// of registrations: some ASes lose a ROA (revoked/expired), some IRR
-/// objects churn. The visible prefix-origin set is held fixed (routing
-/// does not change in this model — the paper likewise observed prefix
-/// sets to be stable) and statuses are re-validated.
-#[deprecated(since = "0.2.0", note = "use `SnapshotSeries::weekly(world, weeks, churn)`")]
-pub fn weekly_snapshots(world: &ScenarioWorld, weeks: usize, churn: f64) -> Vec<IhrSnapshot> {
-    SnapshotSeries::weekly(world, weeks, churn)
-        .map(|s| IhrSnapshot { prefix_origins: s.ihr.prefix_origins, transits: Vec::new() })
-        .collect()
-}
-
 /// Re-validates the world's announcements against arbitrary registries
 /// (used by ablations and by tests that perturb registries).
 pub fn revalidate(
@@ -256,7 +233,7 @@ pub fn revalidate(
 mod tests {
     use super::*;
     use crate::config::ScenarioConfig;
-    use manrs_ihr::PrefixOriginRecord;
+    use manrs_ihr::IhrSnapshot;
     use manrs_rpki::{RelyingParty, Vrp};
 
     fn world() -> ScenarioWorld {
@@ -377,9 +354,6 @@ mod tests {
         // Regression: asking for an empty series builds no engine and
         // yields nothing, at any churn rate.
         let w = world();
-        #[allow(deprecated)]
-        let legacy = weekly_snapshots(&w, 0, 0.5);
-        assert!(legacy.is_empty());
         let mut series = SnapshotSeries::weekly(&w, 0, 0.5);
         assert_eq!(series.len(), 0);
         assert!(series.next().is_none());
@@ -394,60 +368,6 @@ mod tests {
         let c = weekly_steps(&w, 4, 0.05, 2);
         assert_eq!(a, b, "equal seeds, equal delta streams");
         assert_ne!(a, c, "different seeds, different delta streams");
-    }
-
-    #[test]
-    fn weekly_shim_matches_legacy_algorithm() {
-        // The deprecated shim must reproduce the pre-engine output
-        // exactly: same RNG stream, same statuses, empty transits.
-        let w = world();
-        let churn = 0.02;
-        let weeks = 4;
-
-        // The legacy algorithm, verbatim: clone registries, churn them
-        // in place, full-revalidate the visible set each week.
-        let mut rng = StdRng::seed_from_u64(w.config.seed ^ 0x5745_454B);
-        let mut repository = w.repository.clone();
-        let mut irr = w.irr.clone();
-        let base_date = Date::ymd(2022, 2, 1);
-        let roa_ids: Vec<_> = repository.roas().map(|r| r.id).collect();
-        let mut legacy: Vec<IhrSnapshot> = Vec::new();
-        for week in 0..weeks {
-            let date = base_date.plus_days(7 * week as i64);
-            if week > 0 {
-                for id in &roa_ids {
-                    if rng.random_bool(churn) {
-                        let _ = repository.revoke_roa(*id);
-                    }
-                }
-                let entries = w.world.intended.entries();
-                for _ in 0..((entries.len() as f64 * churn).ceil() as usize) {
-                    let (prefix, origin) = entries[rng.random_range(0..entries.len())];
-                    irr.remove_route(&prefix, origin);
-                }
-            }
-            let (vrps, _) = RelyingParty::new(date).validate(&repository);
-            let prefix_origins = w
-                .rib
-                .visible()
-                .map(|obs| PrefixOriginRecord {
-                    prefix: obs.prefix,
-                    origin: obs.origin,
-                    rpki: validate_origin(&vrps, &obs.prefix, obs.origin),
-                    irr: validate_irr(&irr, &obs.prefix, obs.origin),
-                    viewpoints: obs.paths.len(),
-                })
-                .collect();
-            legacy.push(IhrSnapshot { prefix_origins, transits: Vec::new() });
-        }
-
-        #[allow(deprecated)]
-        let shimmed = weekly_snapshots(&w, weeks, churn);
-        assert_eq!(shimmed.len(), legacy.len());
-        for (s, l) in shimmed.iter().zip(&legacy) {
-            assert_eq!(s.prefix_origins, l.prefix_origins);
-            assert!(s.transits.is_empty());
-        }
     }
 
     #[test]

@@ -49,12 +49,17 @@ pub use manrs_scenario as scenario;
 pub use manrs_topology as topology;
 
 /// The commonly-used names in one import.
+///
+/// Only the builder-style surface is exported here
+/// ([`CollectionPlan`](manrs_bgp::CollectionPlan), [`SnapshotSeries`],
+/// [`ScenarioWorld::builder`](manrs_scenario::ScenarioWorld::builder));
+/// the deprecated 0.2.0 shims stay reachable through each crate's
+/// `compat` module but are no longer in the prelude.
 pub mod prelude {
-    #[allow(deprecated)] // shims re-exported for downstream compatibility
-    pub use manrs_bgp::{collect_table, collect_table_with};
     pub use manrs_bgp::{
-        Announcement, CollectedRib, FilteringPolicy, Hijack, HijackKind, ParallelConfig,
-        PathId, PathInterner, PathPool, PolicyTable, PropagationScratch, TableCollector,
+        Announcement, CollectedRib, CollectionPlan, CollectionStrategy, FilteringPolicy,
+        Hijack, HijackKind, ParallelConfig, PathId, PathInterner, PathPool, PolicyTable,
+        PropagationScratch, TableCollector,
     };
     pub use manrs_core::{
         action1_verdict, action4_verdict, attribute_mismatches, compute_action1,
@@ -67,8 +72,6 @@ pub mod prelude {
     pub use manrs_irr::{validate_irr, IrrDatabase, IrrRegistry, IrrStatus, RouteObject};
     pub use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
     pub use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};
-    #[allow(deprecated)] // shims re-exported for downstream compatibility
-    pub use manrs_scenario::{weekly_snapshots, yearly_snapshots};
     pub use manrs_scenario::{
         BehaviorMatrix, RegistryDelta, ScenarioConfig, ScenarioWorld, ScenarioWorldBuilder,
         SeriesStep, SnapshotSeries, TimelineEngine, TimelineSnapshot, YearlySnapshot,

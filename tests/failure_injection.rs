@@ -38,6 +38,7 @@ fn rov_contains_hijacks_of_signed_prefixes() {
         };
         let ann = hijack.announcement(&w.vrps, &w.irr);
         let rib = TableCollector::new(&w.world.topology, &w.policies, &w.vantages)
+            .plan()
             .collect(&[ann]);
         (ann, rib.observations[0].paths.len())
     };
@@ -59,11 +60,13 @@ fn fewer_vantages_never_increase_visibility() {
     let w = world();
     let full = w.rib.visible_count();
     let half: Vec<Asn> = w.vantages.iter().copied().take(w.vantages.len() / 2).collect();
-    let rib_half =
-        TableCollector::new(&w.world.topology, &w.policies, &half).collect(&w.announcements);
+    let rib_half = TableCollector::new(&w.world.topology, &w.policies, &half)
+        .plan()
+        .collect(&w.announcements);
     assert!(rib_half.visible_count() <= full);
-    let rib_none =
-        TableCollector::new(&w.world.topology, &w.policies, &[]).collect(&w.announcements);
+    let rib_none = TableCollector::new(&w.world.topology, &w.policies, &[])
+        .plan()
+        .collect(&w.announcements);
     assert_eq!(rib_none.visible_count(), 0);
 }
 

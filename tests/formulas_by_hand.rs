@@ -45,7 +45,9 @@ fn build() -> (AsTopology, Vec<Announcement>, Vec<Asn>) {
 
 fn snapshot() -> manrs_ecosystem::ihr::IhrSnapshot {
     let (t, anns, vantages) = build();
-    let rib = TableCollector::new(&t, &PolicyTable::default(), &vantages).collect(&anns);
+    let rib = TableCollector::new(&t, &PolicyTable::default(), &vantages)
+        .plan()
+        .collect(&anns);
     build_snapshot(&rib, &t)
 }
 
