@@ -12,7 +12,13 @@ job, so both validate the exact same contract:
   ``parallel_secs``/``reverse_secs``) plus the vantage/class counts that
   drive the ``Auto`` strategy choice — and whenever there are fewer
   vantages than filter classes, the reverse traversal must be strictly
-  faster than the forward one.
+  faster than the forward one;
+* ``validation_batch`` carries ``batch_allocations`` (the steady-state
+  heap allocations of one warm serial batch run), which must be zero,
+  and its serial throughput must beat ``validation_scalar``'s at every
+  non-small scale — by at least 4x at medium, where both paths are
+  measured on the same warm world and the compiled-index win is the
+  whole point of the batch engine.
 """
 
 import json
@@ -35,7 +41,8 @@ REQUIRED_STAGES = (
     "collect_table",
     "reverse_collection",
     "path_extraction",
-    "snapshot_validation",
+    "validation_scalar",
+    "validation_batch",
 )
 
 
@@ -46,6 +53,11 @@ def main(path: str) -> None:
     stages = {m["stage"] for m in data["measurements"]}
     for required in REQUIRED_STAGES:
         assert required in stages, f"missing stage {required}"
+    scalar_serial_eps = {
+        m["scale"]: m["serial_elements_per_sec"]
+        for m in data["measurements"]
+        if m["stage"] == "validation_scalar"
+    }
     for m in data["measurements"]:
         for key in STANDARD_KEYS:
             assert key in m, f"missing {key}"
@@ -69,6 +81,25 @@ def main(path: str) -> None:
                 # show the asymptotic win whenever Auto would pick reverse.
                 assert m["reverse_secs"] < m["forward_secs"], (
                     f"reverse collection not faster with fewer vantages than classes: {m}"
+                )
+        if m["stage"] == "validation_batch":
+            assert "batch_allocations" in m, f"missing batch_allocations: {m}"
+            assert m["batch_allocations"] == 0, (
+                f"batched validation allocates in steady state: {m}"
+            )
+            if m["scale"] != "small":
+                # Small batches fit in noise; at medium and paper scale
+                # the compiled kernels must beat the scalar validators
+                # serially (no thread-count excuse). Medium is the
+                # calibrated scale where a 4x serial win is required.
+                floor = 4.0 if m["scale"] == "medium" else 1.0
+                assert (
+                    m["serial_elements_per_sec"]
+                    >= floor * scalar_serial_eps[m["scale"]]
+                ), (
+                    f"batched validation below {floor}x scalar at {m['scale']}: "
+                    f"{m['serial_elements_per_sec']} < "
+                    f"{floor} * {scalar_serial_eps[m['scale']]}"
                 )
     print(f"{path} schema OK")
 

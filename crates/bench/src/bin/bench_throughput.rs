@@ -28,9 +28,13 @@
 //! scheduled CI job does) for the full-size measurement.
 
 use manrs_bench::{Scale, HARNESS_SEED};
-use manrs_bgp::{distinct_classes, par_map, CollectionStrategy, ParallelConfig, TableCollector};
-use manrs_irr::validate_irr;
-use manrs_rpki::validate_origin;
+use manrs_bgp::{
+    distinct_classes, par_map, validate_pairs_batch, CollectionStrategy, ParallelConfig,
+    TableCollector,
+};
+use manrs_irr::{validate_irr, CompiledIrrIndex, IrrStatus};
+use manrs_net::BatchScratch;
+use manrs_rpki::{validate_origin, CompiledVrpIndex, RpkiStatus};
 use manrs_scenario::ScenarioWorld;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -104,6 +108,10 @@ struct Measurement {
     /// where `serial_secs` holds the forward strategy's time and
     /// `parallel_secs` the reverse strategy's at the same thread count.
     strategy_split: Option<(usize, usize)>,
+    /// Steady-state heap allocations of one *serial* batch run (last
+    /// rep, warm scratch) — only for `validation_batch`, where it must
+    /// be zero.
+    batch_allocations: Option<u64>,
 }
 
 impl Measurement {
@@ -410,6 +418,7 @@ fn measure_scale(
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: Some(t_legacy),
         strategy_split: None,
+        batch_allocations: None,
     });
 
     // Stage 1b: collection strategy face-off — the reverse per-vantage
@@ -443,6 +452,7 @@ fn measure_scale(
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
         strategy_split: Some((world.vantages.len(), distinct_classes(&world.announcements))),
+        batch_allocations: None,
     });
 
     // Stage 2: path extraction — resolving every observation's vantage
@@ -475,10 +485,11 @@ fn measure_scale(
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
         strategy_split: None,
+        batch_allocations: None,
     });
 
     // Stage 3: snapshot re-validation of every (prefix, origin) against
-    // the world's RPKI and IRR registries.
+    // the world's RPKI and IRR registries — the scalar per-pair engine.
     let pairs: Vec<_> = world.announcements.iter().map(|a| (a.prefix, a.origin)).collect();
     let (t_serial, _, v_serial) = time_best(reps, || {
         par_map(&serial, &pairs, |(prefix, origin)| {
@@ -493,7 +504,7 @@ fn measure_scale(
     assert_eq!(v_serial, v_parallel, "parallel validation diverged from serial");
     out.push(Measurement {
         scale: name,
-        stage: "snapshot_validation",
+        stage: "validation_scalar",
         elements: pairs.len(),
         serial_secs: t_serial,
         parallel_secs: t_parallel,
@@ -501,6 +512,47 @@ fn measure_scale(
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
         strategy_split: None,
+        batch_allocations: None,
+    });
+
+    // Stage 3b: the same validation through the compiled SoA indexes
+    // and the batch kernels. Index compilation happens once outside the
+    // timed region (real pipelines amortize it across a whole table);
+    // the serial runs reuse one scratch and output buffers, so the last
+    // rep's allocation count is the steady state and must be zero.
+    let rpki_index = CompiledVrpIndex::build(&world.vrps);
+    let irr_index = CompiledIrrIndex::build(&world.irr);
+    let mut scratch = BatchScratch::new();
+    let (mut rpki_out, mut irr_out) = (Vec::new(), Vec::new());
+    // Untimed warm-up: the batch contract amortizes the one-time argsort
+    // and buffer page-in across a table's lifetime, so the timed reps
+    // measure the steady state the contract promises (and whose
+    // allocation count must be zero).
+    for _ in 0..3 {
+        rpki_index.validate_batch_into(&pairs, &mut scratch, &mut rpki_out);
+        irr_index.validate_batch_into(&pairs, &mut scratch, &mut irr_out);
+    }
+    let (t_batch_serial, batch_allocs, ()) = time_best(reps, || {
+        rpki_index.validate_batch_into(&pairs, &mut scratch, &mut rpki_out);
+        irr_index.validate_batch_into(&pairs, &mut scratch, &mut irr_out);
+    });
+    let v_batch: Vec<(RpkiStatus, IrrStatus)> =
+        rpki_out.iter().copied().zip(irr_out.iter().copied()).collect();
+    assert_eq!(v_batch, v_serial, "batched validation diverged from scalar");
+    let (t_batch_parallel, b_allocs, v_batch_par) =
+        time_best(reps, || validate_pairs_batch(parallel, &rpki_index, &irr_index, &pairs));
+    assert_eq!(v_batch_par, v_serial, "parallel batched validation diverged from scalar");
+    out.push(Measurement {
+        scale: name,
+        stage: "validation_batch",
+        elements: pairs.len(),
+        serial_secs: t_batch_serial,
+        parallel_secs: t_batch_parallel,
+        parallel_allocations: b_allocs,
+        peak_rss_kb: peak_rss_kb(),
+        legacy_serial_secs: None,
+        strategy_split: None,
+        batch_allocations: Some(batch_allocs),
     });
 }
 
@@ -540,6 +592,9 @@ fn render_json(threads: usize, measurements: &[Measurement]) -> String {
             let _ = writeln!(json, "      \"reverse_secs\": {:.6},", m.parallel_secs);
             let _ = writeln!(json, "      \"vantage_count\": {vantages},");
             let _ = writeln!(json, "      \"class_count\": {classes},");
+        }
+        if let Some(batch_allocs) = m.batch_allocations {
+            let _ = writeln!(json, "      \"batch_allocations\": {batch_allocs},");
         }
         let _ = writeln!(json, "      \"speedup\": {:.3}", m.speedup());
         let _ = writeln!(json, "    }}{}", if i + 1 == measurements.len() { "" } else { "," });

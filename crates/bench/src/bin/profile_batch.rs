@@ -1,0 +1,168 @@
+//! Diagnostic decomposition of the batched validation cost (not wired
+//! into CI): times the cold batch (argsort + sweep), the warm
+//! steady-state batch per index, and the covering-run sweep without the
+//! match kernel, then prints the covering-run length distribution and
+//! the scalar oracle's cost for comparison. Run at any scale with
+//! `MANRS_SCALE=small|medium|paper` to see where batch time goes when
+//! `BENCH_propagation.json` moves unexpectedly.
+
+use manrs_bench::{Scale, HARNESS_SEED};
+use manrs_bgp::ParallelConfig;
+use manrs_irr::CompiledIrrIndex;
+use manrs_net::{Asn, BatchScratch, Prefix, PrefixMap};
+use manrs_rpki::{CompiledVrpIndex, RpkiStatus};
+use manrs_scenario::ScenarioWorld;
+use std::time::Instant;
+
+fn time_best(reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        let t = Instant::now();
+        sink = sink.wrapping_add(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, sink)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let parallel = ParallelConfig::from_env();
+    let world = ScenarioWorld::builder(scale.config(HARNESS_SEED))
+        .parallel(parallel)
+        .build();
+    let pairs: Vec<(Prefix, Asn)> = world
+        .announcements
+        .iter()
+        .map(|a| (a.prefix, a.origin))
+        .collect();
+    let n = pairs.len();
+    println!("pairs: {n}");
+
+    let rpki_index = CompiledVrpIndex::build(&world.vrps);
+    let irr_index = CompiledIrrIndex::build(&world.irr);
+    println!(
+        "rpki candidates: {}, irr candidates: {}",
+        rpki_index.candidate_count(),
+        irr_index.candidate_count()
+    );
+
+    // Cold sort (fresh scratch each rep).
+    let (t, _) = time_best(20, || {
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        rpki_index.validate_batch_into(&pairs, &mut scratch, &mut out);
+        out.len() as u64
+    });
+    println!("cold batch (sort + sweep): {:.1} us", t * 1e6);
+
+    // Warm batch, one index.
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    rpki_index.validate_batch_into(&pairs, &mut scratch, &mut out);
+    let (t, _) = time_best(50, || {
+        rpki_index.validate_batch_into(&pairs, &mut scratch, &mut out);
+        out.len() as u64
+    });
+    println!(
+        "warm rpki batch: {:.1} us ({:.0} ns/query)",
+        t * 1e6,
+        t * 1e9 / n as f64
+    );
+
+    let mut irr_out = Vec::new();
+    irr_index.validate_batch_into(&pairs, &mut scratch, &mut irr_out);
+    let (t, _) = time_best(50, || {
+        irr_index.validate_batch_into(&pairs, &mut scratch, &mut irr_out);
+        irr_out.len() as u64
+    });
+    println!(
+        "warm irr batch: {:.1} us ({:.0} ns/query)",
+        t * 1e6,
+        t * 1e9 / n as f64
+    );
+
+    // Sweep only, no kernel: count covering runs via covering_runs over
+    // a rebuilt shape identical to the compiled index's.
+    let mut vrp_map: PrefixMap<u32> = PrefixMap::new();
+    for vrp in world.vrps.iter() {
+        vrp_map.insert(vrp.prefix, vrp.asn.value());
+    }
+    let shape = vrp_map.flatten_shape(|_| {});
+    let (t, _) = time_best(50, || {
+        let mut acc = 0u64;
+        scratch.covering_runs(&shape, &pairs, |i, run| {
+            acc = acc.wrapping_add(i as u64 + run.len() as u64);
+        });
+        acc
+    });
+    println!(
+        "covering_runs sweep only (rpki): {:.1} us ({:.0} ns/query)",
+        t * 1e6,
+        t * 1e9 / n as f64
+    );
+
+    // Run-length distribution.
+    let mut hist = [0usize; 9];
+    let mut total = 0usize;
+    let mut distinct = std::collections::BTreeSet::new();
+    scratch.covering_runs(&shape, &pairs, |i, run| {
+        hist[run.len().min(8)] += 1;
+        total += run.len();
+        distinct.insert(pairs[i].0);
+    });
+    println!(
+        "rpki run lens: {:?} (8 = 8+), mean {:.2}, distinct prefixes {}",
+        hist,
+        total as f64 / n as f64,
+        distinct.len()
+    );
+
+    // Re-time the warm batch after a full table collection keeps a large
+    // RIB live (the bench's heap/TLB state when its batch stage runs).
+    let collector = manrs_bgp::TableCollector::new(
+        &world.world.topology,
+        &world.policies,
+        &world.vantages,
+    );
+    let rib = collector.clone().parallel(parallel).plan().collect(&world.announcements);
+    println!("rib observations: {}", rib.observations.len());
+    let (t, _) = time_best(50, || {
+        rpki_index.validate_batch_into(&pairs, &mut scratch, &mut out);
+        irr_index.validate_batch_into(&pairs, &mut scratch, &mut irr_out);
+        out.len() as u64
+    });
+    println!(
+        "warm combined batch with RIB live: {:.1} us ({:.0} ns/query)",
+        t * 1e6,
+        t * 1e9 / (2 * n) as f64
+    );
+    drop(rib);
+    let (t, _) = time_best(50, || {
+        rpki_index.validate_batch_into(&pairs, &mut scratch, &mut out);
+        irr_index.validate_batch_into(&pairs, &mut scratch, &mut irr_out);
+        out.len() as u64
+    });
+    println!(
+        "warm combined batch after RIB drop: {:.1} us ({:.0} ns/query)",
+        t * 1e6,
+        t * 1e9 / (2 * n) as f64
+    );
+
+    // Scalar oracle for the same pairs (per-query allocating walk).
+    let (t, _) = time_best(10, || {
+        let mut acc = 0u64;
+        for &(prefix, origin) in &pairs {
+            acc = acc.wrapping_add(
+                (manrs_rpki::validate_origin(&world.vrps, &prefix, origin)
+                    == RpkiStatus::Valid) as u64,
+            );
+        }
+        acc
+    });
+    println!(
+        "scalar rpki: {:.1} us ({:.0} ns/query)",
+        t * 1e6,
+        t * 1e9 / n as f64
+    );
+}

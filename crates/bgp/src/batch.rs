@@ -1,0 +1,130 @@
+//! Thread-chunked batched validation over the compiled RPKI/IRR
+//! indexes.
+//!
+//! The pipelines that validate whole tables (snapshot construction,
+//! dump re-ingestion, scenario builds) all need the same thing: both
+//! the RFC 6811 status and the IRR status for every (prefix, origin)
+//! pair in a table. [`validate_pairs_batch`] splits the pair list into
+//! contiguous per-thread chunks and runs the allocation-free batch
+//! kernels of [`CompiledVrpIndex`] / [`CompiledIrrIndex`] inside each
+//! worker, with one reused scratch per worker. Results come back in
+//! input order, bit-for-bit identical for any thread count.
+
+use crate::parallel::{par_map_with, ParallelConfig};
+use manrs_irr::{CompiledIrrIndex, IrrStatus};
+use manrs_net::{Asn, BatchScratch, Prefix};
+use manrs_rpki::{CompiledVrpIndex, RpkiStatus};
+
+/// Validates every `(prefix, origin)` pair against both compiled
+/// indexes; `result[i]` corresponds to `pairs[i]`.
+///
+/// Parallelism is over contiguous chunks of the batch (one chunk per
+/// effective worker), so each worker keeps the prefix-sorted locality
+/// of the batch kernels and reuses one scratch across its chunks.
+pub fn validate_pairs_batch(
+    cfg: &ParallelConfig,
+    rpki_index: &CompiledVrpIndex,
+    irr_index: &CompiledIrrIndex,
+    pairs: &[(Prefix, Asn)],
+) -> Vec<(RpkiStatus, IrrStatus)> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let threads = cfg.effective_threads(pairs.len());
+    let chunk_len = pairs.len().div_ceil(threads).max(1);
+    let chunks: Vec<&[(Prefix, Asn)]> = pairs.chunks(chunk_len).collect();
+    let per_chunk = par_map_with(
+        // One work item per chunk: chunked fan-out is already done here,
+        // so let every chunk go to its own worker.
+        &ParallelConfig { threads: cfg.threads, chunk: 1 },
+        &chunks,
+        || (BatchScratch::new(), Vec::new(), Vec::new()),
+        |(scratch, rpki_out, irr_out), chunk: &&[(Prefix, Asn)]| {
+            rpki_index.validate_batch_into(chunk, scratch, rpki_out);
+            irr_index.validate_batch_into(chunk, scratch, irr_out);
+            rpki_out
+                .iter()
+                .copied()
+                .zip(irr_out.iter().copied())
+                .collect::<Vec<(RpkiStatus, IrrStatus)>>()
+        },
+    );
+    let mut out = Vec::with_capacity(pairs.len());
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_irr::{validate_irr, IrrDatabase, IrrRegistry, RouteObject};
+    use manrs_rpki::{validate_origin, Vrp, VrpSet};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn fixtures() -> (VrpSet, IrrRegistry) {
+        let vrps: VrpSet = [
+            Vrp::new(p("10.0.0.0/8"), Asn(9), 8),
+            Vrp::new(p("10.0.0.0/16"), Asn(1), 20),
+            Vrp::new(p("203.0.113.0/24"), Asn::ZERO, 24),
+        ]
+        .into_iter()
+        .collect();
+        let mut db = IrrDatabase::new("RADB", None);
+        for (prefix, origin) in [("10.0.0.0/16", 1u32), ("10.0.0.0/8", 9), ("2001:db8::/32", 5)] {
+            db.add_route(RouteObject {
+                prefix: p(prefix),
+                origin: Asn(origin),
+                descr: String::new(),
+                mnt_by: "M".into(),
+                source: "RADB".into(),
+                last_modified: manrs_net::Date::ymd(2022, 1, 1),
+            });
+        }
+        let mut reg = IrrRegistry::new();
+        reg.add_database(db);
+        (vrps, reg)
+    }
+
+    #[test]
+    fn matches_scalar_oracles_at_every_thread_count() {
+        let (vrps, reg) = fixtures();
+        let rpki_index = CompiledVrpIndex::build(&vrps);
+        let irr_index = CompiledIrrIndex::build(&reg);
+        let pairs: Vec<(Prefix, Asn)> = [
+            ("10.0.0.0/16", 1u32),
+            ("10.0.0.0/20", 1),
+            ("10.0.0.0/24", 1),
+            ("10.0.0.0/16", 9),
+            ("203.0.113.0/24", 7),
+            ("192.0.2.0/24", 1),
+            ("2001:db8::/32", 5),
+            ("2001:db8::/48", 5),
+        ]
+        .into_iter()
+        .map(|(s, o)| (p(s), Asn(o)))
+        .collect();
+        let want: Vec<(RpkiStatus, IrrStatus)> = pairs
+            .iter()
+            .map(|(q, o)| (validate_origin(&vrps, q, *o), validate_irr(&reg, q, *o)))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let got = validate_pairs_batch(&cfg, &rpki_index, &irr_index, &pairs);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (vrps, reg) = fixtures();
+        let rpki_index = CompiledVrpIndex::build(&vrps);
+        let irr_index = CompiledIrrIndex::build(&reg);
+        assert!(validate_pairs_batch(&ParallelConfig::auto(), &rpki_index, &irr_index, &[])
+            .is_empty());
+    }
+}

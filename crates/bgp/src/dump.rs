@@ -17,14 +17,20 @@
 //! paper recomputes statuses per snapshot date).
 
 use crate::announcement::Announcement;
+use crate::batch::validate_pairs_batch;
 use crate::collector::{CollectedRib, Observation};
 use crate::parallel::{par_map, ParallelConfig};
 use crate::pathpool::{PathId, PathInterner};
-use manrs_irr::{validate_irr, IrrRegistry};
+use manrs_irr::{validate_irr, CompiledIrrIndex, IrrRegistry};
 use manrs_net::{Asn, NetError, Prefix};
-use manrs_rpki::{validate_origin, VrpSet};
+use manrs_rpki::{validate_origin, CompiledVrpIndex, VrpSet};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Below this many distinct (prefix, origin) keys, compiling the batch
+/// indexes would cost more than it saves; the scalar per-key path runs
+/// instead. Statuses are identical either way.
+const BATCH_REVALIDATION_THRESHOLD: usize = 32;
 
 /// Serializes a RIB as TABLE_DUMP2-style text, one line per vantage
 /// path. `timestamp` is the dump's nominal unix time.
@@ -109,9 +115,15 @@ pub fn parse_table_dump_with(
     // statuses back with the grouped paths; both run in the BTreeMap's
     // key order, so pairing by position is exact.
     let keys: Vec<(Prefix, Asn)> = grouped.keys().copied().collect();
-    let statuses = par_map(cfg, &keys, |(prefix, origin)| {
-        (validate_origin(vrps, prefix, *origin), validate_irr(irr, prefix, *origin))
-    });
+    let statuses = if keys.len() >= BATCH_REVALIDATION_THRESHOLD {
+        let rpki_index = CompiledVrpIndex::build(vrps);
+        let irr_index = CompiledIrrIndex::build(irr);
+        validate_pairs_batch(cfg, &rpki_index, &irr_index, &keys)
+    } else {
+        par_map(cfg, &keys, |(prefix, origin)| {
+            (validate_origin(vrps, prefix, *origin), validate_irr(irr, prefix, *origin))
+        })
+    };
     let observations = grouped
         .into_iter()
         .zip(statuses)

@@ -40,6 +40,7 @@
 //!   of cloning `Vec<Vec<Asn>>` per observation.
 
 pub mod announcement;
+pub mod batch;
 pub mod collector;
 pub mod compat;
 pub mod dump;
@@ -56,6 +57,7 @@ pub mod table;
 mod testutil;
 
 pub use announcement::Announcement;
+pub use batch::validate_pairs_batch;
 pub use collector::{CollectedRib, Observation};
 pub use dump::{parse_table_dump, parse_table_dump_with, write_table_dump};
 pub use hijack::{Hijack, HijackKind};

@@ -84,6 +84,8 @@ impl AcceptClass {
 }
 
 /// Per-node acceptance of one class, evaluated once per traversal.
+/// Buffers are reused across traversals on the same worker.
+#[derive(Default)]
 struct Acceptance {
     customer: Vec<bool>,
     peer: Vec<bool>,
@@ -91,24 +93,22 @@ struct Acceptance {
 }
 
 impl Acceptance {
-    fn evaluate(graph: &DenseGraph, rep: &Announcement) -> Self {
+    fn evaluate_into(&mut self, graph: &DenseGraph, rep: &Announcement) {
         let n = graph.len();
-        let mut acc = Acceptance {
-            customer: Vec::with_capacity(n),
-            peer: Vec::with_capacity(n),
-            provider: Vec::with_capacity(n),
-        };
+        self.customer.clear();
+        self.peer.clear();
+        self.provider.clear();
         for u in 0..n {
             let pol = graph.policy_at(u);
-            acc.customer.push(pol.accepts(rep, Relationship::Customer));
-            acc.peer.push(pol.accepts(rep, Relationship::Peer));
-            acc.provider.push(pol.accepts(rep, Relationship::Provider));
+            self.customer.push(pol.accepts(rep, Relationship::Customer));
+            self.peer.push(pol.accepts(rep, Relationship::Peer));
+            self.provider.push(pol.accepts(rep, Relationship::Provider));
         }
-        acc
     }
 }
 
 /// Origin-indexed route rows of one provider-closure node.
+#[derive(Default)]
 struct NodeRows {
     /// Customer-route hops from the closure node down to each origin.
     cdist: Vec<u32>,
@@ -122,76 +122,163 @@ struct NodeRows {
     /// Dijkstra actually resolves).
     rdist: Vec<u32>,
     /// Winning provider as a *closure position* (index into
-    /// [`VantageView::closure`]).
+    /// [`ReverseScratch::closure`]).
     rvia: Vec<u32>,
 }
 
 impl NodeRows {
-    fn new(n: usize) -> Self {
-        NodeRows {
-            cdist: vec![NONE; n],
-            cpred: vec![NONE; n],
-            pdist: vec![NONE; n],
-            ppred: vec![NONE; n],
-            rdist: vec![NONE; n],
-            rvia: vec![NONE; n],
+    /// Resets every row to the unset sentinel at length `n`, keeping
+    /// the allocations for reuse.
+    fn reset(&mut self, n: usize) {
+        for row in [
+            &mut self.cdist,
+            &mut self.cpred,
+            &mut self.pdist,
+            &mut self.ppred,
+            &mut self.rdist,
+            &mut self.rvia,
+        ] {
+            row.clear();
+            row.resize(n, NONE);
         }
     }
 }
 
-/// Everything one reverse traversal learns: for one vantage and one
-/// acceptance class, the route the vantage selects toward every origin
-/// in the graph. `closure[0]` is the vantage itself.
-pub(crate) struct VantageView {
+/// One reverse traversal's state *and* its reusable buffers: for one
+/// vantage and one acceptance class, the route the vantage selects
+/// toward every origin in the graph. `closure[0]` is the vantage
+/// itself. A worker keeps one scratch and calls
+/// [`ReverseScratch::traverse`] per (vantage, class) work item, so
+/// steady-state reverse collection allocates nothing — the same
+/// discipline as the forward engine's `PropagationScratch`.
+#[derive(Default)]
+pub(crate) struct ReverseScratch {
     vantage: u32,
     /// The vantage's provider closure (dense indices, vantage first).
     closure: Vec<u32>,
-    /// `rows[i]` belongs to `closure[i]`.
+    /// Dense index → closure position, reset per traversal (only the
+    /// previous closure's entries are touched).
+    pos_of: Vec<u32>,
+    /// `rows[i]` belongs to `closure[i]`; the pool only ever grows.
     rows: Vec<NodeRows>,
+    acc: Acceptance,
+    // BFS work lists shared by the customer/peer trees.
+    frontier: Vec<u32>,
+    next: Vec<(u32, u32)>,
+    sources: Vec<u32>,
+    // Closure-resolution buffers (provider_rows).
+    edges: Vec<Vec<u32>>,
+    val: Vec<u32>,
+    via: Vec<u32>,
+    seeded: Vec<bool>,
+    settled: Vec<bool>,
 }
 
-/// Runs one reverse traversal: vantage `vantage` (dense index), class
-/// represented by `rep`. Cost is roughly the size of the vantage's
-/// customer cone plus its peers' cones plus the closure resolution —
-/// independent of how many origins/classes the table contains.
-pub(crate) fn reverse_view(graph: &DenseGraph, rep: &Announcement, vantage: usize) -> VantageView {
-    let n = graph.len();
-    let acc = Acceptance::evaluate(graph, rep);
+impl ReverseScratch {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
 
-    // Provider closure: climb provider edges from the vantage through
-    // nodes that accept provider routes. `pos_of` maps dense index →
-    // closure position for the Dijkstra's edge building.
-    let mut closure: Vec<u32> = vec![vantage as u32];
-    let mut pos_of: Vec<u32> = vec![NONE; n];
-    pos_of[vantage] = 0;
-    let mut i = 0;
-    while i < closure.len() {
-        let x = closure[i] as usize;
-        if acc.provider[x] {
-            for &w in graph.providers_row(x) {
-                if pos_of[w as usize] == NONE {
-                    pos_of[w as usize] = closure.len() as u32;
-                    closure.push(w);
+    /// Runs one reverse traversal: vantage `vantage` (dense index),
+    /// class represented by `rep`. Cost is roughly the size of the
+    /// vantage's customer cone plus its peers' cones plus the closure
+    /// resolution — independent of how many origins/classes the table
+    /// contains. Previous traversal state is overwritten; buffers are
+    /// reused.
+    pub(crate) fn traverse(&mut self, graph: &DenseGraph, rep: &Announcement, vantage: usize) {
+        let n = graph.len();
+        self.vantage = vantage as u32;
+        self.acc.evaluate_into(graph, rep);
+
+        // Reset the dense position map by undoing only the previous
+        // closure's entries (or rebuilding if the graph size changed).
+        if self.pos_of.len() == n {
+            for &x in &self.closure {
+                self.pos_of[x as usize] = NONE;
+            }
+        } else {
+            self.pos_of.clear();
+            self.pos_of.resize(n, NONE);
+        }
+
+        // Provider closure: climb provider edges from the vantage
+        // through nodes that accept provider routes. `pos_of` maps
+        // dense index → closure position for the Dijkstra's edge
+        // building.
+        self.closure.clear();
+        self.closure.push(vantage as u32);
+        self.pos_of[vantage] = 0;
+        let mut i = 0;
+        while i < self.closure.len() {
+            let x = self.closure[i] as usize;
+            if self.acc.provider[x] {
+                for &w in graph.providers_row(x) {
+                    if self.pos_of[w as usize] == NONE {
+                        self.pos_of[w as usize] = self.closure.len() as u32;
+                        self.closure.push(w);
+                    }
                 }
             }
+            i += 1;
         }
-        i += 1;
-    }
 
-    // Per closure node: its customer-route tree and its merged
-    // peer-cone tree. These double as the seeds of the closure
-    // resolution and as path segments during reconstruction.
-    let mut rows: Vec<NodeRows> = closure.iter().map(|_| NodeRows::new(n)).collect();
-    for (j, &w) in closure.iter().enumerate() {
-        customer_tree(graph, &acc, w as usize, &mut rows[j]);
-        peer_tree(graph, &acc, w as usize, &mut rows[j]);
-    }
+        // Per closure node: its customer-route tree and its merged
+        // peer-cone tree. These double as the seeds of the closure
+        // resolution and as path segments during reconstruction.
+        let k = self.closure.len();
+        if self.rows.len() < k {
+            self.rows.resize_with(k, NodeRows::default);
+        }
+        for (j, &w) in self.closure.iter().enumerate() {
+            self.rows[j].reset(n);
+            customer_tree(
+                graph,
+                &self.acc,
+                w as usize,
+                &mut self.rows[j],
+                &mut self.frontier,
+                &mut self.next,
+            );
+            peer_tree(
+                graph,
+                &self.acc,
+                w as usize,
+                &mut self.rows[j],
+                &mut self.frontier,
+                &mut self.next,
+                &mut self.sources,
+            );
+        }
 
-    if closure.len() > 1 {
-        provider_rows(graph, &acc, &closure, &pos_of, &mut rows);
+        if k > 1 {
+            provider_rows(
+                graph,
+                &self.acc,
+                &self.closure,
+                &self.pos_of,
+                &mut self.rows[..k],
+                &mut self.edges,
+                &mut self.val,
+                &mut self.via,
+                &mut self.seeded,
+                &mut self.settled,
+            );
+        }
     }
+}
 
-    VantageView { vantage: vantage as u32, closure, rows }
+/// Runs one reverse traversal in a fresh scratch — convenience for
+/// single-shot use and tests; batch callers hold a [`ReverseScratch`]
+/// per worker and call [`ReverseScratch::traverse`] directly.
+#[cfg(test)]
+pub(crate) fn reverse_view(
+    graph: &DenseGraph,
+    rep: &Announcement,
+    vantage: usize,
+) -> ReverseScratch {
+    let mut scratch = ReverseScratch::new();
+    scratch.traverse(graph, rep, vantage);
+    scratch
 }
 
 /// Lexicographic-order level BFS down customer edges from `w`.
@@ -206,7 +293,14 @@ pub(crate) fn reverse_view(graph: &DenseGraph, rep: &Announcement, vantage: usiz
 ///
 /// A node that does not accept customer routes is still claimable (it
 /// can be the terminal *origin* of a chain) but never expands.
-fn customer_tree(graph: &DenseGraph, acc: &Acceptance, w: usize, rows: &mut NodeRows) {
+fn customer_tree(
+    graph: &DenseGraph,
+    acc: &Acceptance,
+    w: usize,
+    rows: &mut NodeRows,
+    frontier: &mut Vec<u32>,
+    next: &mut Vec<(u32, u32)>,
+) {
     if !acc.customer[w] {
         // Forward phase 1 installs nothing at `w` unless `w` accepts
         // from customers; without that no customer route exists (the
@@ -214,8 +308,8 @@ fn customer_tree(graph: &DenseGraph, acc: &Acceptance, w: usize, rows: &mut Node
         return;
     }
     rows.cdist[w] = 0;
-    let mut frontier: Vec<u32> = vec![w as u32];
-    let mut next: Vec<(u32, u32)> = Vec::new();
+    frontier.clear();
+    frontier.push(w as u32);
     let mut depth = 0u32;
     while !frontier.is_empty() {
         depth += 1;
@@ -252,25 +346,33 @@ fn customer_tree(graph: &DenseGraph, acc: &Acceptance, w: usize, rows: &mut Node
 /// smallest (distance, source) pair, including origins that sit inside
 /// several peers' cones, and the recorded parent chain is the winning
 /// source's own lexicographically-least path.
-fn peer_tree(graph: &DenseGraph, acc: &Acceptance, w: usize, rows: &mut NodeRows) {
+fn peer_tree(
+    graph: &DenseGraph,
+    acc: &Acceptance,
+    w: usize,
+    rows: &mut NodeRows,
+    frontier: &mut Vec<u32>,
+    next: &mut Vec<(u32, u32)>,
+    sources: &mut Vec<u32>,
+) {
     if !acc.peer[w] {
         return;
     }
-    let mut sources: Vec<u32> = graph.peers_row(w).to_vec();
+    sources.clear();
+    sources.extend_from_slice(graph.peers_row(w));
     if sources.is_empty() {
         return;
     }
     sources.sort_unstable();
     sources.dedup();
-    let mut frontier: Vec<u32> = Vec::with_capacity(sources.len());
-    for &u in &sources {
+    frontier.clear();
+    for &u in sources.iter() {
         // A peer is claimable as its own origin even when it would not
         // accept the announcement (the origin installs unconditionally).
         rows.pdist[u as usize] = 1;
         rows.ppred[u as usize] = NONE;
         frontier.push(u);
     }
-    let mut next: Vec<(u32, u32)> = Vec::new();
     let mut depth = 1u32;
     while !frontier.is_empty() {
         depth += 1;
@@ -303,12 +405,18 @@ fn peer_tree(graph: &DenseGraph, acc: &Acceptance, w: usize, rows: &mut NodeRows
 /// (fewest hops, then lowest provider ASN). Origins for which the
 /// vantage itself is seeded never consult a provider route and are
 /// skipped outright.
+#[allow(clippy::too_many_arguments)]
 fn provider_rows(
     graph: &DenseGraph,
     acc: &Acceptance,
     closure: &[u32],
     pos_of: &[u32],
     rows: &mut [NodeRows],
+    edges: &mut Vec<Vec<u32>>,
+    val: &mut Vec<u32>,
+    via: &mut Vec<u32>,
+    seeded: &mut Vec<bool>,
+    settled: &mut Vec<bool>,
 ) {
     let k = closure.len();
     let n = graph.len();
@@ -317,7 +425,12 @@ fn provider_rows(
     // customers. A node only receives if it accepts provider routes;
     // its providers are guaranteed to be in the closure because
     // closure expansion ascends through exactly those nodes.
-    let mut edges: Vec<Vec<u32>> = vec![Vec::new(); k];
+    if edges.len() < k {
+        edges.resize_with(k, Vec::new);
+    }
+    for e in edges[..k].iter_mut() {
+        e.clear();
+    }
     for (j, &xj) in closure.iter().enumerate() {
         if acc.provider[xj as usize] {
             for &w in graph.providers_row(xj as usize) {
@@ -326,10 +439,14 @@ fn provider_rows(
         }
     }
 
-    let mut val = vec![NONE; k];
-    let mut via = vec![NONE; k];
-    let mut seeded = vec![false; k];
-    let mut settled = vec![false; k];
+    val.clear();
+    val.resize(k, NONE);
+    via.clear();
+    via.resize(k, NONE);
+    seeded.clear();
+    seeded.resize(k, false);
+    settled.clear();
+    settled.resize(k, false);
     for o in 0..n {
         let mut any = false;
         for j in 0..k {
@@ -393,10 +510,11 @@ fn provider_rows(
     }
 }
 
-impl VantageView {
+impl ReverseScratch {
     /// The route's AS path from the vantage to `origin` (dense index),
     /// or `None` if the vantage never hears the announcement — exactly
     /// [`crate::PropagationScratch::as_path_at`] of the forward run.
+    /// Reads the state of the latest [`ReverseScratch::traverse`].
     pub(crate) fn path_to(&self, graph: &DenseGraph, origin: usize) -> Option<Vec<Asn>> {
         let v = self.vantage as usize;
         if origin == v {

@@ -25,15 +25,15 @@
 
 use crate::announcement::Announcement;
 use crate::collector::{CollectedRib, Observation};
-use crate::parallel::{par_map, par_map_with, ParallelConfig};
+use crate::parallel::{par_map_with, ParallelConfig};
 use crate::pathpool::{PathId, PathInterner};
 use crate::policy::PolicyTable;
 use crate::propagate::{propagate_dense_into, DenseGraph, PropagationScratch};
-use crate::reverse::{reverse_view, AcceptClass};
+use crate::reverse::{AcceptClass, ReverseScratch};
 use manrs_irr::IrrStatus;
 use manrs_net::Asn;
 use manrs_topology::AsTopology;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// The projection of an announcement that filtering can observe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,8 +67,8 @@ pub enum CollectionStrategy {
 
 /// Number of distinct (origin, filter-class) equivalence classes in an
 /// announcement set — the unit of forward-propagation work, and the
-/// quantity [`CollectionStrategy::Auto`] weighs against the vantage
-/// count.
+/// quantity [`CollectionStrategy::Auto`] weighs against the reverse
+/// strategy's cost.
 pub fn distinct_classes(announcements: &[Announcement]) -> usize {
     let mut seen: HashMap<(Asn, FilterClass), ()> = HashMap::new();
     for ann in announcements {
@@ -76,6 +76,28 @@ pub fn distinct_classes(announcements: &[Announcement]) -> usize {
     }
     seen.len()
 }
+
+/// Number of distinct *acceptance* classes (origin dropped, IRR
+/// statuses bucketed — see [`AcceptClass`]): the unit of
+/// reverse-traversal work per vantage. At most six.
+fn distinct_accept_classes(announcements: &[Announcement]) -> usize {
+    let mut seen: HashSet<AcceptClass> = HashSet::new();
+    for ann in announcements {
+        seen.insert(AcceptClass::of(ann));
+    }
+    seen.len()
+}
+
+/// Cost-model constants for [`CollectionStrategy::Auto`], in units of
+/// "one forward propagation". A reverse work item runs one customer-cone
+/// BFS + peer-cone BFS per provider-closure node plus the closure
+/// Dijkstra, so its cost grows with the vantage's provider-closure
+/// size. Calibrated against the `reverse_collection` stage of
+/// `BENCH_propagation.json` at medium scale (25 vantages, ~5-node
+/// closures, 6 accept classes vs 4379 forward classes: one reverse item
+/// measured ≈ 8× one forward propagation).
+const REVERSE_ITEM_BASE: f64 = 0.55;
+const REVERSE_ITEM_PER_CLOSURE: f64 = 0.75;
 
 /// Builder-style entry point for whole-table collection: fix the
 /// topology, policies, and vantage points once, optionally override the
@@ -175,10 +197,28 @@ impl<'a> CollectionPlan<'a> {
 
     /// The strategy [`CollectionStrategy::Auto`] would resolve to for
     /// this announcement set (returns non-`Auto` strategies verbatim).
+    ///
+    /// Auto compares modelled costs in units of one forward
+    /// propagation: forward costs one unit per (origin, filter-class);
+    /// reverse costs, per (vantage, acceptance-class) work item, a base
+    /// term plus a term linear in the vantage's provider-closure size
+    /// (each closure node runs its own cone BFSes, and the closure
+    /// Dijkstra's seeding scans every origin per node). The constants
+    /// are calibrated from the `reverse_collection` bench stage.
     pub fn resolved_strategy(&self, announcements: &[Announcement]) -> CollectionStrategy {
         match self.strategy {
             CollectionStrategy::Auto => {
-                if self.vantages.len() < distinct_classes(announcements) {
+                let forward_cost = distinct_classes(announcements) as f64;
+                let per_vantage: f64 = self
+                    .vantages
+                    .iter()
+                    .map(|&v| {
+                        REVERSE_ITEM_BASE
+                            + REVERSE_ITEM_PER_CLOSURE * self.provider_closure_len(v) as f64
+                    })
+                    .sum();
+                let reverse_cost = distinct_accept_classes(announcements) as f64 * per_vantage;
+                if reverse_cost < forward_cost {
                     CollectionStrategy::Reverse
                 } else {
                     CollectionStrategy::Forward
@@ -186,6 +226,25 @@ impl<'a> CollectionPlan<'a> {
             }
             s => s,
         }
+    }
+
+    /// Size of `vantage`'s provider closure in the topology (the ASes
+    /// reachable by repeatedly ascending provider edges, vantage
+    /// included). The acceptance-aware closure the traversal actually
+    /// builds can only be smaller, so this is a safe cost upper bound.
+    /// Unknown vantages count as a closure of one.
+    fn provider_closure_len(&self, vantage: Asn) -> usize {
+        let mut closure: BTreeSet<Asn> = BTreeSet::new();
+        closure.insert(vantage);
+        let mut frontier = vec![vantage];
+        while let Some(x) = frontier.pop() {
+            for &p in self.topology.providers(x) {
+                if closure.insert(p) {
+                    frontier.push(p);
+                }
+            }
+        }
+        closure.len()
     }
 
     /// Propagates every announcement and collects the vantage view.
@@ -212,16 +271,7 @@ impl<'a> CollectionPlan<'a> {
         let vantage_idx: Vec<usize> =
             self.vantages.iter().filter_map(|v| graph.index_of(*v)).collect();
 
-        let strategy = match self.strategy {
-            CollectionStrategy::Auto => {
-                if vantage_idx.len() < reps.len() {
-                    CollectionStrategy::Reverse
-                } else {
-                    CollectionStrategy::Forward
-                }
-            }
-            s => s,
-        };
+        let strategy = self.resolved_strategy(announcements);
         let class_paths = match strategy {
             CollectionStrategy::Forward | CollectionStrategy::Auto => {
                 self.collect_forward(&graph, &reps, &vantage_idx)
@@ -282,8 +332,12 @@ impl<'a> CollectionPlan<'a> {
     /// *acceptance classes* (what filters can observe, origin aside —
     /// at most six), one backward traversal runs per (acceptance class,
     /// vantage), and each filter class reads its origin's row out of
-    /// its acceptance class's views. The stitch below iterates classes
-    /// and vantages in exactly the forward extraction order, so interned
+    /// its acceptance class's traversals. Each worker keeps one
+    /// [`ReverseScratch`] and extracts only the origin rows its work
+    /// item's classes need, so the traversal state never outlives the
+    /// work item and steady-state collection is allocation-free apart
+    /// from the returned paths. The stitch below iterates classes and
+    /// vantages in exactly the forward extraction order, so interned
     /// ids come out identical.
     fn collect_reverse(
         &self,
@@ -293,31 +347,51 @@ impl<'a> CollectionPlan<'a> {
     ) -> Vec<Vec<Vec<Asn>>> {
         let mut amemo: HashMap<AcceptClass, usize> = HashMap::new();
         let mut areps: Vec<&Announcement> = Vec::new();
+        // Per accept class: member rep indices (rep order) and their
+        // dense origin indices; per rep: its position in its class.
+        let mut class_members: Vec<Vec<usize>> = Vec::new();
+        let mut class_origins: Vec<Vec<Option<usize>>> = Vec::new();
         let mut accept_of: Vec<usize> = Vec::with_capacity(reps.len());
-        for &rep in reps {
+        let mut member_pos: Vec<usize> = Vec::with_capacity(reps.len());
+        for (r, &rep) in reps.iter().enumerate() {
             let next = areps.len();
-            let idx = *amemo.entry(AcceptClass::of(rep)).or_insert_with(|| {
+            let a = *amemo.entry(AcceptClass::of(rep)).or_insert_with(|| {
                 areps.push(rep);
+                class_members.push(Vec::new());
+                class_origins.push(Vec::new());
                 next
             });
-            accept_of.push(idx);
+            accept_of.push(a);
+            member_pos.push(class_members[a].len());
+            class_members[a].push(r);
+            // Unknown origin: forward propagation reaches nobody.
+            class_origins[a].push(graph.index_of(rep.origin));
         }
 
         let nv = vantage_idx.len();
-        let work: Vec<(usize, &Announcement)> = areps
-            .iter()
-            .flat_map(|&rep| vantage_idx.iter().map(move |&vi| (vi, rep)))
+        let work: Vec<(usize, usize)> = (0..areps.len())
+            .flat_map(|a| (0..nv).map(move |p| (a, p)))
             .collect();
-        let views = par_map(&self.parallel, &work, |&(vi, rep)| reverse_view(graph, rep, vi));
+        let mut results: Vec<Vec<Option<Vec<Asn>>>> = par_map_with(
+            &self.parallel,
+            &work,
+            ReverseScratch::new,
+            |scratch, &(a, p)| {
+                scratch.traverse(graph, areps[a], vantage_idx[p]);
+                class_origins[a]
+                    .iter()
+                    .map(|o| o.and_then(|o| scratch.path_to(graph, o)))
+                    .collect()
+            },
+        );
 
         reps.iter()
             .zip(&accept_of)
-            .map(|(rep, &a)| match graph.index_of(rep.origin) {
-                // Unknown origin: forward propagation reaches nobody.
-                None => Vec::new(),
-                Some(o) => (0..nv)
-                    .filter_map(|p| views[a * nv + p].path_to(graph, o))
-                    .collect(),
+            .zip(&member_pos)
+            .map(|((_, &a), &m)| {
+                (0..nv)
+                    .filter_map(|p| results[a * nv + p][m].take())
+                    .collect()
             })
             .collect()
     }
@@ -410,6 +484,33 @@ mod tests {
             plan.strategy(CollectionStrategy::Reverse).resolved_strategy(&anns),
             CollectionStrategy::Reverse
         );
+    }
+
+    #[test]
+    fn auto_cost_model_crossover() {
+        // Vantage AS1 has no providers: closure = {1}, so one reverse
+        // work item costs BASE + PER_CLOSURE = 1.3 units, and with two
+        // acceptance classes reverse totals 2.6. Two filter classes
+        // (forward = 2) sit below that — Forward; a third filter class
+        // in an existing acceptance class (forward = 3, reverse still
+        // 2.6) tips it over — Reverse.
+        let t = topo();
+        let policies = PolicyTable::default();
+        let one = [Asn(1)];
+        let plan = TableCollector::new(&t, &policies, &one).plan();
+        let mut anns = vec![
+            ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.1.0.0/16", 3, RpkiStatus::InvalidAsn, IrrStatus::Valid),
+        ];
+        assert_eq!(distinct_classes(&anns), 2);
+        assert_eq!(distinct_accept_classes(&anns), 2);
+        assert_eq!(plan.resolved_strategy(&anns), CollectionStrategy::Forward);
+        // Same statuses from a different origin: new filter class,
+        // same acceptance class.
+        anns.push(ann("10.2.0.0/16", 4, RpkiStatus::Valid, IrrStatus::Valid));
+        assert_eq!(distinct_classes(&anns), 3);
+        assert_eq!(distinct_accept_classes(&anns), 2);
+        assert_eq!(plan.resolved_strategy(&anns), CollectionStrategy::Reverse);
     }
 
     #[test]

@@ -4,12 +4,14 @@
 
 use manrs_bgp::propagate::{propagate_dense, propagate_dense_into, DenseGraph, PropagationScratch};
 use manrs_bgp::{
-    propagate, Announcement, CollectionStrategy, FilteringPolicy, ParallelConfig, PolicyTable,
-    TableCollector,
+    propagate, validate_pairs_batch, Announcement, CollectionStrategy, FilteringPolicy,
+    ParallelConfig, PolicyTable, TableCollector,
 };
-use manrs_irr::IrrStatus;
-use manrs_net::{Asn, Rir};
-use manrs_rpki::RpkiStatus;
+use manrs_irr::{
+    validate_irr, CompiledIrrIndex, IrrDatabase, IrrRegistry, IrrStatus, RouteObject,
+};
+use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
+use manrs_rpki::{validate_origin, CompiledVrpIndex, RpkiStatus, Vrp, VrpSet};
 use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId, Relationship};
 use proptest::prelude::*;
 
@@ -51,6 +53,14 @@ fn arb_topology() -> impl Strategy<Value = AsTopology> {
 
 fn ann(origin: u32, rpki: RpkiStatus, irr: IrrStatus) -> Announcement {
     Announcement::new("10.0.0.0/16".parse().unwrap(), Asn(origin), rpki, irr)
+}
+
+/// Small clustered prefix space so registrations and queries interact.
+fn reg_prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..8, 8u8..=28).prop_map(|(net, len)| {
+        let bits = 0x0A00_0000 | (net << 20);
+        Prefix::V4(Ipv4Prefix::from_bits_truncated(bits, len).unwrap())
+    })
 }
 
 /// Checks the Gao–Rexford export rules along a vantage→origin path.
@@ -304,6 +314,47 @@ proptest! {
         let auto = collector.clone().plan().collect(&anns);
         prop_assert_eq!(&auto.observations, &forward.observations);
         prop_assert_eq!(auto.pool(), forward.pool());
+    }
+
+    /// Thread-chunked batched validation returns exactly what the
+    /// scalar validators return, at 1/2/4/8 threads, over random VRP
+    /// sets (AS0 included), registries, and query batches.
+    #[test]
+    fn batched_pair_validation_is_thread_invariant(
+        vrps in prop::collection::vec((reg_prefix(), 0u32..6, 0u8..=6), 0..25),
+        routes in prop::collection::vec((reg_prefix(), 1u32..6), 0..25),
+        queries in prop::collection::vec((reg_prefix(), 0u32..6), 0..40),
+    ) {
+        let set: VrpSet = vrps
+            .iter()
+            .map(|&(p, asn, extra)| Vrp::new(p, Asn(asn), (p.len() + extra).min(32)))
+            .collect();
+        let mut db = IrrDatabase::new("RADB", None);
+        for &(prefix, origin) in &routes {
+            db.add_route(RouteObject {
+                prefix,
+                origin: Asn(origin),
+                descr: String::new(),
+                mnt_by: "MAINT-PROP".into(),
+                source: "RADB".into(),
+                last_modified: Date::ymd(2022, 1, 1),
+            });
+        }
+        let mut reg = IrrRegistry::new();
+        reg.add_database(db);
+        let rpki_index = CompiledVrpIndex::build(&set);
+        let irr_index = CompiledIrrIndex::build(&reg);
+        let pairs: Vec<(Prefix, Asn)> =
+            queries.iter().map(|&(p, o)| (p, Asn(o))).collect();
+        let want: Vec<(RpkiStatus, IrrStatus)> = pairs
+            .iter()
+            .map(|(p, o)| (validate_origin(&set, p, *o), validate_irr(&reg, p, *o)))
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = ParallelConfig::with_threads(threads);
+            let got = validate_pairs_batch(&cfg, &rpki_index, &irr_index, &pairs);
+            prop_assert_eq!(&got, &want, "threads={}", threads);
+        }
     }
 
     /// Reusing one dirty scratch across a sequence of announcements

@@ -1,0 +1,234 @@
+//! Compiled, batch-oriented IRR validity classification.
+//!
+//! The IRR mirror of `manrs_rpki::CompiledVrpIndex`: a frozen
+//! [`IrrRegistry`] is compiled into a flattened covering index
+//! ([`manrs_net::CoveringShape`]) whose per-path route-object candidates
+//! live in one struct-of-arrays arena, so the §6.1 classification runs
+//! as batch sweeps over contiguous runs instead of per-query allocating
+//! trie walks across every database.
+//!
+//! The classification itself reuses the shared [`manrs_net::match_run`]
+//! kernel: since the paper takes "the prefix length as the max length
+//! value" for IRR, a covering route object (whose length is necessarily
+//! ≤ the query's) is an exact-prefix match precisely when
+//! `query_len <= object_len` — the same predicate RFC 6811 applies to
+//! maxLength. The kernel runs with `EXCLUDE_AS0 = false` because the
+//! IRR lattice has no AS0 carve-out. The scalar [`crate::validate_irr`]
+//! remains the oracle; proptests pin equivalence.
+
+use crate::database::IrrRegistry;
+use crate::validation::IrrStatus;
+use manrs_net::{match_run, Asn, BatchScratch, CoveringShape, Prefix, PrefixMap};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A frozen [`IrrRegistry`] compiled for batched validity
+/// classification across every database.
+///
+/// Build cost is one merge of all databases plus one deterministic trie
+/// traversal; afterwards every query is allocation-free. The index is a
+/// snapshot — rebuild after route-object churn.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledIrrIndex {
+    shape: CoveringShape,
+    /// Candidate origin ASNs, arena order (parallel to `lens`).
+    origins: Vec<u32>,
+    /// Candidate registered prefix lengths, arena order — the IRR
+    /// stand-in for maxLength.
+    lens: Vec<u8>,
+}
+
+impl CompiledIrrIndex {
+    /// Compiles `registry` into a batch index. Deterministic: two builds
+    /// from the same registry produce identical indexes.
+    pub fn build(registry: &IrrRegistry) -> Self {
+        // Merge every database into one trie first (the union view the
+        // registry validates against), keyed by the only two attributes
+        // classification reads.
+        let mut merged: PrefixMap<(u32, u8)> = PrefixMap::new();
+        for db in registry.databases() {
+            for route in db.routes() {
+                merged.insert(route.prefix, (route.origin.value(), route.prefix.len()));
+            }
+        }
+        let mut origins = Vec::new();
+        let mut lens = Vec::new();
+        let shape = merged.flatten_shape(|&(origin, len)| {
+            origins.push(origin);
+            lens.push(len);
+        });
+        debug_assert_eq!(origins.len(), shape.arena_len());
+        CompiledIrrIndex { shape, origins, lens }
+    }
+
+    /// Number of arena candidates (covering closures expanded).
+    pub fn candidate_count(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// `true` if at least one route object covers `prefix`.
+    pub fn is_covered(&self, prefix: &Prefix) -> bool {
+        self.shape.covers(prefix)
+    }
+
+    #[inline]
+    fn status_for(&self, run: Range<usize>, origin: Asn, query_len: u8) -> IrrStatus {
+        if run.is_empty() {
+            return IrrStatus::NotFound;
+        }
+        let out = match_run::<false>(
+            &self.origins[run.clone()],
+            &self.lens[run],
+            origin,
+            query_len,
+        );
+        if out.any_valid {
+            IrrStatus::Valid
+        } else if out.any_origin_match {
+            IrrStatus::InvalidLength
+        } else {
+            IrrStatus::InvalidAsn
+        }
+    }
+
+    /// Classifies one route; equivalent to [`crate::validate_irr`] on
+    /// the source registry, without allocating.
+    #[inline]
+    pub fn validate(&self, prefix: &Prefix, origin: Asn) -> IrrStatus {
+        self.status_for(self.shape.covering_run(prefix), origin, prefix.len())
+    }
+
+    /// Classifies a batch of routes; `statuses[i]` corresponds to
+    /// `queries[i]`. Convenience wrapper over
+    /// [`CompiledIrrIndex::validate_batch_into`] with fresh scratch.
+    pub fn validate_batch(&self, queries: &[(Prefix, Asn)]) -> Vec<IrrStatus> {
+        let mut out = Vec::new();
+        self.validate_batch_into(queries, &mut BatchScratch::new(), &mut out);
+        out
+    }
+
+    /// Classifies a batch of routes into a reused output buffer;
+    /// prefix-sorted processing, input-order results, allocation-free
+    /// with warm buffers.
+    pub fn validate_batch_into(
+        &self,
+        queries: &[(Prefix, Asn)],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<IrrStatus>,
+    ) {
+        out.clear();
+        out.resize(queries.len(), IrrStatus::NotFound);
+        scratch.covering_runs(&self.shape, queries, |i, run| {
+            let (prefix, origin) = queries[i];
+            out[i] = self.status_for(run, origin, prefix.len());
+        });
+    }
+}
+
+impl From<&IrrRegistry> for CompiledIrrIndex {
+    fn from(registry: &IrrRegistry) -> Self {
+        CompiledIrrIndex::build(registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::IrrDatabase;
+    use crate::object::RouteObject;
+    use crate::validation::validate_irr;
+    use manrs_net::Date;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn route(prefix: &str, origin: u32, source: &str) -> RouteObject {
+        RouteObject {
+            prefix: prefix.parse().unwrap(),
+            origin: Asn(origin),
+            descr: String::new(),
+            mnt_by: "M".into(),
+            source: source.into(),
+            last_modified: Date::ymd(2022, 1, 1),
+        }
+    }
+
+    fn sample_registry() -> IrrRegistry {
+        let mut ripe = IrrDatabase::new("RIPE", Some(manrs_net::Rir::RipeNcc));
+        ripe.add_route(route("10.0.0.0/8", 1, "RIPE"));
+        ripe.add_route(route("10.0.0.0/16", 2, "RIPE"));
+        let mut radb = IrrDatabase::new("RADB", None);
+        radb.add_route(route("10.0.0.0/16", 3, "RADB"));
+        radb.add_route(route("2001:db8::/32", 1, "RADB"));
+        let mut reg = IrrRegistry::new();
+        reg.add_database(ripe);
+        reg.add_database(radb);
+        reg
+    }
+
+    #[test]
+    fn single_queries_match_scalar_oracle() {
+        let reg = sample_registry();
+        let index = CompiledIrrIndex::build(&reg);
+        for q in [
+            "10.0.0.0/8",
+            "10.0.0.0/16",
+            "10.0.0.0/24",
+            "10.5.0.0/16",
+            "10.0.0.0/7",
+            "192.0.2.0/24",
+            "2001:db8::/32",
+            "2001:db8::/48",
+            "2001:db9::/32",
+        ] {
+            for origin in [0u32, 1, 2, 3, 77] {
+                let q = p(q);
+                assert_eq!(
+                    index.validate(&q, Asn(origin)),
+                    validate_irr(&reg, &q, Asn(origin)),
+                    "query {q} origin {origin}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let reg = sample_registry();
+        let index = CompiledIrrIndex::build(&reg);
+        let queries = vec![
+            (p("10.0.0.0/24"), Asn(2)),
+            (p("10.0.0.0/16"), Asn(3)),
+            (p("192.0.2.0/24"), Asn(1)),
+            (p("10.0.0.0/16"), Asn(7)),
+        ];
+        let statuses = index.validate_batch(&queries);
+        let expected: Vec<IrrStatus> =
+            queries.iter().map(|(q, o)| validate_irr(&reg, q, *o)).collect();
+        assert_eq!(statuses, expected);
+        assert_eq!(
+            statuses,
+            vec![
+                IrrStatus::InvalidLength,
+                IrrStatus::Valid,
+                IrrStatus::NotFound,
+                IrrStatus::InvalidAsn,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_registry() {
+        let index = CompiledIrrIndex::build(&IrrRegistry::new());
+        assert_eq!(index.candidate_count(), 0);
+        assert_eq!(index.validate(&p("10.0.0.0/8"), Asn(1)), IrrStatus::NotFound);
+        assert!(index.validate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let reg = sample_registry();
+        assert_eq!(CompiledIrrIndex::build(&reg), CompiledIrrIndex::build(&reg));
+    }
+}

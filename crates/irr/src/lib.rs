@@ -17,14 +17,19 @@
 //! * [`validation`] — IRR validity of a (prefix, origin) pair using the
 //!   paper's §6.1 rule: the RPKI algorithm with each route object's own
 //!   prefix length standing in for the missing maxLength attribute.
+//! * [`compiled`] — the batch engine: [`CompiledIrrIndex`] freezes the
+//!   merged registry into a struct-of-arrays covering index for
+//!   allocation-free, batched classification.
 
 pub mod asset;
+pub mod compiled;
 pub mod database;
 pub mod object;
 pub mod rpsl;
 pub mod validation;
 
 pub use asset::expand_as_set;
+pub use compiled::CompiledIrrIndex;
 pub use database::{IrrDatabase, IrrRegistry};
 pub use object::{AsSet, AsSetMember, AutNum, Mntner, RouteObject, RpslObject};
 pub use validation::{validate_irr, IrrStatus};

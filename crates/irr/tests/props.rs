@@ -2,15 +2,42 @@
 //! against a naive oracle.
 
 use manrs_irr::{
-    validate_irr, IrrDatabase, IrrRegistry, IrrStatus, RouteObject, RpslObject,
+    validate_irr, CompiledIrrIndex, IrrDatabase, IrrRegistry, IrrStatus, RouteObject,
+    RpslObject,
 };
-use manrs_net::{Asn, Date, Ipv4Prefix, Prefix};
+use manrs_net::{Asn, Date, Ipv4Prefix, Ipv6Prefix, Prefix};
 use proptest::prelude::*;
 
 fn prefix() -> impl Strategy<Value = Prefix> {
     (0u32..8, 8u8..=28).prop_map(|(net, len)| {
         let bits = 0x0A00_0000 | (net << 20);
         Prefix::V4(Ipv4Prefix::from_bits_truncated(bits, len).unwrap())
+    })
+}
+
+/// Clustered space over both families (~25% v6, 2001:db8 subnets) so
+/// both family tries and the shared arena get exercised.
+fn any_prefix() -> impl Strategy<Value = Prefix> {
+    (0u8..4, 0u32..8, 0u8..=20).prop_map(|(fam, net, extra)| {
+        if fam == 0 {
+            let bits =
+                0x2001_0db8_0000_0000_0000_0000_0000_0000u128 | ((net as u128) << 88);
+            Prefix::V6(Ipv6Prefix::from_bits_truncated(bits, 32 + extra).unwrap())
+        } else {
+            let bits = 0x0A00_0000 | (net << 20);
+            Prefix::V4(Ipv4Prefix::from_bits_truncated(bits, 8 + extra).unwrap())
+        }
+    })
+}
+
+fn route_object_any() -> impl Strategy<Value = RouteObject> {
+    (any_prefix(), 1u32..6, 0i64..3000).prop_map(|(prefix, origin, age)| RouteObject {
+        prefix,
+        origin: Asn(origin),
+        descr: String::new(),
+        mnt_by: "MAINT-PROP".into(),
+        source: "RADB".into(),
+        last_modified: Date::ymd(2014, 1, 1).plus_days(age),
     })
 }
 
@@ -80,6 +107,33 @@ proptest! {
             validate_irr(&reg, &query, Asn(origin)),
             oracle(&routes, &query, Asn(origin))
         );
+    }
+
+    /// The compiled batch engine agrees bit-for-bit with the scalar
+    /// validator over mixed-family registries (duplicate prefixes
+    /// across origins included) and query batches with duplicates —
+    /// including the empty registry and the empty batch.
+    #[test]
+    fn batch_matches_scalar(
+        routes in prop::collection::vec(route_object_any(), 0..25),
+        queries in prop::collection::vec((any_prefix(), 1u32..6), 0..40),
+    ) {
+        let reg = registry(&routes);
+        let index = CompiledIrrIndex::build(&reg);
+        let batch: Vec<(Prefix, Asn)> =
+            queries.iter().map(|&(p, o)| (p, Asn(o))).collect();
+        let got = index.validate_batch(&batch);
+        let want: Vec<IrrStatus> =
+            batch.iter().map(|(p, o)| validate_irr(&reg, p, *o)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Index compilation is a pure function of the registry contents.
+    #[test]
+    fn index_build_is_deterministic(routes in prop::collection::vec(route_object_any(), 0..25)) {
+        let a = registry(&routes);
+        let b = registry(&routes);
+        prop_assert_eq!(CompiledIrrIndex::build(&a), CompiledIrrIndex::build(&b));
     }
 
     /// Registering a route object for an announcement makes it Valid;

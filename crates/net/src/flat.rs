@@ -1,0 +1,403 @@
+//! Flattened covering-query index and the branch-free match kernel.
+//!
+//! [`crate::PrefixMap::covering`] answers the RFC 6811 covering query by
+//! chasing `Box`ed trie nodes and collecting `&T` references into a fresh
+//! `Vec` — fine for one-off lookups, hostile to full-table validation
+//! where millions of (prefix, origin) pairs hit the same frozen set.
+//! [`CoveringShape`] is the compiled form of that query: the trie is
+//! frozen into two flat node arrays (one per address family) whose nodes
+//! carry the *closure run* of their path — the values stored at the node
+//! **and at every ancestor** — as one contiguous `(start, len)` range in
+//! an external struct-of-arrays arena. A covering query is then a
+//! branchless-ish bit walk over `u32` indices ending in a single offset
+//! range: no pointers chased twice, no allocation, and the candidate
+//! attributes (`asns`, `max_lens`) sit in contiguous lanes the match
+//! kernel can sweep.
+//!
+//! The shape stores no values itself: [`crate::PrefixMap::flatten_shape`]
+//! emits values in arena order through a callback, and each consumer
+//! (RPKI VRPs, IRR route objects) builds its own parallel attribute
+//! arrays. Duplicating ancestor entries into every descendant run trades
+//! a little arena memory (registries nest shallowly in practice) for
+//! exactly one contiguous range per query.
+//!
+//! [`match_run`] is the shared evaluation kernel: a chunked, branch-free
+//! sweep over one candidate run computing "any candidate fully matches"
+//! and "any candidate has a matching origin" in one pass — the two bits
+//! that, with run emptiness, decide the whole RFC 6811 / IRR status
+//! lattice (Valid / InvalidLength / InvalidAsn / NotFound).
+
+use crate::asn::Asn;
+use crate::prefix::Prefix;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Sentinel for "no child" in the flat node arrays.
+pub(crate) const FLAT_NONE: u32 = u32::MAX;
+
+/// One flattened trie node: child indices into the same array plus the
+/// closure run of its root-to-node path in the external arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct FlatNode {
+    pub(crate) children: [u32; 2],
+    pub(crate) run_start: u32,
+    pub(crate) run_len: u32,
+}
+
+/// The compiled covering-query structure of a [`crate::PrefixMap`]:
+/// flat per-family node arrays whose nodes resolve a covering query to
+/// one contiguous arena range. Built by
+/// [`crate::PrefixMap::flatten_shape`]; the arena's *values* live with
+/// the caller as parallel attribute arrays.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoveringShape {
+    pub(crate) v4: Vec<FlatNode>,
+    pub(crate) v6: Vec<FlatNode>,
+    pub(crate) arena_len: usize,
+}
+
+fn walk(nodes: &[FlatNode], depth: u8, bit: impl Fn(u8) -> bool) -> Range<usize> {
+    let Some(mut node) = nodes.first() else {
+        return 0..0;
+    };
+    for i in 0..depth {
+        let child = node.children[bit(i) as usize];
+        if child == FLAT_NONE {
+            break;
+        }
+        node = &nodes[child as usize];
+    }
+    let start = node.run_start as usize;
+    start..start + node.run_len as usize
+}
+
+impl CoveringShape {
+    /// The arena range of every stored value whose prefix covers
+    /// `prefix` — the offsets of what [`crate::PrefixMap::covering`]
+    /// would have returned, with zero allocation.
+    #[inline]
+    pub fn covering_run(&self, prefix: &Prefix) -> Range<usize> {
+        match prefix {
+            Prefix::V4(p) => walk(&self.v4, p.len(), |i| p.bit(i)),
+            Prefix::V6(p) => walk(&self.v6, p.len(), |i| p.bit(i)),
+        }
+    }
+
+    /// `true` if at least one stored value covers `prefix`.
+    #[inline]
+    pub fn covers(&self, prefix: &Prefix) -> bool {
+        !self.covering_run(prefix).is_empty()
+    }
+
+    /// Total arena length (closure runs overlap-expanded, so this is
+    /// ≥ the source map's `len`).
+    pub fn arena_len(&self) -> usize {
+        self.arena_len
+    }
+}
+
+/// Lanes per chunk of the match kernel. Eight 32-bit lanes fill a
+/// 256-bit vector register; the compiler autovectorizes the fixed-width
+/// inner loop without any unstable intrinsics.
+pub const KERNEL_LANES: usize = 8;
+
+/// What one kernel sweep learns about a candidate run — together with
+/// run emptiness, enough to decide the full status lattice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchOutcome {
+    /// Some candidate matched origin **and** length (RFC 6811 "match").
+    pub any_valid: bool,
+    /// Some candidate had a matching origin (length aside) — the
+    /// InvalidLength-over-InvalidAsn precedence bit.
+    pub any_origin_match: bool,
+}
+
+/// Branch-free lane sweep of one covering candidate run.
+///
+/// `asns[i]`/`max_lens[i]` describe candidate `i`; a candidate is an
+/// *origin match* when its ASN equals `origin` (and, with
+/// `EXCLUDE_AS0`, is not AS0 — RFC 6811 AS0 ROAs authorize nobody), and
+/// *valid* when it is an origin match and `query_len <= max_lens[i]`.
+/// The IRR lattice is the same kernel with `EXCLUDE_AS0 = false` and
+/// each route object's own prefix length as its max length: a covering
+/// object's length is ≤ the query length, so `query_len <= len` is
+/// exactly the paper's "same prefix" test.
+#[inline]
+pub fn match_run<const EXCLUDE_AS0: bool>(
+    asns: &[u32],
+    max_lens: &[u8],
+    origin: Asn,
+    query_len: u8,
+) -> MatchOutcome {
+    debug_assert_eq!(asns.len(), max_lens.len());
+    let n = asns.len().min(max_lens.len());
+    let origin = origin.value();
+    let mut valid = [0u32; KERNEL_LANES];
+    let mut hit = [0u32; KERNEL_LANES];
+    let mut i = 0;
+    while i + KERNEL_LANES <= n {
+        for j in 0..KERNEL_LANES {
+            let a = asns[i + j];
+            let h = (a == origin) as u32
+                & if EXCLUDE_AS0 { (a != 0) as u32 } else { 1 };
+            hit[j] |= h;
+            valid[j] |= h & (query_len <= max_lens[i + j]) as u32;
+        }
+        i += KERNEL_LANES;
+    }
+    let mut any_hit = 0u32;
+    let mut any_valid = 0u32;
+    for j in 0..KERNEL_LANES {
+        any_hit |= hit[j];
+        any_valid |= valid[j];
+    }
+    while i < n {
+        let a = asns[i];
+        let h = (a == origin) as u32 & if EXCLUDE_AS0 { (a != 0) as u32 } else { 1 };
+        any_hit |= h;
+        any_valid |= h & (query_len <= max_lens[i]) as u32;
+        i += 1;
+    }
+    MatchOutcome { any_valid: any_valid != 0, any_origin_match: any_hit != 0 }
+}
+
+/// Reusable scratch for batched covering queries: sorting a query
+/// batch by prefix lets one trie descent serve every origin of the
+/// same prefix, and — because sorted neighbors share long common bit
+/// paths — lets each descent *resume* from the previous query's path
+/// instead of re-walking from the root. All buffers are reused across
+/// batches, so steady-state batching performs no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    order: Vec<u32>,
+    /// Node index at each depth of the previous query's walk
+    /// (`path[0]` = root, one entry per consumed bit).
+    path: Vec<u32>,
+    /// Left-aligned bits of the previous query's prefix (v4 bits sit in
+    /// the top 32), for longest-common-prefix resume.
+    prev_bits: u128,
+    prev_v6: bool,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The query indices `0..queries.len()` sorted by `(prefix, index)`
+    /// — equal prefixes stay adjacent. In-place unstable sort over a
+    /// reused buffer: allocation-free once warm. If the buffer already
+    /// holds a prefix-sorted permutation of the right length (the
+    /// common case when one pair batch is validated against several
+    /// indexes back to back), the O(n log n) sort is skipped after an
+    /// O(n) verification.
+    pub fn order_by_prefix(&mut self, queries: &[(Prefix, Asn)]) -> &[u32] {
+        assert!(queries.len() <= u32::MAX as usize, "batch too large");
+        if self.order.len() == queries.len()
+            && self
+                .order
+                .windows(2)
+                .all(|w| queries[w[0] as usize].0 <= queries[w[1] as usize].0)
+        {
+            return &self.order;
+        }
+        self.order.clear();
+        self.order.extend(0..queries.len() as u32);
+        self.order.sort_unstable_by_key(|&i| (queries[i as usize].0, i));
+        &self.order
+    }
+
+    /// Resolves the covering run of every query against `shape`,
+    /// visiting queries in prefix-sorted order and invoking
+    /// `f(original_index, run)` for each. Equal adjacent prefixes reuse
+    /// the previous run outright; distinct neighbors resume the bit
+    /// walk from their longest common bit prefix, so a sorted batch
+    /// costs amortized O(1) trie steps per query instead of O(len).
+    pub fn covering_runs(
+        &mut self,
+        shape: &CoveringShape,
+        queries: &[(Prefix, Asn)],
+        mut f: impl FnMut(usize, Range<usize>),
+    ) {
+        self.order_by_prefix(queries);
+        // The walk cache is only meaningful within one (shape, batch)
+        // sweep: start from the root.
+        self.path.clear();
+        let order = std::mem::take(&mut self.order);
+        let mut prev: Option<(Prefix, Range<usize>)> = None;
+        for &i in &order {
+            let prefix = queries[i as usize].0;
+            let run = match &prev {
+                Some((p, r)) if *p == prefix => r.clone(),
+                _ => {
+                    let r = self.walk_resumed(shape, &prefix);
+                    prev = Some((prefix, r.clone()));
+                    r
+                }
+            };
+            f(i as usize, run);
+        }
+        self.order = order;
+    }
+
+    /// One covering walk that resumes from the cached previous path at
+    /// the longest common bit prefix. Correct for any query order (the
+    /// first `lcp` trie steps of two prefixes are identical by
+    /// construction); fastest when queries arrive sorted.
+    fn walk_resumed(&mut self, shape: &CoveringShape, prefix: &Prefix) -> Range<usize> {
+        let (nodes, bits, len, v6) = match prefix {
+            Prefix::V4(p) => (&shape.v4, (p.bits() as u128) << 96, p.len(), false),
+            Prefix::V6(p) => (&shape.v6, p.bits(), p.len(), true),
+        };
+        if nodes.is_empty() {
+            self.path.clear();
+            self.prev_v6 = v6;
+            return 0..0;
+        }
+        let mut depth: usize;
+        if self.prev_v6 == v6 && !self.path.is_empty() {
+            let lcp = (self.prev_bits ^ bits).leading_zeros() as usize;
+            depth = lcp.min(self.path.len() - 1).min(len as usize);
+            self.path.truncate(depth + 1);
+        } else {
+            self.path.clear();
+            self.path.push(0);
+            depth = 0;
+        }
+        self.prev_bits = bits;
+        self.prev_v6 = v6;
+        let mut node = self.path[depth] as usize;
+        while depth < len as usize {
+            let bit = (bits >> (127 - depth)) & 1;
+            let child = nodes[node].children[bit as usize];
+            if child == FLAT_NONE {
+                break;
+            }
+            node = child as usize;
+            self.path.push(child);
+            depth += 1;
+        }
+        let start = nodes[node].run_start as usize;
+        start..start + nodes[node].run_len as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::PrefixMap;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_shape_covers_nothing() {
+        let map: PrefixMap<u8> = PrefixMap::new();
+        let mut arena: Vec<u8> = Vec::new();
+        let shape = map.flatten_shape(|&v| arena.push(v));
+        assert!(arena.is_empty());
+        assert_eq!(shape.arena_len(), 0);
+        assert!(!shape.covers(&p("10.0.0.0/8")));
+        assert_eq!(shape.covering_run(&p("::/0")), 0..0);
+    }
+
+    #[test]
+    fn runs_are_closure_expanded() {
+        let mut map = PrefixMap::new();
+        map.insert(p("10.0.0.0/8"), 8u8);
+        map.insert(p("10.1.0.0/16"), 16u8);
+        map.insert(p("11.0.0.0/8"), 11u8);
+        let mut arena: Vec<u8> = Vec::new();
+        let shape = map.flatten_shape(|&v| arena.push(v));
+        // The /16's run repeats its ancestor /8.
+        assert_eq!(shape.arena_len(), 4);
+        let run = shape.covering_run(&p("10.1.2.0/24"));
+        assert_eq!(&arena[run], &[8, 16]);
+        let run = shape.covering_run(&p("10.2.0.0/16"));
+        assert_eq!(&arena[run], &[8]);
+        let run = shape.covering_run(&p("11.5.0.0/16"));
+        assert_eq!(&arena[run], &[11]);
+        assert!(shape.covering_run(&p("12.0.0.0/8")).is_empty());
+        // Less specific than anything stored: uncovered.
+        assert!(!shape.covers(&p("10.0.0.0/7")));
+    }
+
+    #[test]
+    fn shape_agrees_with_map_covering() {
+        let mut map = PrefixMap::new();
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "192.168.0.0/16",
+            "2001:db8::/32",
+            "2001:db8:0:0:8000::/65",
+        ] {
+            map.insert(p(s), s.to_owned());
+        }
+        let mut arena: Vec<String> = Vec::new();
+        let shape = map.flatten_shape(|v| arena.push(v.clone()));
+        for q in [
+            "10.1.2.0/25",
+            "10.1.0.0/16",
+            "10.9.0.0/16",
+            "172.16.0.0/12",
+            "2001:db8:0:0:8000::/80",
+            "2001:db9::/32",
+        ] {
+            let q = p(q);
+            let want: Vec<String> = map.covering(&q).into_iter().cloned().collect();
+            let got: Vec<String> = arena[shape.covering_run(&q)].to_vec();
+            assert_eq!(got, want, "query {q}");
+            assert_eq!(shape.covers(&q), !want.is_empty());
+        }
+    }
+
+    #[test]
+    fn kernel_matches_scalar_predicates() {
+        // 20 candidates exercises both the 8-lane chunks and the tail.
+        let asns: Vec<u32> = (0..20).map(|i| i % 4).collect();
+        let lens: Vec<u8> = (0..20).map(|i| 16 + (i % 5) as u8).collect();
+        for origin in 0..5u32 {
+            for qlen in 14..=22u8 {
+                for exclude in [false, true] {
+                    let scalar_hit = asns.iter().any(|&a| {
+                        a == origin && (!exclude || a != 0)
+                    });
+                    let scalar_valid = asns.iter().zip(&lens).any(|(&a, &l)| {
+                        a == origin && (!exclude || a != 0) && qlen <= l
+                    });
+                    let out = if exclude {
+                        match_run::<true>(&asns, &lens, Asn(origin), qlen)
+                    } else {
+                        match_run::<false>(&asns, &lens, Asn(origin), qlen)
+                    };
+                    assert_eq!(out.any_origin_match, scalar_hit);
+                    assert_eq!(out.any_valid, scalar_valid);
+                }
+            }
+        }
+        // Empty run.
+        let out = match_run::<true>(&[], &[], Asn(1), 24);
+        assert_eq!(out, MatchOutcome::default());
+    }
+
+    #[test]
+    fn batch_scratch_groups_equal_prefixes() {
+        let q = [
+            (p("10.1.0.0/16"), Asn(1)),
+            (p("10.0.0.0/8"), Asn(2)),
+            (p("10.1.0.0/16"), Asn(3)),
+        ];
+        let mut scratch = BatchScratch::new();
+        let order = scratch.order_by_prefix(&q);
+        assert_eq!(order, &[1, 0, 2]);
+        // Reuse is stable.
+        let order = scratch.order_by_prefix(&q[..2]);
+        assert_eq!(order, &[1, 0]);
+    }
+}

@@ -21,6 +21,7 @@
 pub mod asn;
 pub mod date;
 pub mod error;
+pub mod flat;
 pub mod prefix;
 pub mod rir;
 pub mod space;
@@ -29,6 +30,7 @@ pub mod trie;
 pub use asn::Asn;
 pub use date::Date;
 pub use error::NetError;
+pub use flat::{match_run, BatchScratch, CoveringShape, MatchOutcome};
 pub use prefix::{AddressFamily, Ipv4Prefix, Ipv6Prefix, Prefix};
 pub use rir::Rir;
 pub use space::{AddressSpace, IntervalSet};

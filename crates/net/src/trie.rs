@@ -10,6 +10,7 @@
 //! objects may share a prefix), and keeps IPv4 and IPv6 in separate
 //! sub-tries so the bit-walk never mixes families.
 
+use crate::flat::{CoveringShape, FlatNode, FLAT_NONE};
 use crate::prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
 use serde::{Deserialize, Serialize};
 
@@ -93,6 +94,27 @@ impl<T> Trie<T> {
         &node.entries
     }
 
+    /// `true` if any value is stored on the path from the root to `key`
+    /// inclusive — `covering` emptiness without collecting anything.
+    fn covers<P: BitPath>(&self, key: P) -> bool {
+        let mut node = &self.root;
+        if !node.entries.is_empty() {
+            return true;
+        }
+        for i in 0..key.depth() {
+            match &node.children[key.bit_at(i) as usize] {
+                Some(child) => {
+                    node = child;
+                    if !node.entries.is_empty() {
+                        return true;
+                    }
+                }
+                None => return false,
+            }
+        }
+        false
+    }
+
     /// Values at every prefix on the path from the root to `key`
     /// inclusive — i.e. at every stored prefix that covers `key`.
     fn covering<'a, P: BitPath>(&'a self, key: P, out: &mut Vec<&'a T>) {
@@ -147,6 +169,64 @@ impl<T> Trie<T> {
             }
         }
         walk(&self.root, f);
+    }
+
+    /// Flattens this trie into `nodes`, emitting every stored value into
+    /// the shared arena (tracked by `arena_len`) via `emit`. Each flat
+    /// node's run is the *closure* of its path: the values at the node
+    /// and at every ancestor, re-emitted contiguously, so a covering
+    /// query resolves to exactly one range. Entry-less nodes inherit
+    /// their parent's run. Traversal order (child 0 before child 1,
+    /// entries in insertion order) is deterministic, so two flattens of
+    /// the same trie produce identical output.
+    fn flatten<'a, F: FnMut(&'a T)>(
+        &'a self,
+        nodes: &mut Vec<FlatNode>,
+        arena_len: &mut usize,
+        emit: &mut F,
+    ) {
+        fn walk<'a, T, F: FnMut(&'a T)>(
+            node: &'a Node<T>,
+            parent_run: (u32, u32),
+            path: &mut Vec<&'a [T]>,
+            nodes: &mut Vec<FlatNode>,
+            arena_len: &mut usize,
+            emit: &mut F,
+        ) {
+            let pushed = !node.entries.is_empty();
+            let run = if pushed {
+                path.push(&node.entries);
+                let start = *arena_len as u32;
+                let mut count = 0u32;
+                for slice in path.iter() {
+                    for t in *slice {
+                        emit(t);
+                        count += 1;
+                    }
+                }
+                *arena_len += count as usize;
+                (start, count)
+            } else {
+                parent_run
+            };
+            let idx = nodes.len();
+            nodes.push(FlatNode {
+                children: [FLAT_NONE; 2],
+                run_start: run.0,
+                run_len: run.1,
+            });
+            for branch in 0..2 {
+                if let Some(child) = &node.children[branch] {
+                    nodes[idx].children[branch] = nodes.len() as u32;
+                    walk(child, run, path, nodes, arena_len, emit);
+                }
+            }
+            if pushed {
+                path.pop();
+            }
+        }
+        let mut path: Vec<&[T]> = Vec::new();
+        walk(&self.root, (0, 0), &mut path, nodes, arena_len, emit);
     }
 
     /// Prunes empty leaves left behind by removals. Called opportunistically.
@@ -234,6 +314,16 @@ impl<T> PrefixMap<T> {
         }
     }
 
+    /// `true` if any stored value's prefix covers `prefix` — the
+    /// emptiness test of [`PrefixMap::covering`] without allocating the
+    /// result vector.
+    pub fn covers(&self, prefix: &Prefix) -> bool {
+        match prefix {
+            Prefix::V4(p) => self.v4.covers(*p),
+            Prefix::V6(p) => self.v6.covers(*p),
+        }
+    }
+
     /// All values whose prefix **covers** `prefix` (equal or less
     /// specific), in root-to-leaf order. This is the RFC 6811 "covering
     /// VRP" query.
@@ -282,6 +372,22 @@ impl<T> PrefixMap<T> {
         let mut out = Vec::with_capacity(self.len());
         self.for_each(|t| out.push(t));
         out
+    }
+
+    /// Compiles the map's covering-query structure into a
+    /// [`CoveringShape`], emitting every arena value (ancestor closures
+    /// included, so values repeat) through `emit` in arena order. The
+    /// caller records whatever per-value attributes it needs in parallel
+    /// arrays; `CoveringShape::covering_run` then resolves a covering
+    /// query to one contiguous index range over those arrays. The
+    /// emission order is deterministic for a given map.
+    pub fn flatten_shape<'a, F: FnMut(&'a T)>(&'a self, mut emit: F) -> CoveringShape {
+        let mut shape = CoveringShape::default();
+        let mut arena_len = 0usize;
+        self.v4.flatten(&mut shape.v4, &mut arena_len, &mut emit);
+        self.v6.flatten(&mut shape.v6, &mut arena_len, &mut emit);
+        shape.arena_len = arena_len;
+        shape
     }
 }
 
@@ -348,6 +454,26 @@ mod tests {
         assert_eq!(inside, vec![8, 16, 24]);
         assert_eq!(map.covered_by(&p("10.1.0.0/16")).len(), 2);
         assert_eq!(map.covered_by(&p("10.2.0.0/16")).len(), 0);
+    }
+
+    #[test]
+    fn covers_matches_covering_emptiness() {
+        let mut map = PrefixMap::new();
+        map.insert(p("10.0.0.0/8"), 1);
+        map.insert(p("2001:db8::/32"), 2);
+        for q in [
+            "10.0.0.0/8",
+            "10.1.2.0/24",
+            "10.0.0.0/7",
+            "11.0.0.0/8",
+            "0.0.0.0/0",
+            "2001:db8::/48",
+            "2001:db9::/32",
+        ] {
+            let q = p(q);
+            assert_eq!(map.covers(&q), !map.covering(&q).is_empty(), "query {q}");
+        }
+        assert!(!PrefixMap::<u8>::new().covers(&p("10.0.0.0/8")));
     }
 
     #[test]

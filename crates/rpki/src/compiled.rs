@@ -1,0 +1,250 @@
+//! Compiled, batch-oriented route origin validation.
+//!
+//! [`crate::validate_origin`] answers one (prefix, origin) query with one
+//! allocating trie walk — the right shape for interactive lookups, the
+//! wrong one for full-table workloads where millions of pairs are
+//! validated against the same frozen [`VrpSet`]. [`CompiledVrpIndex`]
+//! freezes the set into the flattened form of
+//! [`manrs_net::CoveringShape`]: the covering-VRP candidates of every
+//! trie path live as one contiguous run in a struct-of-arrays arena
+//! (`asns`, `max_lens`), so a covering query is an offset range and the
+//! RFC 6811 predicates sweep over dense lanes via
+//! [`manrs_net::match_run`].
+//!
+//! Batches additionally sort queries by prefix (reusable
+//! [`BatchScratch`] argsort), so all origins announced for the same
+//! prefix share one index descent. Steady-state batched validation
+//! performs zero allocations. The scalar [`crate::validate_origin`]
+//! stays untouched as the oracle; proptests in `tests/props.rs` pin the
+//! two bit-for-bit equal.
+
+use crate::validation::RpkiStatus;
+use crate::vrp::VrpSet;
+use manrs_net::{match_run, Asn, BatchScratch, CoveringShape, Prefix};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A frozen [`VrpSet`] compiled for batched RFC 6811 validation.
+///
+/// Build cost is one deterministic trie traversal; afterwards every
+/// query is allocation-free. The index is a snapshot: mutating the
+/// source set does **not** update it — rebuild after ROA churn (see
+/// `manrs_scenario::engine` for the rebuild-on-invalidation policy).
+///
+/// ```
+/// use manrs_net::{Asn, Prefix};
+/// use manrs_rpki::{CompiledVrpIndex, RpkiStatus, Vrp, VrpSet};
+///
+/// let set: VrpSet = [Vrp::new("10.0.0.0/16".parse().unwrap(), Asn(64496), 20)]
+///     .into_iter().collect();
+/// let index = CompiledVrpIndex::build(&set);
+/// let q: Prefix = "10.0.0.0/20".parse().unwrap();
+/// assert_eq!(index.validate(&q, Asn(64496)), RpkiStatus::Valid);
+/// let statuses = index.validate_batch(&[(q, Asn(64496)), (q, Asn(64497))]);
+/// assert_eq!(statuses, vec![RpkiStatus::Valid, RpkiStatus::InvalidAsn]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompiledVrpIndex {
+    shape: CoveringShape,
+    /// Candidate origin ASNs, arena order (parallel to `max_lens`).
+    asns: Vec<u32>,
+    /// Candidate maxLength values, arena order.
+    max_lens: Vec<u8>,
+}
+
+impl CompiledVrpIndex {
+    /// Compiles `set` into a batch index. Deterministic: two builds from
+    /// the same set produce identical indexes.
+    pub fn build(set: &VrpSet) -> Self {
+        let mut asns = Vec::new();
+        let mut max_lens = Vec::new();
+        let shape = set.prefix_map().flatten_shape(|vrp| {
+            asns.push(vrp.asn.value());
+            max_lens.push(vrp.max_length);
+        });
+        debug_assert_eq!(asns.len(), shape.arena_len());
+        CompiledVrpIndex { shape, asns, max_lens }
+    }
+
+    /// Number of arena candidates (covering closures expanded, so this
+    /// is ≥ the source set's `len`).
+    pub fn candidate_count(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// `true` if at least one VRP covers `prefix`.
+    pub fn is_covered(&self, prefix: &Prefix) -> bool {
+        self.shape.covers(prefix)
+    }
+
+    #[inline]
+    fn status_for(&self, run: Range<usize>, origin: Asn, query_len: u8) -> RpkiStatus {
+        if run.is_empty() {
+            return RpkiStatus::NotFound;
+        }
+        let out = match_run::<true>(
+            &self.asns[run.clone()],
+            &self.max_lens[run],
+            origin,
+            query_len,
+        );
+        if out.any_valid {
+            RpkiStatus::Valid
+        } else if out.any_origin_match {
+            RpkiStatus::InvalidLength
+        } else {
+            RpkiStatus::InvalidAsn
+        }
+    }
+
+    /// Validates one route; equivalent to
+    /// [`crate::validate_origin`] on the source set, without allocating.
+    #[inline]
+    pub fn validate(&self, prefix: &Prefix, origin: Asn) -> RpkiStatus {
+        self.status_for(self.shape.covering_run(prefix), origin, prefix.len())
+    }
+
+    /// Validates a batch of routes; `statuses[i]` corresponds to
+    /// `queries[i]`. Convenience wrapper over
+    /// [`CompiledVrpIndex::validate_batch_into`] with fresh scratch.
+    pub fn validate_batch(&self, queries: &[(Prefix, Asn)]) -> Vec<RpkiStatus> {
+        let mut out = Vec::new();
+        self.validate_batch_into(queries, &mut BatchScratch::new(), &mut out);
+        out
+    }
+
+    /// Validates a batch of routes into a reused output buffer.
+    ///
+    /// Queries are processed in prefix-sorted order so one trie descent
+    /// serves every origin of the same prefix, but `out[i]` always
+    /// corresponds to `queries[i]`. With warm `scratch` and `out`
+    /// buffers this performs no allocation.
+    pub fn validate_batch_into(
+        &self,
+        queries: &[(Prefix, Asn)],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<RpkiStatus>,
+    ) {
+        out.clear();
+        out.resize(queries.len(), RpkiStatus::NotFound);
+        scratch.covering_runs(&self.shape, queries, |i, run| {
+            let (prefix, origin) = queries[i];
+            out[i] = self.status_for(run, origin, prefix.len());
+        });
+    }
+}
+
+impl From<&VrpSet> for CompiledVrpIndex {
+    fn from(set: &VrpSet) -> Self {
+        CompiledVrpIndex::build(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validation::validate_origin;
+    use crate::vrp::Vrp;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sample_set() -> VrpSet {
+        [
+            Vrp::new(p("10.0.0.0/8"), Asn(9), 8),
+            Vrp::new(p("10.0.0.0/16"), Asn(1), 20),
+            Vrp::new(p("10.0.0.0/16"), Asn(2), 16),
+            Vrp::new(p("203.0.113.0/24"), Asn::ZERO, 24),
+            Vrp::new(p("2001:db8::/32"), Asn(1), 48),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn single_queries_match_scalar_oracle() {
+        let set = sample_set();
+        let index = CompiledVrpIndex::build(&set);
+        for q in [
+            "10.0.0.0/16",
+            "10.0.0.0/20",
+            "10.0.0.0/24",
+            "10.5.0.0/16",
+            "10.0.0.0/8",
+            "10.0.0.0/7",
+            "203.0.113.0/24",
+            "192.0.2.0/24",
+            "2001:db8::/48",
+            "2001:db8::/64",
+            "2001:db9::/32",
+        ] {
+            for origin in [0u32, 1, 2, 9, 77] {
+                let q = p(q);
+                assert_eq!(
+                    index.validate(&q, Asn(origin)),
+                    validate_origin(&set, &q, Asn(origin)),
+                    "query {q} origin {origin}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_preserves_input_order() {
+        let set = sample_set();
+        let index = CompiledVrpIndex::build(&set);
+        let queries = vec![
+            (p("203.0.113.0/24"), Asn(7)),
+            (p("10.0.0.0/20"), Asn(1)),
+            (p("192.0.2.0/24"), Asn(1)),
+            (p("10.0.0.0/20"), Asn(2)),
+            (p("10.0.0.0/16"), Asn(2)),
+        ];
+        let statuses = index.validate_batch(&queries);
+        let expected: Vec<RpkiStatus> = queries
+            .iter()
+            .map(|(q, o)| validate_origin(&set, q, *o))
+            .collect();
+        assert_eq!(statuses, expected);
+        assert_eq!(
+            statuses,
+            vec![
+                RpkiStatus::InvalidAsn,
+                RpkiStatus::Valid,
+                RpkiStatus::NotFound,
+                RpkiStatus::InvalidLength,
+                RpkiStatus::Valid,
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_set_and_empty_batch() {
+        let index = CompiledVrpIndex::build(&VrpSet::new());
+        assert_eq!(index.candidate_count(), 0);
+        assert_eq!(index.validate(&p("10.0.0.0/8"), Asn(1)), RpkiStatus::NotFound);
+        assert!(index.validate_batch(&[]).is_empty());
+        assert!(!index.is_covered(&p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let set = sample_set();
+        assert_eq!(CompiledVrpIndex::build(&set), CompiledVrpIndex::build(&set));
+        assert_eq!(CompiledVrpIndex::from(&set), CompiledVrpIndex::build(&set));
+    }
+
+    #[test]
+    fn batch_into_reuses_buffers() {
+        let set = sample_set();
+        let index = CompiledVrpIndex::build(&set);
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        let queries = vec![(p("10.0.0.0/16"), Asn(1)), (p("10.0.0.0/16"), Asn(9))];
+        index.validate_batch_into(&queries, &mut scratch, &mut out);
+        assert_eq!(out, vec![RpkiStatus::Valid, RpkiStatus::InvalidLength]);
+        index.validate_batch_into(&queries[..1], &mut scratch, &mut out);
+        assert_eq!(out, vec![RpkiStatus::Valid]);
+    }
+}

@@ -15,10 +15,15 @@
 //! * [`validation`] — RFC 6811 route origin validation of a
 //!   (prefix, origin) pair against the VRP set: `Valid`, `InvalidAsn`,
 //!   `InvalidLength`, or `NotFound`.
+//! * [`compiled`] — the batch engine: [`CompiledVrpIndex`] freezes a VRP
+//!   set into a struct-of-arrays covering index whose queries are
+//!   allocation-free and whose batches amortize the trie descent and
+//!   sweep the match predicates over contiguous candidate runs.
 //! * [`archive`] — dated VRP snapshots, modelling the monthly validated
 //!   ROA archives (2014–2022) the paper downloads from RIPE NCC.
 
 pub mod archive;
+pub mod compiled;
 pub mod relying_party;
 pub mod repository;
 pub mod roa;
@@ -26,6 +31,7 @@ pub mod validation;
 pub mod vrp;
 
 pub use archive::{parse_vrps_csv, write_vrps_csv, VrpArchive};
+pub use compiled::CompiledVrpIndex;
 pub use relying_party::{acceptance_window, RejectReason, RelyingParty, ValidationReport};
 pub use repository::{CaCertificate, CaId, RoaId, RpkiRepository, SignedRoa, TrustAnchor};
 pub use roa::Roa;

@@ -106,9 +106,15 @@ impl VrpSet {
         self.map.covering(prefix)
     }
 
-    /// `true` if at least one VRP covers `prefix`.
+    /// `true` if at least one VRP covers `prefix`. Non-allocating: this
+    /// tests path emptiness in the trie without collecting the VRPs.
     pub fn is_covered(&self, prefix: &Prefix) -> bool {
-        !self.map.covering(prefix).is_empty()
+        self.map.covers(prefix)
+    }
+
+    /// The underlying prefix trie, for compiling batch indexes.
+    pub(crate) fn prefix_map(&self) -> &PrefixMap<Vrp> {
+        &self.map
     }
 
     /// Every VRP in the set.

@@ -1,9 +1,12 @@
 //! Property tests: RFC 6811 validation against a naive oracle, and
 //! relying-party invariants.
 
-use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
+use manrs_net::{Asn, Date, Ipv4Prefix, Ipv6Prefix, Prefix, Rir};
 use manrs_rpki::repository::TrustAnchor;
-use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};
+use manrs_rpki::{
+    validate_origin, CompiledVrpIndex, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp,
+    VrpSet,
+};
 use proptest::prelude::*;
 
 /// Small clustered prefix space so VRPs and routes actually interact.
@@ -14,10 +17,36 @@ fn prefix() -> impl Strategy<Value = Prefix> {
     })
 }
 
+/// Clustered space over both families (~25% v6, 2001:db8 subnets) so
+/// the compiled index exercises both family tries and the shared arena.
+fn any_prefix() -> impl Strategy<Value = Prefix> {
+    (0u8..4, 0u32..8, 0u8..=20).prop_map(|(fam, net, extra)| {
+        if fam == 0 {
+            let bits =
+                0x2001_0db8_0000_0000_0000_0000_0000_0000u128 | ((net as u128) << 88);
+            Prefix::V6(Ipv6Prefix::from_bits_truncated(bits, 32 + extra).unwrap())
+        } else {
+            let bits = 0x0A00_0000 | (net << 20);
+            Prefix::V4(Ipv4Prefix::from_bits_truncated(bits, 8 + extra).unwrap())
+        }
+    })
+}
+
 fn vrp() -> impl Strategy<Value = Vrp> {
     (prefix(), 0u32..6, 0u8..=6).prop_map(|(p, asn, extra)| {
         let max_length = (p.len() + extra).min(32);
         Vrp::new(p, Asn(asn), max_length)
+    })
+}
+
+/// VRPs over both families; origin 0 (AS0) included deliberately.
+fn vrp_any() -> impl Strategy<Value = Vrp> {
+    (any_prefix(), 0u32..6, 0u8..=6).prop_map(|(p, asn, extra)| {
+        let family_max = match p {
+            Prefix::V4(_) => 32,
+            Prefix::V6(_) => 128,
+        };
+        Vrp::new(p, Asn(asn), (p.len() + extra).min(family_max))
     })
 }
 
@@ -66,6 +95,34 @@ proptest! {
         } else {
             prop_assert_eq!(status, RpkiStatus::Valid);
         }
+    }
+
+    /// The compiled batch engine agrees bit-for-bit with the scalar
+    /// validator over mixed-family VRP sets (AS0 and duplicate prefixes
+    /// included) and query batches with duplicate prefixes — including
+    /// the empty set and the empty batch.
+    #[test]
+    fn batch_matches_scalar(
+        vrps in prop::collection::vec(vrp_any(), 0..30),
+        queries in prop::collection::vec((any_prefix(), 0u32..6), 0..40),
+    ) {
+        let set: VrpSet = vrps.iter().copied().collect();
+        let index = CompiledVrpIndex::build(&set);
+        let batch: Vec<(Prefix, Asn)> =
+            queries.iter().map(|&(p, o)| (p, Asn(o))).collect();
+        let got = index.validate_batch(&batch);
+        let want: Vec<RpkiStatus> =
+            batch.iter().map(|(p, o)| validate_origin(&set, p, *o)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Index compilation is a pure function of the VRP set: building
+    /// twice (and from a clone) yields identical indexes.
+    #[test]
+    fn index_build_is_deterministic(vrps in prop::collection::vec(vrp_any(), 0..30)) {
+        let set: VrpSet = vrps.iter().copied().collect();
+        let again = set.clone();
+        prop_assert_eq!(CompiledVrpIndex::build(&set), CompiledVrpIndex::build(&again));
     }
 
     /// Relying-party output is monotone in repository additions: adding a

@@ -19,16 +19,16 @@ use crate::behavior::BehaviorModel;
 use crate::config::ScenarioConfig;
 use crate::enroll::enroll;
 use manrs_bgp::{
-    par_map, Announcement, CollectedRib, FilteringPolicy, ParallelConfig, PolicyTable,
-    TableCollector,
+    validate_pairs_batch, Announcement, CollectedRib, FilteringPolicy, ParallelConfig,
+    PolicyTable, TableCollector,
 };
 use manrs_core::{ManrsProgram, ManrsRegistry, PeeringDb, PeeringDbRecord};
 use manrs_ihr::{build_snapshot, IhrSnapshot};
-use manrs_irr::{validate_irr, AutNum, IrrDatabase, IrrRegistry, RouteObject};
+use manrs_irr::{AutNum, CompiledIrrIndex, IrrDatabase, IrrRegistry, RouteObject};
 use manrs_net::{Asn, Date, Prefix, Rir};
 use manrs_rpki::repository::TrustAnchor;
 use manrs_rpki::{
-    validate_origin, RelyingParty, Roa, RpkiRepository, ValidationReport, VrpSet,
+    CompiledVrpIndex, RelyingParty, Roa, RpkiRepository, ValidationReport, VrpSet,
 };
 use manrs_topology::{
     ConeAnalysis, GeneratedWorld, NetworkKind, OrgId, Prefix2As, TopologyBuilder,
@@ -440,16 +440,19 @@ impl ScenarioWorldBuilder {
 
         // --- Validation and propagation -----------------------------------
         let (vrps, rp_report) = RelyingParty::new(snapshot).validate(&repository);
-        // Per-announcement registry validation is independent per
-        // (prefix, origin): fan it out, order-preserving.
-        let announcements: Vec<Announcement> = par_map(par, &raw, |(prefix, origin)| {
-            Announcement::new(
-                *prefix,
-                *origin,
-                validate_origin(&vrps, prefix, *origin),
-                validate_irr(&irr, prefix, *origin),
-            )
-        });
+        // Whole-table validation runs through the compiled batch
+        // indexes: one build amortized over every (prefix, origin),
+        // thread-chunked, order-preserving.
+        let rpki_index = CompiledVrpIndex::build(&vrps);
+        let irr_index = CompiledIrrIndex::build(&irr);
+        let statuses = validate_pairs_batch(par, &rpki_index, &irr_index, &raw);
+        let announcements: Vec<Announcement> = raw
+            .iter()
+            .zip(statuses)
+            .map(|(&(prefix, origin), (rpki, irr))| {
+                Announcement::new(prefix, origin, rpki, irr)
+            })
+            .collect();
 
         // Vantage points: the largest cones (RouteViews-like full-table
         // peers) plus a few mid-rank viewpoints for diversity.

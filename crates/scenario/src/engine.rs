@@ -32,14 +32,20 @@
 
 use crate::build::ScenarioWorld;
 use manrs_ihr::{IhrSnapshot, SnapshotIndex};
-use manrs_irr::{validate_irr, IrrRegistry, IrrStatus, RouteObject};
-use manrs_net::{Asn, Date, Prefix, PrefixMap};
+use manrs_irr::{validate_irr, CompiledIrrIndex, IrrRegistry, IrrStatus, RouteObject};
+use manrs_net::{Asn, BatchScratch, Date, Prefix, PrefixMap};
 use manrs_rpki::{
-    acceptance_window, validate_origin, CaId, RelyingParty, RoaId, Roa, RpkiRepository,
-    RpkiStatus, Vrp, VrpSet,
+    acceptance_window, validate_origin, CaId, CompiledVrpIndex, RelyingParty, RoaId, Roa,
+    RpkiRepository, RpkiStatus, Vrp, VrpSet,
 };
 use manrs_topology::Prefix2As;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Below this many affected pairs a revalidation round uses the scalar
+/// per-pair validators; at or above it, the compiled batch indexes
+/// (rebuilt lazily if a delta invalidated them) answer the whole round.
+/// Statuses are identical either way.
+const BATCH_REVALIDATION_THRESHOLD: usize = 32;
 
 /// One typed change to the registries or the routed world. The timeline
 /// series are just streams of these applied to a [`TimelineEngine`].
@@ -152,6 +158,17 @@ pub struct TimelineEngine<'w> {
     status: Vec<(RpkiStatus, IrrStatus)>,
     snapshot: IhrSnapshot,
     index: SnapshotIndex,
+    /// Compiled VRP index over `vrps`; `None` when a delta has mutated
+    /// the set since the last build (rebuilt lazily by large rounds).
+    rpki_index: Option<CompiledVrpIndex>,
+    /// Compiled route-object index over `irr`; invalidated the same way.
+    irr_index: Option<CompiledIrrIndex>,
+    /// Reused argsort scratch for the batch revalidation rounds.
+    scratch: BatchScratch,
+    /// Reused batch query/result buffers.
+    batch_pairs: Vec<(Prefix, Asn)>,
+    batch_rpki: Vec<RpkiStatus>,
+    batch_irr: Vec<IrrStatus>,
     stats: EngineStats,
 }
 
@@ -210,10 +227,17 @@ impl<'w> TimelineEngine<'w> {
                 pairs.push(key);
             }
         }
+        // Initial validation is a full-table round: compile both
+        // indexes once and answer every pair through the batch kernels.
+        let rpki_index = CompiledVrpIndex::build(&vrps);
+        let irr_index = CompiledIrrIndex::build(&irr);
+        let mut scratch = BatchScratch::new();
+        let (mut batch_rpki, mut batch_irr) = (Vec::new(), Vec::new());
+        rpki_index.validate_batch_into(&pairs, &mut scratch, &mut batch_rpki);
+        irr_index.validate_batch_into(&pairs, &mut scratch, &mut batch_irr);
         let mut status = Vec::with_capacity(pairs.len());
-        for &(prefix, origin) in &pairs {
-            let rpki = validate_origin(&vrps, &prefix, origin);
-            let irr_status = validate_irr(&irr, &prefix, origin);
+        for (i, &(prefix, origin)) in pairs.iter().enumerate() {
+            let (rpki, irr_status) = (batch_rpki[i], batch_irr[i]);
             index.patch(&mut snapshot, prefix, origin, rpki, irr_status);
             status.push((rpki, irr_status));
         }
@@ -234,6 +258,12 @@ impl<'w> TimelineEngine<'w> {
             status,
             snapshot,
             index,
+            rpki_index: Some(rpki_index),
+            irr_index: Some(irr_index),
+            scratch,
+            batch_pairs: Vec::new(),
+            batch_rpki,
+            batch_irr,
             stats: EngineStats::default(),
         }
     }
@@ -371,11 +401,13 @@ impl<'w> TimelineEngine<'w> {
             RegistryDelta::RouteObjectAdded { object } => {
                 let prefix = object.prefix;
                 if self.irr.add_route(object) {
+                    self.irr_index = None;
                     self.mark_covered(&prefix, affected);
                 }
             }
             RegistryDelta::RouteObjectRemoved { prefix, origin } => {
                 if self.irr.remove_route(&prefix, origin) > 0 {
+                    self.irr_index = None;
                     self.mark_covered(&prefix, affected);
                 }
             }
@@ -420,17 +452,20 @@ impl<'w> TimelineEngine<'w> {
         match (previous, accepted) {
             (None, Some(vrp)) => {
                 self.vrps.insert(vrp);
+                self.rpki_index = None;
                 self.contributions.insert(id, vrp);
                 self.mark_covered(&vrp.prefix, affected);
             }
             (Some(vrp), None) => {
                 self.vrps.remove_one(&vrp);
+                self.rpki_index = None;
                 self.contributions.remove(&id);
                 self.mark_covered(&vrp.prefix, affected);
             }
             (Some(old), Some(new)) if old != new => {
                 self.vrps.remove_one(&old);
                 self.vrps.insert(new);
+                self.rpki_index = None;
                 self.contributions.insert(id, new);
                 self.mark_covered(&old.prefix, affected);
                 self.mark_covered(&new.prefix, affected);
@@ -449,16 +484,52 @@ impl<'w> TimelineEngine<'w> {
     }
 
     fn revalidate_slots(&mut self, affected: &BTreeSet<usize>) {
+        if affected.len() >= BATCH_REVALIDATION_THRESHOLD {
+            self.revalidate_slots_batch(affected);
+            return;
+        }
         for &slot in affected {
             let (prefix, origin) = self.pairs[slot];
             let rpki = validate_origin(&self.vrps, &prefix, origin);
             let irr_status = validate_irr(&self.irr, &prefix, origin);
             self.stats.pairs_revalidated += 1;
-            if (rpki, irr_status) != self.status[slot] {
-                self.status[slot] = (rpki, irr_status);
-                self.stats.rows_patched +=
-                    self.index.patch(&mut self.snapshot, prefix, origin, rpki, irr_status);
-            }
+            self.patch_slot(slot, prefix, origin, rpki, irr_status);
+        }
+    }
+
+    /// Batch revalidation round: rebuild whichever compiled index a
+    /// delta invalidated (amortized over every affected pair), then
+    /// answer the whole round through the batch kernels with the
+    /// engine's reused scratch and buffers.
+    fn revalidate_slots_batch(&mut self, affected: &BTreeSet<usize>) {
+        let rpki_index =
+            self.rpki_index.get_or_insert_with(|| CompiledVrpIndex::build(&self.vrps));
+        let irr_index =
+            self.irr_index.get_or_insert_with(|| CompiledIrrIndex::build(&self.irr));
+        self.batch_pairs.clear();
+        self.batch_pairs.extend(affected.iter().map(|&slot| self.pairs[slot]));
+        rpki_index.validate_batch_into(&self.batch_pairs, &mut self.scratch, &mut self.batch_rpki);
+        irr_index.validate_batch_into(&self.batch_pairs, &mut self.scratch, &mut self.batch_irr);
+        self.stats.pairs_revalidated += affected.len();
+        for (i, &slot) in affected.iter().enumerate() {
+            let (prefix, origin) = self.pairs[slot];
+            let (rpki, irr_status) = (self.batch_rpki[i], self.batch_irr[i]);
+            self.patch_slot(slot, prefix, origin, rpki, irr_status);
+        }
+    }
+
+    fn patch_slot(
+        &mut self,
+        slot: usize,
+        prefix: Prefix,
+        origin: Asn,
+        rpki: RpkiStatus,
+        irr_status: IrrStatus,
+    ) {
+        if (rpki, irr_status) != self.status[slot] {
+            self.status[slot] = (rpki, irr_status);
+            self.stats.rows_patched +=
+                self.index.patch(&mut self.snapshot, prefix, origin, rpki, irr_status);
         }
     }
 }

@@ -23,9 +23,9 @@
 use crate::build::ScenarioWorld;
 use crate::engine::{RegistryDelta, TimelineEngine, TimelineSnapshot};
 use manrs_bgp::Announcement;
-use manrs_irr::{validate_irr, IrrRegistry};
-use manrs_net::{Asn, Date};
-use manrs_rpki::{validate_origin, VrpSet};
+use manrs_irr::{CompiledIrrIndex, IrrRegistry};
+use manrs_net::{Asn, BatchScratch, Date, Prefix};
+use manrs_rpki::{CompiledVrpIndex, VrpSet};
 use manrs_topology::Prefix2As;
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -215,17 +215,20 @@ pub fn revalidate(
     vrps: &VrpSet,
     irr: &IrrRegistry,
 ) -> Vec<Announcement> {
+    let rpki_index = CompiledVrpIndex::build(vrps);
+    let irr_index = CompiledIrrIndex::build(irr);
+    let pairs: Vec<(Prefix, Asn)> =
+        world.announcements.iter().map(|a| (a.prefix, a.origin)).collect();
+    let mut scratch = BatchScratch::new();
+    let (mut rpki_out, mut irr_out) = (Vec::new(), Vec::new());
+    rpki_index.validate_batch_into(&pairs, &mut scratch, &mut rpki_out);
+    irr_index.validate_batch_into(&pairs, &mut scratch, &mut irr_out);
     world
         .announcements
         .iter()
-        .map(|a| {
-            Announcement::new(
-                a.prefix,
-                a.origin,
-                validate_origin(vrps, &a.prefix, a.origin),
-                validate_irr(irr, &a.prefix, a.origin),
-            )
-        })
+        .zip(rpki_out)
+        .zip(irr_out)
+        .map(|((a, rpki), irr)| Announcement::new(a.prefix, a.origin, rpki, irr))
         .collect()
 }
 
