@@ -2,8 +2,11 @@
 """Schema and invariant checks for BENCH_timeline.json.
 
 Shared by the CI smoke step (small scale) and the scheduled paper-scale
-job: every measurement carries the step-cost keys, and the incremental
-engine must beat a full rebuild per step.
+job: every measurement carries the step-cost keys, the incremental
+engine must beat a full rebuild per step, and the in-place index
+patching must hold its two structural guarantees — a warm weekly replay
+performs zero full compiled-index rebuilds, and a warm splice cycle
+performs zero heap allocations.
 """
 
 import json
@@ -25,12 +28,35 @@ def main(path: str) -> None:
             "full_secs_per_step",
             "incremental_secs_per_step",
             "pairs_revalidated_per_step",
+            "index_patches_per_step",
+            "index_rebuilds_per_step",
+            "index_rebuild_secs_per_step",
+            "patch_allocs_steady",
             "speedup",
         ):
             assert key in m, f"missing {key}"
         assert m["incremental_secs_per_step"] < m["full_secs_per_step"], (
             f"incremental step not faster than full rebuild: {m}"
         )
+        # A warm weekly replay never falls back to rebuilding the
+        # compiled indexes: every delta splices in place.
+        assert m["index_rebuilds_per_step"] == 0, (
+            f"weekly replay fell back to index rebuilds: {m}"
+        )
+        # Steady-state splices are allocation-free (measured by a
+        # counting global allocator around a warm remove/insert cycle).
+        assert m["patch_allocs_steady"] == 0, (
+            f"steady-state patch cycle hit the allocator: {m}"
+        )
+        assert m["index_rebuild_secs_per_step"] > 0, (
+            f"index rebuild cost was not measured: {m}"
+        )
+        if m["scale"] == "medium":
+            # Medium-scale churn crosses the batch threshold, so the
+            # splice path must actually be exercised there.
+            assert m["index_patches_per_step"] > 0, (
+                f"medium-scale replay applied no index patches: {m}"
+            )
     print(f"{path} schema OK")
 
 

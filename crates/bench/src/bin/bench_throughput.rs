@@ -33,7 +33,7 @@ use manrs_bgp::{
     TableCollector,
 };
 use manrs_irr::{validate_irr, CompiledIrrIndex, IrrStatus};
-use manrs_net::BatchScratch;
+use manrs_net::{match_run, match_run_autovec, Asn, BatchScratch, MatchOutcome};
 use manrs_rpki::{validate_origin, CompiledVrpIndex, RpkiStatus};
 use manrs_scenario::ScenarioWorld;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -556,6 +556,77 @@ fn measure_scale(
     });
 }
 
+/// Stage: the candidate-run match kernel in isolation — the dispatch
+/// form ([`match_run`]: explicit `std::simd` when built with
+/// `--features simd`, the autovectorized loop otherwise) against the
+/// always-compiled [`match_run_autovec`] reference, over synthetic runs
+/// spanning the length distribution compiled indexes produce (covering
+/// runs are mostly short, with a heavy tail of multi-candidate runs).
+/// Outcomes are asserted identical; `serial_secs` holds the autovec
+/// time and `parallel_secs` the dispatch time, so the stage's `speedup`
+/// reads as the explicit-SIMD gain — 1.0x by construction on a stable
+/// build, where both names resolve to the same loop.
+fn measure_kernel(out: &mut Vec<Measurement>) {
+    eprintln!("[kernel] generating synthetic runs ...");
+    // Deterministic splitmix64 stream: release bins carry no rand dep.
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let runs: Vec<(Vec<u32>, Vec<u8>)> = (0..2048usize)
+        .map(|i| {
+            // 1-lane leaves dominate; every 4th run spans one vector,
+            // every 16th spills into a masked tail past four vectors.
+            let n = match i % 16 {
+                0 => 33,
+                k if k % 4 == 0 => 9,
+                k => 1 + k % 5,
+            };
+            let asns = (0..n).map(|_| 64_500 + (next() % 8) as u32).collect();
+            let lens = (0..n).map(|_| 16 + (next() % 17) as u8).collect();
+            (asns, lens)
+        })
+        .collect();
+    let queries: Vec<(Asn, u8)> = (0..64)
+        .map(|_| (Asn(64_500 + (next() % 8) as u32), 8 + (next() % 25) as u8))
+        .collect();
+    let lanes: usize = runs.iter().map(|(a, _)| a.len()).sum::<usize>() * queries.len();
+
+    let sweep = |kernel: fn(&[u32], &[u8], Asn, u8) -> MatchOutcome| {
+        let mut checksum = 0u64;
+        for (asns, lens) in &runs {
+            for &(origin, qlen) in &queries {
+                let o = kernel(asns, lens, origin, qlen);
+                checksum = checksum
+                    .wrapping_mul(3)
+                    .wrapping_add((o.any_valid as u64) << 1 | o.any_origin_match as u64);
+            }
+        }
+        checksum
+    };
+    let reps = 5;
+    let (t_autovec, _, sum_autovec) = time_best(reps, || sweep(match_run_autovec::<true>));
+    let (t_dispatch, allocs, sum_dispatch) = time_best(reps, || sweep(match_run::<true>));
+    assert_eq!(sum_autovec, sum_dispatch, "kernel dispatch diverged from autovec");
+
+    out.push(Measurement {
+        scale: "synthetic",
+        stage: "match_kernel",
+        elements: lanes,
+        serial_secs: t_autovec,
+        parallel_secs: t_dispatch,
+        parallel_allocations: allocs,
+        peak_rss_kb: peak_rss_kb(),
+        legacy_serial_secs: None,
+        strategy_split: None,
+        batch_allocations: None,
+    });
+}
+
 fn render_json(threads: usize, measurements: &[Measurement]) -> String {
     // Hand-rendered JSON: every value is a number or a fixed-format
     // string, and keeping serde_json out of the hot path keeps this
@@ -566,6 +637,8 @@ fn render_json(threads: usize, measurements: &[Measurement]) -> String {
     // Speedup is only meaningful when host_cpus >= threads; on a
     // single-core host the parallel path can at best tie serial.
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    // Which match kernel the dispatch form resolved to in this build.
+    let _ = writeln!(json, "  \"simd_enabled\": {},", cfg!(feature = "simd"));
     json.push_str("  \"measurements\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let _ = writeln!(json, "    {{");
@@ -617,6 +690,7 @@ fn main() {
     if scales.contains("paper") {
         measure_scale(Scale::Paper, "paper", &parallel, &mut measurements);
     }
+    measure_kernel(&mut measurements);
 
     println!(
         "{:<8} {:<20} {:>10} {:>12} {:>12} {:>14} {:>12} {:>8}",

@@ -13,14 +13,51 @@
 //! every step, then per-step wall times and the engine's work counters
 //! are written to `BENCH_timeline.json` (with `host_cpus` context, like
 //! `BENCH_propagation.json`) so regressions are diffable across commits.
+//!
+//! Since the engine splices registry deltas into its compiled indexes
+//! in place, the artifact also records the patch economy: how many
+//! splices and full index rebuilds each replay performed, what one full
+//! rebuild of both compiled indexes costs at that scale (the work every
+//! splice avoids), and a steady-state allocation count for a warm
+//! remove/insert patch cycle — which must be zero, the property that
+//! makes splicing viable inside a latency-sensitive replay loop.
 
 use manrs_bench::{Scale, HARNESS_SEED};
-use manrs_irr::{validate_irr, IrrRegistry, IrrStatus};
+use manrs_irr::{validate_irr, CompiledIrrIndex, IrrRegistry, IrrStatus};
 use manrs_net::Date;
-use manrs_rpki::{validate_origin, RelyingParty, RpkiRepository, RpkiStatus};
+use manrs_rpki::{validate_origin, CompiledVrpIndex, RelyingParty, RpkiRepository, RpkiStatus};
 use manrs_scenario::{weekly_steps, RegistryDelta, ScenarioWorld, SeriesStep, TimelineEngine};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Heap-allocation counter wrapped around the system allocator, so the
+/// steady-state patch probe can assert a warm splice cycle touches the
+/// allocator zero times. Only `alloc`/`realloc` count: frees are not
+/// growth and the probe is single-threaded.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 struct Measurement {
     scale: &'static str,
@@ -31,6 +68,10 @@ struct Measurement {
     full_secs_per_step: f64,
     incremental_secs_per_step: f64,
     pairs_revalidated_per_step: f64,
+    index_patches_per_step: f64,
+    index_rebuilds_per_step: f64,
+    index_rebuild_secs_per_step: f64,
+    patch_allocs_steady: u64,
 }
 
 impl Measurement {
@@ -90,6 +131,46 @@ impl FullRebuild {
     }
 }
 
+/// What one full compiled-index rebuild costs on the end-of-replay
+/// registries: the work a successful splice avoids. Best of `reps` runs.
+fn time_index_rebuild(full: &FullRebuild, reps: usize) -> f64 {
+    let (vrps, _) = RelyingParty::new(full.date).validate(&full.repository);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let rpki = CompiledVrpIndex::build(&vrps);
+        let irr = CompiledIrrIndex::build(&full.irr);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box((&rpki, &irr));
+        best = best.min(elapsed);
+    }
+    best
+}
+
+/// Allocations performed by a warm remove/insert splice cycle. After
+/// one cycle the touched run sits at the arena tail (remove pops, the
+/// re-insert appends in place) and `reserve_headroom` has pre-grown the
+/// columns, so steady state must hit the allocator zero times.
+fn steady_state_patch_allocs(full: &FullRebuild, cycles: usize) -> u64 {
+    let (vrps, _) = RelyingParty::new(full.date).validate(&full.repository);
+    let Some(&vrp) = vrps.iter().first().copied() else {
+        return 0;
+    };
+    let mut index = CompiledVrpIndex::build(&vrps);
+    index.reserve_headroom(64);
+    // Warm-up: settle the run at the arena tail.
+    for _ in 0..4 {
+        assert!(index.apply_roa_delta(&vrp, false), "warm-up remove splice failed");
+        assert!(index.apply_roa_delta(&vrp, true), "warm-up insert splice failed");
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..cycles {
+        assert!(index.apply_roa_delta(&vrp, false), "steady remove splice failed");
+        assert!(index.apply_roa_delta(&vrp, true), "steady insert splice failed");
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
 fn measure_scale(
     scale: Scale,
     name: &'static str,
@@ -123,6 +204,8 @@ fn measure_scale(
         assert_eq!(incremental, reference, "incremental diverged from full rebuild at {:?}", step.date);
     }
     let stats = engine.take_stats();
+    let index_rebuild_secs = time_index_rebuild(&full, 3);
+    let patch_allocs = steady_state_patch_allocs(&full, 64);
 
     out.push(Measurement {
         scale: name,
@@ -133,6 +216,10 @@ fn measure_scale(
         full_secs_per_step: full_secs / weeks as f64,
         incremental_secs_per_step: incremental_secs / weeks as f64,
         pairs_revalidated_per_step: stats.pairs_revalidated as f64 / weeks as f64,
+        index_patches_per_step: stats.index_patches as f64 / weeks as f64,
+        index_rebuilds_per_step: stats.index_rebuilds as f64 / weeks as f64,
+        index_rebuild_secs_per_step: index_rebuild_secs,
+        patch_allocs_steady: patch_allocs,
     });
 }
 
@@ -159,6 +246,22 @@ fn render_json(measurements: &[Measurement]) -> String {
             "      \"pairs_revalidated_per_step\": {:.1},",
             m.pairs_revalidated_per_step
         );
+        let _ = writeln!(
+            json,
+            "      \"index_patches_per_step\": {:.1},",
+            m.index_patches_per_step
+        );
+        let _ = writeln!(
+            json,
+            "      \"index_rebuilds_per_step\": {:.1},",
+            m.index_rebuilds_per_step
+        );
+        let _ = writeln!(
+            json,
+            "      \"index_rebuild_secs_per_step\": {:.6},",
+            m.index_rebuild_secs_per_step
+        );
+        let _ = writeln!(json, "      \"patch_allocs_steady\": {},", m.patch_allocs_steady);
         let _ = writeln!(json, "      \"speedup\": {:.3}", m.speedup());
         let _ = writeln!(json, "    }}{}", if i + 1 == measurements.len() { "" } else { "," });
     }
@@ -176,12 +279,23 @@ fn main() {
     measure_scale(Scale::Medium, "medium", weeks, churn, &mut measurements);
 
     println!(
-        "{:<8} {:>6} {:>8} {:>8} {:>8} {:>14} {:>14} {:>12} {:>8}",
-        "scale", "weeks", "churn", "pairs", "deltas", "full s/step", "incr s/step", "reval/step", "speedup"
+        "{:<8} {:>6} {:>8} {:>8} {:>8} {:>14} {:>14} {:>12} {:>12} {:>10} {:>14} {:>8}",
+        "scale",
+        "weeks",
+        "churn",
+        "pairs",
+        "deltas",
+        "full s/step",
+        "incr s/step",
+        "reval/step",
+        "patch/step",
+        "rebuilds",
+        "rebuild s",
+        "speedup"
     );
     for m in &measurements {
         println!(
-            "{:<8} {:>6} {:>8} {:>8} {:>8} {:>14.6} {:>14.6} {:>12.1} {:>7.2}x",
+            "{:<8} {:>6} {:>8} {:>8} {:>8} {:>14.6} {:>14.6} {:>12.1} {:>12.1} {:>10.1} {:>14.6} {:>7.2}x",
             m.scale,
             m.weeks,
             m.churn,
@@ -190,6 +304,9 @@ fn main() {
             m.full_secs_per_step,
             m.incremental_secs_per_step,
             m.pairs_revalidated_per_step,
+            m.index_patches_per_step,
+            m.index_rebuilds_per_step,
+            m.index_rebuild_secs_per_step,
             m.speedup()
         );
     }

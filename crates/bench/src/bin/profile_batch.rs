@@ -5,12 +5,19 @@
 //! the scalar oracle's cost for comparison. Run at any scale with
 //! `MANRS_SCALE=small|medium|paper` to see where batch time goes when
 //! `BENCH_propagation.json` moves unexpectedly.
+//!
+//! With `--patch` the tool profiles the in-place arena splicing
+//! instead: per-splice wall time cold (first touch relocates runs to
+//! the arena tail) and warm (settled runs pop and re-append in place),
+//! the mean `PatchStats` counters behind each, the fragmentation the
+//! churn left behind, and what `compact()` and a full reflatten cost
+//! against it. Run it when `BENCH_timeline.json`'s patch economy moves.
 
 use manrs_bench::{Scale, HARNESS_SEED};
 use manrs_bgp::ParallelConfig;
 use manrs_irr::CompiledIrrIndex;
-use manrs_net::{Asn, BatchScratch, Prefix, PrefixMap};
-use manrs_rpki::{CompiledVrpIndex, RpkiStatus};
+use manrs_net::{Asn, BatchScratch, PatchStats, Prefix, PrefixMap};
+use manrs_rpki::{CompiledVrpIndex, RpkiStatus, Vrp};
 use manrs_scenario::ScenarioWorld;
 use std::time::Instant;
 
@@ -25,12 +32,115 @@ fn time_best(reps: usize, mut f: impl FnMut() -> u64) -> (f64, u64) {
     (best, sink)
 }
 
+/// `--patch`: decompose the cost of in-place arena splices against the
+/// rebuild they replace.
+fn profile_patch(world: &ScenarioWorld) {
+    let mut vrp_map: PrefixMap<(u32, u8)> = PrefixMap::new();
+    for vrp in world.vrps.iter() {
+        vrp_map.insert(vrp.prefix, (vrp.asn.value(), vrp.max_length));
+    }
+    let mut asns = Vec::new();
+    let mut lens = Vec::new();
+    let mut shape = vrp_map.flatten_shape(|&(a, l)| {
+        asns.push(a);
+        lens.push(l);
+    });
+    println!("arena slots: {}", shape.live_len());
+
+    // The work every successful splice avoids.
+    let (t_rebuild, _) = time_best(20, || {
+        let mut a = Vec::new();
+        let mut l = Vec::new();
+        let s = vrp_map.flatten_shape(|&(x, y)| {
+            a.push(x);
+            l.push(y);
+        });
+        s.live_len() as u64
+    });
+    println!("full reflatten: {:.1} us", t_rebuild * 1e6);
+
+    let all: Vec<Vrp> = world.vrps.iter().into_iter().copied().collect();
+    let stride = (all.len() / 512).max(1);
+    let sample: Vec<Vrp> = all.iter().step_by(stride).copied().collect();
+    println!("sampled deltas: {} (stride {stride})", sample.len());
+
+    // Cold pass: the first remove/insert cycle per site pays the run
+    // relocation to the arena tail.
+    let mut cold_stats = PatchStats::default();
+    let t = Instant::now();
+    for vrp in &sample {
+        let value = (vrp.asn.value(), vrp.max_length);
+        cold_stats.accumulate(
+            shape.patch_remove(&vrp.prefix, value, (&mut asns, &mut lens)).expect("present VRP"),
+        );
+        cold_stats.accumulate(
+            shape.patch_insert(&vrp.prefix, value, (&mut asns, &mut lens)).expect("re-insert"),
+        );
+    }
+    let cold = t.elapsed().as_secs_f64();
+    let splices = 2 * sample.len();
+    println!(
+        "cold splice: {:.0} ns/patch (mean spine {:.2}, slots moved {:.2}, nodes fixed {:.2})",
+        cold * 1e9 / splices as f64,
+        cold_stats.spine_steps as f64 / splices as f64,
+        cold_stats.slots_moved as f64 / splices as f64,
+        cold_stats.nodes_fixed as f64 / splices as f64,
+    );
+
+    // Warm passes: settled runs pop off and re-append at the tail.
+    let mut warm_stats = PatchStats::default();
+    let reps = 5;
+    let t = Instant::now();
+    for _ in 0..reps {
+        for vrp in &sample {
+            let value = (vrp.asn.value(), vrp.max_length);
+            warm_stats.accumulate(
+                shape.patch_remove(&vrp.prefix, value, (&mut asns, &mut lens)).expect("present"),
+            );
+            warm_stats.accumulate(
+                shape.patch_insert(&vrp.prefix, value, (&mut asns, &mut lens)).expect("splice"),
+            );
+        }
+    }
+    let warm = t.elapsed().as_secs_f64();
+    let warm_splices = reps * splices;
+    println!(
+        "warm splice: {:.0} ns/patch (mean spine {:.2}, slots moved {:.2}, nodes fixed {:.2})",
+        warm * 1e9 / warm_splices as f64,
+        warm_stats.spine_steps as f64 / warm_splices as f64,
+        warm_stats.slots_moved as f64 / warm_splices as f64,
+        warm_stats.nodes_fixed as f64 / warm_splices as f64,
+    );
+    println!(
+        "splice vs reflatten: {:.0}x cheaper warm",
+        t_rebuild / (warm / warm_splices as f64).max(1e-12)
+    );
+
+    println!(
+        "fragmentation after churn: {:.3} ({} live / {} dead slots)",
+        shape.fragmentation(),
+        shape.live_len(),
+        asns.len() - shape.live_len(),
+    );
+    let t = Instant::now();
+    shape.compact((&mut asns, &mut lens));
+    println!(
+        "compact(): {:.1} us (fragmentation {:.3} after)",
+        t.elapsed().as_secs_f64() * 1e6,
+        shape.fragmentation()
+    );
+}
+
 fn main() {
     let scale = Scale::from_env();
     let parallel = ParallelConfig::from_env();
     let world = ScenarioWorld::builder(scale.config(HARNESS_SEED))
         .parallel(parallel)
         .build();
+    if std::env::args().any(|a| a == "--patch") {
+        profile_patch(&world);
+        return;
+    }
     let pairs: Vec<(Prefix, Asn)> = world
         .announcements
         .iter()

@@ -22,12 +22,20 @@ use manrs_net::{match_run, Asn, BatchScratch, CoveringShape, Prefix, PrefixMap};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
+/// Fragmentation ratio past which a successful
+/// [`CompiledIrrIndex::apply_object_delta`] compacts the arena (see the
+/// identically-valued constant in `manrs_rpki::compiled` for the
+/// rationale).
+const COMPACT_FRAGMENTATION: f64 = 0.5;
+
 /// A frozen [`IrrRegistry`] compiled for batched validity
 /// classification across every database.
 ///
 /// Build cost is one merge of all databases plus one deterministic trie
 /// traversal; afterwards every query is allocation-free. The index is a
-/// snapshot — rebuild after route-object churn.
+/// snapshot — single-object churn can be mirrored in place with
+/// [`CompiledIrrIndex::apply_object_delta`], structural churn calls for
+/// a rebuild.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompiledIrrIndex {
     shape: CoveringShape,
@@ -61,9 +69,50 @@ impl CompiledIrrIndex {
         CompiledIrrIndex { shape, origins, lens }
     }
 
-    /// Number of arena candidates (covering closures expanded).
+    /// Number of live arena candidates (covering closures expanded;
+    /// patch-abandoned slots are not counted).
     pub fn candidate_count(&self) -> usize {
-        self.origins.len()
+        self.shape.live_len()
+    }
+
+    /// Splices one route-object addition (`added = true`) or removal
+    /// into the compiled form. The build merges **every** database, with
+    /// one candidate per registered copy — so a registry-level removal
+    /// that strips `n` databases must be mirrored by `n` calls here.
+    /// Classification only reads `(origin, prefix length)`, so those are
+    /// the whole delta. Returns `false` when the splice cannot be
+    /// applied (overflow, or removing an object the index never held):
+    /// the index must then be discarded and rebuilt.
+    ///
+    /// Patching preserves classification outcomes, not arena layout.
+    /// Crossing [`COMPACT_FRAGMENTATION`] triggers an automatic
+    /// compaction.
+    pub fn apply_object_delta(&mut self, prefix: &Prefix, origin: Asn, added: bool) -> bool {
+        let value = (origin.value(), prefix.len());
+        let cols = (&mut self.origins, &mut self.lens);
+        let ok = if added {
+            self.shape.patch_insert(prefix, value, cols).is_some()
+        } else {
+            self.shape.patch_remove(prefix, value, cols).is_some()
+        };
+        if ok && self.shape.fragmentation() > COMPACT_FRAGMENTATION {
+            self.shape.compact((&mut self.origins, &mut self.lens));
+        }
+        ok
+    }
+
+    /// Share of the arena abandoned by patches (see
+    /// [`CoveringShape::fragmentation`]).
+    pub fn fragmentation(&self) -> f64 {
+        self.shape.fragmentation()
+    }
+
+    /// Pre-reserves arena capacity for `slots` future splice slots so a
+    /// bounded run of [`CompiledIrrIndex::apply_object_delta`] calls
+    /// performs no allocation.
+    pub fn reserve_headroom(&mut self, slots: usize) {
+        self.origins.reserve(slots);
+        self.lens.reserve(slots);
     }
 
     /// `true` if at least one route object covers `prefix`.
@@ -230,5 +279,46 @@ mod tests {
     fn build_is_deterministic() {
         let reg = sample_registry();
         assert_eq!(CompiledIrrIndex::build(&reg), CompiledIrrIndex::build(&reg));
+    }
+
+    #[test]
+    fn object_deltas_match_rebuild() {
+        let mut reg = sample_registry();
+        let mut index = CompiledIrrIndex::build(&reg);
+        // Mirror registry mutations delta-by-delta: additions go to one
+        // database, removals strip every database (one splice per
+        // stripped copy).
+        let script: [(&str, u32, bool); 4] = [
+            ("10.0.0.0/24", 2, true),
+            ("10.0.0.0/16", 2, false),
+            ("192.0.2.0/24", 9, true),
+            ("2001:db8::/32", 1, false),
+        ];
+        for (s, origin, added) in script {
+            let prefix = p(s);
+            if added {
+                assert!(reg.add_route(route(s, origin, "RADB")));
+                assert!(index.apply_object_delta(&prefix, Asn(origin), true));
+            } else {
+                let stripped = reg.remove_route(&prefix, Asn(origin));
+                assert!(stripped > 0);
+                for _ in 0..stripped {
+                    assert!(index.apply_object_delta(&prefix, Asn(origin), false));
+                }
+            }
+            let rebuilt = CompiledIrrIndex::build(&reg);
+            assert_eq!(index.candidate_count(), rebuilt.candidate_count());
+            for q in ["10.0.0.0/16", "10.0.0.0/24", "192.0.2.0/28", "2001:db8::/48"] {
+                for o in [0u32, 1, 2, 3, 9] {
+                    let q = p(q);
+                    assert_eq!(
+                        index.validate(&q, Asn(o)),
+                        rebuilt.validate(&q, Asn(o)),
+                        "query {q} origin {o} after ({s}, {origin}, {added})"
+                    );
+                }
+            }
+        }
+        assert!(!index.apply_object_delta(&p("198.51.100.0/24"), Asn(1), false));
     }
 }

@@ -25,7 +25,24 @@
 //! sweep over one candidate run computing "any candidate fully matches"
 //! and "any candidate has a matching origin" in one pass — the two bits
 //! that, with run emptiness, decide the whole RFC 6811 / IRR status
-//! lattice (Valid / InvalidLength / InvalidAsn / NotFound).
+//! lattice (Valid / InvalidLength / InvalidAsn / NotFound). The default
+//! build relies on the autovectorizer ([`match_run_autovec`]); the
+//! `simd` cargo feature swaps in an explicit `std::simd` form
+//! ([`match_run_simd`], nightly-only) with identical outcomes.
+//!
+//! # In-place patching
+//!
+//! A frozen shape no longer has to be thrown away on registry churn:
+//! [`CoveringShape::patch_insert`] / [`CoveringShape::patch_remove`]
+//! splice one `(prefix, value)` registration into the arena without a
+//! rebuild. The arena behaves as a gap buffer: removals shrink a run in
+//! place and abandon one slot, insertions grow a run in place when it
+//! sits at the arena tail and otherwise relocate it there, abandoning
+//! the old slots. Abandoned ("dead") slots are never referenced by any
+//! run; their share is reported by [`CoveringShape::fragmentation`] and
+//! reclaimed by [`CoveringShape::compact`]. Patching preserves *match
+//! outcomes* — the multiset of values each covering query resolves —
+//! not the exact arena layout a fresh flatten would produce.
 
 use crate::asn::Asn;
 use crate::prefix::Prefix;
@@ -54,6 +71,10 @@ pub struct CoveringShape {
     pub(crate) v4: Vec<FlatNode>,
     pub(crate) v6: Vec<FlatNode>,
     pub(crate) arena_len: usize,
+    /// Arena slots abandoned by patches: allocated but referenced by no
+    /// run. Always zero for a freshly flattened shape.
+    #[serde(default)]
+    pub(crate) dead: usize,
 }
 
 fn walk(nodes: &[FlatNode], depth: u8, bit: impl Fn(u8) -> bool) -> Range<usize> {
@@ -90,10 +111,374 @@ impl CoveringShape {
     }
 
     /// Total arena length (closure runs overlap-expanded, so this is
-    /// ≥ the source map's `len`).
+    /// ≥ the source map's `len`). After patching this is the *physical*
+    /// column length, dead slots included.
     pub fn arena_len(&self) -> usize {
         self.arena_len
     }
+
+    /// Arena slots still referenced by some run.
+    pub fn live_len(&self) -> usize {
+        self.arena_len - self.dead
+    }
+
+    /// Share of the arena occupied by dead (patch-abandoned) slots, in
+    /// `[0, 1)`. Fresh shapes report `0.0`; consumers compact past a
+    /// threshold of their choosing.
+    pub fn fragmentation(&self) -> f64 {
+        if self.arena_len == 0 {
+            0.0
+        } else {
+            self.dead as f64 / self.arena_len as f64
+        }
+    }
+
+    /// Splices one `(prefix, value)` registration into the shape and its
+    /// parallel columns, equivalent in match outcomes to re-flattening
+    /// the source map with the value inserted. Missing trie spine nodes
+    /// are created; the target's closure run and every descendant run
+    /// gain one copy of `value` (closure runs re-emit ancestors, so each
+    /// own-run below the target splices independently). Cost is
+    /// O(spine + subtree nodes + relocated slots); steady-state splices
+    /// allocate nothing once the columns carry spare capacity.
+    ///
+    /// Returns `None` when the splice cannot be represented (`u32`
+    /// index overflow) — the shape may then be partially modified and
+    /// **must be discarded and rebuilt** by the caller.
+    pub fn patch_insert(
+        &mut self,
+        prefix: &Prefix,
+        value: (u32, u8),
+        cols: (&mut Vec<u32>, &mut Vec<u8>),
+    ) -> Option<PatchStats> {
+        debug_assert_eq!(cols.0.len(), cols.1.len());
+        debug_assert_eq!(cols.0.len(), self.arena_len);
+        let (bits, len, v6) = split_prefix(prefix);
+        let nodes = if v6 { &mut self.v6 } else { &mut self.v4 };
+        // Worst-case growth of one splice is bounded by the arena
+        // itself (relocating the longest run), and the spine adds at
+        // most 128 nodes: one conservative up-front check keeps every
+        // later u32 narrowing infallible.
+        if cols.0.len() >= (u32::MAX / 2) as usize
+            || nodes.len() + len as usize + 1 >= FLAT_NONE as usize
+        {
+            return None;
+        }
+        let mut stats = PatchStats::default();
+        if nodes.is_empty() {
+            nodes.push(FlatNode { children: [FLAT_NONE; 2], run_start: 0, run_len: 0 });
+        }
+        // Spine walk, creating missing nodes as run-inheriting children.
+        let mut node_idx = 0usize;
+        let mut parent_run = (0u32, 0u32);
+        for depth in 0..len {
+            let bit = ((bits >> (127 - depth)) & 1) as usize;
+            let run = (nodes[node_idx].run_start, nodes[node_idx].run_len);
+            let child = nodes[node_idx].children[bit];
+            node_idx = if child == FLAT_NONE {
+                let new_idx = nodes.len() as u32;
+                nodes.push(FlatNode { children: [FLAT_NONE; 2], run_start: run.0, run_len: run.1 });
+                nodes[node_idx].children[bit] = new_idx;
+                new_idx as usize
+            } else {
+                child as usize
+            };
+            parent_run = run;
+            stats.spine_steps += 1;
+        }
+        let t_run = (nodes[node_idx].run_start, nodes[node_idx].run_len);
+        let new_run = if t_run == parent_run {
+            // No own entries at the target (an inherited — or empty —
+            // run): allocate a fresh own run at the tail, re-emitting
+            // the inherited closure exactly as `flatten` would.
+            let (s, l) = (t_run.0 as usize, t_run.1 as usize);
+            let ns = cols.0.len() as u32;
+            cols.0.extend_from_within(s..s + l);
+            cols.1.extend_from_within(s..s + l);
+            cols.0.push(value.0);
+            cols.1.push(value.1);
+            stats.slots_moved += l;
+            (ns, t_run.1 + 1)
+        } else {
+            run_append(t_run, value, &mut (cols.0, cols.1), &mut self.dead, &mut stats)
+        };
+        nodes[node_idx].run_start = new_run.0;
+        nodes[node_idx].run_len = new_run.1;
+        fix_subtree_insert(
+            nodes,
+            node_idx,
+            t_run,
+            new_run,
+            value,
+            &mut (cols.0, cols.1),
+            &mut self.dead,
+            &mut stats,
+        );
+        self.arena_len = cols.0.len();
+        Some(stats)
+    }
+
+    /// Splices one `(prefix, value)` removal out of the shape and its
+    /// parallel columns — the inverse of
+    /// [`CoveringShape::patch_insert`]. One copy of `value` is removed
+    /// from the target's own run and from every descendant own run
+    /// (each re-emits the closure); runs shrink in place by swapping the
+    /// victim to the run end, so nothing relocates and exactly one slot
+    /// per spliced run goes dead (tail runs pop instead).
+    ///
+    /// Returns `None` when `(prefix, value)` is not registered — for a
+    /// consistent caller that is a no-op before any mutation, but a
+    /// defensive caller should treat `None` as "discard and rebuild"
+    /// since an inconsistent shape may be left partially modified.
+    pub fn patch_remove(
+        &mut self,
+        prefix: &Prefix,
+        value: (u32, u8),
+        cols: (&mut Vec<u32>, &mut Vec<u8>),
+    ) -> Option<PatchStats> {
+        debug_assert_eq!(cols.0.len(), cols.1.len());
+        debug_assert_eq!(cols.0.len(), self.arena_len);
+        let (bits, len, v6) = split_prefix(prefix);
+        let nodes = if v6 { &mut self.v6 } else { &mut self.v4 };
+        if nodes.is_empty() {
+            return None;
+        }
+        let mut stats = PatchStats::default();
+        let mut node_idx = 0usize;
+        let mut parent_run = (0u32, 0u32);
+        for depth in 0..len {
+            let bit = ((bits >> (127 - depth)) & 1) as usize;
+            let child = nodes[node_idx].children[bit];
+            if child == FLAT_NONE {
+                return None;
+            }
+            parent_run = (nodes[node_idx].run_start, nodes[node_idx].run_len);
+            node_idx = child as usize;
+            stats.spine_steps += 1;
+        }
+        let t_run = (nodes[node_idx].run_start, nodes[node_idx].run_len);
+        if t_run == parent_run {
+            // Run inherited: the target holds no own entries.
+            return None;
+        }
+        let new_run =
+            run_remove_one(t_run, value, &mut (cols.0, cols.1), &mut self.dead, &mut stats)?;
+        nodes[node_idx].run_start = new_run.0;
+        nodes[node_idx].run_len = new_run.1;
+        let ok = fix_subtree_remove(
+            nodes,
+            node_idx,
+            t_run,
+            new_run,
+            value,
+            &mut (cols.0, cols.1),
+            &mut self.dead,
+            &mut stats,
+        );
+        self.arena_len = cols.0.len();
+        if ok {
+            Some(stats)
+        } else {
+            None
+        }
+    }
+
+    /// Rewrites the arena densely, dropping every dead slot and
+    /// remapping all runs (shared inherited pairs stay shared). The one
+    /// patching operation that allocates; callers invoke it when
+    /// [`CoveringShape::fragmentation`] crosses their threshold, and may
+    /// reserve extra column capacity afterwards to keep subsequent
+    /// splices allocation-free.
+    pub fn compact(&mut self, cols: (&mut Vec<u32>, &mut Vec<u8>)) {
+        debug_assert_eq!(cols.0.len(), cols.1.len());
+        let mut new0: Vec<u32> = Vec::with_capacity(self.live_len());
+        let mut new1: Vec<u8> = Vec::with_capacity(self.live_len());
+        let mut remap: std::collections::BTreeMap<(u32, u32), (u32, u32)> =
+            std::collections::BTreeMap::new();
+        for nodes in [&mut self.v4, &mut self.v6] {
+            for node in nodes.iter_mut() {
+                let run = (node.run_start, node.run_len);
+                let new = *remap.entry(run).or_insert_with(|| {
+                    if run.1 == 0 {
+                        (0, 0)
+                    } else {
+                        let s = new0.len() as u32;
+                        let (rs, rl) = (run.0 as usize, run.1 as usize);
+                        new0.extend_from_slice(&cols.0[rs..rs + rl]);
+                        new1.extend_from_slice(&cols.1[rs..rs + rl]);
+                        (s, run.1)
+                    }
+                });
+                node.run_start = new.0;
+                node.run_len = new.1;
+            }
+        }
+        *cols.0 = new0;
+        *cols.1 = new1;
+        self.dead = 0;
+        self.arena_len = cols.0.len();
+    }
+}
+
+/// Work counters of one splice, for the cost decomposition
+/// `profile_batch --patch` reports: spine steps walked (node creation
+/// included), arena slots copied by run relocations or closure
+/// re-emissions, and subtree nodes whose run was fixed up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Trie-spine steps walked (and nodes created) reaching the target.
+    pub spine_steps: usize,
+    /// Arena slots copied while relocating or re-emitting runs.
+    pub slots_moved: usize,
+    /// Descendant nodes whose run range was rewritten.
+    pub nodes_fixed: usize,
+}
+
+impl PatchStats {
+    /// Accumulates another splice's counters (for averaging).
+    pub fn accumulate(&mut self, other: PatchStats) {
+        self.spine_steps += other.spine_steps;
+        self.slots_moved += other.slots_moved;
+        self.nodes_fixed += other.nodes_fixed;
+    }
+}
+
+/// Left-aligned query bits, bit length, and family of a prefix (the
+/// same convention as `BatchScratch::walk_resumed`).
+fn split_prefix(prefix: &Prefix) -> (u128, u8, bool) {
+    match prefix {
+        Prefix::V4(p) => ((p.bits() as u128) << 96, p.len(), false),
+        Prefix::V6(p) => (p.bits(), p.len(), true),
+    }
+}
+
+/// Appends `value` to an own run: in place when the run ends at the
+/// arena tail, otherwise by relocating the whole run to the tail (the
+/// old slots go dead).
+fn run_append(
+    run: (u32, u32),
+    value: (u32, u8),
+    cols: &mut (&mut Vec<u32>, &mut Vec<u8>),
+    dead: &mut usize,
+    stats: &mut PatchStats,
+) -> (u32, u32) {
+    let (s, l) = (run.0 as usize, run.1 as usize);
+    if s + l == cols.0.len() {
+        cols.0.push(value.0);
+        cols.1.push(value.1);
+        (run.0, run.1 + 1)
+    } else {
+        let ns = cols.0.len() as u32;
+        cols.0.extend_from_within(s..s + l);
+        cols.1.extend_from_within(s..s + l);
+        cols.0.push(value.0);
+        cols.1.push(value.1);
+        *dead += l;
+        stats.slots_moved += l;
+        (ns, run.1 + 1)
+    }
+}
+
+/// Removes one copy of `value` from an own run by swapping it to the
+/// run end and shrinking; the abandoned slot goes dead unless the run
+/// ends at the arena tail (then the columns pop). `None` if the run
+/// holds no copy.
+fn run_remove_one(
+    run: (u32, u32),
+    value: (u32, u8),
+    cols: &mut (&mut Vec<u32>, &mut Vec<u8>),
+    dead: &mut usize,
+    stats: &mut PatchStats,
+) -> Option<(u32, u32)> {
+    let (s, l) = (run.0 as usize, run.1 as usize);
+    let idx = (s..s + l).find(|&i| cols.0[i] == value.0 && cols.1[i] == value.1)?;
+    let last = s + l - 1;
+    cols.0.swap(idx, last);
+    cols.1.swap(idx, last);
+    if last + 1 == cols.0.len() {
+        cols.0.pop();
+        cols.1.pop();
+    } else {
+        *dead += 1;
+    }
+    stats.slots_moved += 1;
+    Some((run.0, run.1 - 1))
+}
+
+/// Propagates an insertion below the spliced node: children sharing the
+/// old (inherited) run adopt the new one and recurse with the same
+/// pair; children with own runs splice `value` into them and recurse
+/// with their own old/new pair. An own run shrunk to emptiness is
+/// indistinguishable from inheritance, and treating it as inherited is
+/// outcome-equivalent (both denote "no own contribution").
+#[allow(clippy::too_many_arguments)]
+fn fix_subtree_insert(
+    nodes: &mut [FlatNode],
+    idx: usize,
+    old_run: (u32, u32),
+    new_run: (u32, u32),
+    value: (u32, u8),
+    cols: &mut (&mut Vec<u32>, &mut Vec<u8>),
+    dead: &mut usize,
+    stats: &mut PatchStats,
+) {
+    for branch in 0..2 {
+        let c = nodes[idx].children[branch];
+        if c == FLAT_NONE {
+            continue;
+        }
+        let ci = c as usize;
+        let c_run = (nodes[ci].run_start, nodes[ci].run_len);
+        let (o, n) = if c_run == old_run {
+            (old_run, new_run)
+        } else {
+            (c_run, run_append(c_run, value, cols, dead, stats))
+        };
+        nodes[ci].run_start = n.0;
+        nodes[ci].run_len = n.1;
+        stats.nodes_fixed += 1;
+        fix_subtree_insert(nodes, ci, o, n, value, cols, dead, stats);
+    }
+}
+
+/// Propagates a removal below the spliced node (see
+/// [`fix_subtree_insert`]); `false` if some own run unexpectedly held
+/// no copy of `value` — an inconsistency the caller must repair by
+/// rebuilding.
+#[allow(clippy::too_many_arguments)]
+fn fix_subtree_remove(
+    nodes: &mut [FlatNode],
+    idx: usize,
+    old_run: (u32, u32),
+    new_run: (u32, u32),
+    value: (u32, u8),
+    cols: &mut (&mut Vec<u32>, &mut Vec<u8>),
+    dead: &mut usize,
+    stats: &mut PatchStats,
+) -> bool {
+    for branch in 0..2 {
+        let c = nodes[idx].children[branch];
+        if c == FLAT_NONE {
+            continue;
+        }
+        let ci = c as usize;
+        let c_run = (nodes[ci].run_start, nodes[ci].run_len);
+        let (o, n) = if c_run == old_run {
+            (old_run, new_run)
+        } else {
+            match run_remove_one(c_run, value, cols, dead, stats) {
+                Some(n) => (c_run, n),
+                None => return false,
+            }
+        };
+        nodes[ci].run_start = n.0;
+        nodes[ci].run_len = n.1;
+        stats.nodes_fixed += 1;
+        if !fix_subtree_remove(nodes, ci, o, n, value, cols, dead, stats) {
+            return false;
+        }
+    }
+    true
 }
 
 /// Lanes per chunk of the match kernel. Eight 32-bit lanes fill a
@@ -122,8 +507,33 @@ pub struct MatchOutcome {
 /// each route object's own prefix length as its max length: a covering
 /// object's length is ≤ the query length, so `query_len <= len` is
 /// exactly the paper's "same prefix" test.
+///
+/// Dispatches to [`match_run_simd`] when built with the `simd` cargo
+/// feature (nightly `std::simd`), and to [`match_run_autovec`]
+/// otherwise; the two are bit-for-bit identical on every input.
 #[inline]
 pub fn match_run<const EXCLUDE_AS0: bool>(
+    asns: &[u32],
+    max_lens: &[u8],
+    origin: Asn,
+    query_len: u8,
+) -> MatchOutcome {
+    #[cfg(feature = "simd")]
+    {
+        match_run_simd::<EXCLUDE_AS0>(asns, max_lens, origin, query_len)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        match_run_autovec::<EXCLUDE_AS0>(asns, max_lens, origin, query_len)
+    }
+}
+
+/// The portable form of the kernel: a fixed-width inner loop over
+/// per-lane accumulator arrays that the compiler autovectorizes on any
+/// stable toolchain. Always compiled (the `simd` build uses it as the
+/// bit-for-bit reference in tests).
+#[inline]
+pub fn match_run_autovec<const EXCLUDE_AS0: bool>(
     asns: &[u32],
     max_lens: &[u8],
     origin: Asn,
@@ -159,6 +569,69 @@ pub fn match_run<const EXCLUDE_AS0: bool>(
         i += 1;
     }
     MatchOutcome { any_valid: any_valid != 0, any_origin_match: any_hit != 0 }
+}
+
+/// Explicit `std::simd` form of the kernel: `Simd<u32, 8>` lanes with a
+/// masked tail instead of a scalar remainder loop. Outcomes are
+/// bit-for-bit identical to [`match_run_autovec`]; the explicit form
+/// removes the autovectorizer from the trust base and keeps the tail
+/// branch-free. Nightly-only, behind the `simd` cargo feature.
+///
+/// The tail is handled by masking rather than sentinel padding — a
+/// sentinel would need a value no legitimate candidate can carry, and
+/// every `u32` is a legitimate ASN.
+#[cfg(feature = "simd")]
+#[inline]
+pub fn match_run_simd<const EXCLUDE_AS0: bool>(
+    asns: &[u32],
+    max_lens: &[u8],
+    origin: Asn,
+    query_len: u8,
+) -> MatchOutcome {
+    use std::simd::prelude::*;
+
+    debug_assert_eq!(asns.len(), max_lens.len());
+    let n = asns.len().min(max_lens.len());
+    let origin_v = Simd::<u32, KERNEL_LANES>::splat(origin.value());
+    let zero = Simd::<u32, KERNEL_LANES>::splat(0);
+    let qlen_v = Simd::<u32, KERNEL_LANES>::splat(query_len as u32);
+    let mut any_hit = Mask::<i32, KERNEL_LANES>::splat(false);
+    let mut any_valid = Mask::<i32, KERNEL_LANES>::splat(false);
+    let mut lens = [0u32; KERNEL_LANES];
+    let mut i = 0;
+    while i + KERNEL_LANES <= n {
+        let a = Simd::<u32, KERNEL_LANES>::from_slice(&asns[i..i + KERNEL_LANES]);
+        for j in 0..KERNEL_LANES {
+            lens[j] = max_lens[i + j] as u32;
+        }
+        let l = Simd::<u32, KERNEL_LANES>::from_array(lens);
+        let mut h = a.simd_eq(origin_v);
+        if EXCLUDE_AS0 {
+            h &= a.simd_ne(zero);
+        }
+        any_hit |= h;
+        any_valid |= h & qlen_v.simd_le(l);
+        i += KERNEL_LANES;
+    }
+    let rem = n - i;
+    if rem > 0 {
+        let mut a_arr = [0u32; KERNEL_LANES];
+        a_arr[..rem].copy_from_slice(&asns[i..n]);
+        lens = [0u32; KERNEL_LANES];
+        for j in 0..rem {
+            lens[j] = max_lens[i + j] as u32;
+        }
+        let live = Mask::<i32, KERNEL_LANES>::from_bitmask((1u64 << rem) - 1);
+        let a = Simd::<u32, KERNEL_LANES>::from_array(a_arr);
+        let l = Simd::<u32, KERNEL_LANES>::from_array(lens);
+        let mut h = a.simd_eq(origin_v) & live;
+        if EXCLUDE_AS0 {
+            h &= a.simd_ne(zero);
+        }
+        any_hit |= h;
+        any_valid |= h & qlen_v.simd_le(l);
+    }
+    MatchOutcome { any_valid: any_valid.any(), any_origin_match: any_hit.any() }
 }
 
 /// Reusable scratch for batched covering queries: sorting a query
@@ -399,5 +872,194 @@ mod tests {
         // Reuse is stable.
         let order = scratch.order_by_prefix(&q[..2]);
         assert_eq!(order, &[1, 0]);
+    }
+
+    fn flatten_cols(map: &PrefixMap<(u32, u8)>) -> (CoveringShape, Vec<u32>, Vec<u8>) {
+        let mut asns = Vec::new();
+        let mut lens = Vec::new();
+        let shape = map.flatten_shape(|&(a, l)| {
+            asns.push(a);
+            lens.push(l);
+        });
+        (shape, asns, lens)
+    }
+
+    /// Sorted value multiset a covering query resolves — the patching
+    /// equivalence relation (layout may differ, outcomes may not).
+    fn run_multiset(
+        shape: &CoveringShape,
+        asns: &[u32],
+        lens: &[u8],
+        q: &Prefix,
+    ) -> Vec<(u32, u8)> {
+        let mut v: Vec<(u32, u8)> =
+            shape.covering_run(q).map(|i| (asns[i], lens[i])).collect();
+        v.sort_unstable();
+        v
+    }
+
+    const PROBES: [&str; 8] = [
+        "10.0.0.0/8",
+        "10.1.0.0/16",
+        "10.1.2.0/24",
+        "10.1.2.0/25",
+        "10.9.0.0/16",
+        "172.16.0.0/12",
+        "2001:db8::/32",
+        "2001:db8:0:0:8000::/80",
+    ];
+
+    #[test]
+    fn patched_shape_matches_reflatten() {
+        let mut map: PrefixMap<(u32, u8)> = PrefixMap::new();
+        for (s, a, l) in [
+            ("10.0.0.0/8", 65001, 16),
+            ("10.1.0.0/16", 65001, 24),
+            ("10.1.0.0/16", 65002, 20),
+            ("2001:db8::/32", 65010, 48),
+        ] {
+            map.insert(p(s), (a, l));
+        }
+        let (mut shape, mut asns, mut lens) = flatten_cols(&map);
+        // A scripted churn sequence hitting every splice path: new leaf
+        // under existing cover, new copy on an existing own run, insert
+        // at an entry-less interior node, v6, removes from middle and
+        // tail, reinsertion after removal.
+        let script: [(&str, u32, u8, bool); 9] = [
+            ("10.1.2.0/24", 65003, 25, true),
+            ("10.1.0.0/16", 65001, 22, true),
+            ("10.0.0.0/7", 64999, 8, true),
+            ("2001:db8:0:0:8000::/65", 65011, 96, true),
+            ("10.1.0.0/16", 65002, 20, false),
+            ("10.0.0.0/8", 65001, 16, false),
+            ("10.0.0.0/8", 65001, 17, true),
+            ("2001:db8::/32", 65010, 48, false),
+            ("10.1.2.0/24", 65003, 25, false),
+        ];
+        for (s, a, l, add) in script {
+            let prefix = p(s);
+            if add {
+                map.insert(prefix, (a, l));
+                let stats = shape
+                    .patch_insert(&prefix, (a, l), (&mut asns, &mut lens))
+                    .expect("insert splice");
+                assert!(stats.spine_steps as u8 == prefix.len());
+            } else {
+                let mut one = true;
+                assert_eq!(
+                    map.remove_where(&prefix, |v| {
+                        let hit = one && *v == (a, l);
+                        one &= !hit;
+                        hit
+                    }),
+                    1
+                );
+                shape
+                    .patch_remove(&prefix, (a, l), (&mut asns, &mut lens))
+                    .expect("remove splice");
+            }
+            assert_eq!(asns.len(), shape.arena_len());
+            assert_eq!(shape.live_len() + shape.dead, shape.arena_len());
+            let (fresh_shape, fresh_asns, fresh_lens) = flatten_cols(&map);
+            for q in PROBES {
+                let q = p(q);
+                assert_eq!(
+                    run_multiset(&shape, &asns, &lens, &q),
+                    run_multiset(&fresh_shape, &fresh_asns, &fresh_lens, &q),
+                    "probe {q} after ({s}, {a}, {l}, add={add})"
+                );
+            }
+        }
+        // The churn left dead slots behind; compaction reclaims them
+        // without changing any outcome.
+        assert!(shape.fragmentation() > 0.0);
+        shape.compact((&mut asns, &mut lens));
+        assert_eq!(shape.fragmentation(), 0.0);
+        assert_eq!(shape.arena_len(), shape.live_len());
+        let (fresh_shape, fresh_asns, fresh_lens) = flatten_cols(&map);
+        // A patched shape may keep closure re-emission runs at nodes a
+        // fresh flatten would prune (all own entries removed), so its
+        // live arena only bounds the fresh one from above.
+        assert!(shape.live_len() >= fresh_shape.arena_len());
+        for q in PROBES {
+            let q = p(q);
+            assert_eq!(
+                run_multiset(&shape, &asns, &lens, &q),
+                run_multiset(&fresh_shape, &fresh_asns, &fresh_lens, &q),
+            );
+        }
+    }
+
+    #[test]
+    fn patch_insert_grows_empty_shape() {
+        let map: PrefixMap<(u32, u8)> = PrefixMap::new();
+        let (mut shape, mut asns, mut lens) = flatten_cols(&map);
+        shape
+            .patch_insert(&p("192.0.2.0/24"), (65000, 24), (&mut asns, &mut lens))
+            .expect("splice into empty shape");
+        assert_eq!(
+            run_multiset(&shape, &asns, &lens, &p("192.0.2.0/28")),
+            vec![(65000, 24)]
+        );
+        assert!(!shape.covers(&p("192.0.0.0/16")));
+        assert!(shape.covering_run(&p("198.51.100.0/24")).is_empty());
+    }
+
+    #[test]
+    fn patch_remove_of_absent_value_is_a_clean_miss() {
+        let mut map: PrefixMap<(u32, u8)> = PrefixMap::new();
+        map.insert(p("10.0.0.0/8"), (65001, 16));
+        let (mut shape, mut asns, mut lens) = flatten_cols(&map);
+        let before = (shape.clone(), asns.clone(), lens.clone());
+        // Unknown prefix, and known prefix with unknown value: both
+        // miss on the spine or the target's own run, before anything
+        // mutates.
+        for (s, v) in [("10.1.0.0/16", (65001, 16)), ("10.0.0.0/8", (65009, 16))] {
+            assert!(shape.patch_remove(&p(s), v, (&mut asns, &mut lens)).is_none());
+            assert_eq!((shape.clone(), asns.clone(), lens.clone()), before);
+        }
+    }
+
+    /// The explicit-SIMD kernel must be bit-for-bit identical to the
+    /// autovectorized reference on every input, including the masked
+    /// tail and `u32::MAX` ASNs (no sentinel value is available to the
+    /// tail, so it must be masked).
+    #[cfg(feature = "simd")]
+    #[test]
+    fn simd_kernel_matches_autovec() {
+        // Deterministic pseudo-random batches via a splitmix64 walk.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for n in [0usize, 1, 7, 8, 9, 16, 23, 64, 100] {
+            let asns: Vec<u32> = (0..n)
+                .map(|_| match next() % 5 {
+                    0 => 0,
+                    1 => u32::MAX,
+                    2 => 65001,
+                    _ => (next() % 70000) as u32,
+                })
+                .collect();
+            let lens: Vec<u8> = (0..n).map(|_| (next() % 33) as u8).collect();
+            for origin in [0u32, 65001, u32::MAX, 7] {
+                for qlen in [0u8, 8, 24, 32] {
+                    assert_eq!(
+                        match_run_simd::<true>(&asns, &lens, Asn(origin), qlen),
+                        match_run_autovec::<true>(&asns, &lens, Asn(origin), qlen),
+                        "n={n} origin={origin} qlen={qlen} exclude=true"
+                    );
+                    assert_eq!(
+                        match_run_simd::<false>(&asns, &lens, Asn(origin), qlen),
+                        match_run_autovec::<false>(&asns, &lens, Asn(origin), qlen),
+                        "n={n} origin={origin} qlen={qlen} exclude=false"
+                    );
+                }
+            }
+        }
     }
 }

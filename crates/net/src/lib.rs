@@ -17,6 +17,12 @@
 //! The crate is deliberately synchronous and allocation-light: the whole
 //! pipeline is CPU-bound batch analysis, so there is no async machinery —
 //! just plain data structures with predictable behaviour.
+//!
+//! The optional `simd` cargo feature (nightly-only) swaps the match
+//! kernel in [`flat`] to an explicit `std::simd` implementation; the
+//! stable default relies on autovectorization and is outcome-identical.
+
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod asn;
 pub mod date;
@@ -30,7 +36,7 @@ pub mod trie;
 pub use asn::Asn;
 pub use date::Date;
 pub use error::NetError;
-pub use flat::{match_run, BatchScratch, CoveringShape, MatchOutcome};
+pub use flat::{match_run, match_run_autovec, BatchScratch, CoveringShape, MatchOutcome, PatchStats};
 pub use prefix::{AddressFamily, Ipv4Prefix, Ipv6Prefix, Prefix};
 pub use rir::Rir;
 pub use space::{AddressSpace, IntervalSet};

@@ -152,4 +152,84 @@ proptest! {
         }
         prop_assert_eq!(space.v4_len(), model.len() as u128);
     }
+
+    /// A CoveringShape mutated by any random patch sequence answers
+    /// every covering query with the same value multiset as a fresh
+    /// flatten of the mutated trie. Layout may differ (a patched arena
+    /// keeps closure runs a fresh flatten prunes), outcomes may not.
+    #[test]
+    fn patched_shape_matches_fresh_flatten(
+        initial in prop::collection::vec((clustered_v4_prefix(), 0u32..4, 0u8..4), 0..12),
+        ops in prop::collection::vec(
+            (clustered_v4_prefix(), 0u32..4, 0u8..4, any::<bool>()),
+            1..30,
+        ),
+    ) {
+        let mut map: PrefixMap<(u32, u8)> = PrefixMap::new();
+        for &(p, a, l) in &initial {
+            map.insert(Prefix::V4(p), (65000 + a, 24 + l));
+        }
+        let mut asns = Vec::new();
+        let mut lens = Vec::new();
+        let mut shape = map.flatten_shape(|&(a, l)| {
+            asns.push(a);
+            lens.push(l);
+        });
+        for &(p, a, l, added) in &ops {
+            let prefix = Prefix::V4(p);
+            let value = (65000 + a, 24 + l);
+            if added {
+                map.insert(prefix, value);
+                prop_assert!(shape
+                    .patch_insert(&prefix, value, (&mut asns, &mut lens))
+                    .is_some());
+            } else {
+                // Mirror VrpSet::remove_one: strip at most one copy and
+                // only splice when the trie actually held one.
+                let mut one = false;
+                let removed = map.remove_where(&prefix, |v| {
+                    if !one && *v == value {
+                        one = true;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if removed == 1 {
+                    prop_assert!(shape
+                        .patch_remove(&prefix, value, (&mut asns, &mut lens))
+                        .is_some());
+                }
+            }
+        }
+        if shape.fragmentation() > 0.3 {
+            shape.compact((&mut asns, &mut lens));
+        }
+        let mut fresh_asns = Vec::new();
+        let mut fresh_lens = Vec::new();
+        let fresh = map.flatten_shape(|&(a, l)| {
+            fresh_asns.push(a);
+            fresh_lens.push(l);
+        });
+        let probes: Vec<Prefix> = initial
+            .iter()
+            .map(|&(p, ..)| Prefix::V4(p))
+            .chain(ops.iter().map(|&(p, ..)| Prefix::V4(p)))
+            .chain([Prefix::V4(
+                Ipv4Prefix::from_bits_truncated(0x0A00_0000, 8).expect("len in range"),
+            )])
+            .collect();
+        for q in &probes {
+            let mut got: Vec<(u32, u8)> =
+                shape.covering_run(q).map(|i| (asns[i], lens[i])).collect();
+            got.sort_unstable();
+            let mut want: Vec<(u32, u8)> = fresh
+                .covering_run(q)
+                .map(|i| (fresh_asns[i], fresh_lens[i]))
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(shape.live_len() >= fresh.live_len());
+    }
 }

@@ -19,17 +19,28 @@
 //! two bit-for-bit equal.
 
 use crate::validation::RpkiStatus;
-use crate::vrp::VrpSet;
+use crate::vrp::{Vrp, VrpSet};
 use manrs_net::{match_run, Asn, BatchScratch, CoveringShape, Prefix};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
+
+/// Fragmentation ratio past which a successful
+/// [`CompiledVrpIndex::apply_roa_delta`] compacts the arena. Splices
+/// abandon at most a handful of slots each and re-splicing the same run
+/// settles at the arena tail (no further waste), so in steady state the
+/// ratio plateaus well below this; crossing it means sustained churn
+/// across many distinct runs, where one O(arena) compaction buys back
+/// both memory and kernel sweep density.
+const COMPACT_FRAGMENTATION: f64 = 0.5;
 
 /// A frozen [`VrpSet`] compiled for batched RFC 6811 validation.
 ///
 /// Build cost is one deterministic trie traversal; afterwards every
 /// query is allocation-free. The index is a snapshot: mutating the
-/// source set does **not** update it — rebuild after ROA churn (see
-/// `manrs_scenario::engine` for the rebuild-on-invalidation policy).
+/// source set does **not** update it. Single-ROA churn can be mirrored
+/// in place with [`CompiledVrpIndex::apply_roa_delta`]; structural
+/// churn calls for a rebuild (see `manrs_scenario::engine` for the
+/// patch-vs-rebuild cost model).
 ///
 /// ```
 /// use manrs_net::{Asn, Prefix};
@@ -66,10 +77,50 @@ impl CompiledVrpIndex {
         CompiledVrpIndex { shape, asns, max_lens }
     }
 
-    /// Number of arena candidates (covering closures expanded, so this
-    /// is ≥ the source set's `len`).
+    /// Number of live arena candidates (covering closures expanded, so
+    /// this is ≥ the source set's `len`; patch-abandoned slots are not
+    /// counted).
     pub fn candidate_count(&self) -> usize {
-        self.asns.len()
+        self.shape.live_len()
+    }
+
+    /// Splices one VRP addition (`added = true`) or removal into the
+    /// compiled form, exactly mirroring [`VrpSet::insert`] /
+    /// [`VrpSet::remove_one`] on the source set — one candidate copy per
+    /// call. Returns `false` when the splice cannot be applied (index
+    /// overflow, or removing a VRP the index never held): the index must
+    /// then be discarded and rebuilt from the source set.
+    ///
+    /// Patching preserves validation outcomes, not arena layout; a
+    /// patched index and a fresh [`CompiledVrpIndex::build`] classify
+    /// every query identically. Crossing [`COMPACT_FRAGMENTATION`]
+    /// triggers an automatic compaction.
+    pub fn apply_roa_delta(&mut self, vrp: &Vrp, added: bool) -> bool {
+        let value = (vrp.asn.value(), vrp.max_length);
+        let cols = (&mut self.asns, &mut self.max_lens);
+        let ok = if added {
+            self.shape.patch_insert(&vrp.prefix, value, cols).is_some()
+        } else {
+            self.shape.patch_remove(&vrp.prefix, value, cols).is_some()
+        };
+        if ok && self.shape.fragmentation() > COMPACT_FRAGMENTATION {
+            self.shape.compact((&mut self.asns, &mut self.max_lens));
+        }
+        ok
+    }
+
+    /// Share of the arena abandoned by patches (see
+    /// [`CoveringShape::fragmentation`]).
+    pub fn fragmentation(&self) -> f64 {
+        self.shape.fragmentation()
+    }
+
+    /// Pre-reserves arena capacity for `slots` future splice slots so a
+    /// bounded run of [`CompiledVrpIndex::apply_roa_delta`] calls
+    /// performs no allocation.
+    pub fn reserve_headroom(&mut self, slots: usize) {
+        self.asns.reserve(slots);
+        self.max_lens.reserve(slots);
     }
 
     /// `true` if at least one VRP covers `prefix`.
@@ -233,6 +284,42 @@ mod tests {
         let set = sample_set();
         assert_eq!(CompiledVrpIndex::build(&set), CompiledVrpIndex::build(&set));
         assert_eq!(CompiledVrpIndex::from(&set), CompiledVrpIndex::build(&set));
+    }
+
+    #[test]
+    fn roa_deltas_match_rebuild() {
+        let mut set = sample_set();
+        let mut index = CompiledVrpIndex::build(&set);
+        let deltas = [
+            (Vrp::new(p("10.0.0.0/24"), Asn(5), 28), true),
+            (Vrp::new(p("10.0.0.0/16"), Asn(1), 20), false),
+            (Vrp::new(p("192.0.2.0/24"), Asn(6), 24), true),
+            (Vrp::new(p("2001:db8::/32"), Asn(1), 48), false),
+            (Vrp::new(p("10.0.0.0/16"), Asn(1), 24), true),
+        ];
+        for (vrp, added) in deltas {
+            if added {
+                set.insert(vrp.clone());
+            } else {
+                assert!(set.remove_one(&vrp));
+            }
+            assert!(index.apply_roa_delta(&vrp, added), "delta {vrp:?}");
+            let rebuilt = CompiledVrpIndex::build(&set);
+            assert_eq!(index.candidate_count(), rebuilt.candidate_count());
+            for q in ["10.0.0.0/16", "10.0.0.0/20", "10.0.0.0/28", "192.0.2.0/28", "2001:db8::/48"]
+            {
+                for origin in [0u32, 1, 2, 5, 6, 9] {
+                    let q = p(q);
+                    assert_eq!(
+                        index.validate(&q, Asn(origin)),
+                        rebuilt.validate(&q, Asn(origin)),
+                        "query {q} origin {origin} after {vrp:?}"
+                    );
+                }
+            }
+        }
+        // Removing something the index never held reports failure.
+        assert!(!index.apply_roa_delta(&Vrp::new(p("198.51.100.0/24"), Asn(1), 24), false));
     }
 
     #[test]

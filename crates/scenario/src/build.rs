@@ -31,7 +31,7 @@ use manrs_rpki::{
     CompiledVrpIndex, RelyingParty, Roa, RpkiRepository, ValidationReport, VrpSet,
 };
 use manrs_topology::{
-    ConeAnalysis, GeneratedWorld, NetworkKind, OrgId, Prefix2As, TopologyBuilder,
+    ConeAnalysis, GeneratedWorld, NetworkKind, OrgId, Prefix2As, SizeClass, TopologyBuilder,
 };
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -177,10 +177,57 @@ impl ScenarioWorldBuilder {
         }
 
         let all_asns: Vec<Asn> = world.topology.asns().collect();
+
+        // --- Stratified behaviour draws ---------------------------------
+        // Per-AS i.i.d. Bernoulli draws give small worlds enough
+        // variance to flip the paper's §8 class orderings under an
+        // unlucky seed: one large non-member failing its 95%
+        // IRR-registration draw craters a three-AS class mean by ~30
+        // points. Quota sampling pins every behaviour cell's *realized*
+        // rate to its calibrated probability while keeping *which* AS
+        // exhibits it random: group the ASes by the exact key
+        // `BehaviorMatrix::model` resolves — (membership,
+        // CDN-membership, size class) — shuffle each cell, and mark the
+        // first round(p·n). The per-object probabilities (`rpki_correct`,
+        // `irr_stale`) get the same treatment over the cell's pooled
+        // (AS, prefix) registration slots.
+        let mut cells: BTreeMap<(bool, bool, SizeClass), Vec<Asn>> = BTreeMap::new();
+        for &asn in &all_asns {
+            let is_member = manrs.is_member_as(asn, snapshot);
+            let is_cdn = manrs.program_of(asn, snapshot) == Some(ManrsProgram::Cdn);
+            cells.entry((is_member, is_cdn, cones.size_class(asn))).or_default().push(asn);
+        }
+        let mut rpki_registrants: BTreeSet<Asn> = BTreeSet::new();
+        let mut irr_registrants: BTreeSet<Asn> = BTreeSet::new();
+        let mut rov_deployers: BTreeSet<Asn> = BTreeSet::new();
+        let mut irr_filterers: BTreeSet<Asn> = BTreeSet::new();
+        let mut contact_diligent: BTreeSet<Asn> = BTreeSet::new();
+        let mut rpki_incorrect: BTreeSet<(Asn, Prefix)> = BTreeSet::new();
+        let mut irr_stale_slots: BTreeSet<(Asn, Prefix)> = BTreeSet::new();
+        for ((is_member, is_cdn, size), pool) in &cells {
+            let model = config.behaviors.model(*is_member, *is_cdn, *size);
+            rpki_registrants.extend(quota_mark(&mut rng, pool, model.rpki_registers));
+            irr_registrants.extend(quota_mark(&mut rng, pool, model.irr_registers));
+            rov_deployers.extend(quota_mark(&mut rng, pool, model.rov_deploys));
+            irr_filterers.extend(quota_mark(&mut rng, pool, model.irr_filters_customers));
+            contact_diligent.extend(quota_mark(&mut rng, pool, model.contact_current));
+            let rpki_slots: Vec<(Asn, Prefix)> = pool
+                .iter()
+                .filter(|a| rpki_registrants.contains(a))
+                .flat_map(|&a| world.all_resources(a).into_iter().map(move |p| (a, p)))
+                .collect();
+            rpki_incorrect.extend(quota_mark(&mut rng, &rpki_slots, 1.0 - model.rpki_correct));
+            let irr_slots: Vec<(Asn, Prefix)> = pool
+                .iter()
+                .filter(|a| irr_registrants.contains(a))
+                .flat_map(|&a| world.all_resources(a).into_iter().map(move |p| (a, p)))
+                .collect();
+            irr_stale_slots.extend(quota_mark(&mut rng, &irr_slots, model.irr_stale));
+        }
+
         let not_after = Date::ymd(2030, 1, 1);
         for &asn in &all_asns {
-            let model = model_of(asn);
-            if !rng.random_bool(model.rpki_registers) {
+            if !rpki_registrants.contains(&asn) {
                 continue;
             }
             let info = world.topology.info(asn).expect("known");
@@ -202,7 +249,7 @@ impl ScenarioWorldBuilder {
                 not_before = snapshot;
             }
             for prefix in world.all_resources(asn) {
-                let correct = rng.random_bool(model.rpki_correct);
+                let correct = !rpki_incorrect.contains(&(asn, prefix));
                 let roa = if correct {
                     // maxLength leaves room for the generator's one-level
                     // de-aggregation (v4 children stop at /24, v6 at /48).
@@ -237,13 +284,12 @@ impl ScenarioWorldBuilder {
             .collect();
         let mut radb = IrrDatabase::new("RADB", None);
         for &asn in &all_asns {
-            let model = model_of(asn);
-            if !rng.random_bool(model.irr_registers) {
+            if !irr_registrants.contains(&asn) {
                 continue;
             }
             let info = world.topology.info(asn).expect("known");
             for prefix in world.all_resources(asn) {
-                let stale = rng.random_bool(model.irr_stale);
+                let stale = irr_stale_slots.contains(&(asn, prefix));
                 let (origin, last_modified) = if stale {
                     // Stale object: the outdated origin from the era the
                     // block changed hands — usually the previous holder,
@@ -282,9 +328,8 @@ impl ScenarioWorldBuilder {
         // PeeringDB record may exist, fresher for diligent networks.
         let mut peeringdb = PeeringDb::new();
         for &asn in &all_asns {
-            let model = model_of(asn);
             let info = world.topology.info(asn).expect("known");
-            let current = rng.random_bool(model.contact_current);
+            let current = contact_diligent.contains(&asn);
             let db = authoritative.get_mut(&info.rir).expect("all RIRs");
             db.add_aut_num(AutNum {
                 asn,
@@ -414,9 +459,8 @@ impl ScenarioWorldBuilder {
         let mut truth_rov = BTreeSet::new();
         let mut truth_irr_filter = BTreeSet::new();
         for &asn in &all_asns {
-            let model = model_of(asn);
-            let rov = rng.random_bool(model.rov_deploys);
-            let irr_filter = rng.random_bool(model.irr_filters_customers);
+            let rov = rov_deployers.contains(&asn);
+            let irr_filter = irr_filterers.contains(&asn);
             let is_cdn_member =
                 manrs.program_of(asn, snapshot) == Some(ManrsProgram::Cdn);
             if rov || irr_filter {
@@ -523,6 +567,19 @@ impl ScenarioWorld {
     pub fn is_member(&self, asn: Asn) -> bool {
         self.manrs.is_member_as(asn, self.config.snapshot_date)
     }
+}
+
+/// Quota (stratified) sampling: marks `round(p·n)` elements of `pool`,
+/// chosen uniformly at random. Unlike per-element Bernoulli draws, the
+/// realized rate is pinned to `p` for every cell at every seed — which
+/// element exhibits the behaviour stays random, but class-level rates
+/// (the quantities the paper's §8 orderings compare) cannot drift.
+fn quota_mark<T: Ord + Copy>(rng: &mut StdRng, pool: &[T], p: f64) -> BTreeSet<T> {
+    let mut shuffled = pool.to_vec();
+    shuffled.shuffle(rng);
+    let quota = ((pool.len() as f64) * p).round() as usize;
+    shuffled.truncate(quota.min(pool.len()));
+    shuffled.into_iter().collect()
 }
 
 /// Picks a plausible "wrong origin" for a misconfigured registration:

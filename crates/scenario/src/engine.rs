@@ -29,6 +29,16 @@
 //!   the passage of time itself into deltas: advancing the date fires
 //!   activation/expiry events for exactly the ROAs whose windows open
 //!   or close in between.
+//!
+//! The compiled batch indexes are maintained *in place*: registry
+//! deltas queue per-index pending lists, and the next batch round
+//! splices them into the frozen arenas
+//! ([`CompiledVrpIndex::apply_roa_delta`] /
+//! [`CompiledIrrIndex::apply_object_delta`]) instead of rebuilding —
+//! a calibrated cost model ([`plan_revalidation`],
+//! [`patch_beats_rebuild`]) picks scalar vs. batch rounds and
+//! patch vs. rebuild syncs, so steady weekly churn never pays a full
+//! index rebuild.
 
 use crate::build::ScenarioWorld;
 use manrs_ihr::{IhrSnapshot, SnapshotIndex};
@@ -41,11 +51,79 @@ use manrs_rpki::{
 use manrs_topology::Prefix2As;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Below this many affected pairs a revalidation round uses the scalar
-/// per-pair validators; at or above it, the compiled batch indexes
-/// (rebuilt lazily if a delta invalidated them) answer the whole round.
-/// Statuses are identical either way.
-const BATCH_REVALIDATION_THRESHOLD: usize = 32;
+/// Cost-model constants for [`plan_revalidation`] and
+/// [`patch_beats_rebuild`], in units of "one batched slot
+/// revalidation". Calibrated against the scalar-oracle and `--patch`
+/// stages of `profile_batch` at medium scale: one scalar validation
+/// (two allocating trie walks) costs a few batched slots, one arena
+/// splice costs a couple, and a full compiled-index rebuild costs a
+/// fixed setup plus a per-candidate traversal share. The constants only
+/// steer *which* equally-correct path runs, so drift on other hosts
+/// shifts thresholds without affecting results.
+const SCALAR_SLOT_COST: f64 = 6.0;
+/// Fixed overhead of one batch round (argsort + buffer setup).
+const BATCH_ROUND_BASE: f64 = 160.0;
+/// One in-place index splice (`apply_roa_delta` / `apply_object_delta`).
+const PATCH_SPLICE_COST: f64 = 2.5;
+/// Fixed cost of one compiled-index rebuild (trie merge + flatten setup).
+const REBUILD_BASE: f64 = 250.0;
+/// Per-candidate share of a compiled-index rebuild.
+const REBUILD_PER_CANDIDATE: f64 = 1.2;
+
+/// How a revalidation round answers its affected pairs; chosen by
+/// [`plan_revalidation`]. Statuses are identical either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RevalidationPath {
+    /// Per-pair scalar validators straight off the registries; the
+    /// compiled indexes stay unsynced (pending deltas keep queueing).
+    Scalar,
+    /// Sync both compiled indexes (patch or rebuild, whichever is
+    /// cheaper), then answer the whole round through the batch kernels.
+    Batch,
+}
+
+/// `true` when splicing `pending` deltas into a compiled index of
+/// `candidates` live slots is cheaper than rebuilding it from source.
+pub(crate) fn patch_beats_rebuild(pending: usize, candidates: usize) -> bool {
+    pending as f64 * PATCH_SPLICE_COST < REBUILD_BASE + candidates as f64 * REBUILD_PER_CANDIDATE
+}
+
+/// Expected cost of bringing one compiled index up to date: zero when
+/// clean, otherwise the cheaper of patching and rebuilding.
+pub(crate) fn index_sync_cost(pending: usize, candidates: usize) -> f64 {
+    if pending == 0 {
+        return 0.0;
+    }
+    let patch = pending as f64 * PATCH_SPLICE_COST;
+    let rebuild = REBUILD_BASE + candidates as f64 * REBUILD_PER_CANDIDATE;
+    patch.min(rebuild)
+}
+
+/// Picks the cheaper answer for a round of `affected` pairs given each
+/// compiled index's pending-delta queue and live candidate count. The
+/// scalar path pays per pair but nothing for index upkeep; the batch
+/// path pays a fixed base, one batched slot per pair, and whatever
+/// bringing the indexes up to date costs. Replaces the former fixed
+/// 32-pair threshold (which this model reproduces when both indexes are
+/// clean: 160 / (6 − 1) = 32).
+pub(crate) fn plan_revalidation(
+    affected: usize,
+    rpki_pending: usize,
+    rpki_candidates: usize,
+    irr_pending: usize,
+    irr_candidates: usize,
+) -> RevalidationPath {
+    let scalar = affected as f64 * SCALAR_SLOT_COST;
+    let batch = BATCH_ROUND_BASE
+        + affected as f64
+        + index_sync_cost(rpki_pending, rpki_candidates)
+        + index_sync_cost(irr_pending, irr_candidates);
+    if scalar <= batch {
+        RevalidationPath::Scalar
+    } else {
+        RevalidationPath::Batch
+    }
+}
 
 /// One typed change to the registries or the routed world. The timeline
 /// series are just streams of these applied to a [`TimelineEngine`].
@@ -106,6 +184,11 @@ pub struct EngineStats {
     pub pairs_revalidated: usize,
     /// Snapshot rows whose statuses actually changed.
     pub rows_patched: usize,
+    /// Single-delta splices applied in place to the compiled indexes.
+    pub index_patches: usize,
+    /// Full compiled-index rebuilds (construction excluded). A healthy
+    /// weekly timeline performs zero after warm-up.
+    pub index_rebuilds: usize,
 }
 
 /// A fully materialized point of a timeline: everything the yearly and
@@ -158,11 +241,19 @@ pub struct TimelineEngine<'w> {
     status: Vec<(RpkiStatus, IrrStatus)>,
     snapshot: IhrSnapshot,
     index: SnapshotIndex,
-    /// Compiled VRP index over `vrps`; `None` when a delta has mutated
-    /// the set since the last build (rebuilt lazily by large rounds).
-    rpki_index: Option<CompiledVrpIndex>,
-    /// Compiled route-object index over `irr`; invalidated the same way.
-    irr_index: Option<CompiledIrrIndex>,
+    /// Compiled VRP index over `vrps`, always present. Deltas queue in
+    /// `pending_vrp` and are spliced in (or trigger one rebuild) right
+    /// before the next batch round needs the index.
+    rpki_index: CompiledVrpIndex,
+    /// Compiled route-object index over `irr`; synced the same way from
+    /// `pending_irr`.
+    irr_index: CompiledIrrIndex,
+    /// VRP deltas (`true` = inserted) not yet reflected in `rpki_index`,
+    /// in application order.
+    pending_vrp: Vec<(Vrp, bool)>,
+    /// Route-object deltas (one entry per registered copy) not yet
+    /// reflected in `irr_index`, in application order.
+    pending_irr: Vec<(Prefix, Asn, bool)>,
     /// Reused argsort scratch for the batch revalidation rounds.
     scratch: BatchScratch,
     /// Reused batch query/result buffers.
@@ -258,8 +349,10 @@ impl<'w> TimelineEngine<'w> {
             status,
             snapshot,
             index,
-            rpki_index: Some(rpki_index),
-            irr_index: Some(irr_index),
+            rpki_index,
+            irr_index,
+            pending_vrp: Vec::new(),
+            pending_irr: Vec::new(),
             scratch,
             batch_pairs: Vec::new(),
             batch_rpki,
@@ -399,15 +492,18 @@ impl<'w> TimelineEngine<'w> {
                 }
             }
             RegistryDelta::RouteObjectAdded { object } => {
-                let prefix = object.prefix;
+                let (prefix, origin) = (object.prefix, object.origin);
                 if self.irr.add_route(object) {
-                    self.irr_index = None;
+                    self.pending_irr.push((prefix, origin, true));
                     self.mark_covered(&prefix, affected);
                 }
             }
             RegistryDelta::RouteObjectRemoved { prefix, origin } => {
-                if self.irr.remove_route(&prefix, origin) > 0 {
-                    self.irr_index = None;
+                // The registry strips every database; the compiled index
+                // holds one candidate per stripped copy.
+                let stripped = self.irr.remove_route(&prefix, origin);
+                if stripped > 0 {
+                    self.pending_irr.extend((0..stripped).map(|_| (prefix, origin, false)));
                     self.mark_covered(&prefix, affected);
                 }
             }
@@ -452,20 +548,21 @@ impl<'w> TimelineEngine<'w> {
         match (previous, accepted) {
             (None, Some(vrp)) => {
                 self.vrps.insert(vrp);
-                self.rpki_index = None;
+                self.pending_vrp.push((vrp, true));
                 self.contributions.insert(id, vrp);
                 self.mark_covered(&vrp.prefix, affected);
             }
             (Some(vrp), None) => {
                 self.vrps.remove_one(&vrp);
-                self.rpki_index = None;
+                self.pending_vrp.push((vrp, false));
                 self.contributions.remove(&id);
                 self.mark_covered(&vrp.prefix, affected);
             }
             (Some(old), Some(new)) if old != new => {
                 self.vrps.remove_one(&old);
                 self.vrps.insert(new);
-                self.rpki_index = None;
+                self.pending_vrp.push((old, false));
+                self.pending_vrp.push((new, true));
                 self.contributions.insert(id, new);
                 self.mark_covered(&old.prefix, affected);
                 self.mark_covered(&new.prefix, affected);
@@ -484,10 +581,23 @@ impl<'w> TimelineEngine<'w> {
     }
 
     fn revalidate_slots(&mut self, affected: &BTreeSet<usize>) {
-        if affected.len() >= BATCH_REVALIDATION_THRESHOLD {
+        if affected.is_empty() {
+            return;
+        }
+        let path = plan_revalidation(
+            affected.len(),
+            self.pending_vrp.len(),
+            self.rpki_index.candidate_count(),
+            self.pending_irr.len(),
+            self.irr_index.candidate_count(),
+        );
+        if path == RevalidationPath::Batch {
             self.revalidate_slots_batch(affected);
             return;
         }
+        // Scalar path: answer straight off the registries, leaving the
+        // compiled indexes unsynced (their pending queues keep
+        // accumulating until a batch round amortizes the sync).
         for &slot in affected {
             let (prefix, origin) = self.pairs[slot];
             let rpki = validate_origin(&self.vrps, &prefix, origin);
@@ -497,19 +607,61 @@ impl<'w> TimelineEngine<'w> {
         }
     }
 
-    /// Batch revalidation round: rebuild whichever compiled index a
-    /// delta invalidated (amortized over every affected pair), then
-    /// answer the whole round through the batch kernels with the
-    /// engine's reused scratch and buffers.
+    /// Brings `rpki_index` up to date with the VRP set: splices the
+    /// pending deltas in application order when the cost model favors
+    /// it (weekly churn always does), falling back to one full rebuild
+    /// when patching is dearer or a splice cannot be applied.
+    fn sync_rpki_index(&mut self) {
+        if self.pending_vrp.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_vrp);
+        if patch_beats_rebuild(pending.len(), self.rpki_index.candidate_count())
+            && pending.iter().all(|(vrp, added)| self.rpki_index.apply_roa_delta(vrp, *added))
+        {
+            self.stats.index_patches += pending.len();
+            return;
+        }
+        self.rpki_index = CompiledVrpIndex::build(&self.vrps);
+        self.stats.index_rebuilds += 1;
+    }
+
+    /// Brings `irr_index` up to date with the registry; same policy as
+    /// [`TimelineEngine::sync_rpki_index`].
+    fn sync_irr_index(&mut self) {
+        if self.pending_irr.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_irr);
+        if patch_beats_rebuild(pending.len(), self.irr_index.candidate_count())
+            && pending.iter().all(|(p, o, added)| self.irr_index.apply_object_delta(p, *o, *added))
+        {
+            self.stats.index_patches += pending.len();
+            return;
+        }
+        self.irr_index = CompiledIrrIndex::build(&self.irr);
+        self.stats.index_rebuilds += 1;
+    }
+
+    /// Batch revalidation round: sync both compiled indexes (patch in
+    /// place, or rebuild if cheaper), then answer the whole round
+    /// through the batch kernels with the engine's reused scratch and
+    /// buffers.
     fn revalidate_slots_batch(&mut self, affected: &BTreeSet<usize>) {
-        let rpki_index =
-            self.rpki_index.get_or_insert_with(|| CompiledVrpIndex::build(&self.vrps));
-        let irr_index =
-            self.irr_index.get_or_insert_with(|| CompiledIrrIndex::build(&self.irr));
+        self.sync_rpki_index();
+        self.sync_irr_index();
         self.batch_pairs.clear();
         self.batch_pairs.extend(affected.iter().map(|&slot| self.pairs[slot]));
-        rpki_index.validate_batch_into(&self.batch_pairs, &mut self.scratch, &mut self.batch_rpki);
-        irr_index.validate_batch_into(&self.batch_pairs, &mut self.scratch, &mut self.batch_irr);
+        self.rpki_index.validate_batch_into(
+            &self.batch_pairs,
+            &mut self.scratch,
+            &mut self.batch_rpki,
+        );
+        self.irr_index.validate_batch_into(
+            &self.batch_pairs,
+            &mut self.scratch,
+            &mut self.batch_irr,
+        );
         self.stats.pairs_revalidated += affected.len();
         for (i, &slot) in affected.iter().enumerate() {
             let (prefix, origin) = self.pairs[slot];
@@ -639,6 +791,72 @@ mod tests {
         let w = world();
         let mut engine = TimelineEngine::new(&w, Date::ymd(2022, 2, 1));
         engine.advance_to(Date::ymd(2022, 1, 1));
+    }
+
+    #[test]
+    fn cost_model_reproduces_scalar_batch_crossover() {
+        // With clean indexes the model must reproduce the former fixed
+        // threshold: scalar below 32 affected pairs, batch above.
+        assert_eq!(plan_revalidation(1, 0, 10_000, 0, 10_000), RevalidationPath::Scalar);
+        assert_eq!(plan_revalidation(31, 0, 10_000, 0, 10_000), RevalidationPath::Scalar);
+        assert_eq!(plan_revalidation(33, 0, 10_000, 0, 10_000), RevalidationPath::Batch);
+        // Pending index deltas make the batch round dearer, shifting
+        // the crossover upward — but only until the sync cost saturates
+        // at the rebuild bound.
+        assert_eq!(plan_revalidation(33, 40, 10_000, 0, 10_000), RevalidationPath::Scalar);
+        let crossover = |rpki_pending| {
+            (0..100_000)
+                .find(|&n| {
+                    plan_revalidation(n, rpki_pending, 10_000, 0, 10_000)
+                        == RevalidationPath::Batch
+                })
+                .unwrap()
+        };
+        let clean = crossover(0);
+        assert!(crossover(40) > clean);
+        // Monotone in `affected`: once batch wins it keeps winning.
+        for n in crossover(40)..crossover(40) + 100 {
+            assert_eq!(plan_revalidation(n, 40, 10_000, 0, 10_000), RevalidationPath::Batch);
+        }
+    }
+
+    #[test]
+    fn cost_model_patches_small_deltas_and_rebuilds_floods() {
+        // Weekly churn: a handful of deltas against thousands of
+        // candidates — always patch.
+        assert!(patch_beats_rebuild(1, 10_000));
+        assert!(patch_beats_rebuild(50, 10_000));
+        // A delta flood rewriting most of a small index — rebuild.
+        assert!(!patch_beats_rebuild(5_000, 100));
+        // The sync cost never exceeds the rebuild bound.
+        let rebuild_bound = index_sync_cost(usize::MAX / 2, 100);
+        assert!(index_sync_cost(1_000_000, 100) <= rebuild_bound);
+        assert_eq!(index_sync_cost(0, 100), 0.0);
+    }
+
+    #[test]
+    fn weekly_replay_patches_indexes_without_rebuilds() {
+        let w = world();
+        let mut engine = TimelineEngine::new(&w, Date::ymd(2022, 2, 1));
+        engine.take_stats();
+        // A weekly replay with enough churn that batch rounds occur,
+        // plus one deliberately delta-heavy step (a quarter of all
+        // ROAs revoked) to force index syncs with a deep pending queue.
+        let steps = crate::timeline::weekly_steps(&w, 8, 0.05, w.config.seed);
+        for step in steps {
+            engine.step(step.date, step.deltas);
+        }
+        let ids: Vec<RoaId> = engine.repository().roas().map(|r| r.id).collect();
+        engine.apply_all(
+            ids.iter().step_by(4).map(|&roa| RegistryDelta::RoaRemoved { roa }),
+        );
+        let stats = engine.stats();
+        assert!(stats.index_patches > 0, "batch rounds must splice, got {stats:?}");
+        assert_eq!(
+            stats.index_rebuilds, 0,
+            "weekly churn must never trigger a full index rebuild, got {stats:?}"
+        );
+        assert_eq!(snapshot_statuses(&engine), reference_statuses(&engine));
     }
 
     #[test]

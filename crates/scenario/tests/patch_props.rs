@@ -1,0 +1,109 @@
+//! Patch-vs-rebuild equivalence for the compiled validation indexes.
+//!
+//! The timeline engine splices registry deltas into [`CompiledVrpIndex`]
+//! and [`CompiledIrrIndex`] in place instead of rebuilding them. These
+//! properties drive both indexes with random delta sequences mirrored
+//! into the source registries and assert the patched indexes are
+//! indistinguishable from freshly rebuilt ones through the whole batched
+//! validation pipeline — at 1, 2, 4 and 8 worker threads, so the
+//! parallel fan-out sees identical column data regardless of how the
+//! arena was produced.
+
+use manrs_bgp::{validate_pairs_batch, ParallelConfig};
+use manrs_irr::{CompiledIrrIndex, IrrDatabase, IrrRegistry, RouteObject};
+use manrs_net::{Asn, Date, Ipv4Prefix, Prefix};
+use manrs_rpki::{CompiledVrpIndex, Vrp, VrpSet};
+use proptest::prelude::*;
+
+/// Strategy biased toward colliding prefixes: a 16-slot 10.0.0.0/8
+/// neighbourhood at lengths that nest, so patches constantly splice
+/// into shared closure runs instead of disjoint leaves.
+fn clustered_prefix() -> impl Strategy<Value = Prefix> {
+    (0u32..16, 20u8..=28).prop_map(|(host, len)| {
+        let bits = 0x0A00_0000 | (host << 8);
+        Prefix::V4(Ipv4Prefix::from_bits_truncated(bits, len).expect("len in range"))
+    })
+}
+
+fn route(prefix: Prefix, origin: u32) -> RouteObject {
+    RouteObject {
+        prefix,
+        origin: Asn(origin),
+        descr: "prop churn".into(),
+        mnt_by: "MNT-PROP".into(),
+        source: "RADB".into(),
+        last_modified: Date::ymd(2022, 1, 1),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random sequence of ROA and route-object deltas, spliced in
+    /// place, validates every (prefix, origin) pair exactly like a
+    /// rebuild of the mutated registries.
+    #[test]
+    fn patched_indexes_match_rebuilt_via_batch_validation(
+        ops in prop::collection::vec(
+            (clustered_prefix(), 64500u32..64508, 0u8..4, any::<bool>(), any::<bool>()),
+            1..40,
+        ),
+    ) {
+        let mut vrps = VrpSet::new();
+        let mut registry = IrrRegistry::new();
+        registry.add_database(IrrDatabase::new("RADB", None));
+        let mut rpki = CompiledVrpIndex::build(&vrps);
+        let mut irr = CompiledIrrIndex::build(&registry);
+
+        for &(prefix, origin, slack, added, to_rpki) in &ops {
+            if to_rpki {
+                let max_length = (prefix.len() + slack).min(32);
+                let vrp = Vrp::new(prefix, Asn(origin), max_length);
+                if added {
+                    vrps.insert(vrp);
+                    prop_assert!(rpki.apply_roa_delta(&vrp, true));
+                } else if vrps.remove_one(&vrp) {
+                    // Deltas mirror the registry, so a splice of a
+                    // present VRP must never fall back to a rebuild.
+                    prop_assert!(rpki.apply_roa_delta(&vrp, false));
+                }
+            } else if added {
+                prop_assert!(registry.add_route(route(prefix, origin)));
+                prop_assert!(irr.apply_object_delta(&prefix, Asn(origin), true));
+            } else {
+                // remove_route strips every copy; one splice per copy.
+                let stripped = registry.remove_route(&prefix, Asn(origin));
+                for _ in 0..stripped {
+                    prop_assert!(irr.apply_object_delta(&prefix, Asn(origin), false));
+                }
+            }
+        }
+
+        let rebuilt_rpki = CompiledVrpIndex::build(&vrps);
+        let rebuilt_irr = CompiledIrrIndex::build(&registry);
+
+        // Query grid: every delta site (right origin) plus shifted-origin
+        // and never-registered probes, so NotFound / Invalid / Valid and
+        // their IRR counterparts all appear.
+        let mut queries: Vec<(Prefix, Asn)> = Vec::new();
+        for &(prefix, origin, ..) in &ops {
+            queries.push((prefix, Asn(origin)));
+            queries.push((prefix, Asn(origin + 1)));
+        }
+        let outside =
+            Prefix::V4(Ipv4Prefix::from_bits_truncated(0xC0A8_0000, 16).expect("len in range"));
+        queries.push((outside, Asn(64500)));
+
+        for threads in [1usize, 2, 4, 8] {
+            let par = ParallelConfig::with_threads(threads);
+            let got = validate_pairs_batch(&par, &rpki, &irr, &queries);
+            let want = validate_pairs_batch(&par, &rebuilt_rpki, &rebuilt_irr, &queries);
+            prop_assert_eq!(&got, &want, "thread count {}", threads);
+        }
+
+        // A patched arena may retain closure runs a fresh flatten prunes,
+        // but never fewer live slots than the rebuild needs.
+        prop_assert!(rpki.candidate_count() >= rebuilt_rpki.candidate_count());
+        prop_assert!(irr.candidate_count() >= rebuilt_irr.candidate_count());
+    }
+}
