@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Schema and invariant checks for BENCH_service.json.
+
+Shared by the CI smoke step (small scale) and the scheduled paper-scale
+job. Beyond schema, the serving layer must hold its structural
+guarantees at every scale:
+
+* the steady-state read path performs zero heap allocations (measured
+  by a counting global allocator around warm validation batches);
+* a warm weekly replay publishes every epoch by splicing — zero full
+  compiled-index rebuilds and zero clone fallbacks in the buffer pool;
+* full-table revalidation reports zero drifted pairs (shard indexes
+  and stored statuses agree inside every epoch);
+* the service's own post-replay self-verification passes.
+
+Reader throughput during the replay must stay within 20% of the
+undisturbed baseline, but only on hosts with enough cores for the
+readers and the writer to actually run concurrently — and p99 batch
+latency is bounded to catch gross read-path regressions.
+"""
+
+import json
+import sys
+
+SCHEMA = (
+    "host_cpus",
+    "scale",
+    "shards",
+    "readers",
+    "pairs",
+    "batch_size",
+    "weeks",
+    "churn",
+    "point_p50_us",
+    "point_p99_us",
+    "point_qps",
+    "allocs_steady",
+    "revalidate_secs",
+    "revalidate_drifted",
+    "baseline_reader_qps",
+    "replay_reader_qps",
+    "reader_drop_ratio",
+    "stale_epoch_window_max",
+    "replay_secs",
+    "steps_applied",
+    "epochs_published",
+    "index_patches",
+    "index_rebuilds",
+    "patch_failures",
+    "epoch_clones",
+    "compactions",
+    "rows_patched",
+    "max_fragmentation_vrp",
+    "max_fragmentation_irr",
+    "verified",
+)
+
+# Generous absolute bound on p99 batch latency (microseconds for a
+# 1024-pair batch): a steady-state read is index probes only, so even
+# paper scale on a loaded runner sits orders of magnitude below this.
+P99_BOUND_US = 50_000.0
+
+
+def main(path: str) -> None:
+    with open(path) as f:
+        data = json.load(f)
+    for key in SCHEMA:
+        assert key in data, f"missing {key}"
+    assert isinstance(data["host_cpus"], int) and data["host_cpus"] >= 1
+    assert data["pairs"] > 0, "service served an empty table"
+
+    # Zero-allocation steady-state read path.
+    assert data["allocs_steady"] == 0, (
+        f"steady-state read path hit the allocator: {data['allocs_steady']}"
+    )
+    # Every epoch of a warm replay is published by splicing into a
+    # recycled buffer: no full rebuilds, no clone fallbacks.
+    assert data["epochs_published"] >= 1, "replay published no epochs"
+    assert data["index_rebuilds"] == 0, (
+        f"steady-state replay fell back to index rebuilds: {data['index_rebuilds']}"
+    )
+    assert data["epoch_clones"] == 0, (
+        f"buffer pool fell back to cloning epochs: {data['epoch_clones']}"
+    )
+    assert data["patch_failures"] == data["index_rebuilds"] == 0, (
+        "patch failures must be zero when no rebuilds were needed"
+    )
+    # Consistency: no drift between shard indexes and stored statuses,
+    # and the post-replay self-verification passed.
+    assert data["revalidate_drifted"] == 0, (
+        f"revalidation drifted: {data['revalidate_drifted']}"
+    )
+    assert data["verified"] is True, "service self-verification failed"
+
+    assert 0 < data["point_p50_us"] <= data["point_p99_us"], "latency percentiles inverted"
+    assert data["point_p99_us"] <= P99_BOUND_US, (
+        f"p99 batch latency regressed: {data['point_p99_us']:.1f}us > {P99_BOUND_US}us"
+    )
+
+    # Concurrent-read guarantee: applying deltas must not stall readers.
+    # Gated on core count — below 4 cores the readers and the writer
+    # time-slice one another and the ratio measures the scheduler.
+    if data["host_cpus"] >= 4:
+        assert data["reader_drop_ratio"] <= 0.20, (
+            f"reader throughput dropped {data['reader_drop_ratio']:.1%} during replay"
+        )
+
+    print(f"{path} schema OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_service.json")

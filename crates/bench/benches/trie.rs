@@ -11,7 +11,7 @@ fn random_prefixes(n: usize, seed: u64) -> Vec<Prefix> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let bits: u32 = rng.random();
+            let bits: u32 = rng.random_range(0..=u32::MAX);
             let len = rng.random_range(8..=24u8);
             Prefix::V4(Ipv4Prefix::from_bits_truncated(bits, len).expect("len in range"))
         })

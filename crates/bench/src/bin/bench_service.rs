@@ -1,0 +1,345 @@
+//! Machine-readable benchmark for the sharded snapshot query service.
+//!
+//! Exercises the serving layer the way a deployment would and records
+//! the numbers the CI gate checks:
+//!
+//! * **point lookups** — warm 1024-pair validation batches through
+//!   [`ServiceClient::validate_pairs_into`]: p50/p99 batch latency,
+//!   pair throughput, and the steady-state allocation count of the
+//!   read path (which must be zero — handle acquisition is a pinned
+//!   refcount bump and every buffer is client-owned and warm);
+//! * **full-table revalidation** — `Query::RevalidateAll` wall time
+//!   and its drift count (must be zero: shard indexes and stored
+//!   statuses agree inside every epoch);
+//! * **concurrent replay** — reader threads hammering validation
+//!   batches while the writer applies a weekly delta stream,
+//!   publishing one epoch per step. Reader throughput during the
+//!   replay is compared against an undisturbed baseline, and each
+//!   reader tracks how far its deliberately-held old handle fell
+//!   behind the freshest published epoch (the stale-read window).
+//!
+//! Post-replay, the service's counters report the patch economy
+//! (splices vs rebuilds vs clone fallbacks, compactions, high-water
+//! fragmentation) and `verify()` re-checks every shard against the
+//! engine. Everything lands in `BENCH_service.json`.
+
+use manrs_bench::build_world;
+use manrs_net::{Asn, Date, Prefix};
+use manrs_scenario::{weekly_steps, SeriesStep};
+use manrs_service::{Query, QueryResponse, RotationPolicy, ServiceStats, SnapshotService};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Heap-allocation counter wrapped around the system allocator; the
+/// steady-state probe asserts a warm validation batch never touches
+/// it. Only `alloc`/`realloc` count — frees are not growth.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const BATCH: usize = 1024;
+const SHARDS: usize = 8;
+const WEEKS: usize = 40;
+const CHURN: f64 = 0.01;
+/// Point-lookup timing iterations (after warm-up).
+const POINT_ITERS: usize = 256;
+/// Batches counted for the steady-state allocation probe.
+const ALLOC_PROBE_ITERS: usize = 64;
+/// Undisturbed reader-throughput measurement window.
+const BASELINE_WINDOW: Duration = Duration::from_millis(250);
+/// Writer pacing between weekly steps, so the replay window is wide
+/// enough for stable reader-throughput sampling.
+const STEP_PACING: Duration = Duration::from_millis(2);
+
+/// A query batch: the table's own pairs cycled up to `BATCH`, plus a
+/// few probes that resolve to NotFound in every shard.
+fn query_batch(service: &SnapshotService) -> Vec<(Prefix, Asn)> {
+    let mut pairs = service.handle().collect_pairs();
+    pairs.push(("198.51.100.0/24".parse().unwrap(), Asn(64_496)));
+    pairs.push(("2001:db8:ffff::/48".parse().unwrap(), Asn(64_497)));
+    let mut batch = Vec::with_capacity(BATCH);
+    while batch.len() < BATCH {
+        let take = (BATCH - batch.len()).min(pairs.len());
+        batch.extend_from_slice(&pairs[..take]);
+    }
+    batch
+}
+
+struct PointNumbers {
+    p50_us: f64,
+    p99_us: f64,
+    qps: f64,
+    allocs_steady: u64,
+}
+
+/// Single-threaded warm point-lookup batches: latency percentiles,
+/// pair throughput, and the steady-state allocation count.
+fn measure_point_lookups(service: &SnapshotService, batch: &[(Prefix, Asn)]) -> PointNumbers {
+    let mut client = service.client();
+    let mut out = Vec::new();
+    for _ in 0..16 {
+        client.validate_pairs_into(batch, &mut out);
+    }
+    let mut lat_us = Vec::with_capacity(POINT_ITERS);
+    let timed = Instant::now();
+    for _ in 0..POINT_ITERS {
+        let start = Instant::now();
+        client.validate_pairs_into(batch, &mut out);
+        lat_us.push(start.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(&out);
+    }
+    let elapsed = timed.elapsed().as_secs_f64();
+    lat_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pct = |p: f64| lat_us[((lat_us.len() - 1) as f64 * p) as usize];
+
+    // Steady-state probe: everything is warm, so the whole loop must
+    // hit the allocator zero times.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..ALLOC_PROBE_ITERS {
+        client.validate_pairs_into(batch, &mut out);
+        std::hint::black_box(&out);
+    }
+    let allocs_steady = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    PointNumbers {
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        qps: (POINT_ITERS * batch.len()) as f64 / elapsed.max(1e-9),
+        allocs_steady,
+    }
+}
+
+/// One timed full-table revalidation; returns `(secs, drifted)`.
+fn measure_revalidate(service: &SnapshotService) -> (f64, usize) {
+    let mut client = service.client();
+    let start = Instant::now();
+    match client.query(&Query::RevalidateAll) {
+        QueryResponse::Revalidation { drifted, .. } => (start.elapsed().as_secs_f64(), drifted),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+struct ReplayNumbers {
+    baseline_qps: f64,
+    replay_qps: f64,
+    drop_ratio: f64,
+    stale_epochs_max: u64,
+    replay_secs: f64,
+}
+
+/// Reader loop: validation batches until `done`, counting pairs
+/// answered. Holds one old handle and refreshes it every 32 batches,
+/// recording how many epochs behind the freshest publish it fell.
+fn reader_loop(
+    service: &SnapshotService,
+    batch: &[(Prefix, Asn)],
+    done: &AtomicBool,
+    latest_epoch: &AtomicU64,
+) -> (u64, u64) {
+    let mut client = service.client();
+    let mut out = Vec::new();
+    let mut held = client.handle();
+    let mut answered = 0u64;
+    let mut stale_max = 0u64;
+    let mut batches = 0u64;
+    while !done.load(Ordering::Relaxed) {
+        client.validate_pairs_into(batch, &mut out);
+        std::hint::black_box(&out);
+        answered += batch.len() as u64;
+        batches += 1;
+        if batches.is_multiple_of(32) {
+            let freshest = latest_epoch.load(Ordering::Relaxed);
+            stale_max = stale_max.max(freshest.saturating_sub(held.epoch()));
+            held = client.handle();
+        }
+    }
+    (answered, stale_max)
+}
+
+/// Reader throughput with and without the writer replaying weekly
+/// deltas, plus the worst observed stale-read window.
+fn measure_replay(
+    service: &SnapshotService,
+    batch: &[(Prefix, Asn)],
+    readers: usize,
+    steps: &[SeriesStep],
+) -> ReplayNumbers {
+    let latest_epoch = AtomicU64::new(service.handle().epoch());
+
+    // Baseline: undisturbed readers for a fixed window.
+    let done = AtomicBool::new(false);
+    let baseline_answered: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| scope.spawn(|| reader_loop(service, batch, &done, &latest_epoch)))
+            .collect();
+        std::thread::sleep(BASELINE_WINDOW);
+        done.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("baseline reader").0).sum()
+    });
+    let baseline_qps = baseline_answered as f64 / BASELINE_WINDOW.as_secs_f64();
+
+    // Replay: the same readers race the writer through every step.
+    let done = AtomicBool::new(false);
+    let mut replay_secs = 0.0;
+    let (replay_answered, stale_epochs_max) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| scope.spawn(|| reader_loop(service, batch, &done, &latest_epoch)))
+            .collect();
+        let start = Instant::now();
+        for step in steps {
+            service.apply_step(step);
+            latest_epoch.store(service.handle().epoch(), Ordering::Relaxed);
+            std::thread::sleep(STEP_PACING);
+        }
+        replay_secs = start.elapsed().as_secs_f64();
+        done.store(true, Ordering::Relaxed);
+        let mut answered = 0u64;
+        let mut stale = 0u64;
+        for handle in handles {
+            let (a, s) = handle.join().expect("replay reader");
+            answered += a;
+            stale = stale.max(s);
+        }
+        (answered, stale)
+    });
+    let replay_qps = replay_answered as f64 / replay_secs.max(1e-9);
+
+    ReplayNumbers {
+        baseline_qps,
+        replay_qps,
+        drop_ratio: (1.0 - replay_qps / baseline_qps.max(1e-9)).max(0.0),
+        stale_epochs_max,
+        replay_secs,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: &str,
+    readers: usize,
+    pairs: usize,
+    point: &PointNumbers,
+    reval_secs: f64,
+    reval_drifted: usize,
+    replay: &ReplayNumbers,
+    stats: &ServiceStats,
+    verified: bool,
+) -> String {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"readers\": {readers},");
+    let _ = writeln!(json, "  \"pairs\": {pairs},");
+    let _ = writeln!(json, "  \"batch_size\": {BATCH},");
+    let _ = writeln!(json, "  \"weeks\": {WEEKS},");
+    let _ = writeln!(json, "  \"churn\": {CHURN},");
+    let _ = writeln!(json, "  \"point_p50_us\": {:.3},", point.p50_us);
+    let _ = writeln!(json, "  \"point_p99_us\": {:.3},", point.p99_us);
+    let _ = writeln!(json, "  \"point_qps\": {:.0},", point.qps);
+    let _ = writeln!(json, "  \"allocs_steady\": {},", point.allocs_steady);
+    let _ = writeln!(json, "  \"revalidate_secs\": {reval_secs:.6},");
+    let _ = writeln!(json, "  \"revalidate_drifted\": {reval_drifted},");
+    let _ = writeln!(json, "  \"baseline_reader_qps\": {:.0},", replay.baseline_qps);
+    let _ = writeln!(json, "  \"replay_reader_qps\": {:.0},", replay.replay_qps);
+    let _ = writeln!(json, "  \"reader_drop_ratio\": {:.4},", replay.drop_ratio);
+    let _ = writeln!(json, "  \"stale_epoch_window_max\": {},", replay.stale_epochs_max);
+    let _ = writeln!(json, "  \"replay_secs\": {:.6},", replay.replay_secs);
+    let _ = writeln!(json, "  \"steps_applied\": {},", stats.steps_applied);
+    let _ = writeln!(json, "  \"epochs_published\": {},", stats.epochs_published);
+    let _ = writeln!(json, "  \"index_patches\": {},", stats.index_patches);
+    let _ = writeln!(json, "  \"index_rebuilds\": {},", stats.index_rebuilds);
+    let _ = writeln!(json, "  \"patch_failures\": {},", stats.patch_failures);
+    let _ = writeln!(json, "  \"epoch_clones\": {},", stats.epoch_clones);
+    let _ = writeln!(json, "  \"compactions\": {},", stats.compactions);
+    let _ = writeln!(json, "  \"rows_patched\": {},", stats.rows_patched);
+    let _ = writeln!(json, "  \"max_fragmentation_vrp\": {:.4},", stats.max_fragmentation_vrp);
+    let _ = writeln!(json, "  \"max_fragmentation_irr\": {:.4},", stats.max_fragmentation_irr);
+    let _ = writeln!(json, "  \"verified\": {verified}");
+    json.push_str("}\n");
+    json
+}
+
+fn main() {
+    let scale = std::env::var("MANRS_SCALE").unwrap_or_else(|_| "medium".into());
+    let world = build_world();
+    // Leave one core for the writer so the replay drop ratio measures
+    // rotation interference, not CPU oversubscription.
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let readers = cpus.saturating_sub(1).clamp(1, 4);
+
+    eprintln!("building service ({SHARDS} shards) ...");
+    // Weekly steps start 2022-02-01, before the world's snapshot date.
+    let service = SnapshotService::builder(&world)
+        .shards(SHARDS)
+        .rotation(RotationPolicy::EveryStep)
+        .spare_buffers(3)
+        .recycle_wait(Duration::from_millis(10))
+        .start_date(Date::ymd(2022, 2, 1))
+        .build();
+    let pairs = service.pair_count();
+    let batch = query_batch(&service);
+
+    eprintln!("point lookups ({POINT_ITERS} x {BATCH}-pair batches) ...");
+    let point = measure_point_lookups(&service, &batch);
+
+    eprintln!("full-table revalidation ({pairs} pairs) ...");
+    let (reval_secs, reval_drifted) = measure_revalidate(&service);
+
+    eprintln!("concurrent replay ({readers} readers, {WEEKS} weekly steps) ...");
+    let steps = weekly_steps(&world, WEEKS, CHURN, world.config.seed);
+    let replay = measure_replay(&service, &batch, readers, &steps);
+
+    let (post_secs, post_drifted) = measure_revalidate(&service);
+    let verified = service.verify();
+    let stats = service.stats();
+
+    println!("{:<28} {:>14}", "quantity", "value");
+    println!("{:<28} {:>14}", "pairs", pairs);
+    println!("{:<28} {:>14.1}", "point p50 (us/batch)", point.p50_us);
+    println!("{:<28} {:>14.1}", "point p99 (us/batch)", point.p99_us);
+    println!("{:<28} {:>14.0}", "point pairs/s", point.qps);
+    println!("{:<28} {:>14}", "steady-state allocs", point.allocs_steady);
+    println!("{:<28} {:>14.6}", "revalidate (s)", reval_secs);
+    println!("{:<28} {:>14.0}", "baseline reader pairs/s", replay.baseline_qps);
+    println!("{:<28} {:>14.0}", "replay reader pairs/s", replay.replay_qps);
+    println!("{:<28} {:>14.4}", "reader drop ratio", replay.drop_ratio);
+    println!("{:<28} {:>14}", "stale window (epochs)", replay.stale_epochs_max);
+    println!("{:<28} {:>14}", "epochs published", stats.epochs_published);
+    println!("{:<28} {:>14}", "index patches", stats.index_patches);
+    println!("{:<28} {:>14}", "index rebuilds", stats.index_rebuilds);
+    println!("{:<28} {:>14}", "epoch clones", stats.epoch_clones);
+    println!("{:<28} {:>14}", "compactions", stats.compactions);
+    println!("{:<28} {:>14}", "verified", verified);
+
+    assert_eq!(reval_drifted, 0, "pre-replay revalidation drifted");
+    assert_eq!(post_drifted, 0, "post-replay revalidation drifted (took {post_secs:.6}s)");
+
+    let json =
+        render_json(&scale, readers, pairs, &point, reval_secs, reval_drifted, &replay, &stats, verified);
+    let path = "BENCH_service.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    eprintln!("wrote {path}");
+}

@@ -42,7 +42,6 @@
 pub mod announcement;
 pub mod batch;
 pub mod collector;
-pub mod compat;
 pub mod dump;
 pub mod hijack;
 pub mod parallel;
@@ -70,4 +69,3 @@ pub use propagate::{
 };
 pub use stats::{moas_conflicts, table_stats, TableStats};
 pub use table::{distinct_classes, CollectionPlan, CollectionStrategy, TableCollector};
-#[allow(deprecated)] pub use compat::{collect_table, collect_table_with};

@@ -104,8 +104,7 @@ const REVERSE_ITEM_PER_CLOSURE: f64 = 0.75;
 /// parallelism, then collect one or more announcement sets.
 ///
 /// [`TableCollector::collect`] is shorthand for
-/// `plan().collect(...)` — every collection, including the deprecated
-/// free-function shims in [`crate::compat`], goes through a
+/// `plan().collect(...)` — every collection goes through a
 /// [`CollectionPlan`].
 ///
 /// ```

@@ -18,7 +18,7 @@
 
 use crate::database::IrrRegistry;
 use crate::validation::IrrStatus;
-use manrs_net::{match_run, Asn, BatchScratch, CoveringShape, Prefix, PrefixMap};
+use manrs_net::{match_run, Asn, BatchScratch, CoveringShape, PatchStats, Prefix, PrefixMap};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -50,13 +50,26 @@ impl CompiledIrrIndex {
     /// Compiles `registry` into a batch index. Deterministic: two builds
     /// from the same registry produce identical indexes.
     pub fn build(registry: &IrrRegistry) -> Self {
+        CompiledIrrIndex::build_where(registry, |_| true)
+    }
+
+    /// Compiles only the route objects whose prefix satisfies `keep` —
+    /// the shard-aware constructor behind the snapshot query service.
+    ///
+    /// For a query set routed such that every object able to cover a
+    /// query is kept (the [`manrs_net::shard_bucket_span`] contract),
+    /// the filtered index classifies those queries bit-for-bit
+    /// identically to the full [`CompiledIrrIndex::build`].
+    pub fn build_where<F: FnMut(&Prefix) -> bool>(registry: &IrrRegistry, mut keep: F) -> Self {
         // Merge every database into one trie first (the union view the
         // registry validates against), keyed by the only two attributes
         // classification reads.
         let mut merged: PrefixMap<(u32, u8)> = PrefixMap::new();
         for db in registry.databases() {
             for route in db.routes() {
-                merged.insert(route.prefix, (route.origin.value(), route.prefix.len()));
+                if keep(&route.prefix) {
+                    merged.insert(route.prefix, (route.origin.value(), route.prefix.len()));
+                }
             }
         }
         let mut origins = Vec::new();
@@ -88,17 +101,31 @@ impl CompiledIrrIndex {
     /// Crossing [`COMPACT_FRAGMENTATION`] triggers an automatic
     /// compaction.
     pub fn apply_object_delta(&mut self, prefix: &Prefix, origin: Asn, added: bool) -> bool {
+        self.apply_object_delta_stats(prefix, origin, added).is_some()
+    }
+
+    /// [`CompiledIrrIndex::apply_object_delta`] with its work made
+    /// visible: on success, returns the splice's [`PatchStats`] and
+    /// whether it triggered an automatic compaction — the counters
+    /// `BENCH_service.json` and `profile_batch --patch` report.
+    pub fn apply_object_delta_stats(
+        &mut self,
+        prefix: &Prefix,
+        origin: Asn,
+        added: bool,
+    ) -> Option<(PatchStats, bool)> {
         let value = (origin.value(), prefix.len());
         let cols = (&mut self.origins, &mut self.lens);
-        let ok = if added {
-            self.shape.patch_insert(prefix, value, cols).is_some()
+        let stats = if added {
+            self.shape.patch_insert(prefix, value, cols)?
         } else {
-            self.shape.patch_remove(prefix, value, cols).is_some()
+            self.shape.patch_remove(prefix, value, cols)?
         };
-        if ok && self.shape.fragmentation() > COMPACT_FRAGMENTATION {
+        let compacted = self.shape.fragmentation() > COMPACT_FRAGMENTATION;
+        if compacted {
             self.shape.compact((&mut self.origins, &mut self.lens));
         }
-        ok
+        Some((stats, compacted))
     }
 
     /// Share of the arena abandoned by patches (see

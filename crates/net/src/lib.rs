@@ -30,6 +30,7 @@ pub mod error;
 pub mod flat;
 pub mod prefix;
 pub mod rir;
+pub mod shard;
 pub mod space;
 pub mod trie;
 
@@ -39,5 +40,6 @@ pub use error::NetError;
 pub use flat::{match_run, match_run_autovec, BatchScratch, CoveringShape, MatchOutcome, PatchStats};
 pub use prefix::{AddressFamily, Ipv4Prefix, Ipv6Prefix, Prefix};
 pub use rir::Rir;
+pub use shard::{shard_bucket, shard_bucket_span, SHARD_BUCKETS};
 pub use space::{AddressSpace, IntervalSet};
 pub use trie::PrefixMap;

@@ -1,0 +1,98 @@
+//! Shard-key derivation for prefix-partitioned services.
+//!
+//! The snapshot query service (`manrs-service`) partitions its compiled
+//! indexes and pair tables by **address family + first octet**: bucket
+//! `0..256` holds IPv4 prefixes by their first address octet, bucket
+//! `256..512` holds IPv6 prefixes by theirs. A covering candidate (a
+//! VRP or route object whose prefix *contains* a query) always shares
+//! the query's first octet when its length is ≥ 8 bits; shorter
+//! prefixes span a contiguous octet range and must be replicated into
+//! every bucket of that span. [`shard_bucket`] and [`shard_bucket_span`]
+//! encode exactly that contract, so a service that routes queries by
+//! [`shard_bucket`] and replicates candidates across
+//! [`shard_bucket_span`] answers every covering query from a single
+//! bucket, bit-for-bit identically to an unpartitioned index.
+
+use crate::prefix::Prefix;
+
+/// Number of distinct shard buckets: 256 IPv4 first octets followed by
+/// 256 IPv6 first octets.
+pub const SHARD_BUCKETS: u16 = 512;
+
+/// The bucket a *query* at `prefix` is routed to: its first address
+/// octet, offset into the IPv6 half for v6 prefixes. For prefixes
+/// shorter than 8 bits this is the first bucket of their span.
+#[inline]
+pub fn shard_bucket(prefix: &Prefix) -> u16 {
+    shard_bucket_span(prefix).0
+}
+
+/// The inclusive bucket range a *candidate* at `prefix` can cover
+/// queries in. Prefixes of length ≥ 8 occupy one bucket; shorter ones
+/// span every first octet their address range touches (the default
+/// route spans its family's whole half).
+#[inline]
+pub fn shard_bucket_span(prefix: &Prefix) -> (u16, u16) {
+    match prefix {
+        Prefix::V4(p) => ((p.range_start() >> 24) as u16, (p.range_end() >> 24) as u16),
+        Prefix::V6(p) => {
+            (256 + (p.range_start() >> 120) as u16, 256 + (p.range_end() >> 120) as u16)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn long_prefixes_occupy_one_bucket() {
+        assert_eq!(shard_bucket_span(&p("10.0.0.0/8")), (10, 10));
+        assert_eq!(shard_bucket_span(&p("10.20.0.0/16")), (10, 10));
+        assert_eq!(shard_bucket(&p("203.0.113.0/24")), 203);
+        assert_eq!(shard_bucket_span(&p("2001:db8::/32")), (256 + 0x20, 256 + 0x20));
+    }
+
+    #[test]
+    fn short_prefixes_span_their_octet_range() {
+        assert_eq!(shard_bucket_span(&p("10.0.0.0/7")), (10, 11));
+        assert_eq!(shard_bucket_span(&p("8.0.0.0/6")), (8, 11));
+        assert_eq!(shard_bucket_span(&p("0.0.0.0/0")), (0, 255));
+        assert_eq!(shard_bucket_span(&p("::/0")), (256, 511));
+        assert_eq!(shard_bucket_span(&p("2000::/4")), (256 + 0x20, 256 + 0x2f));
+    }
+
+    #[test]
+    fn covering_candidates_share_the_query_bucket() {
+        // The invariant the sharded service relies on: if a candidate
+        // contains a query, the query's bucket lies inside the
+        // candidate's span.
+        let cases = [
+            ("10.0.0.0/8", "10.1.0.0/16"),
+            ("10.0.0.0/7", "11.0.0.0/8"),
+            ("0.0.0.0/0", "192.0.2.0/24"),
+            ("2001:db8::/32", "2001:db8::/48"),
+            ("::/0", "2001:db8::/48"),
+        ];
+        for (cand, query) in cases {
+            let (cand, query) = (p(cand), p(query));
+            assert!(cand.contains(&query), "{cand} should contain {query}");
+            let (lo, hi) = shard_bucket_span(&cand);
+            let b = shard_bucket(&query);
+            assert!(lo <= b && b <= hi, "{cand} span ({lo},{hi}) misses {query} bucket {b}");
+        }
+    }
+
+    #[test]
+    fn families_never_share_buckets() {
+        let (v4_lo, v4_hi) = shard_bucket_span(&p("0.0.0.0/0"));
+        let (v6_lo, v6_hi) = shard_bucket_span(&p("::/0"));
+        assert!(v4_hi < v6_lo);
+        assert_eq!(v4_lo, 0);
+        assert_eq!(v6_hi, SHARD_BUCKETS - 1);
+    }
+}

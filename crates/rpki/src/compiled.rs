@@ -20,7 +20,7 @@
 
 use crate::validation::RpkiStatus;
 use crate::vrp::{Vrp, VrpSet};
-use manrs_net::{match_run, Asn, BatchScratch, CoveringShape, Prefix};
+use manrs_net::{match_run, Asn, BatchScratch, CoveringShape, PatchStats, Prefix};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 
@@ -77,6 +77,23 @@ impl CompiledVrpIndex {
         CompiledVrpIndex { shape, asns, max_lens }
     }
 
+    /// Compiles only the VRPs whose prefix satisfies `keep` — the
+    /// shard-aware constructor behind the snapshot query service.
+    ///
+    /// For a query set routed such that every VRP able to cover a query
+    /// is kept (the [`manrs_net::shard_bucket_span`] contract), the
+    /// filtered index classifies those queries bit-for-bit identically
+    /// to the full [`CompiledVrpIndex::build`].
+    pub fn build_where<F: FnMut(&Prefix) -> bool>(set: &VrpSet, mut keep: F) -> Self {
+        let mut subset = VrpSet::new();
+        for vrp in set.iter() {
+            if keep(&vrp.prefix) {
+                subset.insert(*vrp);
+            }
+        }
+        CompiledVrpIndex::build(&subset)
+    }
+
     /// Number of live arena candidates (covering closures expanded, so
     /// this is ≥ the source set's `len`; patch-abandoned slots are not
     /// counted).
@@ -96,17 +113,27 @@ impl CompiledVrpIndex {
     /// every query identically. Crossing [`COMPACT_FRAGMENTATION`]
     /// triggers an automatic compaction.
     pub fn apply_roa_delta(&mut self, vrp: &Vrp, added: bool) -> bool {
+        self.apply_roa_delta_stats(vrp, added).is_some()
+    }
+
+    /// [`CompiledVrpIndex::apply_roa_delta`] with its work made visible:
+    /// on success, returns the splice's [`PatchStats`] and whether the
+    /// splice pushed fragmentation over the threshold and triggered an
+    /// automatic compaction — the counters `BENCH_service.json` and
+    /// `profile_batch --patch` report.
+    pub fn apply_roa_delta_stats(&mut self, vrp: &Vrp, added: bool) -> Option<(PatchStats, bool)> {
         let value = (vrp.asn.value(), vrp.max_length);
         let cols = (&mut self.asns, &mut self.max_lens);
-        let ok = if added {
-            self.shape.patch_insert(&vrp.prefix, value, cols).is_some()
+        let stats = if added {
+            self.shape.patch_insert(&vrp.prefix, value, cols)?
         } else {
-            self.shape.patch_remove(&vrp.prefix, value, cols).is_some()
+            self.shape.patch_remove(&vrp.prefix, value, cols)?
         };
-        if ok && self.shape.fragmentation() > COMPACT_FRAGMENTATION {
+        let compacted = self.shape.fragmentation() > COMPACT_FRAGMENTATION;
+        if compacted {
             self.shape.compact((&mut self.asns, &mut self.max_lens));
         }
-        ok
+        Some((stats, compacted))
     }
 
     /// Share of the arena abandoned by patches (see
@@ -299,7 +326,7 @@ mod tests {
         ];
         for (vrp, added) in deltas {
             if added {
-                set.insert(vrp.clone());
+                set.insert(vrp);
             } else {
                 assert!(set.remove_one(&vrp));
             }
@@ -320,6 +347,43 @@ mod tests {
         }
         // Removing something the index never held reports failure.
         assert!(!index.apply_roa_delta(&Vrp::new(p("198.51.100.0/24"), Asn(1), 24), false));
+    }
+
+    #[test]
+    fn build_where_matches_full_index_on_kept_space() {
+        use manrs_net::shard_bucket_span;
+        let set = sample_set();
+        let full = CompiledVrpIndex::build(&set);
+        // Keep only candidates whose octet span touches bucket 10 (the
+        // 10.0.0.0/8 slice); every 10.x query must classify identically.
+        let sliced = CompiledVrpIndex::build_where(&set, |p| {
+            let (lo, hi) = shard_bucket_span(p);
+            lo <= 10 && 10 <= hi
+        });
+        assert!(sliced.candidate_count() < full.candidate_count());
+        for q in ["10.0.0.0/16", "10.0.0.0/20", "10.0.0.0/24", "10.5.0.0/16", "10.0.0.0/8"] {
+            for origin in [0u32, 1, 2, 9, 77] {
+                let q = p(q);
+                assert_eq!(sliced.validate(&q, Asn(origin)), full.validate(&q, Asn(origin)));
+            }
+        }
+        // An all-pass filter reproduces the full index exactly.
+        assert_eq!(CompiledVrpIndex::build_where(&set, |_| true), full);
+    }
+
+    #[test]
+    fn delta_stats_report_work_and_compactions() {
+        let set = sample_set();
+        let mut index = CompiledVrpIndex::build(&set);
+        let vrp = Vrp::new(p("10.0.0.0/24"), Asn(5), 28);
+        let (stats, compacted) =
+            index.apply_roa_delta_stats(&vrp, true).expect("insert splices");
+        assert!(stats.spine_steps > 0, "a splice walks the spine: {stats:?}");
+        assert!(!compacted, "one insert cannot cross the fragmentation threshold");
+        // Failure surfaces as None, same contract as the bool form.
+        assert!(index
+            .apply_roa_delta_stats(&Vrp::new(p("198.51.100.0/24"), Asn(1), 24), false)
+            .is_none());
     }
 
     #[test]

@@ -84,7 +84,11 @@ pub(crate) enum RevalidationPath {
 
 /// `true` when splicing `pending` deltas into a compiled index of
 /// `candidates` live slots is cheaper than rebuilding it from source.
-pub(crate) fn patch_beats_rebuild(pending: usize, candidates: usize) -> bool {
+///
+/// Public so downstream epoch builders (the `manrs-service` writer)
+/// make the same patch-or-rebuild call per shard that the engine makes
+/// for its own indexes.
+pub fn patch_beats_rebuild(pending: usize, candidates: usize) -> bool {
     pending as f64 * PATCH_SPLICE_COST < REBUILD_BASE + candidates as f64 * REBUILD_PER_CANDIDATE
 }
 
@@ -191,6 +195,37 @@ pub struct EngineStats {
     pub index_rebuilds: usize,
 }
 
+/// The engine→service delta feed: every state change the engine makes
+/// between two drains, in application order, so an epoch builder can
+/// mirror the engine's registries and statuses without re-deriving
+/// validation. Enabled with [`TimelineEngine::enable_feed`]; drained
+/// with [`TimelineEngine::take_feed`] after each step.
+#[derive(Debug, Clone)]
+pub struct EngineFeed {
+    /// The engine date when the feed was drained.
+    pub date: Date,
+    /// VRP deltas (`true` = inserted) in application order — the same
+    /// entries the engine queues for its own compiled-index sync.
+    pub vrp: Vec<(Vrp, bool)>,
+    /// Route-object deltas, one entry per registered copy.
+    pub irr: Vec<(Prefix, Asn, bool)>,
+    /// Pair-status changes: `(slot, rpki, irr)` for every slot whose
+    /// status actually moved. Slots index the engine's fixed pair table
+    /// ([`TimelineEngine::pairs`]).
+    pub status: Vec<(usize, RpkiStatus, IrrStatus)>,
+}
+
+impl EngineFeed {
+    fn new(date: Date) -> Self {
+        EngineFeed { date, vrp: Vec::new(), irr: Vec::new(), status: Vec::new() }
+    }
+
+    /// `true` when the drained interval changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.vrp.is_empty() && self.irr.is_empty() && self.status.is_empty()
+    }
+}
+
 /// A fully materialized point of a timeline: everything the yearly and
 /// weekly analyses consume, cloned out of the engine's live state.
 #[derive(Debug, Clone)]
@@ -261,6 +296,9 @@ pub struct TimelineEngine<'w> {
     batch_rpki: Vec<RpkiStatus>,
     batch_irr: Vec<IrrStatus>,
     stats: EngineStats,
+    /// When enabled, mirrors every registry and status change for an
+    /// external epoch builder ([`TimelineEngine::enable_feed`]).
+    feed: Option<EngineFeed>,
 }
 
 impl<'w> TimelineEngine<'w> {
@@ -358,6 +396,7 @@ impl<'w> TimelineEngine<'w> {
             batch_rpki,
             batch_irr,
             stats: EngineStats::default(),
+            feed: None,
         }
     }
 
@@ -405,6 +444,37 @@ impl<'w> TimelineEngine<'w> {
     /// maintenance.
     pub fn pair_count(&self) -> usize {
         self.pairs.len()
+    }
+
+    /// The fixed, slot-indexed pair table — the indexing space of
+    /// [`EngineFeed::status`].
+    pub fn pairs(&self) -> &[(Prefix, Asn)] {
+        &self.pairs
+    }
+
+    /// The current (rpki, irr) status per slot — the engine's source of
+    /// truth, aligned with [`TimelineEngine::pairs`].
+    pub fn statuses(&self) -> &[(RpkiStatus, IrrStatus)] {
+        &self.status
+    }
+
+    /// Starts mirroring every registry and status change into an
+    /// [`EngineFeed`]. Changes made before this call are not replayed;
+    /// callers snapshot the current state first, then drain the feed
+    /// after each step with [`TimelineEngine::take_feed`].
+    pub fn enable_feed(&mut self) {
+        if self.feed.is_none() {
+            self.feed = Some(EngineFeed::new(self.date));
+        }
+    }
+
+    /// Drains the accumulated feed (stamped with the current engine
+    /// date) and starts a fresh one. `None` when the feed was never
+    /// enabled.
+    pub fn take_feed(&mut self) -> Option<EngineFeed> {
+        let mut feed = self.feed.replace(EngineFeed::new(self.date))?;
+        feed.date = self.date;
+        Some(feed)
     }
 
     /// Work counters accumulated since construction (or the last
@@ -495,6 +565,9 @@ impl<'w> TimelineEngine<'w> {
                 let (prefix, origin) = (object.prefix, object.origin);
                 if self.irr.add_route(object) {
                     self.pending_irr.push((prefix, origin, true));
+                    if let Some(feed) = self.feed.as_mut() {
+                        feed.irr.push((prefix, origin, true));
+                    }
                     self.mark_covered(&prefix, affected);
                 }
             }
@@ -504,6 +577,9 @@ impl<'w> TimelineEngine<'w> {
                 let stripped = self.irr.remove_route(&prefix, origin);
                 if stripped > 0 {
                     self.pending_irr.extend((0..stripped).map(|_| (prefix, origin, false)));
+                    if let Some(feed) = self.feed.as_mut() {
+                        feed.irr.extend((0..stripped).map(|_| (prefix, origin, false)));
+                    }
                     self.mark_covered(&prefix, affected);
                 }
             }
@@ -549,12 +625,18 @@ impl<'w> TimelineEngine<'w> {
             (None, Some(vrp)) => {
                 self.vrps.insert(vrp);
                 self.pending_vrp.push((vrp, true));
+                if let Some(feed) = self.feed.as_mut() {
+                    feed.vrp.push((vrp, true));
+                }
                 self.contributions.insert(id, vrp);
                 self.mark_covered(&vrp.prefix, affected);
             }
             (Some(vrp), None) => {
                 self.vrps.remove_one(&vrp);
                 self.pending_vrp.push((vrp, false));
+                if let Some(feed) = self.feed.as_mut() {
+                    feed.vrp.push((vrp, false));
+                }
                 self.contributions.remove(&id);
                 self.mark_covered(&vrp.prefix, affected);
             }
@@ -563,6 +645,10 @@ impl<'w> TimelineEngine<'w> {
                 self.vrps.insert(new);
                 self.pending_vrp.push((old, false));
                 self.pending_vrp.push((new, true));
+                if let Some(feed) = self.feed.as_mut() {
+                    feed.vrp.push((old, false));
+                    feed.vrp.push((new, true));
+                }
                 self.contributions.insert(id, new);
                 self.mark_covered(&old.prefix, affected);
                 self.mark_covered(&new.prefix, affected);
@@ -680,6 +766,9 @@ impl<'w> TimelineEngine<'w> {
     ) {
         if (rpki, irr_status) != self.status[slot] {
             self.status[slot] = (rpki, irr_status);
+            if let Some(feed) = self.feed.as_mut() {
+                feed.status.push((slot, rpki, irr_status));
+            }
             self.stats.rows_patched +=
                 self.index.patch(&mut self.snapshot, prefix, origin, rpki, irr_status);
         }
@@ -883,5 +972,37 @@ mod tests {
         assert!(!engine.members().contains(&Asn(u32::MAX)));
         engine.apply(RegistryDelta::MemberJoined { asn: Asn(u32::MAX) });
         assert!(engine.members().contains(&Asn(u32::MAX)));
+    }
+
+    #[test]
+    fn feed_mirrors_engine_state() {
+        let w = world();
+        let mut engine = TimelineEngine::new(&w, Date::ymd(2022, 2, 1));
+        engine.enable_feed();
+        // Replaying the drained feed on top of a snapshot of the
+        // pre-step state must land exactly on the engine's post-step
+        // state — the contract the service's epoch builder relies on.
+        let mut mirror_vrps = engine.vrps().clone();
+        let mut mirror_status = engine.statuses().to_vec();
+        let steps = crate::timeline::weekly_steps(&w, 6, 0.05, w.config.seed);
+        for step in steps {
+            engine.step(step.date, step.deltas);
+            let feed = engine.take_feed().expect("feed enabled");
+            assert_eq!(feed.date, engine.date());
+            for (vrp, added) in &feed.vrp {
+                if *added {
+                    mirror_vrps.insert(*vrp);
+                } else {
+                    mirror_vrps.remove_one(vrp);
+                }
+            }
+            for &(slot, rpki, irr_status) in &feed.status {
+                mirror_status[slot] = (rpki, irr_status);
+            }
+        }
+        assert_eq!(mirror_vrps.len(), engine.vrps().len());
+        assert_eq!(mirror_status, engine.statuses());
+        // Draining again with no intervening step yields an empty feed.
+        assert!(engine.take_feed().expect("feed enabled").is_empty());
     }
 }

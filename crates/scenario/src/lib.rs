@@ -29,7 +29,6 @@
 
 pub mod behavior;
 pub mod build;
-pub mod compat;
 pub mod config;
 pub mod engine;
 pub mod enroll;
@@ -39,9 +38,10 @@ pub mod timeline;
 pub use behavior::{BehaviorMatrix, BehaviorModel};
 pub use build::{ScenarioWorld, ScenarioWorldBuilder};
 pub use config::ScenarioConfig;
-pub use engine::{EngineStats, RegistryDelta, TimelineEngine, TimelineSnapshot};
+pub use engine::{
+    patch_beats_rebuild, EngineFeed, EngineStats, RegistryDelta, TimelineEngine, TimelineSnapshot,
+};
 pub use incidents::{generate_incidents, protection_payoff};
 pub use timeline::{
     weekly_steps, yearly_dates, yearly_steps, SeriesStep, SnapshotSeries, YearlySnapshot,
 };
-#[allow(deprecated)] pub use compat::{weekly_snapshots, yearly_snapshots};

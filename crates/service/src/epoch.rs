@@ -1,0 +1,311 @@
+//! Immutable epoch snapshots and the lock-free read-side registry.
+//!
+//! One [`EpochSnapshot`] is the complete, frozen serving state of one
+//! epoch: per-shard compiled indexes, per-shard pair tables with their
+//! validated statuses, and the epoch-wide aggregates. Readers acquire a
+//! [`SnapshotHandle`] and query it for as long as they like; the writer
+//! never mutates a published snapshot — it patches a *retired* buffer
+//! (or a clone) forward and publishes it as the next epoch.
+//!
+//! The registry's read path is lock-free via epoch pinning. Each client
+//! owns one pin slot (an `AtomicU64`, `u64::MAX` when idle). Acquire
+//! is: read the epoch counter `e`, publish `e` in the pin slot, confirm
+//! the counter is still `e`, then load the current snapshot pointer and
+//! take a reference to it. The writer retires snapshots on publish but
+//! only *reclaims* (hands back for reuse) those whose epoch is strictly
+//! below every pinned epoch — so the pointer a confirmed reader loads
+//! always has epoch ≥ its pin and therefore always holds at least one
+//! registry-owned strong reference while the reader increments the
+//! count. All atomics use `SeqCst`: rotation happens a handful of times
+//! per second at most, while reads must stay obviously correct.
+
+use crate::query::{ConformanceSummary, HegemonySummary};
+use crate::shard::ShardRouter;
+use manrs_irr::{CompiledIrrIndex, IrrStatus};
+use manrs_net::{Asn, Date, Prefix};
+use manrs_rpki::{CompiledVrpIndex, RpkiStatus};
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// One shard's slice of the serving state: its compiled indexes
+/// (candidates replicated per the router's span contract) and the
+/// pairs routed to it with their current statuses.
+#[derive(Debug, Clone)]
+pub struct ShardState {
+    /// Compiled VRP index over the candidates spanning this shard.
+    pub vrp: CompiledVrpIndex,
+    /// Compiled route-object index over the candidates spanning it.
+    pub irr: CompiledIrrIndex,
+    /// The visible pairs routed to this shard, in global slot order.
+    pub pairs: Vec<(Prefix, Asn)>,
+    /// Current (rpki, irr) status per local pair.
+    pub status: Vec<(RpkiStatus, IrrStatus)>,
+}
+
+/// The frozen serving state of one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    /// Monotone epoch number; epoch 0 is the initial build.
+    pub(crate) epoch: u64,
+    /// Absolute feed position this snapshot is current through — the
+    /// writer's resume point when recycling this buffer.
+    pub(crate) feed_pos: usize,
+    pub(crate) date: Date,
+    pub(crate) router: ShardRouter,
+    pub(crate) shards: Vec<ShardState>,
+    /// Global slot → (shard, local index); fixed for the service's
+    /// lifetime, shared by every epoch.
+    pub(crate) slot_map: Arc<Vec<(u32, u32)>>,
+    /// Per-AS transit hegemony aggregates; paths are fixed, so this is
+    /// epoch-invariant and shared.
+    pub(crate) hegemony: Arc<BTreeMap<Asn, HegemonySummary>>,
+    pub(crate) conformance: ConformanceSummary,
+}
+
+impl EpochSnapshot {
+    /// The epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The engine date this epoch serves.
+    pub fn date(&self) -> Date {
+        self.date
+    }
+
+    /// The router shared by every epoch of this service.
+    pub fn router(&self) -> ShardRouter {
+        self.router
+    }
+
+    /// The per-shard serving state.
+    pub fn shards(&self) -> &[ShardState] {
+        &self.shards
+    }
+
+    /// Total visible pairs across shards.
+    pub fn pair_count(&self) -> usize {
+        self.slot_map.len()
+    }
+
+    /// The epoch's conformance histogram over all visible pairs.
+    pub fn conformance(&self) -> ConformanceSummary {
+        self.conformance
+    }
+
+    /// The hegemony aggregate of one transit AS, if it transits at all.
+    pub fn hegemony(&self, asn: Asn) -> Option<HegemonySummary> {
+        self.hegemony.get(&asn).copied()
+    }
+
+    /// The statuses of every visible pair in global slot order —
+    /// un-shards the per-shard tables. Allocates; meant for
+    /// verification and tests, not the serving path.
+    pub fn collect_statuses(&self) -> Vec<(RpkiStatus, IrrStatus)> {
+        self.slot_map
+            .iter()
+            .map(|&(shard, local)| self.shards[shard as usize].status[local as usize])
+            .collect()
+    }
+
+    /// The pairs in global slot order; same caveat as
+    /// [`EpochSnapshot::collect_statuses`].
+    pub fn collect_pairs(&self) -> Vec<(Prefix, Asn)> {
+        self.slot_map
+            .iter()
+            .map(|&(shard, local)| self.shards[shard as usize].pairs[local as usize])
+            .collect()
+    }
+}
+
+/// A reader's reference to one epoch. Holding a handle keeps exactly
+/// that epoch alive (and bit-for-bit frozen) regardless of how many
+/// epochs the writer publishes meanwhile.
+#[derive(Debug, Clone)]
+pub struct SnapshotHandle {
+    inner: Arc<EpochSnapshot>,
+}
+
+impl Deref for SnapshotHandle {
+    type Target = EpochSnapshot;
+
+    fn deref(&self) -> &EpochSnapshot {
+        &self.inner
+    }
+}
+
+struct RegistryInner {
+    /// The registry's own reference to the published snapshot.
+    current_arc: Arc<EpochSnapshot>,
+    /// Previously published snapshots, oldest first, awaiting
+    /// reclamation once no pin can still reach them.
+    retired: VecDeque<Arc<EpochSnapshot>>,
+}
+
+/// The epoch rotation point: one writer publishes, any number of
+/// readers acquire without blocking.
+pub(crate) struct EpochRegistry {
+    /// Raw pointer to the inside of `inner.current_arc`, readable
+    /// without the lock.
+    current: AtomicPtr<EpochSnapshot>,
+    /// Epoch counter, stored after `current` on publish.
+    epoch: AtomicU64,
+    /// Per-client pin slots; `u64::MAX` = idle.
+    pins: Box<[AtomicU64]>,
+    next_slot: AtomicUsize,
+    inner: Mutex<RegistryInner>,
+}
+
+impl EpochRegistry {
+    pub(crate) fn new(reader_slots: usize, initial: Arc<EpochSnapshot>) -> Self {
+        let pins = (0..reader_slots.max(1)).map(|_| AtomicU64::new(u64::MAX)).collect();
+        EpochRegistry {
+            current: AtomicPtr::new(Arc::as_ptr(&initial) as *mut EpochSnapshot),
+            epoch: AtomicU64::new(initial.epoch),
+            pins,
+            next_slot: AtomicUsize::new(0),
+            inner: Mutex::new(RegistryInner { current_arc: initial, retired: VecDeque::new() }),
+        }
+    }
+
+    /// Claims a dedicated pin slot for a new client; `None` once all
+    /// slots are taken (those clients fall back to the locked path).
+    pub(crate) fn claim_slot(&self) -> Option<usize> {
+        let slot = self.next_slot.fetch_add(1, SeqCst);
+        (slot < self.pins.len()).then_some(slot)
+    }
+
+    /// Acquires the current snapshot. With a pin slot this is the
+    /// lock-free, allocation-free path; without one it takes the
+    /// registry lock for the duration of an `Arc` clone.
+    pub(crate) fn acquire(&self, slot: Option<usize>) -> SnapshotHandle {
+        let Some(slot) = slot else {
+            let inner = self.inner.lock().unwrap();
+            return SnapshotHandle { inner: Arc::clone(&inner.current_arc) };
+        };
+        let pin = &self.pins[slot];
+        loop {
+            let e = self.epoch.load(SeqCst);
+            pin.store(e, SeqCst);
+            if self.epoch.load(SeqCst) != e {
+                continue;
+            }
+            // The pin is visible and the epoch did not move past it, so
+            // every snapshot with epoch ≥ e — including whatever
+            // `current` points at now — keeps a registry-owned strong
+            // reference until we unpin. Incrementing its count is
+            // therefore safe.
+            let ptr = self.current.load(SeqCst);
+            let inner = unsafe {
+                Arc::increment_strong_count(ptr);
+                Arc::from_raw(ptr)
+            };
+            pin.store(u64::MAX, SeqCst);
+            return SnapshotHandle { inner };
+        }
+    }
+
+    /// The smallest currently pinned epoch, or `u64::MAX` when no
+    /// reader is mid-acquire.
+    fn min_pinned(&self) -> u64 {
+        self.pins.iter().map(|pin| pin.load(SeqCst)).min().unwrap_or(u64::MAX)
+    }
+
+    /// Publishes `next` as the new current epoch, retiring the old one.
+    pub(crate) fn publish(&self, next: Arc<EpochSnapshot>) {
+        let mut inner = self.inner.lock().unwrap();
+        self.current.store(Arc::as_ptr(&next) as *mut EpochSnapshot, SeqCst);
+        self.epoch.store(next.epoch, SeqCst);
+        let old = std::mem::replace(&mut inner.current_arc, next);
+        inner.retired.push_back(old);
+    }
+
+    /// Moves every retired snapshot no pin can still reach into
+    /// `spares` (the writer's recycling pool) and reports the oldest
+    /// feed position any registry-held snapshot is still at — the
+    /// writer must keep feed entries from that position onward.
+    pub(crate) fn reclaim_into(&self, spares: &mut Vec<Arc<EpochSnapshot>>) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let min_pinned = self.min_pinned();
+        while inner.retired.front().is_some_and(|snap| snap.epoch < min_pinned) {
+            spares.push(inner.retired.pop_front().unwrap());
+        }
+        inner.retired.front().map_or(inner.current_arc.feed_pos, |snap| snap.feed_pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(epoch: u64, feed_pos: usize) -> Arc<EpochSnapshot> {
+        Arc::new(EpochSnapshot {
+            epoch,
+            feed_pos,
+            date: Date::ymd(2022, 5, 1),
+            router: ShardRouter::new(2),
+            shards: Vec::new(),
+            slot_map: Arc::new(Vec::new()),
+            hegemony: Arc::new(BTreeMap::new()),
+            conformance: ConformanceSummary::default(),
+        })
+    }
+
+    #[test]
+    fn acquire_sees_latest_publish_on_both_paths() {
+        let registry = EpochRegistry::new(4, snapshot(0, 0));
+        let slot = registry.claim_slot();
+        assert_eq!(registry.acquire(slot).epoch(), 0);
+        assert_eq!(registry.acquire(None).epoch(), 0);
+        registry.publish(snapshot(1, 3));
+        assert_eq!(registry.acquire(slot).epoch(), 1);
+        assert_eq!(registry.acquire(None).epoch(), 1);
+    }
+
+    #[test]
+    fn handles_keep_old_epochs_alive_until_dropped() {
+        let registry = EpochRegistry::new(4, snapshot(0, 0));
+        let slot = registry.claim_slot();
+        let old = registry.acquire(slot);
+        registry.publish(snapshot(1, 5));
+        registry.publish(snapshot(2, 9));
+        // The handle still reads its frozen epoch.
+        assert_eq!(old.epoch(), 0);
+        // Both displaced snapshots reclaim (no pins are held), but the
+        // epoch-0 buffer is shared with `old` until it drops.
+        let mut spares = Vec::new();
+        let oldest = registry.reclaim_into(&mut spares);
+        assert_eq!(spares.len(), 2);
+        assert_eq!(oldest, 9, "only current remains registry-held");
+        assert!(Arc::get_mut(&mut spares[0]).is_none(), "reader still holds epoch 0");
+        drop(old);
+        assert!(Arc::get_mut(&mut spares[0]).is_some());
+        assert!(Arc::get_mut(&mut spares[1]).is_some());
+    }
+
+    #[test]
+    fn slots_exhaust_gracefully() {
+        let registry = EpochRegistry::new(2, snapshot(0, 0));
+        assert!(registry.claim_slot().is_some());
+        assert!(registry.claim_slot().is_some());
+        assert!(registry.claim_slot().is_none());
+    }
+
+    #[test]
+    fn retired_snapshots_survive_a_held_pin() {
+        // Simulate a reader paused mid-acquire with its pin published:
+        // nothing at or above the pinned epoch may reclaim.
+        let registry = EpochRegistry::new(2, snapshot(3, 0));
+        registry.pins[0].store(3, SeqCst);
+        registry.publish(snapshot(4, 1));
+        registry.publish(snapshot(5, 2));
+        let mut spares = Vec::new();
+        registry.reclaim_into(&mut spares);
+        assert!(spares.is_empty(), "pinned epoch 3 must not reclaim");
+        registry.pins[0].store(u64::MAX, SeqCst);
+        registry.reclaim_into(&mut spares);
+        assert_eq!(spares.len(), 2);
+    }
+}

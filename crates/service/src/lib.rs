@@ -1,0 +1,51 @@
+//! Sharded snapshot query service over the MANRS validation pipeline.
+//!
+//! The ROADMAP's north star is a production-scale serving system:
+//! point validations, hegemony lookups, and full-table revalidations
+//! answered continuously while the registries keep changing. This
+//! crate is that serving layer over the rest of the workspace:
+//!
+//! * [`shard`] — query/candidate routing: the 512 family+first-octet
+//!   buckets of [`manrs_net::shard_bucket`] folded onto `N` shards,
+//!   with covering candidates replicated so every query is answered
+//!   entirely from its own shard.
+//! * [`epoch`] — immutable [`EpochSnapshot`]s (per-shard compiled
+//!   indexes + pair statuses + aggregates) behind an epoch-pinned,
+//!   lock-free registry: readers acquire [`SnapshotHandle`]s without
+//!   blocking while the writer rotates new epochs in, and old epochs
+//!   are reclaimed into the writer's buffer pool once their last
+//!   handle drops.
+//! * [`query`] — the single typed front door: [`Query`] in,
+//!   [`QueryResponse`] out, with a zero-allocation steady-state
+//!   validation path ([`ServiceClient::validate_pairs_into`]).
+//! * [`service`] — [`ServiceBuilder`] / [`SnapshotService`]: a
+//!   [`manrs_scenario::TimelineEngine`] with its delta feed enabled
+//!   drives epoch builds, splicing deltas into recycled epoch buffers
+//!   under the engine's own patch-or-rebuild cost model.
+//!
+//! ```
+//! use manrs_scenario::{ScenarioConfig, ScenarioWorld};
+//! use manrs_service::{Query, QueryResponse, SnapshotService};
+//!
+//! let world = ScenarioWorld::builder(ScenarioConfig::small(7)).build();
+//! let service = SnapshotService::builder(&world).shards(4).build();
+//! let mut client = service.client();
+//! let pairs = service.handle().collect_pairs();
+//! match client.query(&Query::ValidatePairs { pairs }) {
+//!     QueryResponse::Statuses { epoch, statuses } => {
+//!         assert_eq!(epoch, 0);
+//!         assert_eq!(statuses.len(), service.pair_count());
+//!     }
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub mod epoch;
+pub mod query;
+pub mod service;
+pub mod shard;
+
+pub use epoch::{EpochSnapshot, ShardState, SnapshotHandle};
+pub use query::{ConformanceSummary, HegemonySummary, Query, QueryResponse, ServiceClient};
+pub use service::{RotationPolicy, ServiceBuilder, ServiceStats, SnapshotService};
+pub use shard::{ShardRouter, ShardSpan, MAX_SHARDS};

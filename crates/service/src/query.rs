@@ -1,0 +1,288 @@
+//! The service's single typed front door.
+//!
+//! Every read the service answers is a [`Query`]; every answer is a
+//! [`QueryResponse`] stamped with the epoch it was computed against.
+//! [`ServiceClient`] owns the per-reader state — a pin slot in the
+//! epoch registry plus reusable routing and batch buffers — so the
+//! steady-state [`Query::ValidatePairs`] path performs **zero**
+//! allocations once its buffers are warm.
+
+use crate::epoch::{EpochRegistry, SnapshotHandle};
+use manrs_irr::IrrStatus;
+use manrs_net::{Asn, BatchScratch, Prefix};
+use manrs_rpki::RpkiStatus;
+use std::sync::Arc;
+
+/// A read request against the current (or a held) epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Validate arbitrary (prefix, origin) pairs against the epoch's
+    /// registries — the RFC 6811 + IRR hot path.
+    ValidatePairs {
+        /// The routes to validate.
+        pairs: Vec<(Prefix, Asn)>,
+    },
+    /// Look up the transit-hegemony aggregate of one AS.
+    Hegemony {
+        /// The transit AS.
+        asn: Asn,
+    },
+    /// The conformance histogram over every visible pair.
+    Conformance,
+    /// Re-validate the entire visible table against the epoch's own
+    /// indexes and report how many stored statuses drift — an
+    /// end-to-end self-check that must report zero.
+    RevalidateAll,
+}
+
+/// A typed answer, stamped with the answering epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// Answer to [`Query::ValidatePairs`]; `statuses[i]` corresponds
+    /// to `pairs[i]`.
+    Statuses {
+        /// The answering epoch.
+        epoch: u64,
+        /// Per-pair (rpki, irr) statuses.
+        statuses: Vec<(RpkiStatus, IrrStatus)>,
+    },
+    /// Answer to [`Query::Hegemony`].
+    Hegemony {
+        /// The answering epoch.
+        epoch: u64,
+        /// The queried AS.
+        asn: Asn,
+        /// Its aggregate, or `None` if it transits nothing.
+        summary: Option<HegemonySummary>,
+    },
+    /// Answer to [`Query::Conformance`].
+    Conformance {
+        /// The answering epoch.
+        epoch: u64,
+        /// The histogram.
+        summary: ConformanceSummary,
+    },
+    /// Answer to [`Query::RevalidateAll`].
+    Revalidation {
+        /// The answering epoch.
+        epoch: u64,
+        /// Pairs re-validated.
+        pairs: usize,
+        /// Stored statuses disagreeing with re-validation (must be 0).
+        drifted: usize,
+    },
+}
+
+/// Per-transit-AS hegemony aggregate over the IHR transit dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HegemonySummary {
+    /// Transit rows the AS appears in.
+    pub transit_rows: usize,
+    /// Mean hegemony across those rows.
+    pub mean: f64,
+    /// Maximum hegemony across those rows.
+    pub max: f64,
+}
+
+fn rpki_bin(status: RpkiStatus) -> usize {
+    match status {
+        RpkiStatus::Valid => 0,
+        RpkiStatus::InvalidLength => 1,
+        RpkiStatus::InvalidAsn => 2,
+        RpkiStatus::NotFound => 3,
+    }
+}
+
+fn irr_bin(status: IrrStatus) -> usize {
+    match status {
+        IrrStatus::Valid => 0,
+        IrrStatus::InvalidLength => 1,
+        IrrStatus::InvalidAsn => 2,
+        IrrStatus::NotFound => 3,
+    }
+}
+
+/// A fixed 4×4 histogram of visible pairs over (rpki, irr) status —
+/// the paper's conformance breakdown, maintained incrementally by the
+/// epoch writer (unrecord old status, record new) so publishing an
+/// epoch never rescans the pair table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConformanceSummary {
+    counts: [[u64; 4]; 4],
+}
+
+impl ConformanceSummary {
+    /// Adds one pair at (rpki, irr).
+    pub fn record(&mut self, rpki: RpkiStatus, irr: IrrStatus) {
+        self.counts[rpki_bin(rpki)][irr_bin(irr)] += 1;
+    }
+
+    /// Removes one pair previously recorded at (rpki, irr).
+    pub fn unrecord(&mut self, rpki: RpkiStatus, irr: IrrStatus) {
+        let cell = &mut self.counts[rpki_bin(rpki)][irr_bin(irr)];
+        debug_assert!(*cell > 0, "unrecord of an empty conformance cell");
+        *cell = cell.saturating_sub(1);
+    }
+
+    /// Pairs at exactly (rpki, irr).
+    pub fn count(&self, rpki: RpkiStatus, irr: IrrStatus) -> u64 {
+        self.counts[rpki_bin(rpki)][irr_bin(irr)]
+    }
+
+    /// Pairs with the given RPKI status, any IRR status.
+    pub fn rpki_total(&self, rpki: RpkiStatus) -> u64 {
+        self.counts[rpki_bin(rpki)].iter().sum()
+    }
+
+    /// Pairs with the given IRR status, any RPKI status.
+    pub fn irr_total(&self, irr: IrrStatus) -> u64 {
+        self.counts.iter().map(|row| row[irr_bin(irr)]).sum()
+    }
+
+    /// Total recorded pairs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+}
+
+/// A reader of the service: one pin slot, one set of warm buffers.
+///
+/// Clients are cheap but not free (each builds its routing buffers);
+/// create one per reader thread and reuse it. Every query acquires the
+/// *current* epoch; use [`ServiceClient::handle`] to hold one epoch
+/// across several queries.
+pub struct ServiceClient {
+    registry: Arc<EpochRegistry>,
+    slot: Option<usize>,
+    scratch: BatchScratch,
+    /// Per-shard query-index buckets (`buckets[s]` = positions of the
+    /// batch's pairs routed to shard `s`).
+    buckets: Vec<Vec<u32>>,
+    shard_pairs: Vec<(Prefix, Asn)>,
+    rpki_buf: Vec<RpkiStatus>,
+    irr_buf: Vec<IrrStatus>,
+}
+
+impl ServiceClient {
+    pub(crate) fn new(registry: Arc<EpochRegistry>, shards: usize) -> Self {
+        let slot = registry.claim_slot();
+        ServiceClient {
+            registry,
+            slot,
+            scratch: BatchScratch::new(),
+            buckets: (0..shards).map(|_| Vec::new()).collect(),
+            shard_pairs: Vec::new(),
+            rpki_buf: Vec::new(),
+            irr_buf: Vec::new(),
+        }
+    }
+
+    /// Acquires the current epoch. Lock-free when this client got a
+    /// pin slot; never blocks on the writer either way.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.registry.acquire(self.slot)
+    }
+
+    /// Answers one query against the current epoch.
+    pub fn query(&mut self, query: &Query) -> QueryResponse {
+        match query {
+            Query::ValidatePairs { pairs } => {
+                let mut statuses = Vec::new();
+                let epoch = self.validate_pairs_into(pairs, &mut statuses);
+                QueryResponse::Statuses { epoch, statuses }
+            }
+            Query::Hegemony { asn } => {
+                let snap = self.handle();
+                QueryResponse::Hegemony {
+                    epoch: snap.epoch(),
+                    asn: *asn,
+                    summary: snap.hegemony(*asn),
+                }
+            }
+            Query::Conformance => {
+                let snap = self.handle();
+                QueryResponse::Conformance { epoch: snap.epoch(), summary: snap.conformance() }
+            }
+            Query::RevalidateAll => {
+                let snap = self.handle();
+                let (mut pairs, mut drifted) = (0, 0);
+                for shard in snap.shards() {
+                    shard.vrp.validate_batch_into(
+                        &shard.pairs,
+                        &mut self.scratch,
+                        &mut self.rpki_buf,
+                    );
+                    shard.irr.validate_batch_into(
+                        &shard.pairs,
+                        &mut self.scratch,
+                        &mut self.irr_buf,
+                    );
+                    pairs += shard.pairs.len();
+                    for (local, &stored) in shard.status.iter().enumerate() {
+                        if (self.rpki_buf[local], self.irr_buf[local]) != stored {
+                            drifted += 1;
+                        }
+                    }
+                }
+                QueryResponse::Revalidation { epoch: snap.epoch(), pairs, drifted }
+            }
+        }
+    }
+
+    /// The zero-allocation validation path: routes `pairs` to their
+    /// shards, answers each shard's slice through its compiled indexes
+    /// with this client's warm buffers, and scatters the statuses back
+    /// into `out` (`out[i]` answers `pairs[i]`). Returns the answering
+    /// epoch. With warm buffers this allocates nothing.
+    pub fn validate_pairs_into(
+        &mut self,
+        pairs: &[(Prefix, Asn)],
+        out: &mut Vec<(RpkiStatus, IrrStatus)>,
+    ) -> u64 {
+        let snap = self.registry.acquire(self.slot);
+        out.clear();
+        out.resize(pairs.len(), (RpkiStatus::NotFound, IrrStatus::NotFound));
+        let router = snap.router();
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        for (i, (prefix, _)) in pairs.iter().enumerate() {
+            self.buckets[router.shard_of(prefix)].push(i as u32);
+        }
+        for (shard, bucket) in snap.shards().iter().zip(&self.buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            self.shard_pairs.clear();
+            self.shard_pairs.extend(bucket.iter().map(|&i| pairs[i as usize]));
+            shard.vrp.validate_batch_into(&self.shard_pairs, &mut self.scratch, &mut self.rpki_buf);
+            shard.irr.validate_batch_into(&self.shard_pairs, &mut self.scratch, &mut self.irr_buf);
+            for (j, &i) in bucket.iter().enumerate() {
+                out[i as usize] = (self.rpki_buf[j], self.irr_buf[j]);
+            }
+        }
+        snap.epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance_histogram_round_trips() {
+        let mut summary = ConformanceSummary::default();
+        summary.record(RpkiStatus::Valid, IrrStatus::NotFound);
+        summary.record(RpkiStatus::Valid, IrrStatus::Valid);
+        summary.record(RpkiStatus::InvalidAsn, IrrStatus::Valid);
+        assert_eq!(summary.total(), 3);
+        assert_eq!(summary.rpki_total(RpkiStatus::Valid), 2);
+        assert_eq!(summary.irr_total(IrrStatus::Valid), 2);
+        assert_eq!(summary.count(RpkiStatus::Valid, IrrStatus::NotFound), 1);
+        summary.unrecord(RpkiStatus::Valid, IrrStatus::NotFound);
+        summary.record(RpkiStatus::Valid, IrrStatus::Valid);
+        assert_eq!(summary.count(RpkiStatus::Valid, IrrStatus::NotFound), 0);
+        assert_eq!(summary.count(RpkiStatus::Valid, IrrStatus::Valid), 2);
+        assert_eq!(summary.total(), 3);
+    }
+}

@@ -1,0 +1,676 @@
+//! The service itself: builder, writer, and epoch publication.
+//!
+//! [`ServiceBuilder`] compiles a [`manrs_scenario::ScenarioWorld`] into
+//! the initial epoch (per-shard indexes built in parallel, pair table
+//! partitioned by the router, aggregates computed once) and wires up a
+//! [`TimelineEngine`] with its delta feed enabled. From then on the
+//! write path is: `step` the engine, drain its [`EngineFeed`], and
+//! bring a retired epoch buffer forward by replaying the feed log —
+//! splicing candidate deltas into the per-shard compiled indexes when
+//! the engine's own cost model ([`patch_beats_rebuild`]) favors it, or
+//! rebuilding the affected shard from the engine's registries when it
+//! does not (or when a splice reports failure mid-epoch). Readers keep
+//! answering against the published epoch throughout; publication is a
+//! single pointer rotation.
+
+use crate::epoch::{EpochRegistry, EpochSnapshot, ShardState, SnapshotHandle};
+use crate::query::{ConformanceSummary, HegemonySummary, ServiceClient};
+use crate::shard::ShardRouter;
+use manrs_bgp::{par_map, ParallelConfig};
+use manrs_ihr::IhrSnapshot;
+use manrs_irr::{CompiledIrrIndex, IrrStatus};
+use manrs_net::{Asn, BatchScratch, Date, Prefix};
+use manrs_rpki::{CompiledVrpIndex, RpkiStatus};
+use manrs_scenario::{
+    patch_beats_rebuild, EngineFeed, EngineStats, RegistryDelta, ScenarioWorld, SeriesStep,
+    TimelineEngine,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// When the writer publishes a fresh epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RotationPolicy {
+    /// Publish after every applied step — the lowest stale-read window.
+    EveryStep,
+    /// Publish after every `n` applied steps, coalescing their feeds
+    /// into one epoch build (`Coalesce(1)` ≡ `EveryStep`).
+    Coalesce(usize),
+}
+
+/// Work counters for the service writer, alongside the engine's own.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Steps applied through [`SnapshotService::apply`].
+    pub steps_applied: usize,
+    /// Epochs published (the initial build is epoch 0, not counted).
+    pub epochs_published: u64,
+    /// Candidate deltas spliced in place into shard indexes.
+    pub index_patches: usize,
+    /// Shard indexes rebuilt from the engine registries. Zero at
+    /// steady state.
+    pub index_rebuilds: usize,
+    /// Splices that reported failure and dirtied their shard.
+    pub patch_failures: usize,
+    /// Epoch builds that fell back to cloning the current snapshot
+    /// because no spare buffer was reclaimable in time. Zero at steady
+    /// state.
+    pub epoch_clones: usize,
+    /// Automatic `compact()` passes triggered inside shard splices —
+    /// previously only visible via `profile_batch --patch`.
+    pub compactions: usize,
+    /// Pair statuses patched into epoch buffers.
+    pub rows_patched: usize,
+    /// Accumulated [`manrs_net::PatchStats::spine_steps`].
+    pub patch_spine_steps: usize,
+    /// Accumulated [`manrs_net::PatchStats::slots_moved`].
+    pub patch_slots_moved: usize,
+    /// Accumulated [`manrs_net::PatchStats::nodes_fixed`].
+    pub patch_nodes_fixed: usize,
+    /// High-water arena fragmentation across shard VRP indexes.
+    pub max_fragmentation_vrp: f64,
+    /// High-water arena fragmentation across shard IRR indexes.
+    pub max_fragmentation_irr: f64,
+    /// The embedded engine's own counters.
+    pub engine: EngineStats,
+}
+
+/// Builder-style configuration of a [`SnapshotService`], in the same
+/// shape as `TableCollector` / `ScenarioWorldBuilder`.
+pub struct ServiceBuilder<'w> {
+    world: &'w ScenarioWorld,
+    shards: usize,
+    workers: ParallelConfig,
+    rotation: RotationPolicy,
+    reader_slots: usize,
+    spare_buffers: usize,
+    recycle_wait: Duration,
+    headroom: usize,
+    start_date: Option<Date>,
+}
+
+impl<'w> ServiceBuilder<'w> {
+    /// Defaults: 8 shards, `MANRS_THREADS` workers, rotation on every
+    /// step, 64 lock-free reader slots, 2 spare epoch buffers, and the
+    /// world's snapshot date as the starting epoch.
+    pub fn new(world: &'w ScenarioWorld) -> Self {
+        ServiceBuilder {
+            world,
+            shards: 8,
+            workers: ParallelConfig::from_env(),
+            rotation: RotationPolicy::EveryStep,
+            reader_slots: 64,
+            spare_buffers: 2,
+            recycle_wait: Duration::from_millis(2),
+            headroom: 256,
+            start_date: None,
+        }
+    }
+
+    /// Shard count (clamped to `1..=`[`crate::shard::MAX_SHARDS`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Worker pool for the initial per-shard compile.
+    pub fn workers(mut self, workers: ParallelConfig) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Epoch rotation policy.
+    pub fn rotation(mut self, rotation: RotationPolicy) -> Self {
+        self.rotation = rotation;
+        self
+    }
+
+    /// Lock-free reader pin slots; clients beyond this fall back to a
+    /// short-lock acquire path.
+    pub fn reader_slots(mut self, slots: usize) -> Self {
+        self.reader_slots = slots;
+        self
+    }
+
+    /// Pre-built spare epoch buffers (double/triple buffering).
+    pub fn spare_buffers(mut self, buffers: usize) -> Self {
+        self.spare_buffers = buffers;
+        self
+    }
+
+    /// How long the writer waits for a reclaimable spare before paying
+    /// a full clone of the current epoch.
+    pub fn recycle_wait(mut self, wait: Duration) -> Self {
+        self.recycle_wait = wait;
+        self
+    }
+
+    /// Arena headroom reserved per shard index so steady-state splices
+    /// stay allocation-free.
+    pub fn headroom(mut self, slots: usize) -> Self {
+        self.headroom = slots;
+        self
+    }
+
+    /// Starting epoch date (default: the world's snapshot date).
+    pub fn start_date(mut self, date: Date) -> Self {
+        self.start_date = Some(date);
+        self
+    }
+
+    /// Builds epoch 0 and the service around it.
+    pub fn build(self) -> SnapshotService<'w> {
+        let date = self.start_date.unwrap_or(self.world.config.snapshot_date);
+        let mut engine = TimelineEngine::new(self.world, date);
+        engine.enable_feed();
+        let router = ShardRouter::new(self.shards);
+        let n = router.shards();
+
+        // Partition the visible pair table (the interned RIB's distinct
+        // pairs) by the query shard of each prefix.
+        let mut slot_map = Vec::with_capacity(engine.pair_count());
+        let mut shard_pairs: Vec<Vec<(Prefix, Asn)>> = vec![Vec::new(); n];
+        let mut shard_status: Vec<Vec<(RpkiStatus, IrrStatus)>> = vec![Vec::new(); n];
+        let mut conformance = ConformanceSummary::default();
+        for (pair, status) in engine.pairs().iter().zip(engine.statuses()) {
+            let shard = router.shard_of(&pair.0);
+            slot_map.push((shard as u32, shard_pairs[shard].len() as u32));
+            shard_pairs[shard].push(*pair);
+            shard_status[shard].push(*status);
+            conformance.record(status.0, status.1);
+        }
+
+        // Compile every shard's candidate slice in parallel.
+        let shard_ids: Vec<usize> = (0..n).collect();
+        let headroom = self.headroom;
+        let (vrps, irr) = (engine.vrps(), engine.irr());
+        let indexes = par_map(&self.workers, &shard_ids, |&shard| {
+            let mut vrp = CompiledVrpIndex::build_where(vrps, |p| router.spans_shard(p, shard));
+            let mut irr_index =
+                CompiledIrrIndex::build_where(irr, |p| router.spans_shard(p, shard));
+            vrp.reserve_headroom(headroom);
+            irr_index.reserve_headroom(headroom);
+            (vrp, irr_index)
+        });
+        let shards: Vec<ShardState> = indexes
+            .into_iter()
+            .zip(shard_pairs.into_iter().zip(shard_status))
+            .map(|((vrp, irr), (pairs, status))| ShardState { vrp, irr, pairs, status })
+            .collect();
+
+        let initial = EpochSnapshot {
+            epoch: 0,
+            feed_pos: 0,
+            date,
+            router,
+            shards,
+            slot_map: Arc::new(slot_map),
+            hegemony: Arc::new(aggregate_hegemony(&self.world.ihr)),
+            conformance,
+        };
+        // Spare buffers are full clones of epoch 0, so steady-state
+        // rotation recycles them instead of ever cloning live.
+        let spares = (0..self.spare_buffers).map(|_| Arc::new(initial.clone())).collect();
+        let registry = Arc::new(EpochRegistry::new(self.reader_slots, Arc::new(initial)));
+        let writer = ServiceWriter {
+            engine,
+            router,
+            spares,
+            feed_log: VecDeque::new(),
+            feed_base: 0,
+            published_pos: 0,
+            next_epoch: 1,
+            steps_since_publish: 0,
+            policy: self.rotation,
+            recycle_wait: self.recycle_wait,
+            headroom,
+            vrp_counts: Vec::new(),
+            irr_counts: Vec::new(),
+            dirty_vrp: Vec::new(),
+            dirty_irr: Vec::new(),
+            stats: ServiceStats::default(),
+        };
+        SnapshotService { registry, writer: Mutex::new(writer) }
+    }
+}
+
+/// The sharded snapshot query service. Any number of concurrent
+/// readers ([`SnapshotService::client`]); one writer at a time
+/// ([`SnapshotService::apply`], internally serialized).
+pub struct SnapshotService<'w> {
+    registry: Arc<EpochRegistry>,
+    writer: Mutex<ServiceWriter<'w>>,
+}
+
+impl<'w> SnapshotService<'w> {
+    /// Starts configuring a service over `world`.
+    pub fn builder(world: &'w ScenarioWorld) -> ServiceBuilder<'w> {
+        ServiceBuilder::new(world)
+    }
+
+    /// A new reader with its own pin slot and warm buffers.
+    pub fn client(&self) -> ServiceClient {
+        let shards = self.registry.acquire(None).router().shards();
+        ServiceClient::new(Arc::clone(&self.registry), shards)
+    }
+
+    /// The current epoch, via the locked (slot-less) acquire path.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.registry.acquire(None)
+    }
+
+    /// Total visible pairs served.
+    pub fn pair_count(&self) -> usize {
+        self.handle().pair_count()
+    }
+
+    /// Applies one timeline step and rotates epochs per policy.
+    pub fn apply<I: IntoIterator<Item = RegistryDelta>>(&self, date: Date, deltas: I) {
+        let mut writer = self.writer.lock().unwrap();
+        writer.apply(date, deltas, &self.registry);
+    }
+
+    /// Applies one prepared series step.
+    pub fn apply_step(&self, step: &SeriesStep) {
+        self.apply(step.date, step.deltas.iter().cloned());
+    }
+
+    /// Publishes any feed entries not yet reflected in the current
+    /// epoch (a no-op when rotation already caught up).
+    pub fn flush(&self) {
+        let mut writer = self.writer.lock().unwrap();
+        if writer.published_pos < writer.feed_len() {
+            writer.publish_epoch(&self.registry);
+        }
+    }
+
+    /// Writer + engine work counters.
+    pub fn stats(&self) -> ServiceStats {
+        let writer = self.writer.lock().unwrap();
+        let mut stats = writer.stats;
+        stats.engine = writer.engine.stats();
+        stats
+    }
+
+    /// End-to-end self-check: flushes, then asserts the published
+    /// epoch's statuses equal the engine's slot-for-slot AND that
+    /// re-validating every pair through the shard indexes reproduces
+    /// the stored statuses. `true` when fully consistent.
+    pub fn verify(&self) -> bool {
+        self.flush();
+        let writer = self.writer.lock().unwrap();
+        let snap = self.registry.acquire(None);
+        if snap.collect_statuses() != writer.engine.statuses() {
+            return false;
+        }
+        let mut scratch = BatchScratch::new();
+        let (mut rpki_buf, mut irr_buf) = (Vec::new(), Vec::new());
+        for shard in snap.shards() {
+            shard.vrp.validate_batch_into(&shard.pairs, &mut scratch, &mut rpki_buf);
+            shard.irr.validate_batch_into(&shard.pairs, &mut scratch, &mut irr_buf);
+            for (local, &stored) in shard.status.iter().enumerate() {
+                if (rpki_buf[local], irr_buf[local]) != stored {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The write side: the live engine, the feed log, and the buffer pool.
+struct ServiceWriter<'w> {
+    engine: TimelineEngine<'w>,
+    router: ShardRouter,
+    /// Reclaimed epoch buffers awaiting reuse.
+    spares: Vec<Arc<EpochSnapshot>>,
+    /// Drained engine feeds not yet reflected in every live buffer;
+    /// `feed_log[0]` is absolute position `feed_base`.
+    feed_log: VecDeque<EngineFeed>,
+    feed_base: usize,
+    /// Absolute feed position of the last published epoch.
+    published_pos: usize,
+    next_epoch: u64,
+    steps_since_publish: usize,
+    policy: RotationPolicy,
+    recycle_wait: Duration,
+    headroom: usize,
+    vrp_counts: Vec<usize>,
+    irr_counts: Vec<usize>,
+    dirty_vrp: Vec<bool>,
+    dirty_irr: Vec<bool>,
+    stats: ServiceStats,
+}
+
+impl ServiceWriter<'_> {
+    fn feed_len(&self) -> usize {
+        self.feed_base + self.feed_log.len()
+    }
+
+    fn apply<I: IntoIterator<Item = RegistryDelta>>(
+        &mut self,
+        date: Date,
+        deltas: I,
+        registry: &EpochRegistry,
+    ) {
+        self.engine.step(date, deltas);
+        let feed = self.engine.take_feed().expect("service engines always feed");
+        self.stats.steps_applied += 1;
+        if !feed.is_empty() {
+            self.feed_log.push_back(feed);
+        }
+        self.steps_since_publish += 1;
+        let due = match self.policy {
+            RotationPolicy::EveryStep => true,
+            RotationPolicy::Coalesce(n) => self.steps_since_publish >= n.max(1),
+        };
+        if due {
+            self.publish_epoch(registry);
+        }
+    }
+
+    /// Builds and publishes the next epoch: recycle a buffer, replay
+    /// the feed log into it, rotate.
+    fn publish_epoch(&mut self, registry: &EpochRegistry) {
+        let mut buf = self.acquire_buffer(registry);
+        self.patch_buffer(&mut buf);
+        self.published_pos = buf.feed_pos;
+        registry.publish(Arc::new(buf));
+        self.stats.epochs_published += 1;
+        self.steps_since_publish = 0;
+        // Trim feed entries every live buffer has already replayed.
+        let oldest = registry.reclaim_into(&mut self.spares);
+        let oldest = self.spares.iter().map(|s| s.feed_pos).fold(oldest, usize::min);
+        while self.feed_base < oldest {
+            self.feed_log.pop_front();
+            self.feed_base += 1;
+        }
+    }
+
+    /// A mutable epoch buffer: a reclaimed spare when one is free
+    /// within the recycle wait, else a clone of the current epoch
+    /// (counted — steady state must never clone).
+    fn acquire_buffer(&mut self, registry: &EpochRegistry) -> EpochSnapshot {
+        let deadline = Instant::now() + self.recycle_wait;
+        loop {
+            registry.reclaim_into(&mut self.spares);
+            if let Some(i) =
+                (0..self.spares.len()).find(|&i| Arc::strong_count(&self.spares[i]) == 1)
+            {
+                match Arc::try_unwrap(self.spares.swap_remove(i)) {
+                    Ok(buf) if buf.feed_pos >= self.feed_base => return buf,
+                    // Trimmed past its resume point: unpatchable, drop.
+                    Ok(_) => continue,
+                    Err(arc) => self.spares.push(arc),
+                }
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        self.stats.epoch_clones += 1;
+        (*registry.acquire(None)).clone()
+    }
+
+    /// Replays `feed_log[buf.feed_pos..]` into `buf`: splice candidate
+    /// deltas per shard (or dirty the shard when the cost model says
+    /// rebuild / a splice fails), patch pair statuses and the
+    /// conformance histogram, then rebuild dirty shards from the
+    /// engine's registries — which are exactly the feed-complete
+    /// target state, because feeds are drained synchronously with
+    /// engine steps.
+    fn patch_buffer(&mut self, buf: &mut EpochSnapshot) {
+        let n = self.router.shards();
+        let start = buf.feed_pos - self.feed_base;
+
+        // Cost-model pre-pass: pending splices per shard, per index.
+        self.vrp_counts.clear();
+        self.vrp_counts.resize(n, 0);
+        self.irr_counts.clear();
+        self.irr_counts.resize(n, 0);
+        for feed in self.feed_log.iter().skip(start) {
+            for (vrp, _) in &feed.vrp {
+                for shard in self.router.shards_spanned(&vrp.prefix) {
+                    self.vrp_counts[shard] += 1;
+                }
+            }
+            for (prefix, _, _) in &feed.irr {
+                for shard in self.router.shards_spanned(prefix) {
+                    self.irr_counts[shard] += 1;
+                }
+            }
+        }
+        self.dirty_vrp.clear();
+        self.dirty_irr.clear();
+        for shard in 0..n {
+            self.dirty_vrp.push(
+                self.vrp_counts[shard] > 0
+                    && !patch_beats_rebuild(
+                        self.vrp_counts[shard],
+                        buf.shards[shard].vrp.candidate_count(),
+                    ),
+            );
+            self.dirty_irr.push(
+                self.irr_counts[shard] > 0
+                    && !patch_beats_rebuild(
+                        self.irr_counts[shard],
+                        buf.shards[shard].irr.candidate_count(),
+                    ),
+            );
+        }
+
+        for feed in self.feed_log.iter().skip(start) {
+            for &(vrp, added) in &feed.vrp {
+                for shard in self.router.shards_spanned(&vrp.prefix) {
+                    if self.dirty_vrp[shard] {
+                        continue;
+                    }
+                    match buf.shards[shard].vrp.apply_roa_delta_stats(&vrp, added) {
+                        Some((patch, compacted)) => {
+                            self.stats.index_patches += 1;
+                            self.stats.compactions += compacted as usize;
+                            self.stats.patch_spine_steps += patch.spine_steps;
+                            self.stats.patch_slots_moved += patch.slots_moved;
+                            self.stats.patch_nodes_fixed += patch.nodes_fixed;
+                        }
+                        None => {
+                            self.dirty_vrp[shard] = true;
+                            self.stats.patch_failures += 1;
+                        }
+                    }
+                }
+            }
+            for &(prefix, origin, added) in &feed.irr {
+                for shard in self.router.shards_spanned(&prefix) {
+                    if self.dirty_irr[shard] {
+                        continue;
+                    }
+                    match buf.shards[shard].irr.apply_object_delta_stats(&prefix, origin, added) {
+                        Some((patch, compacted)) => {
+                            self.stats.index_patches += 1;
+                            self.stats.compactions += compacted as usize;
+                            self.stats.patch_spine_steps += patch.spine_steps;
+                            self.stats.patch_slots_moved += patch.slots_moved;
+                            self.stats.patch_nodes_fixed += patch.nodes_fixed;
+                        }
+                        None => {
+                            self.dirty_irr[shard] = true;
+                            self.stats.patch_failures += 1;
+                        }
+                    }
+                }
+            }
+            for &(slot, rpki, irr) in &feed.status {
+                let (shard, local) = buf.slot_map[slot];
+                let state = &mut buf.shards[shard as usize];
+                let old = state.status[local as usize];
+                buf.conformance.unrecord(old.0, old.1);
+                buf.conformance.record(rpki, irr);
+                state.status[local as usize] = (rpki, irr);
+                self.stats.rows_patched += 1;
+            }
+        }
+
+        for shard in 0..n {
+            if self.dirty_vrp[shard] {
+                let router = self.router;
+                let mut vrp = CompiledVrpIndex::build_where(self.engine.vrps(), |p| {
+                    router.spans_shard(p, shard)
+                });
+                vrp.reserve_headroom(self.headroom);
+                buf.shards[shard].vrp = vrp;
+                self.stats.index_rebuilds += 1;
+            }
+            if self.dirty_irr[shard] {
+                let router = self.router;
+                let mut irr = CompiledIrrIndex::build_where(self.engine.irr(), |p| {
+                    router.spans_shard(p, shard)
+                });
+                irr.reserve_headroom(self.headroom);
+                buf.shards[shard].irr = irr;
+                self.stats.index_rebuilds += 1;
+            }
+            let state = &buf.shards[shard];
+            self.stats.max_fragmentation_vrp =
+                self.stats.max_fragmentation_vrp.max(state.vrp.fragmentation());
+            self.stats.max_fragmentation_irr =
+                self.stats.max_fragmentation_irr.max(state.irr.fragmentation());
+        }
+
+        buf.feed_pos = self.feed_len();
+        buf.date = self.engine.date();
+        buf.epoch = self.next_epoch;
+        self.next_epoch += 1;
+    }
+}
+
+/// Per-AS transit aggregates over the (path-invariant) transit rows.
+fn aggregate_hegemony(ihr: &IhrSnapshot) -> BTreeMap<Asn, HegemonySummary> {
+    let mut sums: BTreeMap<Asn, (usize, f64, f64)> = BTreeMap::new();
+    for transit in &ihr.transits {
+        let entry = sums.entry(transit.transit).or_insert((0, 0.0, 0.0));
+        entry.0 += 1;
+        entry.1 += transit.hegemony;
+        entry.2 = entry.2.max(transit.hegemony);
+    }
+    sums.into_iter()
+        .map(|(asn, (rows, sum, max))| {
+            (asn, HegemonySummary { transit_rows: rows, mean: sum / rows as f64, max })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Query, QueryResponse};
+    use manrs_scenario::{weekly_steps, ScenarioConfig};
+
+    fn world() -> ScenarioWorld {
+        ScenarioWorld::builder(ScenarioConfig::small(19)).build()
+    }
+
+    /// Weekly steps start 2022-02-01, before the world's snapshot
+    /// date — replaying services must start there too.
+    fn replay_start() -> Date {
+        Date::ymd(2022, 2, 1)
+    }
+
+    #[test]
+    fn initial_epoch_serves_the_engine_state() {
+        let w = world();
+        let service = SnapshotService::builder(&w).shards(4).build();
+        let snap = service.handle();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.date(), w.config.snapshot_date);
+        assert_eq!(snap.conformance().total(), service.pair_count() as u64);
+        assert!(service.verify());
+    }
+
+    #[test]
+    fn hegemony_lookups_aggregate_transit_rows() {
+        let w = world();
+        let service = SnapshotService::builder(&w).shards(2).build();
+        let mut client = service.client();
+        let transit = w.ihr.transits.first().expect("world has transit rows").transit;
+        let rows = w.ihr.transits.iter().filter(|t| t.transit == transit).count();
+        match client.query(&Query::Hegemony { asn: transit }) {
+            QueryResponse::Hegemony { summary: Some(summary), .. } => {
+                assert_eq!(summary.transit_rows, rows);
+                assert!(summary.max >= summary.mean && summary.mean > 0.0);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match client.query(&Query::Hegemony { asn: Asn(u32::MAX) }) {
+            QueryResponse::Hegemony { summary: None, .. } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rotation_policy_coalesces_epochs() {
+        let w = world();
+        let steps = weekly_steps(&w, 9, 0.05, w.config.seed);
+        let eager = SnapshotService::builder(&w)
+            .rotation(RotationPolicy::EveryStep)
+            .start_date(replay_start())
+            .build();
+        let lazy = SnapshotService::builder(&w)
+            .rotation(RotationPolicy::Coalesce(3))
+            .start_date(replay_start())
+            .build();
+        for step in &steps {
+            eager.apply_step(step);
+            lazy.apply_step(step);
+        }
+        assert_eq!(eager.stats().epochs_published, 9);
+        assert_eq!(lazy.stats().epochs_published, 3);
+        // Both end feed-complete and identical after a flush.
+        lazy.flush();
+        assert_eq!(eager.handle().collect_statuses(), lazy.handle().collect_statuses());
+        assert!(eager.verify() && lazy.verify());
+    }
+
+    #[test]
+    fn steady_state_rotation_recycles_buffers() {
+        let w = world();
+        let service = SnapshotService::builder(&w)
+            .shards(4)
+            .spare_buffers(2)
+            .start_date(replay_start())
+            .build();
+        for step in weekly_steps(&w, 12, 0.05, w.config.seed) {
+            service.apply_step(&step);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.epochs_published, 12);
+        assert_eq!(stats.index_rebuilds, 0, "weekly churn must patch, not rebuild: {stats:?}");
+        assert_eq!(stats.epoch_clones, 0, "spare buffers must recycle: {stats:?}");
+        assert!(stats.index_patches > 0);
+        assert!(service.verify());
+    }
+
+    #[test]
+    fn conformance_histogram_tracks_status_changes() {
+        let w = world();
+        let service = SnapshotService::builder(&w).shards(4).start_date(replay_start()).build();
+        let before = service.handle().conformance();
+        for step in weekly_steps(&w, 8, 0.1, w.config.seed) {
+            service.apply_step(&step);
+        }
+        let after = service.handle().conformance();
+        assert_eq!(after.total(), before.total(), "pair universe is fixed");
+        let stats = service.stats();
+        if stats.rows_patched > 0 {
+            assert_ne!(after, before, "patched rows must move histogram cells");
+        }
+        // The histogram always equals a recount of the served statuses.
+        let mut recount = ConformanceSummary::default();
+        for (rpki, irr) in service.handle().collect_statuses() {
+            recount.record(rpki, irr);
+        }
+        assert_eq!(after, recount);
+    }
+}

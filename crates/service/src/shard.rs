@@ -1,0 +1,159 @@
+//! Query and candidate routing over `N` shards.
+//!
+//! The service folds the 512 family+first-octet buckets
+//! ([`manrs_net::SHARD_BUCKETS`]) onto `N` shards by residue:
+//! shard = bucket mod `N`. Queries go to exactly one shard
+//! ([`ShardRouter::shard_of`]); candidates (VRPs, route objects) are
+//! replicated into every shard their bucket span touches
+//! ([`ShardRouter::shards_spanned`]) so the covering candidate of any
+//! query is always present in the query's shard. Because a candidate's
+//! bucket span is a consecutive range, the spanned shard set is
+//! `min(span, N)` consecutive residues — replication cost is bounded by
+//! the candidate's real octet footprint, and only family-wide prefixes
+//! (length < 8 − log2 span) land in every shard.
+
+use manrs_net::{shard_bucket, shard_bucket_span, Prefix};
+
+/// Upper bound on the shard count: one shard per first octet of one
+/// family is already far beyond useful parallelism.
+pub const MAX_SHARDS: usize = 256;
+
+/// Maps prefixes to shards for one fixed shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u16,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards, clamped to `1..=`[`MAX_SHARDS`].
+    pub fn new(shards: usize) -> Self {
+        ShardRouter { shards: shards.clamp(1, MAX_SHARDS) as u16 }
+    }
+
+    /// The shard count.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// The shard a *query* at `prefix` is answered by.
+    #[inline]
+    pub fn shard_of(&self, prefix: &Prefix) -> usize {
+        (shard_bucket(prefix) % self.shards) as usize
+    }
+
+    /// `true` when a *candidate* at `prefix` must be present in
+    /// `shard` — i.e. some bucket of the candidate's span folds onto
+    /// it. A query's own shard always satisfies this for every
+    /// candidate able to cover the query.
+    #[inline]
+    pub fn spans_shard(&self, prefix: &Prefix, shard: usize) -> bool {
+        let (lo, hi) = shard_bucket_span(prefix);
+        let span = (hi - lo + 1) as usize;
+        let n = self.shards as usize;
+        span >= n || (shard + n - (lo % self.shards) as usize) % n < span
+    }
+
+    /// The shards a candidate at `prefix` must be replicated into:
+    /// `min(span, N)` consecutive residues starting at its first
+    /// bucket's shard.
+    pub fn shards_spanned(&self, prefix: &Prefix) -> ShardSpan {
+        let (lo, hi) = shard_bucket_span(prefix);
+        let n = self.shards as usize;
+        let span = ((hi - lo + 1) as usize).min(n);
+        ShardSpan { next: (lo % self.shards) as usize, remaining: span, shards: n }
+    }
+}
+
+/// Iterator over the consecutive shard residues of one candidate span.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpan {
+    next: usize,
+    remaining: usize,
+    shards: usize,
+}
+
+impl Iterator for ShardSpan {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let shard = self.next;
+        self.next = (self.next + 1) % self.shards;
+        self.remaining -= 1;
+        Some(shard)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for ShardSpan {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_net::SHARD_BUCKETS;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let r = ShardRouter::new(1);
+        for s in ["10.0.0.0/8", "0.0.0.0/0", "2001:db8::/32"] {
+            assert_eq!(r.shard_of(&p(s)), 0);
+            assert!(r.spans_shard(&p(s), 0));
+            assert_eq!(r.shards_spanned(&p(s)).collect::<Vec<_>>(), vec![0]);
+        }
+    }
+
+    #[test]
+    fn spanned_set_matches_membership_test() {
+        for n in [1, 2, 3, 4, 7, 8, 13] {
+            let r = ShardRouter::new(n);
+            for s in ["10.0.0.0/8", "10.0.0.0/7", "8.0.0.0/5", "0.0.0.0/0", "2000::/3", "::/0"] {
+                let prefix = p(s);
+                let spanned: Vec<usize> = r.shards_spanned(&prefix).collect();
+                assert!(spanned.len() <= n);
+                for shard in 0..n {
+                    assert_eq!(
+                        spanned.contains(&shard),
+                        r.spans_shard(&prefix, shard),
+                        "{s} shard {shard}/{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covering_candidates_reach_the_query_shard() {
+        let cases = [
+            ("10.0.0.0/8", "10.1.0.0/16"),
+            ("10.0.0.0/7", "11.0.0.0/8"),
+            ("0.0.0.0/0", "192.0.2.0/24"),
+            ("::/0", "2001:db8::/48"),
+        ];
+        for n in 1..=16 {
+            let r = ShardRouter::new(n);
+            for (cand, query) in cases {
+                let (cand, query) = (p(cand), p(query));
+                assert!(
+                    r.spans_shard(&cand, r.shard_of(&query)),
+                    "{cand} must reach {query}'s shard under N={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ShardRouter::new(0).shards(), 1);
+        assert_eq!(ShardRouter::new(100_000).shards(), MAX_SHARDS);
+        assert!(MAX_SHARDS <= SHARD_BUCKETS as usize);
+    }
+}

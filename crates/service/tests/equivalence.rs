@@ -1,0 +1,168 @@
+//! Sharding must never change an answer: every query against a sharded
+//! service is bit-for-bit identical to the single-threaded, unsharded
+//! compiled-index path, for every shard count.
+
+use manrs_irr::CompiledIrrIndex;
+use manrs_net::{Asn, Date, Prefix};
+use manrs_rpki::{CompiledVrpIndex, Vrp, VrpSet};
+use manrs_scenario::{weekly_steps, ScenarioConfig, ScenarioWorld, TimelineEngine};
+use manrs_service::{Query, QueryResponse, ShardRouter, SnapshotService};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// Weekly steps start 2022-02-01, before the world's snapshot date —
+/// anything replaying them must start there too.
+fn replay_start() -> Date {
+    Date::ymd(2022, 2, 1)
+}
+
+/// Random v4/v6 prefixes biased toward shared first octets so covering
+/// relations (and shard-span replication) actually occur.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (0usize..7, 0u32..1 << 16, 0u8..19).prop_map(|(family, low, len)| {
+        if family < 5 {
+            let octet = [9u32, 10, 11, 192, 203][family];
+            let base = (octet << 24) | (low << 8);
+            Prefix::V4(manrs_net::Ipv4Prefix::new_truncated(base.into(), 6 + len).unwrap())
+        } else {
+            let base = ([0x20u128, 0x2a][family - 5] << 120) | ((low as u128) << 64);
+            Prefix::V6(manrs_net::Ipv6Prefix::new_truncated(base.into(), 20 + len).unwrap())
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-shard `build_where` slices answer covering queries exactly
+    /// like the full indexes, across every shard count.
+    #[test]
+    fn sharded_indexes_match_global(
+        vrps in prop::collection::vec((arb_prefix(), 1u32..64, 0u8..8), 1..40),
+        queries in prop::collection::vec((arb_prefix(), 1u32..64), 1..60),
+    ) {
+        let mut set = VrpSet::new();
+        for &(prefix, asn, extra) in &vrps {
+            let family_max = if matches!(prefix, Prefix::V4(_)) { 32 } else { 128 };
+            let max_len = (prefix.len() + extra).min(family_max);
+            set.insert(Vrp::new(prefix, Asn(asn), max_len));
+        }
+        let global = CompiledVrpIndex::build(&set);
+        for n in SHARD_COUNTS {
+            let router = ShardRouter::new(n);
+            let shards: Vec<CompiledVrpIndex> = (0..n)
+                .map(|s| CompiledVrpIndex::build_where(&set, |p| router.spans_shard(p, s)))
+                .collect();
+            for &(prefix, asn) in &queries {
+                let expected = global.validate(&prefix, Asn(asn));
+                let sharded = shards[router.shard_of(&prefix)].validate(&prefix, Asn(asn));
+                prop_assert_eq!(expected, sharded, "prefix {} shards {}", prefix, n);
+            }
+        }
+    }
+}
+
+/// Full-service equivalence: services at every shard count answer the
+/// same queries identically, before and after a replayed timeline, and
+/// match the unsharded compiled indexes over the engine's registries.
+#[test]
+fn service_answers_match_across_shard_counts() {
+    let world = ScenarioWorld::builder(ScenarioConfig::small(23)).build();
+    let services: Vec<SnapshotService> = SHARD_COUNTS
+        .iter()
+        .map(|&n| SnapshotService::builder(&world).shards(n).start_date(replay_start()).build())
+        .collect();
+    let mut clients: Vec<_> = services.iter().map(|s| s.client()).collect();
+
+    // Query the whole visible table plus probes that hit no shard's
+    // own pairs (NotFound routing still must agree).
+    let mut queries = services[0].handle().collect_pairs();
+    queries.push((p("198.51.100.0/24"), Asn(64_496)));
+    queries.push((p("2001:db8:ffff::/48"), Asn(64_497)));
+
+    let steps = weekly_steps(&world, 10, 0.05, world.config.seed);
+    let mut dates = vec![None];
+    dates.extend(steps.iter().map(|s| Some(s.date)));
+    for (i, date) in dates.iter().enumerate() {
+        if date.is_some() {
+            let step = &steps[i - 1];
+            for service in &services {
+                service.apply_step(step);
+            }
+        }
+        let baseline = match clients[0].query(&Query::ValidatePairs { pairs: queries.clone() }) {
+            QueryResponse::Statuses { statuses, .. } => statuses,
+            other => panic!("unexpected response {other:?}"),
+        };
+        for client in &mut clients[1..] {
+            match client.query(&Query::ValidatePairs { pairs: queries.clone() }) {
+                QueryResponse::Statuses { statuses, .. } => assert_eq!(statuses, baseline),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        // Conformance and revalidation agree everywhere too.
+        let conf = clients[0].query(&Query::Conformance);
+        for (client, service) in clients.iter_mut().zip(&services).skip(1) {
+            match (client.query(&Query::Conformance), &conf) {
+                (
+                    QueryResponse::Conformance { summary, .. },
+                    QueryResponse::Conformance { summary: expected, .. },
+                ) => assert_eq!(&summary, expected),
+                other => panic!("unexpected responses {other:?}"),
+            }
+            match client.query(&Query::RevalidateAll) {
+                QueryResponse::Revalidation { pairs, drifted, .. } => {
+                    assert_eq!(pairs, service.pair_count());
+                    assert_eq!(drifted, 0, "shard indexes drifted from statuses");
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+    for service in &services {
+        assert!(service.verify(), "service failed self-verification");
+    }
+}
+
+/// The unsharded oracle: after the same replay, a sharded service
+/// answers exactly like global compiled indexes built from scratch
+/// over a plain (non-sharded, single-threaded) engine's registries.
+#[test]
+fn sharded_service_matches_unsharded_oracle() {
+    let world = ScenarioWorld::builder(ScenarioConfig::small(31)).build();
+    let steps = weekly_steps(&world, 6, 0.08, world.config.seed);
+
+    let mut oracle_engine = TimelineEngine::new(&world, replay_start());
+    for step in &steps {
+        oracle_engine.step(step.date, step.deltas.iter().cloned());
+    }
+    let oracle_vrp = CompiledVrpIndex::build(oracle_engine.vrps());
+    let oracle_irr = CompiledIrrIndex::build(oracle_engine.irr());
+
+    for n in SHARD_COUNTS {
+        let service = SnapshotService::builder(&world).shards(n).start_date(replay_start()).build();
+        let mut client = service.client();
+        for step in &steps {
+            service.apply_step(step);
+        }
+        let mut queries = service.handle().collect_pairs();
+        queries.push((p("198.51.100.0/24"), Asn(64_496)));
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|&(prefix, origin)| {
+                (oracle_vrp.validate(&prefix, origin), oracle_irr.validate(&prefix, origin))
+            })
+            .collect();
+        match client.query(&Query::ValidatePairs { pairs: queries }) {
+            QueryResponse::Statuses { statuses, .. } => assert_eq!(statuses, expected),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(service.handle().collect_statuses(), oracle_engine.statuses());
+        assert!(service.verify());
+    }
+}

@@ -1,0 +1,112 @@
+//! Snapshot-rotation consistency under concurrency.
+//!
+//! Readers holding an old [`manrs_service::SnapshotHandle`] must see a
+//! frozen epoch that is bit-for-bit equal to the same epoch built
+//! sequentially — across 1/2/4/8 reader threads racing one writer.
+//! The sequential reference is a second, single-threaded replay of the
+//! identical step stream, flushed after every step so each epoch
+//! number maps to exactly one canonical state.
+
+use manrs_irr::IrrStatus;
+use manrs_net::Date;
+use manrs_rpki::RpkiStatus;
+use manrs_scenario::{weekly_steps, ScenarioConfig, ScenarioWorld};
+use manrs_service::{Query, QueryResponse, RotationPolicy, SnapshotService};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+type Statuses = Vec<(RpkiStatus, IrrStatus)>;
+
+/// Weekly steps start 2022-02-01, before the world's snapshot date —
+/// anything replaying them must start there too.
+fn replay_start() -> Date {
+    Date::ymd(2022, 2, 1)
+}
+
+/// Sequential replay: the canonical statuses of every epoch.
+fn reference_epochs(world: &ScenarioWorld, weeks: usize) -> BTreeMap<u64, Statuses> {
+    let service = SnapshotService::builder(world)
+        .shards(4)
+        .rotation(RotationPolicy::EveryStep)
+        .start_date(replay_start())
+        .build();
+    let mut epochs = BTreeMap::new();
+    let snap = service.handle();
+    epochs.insert(snap.epoch(), snap.collect_statuses());
+    for step in weekly_steps(world, weeks, 0.05, world.config.seed) {
+        service.apply_step(&step);
+        let snap = service.handle();
+        epochs.insert(snap.epoch(), snap.collect_statuses());
+    }
+    assert!(service.verify());
+    epochs
+}
+
+#[test]
+fn concurrent_readers_see_sequentially_identical_epochs() {
+    let world = ScenarioWorld::builder(ScenarioConfig::small(17)).build();
+    const WEEKS: usize = 12;
+    let reference = reference_epochs(&world, WEEKS);
+
+    for readers in [1usize, 2, 4, 8] {
+        let service = SnapshotService::builder(&world)
+            .shards(4)
+            .rotation(RotationPolicy::EveryStep)
+            .start_date(replay_start())
+            .build();
+        let steps = weekly_steps(&world, WEEKS, 0.05, world.config.seed);
+        let done = AtomicBool::new(false);
+        let service_ref = &service;
+        let done_ref = &done;
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..readers {
+                handles.push(scope.spawn(move || {
+                    let mut client = service_ref.client();
+                    let mut sampled: Vec<(u64, Statuses)> = Vec::new();
+                    let mut held = service_ref.handle();
+                    while !done_ref.load(Ordering::Relaxed) {
+                        // Sample the *current* epoch...
+                        let snap = client.handle();
+                        sampled.push((snap.epoch(), snap.collect_statuses()));
+                        // ...and re-read the *held* old epoch: it must
+                        // stay frozen no matter what the writer does.
+                        sampled.push((held.epoch(), held.collect_statuses()));
+                        if sampled.len().is_multiple_of(7) {
+                            held = client.handle();
+                        }
+                        // The query path answers from a consistent
+                        // epoch too (no torn reads mid-rotation).
+                        match client.query(&Query::RevalidateAll) {
+                            QueryResponse::Revalidation { epoch, drifted, .. } => {
+                                assert_eq!(drifted, 0, "epoch {epoch} drifted mid-read");
+                            }
+                            other => panic!("unexpected response {other:?}"),
+                        }
+                    }
+                    sampled
+                }));
+            }
+            for step in &steps {
+                service_ref.apply_step(step);
+            }
+            done_ref.store(true, Ordering::Relaxed);
+            for handle in handles {
+                for (epoch, statuses) in handle.join().expect("reader thread panicked") {
+                    let expected = reference
+                        .get(&epoch)
+                        .unwrap_or_else(|| panic!("reader saw unknown epoch {epoch}"));
+                    assert_eq!(
+                        &statuses, expected,
+                        "epoch {epoch} read concurrently differs from sequential build \
+                         ({readers} readers)"
+                    );
+                }
+            }
+        });
+        assert!(service.verify(), "post-race self-check ({readers} readers)");
+        let stats = service.stats();
+        assert_eq!(stats.epochs_published, steps.len() as u64);
+    }
+}

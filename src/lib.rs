@@ -17,6 +17,7 @@
 //! | [`ihr`] | `manrs-ihr` | prefix-origin/transit datasets, AS hegemony |
 //! | [`core`] | `manrs-core` | the paper's analyses (participation, Action 1/4, impact) |
 //! | [`scenario`] | `manrs-scenario` | calibrated world generation and timelines |
+//! | [`service`] | `manrs-service` | sharded snapshot query service with epoch-rotated reads |
 //!
 //! ## Quickstart
 //!
@@ -46,15 +47,26 @@ pub use manrs_irr as irr;
 pub use manrs_net as net;
 pub use manrs_rpki as rpki;
 pub use manrs_scenario as scenario;
+pub use manrs_service as service;
 pub use manrs_topology as topology;
 
 /// The commonly-used names in one import.
 ///
-/// Only the builder-style surface is exported here
-/// ([`CollectionPlan`](manrs_bgp::CollectionPlan), [`SnapshotSeries`],
-/// [`ScenarioWorld::builder`](manrs_scenario::ScenarioWorld::builder));
-/// the deprecated 0.2.0 shims stay reachable through each crate's
-/// `compat` module but are no longer in the prelude.
+/// Only the builder-style surface is exported here. The 0.2.0 compat
+/// shims were removed in 0.3.0; old call sites map to the builder
+/// equivalents:
+///
+/// | removed (0.2.0) | use instead (0.3.0) |
+/// |-----------------|---------------------|
+/// | `bgp::compat::collect_table(..)` | [`TableCollector::plan`](manrs_bgp::TableCollector::plan)`().collect(..)` |
+/// | `bgp::compat::collect_with_policy(..)` | [`CollectionPlan::policy`](manrs_bgp::CollectionPlan)` + .collect(..)` |
+/// | `scenario::compat::build_world(..)` | [`ScenarioWorld::builder`](manrs_scenario::ScenarioWorld::builder)`(..).build()` |
+/// | `scenario::compat::yearly_snapshots(..)` | [`SnapshotSeries::yearly`](manrs_scenario::SnapshotSeries::yearly) |
+/// | `scenario::compat::weekly_snapshots(..)` | [`SnapshotSeries::weekly`](manrs_scenario::SnapshotSeries::weekly) |
+///
+/// Serving-layer types ([`SnapshotService`](manrs_service::SnapshotService),
+/// [`Query`](manrs_service::Query), …) are part of the prelude so the
+/// quickstart path is one import.
 pub mod prelude {
     pub use manrs_bgp::{
         Announcement, CollectedRib, CollectionPlan, CollectionStrategy, FilteringPolicy,
@@ -73,8 +85,14 @@ pub mod prelude {
     pub use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
     pub use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};
     pub use manrs_scenario::{
-        BehaviorMatrix, RegistryDelta, ScenarioConfig, ScenarioWorld, ScenarioWorldBuilder,
-        SeriesStep, SnapshotSeries, TimelineEngine, TimelineSnapshot, YearlySnapshot,
+        weekly_steps, BehaviorMatrix, EngineFeed, RegistryDelta, ScenarioConfig, ScenarioWorld,
+        ScenarioWorldBuilder, SeriesStep, SnapshotSeries, TimelineEngine, TimelineSnapshot,
+        YearlySnapshot,
+    };
+    pub use manrs_service::{
+        ConformanceSummary, HegemonySummary, Query, QueryResponse, RotationPolicy,
+        ServiceBuilder, ServiceClient, ServiceStats, ShardRouter, SnapshotHandle,
+        SnapshotService,
     };
     pub use manrs_topology::{AsTopology, ConeAnalysis, Prefix2As, SizeClass, SizeThresholds};
 }
