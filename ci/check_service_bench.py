@@ -24,6 +24,7 @@ import sys
 
 SCHEMA = (
     "host_cpus",
+    "seed",
     "scale",
     "shards",
     "readers",
@@ -98,11 +99,24 @@ def main(path: str) -> None:
     )
 
     # Concurrent-read guarantee: applying deltas must not stall readers.
-    # Gated on core count — below 4 cores the readers and the writer
+    # The gate is decided from the artifact alone — `host_cpus` is the
+    # core count of the machine that *produced* the JSON, recorded by
+    # the bench itself, never the runner re-checking it (a committed
+    # 1-core artifact must not fail on a 16-core CI host, and a 16-core
+    # artifact must not dodge the gate on a 1-core checker). The ratio
+    # only measures writer interference when every recorded reader and
+    # the writer had a core to themselves; below that the readers
     # time-slice one another and the ratio measures the scheduler.
-    if data["host_cpus"] >= 4:
+    cores_needed = data["readers"] + 1
+    if data["host_cpus"] >= cores_needed:
         assert data["reader_drop_ratio"] <= 0.20, (
             f"reader throughput dropped {data['reader_drop_ratio']:.1%} during replay"
+        )
+    else:
+        print(
+            f"  reader-drop gate skipped: artifact recorded host_cpus="
+            f"{data['host_cpus']} < {cores_needed} "
+            f"({data['readers']} readers + 1 writer)"
         )
 
     print(f"{path} schema OK")

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Schema and invariant checks for BENCH_sweep.json.
+
+Shared by the CI smoke step (small scale) and the scheduled paper-scale
+job. The adoption-sweep harness amortizes world construction across a
+Monte-Carlo grid, so the structural guarantees are:
+
+* the warm per-trial cost beats a cold full world build by the
+  amortization floor (5x at medium/paper scale, 2x at small where the
+  cold build itself is nearly free);
+* a warm trial cycle — overlay on, measure, overlay off — performs
+  zero heap allocations (counting global allocator around a full warm
+  re-run of the grid);
+* every registry delta lands through the copy-on-write splice path:
+  zero compiled-index rebuilds across the whole grid;
+* the overlay path defers compaction (the per-trial re-anchor makes it
+  unnecessary), so the grid reports zero compactions;
+* per-cell bootstrap intervals are ordered and every reported share is
+  a probability.
+"""
+
+import json
+import sys
+
+SCHEMA = (
+    "host_cpus",
+    "seed",
+    "scale",
+    "threads",
+    "fractions",
+    "mixes",
+    "trials_per_cell",
+    "hijacks_per_trial",
+    "trials",
+    "pairs",
+    "as_count",
+    "cold_build_secs",
+    "base_build_secs",
+    "warm_wall_secs",
+    "warm_trial_secs",
+    "trials_per_sec",
+    "amortized_speedup",
+    "overlay_allocs_steady",
+    "index_patches",
+    "index_rebuilds",
+    "compactions",
+    "cells",
+)
+
+CELL_METRICS = (
+    "attacker_share",
+    "victim_share",
+    "disconnected_share",
+    "detected_share",
+    "conformant_share",
+    "unconformant_share",
+    "manrs_transit_share",
+)
+
+# Amortization floor: warm trials must beat a cold full world build by
+# this factor. Small worlds build in milliseconds, so the bar is lower
+# there; at medium and paper scale the cold build dominates and the
+# shared-base design must clear 5x with room to spare.
+SPEEDUP_FLOOR = {"small": 2.0}
+SPEEDUP_FLOOR_DEFAULT = 5.0
+
+
+def main(path: str) -> None:
+    with open(path) as f:
+        data = json.load(f)
+    for key in SCHEMA:
+        assert key in data, f"missing {key}"
+    assert isinstance(data["host_cpus"], int) and data["host_cpus"] >= 1
+    assert data["pairs"] > 0, "sweep ran over an empty pair universe"
+    assert data["trials"] == data["fractions"] * data["mixes"] * data["trials_per_cell"], (
+        "trial count does not cover the grid"
+    )
+    assert len(data["cells"]) == data["fractions"] * data["mixes"], (
+        "cell count does not cover the grid"
+    )
+
+    # Amortization: the whole point of the shared frozen base.
+    floor = SPEEDUP_FLOOR.get(data["scale"], SPEEDUP_FLOOR_DEFAULT)
+    assert data["amortized_speedup"] >= floor, (
+        f"warm trial only {data['amortized_speedup']:.1f}x faster than a cold "
+        f"world build (floor {floor}x at {data['scale']} scale)"
+    )
+
+    # Zero-allocation warm trial cycle.
+    assert data["overlay_allocs_steady"] == 0, (
+        f"warm trial cycle hit the allocator: {data['overlay_allocs_steady']}"
+    )
+    # Every delta splices; the copy-on-write path never falls back to
+    # reflattening, and deferred compaction means none fire mid-grid.
+    assert data["index_patches"] > 0, "grid spliced nothing"
+    assert data["index_rebuilds"] == 0, (
+        f"overlay fell back to index rebuilds: {data['index_rebuilds']}"
+    )
+    assert data["compactions"] == 0, (
+        f"overlay path compacted mid-grid: {data['compactions']}"
+    )
+
+    for cell in data["cells"]:
+        where = f"cell ({cell['fraction']}, {cell['mix']})"
+        assert 0.0 <= cell["fraction"] <= 1.0, f"{where}: fraction out of range"
+        assert cell["adopters_mean"] >= 0.0, f"{where}: negative adopter count"
+        for name in CELL_METRICS:
+            m = cell[name]
+            assert m["ci_lo"] <= m["mean"] <= m["ci_hi"], (
+                f"{where}: {name} bootstrap interval disordered"
+            )
+            assert 0.0 <= m["ci_lo"] and m["ci_hi"] <= 1.0, (
+                f"{where}: {name} is not a probability"
+            )
+        routed = (
+            cell["attacker_share"]["mean"]
+            + cell["victim_share"]["mean"]
+            + cell["disconnected_share"]["mean"]
+        )
+        # Tolerance covers the 6-decimal rounding of three summed means.
+        assert abs(routed - 1.0) < 1e-5, (
+            f"{where}: outcome shares sum to {routed}, not 1"
+        )
+
+    print(f"{path} schema OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_sweep.json")

@@ -17,6 +17,7 @@ def main(path: str) -> None:
     with open(path) as f:
         data = json.load(f)
     assert isinstance(data["host_cpus"], int) and data["host_cpus"] >= 1
+    assert isinstance(data["seed"], int), "world seed not recorded"
     assert data["measurements"], "no measurements recorded"
     for m in data["measurements"]:
         for key in (

@@ -23,7 +23,7 @@
 //! fragmentation) and `verify()` re-checks every shard against the
 //! engine. Everything lands in `BENCH_service.json`.
 
-use manrs_bench::build_world;
+use manrs_bench::{build_world, harness_seed};
 use manrs_net::{Asn, Date, Prefix};
 use manrs_scenario::{weekly_steps, SeriesStep};
 use manrs_service::{Query, QueryResponse, RotationPolicy, ServiceStats, SnapshotService};
@@ -249,6 +249,7 @@ fn render_json(
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"seed\": {},", harness_seed());
     let _ = writeln!(json, "  \"scale\": \"{scale}\",");
     let _ = writeln!(json, "  \"shards\": {SHARDS},");
     let _ = writeln!(json, "  \"readers\": {readers},");

@@ -1,0 +1,246 @@
+//! Benchmark: Monte-Carlo adoption sweeps with amortized world
+//! construction (`manrs_scenario::sweep`).
+//!
+//! A naive adoption sweep rebuilds a `ScenarioWorld` — topology, RPKI
+//! signing, path interning, compiled-index flattening, full collection —
+//! for every (adoption fraction, policy mix, seed) trial. The sweep
+//! harness pays that once per grid: a shared frozen [`SweepBase`] plus
+//! recycled per-worker copy-on-write overlays. This bench measures the
+//! amortization directly:
+//!
+//! * `cold_build_secs` — one full `ScenarioWorld` build including table
+//!   collection: what every trial used to cost.
+//! * `warm_trial_secs` — per-trial cost of the grid once workspaces are
+//!   warm (the grid is run twice; the second, fully warm pass is
+//!   timed). `amortized_speedup = cold / warm` is the headline gate
+//!   (≥ 5x at medium scale).
+//! * `overlay_allocs_steady` — heap allocations across a full warm
+//!   serial re-run of the grid on one workspace. Re-running identical
+//!   trial specs from the re-anchored base arena is deterministic, so a
+//!   warm repeat must allocate **zero** times.
+//! * `index_rebuilds` — splice failures across the whole grid; the
+//!   copy-on-write path must never fall back to reflattening.
+//!
+//! Results go to `BENCH_sweep.json` (gated by `ci/check_sweep_bench.py`)
+//! with the per-cell adoption-vs-outcome curves embedded for figure
+//! generation. `MANRS_SCALE` picks the world size; `MANRS_BENCH_SEED`
+//! overrides the world seed; `MANRS_THREADS` bounds the fan-out.
+
+use manrs_bench::{harness_seed, Scale};
+use manrs_bgp::ParallelConfig;
+use manrs_scenario::{
+    PolicyMix, ScenarioWorld, SweepBase, SweepPlan, SweepReport, TrialWorkspace,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Heap-allocation counter wrapped around the system allocator, so the
+/// steady-state probe can assert a warm trial cycle touches the
+/// allocator zero times. Only `alloc`/`realloc` count: frees are not
+/// growth and the probe is single-threaded.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const FRACTIONS: &[f64] = &[0.0, 0.1, 0.25, 0.5, 0.75, 0.9];
+const MIXES: &[PolicyMix] = &[PolicyMix::ROV, PolicyMix::ACTION1];
+const TRIALS: usize = 6;
+const HIJACKS: usize = 8;
+
+fn plan(par: ParallelConfig) -> SweepPlan {
+    SweepPlan::new()
+        .fractions(FRACTIONS)
+        .mixes(MIXES)
+        .trials(TRIALS)
+        .hijacks(HIJACKS)
+        .seed(harness_seed())
+        .parallel(par)
+}
+
+/// Allocations across one full warm serial pass of the grid on a single
+/// recycled workspace. The workspace has already executed every spec
+/// once, so capacities sit at their high-water marks and the re-anchored
+/// base arena makes each spec's splice sequence identical to its first
+/// run — any allocation here is a real steady-state leak.
+fn steady_state_allocs(base: &SweepBase, ws: &mut TrialWorkspace) -> u64 {
+    let specs = plan(ParallelConfig::serial()).specs();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for spec in &specs {
+        std::hint::black_box(ws.run_trial(base, spec, HIJACKS));
+    }
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: &str,
+    threads: usize,
+    pairs: usize,
+    as_count: usize,
+    cold_build_secs: f64,
+    base_build_secs: f64,
+    warm_wall_secs: f64,
+    allocs_steady: u64,
+    report: &SweepReport,
+) -> String {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let trials = report.totals.trials.max(1);
+    let warm_trial_secs = warm_wall_secs / trials as f64;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"seed\": {},", report.seed);
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"fractions\": {},", report.fractions.len());
+    let _ = writeln!(json, "  \"mixes\": {},", report.mixes.len());
+    let _ = writeln!(json, "  \"trials_per_cell\": {},", report.trials_per_cell);
+    let _ = writeln!(json, "  \"hijacks_per_trial\": {},", report.hijacks_per_trial);
+    let _ = writeln!(json, "  \"trials\": {},", report.totals.trials);
+    let _ = writeln!(json, "  \"pairs\": {pairs},");
+    let _ = writeln!(json, "  \"as_count\": {as_count},");
+    let _ = writeln!(json, "  \"cold_build_secs\": {cold_build_secs:.6},");
+    let _ = writeln!(json, "  \"base_build_secs\": {base_build_secs:.6},");
+    let _ = writeln!(json, "  \"warm_wall_secs\": {warm_wall_secs:.6},");
+    let _ = writeln!(json, "  \"warm_trial_secs\": {warm_trial_secs:.6},");
+    let _ = writeln!(json, "  \"trials_per_sec\": {:.1},", trials as f64 / warm_wall_secs.max(1e-9));
+    let _ = writeln!(
+        json,
+        "  \"amortized_speedup\": {:.3},",
+        cold_build_secs / warm_trial_secs.max(1e-12)
+    );
+    let _ = writeln!(json, "  \"overlay_allocs_steady\": {allocs_steady},");
+    let _ = writeln!(json, "  \"index_patches\": {},", report.totals.index_patches);
+    let _ = writeln!(json, "  \"index_rebuilds\": {},", report.totals.index_rebuilds);
+    let _ = writeln!(json, "  \"compactions\": {},", report.totals.compactions);
+    json.push_str("  \"cells\": [\n");
+    for (i, cell) in report.cells.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"fraction\": {},", cell.fraction);
+        let _ = writeln!(json, "      \"mix\": \"{}\",", cell.mix);
+        let _ = writeln!(json, "      \"adopters_mean\": {:.1},", cell.adopters_mean);
+        for (name, m) in [
+            ("attacker_share", &cell.attacker_share),
+            ("victim_share", &cell.victim_share),
+            ("disconnected_share", &cell.disconnected_share),
+            ("detected_share", &cell.detected_share),
+            ("conformant_share", &cell.conformant_share),
+            ("unconformant_share", &cell.unconformant_share),
+            ("manrs_transit_share", &cell.manrs_transit_share),
+        ] {
+            let _ = writeln!(
+                json,
+                "      \"{name}\": {{\"mean\": {:.6}, \"ci_lo\": {:.6}, \"ci_hi\": {:.6}}},",
+                m.mean, m.ci_lo, m.ci_hi
+            );
+        }
+        let _ = writeln!(json, "      \"splices\": {}", cell.splices);
+        let _ = writeln!(json, "    }}{}", if i + 1 == report.cells.len() { "" } else { "," });
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    let scale_name = std::env::var("MANRS_SCALE").unwrap_or_else(|_| "medium".into());
+    let scale = Scale::from_env();
+    let par = ParallelConfig::from_env();
+    let threads = par.effective_threads(usize::MAX);
+    let seed = harness_seed();
+
+    // Cold baseline: what one trial costs without amortization — a full
+    // world build, collection included (`build()` collects the RIB).
+    eprintln!("[cold] building {scale_name} world (seed {seed}) ...");
+    let start = Instant::now();
+    let world = ScenarioWorld::builder(scale.config(seed)).parallel(par).build();
+    let cold_build_secs = start.elapsed().as_secs_f64();
+    let pairs = world.announcements.len();
+    let as_count = world.world.topology.len();
+    eprintln!("[cold] {cold_build_secs:.2}s ({as_count} ASes, {pairs} pairs)");
+
+    // The same world becomes the shared frozen base — the one-time cost
+    // every trial then shares.
+    let start = Instant::now();
+    let base = SweepBase::new(world);
+    let base_build_secs = start.elapsed().as_secs_f64();
+    eprintln!("[base] frozen in {base_build_secs:.2}s");
+
+    // Pass 1 warms worker workspaces (clones, arena headroom, scratch
+    // high-water marks); pass 2 is the steady-state measurement.
+    eprintln!("[grid] {} cells x {TRIALS} trials, {threads} threads ...", FRACTIONS.len() * MIXES.len());
+    let sweep = plan(par);
+    let report = sweep.run(&base);
+    let start = Instant::now();
+    let report_warm = sweep.run(&base);
+    let warm_wall_secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.cells, report_warm.cells, "sweep must be deterministic across runs");
+    let trials = report_warm.totals.trials.max(1);
+    eprintln!(
+        "[grid] warm: {warm_wall_secs:.3}s for {trials} trials ({:.1} trials/s)",
+        trials as f64 / warm_wall_secs.max(1e-9)
+    );
+
+    // Steady-state allocation probe: one serial workspace, every spec
+    // pre-run once (warm-up), then the full grid again under the
+    // counter.
+    eprintln!("[alloc] warming serial workspace ...");
+    let mut ws = TrialWorkspace::new(&base);
+    for spec in &plan(ParallelConfig::serial()).specs() {
+        std::hint::black_box(ws.run_trial(&base, spec, HIJACKS));
+    }
+    let allocs_steady = steady_state_allocs(&base, &mut ws);
+    eprintln!("[alloc] steady-state allocations across warm grid: {allocs_steady}");
+
+    let warm_trial_secs = warm_wall_secs / trials as f64;
+    println!(
+        "{:<8} {:>8} {:>8} {:>12} {:>12} {:>12} {:>10} {:>8} {:>10}",
+        "scale", "trials", "pairs", "cold s", "warm s/trial", "speedup", "allocs", "rebuilds", "patches"
+    );
+    println!(
+        "{:<8} {:>8} {:>8} {:>12.3} {:>12.6} {:>11.1}x {:>10} {:>8} {:>10}",
+        scale_name,
+        trials,
+        pairs,
+        cold_build_secs,
+        warm_trial_secs,
+        cold_build_secs / warm_trial_secs.max(1e-12),
+        allocs_steady,
+        report_warm.totals.index_rebuilds,
+        report_warm.totals.index_patches,
+    );
+
+    let json = render_json(
+        &scale_name,
+        threads,
+        pairs,
+        as_count,
+        cold_build_secs,
+        base_build_secs,
+        warm_wall_secs,
+        allocs_steady,
+        &report_warm,
+    );
+    let path = "BENCH_sweep.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    eprintln!("wrote {path}");
+}

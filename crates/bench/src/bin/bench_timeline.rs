@@ -22,7 +22,7 @@
 //! remove/insert patch cycle — which must be zero, the property that
 //! makes splicing viable inside a latency-sensitive replay loop.
 
-use manrs_bench::{Scale, HARNESS_SEED};
+use manrs_bench::{harness_seed, Scale};
 use manrs_irr::{validate_irr, CompiledIrrIndex, IrrRegistry, IrrStatus};
 use manrs_net::Date;
 use manrs_rpki::{validate_origin, CompiledVrpIndex, RelyingParty, RpkiRepository, RpkiStatus};
@@ -179,7 +179,7 @@ fn measure_scale(
     out: &mut Vec<Measurement>,
 ) {
     eprintln!("[{name}] building world ...");
-    let world = ScenarioWorld::builder(scale.config(HARNESS_SEED)).build();
+    let world = ScenarioWorld::builder(scale.config(harness_seed())).build();
     let steps = weekly_steps(&world, weeks, churn, world.config.seed);
     let total_deltas: usize = steps.iter().map(|s| s.deltas.len()).sum();
 
@@ -227,6 +227,7 @@ fn render_json(measurements: &[Measurement]) -> String {
     let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"seed\": {},", harness_seed());
     json.push_str("  \"measurements\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let _ = writeln!(json, "    {{");

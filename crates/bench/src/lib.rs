@@ -52,16 +52,29 @@ impl Scale {
 /// The seed every experiment binary uses, so their worlds agree.
 pub const HARNESS_SEED: u64 = 20_220_501;
 
+/// The effective harness seed: [`HARNESS_SEED`] unless overridden by
+/// the `MANRS_BENCH_SEED` environment variable. Bench binaries record
+/// this value in their JSON artifacts so results are reproducible on
+/// any host. An unparsable override falls back to the default.
+pub fn harness_seed() -> u64 {
+    std::env::var("MANRS_BENCH_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(HARNESS_SEED)
+}
+
 /// Builds the world at the environment-selected scale, logging progress
 /// and throughput. Thread count comes from `MANRS_THREADS` (auto when
-/// unset); parallelism never changes the built world.
+/// unset); parallelism never changes the built world. The world seed is
+/// [`harness_seed()`], so `MANRS_BENCH_SEED` reseeds every bench.
 pub fn build_world() -> ScenarioWorld {
     let scale = Scale::from_env();
     let par = ParallelConfig::from_env();
+    let seed = harness_seed();
     let threads = par.effective_threads(usize::MAX);
-    eprintln!("building {scale:?} world (seed {HARNESS_SEED}, {threads} threads) ...");
+    eprintln!("building {scale:?} world (seed {seed}, {threads} threads) ...");
     let start = std::time::Instant::now();
-    let world = ScenarioWorld::builder(scale.config(HARNESS_SEED)).parallel(par).build();
+    let world = ScenarioWorld::builder(scale.config(seed)).parallel(par).build();
     let elapsed = start.elapsed().as_secs_f64();
     let announcements = world.announcements.len();
     eprintln!(
@@ -153,6 +166,15 @@ pub fn pct(n: usize, d: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn harness_seed_defaults_without_override() {
+        // CI never sets MANRS_BENCH_SEED for the test job; guard the
+        // assertion so a locally exported override doesn't fail it.
+        if std::env::var_os("MANRS_BENCH_SEED").is_none() {
+            assert_eq!(harness_seed(), HARNESS_SEED);
+        }
+    }
 
     #[test]
     fn scale_from_env_defaults_medium() {

@@ -64,8 +64,8 @@ pub use parallel::{par_map, par_map_with, ParallelConfig};
 pub use pathpool::{PathId, PathInterner, PathPool};
 pub use policy::{FilteringPolicy, PolicyTable};
 pub use propagate::{
-    propagate, propagate_dense, propagate_dense_into, PropagationScratch, Provenance, RouteEntry,
-    RoutingOutcome,
+    propagate, propagate_dense, propagate_dense_into, DenseGraph, PropagationScratch, Provenance,
+    RouteEntry, RoutingOutcome,
 };
 pub use stats::{moas_conflicts, table_stats, TableStats};
 pub use table::{distinct_classes, CollectionPlan, CollectionStrategy, TableCollector};

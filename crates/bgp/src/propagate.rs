@@ -199,6 +199,21 @@ impl DenseGraph {
     pub(crate) fn policy_at(&self, u: usize) -> &FilteringPolicy {
         &self.policies[u]
     }
+
+    /// The filtering policy currently installed at dense index `u`.
+    pub fn policy(&self, u: usize) -> FilteringPolicy {
+        self.policies[u]
+    }
+
+    /// Replaces the filtering policy at dense index `u` in place.
+    ///
+    /// Propagation reads policies from the graph, so overlay worlds
+    /// (e.g. adoption-sweep trials) can flip a handful of ASes without
+    /// rebuilding adjacency: mutate, propagate, then restore the saved
+    /// policies to return the graph to its base state.
+    pub fn set_policy(&mut self, u: usize, policy: FilteringPolicy) {
+        self.policies[u] = policy;
+    }
 }
 
 /// The result of propagating one announcement: every AS's best route.

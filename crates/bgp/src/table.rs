@@ -249,7 +249,20 @@ impl<'a> CollectionPlan<'a> {
     /// Propagates every announcement and collects the vantage view.
     pub fn collect(&self, announcements: &[Announcement]) -> CollectedRib {
         let graph = DenseGraph::build(self.topology, self.policies);
+        self.collect_on(&graph, announcements)
+    }
 
+    /// Collects over a caller-supplied [`DenseGraph`], amortizing graph
+    /// construction across many collections (Monte-Carlo sweep trials
+    /// collect hundreds of overlay worlds over one base graph).
+    ///
+    /// Propagation and filtering read **the graph's** embedded policies,
+    /// not this plan's `PolicyTable` — so a graph whose policies were
+    /// overlaid via [`DenseGraph::set_policy`] collects exactly as a
+    /// fresh build from the mutated table would. The graph must have
+    /// been built from this plan's topology (dense indices must agree);
+    /// `collect` is the safe shorthand that guarantees it.
+    pub fn collect_on(&self, graph: &DenseGraph, announcements: &[Announcement]) -> CollectedRib {
         // Serial pass: number the (origin, filter-class) equivalence
         // classes in first-appearance order, one representative each.
         let mut memo: HashMap<(Asn, FilterClass), usize> = HashMap::new();
@@ -273,9 +286,9 @@ impl<'a> CollectionPlan<'a> {
         let strategy = self.resolved_strategy(announcements);
         let class_paths = match strategy {
             CollectionStrategy::Forward | CollectionStrategy::Auto => {
-                self.collect_forward(&graph, &reps, &vantage_idx)
+                self.collect_forward(graph, &reps, &vantage_idx)
             }
-            CollectionStrategy::Reverse => self.collect_reverse(&graph, &reps, &vantage_idx),
+            CollectionStrategy::Reverse => self.collect_reverse(graph, &reps, &vantage_idx),
         };
 
         // Serial pass: intern each class's paths. Class order is the

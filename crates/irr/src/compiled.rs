@@ -128,6 +128,32 @@ impl CompiledIrrIndex {
         Some((stats, compacted))
     }
 
+    /// [`CompiledIrrIndex::apply_object_delta_stats`] with the
+    /// automatic compaction suppressed: the caller owns the compaction
+    /// policy.
+    ///
+    /// Compaction allocates, so a splice loop that must stay
+    /// allocation-free once warm (the adoption-sweep overlay path)
+    /// cannot afford it firing mid-run. A caller that periodically
+    /// re-anchors the arena with [`CompiledIrrIndex::restore_from`]
+    /// never accumulates fragmentation across runs, making the
+    /// automatic trigger pure overhead; one that does not should stick
+    /// with [`CompiledIrrIndex::apply_object_delta_stats`].
+    pub fn apply_object_delta_deferred(
+        &mut self,
+        prefix: &Prefix,
+        origin: Asn,
+        added: bool,
+    ) -> Option<PatchStats> {
+        let value = (origin.value(), prefix.len());
+        let cols = (&mut self.origins, &mut self.lens);
+        if added {
+            self.shape.patch_insert(prefix, value, cols)
+        } else {
+            self.shape.patch_remove(prefix, value, cols)
+        }
+    }
+
     /// Share of the arena abandoned by patches (see
     /// [`CoveringShape::fragmentation`]).
     pub fn fragmentation(&self) -> f64 {
@@ -140,6 +166,19 @@ impl CompiledIrrIndex {
     pub fn reserve_headroom(&mut self, slots: usize) {
         self.origins.reserve(slots);
         self.lens.reserve(slots);
+    }
+
+    /// Overwrites this index with `base`'s exact state in place,
+    /// reusing existing capacity (see
+    /// [`CoveringShape::restore_from`]). Sweep workspaces call this
+    /// after un-splicing a trial's deltas: the removals already
+    /// restored classification outcomes, and the re-anchor resets the
+    /// arena *layout* so patch-abandoned slots never accumulate across
+    /// trials. Allocation-free for an index cloned from `base`.
+    pub fn restore_from(&mut self, base: &Self) {
+        self.shape.restore_from(&base.shape);
+        self.origins.clone_from(&base.origins);
+        self.lens.clone_from(&base.lens);
     }
 
     /// `true` if at least one route object covers `prefix`.

@@ -193,8 +193,13 @@ impl CoveringShape {
             // the inherited closure exactly as `flatten` would.
             let (s, l) = (t_run.0 as usize, t_run.1 as usize);
             let ns = cols.0.len() as u32;
-            cols.0.extend_from_within(s..s + l);
-            cols.1.extend_from_within(s..s + l);
+            // Guard like `run_append`: an empty inherited run may have a
+            // stale start, and copying zero slots from it still
+            // bounds-checks the range.
+            if l > 0 {
+                cols.0.extend_from_within(s..s + l);
+                cols.1.extend_from_within(s..s + l);
+            }
             cols.0.push(value.0);
             cols.1.push(value.1);
             stats.slots_moved += l;
@@ -283,6 +288,23 @@ impl CoveringShape {
         }
     }
 
+    /// Overwrites this shape with `base`'s state in place, reusing the
+    /// node arrays' existing capacity — the arena-layout counterpart of
+    /// `Vec::clone_from`. Callers cycling a shape through bounded
+    /// splice/unsplice rounds (sweep trial overlays) re-anchor to the
+    /// frozen base afterwards: the un-splices already restored *match
+    /// outcomes*, but their abandoned slots would otherwise accumulate
+    /// across rounds until an allocating compaction fires mid-round.
+    /// Allocation-free whenever this shape previously held at least
+    /// `base`'s node counts (always true for a clone of `base`). The
+    /// caller restores the parallel columns the same way.
+    pub fn restore_from(&mut self, base: &CoveringShape) {
+        self.v4.clone_from(&base.v4);
+        self.v6.clone_from(&base.v6);
+        self.arena_len = base.arena_len;
+        self.dead = base.dead;
+    }
+
     /// Rewrites the arena densely, dropping every dead slot and
     /// remapping all runs (shared inherited pairs stay shared). The one
     /// patching operation that allocates; callers invoke it when
@@ -363,6 +385,17 @@ fn run_append(
     stats: &mut PatchStats,
 ) -> (u32, u32) {
     let (s, l) = (run.0 as usize, run.1 as usize);
+    // An empty run is location-less: its start may dangle past the
+    // arena tail after unrelated tail-pops (a removal that drains a run
+    // keeps `(start, 0)` while later pops shrink the columns below
+    // `start`), so never use it as a copy source — just open a fresh
+    // one-slot run at the tail.
+    if l == 0 {
+        let ns = cols.0.len() as u32;
+        cols.0.push(value.0);
+        cols.1.push(value.1);
+        return (ns, 1);
+    }
     if s + l == cols.0.len() {
         cols.0.push(value.0);
         cols.1.push(value.1);
@@ -795,6 +828,40 @@ mod tests {
         assert!(shape.covering_run(&p("12.0.0.0/8")).is_empty());
         // Less specific than anything stored: uncovered.
         assert!(!shape.covers(&p("10.0.0.0/7")));
+    }
+
+    #[test]
+    fn stale_empty_runs_survive_resplicing() {
+        // Regression: a removal that drains a run at the arena tail pops
+        // the columns and leaves the node with `(old_tail, 0)`; a later
+        // pop from the run just below strands that start past the new
+        // tail. Splicing through such a node again must not use the
+        // stale start as a copy source — it used to panic in the
+        // `extend_from_within` bounds check even for the zero-slot copy.
+        let mut map = PrefixMap::new();
+        map.insert(p("10.0.0.0/8"), 1u32);
+        map.insert(p("11.0.0.0/8"), 2u32);
+        let mut vals: Vec<u32> = Vec::new();
+        let mut shape = map.flatten_shape(|&v| vals.push(v));
+        let mut lens: Vec<u8> = vec![0; vals.len()];
+        // Drain tail-first: the 11/8 run pops to `(1, 0)`, then the 10/8
+        // pop shrinks the arena to 0 — the 11/8 node's empty run now
+        // starts past the tail.
+        assert!(shape.patch_remove(&p("11.0.0.0/8"), (2, 0), (&mut vals, &mut lens)).is_some());
+        assert!(shape.patch_remove(&p("10.0.0.0/8"), (1, 0), (&mut vals, &mut lens)).is_some());
+        assert_eq!(vals.len(), 0);
+        // Inherited-empty path: the spine child created under 11/8
+        // inherits the stale empty run and re-emits it as its own.
+        assert!(shape.patch_insert(&p("11.0.0.0/16"), (3, 0), (&mut vals, &mut lens)).is_some());
+        // Own-empty path: appending to the stale empty run itself.
+        assert!(shape.patch_insert(&p("11.0.0.0/8"), (2, 0), (&mut vals, &mut lens)).is_some());
+        assert!(shape.patch_insert(&p("10.0.0.0/8"), (1, 0), (&mut vals, &mut lens)).is_some());
+        let run = shape.covering_run(&p("11.0.0.0/24"));
+        let mut got: Vec<u32> = vals[run].to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 3]);
+        let run = shape.covering_run(&p("10.0.0.0/24"));
+        assert_eq!(&vals[run], &[1]);
     }
 
     #[test]

@@ -136,6 +136,26 @@ impl CompiledVrpIndex {
         Some((stats, compacted))
     }
 
+    /// [`CompiledVrpIndex::apply_roa_delta_stats`] with the automatic
+    /// compaction suppressed: the caller owns the compaction policy.
+    ///
+    /// Compaction allocates, so a splice loop that must stay
+    /// allocation-free once warm (the adoption-sweep overlay path)
+    /// cannot afford it firing mid-run. A caller that periodically
+    /// re-anchors the arena with [`CompiledVrpIndex::restore_from`]
+    /// never accumulates fragmentation across runs, making the
+    /// automatic trigger pure overhead; one that does not should stick
+    /// with [`CompiledVrpIndex::apply_roa_delta_stats`].
+    pub fn apply_roa_delta_deferred(&mut self, vrp: &Vrp, added: bool) -> Option<PatchStats> {
+        let value = (vrp.asn.value(), vrp.max_length);
+        let cols = (&mut self.asns, &mut self.max_lens);
+        if added {
+            self.shape.patch_insert(&vrp.prefix, value, cols)
+        } else {
+            self.shape.patch_remove(&vrp.prefix, value, cols)
+        }
+    }
+
     /// Share of the arena abandoned by patches (see
     /// [`CoveringShape::fragmentation`]).
     pub fn fragmentation(&self) -> f64 {
@@ -148,6 +168,19 @@ impl CompiledVrpIndex {
     pub fn reserve_headroom(&mut self, slots: usize) {
         self.asns.reserve(slots);
         self.max_lens.reserve(slots);
+    }
+
+    /// Overwrites this index with `base`'s exact state in place,
+    /// reusing existing capacity (see
+    /// [`manrs_net::CoveringShape::restore_from`]). Sweep workspaces
+    /// call this after un-splicing a trial's deltas: the removals
+    /// already restored validation outcomes, and the re-anchor resets
+    /// the arena *layout* so patch-abandoned slots never accumulate
+    /// across trials. Allocation-free for an index cloned from `base`.
+    pub fn restore_from(&mut self, base: &Self) {
+        self.shape.restore_from(&base.shape);
+        self.asns.clone_from(&base.asns);
+        self.max_lens.clone_from(&base.max_lens);
     }
 
     /// `true` if at least one VRP covers `prefix`.

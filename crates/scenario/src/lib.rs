@@ -26,6 +26,10 @@
 //!   replayed through one engine by [`SnapshotSeries`].
 //! * [`incidents`] — incident-log generation for the §12 future-work
 //!   pre/post-join exposure analysis.
+//! * [`sweep`] — Monte-Carlo adoption sweeps: a [`SweepPlan`] fans a
+//!   grid of (adoption fraction, policy mix, seed) trials over a shared
+//!   frozen [`SweepBase`] with per-worker copy-on-write overlays, so
+//!   warm trials cost splices and propagations instead of world builds.
 
 pub mod behavior;
 pub mod build;
@@ -33,6 +37,7 @@ pub mod config;
 pub mod engine;
 pub mod enroll;
 pub mod incidents;
+pub mod sweep;
 pub mod timeline;
 
 pub use behavior::{BehaviorMatrix, BehaviorModel};
@@ -42,6 +47,10 @@ pub use engine::{
     patch_beats_rebuild, EngineFeed, EngineStats, RegistryDelta, TimelineEngine, TimelineSnapshot,
 };
 pub use incidents::{generate_incidents, protection_payoff};
+pub use sweep::{
+    CellReport, MetricSummary, PolicyMix, SweepBase, SweepPlan, SweepReport, SweepTotals,
+    TrialCounters, TrialOutcome, TrialSpec, TrialWorkspace,
+};
 pub use timeline::{
     weekly_steps, yearly_dates, yearly_steps, SeriesStep, SnapshotSeries, YearlySnapshot,
 };

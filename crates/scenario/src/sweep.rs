@@ -1,0 +1,1091 @@
+//! Monte-Carlo adoption sweeps with cross-trial amortized world
+//! construction.
+//!
+//! The paper measures one calibrated world; the questions it raises
+//! ("does Action 1 conformance buy hijack resistance?") need
+//! percent-adoption sweeps in the style of Reuter et al.'s ROV
+//! deployment study: hundreds of (adoption fraction, policy mix, seed)
+//! trials. Rebuilding a [`ScenarioWorld`] per trial re-pays topology
+//! generation, RPKI signing, path-pool interning and compiled-index
+//! flattening every time, so a naive sweep runs at seconds per trial.
+//!
+//! This module splits world construction in two:
+//!
+//! * **Shared frozen base** ([`SweepBase`]) — built once per grid: the
+//!   scenario world, its CSR [`DenseGraph`], the compiled VRP/IRR index
+//!   arenas, the (prefix, origin) pair universe with baseline statuses,
+//!   and per-AS *pre-lowered registry deltas* (the ROA and route-object
+//!   registrations each AS would add on adopting Action 1, reduced to
+//!   the compact `(prefix, origin, maxLength)` form the PR 6 splice
+//!   path consumes).
+//! * **Per-trial copy-on-write overlays** ([`TrialWorkspace`]) — one
+//!   per worker, recycled across trials: a clone of the graph whose
+//!   policies are flipped in place for the trial's adopters and
+//!   restored afterwards, plus clones of both compiled indexes patched
+//!   forward with `patch_insert` and reverse-patched back with
+//!   `patch_remove` — zero index rebuilds across the whole grid. Each
+//!   workspace owns its [`BatchScratch`], two [`PropagationScratch`]es
+//!   and fixed-size selection buffers, so steady-state trial execution
+//!   performs no heap allocation.
+//!
+//! Trials fan over the deterministic fork-join executor
+//! ([`manrs_bgp::par_map_with`]); every trial's RNG is seeded from the
+//! plan seed and the trial's grid coordinates, so results are
+//! bit-for-bit identical for any thread count. Outcomes land in a flat
+//! tracker and are summarized per grid cell as mean + bootstrap
+//! confidence intervals ([`SweepReport`]), serializable for figure
+//! generation.
+//!
+//! The **MANRS preference** metric is an Eq. 9-flavored analog computed
+//! from the victim propagation itself: the share of transit hops (on
+//! the paths of ASes that kept routing to the legitimate origin) that
+//! traverse a MANRS member or trial adopter, with uniform weights. The
+//! paper's Eq. 9 weights transits by AS hegemony; computing hegemony
+//! needs a full RIB collection per trial, which would dominate trial
+//! cost, so the sweep reports the uniform-weight share and documents
+//! the difference honestly.
+
+use crate::build::ScenarioWorld;
+use manrs_bgp::{
+    par_map_with, propagate_dense_into, Announcement, CollectedRib, DenseGraph, FilteringPolicy,
+    Hijack, HijackKind, ParallelConfig, PropagationScratch, Provenance, RouteEntry,
+    TableCollector,
+};
+use manrs_irr::{CompiledIrrIndex, IrrStatus};
+use manrs_net::{Asn, BatchScratch, Prefix};
+use manrs_rpki::{CompiledVrpIndex, RpkiStatus, Vrp};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// What a trial's adopters do, per MANRS Action 1's two halves:
+/// registering their resources (ROAs + IRR route objects) and filtering
+/// at their edge (ROV, IRR customer filtering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PolicyMix {
+    /// Display name, used as the grid-cell label.
+    pub name: &'static str,
+    /// Adopters register ROAs for their unregistered resources.
+    pub register_roas: bool,
+    /// Adopters register IRR route objects for their resources.
+    pub register_irr: bool,
+    /// Adopters deploy ROV (drop RPKI-Invalid).
+    pub deploy_rov: bool,
+    /// Adopters filter their customers against the IRR.
+    pub deploy_irr_filtering: bool,
+}
+
+impl PolicyMix {
+    /// Registration only: adopters publish ROAs and route objects but
+    /// filter nothing.
+    pub const REGISTRATION: PolicyMix = PolicyMix {
+        name: "registration",
+        register_roas: true,
+        register_irr: true,
+        deploy_rov: false,
+        deploy_irr_filtering: false,
+    };
+
+    /// Filtering only: adopters deploy ROV and IRR customer filtering
+    /// without registering anything themselves.
+    pub const FILTERING: PolicyMix = PolicyMix {
+        name: "filtering",
+        register_roas: false,
+        register_irr: false,
+        deploy_rov: true,
+        deploy_irr_filtering: true,
+    };
+
+    /// ROV deployment only.
+    pub const ROV: PolicyMix = PolicyMix {
+        name: "rov",
+        register_roas: false,
+        register_irr: false,
+        deploy_rov: true,
+        deploy_irr_filtering: false,
+    };
+
+    /// Full Action 1: register and filter.
+    pub const ACTION1: PolicyMix = PolicyMix {
+        name: "action1",
+        register_roas: true,
+        register_irr: true,
+        deploy_rov: true,
+        deploy_irr_filtering: true,
+    };
+
+    /// The policy an adopter with base policy `base` runs under this
+    /// mix. Flips are additive: an AS already filtering keeps doing so.
+    pub fn apply(&self, base: FilteringPolicy) -> FilteringPolicy {
+        FilteringPolicy {
+            rov: base.rov || self.deploy_rov,
+            irr_filter_customers: base.irr_filter_customers || self.deploy_irr_filtering,
+            ..base
+        }
+    }
+}
+
+/// The shared frozen base of one sweep grid: everything every trial
+/// reads but never writes. Built once; workers clone only the small
+/// mutable parts into their [`TrialWorkspace`].
+pub struct SweepBase {
+    world: ScenarioWorld,
+    graph: DenseGraph,
+    base_policies: Vec<FilteringPolicy>,
+    vrp_index: CompiledVrpIndex,
+    irr_index: CompiledIrrIndex,
+    /// Every announced (prefix, origin) pair, announcement order.
+    pairs: Vec<(Prefix, Asn)>,
+    /// Dense-index membership mask at the snapshot date.
+    member_mask: Vec<bool>,
+    /// Dense indices of the world's vantage points.
+    vantage_idx: Vec<u32>,
+    /// CSR per-AS ROA registrations an adopter would add (resources it
+    /// holds with no VRP for (prefix, self) in the base world).
+    roa_offsets: Vec<u32>,
+    roa_deltas: Vec<Vrp>,
+    /// CSR per-AS IRR route-object registrations an adopter would add.
+    irr_offsets: Vec<u32>,
+    irr_deltas: Vec<(Prefix, Asn)>,
+}
+
+impl SweepBase {
+    /// Freezes `world` into a sweep base. One-time cost: one dense
+    /// graph build, two compiled-index builds, and one pass over every
+    /// AS's resources to pre-lower its adoption registry deltas.
+    pub fn new(world: ScenarioWorld) -> Self {
+        let graph = DenseGraph::build(&world.world.topology, &world.policies);
+        let n = graph.len();
+        let base_policies: Vec<FilteringPolicy> = (0..n).map(|i| graph.policy(i)).collect();
+        let vrp_index = CompiledVrpIndex::build(&world.vrps);
+        let irr_index = CompiledIrrIndex::build(&world.irr);
+        let pairs: Vec<(Prefix, Asn)> =
+            world.announcements.iter().map(|a| (a.prefix, a.origin)).collect();
+
+        let roa_registered: BTreeSet<(Prefix, Asn)> =
+            world.vrps.iter().into_iter().map(|v| (v.prefix, v.asn)).collect();
+        let mut irr_registered: BTreeSet<(Prefix, Asn)> = BTreeSet::new();
+        for db in world.irr.databases() {
+            for route in db.routes() {
+                irr_registered.insert((route.prefix, route.origin));
+            }
+        }
+
+        let mut roa_offsets = Vec::with_capacity(n + 1);
+        let mut roa_deltas = Vec::new();
+        let mut irr_offsets = Vec::with_capacity(n + 1);
+        let mut irr_deltas = Vec::new();
+        roa_offsets.push(0u32);
+        irr_offsets.push(0u32);
+        for i in 0..n {
+            let asn = graph.asn_at(i);
+            for prefix in world.world.all_resources(asn) {
+                if !roa_registered.contains(&(prefix, asn)) {
+                    // Same maxLength the builder's correct registrations
+                    // use: room for one level of de-aggregation.
+                    let cap = match prefix {
+                        Prefix::V4(_) => 24,
+                        Prefix::V6(_) => 48,
+                    };
+                    let max_length = (prefix.len() + 1).min(cap).max(prefix.len());
+                    roa_deltas.push(Vrp::new(prefix, asn, max_length));
+                }
+                if !irr_registered.contains(&(prefix, asn)) {
+                    irr_deltas.push((prefix, asn));
+                }
+            }
+            roa_offsets.push(roa_deltas.len() as u32);
+            irr_offsets.push(irr_deltas.len() as u32);
+        }
+
+        let members = world.member_asns();
+        let member_mask: Vec<bool> = (0..n).map(|i| members.contains(&graph.asn_at(i))).collect();
+        let vantage_idx: Vec<u32> = world
+            .vantages
+            .iter()
+            .filter_map(|v| graph.index_of(*v))
+            .map(|i| i as u32)
+            .collect();
+
+        SweepBase {
+            world,
+            graph,
+            base_policies,
+            vrp_index,
+            irr_index,
+            pairs,
+            member_mask,
+            vantage_idx,
+            roa_offsets,
+            roa_deltas,
+            irr_offsets,
+            irr_deltas,
+        }
+    }
+
+    /// The frozen world this base was built from.
+    pub fn world(&self) -> &ScenarioWorld {
+        &self.world
+    }
+
+    /// Number of ASes in the base graph.
+    pub fn as_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Number of announced (prefix, origin) pairs every trial
+    /// revalidates.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The ASN at dense index `idx` (the coordinate space of
+    /// [`TrialWorkspace::adopters`]).
+    pub fn asn_at(&self, idx: usize) -> Asn {
+        self.graph.asn_at(idx)
+    }
+
+    /// The pre-lowered ROA registrations AS `idx` (dense) would add on
+    /// adopting.
+    fn roa_deltas_of(&self, idx: usize) -> &[Vrp] {
+        &self.roa_deltas[self.roa_offsets[idx] as usize..self.roa_offsets[idx + 1] as usize]
+    }
+
+    /// The pre-lowered route-object registrations of AS `idx`.
+    fn irr_deltas_of(&self, idx: usize) -> &[(Prefix, Asn)] {
+        &self.irr_deltas[self.irr_offsets[idx] as usize..self.irr_offsets[idx + 1] as usize]
+    }
+}
+
+/// One point of the sweep grid to execute: a (fraction, mix) cell and a
+/// trial number within it, with the trial's derived RNG seed.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialSpec {
+    /// Adoption fraction of this cell.
+    pub fraction: f64,
+    /// Policy mix of this cell.
+    pub mix: PolicyMix,
+    /// Flat cell index in the plan's grid.
+    pub cell: usize,
+    /// Trial number within the cell.
+    pub trial: usize,
+    /// Derived RNG seed (deterministic in the plan seed and grid
+    /// coordinates — never in worker identity).
+    pub seed: u64,
+}
+
+/// Patch-path counters accumulated by one workspace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrialCounters {
+    /// Successful `patch_insert`/`patch_remove` splices.
+    pub splices: u64,
+    /// Splice failures that would force a full index rebuild. A sweep
+    /// over a well-formed base never takes this path; the bench gates
+    /// on it staying zero.
+    pub rebuilds: u64,
+    /// Arena compactions. The overlay path defers compaction (the
+    /// per-trial `restore_from` re-anchor makes it unnecessary), so
+    /// sweep trials keep this at zero; it stays in the counter set so
+    /// report schemas match the service/timeline patch telemetry.
+    pub compactions: u64,
+}
+
+/// The measured outcome of one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Share of (AS, event) slots routed to the attacker.
+    pub attacker_share: f64,
+    /// Share routed to the legitimate origin.
+    pub victim_share: f64,
+    /// Share with no route to the contested prefix at all.
+    pub disconnected_share: f64,
+    /// Share of hijack events observed by at least one vantage point.
+    pub detected_share: f64,
+    /// Share of announced pairs MANRS-conformant under the overlay
+    /// registries (§6.4).
+    pub conformant_share: f64,
+    /// Share of announced pairs MANRS-*un*conformant (§6.4; the two do
+    /// not sum to 1).
+    pub unconformant_share: f64,
+    /// Uniform-weight Eq. 9 analog: share of victim-path transit hops
+    /// through a MANRS member or trial adopter.
+    pub manrs_transit_share: f64,
+    /// Number of adopters flipped this trial.
+    pub adopters: u32,
+    /// Patch-path work this trial performed (splices are symmetric:
+    /// every insert is reverted by a remove).
+    pub counters: TrialCounters,
+}
+
+/// A recycled per-worker overlay: the copy-on-write half of a sweep.
+///
+/// Created once per worker from the [`SweepBase`], then driven through
+/// `apply_overlay` → measurements → `clear_overlay` per trial. All
+/// buffers are retained across trials, so after the first (warm-up)
+/// trial the apply/measure/clear cycle performs no heap allocation.
+pub struct TrialWorkspace {
+    graph: DenseGraph,
+    vrp: CompiledVrpIndex,
+    irr: CompiledIrrIndex,
+    batch: BatchScratch,
+    rpki_out: Vec<RpkiStatus>,
+    irr_out: Vec<IrrStatus>,
+    prop_victim: PropagationScratch,
+    prop_attacker: PropagationScratch,
+    /// Selection buffer for the partial Fisher–Yates adopter draw.
+    pick: Vec<u32>,
+    /// Dense adopter membership of the applied overlay.
+    adopter_flags: Vec<bool>,
+    /// The applied overlay, if any: (mix, adopter count).
+    applied: Option<(PolicyMix, usize)>,
+    /// Cumulative patch-path counters (reset sampled per trial).
+    counters: TrialCounters,
+}
+
+impl TrialWorkspace {
+    /// Clones the mutable serving state out of `base` and pre-reserves
+    /// arena headroom so a full-adoption trial splices without
+    /// reallocating.
+    pub fn new(base: &SweepBase) -> Self {
+        let n = base.graph.len();
+        let mut vrp = base.vrp_index.clone();
+        vrp.reserve_headroom(base.roa_deltas.len() * 4 + 256);
+        let mut irr = base.irr_index.clone();
+        irr.reserve_headroom(base.irr_deltas.len() * 4 + 256);
+        TrialWorkspace {
+            graph: base.graph.clone(),
+            vrp,
+            irr,
+            batch: BatchScratch::new(),
+            rpki_out: Vec::with_capacity(base.pairs.len()),
+            irr_out: Vec::with_capacity(base.pairs.len()),
+            prop_victim: PropagationScratch::with_capacity(n),
+            prop_attacker: PropagationScratch::with_capacity(n),
+            pick: (0..n as u32).collect(),
+            adopter_flags: vec![false; n],
+            applied: None,
+            counters: TrialCounters::default(),
+        }
+    }
+
+    /// Applies one trial's copy-on-write overlay: draws
+    /// `round(fraction · n)` adopters (partial Fisher–Yates, seeded),
+    /// flips their filtering policies in place, splices their
+    /// pre-lowered registry deltas into the compiled indexes, and
+    /// revalidates every pair against the overlay. Returns the adopter
+    /// count.
+    ///
+    /// The overlay must be cleared with
+    /// [`TrialWorkspace::clear_overlay`] before the next apply.
+    pub fn apply_overlay(
+        &mut self,
+        base: &SweepBase,
+        mix: PolicyMix,
+        fraction: f64,
+        seed: u64,
+    ) -> usize {
+        assert!(self.applied.is_none(), "previous overlay not cleared");
+        let n = base.graph.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (i, slot) in self.pick.iter_mut().enumerate() {
+            *slot = i as u32;
+        }
+        // Partial Fisher–Yates: the first k slots are a uniform draw
+        // without replacement — the same distribution as the builder's
+        // quota sampling, without the per-trial allocation.
+        let k = ((n as f64) * fraction).round().min(n as f64) as usize;
+        for i in 0..k {
+            let j = rng.random_range(i..n);
+            self.pick.swap(i, j);
+        }
+        for t in 0..k {
+            let idx = self.pick[t] as usize;
+            self.adopter_flags[idx] = true;
+            if mix.deploy_rov || mix.deploy_irr_filtering {
+                self.graph.set_policy(idx, mix.apply(base.base_policies[idx]));
+            }
+            if mix.register_roas {
+                for vrp in base.roa_deltas_of(idx) {
+                    self.splice_roa(vrp, true);
+                }
+            }
+            if mix.register_irr {
+                for &(prefix, origin) in base.irr_deltas_of(idx) {
+                    self.splice_route(&prefix, origin, true);
+                }
+            }
+        }
+        self.applied = Some((mix, k));
+        self.vrp.validate_batch_into(&base.pairs, &mut self.batch, &mut self.rpki_out);
+        self.irr.validate_batch_into(&base.pairs, &mut self.batch, &mut self.irr_out);
+        k
+    }
+
+    /// Reverts the applied overlay: removes the spliced deltas in
+    /// reverse order and restores the saved base policies, returning
+    /// the workspace to the base state.
+    ///
+    /// Un-splicing restores match *outcomes* but leaves patch-abandoned
+    /// arena slots behind; accumulated across hundreds of trials those
+    /// would eventually trigger an allocating auto-compaction mid-trial.
+    /// So after the removals the compiled indexes are re-anchored to the
+    /// frozen base layout with an in-place `clone_from`-style copy —
+    /// allocation-free, since the workspace's arenas were cloned from
+    /// the base and only ever grow. Every trial therefore starts from
+    /// the identical, fragmentation-free arena.
+    pub fn clear_overlay(&mut self, base: &SweepBase) {
+        let Some((mix, k)) = self.applied.take() else {
+            return;
+        };
+        for t in (0..k).rev() {
+            let idx = self.pick[t] as usize;
+            if mix.register_irr {
+                for &(prefix, origin) in base.irr_deltas_of(idx).iter().rev() {
+                    self.splice_route(&prefix, origin, false);
+                }
+            }
+            if mix.register_roas {
+                for vrp in base.roa_deltas_of(idx).iter().rev() {
+                    self.splice_roa(vrp, false);
+                }
+            }
+            self.graph.set_policy(idx, base.base_policies[idx]);
+            self.adopter_flags[idx] = false;
+        }
+        self.vrp.restore_from(&base.vrp_index);
+        self.irr.restore_from(&base.irr_index);
+    }
+
+    // Deferred-compaction splices: `clear_overlay`'s `restore_from`
+    // re-anchor resets fragmentation every trial, so the automatic
+    // (allocating) compaction would be pure overhead in the hot loop.
+    fn splice_roa(&mut self, vrp: &Vrp, added: bool) {
+        match self.vrp.apply_roa_delta_deferred(vrp, added) {
+            Some(_) => self.counters.splices += 1,
+            None => self.counters.rebuilds += 1,
+        }
+    }
+
+    fn splice_route(&mut self, prefix: &Prefix, origin: Asn, added: bool) {
+        match self.irr.apply_object_delta_deferred(prefix, origin, added) {
+            Some(_) => self.counters.splices += 1,
+            None => self.counters.rebuilds += 1,
+        }
+    }
+
+    /// The dense indices of the applied overlay's adopters (draw
+    /// order). Empty when no overlay is applied.
+    pub fn adopters(&self) -> &[u32] {
+        match self.applied {
+            Some((_, k)) => &self.pick[..k],
+            None => &[],
+        }
+    }
+
+    /// The overlay validation results, pair order: `(rpki, irr)` status
+    /// slices parallel to the base's pairs.
+    pub fn overlay_statuses(&self) -> (&[RpkiStatus], &[IrrStatus]) {
+        (&self.rpki_out, &self.irr_out)
+    }
+
+    /// Cumulative patch-path counters for this workspace.
+    pub fn counters(&self) -> TrialCounters {
+        self.counters
+    }
+
+    /// Collects the full vantage RIB of the overlay world, reusing the
+    /// base graph via [`manrs_bgp::CollectionPlan::collect_on`] —
+    /// cross-trial collection never rebuilds adjacency. Allocates (it
+    /// returns an owned RIB); meant for equivalence checking and
+    /// figure-grade collection, not the per-trial hot loop.
+    pub fn collect_overlay(&self, base: &SweepBase, parallel: ParallelConfig) -> CollectedRib {
+        let announcements: Vec<Announcement> = base
+            .pairs
+            .iter()
+            .zip(self.rpki_out.iter().zip(&self.irr_out))
+            .map(|(&(prefix, origin), (&rpki, &irr))| Announcement::new(prefix, origin, rpki, irr))
+            .collect();
+        TableCollector::new(&base.world.world.topology, &base.world.policies, &base.world.vantages)
+            .parallel(parallel)
+            .plan()
+            .collect_on(&self.graph, &announcements)
+    }
+
+    /// Runs one full trial: overlay on, measure, overlay off. The
+    /// outcome depends only on (`base`, `spec`) — never on which worker
+    /// ran it or what the workspace ran before.
+    pub fn run_trial(&mut self, base: &SweepBase, spec: &TrialSpec, hijacks: usize) -> TrialOutcome {
+        let before = self.counters;
+        let adopters = self.apply_overlay(base, spec.mix, spec.fraction, spec.seed);
+        let mut outcome = self.measure(base, spec.seed, hijacks);
+        self.clear_overlay(base);
+        outcome.adopters = adopters as u32;
+        outcome.counters = TrialCounters {
+            splices: self.counters.splices - before.splices,
+            rebuilds: self.counters.rebuilds - before.rebuilds,
+            compactions: self.counters.compactions - before.compactions,
+        };
+        outcome
+    }
+
+    /// Measures the applied overlay: conformance over every pair, plus
+    /// `hijacks` seeded origin-hijack events propagated over the
+    /// overlay graph. Allocation-free once warm.
+    fn measure(&mut self, base: &SweepBase, seed: u64, hijacks: usize) -> TrialOutcome {
+        let n = base.graph.len();
+        let pairs = base.pairs.len();
+        // Independent stream from the overlay draw so adding events
+        // never perturbs adopter selection.
+        let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ 0x004d_4541_5355_5245)); // "MEASURE"
+
+        let mut conformant = 0usize;
+        let mut unconformant = 0usize;
+        for i in 0..pairs {
+            let ann =
+                Announcement::new(base.pairs[i].0, base.pairs[i].1, self.rpki_out[i], self.irr_out[i]);
+            conformant += usize::from(ann.is_manrs_conformant());
+            unconformant += usize::from(ann.is_manrs_unconformant());
+        }
+
+        let mut attacker_n = 0u64;
+        let mut victim_n = 0u64;
+        let mut disconnected_n = 0u64;
+        let mut detected_events = 0u64;
+        let mut member_hops = 0u64;
+        let mut transit_hops = 0u64;
+        for _ in 0..hijacks {
+            let vi = rng.random_range(0..pairs);
+            let (victim_prefix, victim_origin) = base.pairs[vi];
+            let origin_idx =
+                self.graph.index_of(victim_origin).expect("announcement origins are in the topology");
+            let attacker_idx = loop {
+                let a = rng.random_range(0..n);
+                if a != origin_idx {
+                    break a;
+                }
+            };
+            let attacker = self.graph.asn_at(attacker_idx);
+            let kind = if rng.random_bool(0.5) {
+                HijackKind::MoreSpecific
+            } else {
+                HijackKind::ExactPrefix
+            };
+            let hijack = Hijack { victim_prefix, attacker, kind };
+            let forged = hijack.forged_prefix();
+            // The forged announcement is validated against the *overlay*
+            // registries: a victim whose adoption registered a ROA this
+            // trial turns the hijack RPKI-Invalid for every ROV deployer.
+            let forged_ann =
+                Announcement::new(forged, attacker, self.vrp.validate(&forged, attacker), self.irr.validate(&forged, attacker));
+            let victim_ann =
+                Announcement::new(victim_prefix, victim_origin, self.rpki_out[vi], self.irr_out[vi]);
+            propagate_dense_into(&self.graph, &victim_ann, &mut self.prop_victim);
+            propagate_dense_into(&self.graph, &forged_ann, &mut self.prop_attacker);
+            // A more-specific forge wins by longest-prefix match wherever
+            // it propagates; an exact forge competes on route preference.
+            let more_specific = forged != victim_prefix;
+
+            for i in 0..n {
+                match self.classify(i, more_specific) {
+                    Some(true) => attacker_n += 1,
+                    Some(false) => {
+                        victim_n += 1;
+                        // Eq. 9 analog: walk the via chain and count
+                        // member vs non-member transit hops.
+                        let mut cur = i;
+                        loop {
+                            let entry = self.prop_victim.route_at(cur).expect("routed");
+                            let Some(next) = entry.via_index() else { break };
+                            if next == origin_idx {
+                                break;
+                            }
+                            transit_hops += 1;
+                            member_hops +=
+                                u64::from(base.member_mask[next] || self.adopter_flags[next]);
+                            cur = next;
+                        }
+                    }
+                    None => disconnected_n += 1,
+                }
+            }
+            let detected = base
+                .vantage_idx
+                .iter()
+                .any(|&v| self.classify(v as usize, more_specific) == Some(true));
+            detected_events += u64::from(detected);
+        }
+
+        let slots = (hijacks as u64 * n as u64).max(1) as f64;
+        TrialOutcome {
+            attacker_share: attacker_n as f64 / slots,
+            victim_share: victim_n as f64 / slots,
+            disconnected_share: disconnected_n as f64 / slots,
+            detected_share: detected_events as f64 / (hijacks.max(1)) as f64,
+            conformant_share: conformant as f64 / pairs.max(1) as f64,
+            unconformant_share: unconformant as f64 / pairs.max(1) as f64,
+            manrs_transit_share: if transit_hops == 0 {
+                0.0
+            } else {
+                member_hops as f64 / transit_hops as f64
+            },
+            adopters: 0,
+            counters: TrialCounters::default(),
+        }
+    }
+
+    /// Who dense index `i` routes the contested prefix to after the two
+    /// propagations: `Some(true)` = attacker, `Some(false)` = victim,
+    /// `None` = disconnected.
+    fn classify(&self, i: usize, more_specific: bool) -> Option<bool> {
+        let victim = self.prop_victim.route_at(i);
+        let attacker = self.prop_attacker.route_at(i);
+        match (attacker, victim) {
+            (None, None) => None,
+            (Some(_), None) => Some(true),
+            (None, Some(_)) => Some(false),
+            (Some(a), Some(v)) => {
+                Some(more_specific || preference_key(&a) < preference_key(&v))
+            }
+        }
+    }
+}
+
+/// Route-preference sort key mirroring propagation's selection order:
+/// provenance rank (origin > customer > peer > provider), then path
+/// length, then lowest upstream dense index. An exact-prefix tie goes
+/// to the incumbent victim (strict `<`).
+fn preference_key(entry: &RouteEntry) -> (u8, u32, u32) {
+    let rank = match entry.provenance {
+        Provenance::Origin => 0,
+        Provenance::Customer(_) => 1,
+        Provenance::Peer(_) => 2,
+        Provenance::Provider(_) => 3,
+    };
+    (rank, entry.hops, entry.via_index().map_or(u32::MAX, |v| v as u32))
+}
+
+/// SplitMix64 — the seed scrambler for deriving independent per-trial
+/// streams from grid coordinates.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Mean and seeded-bootstrap percentile confidence interval of one
+/// metric over a cell's trials.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Sample mean over the cell's trials.
+    pub mean: f64,
+    /// 2.5th percentile of the bootstrap distribution of the mean.
+    pub ci_lo: f64,
+    /// 97.5th percentile of the bootstrap distribution of the mean.
+    pub ci_hi: f64,
+}
+
+fn summarize(samples: &[f64], rng: &mut StdRng, resamples: usize) -> MetricSummary {
+    let n = samples.len().max(1);
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if samples.len() < 2 {
+        return MetricSummary { mean, ci_lo: mean, ci_hi: mean };
+    }
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            (0..samples.len())
+                .map(|_| samples[rng.random_range(0..samples.len())])
+                .sum::<f64>()
+                / samples.len() as f64
+        })
+        .collect();
+    means.sort_by(f64::total_cmp);
+    let idx = |q: f64| ((resamples as f64 - 1.0) * q).round() as usize;
+    MetricSummary { mean, ci_lo: means[idx(0.025)], ci_hi: means[idx(0.975)] }
+}
+
+/// One grid cell's summary: the cell coordinates plus every metric's
+/// mean and bootstrap CI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// Adoption fraction of the cell.
+    pub fraction: f64,
+    /// Policy-mix name of the cell.
+    pub mix: String,
+    /// Trials run in the cell.
+    pub trials: usize,
+    /// Mean adopters per trial.
+    pub adopters_mean: f64,
+    /// Share of (AS, event) slots routed to the attacker.
+    pub attacker_share: MetricSummary,
+    /// Share routed to the legitimate origin.
+    pub victim_share: MetricSummary,
+    /// Share with no route at all.
+    pub disconnected_share: MetricSummary,
+    /// Share of events seen by ≥1 vantage.
+    pub detected_share: MetricSummary,
+    /// MANRS-conformant share of announced pairs.
+    pub conformant_share: MetricSummary,
+    /// MANRS-unconformant share of announced pairs.
+    pub unconformant_share: MetricSummary,
+    /// Uniform-weight Eq. 9 analog (victim-path member transit share).
+    pub manrs_transit_share: MetricSummary,
+    /// Total splices the cell's trials performed.
+    pub splices: u64,
+}
+
+/// Whole-grid totals, the quantities the bench gate reads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepTotals {
+    /// Trials executed.
+    pub trials: u64,
+    /// Successful patch splices (inserts + reverts) across the grid.
+    pub index_patches: u64,
+    /// Splice failures that would have forced an index rebuild — a
+    /// healthy sweep reports zero.
+    pub index_rebuilds: u64,
+    /// Automatic arena compactions (may vary with worker scheduling;
+    /// excluded from determinism comparisons).
+    pub compactions: u64,
+}
+
+/// The serialized result of one sweep grid: per-cell summaries ready
+/// for figure generation, plus grid totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The plan seed.
+    pub seed: u64,
+    /// Adoption fractions of the grid (cell-major axis).
+    pub fractions: Vec<f64>,
+    /// Policy-mix names of the grid (cell-minor axis).
+    pub mixes: Vec<String>,
+    /// Trials per cell.
+    pub trials_per_cell: usize,
+    /// Hijack events per trial.
+    pub hijacks_per_trial: usize,
+    /// Per-cell summaries, fraction-major order.
+    pub cells: Vec<CellReport>,
+    /// Whole-grid totals.
+    pub totals: SweepTotals,
+}
+
+/// A Monte-Carlo adoption-sweep plan: a grid of (adoption fraction,
+/// policy mix) cells, each run for a number of seeded trials over the
+/// deterministic executor against one [`SweepBase`].
+///
+/// ```no_run
+/// use manrs_scenario::{PolicyMix, ScenarioConfig, ScenarioWorld, SweepBase, SweepPlan};
+///
+/// let world = ScenarioWorld::builder(ScenarioConfig::small(42)).build();
+/// let base = SweepBase::new(world);
+/// let report = SweepPlan::new()
+///     .fractions(&[0.0, 0.25, 0.5, 0.75])
+///     .mixes(&[PolicyMix::ROV, PolicyMix::ACTION1])
+///     .trials(8)
+///     .hijacks(8)
+///     .seed(7)
+///     .run(&base);
+/// assert_eq!(report.cells.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepPlan {
+    fractions: Vec<f64>,
+    mixes: Vec<PolicyMix>,
+    trials: usize,
+    hijacks: usize,
+    seed: u64,
+    bootstrap: usize,
+    parallel: ParallelConfig,
+}
+
+impl Default for SweepPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepPlan {
+    /// A plan with the default grid: fractions 0/0.25/0.5/0.75, the
+    /// ROV and full-Action-1 mixes, 8 trials × 8 hijack events per
+    /// cell, parallelism from `MANRS_THREADS`.
+    pub fn new() -> Self {
+        SweepPlan {
+            fractions: vec![0.0, 0.25, 0.5, 0.75],
+            mixes: vec![PolicyMix::ROV, PolicyMix::ACTION1],
+            trials: 8,
+            hijacks: 8,
+            seed: 0x004D_414E_5253, // "MANRS"
+            bootstrap: 200,
+            parallel: ParallelConfig::from_env(),
+        }
+    }
+
+    /// Overrides the adoption fractions (clamped to `[0, 1]`).
+    pub fn fractions(mut self, fractions: &[f64]) -> Self {
+        self.fractions = fractions.iter().map(|f| f.clamp(0.0, 1.0)).collect();
+        self
+    }
+
+    /// Overrides the policy mixes.
+    pub fn mixes(mut self, mixes: &[PolicyMix]) -> Self {
+        self.mixes = mixes.to_vec();
+        self
+    }
+
+    /// Overrides the trials per cell.
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Overrides the hijack events per trial.
+    pub fn hijacks(mut self, hijacks: usize) -> Self {
+        self.hijacks = hijacks.max(1);
+        self
+    }
+
+    /// Overrides the plan seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the bootstrap resample count.
+    pub fn bootstrap(mut self, resamples: usize) -> Self {
+        self.bootstrap = resamples.max(1);
+        self
+    }
+
+    /// Overrides the parallelism configuration.
+    pub fn parallel(mut self, cfg: ParallelConfig) -> Self {
+        self.parallel = cfg;
+        self
+    }
+
+    /// The trial specs of this plan's grid, execution order
+    /// (fraction-major, then mix, then trial).
+    pub fn specs(&self) -> Vec<TrialSpec> {
+        let mut specs = Vec::with_capacity(self.fractions.len() * self.mixes.len() * self.trials);
+        for (fi, &fraction) in self.fractions.iter().enumerate() {
+            for (mi, &mix) in self.mixes.iter().enumerate() {
+                let cell = fi * self.mixes.len() + mi;
+                for trial in 0..self.trials {
+                    let seed = splitmix64(
+                        self.seed
+                            ^ splitmix64((cell as u64) << 32 | trial as u64),
+                    );
+                    specs.push(TrialSpec { fraction, mix, cell, trial, seed });
+                }
+            }
+        }
+        specs
+    }
+
+    /// Runs the grid over `base` and summarizes per cell. Deterministic
+    /// in the plan seed: trial RNG streams derive from grid coordinates
+    /// and the fan-out preserves order, so the report's cells are
+    /// bit-for-bit identical for any thread count (only the
+    /// scheduling-dependent `totals.compactions` may vary).
+    pub fn run(&self, base: &SweepBase) -> SweepReport {
+        let specs = self.specs();
+        let outcomes: Vec<TrialOutcome> = par_map_with(
+            &self.parallel,
+            &specs,
+            || TrialWorkspace::new(base),
+            |ws, spec| ws.run_trial(base, spec, self.hijacks),
+        );
+
+        let cell_count = self.fractions.len() * self.mixes.len();
+        let mut cells = Vec::with_capacity(cell_count);
+        let mut totals = SweepTotals { trials: outcomes.len() as u64, ..SweepTotals::default() };
+        for cell in 0..cell_count {
+            let fraction = self.fractions[cell / self.mixes.len()];
+            let mix = self.mixes[cell % self.mixes.len()];
+            let cell_outcomes: Vec<&TrialOutcome> = specs
+                .iter()
+                .zip(&outcomes)
+                .filter(|(s, _)| s.cell == cell)
+                .map(|(_, o)| o)
+                .collect();
+            let mut rng = StdRng::seed_from_u64(splitmix64(self.seed ^ 0xB007 ^ cell as u64));
+            let metric = |f: &dyn Fn(&TrialOutcome) -> f64, rng: &mut StdRng| {
+                let samples: Vec<f64> = cell_outcomes.iter().map(|o| f(o)).collect();
+                summarize(&samples, rng, self.bootstrap)
+            };
+            let splices: u64 = cell_outcomes.iter().map(|o| o.counters.splices).sum();
+            for o in &cell_outcomes {
+                totals.index_patches += o.counters.splices;
+                totals.index_rebuilds += o.counters.rebuilds;
+                totals.compactions += o.counters.compactions;
+            }
+            cells.push(CellReport {
+                fraction,
+                mix: mix.name.to_string(),
+                trials: cell_outcomes.len(),
+                adopters_mean: cell_outcomes.iter().map(|o| o.adopters as f64).sum::<f64>()
+                    / cell_outcomes.len().max(1) as f64,
+                attacker_share: metric(&|o| o.attacker_share, &mut rng),
+                victim_share: metric(&|o| o.victim_share, &mut rng),
+                disconnected_share: metric(&|o| o.disconnected_share, &mut rng),
+                detected_share: metric(&|o| o.detected_share, &mut rng),
+                conformant_share: metric(&|o| o.conformant_share, &mut rng),
+                unconformant_share: metric(&|o| o.unconformant_share, &mut rng),
+                manrs_transit_share: metric(&|o| o.manrs_transit_share, &mut rng),
+                splices,
+            });
+        }
+
+        SweepReport {
+            seed: self.seed,
+            fractions: self.fractions.clone(),
+            mixes: self.mixes.iter().map(|m| m.name.to_string()).collect(),
+            trials_per_cell: self.trials,
+            hijacks_per_trial: self.hijacks,
+            cells,
+            totals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use std::sync::OnceLock;
+
+    fn base() -> &'static SweepBase {
+        static BASE: OnceLock<SweepBase> = OnceLock::new();
+        BASE.get_or_init(|| {
+            SweepBase::new(ScenarioWorld::builder(ScenarioConfig::small(42)).build())
+        })
+    }
+
+    fn tiny_plan() -> SweepPlan {
+        SweepPlan::new()
+            .fractions(&[0.0, 0.5])
+            .mixes(&[PolicyMix::ACTION1])
+            .trials(3)
+            .hijacks(4)
+            .seed(11)
+    }
+
+    #[test]
+    fn report_shape_and_invariants() {
+        let report = tiny_plan().parallel(ParallelConfig::serial()).run(base());
+        assert_eq!(report.cells.len(), 2);
+        assert_eq!(report.totals.trials, 6);
+        assert_eq!(report.totals.index_rebuilds, 0, "splice path must never fall back");
+        for cell in &report.cells {
+            assert_eq!(cell.trials, 3);
+            for m in [
+                &cell.attacker_share,
+                &cell.victim_share,
+                &cell.disconnected_share,
+                &cell.detected_share,
+                &cell.conformant_share,
+                &cell.unconformant_share,
+                &cell.manrs_transit_share,
+            ] {
+                assert!(m.ci_lo <= m.mean + 1e-12 && m.mean <= m.ci_hi + 1e-12);
+                assert!((0.0..=1.0).contains(&m.mean), "share out of range: {m:?}");
+            }
+            let s = &cell.attacker_share;
+            let v = &cell.victim_share;
+            let d = &cell.disconnected_share;
+            assert!((s.mean + v.mean + d.mean - 1.0).abs() < 1e-9);
+        }
+        // The zero-adoption cell splices nothing.
+        assert_eq!(report.cells[0].splices, 0);
+        assert!(report.cells[1].splices > 0, "adopting trials must splice");
+    }
+
+    #[test]
+    fn report_is_thread_invariant() {
+        let serial = tiny_plan().parallel(ParallelConfig::serial()).run(base());
+        for threads in [2, 4, 8] {
+            let parallel =
+                tiny_plan().parallel(ParallelConfig::with_threads(threads)).run(base());
+            assert_eq!(serial.cells, parallel.cells, "threads={threads}");
+            assert_eq!(serial.totals.index_patches, parallel.totals.index_patches);
+            assert_eq!(serial.totals.index_rebuilds, parallel.totals.index_rebuilds);
+        }
+    }
+
+    #[test]
+    fn adoption_buys_hijack_resistance() {
+        // Full Action 1 at 90% adoption must shrink the attacker's
+        // reach relative to zero adoption: victims register ROAs and
+        // 90% of ASes drop the now-Invalid forged announcements.
+        let report = SweepPlan::new()
+            .fractions(&[0.0, 0.9])
+            .mixes(&[PolicyMix::ACTION1])
+            .trials(4)
+            .hijacks(8)
+            .seed(3)
+            .parallel(ParallelConfig::serial())
+            .run(base());
+        let low = report.cells[0].attacker_share.mean;
+        let high = report.cells[1].attacker_share.mean;
+        assert!(
+            high < low,
+            "attacker share must drop with adoption: {low:.3} -> {high:.3}"
+        );
+        // Registration also lifts conformance.
+        assert!(
+            report.cells[1].conformant_share.mean > report.cells[0].conformant_share.mean
+        );
+    }
+
+    #[test]
+    fn overlay_cycle_restores_base_state() {
+        let b = base();
+        let mut ws = TrialWorkspace::new(b);
+        let spec = TrialSpec {
+            fraction: 0.7,
+            mix: PolicyMix::ACTION1,
+            cell: 0,
+            trial: 0,
+            seed: 99,
+        };
+        let mut first = ws.run_trial(b, &spec, 4);
+        // After clear_overlay the workspace must behave as freshly
+        // cloned: same trial, same outcome, and policies equal base.
+        // Auto-compaction timing depends on accumulated fragmentation,
+        // so only the compaction counter may differ between cycles.
+        let mut second = ws.run_trial(b, &spec, 4);
+        first.counters.compactions = 0;
+        second.counters.compactions = 0;
+        assert_eq!(first, second);
+        for i in 0..b.as_count() {
+            assert_eq!(ws.graph.policy(i), b.base_policies[i], "policy {i} not restored");
+        }
+        assert_eq!(ws.counters().rebuilds, 0);
+        // The overlay statuses of a cleared workspace re-validate to the
+        // base world's statuses.
+        ws.apply_overlay(b, PolicyMix::ACTION1, 0.0, 1);
+        let (rpki, irr) = ws.overlay_statuses();
+        for (i, ann) in b.world().announcements.iter().enumerate() {
+            assert_eq!(rpki[i], ann.rpki);
+            assert_eq!(irr[i], ann.irr);
+        }
+        ws.clear_overlay(b);
+    }
+
+    #[test]
+    fn specs_are_deterministic_and_cover_grid() {
+        let plan = tiny_plan();
+        let a = plan.specs();
+        let b = plan.specs();
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.cell, y.cell);
+        }
+        // Distinct trials get distinct seeds.
+        let mut seeds: Vec<u64> = a.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 6);
+    }
+}

@@ -1,0 +1,176 @@
+//! Overlay-vs-rebuild equivalence: a copy-on-write sweep overlay must
+//! be indistinguishable from a `ScenarioWorld` rebuilt from scratch
+//! with the same adoption flips.
+//!
+//! The overlay path reuses the frozen base's dense graph (policies
+//! flipped in place) and splices pre-lowered registry deltas into
+//! cloned compiled indexes; the from-scratch path independently
+//! re-derives the same adopters' registrations from the world's
+//! resource map, rebuilds both compiled indexes from mutated source
+//! registries, and collects over a freshly built graph. Every
+//! validation status and every collected vantage path must agree
+//! bit-for-bit, at 1, 2, 4 and 8 threads.
+
+use manrs_bgp::{
+    validate_pairs_batch, Announcement, CollectedRib, ParallelConfig, TableCollector,
+};
+use manrs_irr::{CompiledIrrIndex, IrrDatabase, RouteObject};
+use manrs_net::{Asn, Date, Prefix};
+use manrs_rpki::{CompiledVrpIndex, Vrp};
+use manrs_scenario::{PolicyMix, ScenarioConfig, ScenarioWorld, SweepBase, TrialWorkspace};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+fn base() -> &'static SweepBase {
+    static BASE: OnceLock<SweepBase> = OnceLock::new();
+    BASE.get_or_init(|| SweepBase::new(ScenarioWorld::builder(ScenarioConfig::small(37)).build()))
+}
+
+/// The from-scratch registrations adopter `asn` would add, re-derived
+/// independently of the base's pre-lowered deltas: every held resource
+/// not already covered by a (prefix, origin) registration, with the
+/// builder's maxLength formula.
+fn scratch_deltas(
+    world: &ScenarioWorld,
+    asn: Asn,
+    roa_registered: &BTreeSet<(Prefix, Asn)>,
+    irr_registered: &BTreeSet<(Prefix, Asn)>,
+) -> (Vec<Vrp>, Vec<(Prefix, Asn)>) {
+    let mut roas = Vec::new();
+    let mut routes = Vec::new();
+    for prefix in world.world.all_resources(asn) {
+        if !roa_registered.contains(&(prefix, asn)) {
+            let cap = match prefix {
+                Prefix::V4(_) => 24,
+                Prefix::V6(_) => 48,
+            };
+            let max_length = (prefix.len() + 1).min(cap).max(prefix.len());
+            roas.push(Vrp::new(prefix, asn, max_length));
+        }
+        if !irr_registered.contains(&(prefix, asn)) {
+            routes.push((prefix, asn));
+        }
+    }
+    (roas, routes)
+}
+
+fn rib_paths(rib: &CollectedRib) -> Vec<(Prefix, Asn, Vec<Vec<Asn>>)> {
+    rib.observations
+        .iter()
+        .map(|o| {
+            (
+                o.prefix,
+                o.origin,
+                o.paths.iter().map(|&id| rib.path(id).to_vec()).collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn overlay_matches_from_scratch_world(
+        fraction in 0.0f64..1.0,
+        mix_idx in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let mix = [
+            PolicyMix::REGISTRATION,
+            PolicyMix::FILTERING,
+            PolicyMix::ROV,
+            PolicyMix::ACTION1,
+        ][mix_idx];
+        let b = base();
+        let world = b.world();
+
+        // Overlay path: flip + splice into the recycled workspace.
+        let mut ws = TrialWorkspace::new(b);
+        ws.apply_overlay(b, mix, fraction, seed);
+        let adopters: Vec<Asn> =
+            ws.adopters().iter().map(|&i| b.asn_at(i as usize)).collect();
+        let (ov_rpki, ov_irr) = ws.overlay_statuses();
+        let (ov_rpki, ov_irr) = (ov_rpki.to_vec(), ov_irr.to_vec());
+
+        // From-scratch path: mutate cloned source registries and
+        // rebuild everything the overlay only patched.
+        let mut roa_registered: BTreeSet<(Prefix, Asn)> = BTreeSet::new();
+        for vrp in world.vrps.iter() {
+            roa_registered.insert((vrp.prefix, vrp.asn));
+        }
+        let mut irr_registered: BTreeSet<(Prefix, Asn)> = BTreeSet::new();
+        for db in world.irr.databases() {
+            for route in db.routes() {
+                irr_registered.insert((route.prefix, route.origin));
+            }
+        }
+        let mut vrps = world.vrps.clone();
+        let mut extra = IrrDatabase::new("SWEEP-TEST", None);
+        let mut policies = world.policies.clone();
+        for &asn in &adopters {
+            if mix.register_roas || mix.register_irr {
+                let (roas, routes) =
+                    scratch_deltas(world, asn, &roa_registered, &irr_registered);
+                if mix.register_roas {
+                    for vrp in roas {
+                        vrps.insert(vrp);
+                    }
+                }
+                if mix.register_irr {
+                    for (prefix, origin) in routes {
+                        extra.add_route(RouteObject {
+                            prefix,
+                            origin,
+                            descr: "sweep adoption".into(),
+                            mnt_by: format!("MAINT-AS{}", origin.value()),
+                            source: "SWEEP-TEST".into(),
+                            last_modified: Date::ymd(2022, 5, 1),
+                        });
+                    }
+                }
+            }
+            if mix.deploy_rov || mix.deploy_irr_filtering {
+                policies.set(asn, mix.apply(policies.get(asn)));
+            }
+        }
+        let mut irr = world.irr.clone();
+        irr.add_database(extra);
+        let vrp_index = CompiledVrpIndex::build(&vrps);
+        let irr_index = CompiledIrrIndex::build(&irr);
+
+        let pairs: Vec<(Prefix, Asn)> =
+            world.announcements.iter().map(|a| (a.prefix, a.origin)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let par = ParallelConfig::with_threads(threads);
+
+            let scratch_statuses = validate_pairs_batch(&par, &vrp_index, &irr_index, &pairs);
+            for (i, &(rpki, irrst)) in scratch_statuses.iter().enumerate() {
+                prop_assert_eq!(ov_rpki[i], rpki, "rpki status {} (threads {})", i, threads);
+                prop_assert_eq!(ov_irr[i], irrst, "irr status {} (threads {})", i, threads);
+            }
+
+            let anns: Vec<Announcement> = pairs
+                .iter()
+                .zip(&scratch_statuses)
+                .map(|(&(p, o), &(r, ir))| Announcement::new(p, o, r, ir))
+                .collect();
+            let scratch_rib =
+                TableCollector::new(&world.world.topology, &policies, &world.vantages)
+                    .parallel(par)
+                    .plan()
+                    .collect(&anns);
+            let overlay_rib = ws.collect_overlay(b, par);
+            prop_assert_eq!(&overlay_rib.vantages, &scratch_rib.vantages);
+            prop_assert_eq!(
+                rib_paths(&overlay_rib),
+                rib_paths(&scratch_rib),
+                "collected RIBs diverge at {} threads",
+                threads
+            );
+        }
+
+        ws.clear_overlay(b);
+    }
+}

@@ -673,4 +673,45 @@ mod tests {
         }
         assert_eq!(after, recount);
     }
+
+    /// Degenerate builder knobs clamp rather than break: `shards(0)`
+    /// folds to one shard ([`ShardRouter::new`] clamps to `1..=256`)
+    /// and `reader_slots(0)` keeps at least one pin slot, so readers
+    /// fall back to the short-lock acquire path instead of deadlocking.
+    #[test]
+    fn zero_shards_and_zero_reader_slots_still_serve() {
+        let w = world();
+        let service = SnapshotService::builder(&w)
+            .shards(0)
+            .reader_slots(0)
+            .start_date(replay_start())
+            .build();
+        assert!(service.pair_count() > 0);
+        assert!(service.verify());
+
+        // Queries answer through the clamped configuration, and the
+        // single folded shard classifies identically to a multi-shard
+        // build of the same world.
+        let reference = SnapshotService::builder(&w).shards(8).start_date(replay_start()).build();
+        assert_eq!(service.pair_count(), reference.pair_count());
+        let pairs: Vec<(Prefix, Asn)> =
+            w.announcements.iter().map(|a| (a.prefix, a.origin)).take(64).collect();
+        let mut client = service.client();
+        let mut ref_client = reference.client();
+        let q = Query::ValidatePairs { pairs };
+        match (client.query(&q), ref_client.query(&q)) {
+            (
+                QueryResponse::Statuses { statuses, .. },
+                QueryResponse::Statuses { statuses: expected, .. },
+            ) => assert_eq!(statuses, expected),
+            other => panic!("unexpected responses {other:?}"),
+        }
+
+        // Replay still publishes epochs through the degenerate knobs.
+        for step in weekly_steps(&w, 4, 0.05, w.config.seed) {
+            service.apply_step(&step);
+        }
+        assert!(service.stats().epochs_published >= 1);
+        assert!(service.verify());
+    }
 }

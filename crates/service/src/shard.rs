@@ -156,4 +156,75 @@ mod tests {
         assert_eq!(ShardRouter::new(100_000).shards(), MAX_SHARDS);
         assert!(MAX_SHARDS <= SHARD_BUCKETS as usize);
     }
+
+    /// The bucket space is two 256-bucket halves — v4 then v6 — and
+    /// the family boundary must hold at both edges: the v6 half starts
+    /// at bucket 256 (`::/8`) and ends at 511 (`ff00::/8`), so a v6
+    /// prefix never folds onto a v4 prefix's residue unless the shard
+    /// count divides their 256-bucket offset.
+    #[test]
+    fn ipv6_bucket_family_boundaries() {
+        // Same first octet, different family: the v6 twin lives
+        // exactly 256 buckets up.
+        let v4 = p("10.0.0.0/8");
+        let v6 = p("a00::/8"); // first octet 0x0a = 10
+        assert_eq!(shard_bucket(&v4), 10);
+        assert_eq!(shard_bucket(&v6), 256 + 10);
+        // 256 % 256 == 0: with a full-octet shard count the halves
+        // overlay each other...
+        let full = ShardRouter::new(256);
+        assert_eq!(full.shard_of(&v4), full.shard_of(&v6));
+        // ...while any count that does not divide 256 separates them.
+        let odd = ShardRouter::new(255);
+        assert_ne!(odd.shard_of(&v4), odd.shard_of(&v6));
+
+        // Extremes of both halves.
+        assert_eq!(shard_bucket(&p("0.0.0.0/8")), 0);
+        assert_eq!(shard_bucket(&p("255.0.0.0/8")), 255);
+        assert_eq!(shard_bucket(&p("::/128")), 256);
+        assert_eq!(shard_bucket(&p("ff00::/8")), 511);
+        assert_eq!(
+            shard_bucket(&p("ffff:ffff::/32")),
+            SHARD_BUCKETS - 1,
+            "the last v6 octet is the last bucket"
+        );
+
+        // Each family's default route spans exactly its own half —
+        // 256 buckets, truncated to the shard count — and wide v6
+        // candidates stay inside the v6 half.
+        assert_eq!(shard_bucket_span(&p("0.0.0.0/0")), (0, 255));
+        assert_eq!(shard_bucket_span(&p("::/0")), (256, 511));
+        assert_eq!(shard_bucket_span(&p("::/1")), (256, 256 + 127));
+        assert_eq!(shard_bucket_span(&p("8000::/1")), (256 + 128, 511));
+        for n in [1, 2, 3, 8, 255, 256] {
+            let r = ShardRouter::new(n);
+            assert_eq!(r.shards_spanned(&p("::/0")).len(), n.min(256));
+            // A v6 default-route candidate must reach every v6 query.
+            assert!(r.spans_shard(&p("::/0"), r.shard_of(&p("2001:db8::/48"))));
+            assert!(r.spans_shard(&p("::/0"), r.shard_of(&p("ff00::/8"))));
+        }
+    }
+
+    /// A single shard is the total fold: every bucket of both families
+    /// lands on shard 0 and every candidate spans exactly it, so the
+    /// sharded service degenerates to one unpartitioned index.
+    #[test]
+    fn single_shard_fold_covers_both_families() {
+        let r = ShardRouter::new(1);
+        for s in [
+            "0.0.0.0/0",
+            "0.0.0.0/8",
+            "255.255.255.255/32",
+            "::/0",
+            "::/128",
+            "ff00::/8",
+            "ffff::/16",
+        ] {
+            let prefix = p(s);
+            assert_eq!(r.shard_of(&prefix), 0, "{s}");
+            assert!(r.spans_shard(&prefix, 0), "{s}");
+            let span: Vec<usize> = r.shards_spanned(&prefix).collect();
+            assert_eq!(span, vec![0], "{s}: span must collapse to the one shard");
+        }
+    }
 }

@@ -85,9 +85,9 @@ pub mod prelude {
     pub use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
     pub use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};
     pub use manrs_scenario::{
-        weekly_steps, BehaviorMatrix, EngineFeed, RegistryDelta, ScenarioConfig, ScenarioWorld,
-        ScenarioWorldBuilder, SeriesStep, SnapshotSeries, TimelineEngine, TimelineSnapshot,
-        YearlySnapshot,
+        weekly_steps, BehaviorMatrix, EngineFeed, PolicyMix, RegistryDelta, ScenarioConfig,
+        ScenarioWorld, ScenarioWorldBuilder, SeriesStep, SnapshotSeries, SweepBase, SweepPlan,
+        SweepReport, TimelineEngine, TimelineSnapshot, TrialWorkspace, YearlySnapshot,
     };
     pub use manrs_service::{
         ConformanceSummary, HegemonySummary, Query, QueryResponse, RotationPolicy,
