@@ -18,7 +18,13 @@ job, so both validate the exact same contract:
   and its serial throughput must beat ``validation_scalar``'s at every
   non-small scale — by at least 4x at medium, where both paths are
   measured on the same warm world and the compiled-index win is the
-  whole point of the batch engine.
+  whole point of the batch engine;
+* ``policy_mixes`` records, per scale and named extension mix, the
+  acceptance-class split and the strategy ``Auto`` resolves to. A
+  path-blind mix must keep resolving to ``reverse`` at medium scale
+  (the cost model's whole point is that few vantages beat many
+  classes), and a path-aware mix must always resolve ``forward`` —
+  reverse traversal cannot reproduce path-dependent verdicts.
 """
 
 import json
@@ -101,6 +107,28 @@ def main(path: str) -> None:
                     f"{m['serial_elements_per_sec']} < "
                     f"{floor} * {scalar_serial_eps[m['scale']]}"
                 )
+    mixes = data["policy_mixes"]
+    assert mixes, "policy_mixes section missing or empty"
+    mix_keys = (
+        "scale",
+        "mix",
+        "accept_classes",
+        "origin_classes",
+        "resolved_strategy",
+        "path_aware",
+    )
+    for r in mixes:
+        for key in mix_keys:
+            assert key in r, f"missing {key} in policy mix record: {r}"
+        assert r["resolved_strategy"] in ("forward", "reverse"), r
+        if r["path_aware"]:
+            assert r["resolved_strategy"] == "forward", (
+                f"path-aware mix must force forward collection: {r}"
+            )
+        elif r["scale"] == "medium":
+            assert r["resolved_strategy"] == "reverse", (
+                f"path-blind mix regressed to forward at medium scale: {r}"
+            )
     print(f"{path} schema OK")
 
 

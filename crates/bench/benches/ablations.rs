@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use manrs_bgp::propagate::{propagate_dense, DenseGraph};
-use manrs_bgp::{FilteringPolicy, PolicyTable, TableCollector};
+use manrs_bgp::{PolicyExtension, PolicySet, PolicyTable, TableCollector};
 use manrs_scenario::{ScenarioConfig, ScenarioWorld};
 use std::hint::black_box;
 
@@ -21,12 +21,9 @@ fn bench_policy_cost(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("policy_cost_invalid_route");
     for (label, policy) in [
-        ("open", FilteringPolicy::OPEN),
-        ("manrs_isp", FilteringPolicy::MANRS_ISP),
-        ("manrs_cdn_strict", FilteringPolicy {
-            irr_strict_length: true,
-            ..FilteringPolicy::MANRS_CDN
-        }),
+        ("open", PolicySet::OPEN),
+        ("manrs_isp", PolicySet::MANRS_ISP),
+        ("manrs_cdn_strict", PolicySet::MANRS_CDN.with(PolicyExtension::IrrStrictLength)),
     ] {
         let graph = DenseGraph::build(&world.world.topology, &PolicyTable::with_default(policy));
         group.bench_function(label, |b| b.iter(|| black_box(propagate_dense(&graph, &ann))));

@@ -29,7 +29,7 @@
 use manrs_bench::{harness_seed, Scale};
 use manrs_bgp::ParallelConfig;
 use manrs_scenario::{
-    PolicyMix, ScenarioWorld, SweepBase, SweepPlan, SweepReport, TrialWorkspace,
+    IncidentProfile, PolicyMix, ScenarioWorld, SweepBase, SweepPlan, SweepReport, TrialWorkspace,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -87,7 +87,7 @@ fn steady_state_allocs(base: &SweepBase, ws: &mut TrialWorkspace) -> u64 {
     let specs = plan(ParallelConfig::serial()).specs();
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for spec in &specs {
-        std::hint::black_box(ws.run_trial(base, spec, HIJACKS));
+        std::hint::black_box(ws.run_trial(base, spec, HIJACKS, IncidentProfile::Hijacks));
     }
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
@@ -206,7 +206,7 @@ fn main() {
     eprintln!("[alloc] warming serial workspace ...");
     let mut ws = TrialWorkspace::new(&base);
     for spec in &plan(ParallelConfig::serial()).specs() {
-        std::hint::black_box(ws.run_trial(&base, spec, HIJACKS));
+        std::hint::black_box(ws.run_trial(&base, spec, HIJACKS, IncidentProfile::Hijacks));
     }
     let allocs_steady = steady_state_allocs(&base, &mut ws);
     eprintln!("[alloc] steady-state allocations across warm grid: {allocs_steady}");

@@ -29,8 +29,8 @@
 
 use manrs_bench::{Scale, HARNESS_SEED};
 use manrs_bgp::{
-    distinct_classes, par_map, validate_pairs_batch, CollectionStrategy, ParallelConfig,
-    TableCollector,
+    distinct_accept_classes, distinct_classes, par_map, validate_pairs_batch, CollectionStrategy,
+    ParallelConfig, PolicyExtension, PolicySet, PolicyTable, TableCollector,
 };
 use manrs_irr::{validate_irr, CompiledIrrIndex, IrrStatus};
 use manrs_net::{match_run, match_run_autovec, Asn, BatchScratch, MatchOutcome};
@@ -132,6 +132,20 @@ impl Measurement {
     }
 }
 
+/// Per-policy-mix collection telemetry: how many acceptance classes an
+/// extension mix splits the world's announcements into, and which
+/// collection strategy `Auto` resolves to under it. Path-aware mixes
+/// must resolve Forward; the CI gate checks path-blind mixes keep
+/// resolving Reverse at medium scale.
+struct MixRecord {
+    scale: &'static str,
+    mix: &'static str,
+    accept_classes: usize,
+    origin_classes: usize,
+    resolved_strategy: &'static str,
+    path_aware: bool,
+}
+
 /// Best-of-`reps` wall time for `f`, plus the allocation count of the
 /// final rep.
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, u64, R) {
@@ -154,7 +168,7 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, u64, R) {
 /// rather than two wrappers over the same propagation core.
 mod legacy {
     use manrs_bgp::propagate::Provenance;
-    use manrs_bgp::{par_map, par_map_with, Announcement, FilteringPolicy, ParallelConfig, PolicyTable};
+    use manrs_bgp::{par_map, par_map_with, Announcement, ParallelConfig, PolicySet, PolicyTable};
     use manrs_irr::IrrStatus;
     use manrs_net::Asn;
     use manrs_topology::{AsTopology, Relationship};
@@ -176,7 +190,7 @@ mod legacy {
         providers: Vec<Vec<u32>>,
         customers: Vec<Vec<u32>>,
         peers: Vec<Vec<u32>>,
-        policies: Vec<FilteringPolicy>,
+        policies: Vec<PolicySet>,
     }
 
     impl Graph {
@@ -362,6 +376,7 @@ fn measure_scale(
     name: &'static str,
     parallel: &ParallelConfig,
     out: &mut Vec<Measurement>,
+    mixes_out: &mut Vec<MixRecord>,
 ) {
     eprintln!("[{name}] building world ...");
     let world = ScenarioWorld::builder(scale.config(HARNESS_SEED)).parallel(*parallel).build();
@@ -451,9 +466,49 @@ fn measure_scale(
         parallel_allocations: rev_allocs,
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
-        strategy_split: Some((world.vantages.len(), distinct_classes(&world.announcements))),
+        strategy_split: Some((
+            world.vantages.len(),
+            distinct_classes(&world.announcements, world.policies.active_union()),
+        )),
         batch_allocations: None,
     });
+
+    // Stage 1c: per-policy-mix collection telemetry. Uniform worlds
+    // under each named extension mix: the acceptance-class split and
+    // the strategy `Auto` resolves to. No timing — this records the
+    // cost-model inputs the collection layer decides by.
+    let mix_table = [
+        ("open", PolicySet::OPEN),
+        ("rov", PolicySet::OPEN.with(PolicyExtension::Rov)),
+        ("manrs_isp", PolicySet::MANRS_ISP),
+        (
+            "manrs_cdn_strict",
+            PolicySet::MANRS_CDN.with(PolicyExtension::IrrStrictLength),
+        ),
+        ("route_server", PolicySet::ROUTE_SERVER),
+        ("isp_aspa", PolicySet::MANRS_ISP.with(PolicyExtension::Aspa)),
+        ("isp_otc", PolicySet::MANRS_ISP.with(PolicyExtension::OnlyToCustomers)),
+        ("isp_path_end", PolicySet::MANRS_ISP.with(PolicyExtension::PathEnd)),
+    ];
+    for (mix_name, set) in mix_table {
+        let policies = PolicyTable::with_default(set);
+        let plan = TableCollector::new(&world.world.topology, &policies, &world.vantages)
+            .parallel(*parallel)
+            .plan();
+        let resolved = match plan.resolved_strategy(&world.announcements) {
+            CollectionStrategy::Forward => "forward",
+            CollectionStrategy::Reverse => "reverse",
+            CollectionStrategy::Auto => unreachable!("resolution never returns Auto"),
+        };
+        mixes_out.push(MixRecord {
+            scale: name,
+            mix: mix_name,
+            accept_classes: distinct_accept_classes(&world.announcements, set),
+            origin_classes: distinct_classes(&world.announcements, set),
+            resolved_strategy: resolved,
+            path_aware: set.reads_path(),
+        });
+    }
 
     // Stage 2: path extraction — resolving every observation's vantage
     // paths out of the collected RIB (zero-copy pool slices). Elements
@@ -627,7 +682,7 @@ fn measure_kernel(out: &mut Vec<Measurement>) {
     });
 }
 
-fn render_json(threads: usize, measurements: &[Measurement]) -> String {
+fn render_json(threads: usize, measurements: &[Measurement], mixes: &[MixRecord]) -> String {
     // Hand-rendered JSON: every value is a number or a fixed-format
     // string, and keeping serde_json out of the hot path keeps this
     // binary dependency-light.
@@ -672,6 +727,18 @@ fn render_json(threads: usize, measurements: &[Measurement]) -> String {
         let _ = writeln!(json, "      \"speedup\": {:.3}", m.speedup());
         let _ = writeln!(json, "    }}{}", if i + 1 == measurements.len() { "" } else { "," });
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"policy_mixes\": [\n");
+    for (i, r) in mixes.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"scale\": \"{}\",", r.scale);
+        let _ = writeln!(json, "      \"mix\": \"{}\",", r.mix);
+        let _ = writeln!(json, "      \"accept_classes\": {},", r.accept_classes);
+        let _ = writeln!(json, "      \"origin_classes\": {},", r.origin_classes);
+        let _ = writeln!(json, "      \"resolved_strategy\": \"{}\",", r.resolved_strategy);
+        let _ = writeln!(json, "      \"path_aware\": {}", r.path_aware);
+        let _ = writeln!(json, "    }}{}", if i + 1 == mixes.len() { "" } else { "," });
+    }
     json.push_str("  ]\n}\n");
     json
 }
@@ -681,14 +748,15 @@ fn main() {
     let threads = parallel.effective_threads(usize::MAX);
     let scales = std::env::var("MANRS_BENCH_SCALES").unwrap_or_else(|_| "small,medium".into());
     let mut measurements = Vec::new();
+    let mut mixes = Vec::new();
     if scales.contains("small") {
-        measure_scale(Scale::Small, "small", &parallel, &mut measurements);
+        measure_scale(Scale::Small, "small", &parallel, &mut measurements, &mut mixes);
     }
     if scales.contains("medium") {
-        measure_scale(Scale::Medium, "medium", &parallel, &mut measurements);
+        measure_scale(Scale::Medium, "medium", &parallel, &mut measurements, &mut mixes);
     }
     if scales.contains("paper") {
-        measure_scale(Scale::Paper, "paper", &parallel, &mut measurements);
+        measure_scale(Scale::Paper, "paper", &parallel, &mut measurements, &mut mixes);
     }
     measure_kernel(&mut measurements);
 
@@ -716,7 +784,7 @@ fn main() {
         }
     }
 
-    let json = render_json(threads, &measurements);
+    let json = render_json(threads, &measurements, &mixes);
     let path = "BENCH_propagation.json";
     std::fs::write(path, &json).expect("write benchmark artifact");
     eprintln!("wrote {path} ({threads} threads)");

@@ -1,0 +1,251 @@
+//! Routing-incident construction: origin hijacks, subprefix hijacks,
+//! and route leaks.
+//!
+//! A prefix origin hijack (§2.1) is an announcement of someone else's
+//! prefix with the attacker as origin, in two classic flavours:
+//! exact-prefix (competes on path length) and more-specific (wins by
+//! longest-prefix match wherever it propagates — and, when the victim
+//! registered a ROA without slack, is RPKI Invalid-length for everyone
+//! running ROV). A route leak re-exports the victim's *own* route
+//! beyond its valley-free envelope — the announcement is genuine, and
+//! only path-aware defenses (RFC 9234 OTC, ASPA) catch it in flight;
+//! see [`crate::propagate::propagate_leak_into`].
+
+use crate::announcement::Announcement;
+use manrs_irr::{validate_irr, IrrRegistry};
+use manrs_net::{Asn, Prefix};
+use manrs_rpki::{validate_origin, VrpSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A routing incident to inject into a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Incident {
+    /// The attacker announces the victim's prefix as-is with itself as
+    /// origin.
+    OriginHijack {
+        /// The prefix under attack (as announced by the victim).
+        victim_prefix: Prefix,
+        /// The attacking origin AS.
+        attacker: Asn,
+    },
+    /// The attacker announces a one-bit-longer subprefix (the low
+    /// half) with itself as origin.
+    SubprefixHijack {
+        /// The prefix under attack (as announced by the victim).
+        victim_prefix: Prefix,
+        /// The attacking origin AS.
+        attacker: Asn,
+    },
+    /// The leaker re-exports the victim's route to every neighbor,
+    /// violating the valley-free export rule.
+    RouteLeak {
+        /// The prefix whose route is leaked.
+        victim_prefix: Prefix,
+        /// The legitimate origin of the prefix.
+        victim_origin: Asn,
+        /// The AS re-exporting beyond its export envelope.
+        leaker: Asn,
+    },
+}
+
+/// Why an [`Incident`] cannot produce its announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentError {
+    /// A subprefix hijack of a host route: a `/32` (or `/128`) has no
+    /// more-specific to announce.
+    CannotSplit {
+        /// The indivisible victim prefix.
+        prefix: Prefix,
+    },
+}
+
+impl fmt::Display for IncidentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncidentError::CannotSplit { prefix } => {
+                write!(f, "host route {prefix} cannot be split into a more-specific")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IncidentError {}
+
+impl Incident {
+    /// The prefix the incident announcement carries: the forged
+    /// subprefix for a subprefix hijack, the victim's prefix otherwise.
+    ///
+    /// Errors with [`IncidentError::CannotSplit`] when a subprefix
+    /// hijack targets a host route — there is no quiet fallback to the
+    /// exact prefix.
+    pub fn forged_prefix(&self) -> Result<Prefix, IncidentError> {
+        match *self {
+            Incident::OriginHijack { victim_prefix, .. }
+            | Incident::RouteLeak { victim_prefix, .. } => Ok(victim_prefix),
+            Incident::SubprefixHijack { victim_prefix, .. } => {
+                let child = match victim_prefix {
+                    Prefix::V4(p) => p.children().map(|(lo, _)| Prefix::V4(lo)),
+                    Prefix::V6(p) => p.children().map(|(lo, _)| Prefix::V6(lo)),
+                };
+                child.ok_or(IncidentError::CannotSplit { prefix: victim_prefix })
+            }
+        }
+    }
+
+    /// The origin AS of the incident announcement: the attacker for
+    /// hijacks, the legitimate victim origin for a route leak (the
+    /// leaked route is genuine — the leaker forwards, it does not
+    /// originate).
+    pub fn origin(&self) -> Asn {
+        match *self {
+            Incident::OriginHijack { attacker, .. }
+            | Incident::SubprefixHijack { attacker, .. } => attacker,
+            Incident::RouteLeak { victim_origin, .. } => victim_origin,
+        }
+    }
+
+    /// The misbehaving AS: the hijacking origin, or the leaker.
+    pub fn perpetrator(&self) -> Asn {
+        match *self {
+            Incident::OriginHijack { attacker, .. }
+            | Incident::SubprefixHijack { attacker, .. } => attacker,
+            Incident::RouteLeak { leaker, .. } => leaker,
+        }
+    }
+
+    /// Builds the incident announcement, validating it against the
+    /// real registries exactly as any other announcement would be.
+    ///
+    /// For hijacks this is the forged announcement (typically RPKI
+    /// Invalid-ASN when the victim registered a ROA); for a route leak
+    /// it is the victim's own announcement — registry-clean, which is
+    /// exactly why only path-aware defenses stop it.
+    pub fn announcement(
+        &self,
+        vrps: &VrpSet,
+        irr: &IrrRegistry,
+    ) -> Result<Announcement, IncidentError> {
+        let prefix = self.forged_prefix()?;
+        let origin = self.origin();
+        Ok(Announcement::new(
+            prefix,
+            origin,
+            validate_origin(vrps, &prefix, origin),
+            validate_irr(irr, &prefix, origin),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_irr::IrrDatabase;
+    use manrs_net::Date;
+    use manrs_rpki::{RpkiStatus, Vrp};
+
+    fn vrps() -> VrpSet {
+        // Victim AS1 registered 10.0.0.0/16 maxlen 16.
+        [Vrp::new("10.0.0.0/16".parse().unwrap(), Asn(1), 16)]
+            .into_iter()
+            .collect()
+    }
+
+    fn irr() -> IrrRegistry {
+        let mut db = IrrDatabase::new("RADB", None);
+        db.add_route(manrs_irr::RouteObject {
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            origin: Asn(1),
+            descr: String::new(),
+            mnt_by: "M".into(),
+            source: "RADB".into(),
+            last_modified: Date::ymd(2022, 1, 1),
+        });
+        let mut reg = IrrRegistry::new();
+        reg.add_database(db);
+        reg
+    }
+
+    #[test]
+    fn exact_hijack_is_rpki_invalid_asn() {
+        let h = Incident::OriginHijack {
+            victim_prefix: "10.0.0.0/16".parse().unwrap(),
+            attacker: Asn(666),
+        };
+        let a = h.announcement(&vrps(), &irr()).unwrap();
+        assert_eq!(a.prefix, "10.0.0.0/16".parse::<Prefix>().unwrap());
+        assert_eq!(a.rpki, RpkiStatus::InvalidAsn);
+        assert!(a.is_manrs_unconformant());
+        assert_eq!(h.origin(), Asn(666));
+        assert_eq!(h.perpetrator(), Asn(666));
+    }
+
+    #[test]
+    fn subprefix_hijack_forges_subprefix() {
+        let h = Incident::SubprefixHijack {
+            victim_prefix: "10.0.0.0/16".parse().unwrap(),
+            attacker: Asn(666),
+        };
+        let a = h.announcement(&vrps(), &irr()).unwrap();
+        assert_eq!(a.prefix, "10.0.0.0/17".parse::<Prefix>().unwrap());
+        assert_eq!(a.rpki, RpkiStatus::InvalidAsn);
+    }
+
+    #[test]
+    fn self_deaggregation_is_invalid_length_not_asn() {
+        // The victim de-aggregating its own ROA-covered prefix beyond
+        // maxLength: Invalid length, the misconfiguration case.
+        let h = Incident::SubprefixHijack {
+            victim_prefix: "10.0.0.0/16".parse().unwrap(),
+            attacker: Asn(1),
+        };
+        let a = h.announcement(&vrps(), &irr()).unwrap();
+        assert_eq!(a.rpki, RpkiStatus::InvalidLength);
+        // IRR: same origin, more specific than the route object.
+        assert_eq!(a.irr, manrs_irr::IrrStatus::InvalidLength);
+        assert!(a.is_manrs_conformant());
+    }
+
+    #[test]
+    fn host_route_cannot_deaggregate() {
+        // A /32 victim has no more-specific: the incident reports the
+        // impossibility instead of quietly announcing the exact prefix.
+        let v4 = Incident::SubprefixHijack {
+            victim_prefix: "10.0.0.1/32".parse().unwrap(),
+            attacker: Asn(666),
+        };
+        assert_eq!(
+            v4.forged_prefix(),
+            Err(IncidentError::CannotSplit { prefix: "10.0.0.1/32".parse().unwrap() })
+        );
+        assert!(v4.announcement(&vrps(), &irr()).is_err());
+        let v6 = Incident::SubprefixHijack {
+            victim_prefix: "2001:db8::1/128".parse().unwrap(),
+            attacker: Asn(666),
+        };
+        assert!(matches!(v6.forged_prefix(), Err(IncidentError::CannotSplit { .. })));
+        // The error is printable and a host-route *exact* hijack is fine.
+        let msg = v4.forged_prefix().unwrap_err().to_string();
+        assert!(msg.contains("10.0.0.1/32"), "{msg}");
+        let exact = Incident::OriginHijack {
+            victim_prefix: "10.0.0.1/32".parse().unwrap(),
+            attacker: Asn(666),
+        };
+        assert_eq!(exact.forged_prefix().unwrap(), "10.0.0.1/32".parse::<Prefix>().unwrap());
+    }
+
+    #[test]
+    fn route_leak_announcement_is_the_victims_own() {
+        let l = Incident::RouteLeak {
+            victim_prefix: "10.0.0.0/16".parse().unwrap(),
+            victim_origin: Asn(1),
+            leaker: Asn(9),
+        };
+        let a = l.announcement(&vrps(), &irr()).unwrap();
+        assert_eq!(a.origin, Asn(1));
+        assert_eq!(a.rpki, RpkiStatus::Valid);
+        assert_eq!(a.irr, manrs_irr::IrrStatus::Valid);
+        assert_eq!(l.origin(), Asn(1));
+        assert_eq!(l.perpetrator(), Asn(9));
+    }
+}

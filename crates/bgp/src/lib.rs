@@ -6,10 +6,11 @@
 //!
 //! * [`announcement`] — the unit of routing state: a (prefix, origin)
 //!   pair annotated with its RPKI and IRR validity.
-//! * [`policy`] — per-AS filtering policy: Route Origin Validation
-//!   (drop RPKI-Invalid from any neighbor) and IRR-based customer
-//!   filtering (drop IRR-Invalid announcements learned from customers) —
-//!   the two behaviours MANRS Action 1 asks for.
+//! * [`policy`] — per-AS import policy as a composable [`PolicySet`]
+//!   of [`PolicyExtension`]s: ROV and IRR customer/peer filtering (the
+//!   behaviours MANRS Action 1 asks for), the IXP route-server
+//!   posture, and path-aware defenses (ASPA, RFC 9234
+//!   only-to-customers, path-end validation).
 //! * [`mod@propagate`] — a deterministic Gao–Rexford propagation engine:
 //!   valley-free economics (customer routes preferred over peer over
 //!   provider; no transit between peers/providers), shortest-path and
@@ -18,8 +19,8 @@
 //! * [`collector`] — vantage points in the style of RouteViews/RIS
 //!   peers: the observed table is what the vantage ASes see, complete
 //!   with the visibility limitations the paper discusses in §11.
-//! * [`hijack`] — origin-hijack construction (exact and more-specific),
-//!   for failure-injection experiments.
+//! * [`incident`] — routing-incident construction (origin hijack,
+//!   subprefix hijack, route leak) for failure-injection experiments.
 //! * [`dump`] — TABLE_DUMP2-style text serialization of collected RIBs,
 //!   so tables can live on disk and be re-ingested like the real
 //!   archives.
@@ -43,7 +44,7 @@ pub mod announcement;
 pub mod batch;
 pub mod collector;
 pub mod dump;
-pub mod hijack;
+pub mod incident;
 pub mod parallel;
 pub mod pathpool;
 pub mod policy;
@@ -59,13 +60,15 @@ pub use announcement::Announcement;
 pub use batch::validate_pairs_batch;
 pub use collector::{CollectedRib, Observation};
 pub use dump::{parse_table_dump, parse_table_dump_with, write_table_dump};
-pub use hijack::{Hijack, HijackKind};
+pub use incident::{Incident, IncidentError};
 pub use parallel::{par_map, par_map_with, ParallelConfig};
 pub use pathpool::{PathId, PathInterner, PathPool};
-pub use policy::{FilteringPolicy, PolicyTable};
+pub use policy::{PolicyExtension, PolicySet, PolicyTable, RouteAttrs};
 pub use propagate::{
-    propagate, propagate_dense, propagate_dense_into, DenseGraph, PropagationScratch, Provenance,
-    RouteEntry, RoutingOutcome,
+    propagate, propagate_dense, propagate_dense_into, propagate_leak_into, DenseGraph,
+    PropagationScratch, Provenance, RouteEntry, RoutingOutcome,
 };
 pub use stats::{moas_conflicts, table_stats, TableStats};
-pub use table::{distinct_classes, CollectionPlan, CollectionStrategy, TableCollector};
+pub use table::{
+    distinct_accept_classes, distinct_classes, CollectionPlan, CollectionStrategy, TableCollector,
+};

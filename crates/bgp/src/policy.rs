@@ -1,14 +1,36 @@
-//! Per-AS filtering policies.
+//! Composable per-AS import-policy extensions.
 //!
-//! Two mechanisms matter to the paper:
+//! The paper's measurement (§9) models two mechanisms — Route Origin
+//! Validation and IRR-based customer/peer filtering — but the ecosystem
+//! it measures is a zoo of interacting policies: route servers
+//! validating on behalf of IXP members, RFC 9234 roles, ASPA-style
+//! provider verification. This module expresses all of them as one
+//! registry of [`PolicyExtension`]s; an AS's policy is a [`PolicySet`]
+//! (a bitset over the registry) and its import decision is the
+//! **conjunction** of the verdicts of every extension in the set.
 //!
-//! * **Route Origin Validation** (ROV): drop RPKI-Invalid announcements
-//!   from *any* neighbor (RFC 6811 deployment; §9.1).
-//! * **IRR customer filtering**: drop announcements learned from
-//!   customers whose (prefix, origin) is IRR-Invalid — MANRS Action 1's
-//!   "check the validity of customer announcements" implemented with IRR
-//!   data (§9.2). CDNs extend this to peers ("ingress filtering on peers
-//!   and customers").
+//! Extensions split into two families:
+//!
+//! * **Path-blind** extensions ([`PolicyExtension::reads_path`] is
+//!   `false`) decide from the announcement's registry statuses alone:
+//!   ROV, IRR customer/peer filtering, the strict-length modifier, and
+//!   the IXP route-server posture. Whole-table collection exploits this
+//!   blindness: announcements with equal status projections share one
+//!   propagation, and reverse collection is legal.
+//! * **Path-aware** extensions decide from *how the route travelled*:
+//!   ASPA-style provider verification, RFC 9234 only-to-customers leak
+//!   rejection, and path-end validation. Their verdicts consult
+//!   [`RouteAttrs`]; any path-aware extension active in a graph forces
+//!   forward collection (see `crate::table`).
+//!
+//! In plain valley-free propagation the path-aware verdicts are
+//! vacuous: a route exported upward or laterally always has a clean
+//! customer descent, carries no OTC mark from the receiver's
+//! perspective, and ends at a genuine origin adjacency — so
+//! [`PolicySet::accepts`] (the path-blind conjunction) is the whole
+//! import decision. They bite exactly when a route is *leaked*
+//! ([`crate::propagate::propagate_leak_into`]), where the wave carries
+//! [`RouteAttrs::LEAKED`].
 
 use crate::announcement::Announcement;
 use manrs_irr::IrrStatus;
@@ -16,94 +38,314 @@ use manrs_net::Asn;
 use manrs_topology::Relationship;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 
-/// One AS's import-filtering behaviour.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct FilteringPolicy {
-    /// Drop RPKI-Invalid (either kind) announcements from any neighbor.
-    pub rov: bool,
-    /// Drop IRR-Invalid announcements learned from customers.
-    pub irr_filter_customers: bool,
-    /// Extend IRR filtering to announcements learned from peers
-    /// (the CDN ingress-filtering posture).
-    pub irr_filter_peers: bool,
-    /// Ablation knob: also treat IRR Invalid-length as filterable. The
-    /// paper deliberately does *not* (§3); flipping this quantifies that
-    /// design choice.
-    pub irr_strict_length: bool,
+/// One composable import-filtering behaviour.
+///
+/// The discriminant is the extension's bit position in a
+/// [`PolicySet`]; the registry is append-only so serialized sets stay
+/// stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u16)]
+pub enum PolicyExtension {
+    /// Drop RPKI-Invalid (either kind) announcements from any neighbor
+    /// (RFC 6811 deployment; §9.1).
+    Rov,
+    /// Drop IRR-Invalid announcements learned from customers — MANRS
+    /// Action 1's "check the validity of customer announcements" (§9.2).
+    IrrCustomer,
+    /// Extend IRR filtering to announcements learned from peers (the
+    /// CDN ingress-filtering posture).
+    IrrPeer,
+    /// Modifier: also treat IRR Invalid-length as filterable wherever
+    /// IRR filtering applies. The paper deliberately does *not* (§3);
+    /// on its own this extension filters nothing.
+    IrrStrictLength,
+    /// IXP route-server posture: the party validates on behalf of its
+    /// members and drops RPKI-Invalid or IRR Invalid-ASN announcements
+    /// from *any* relationship — members inherit filtering they never
+    /// deployed themselves.
+    RouteServer,
+    /// ASPA-style provider verification: a route learned from a
+    /// customer or lateral peer must descend an unbroken customer chain
+    /// to its origin. Path-aware.
+    Aspa,
+    /// RFC 9234 only-to-customers: reject a route carrying the OTC mark
+    /// when it arrives from a customer or lateral peer — the canonical
+    /// route-leak rejection. Path-aware.
+    OnlyToCustomers,
+    /// Path-end validation: the hop adjacent to the origin must be a
+    /// genuine topology neighbor of the origin. Path-aware.
+    PathEnd,
 }
 
-impl FilteringPolicy {
-    /// A network doing nothing — the common case in the wild.
-    pub const OPEN: FilteringPolicy = FilteringPolicy {
-        rov: false,
-        irr_filter_customers: false,
-        irr_filter_peers: false,
-        irr_strict_length: false,
-    };
+impl PolicyExtension {
+    /// Every extension, in bit order.
+    pub const ALL: [PolicyExtension; 8] = [
+        PolicyExtension::Rov,
+        PolicyExtension::IrrCustomer,
+        PolicyExtension::IrrPeer,
+        PolicyExtension::IrrStrictLength,
+        PolicyExtension::RouteServer,
+        PolicyExtension::Aspa,
+        PolicyExtension::OnlyToCustomers,
+        PolicyExtension::PathEnd,
+    ];
 
-    /// The full MANRS Action 1 posture for an ISP: ROV plus IRR customer
-    /// filtering.
-    pub const MANRS_ISP: FilteringPolicy = FilteringPolicy {
-        rov: true,
-        irr_filter_customers: true,
-        irr_filter_peers: false,
-        irr_strict_length: false,
-    };
+    /// This extension's bit in a [`PolicySet`].
+    pub const fn bit(self) -> u16 {
+        1 << (self as u16)
+    }
+
+    /// Whether this extension's verdict consults [`RouteAttrs`] (how
+    /// the route travelled) rather than the announcement's registry
+    /// statuses alone.
+    ///
+    /// This is the contract the collection layer builds on: the
+    /// acceptance-class memoization and the reverse strategy are only
+    /// valid when every active extension is path-blind, so a `true`
+    /// here forces forward collection.
+    pub const fn reads_path(self) -> bool {
+        matches!(
+            self,
+            PolicyExtension::Aspa | PolicyExtension::OnlyToCustomers | PolicyExtension::PathEnd
+        )
+    }
+
+    /// Stable lowercase name (used in reports and bench records).
+    pub const fn name(self) -> &'static str {
+        match self {
+            PolicyExtension::Rov => "rov",
+            PolicyExtension::IrrCustomer => "irr_customer",
+            PolicyExtension::IrrPeer => "irr_peer",
+            PolicyExtension::IrrStrictLength => "irr_strict_length",
+            PolicyExtension::RouteServer => "route_server",
+            PolicyExtension::Aspa => "aspa",
+            PolicyExtension::OnlyToCustomers => "only_to_customers",
+            PolicyExtension::PathEnd => "path_end",
+        }
+    }
+}
+
+/// The route-travel facts a path-aware extension may consult, derived
+/// from the sender's selected route at import time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteAttrs {
+    /// The route carries the RFC 9234 Only-to-Customer mark: somewhere
+    /// upstream it crossed a provider→customer or lateral peer edge.
+    pub otc_marked: bool,
+    /// The sender's chain to the origin is an unbroken customer/origin
+    /// descent (what ASPA's provider verification certifies).
+    pub customer_descent: bool,
+    /// The hop adjacent to the origin is a genuine topology neighbor of
+    /// the origin (what path-end validation certifies).
+    pub origin_adjacent: bool,
+}
+
+impl RouteAttrs {
+    /// A route produced by plain valley-free export: no OTC mark from
+    /// the receiver's perspective, clean customer descent, genuine
+    /// origin adjacency. Every path-aware verdict passes.
+    pub const CLEAN: RouteAttrs =
+        RouteAttrs { otc_marked: false, customer_descent: true, origin_adjacent: true };
+
+    /// A route re-exported beyond its valley-free envelope (a leak
+    /// wave): OTC-marked, with the leaker's provider/peer hop breaking
+    /// the customer descent. The origin adjacency is real — leaks carry
+    /// genuine paths.
+    pub const LEAKED: RouteAttrs =
+        RouteAttrs { otc_marked: true, customer_descent: false, origin_adjacent: true };
+}
+
+/// One AS's import policy: a set of [`PolicyExtension`]s whose
+/// conjunction is the import decision.
+///
+/// The empty set accepts everything (the common case in the wild).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PolicySet(u16);
+
+impl PolicySet {
+    /// A network doing nothing — no extensions, accept everything.
+    pub const OPEN: PolicySet = PolicySet(0);
+
+    /// The full MANRS Action 1 posture for an ISP: ROV plus IRR
+    /// customer filtering.
+    pub const MANRS_ISP: PolicySet =
+        PolicySet(PolicyExtension::Rov.bit() | PolicyExtension::IrrCustomer.bit());
 
     /// The CDN posture: ingress filtering on peers as well.
-    pub const MANRS_CDN: FilteringPolicy = FilteringPolicy {
-        rov: true,
-        irr_filter_customers: true,
-        irr_filter_peers: true,
-        irr_strict_length: false,
-    };
+    pub const MANRS_CDN: PolicySet = PolicySet(
+        PolicyExtension::Rov.bit()
+            | PolicyExtension::IrrCustomer.bit()
+            | PolicyExtension::IrrPeer.bit(),
+    );
 
-    /// Whether this policy accepts `announcement` from a neighbor that
-    /// is, from the importing AS's perspective, `sender_rel`.
+    /// The IXP route-server posture: validate on behalf of members.
+    pub const ROUTE_SERVER: PolicySet = PolicySet(PolicyExtension::RouteServer.bit());
+
+    /// The empty set.
+    pub const fn new() -> Self {
+        PolicySet(0)
+    }
+
+    /// The set containing exactly the given extensions.
+    pub fn of(extensions: &[PolicyExtension]) -> Self {
+        extensions.iter().fold(PolicySet(0), |s, &e| s.with(e))
+    }
+
+    /// This set plus one extension.
+    pub const fn with(self, extension: PolicyExtension) -> Self {
+        PolicySet(self.0 | extension.bit())
+    }
+
+    /// This set minus one extension.
+    pub const fn without(self, extension: PolicyExtension) -> Self {
+        PolicySet(self.0 & !extension.bit())
+    }
+
+    /// Whether the extension is in the set.
+    pub const fn contains(self, extension: PolicyExtension) -> bool {
+        self.0 & extension.bit() != 0
+    }
+
+    /// Set union — deployment composes by turning extensions on.
+    pub const fn union(self, other: PolicySet) -> Self {
+        PolicySet(self.0 | other.0)
+    }
+
+    /// `true` if no extension is active.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of active extensions.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether any active extension is path-aware — the signal the
+    /// collection layer uses to force forward collection.
+    pub const fn reads_path(self) -> bool {
+        self.0
+            & (PolicyExtension::Aspa.bit()
+                | PolicyExtension::OnlyToCustomers.bit()
+                | PolicyExtension::PathEnd.bit())
+            != 0
+    }
+
+    /// The active extensions, in bit order.
+    pub fn iter(self) -> impl Iterator<Item = PolicyExtension> {
+        PolicyExtension::ALL.into_iter().filter(move |e| self.contains(*e))
+    }
+
+    /// Whether `irr` counts as invalid under this set's IRR rules:
+    /// Invalid-ASN always, Invalid-length only with the strict-length
+    /// modifier.
+    fn irr_invalid(self, irr: IrrStatus) -> bool {
+        irr == IrrStatus::InvalidAsn
+            || (self.contains(PolicyExtension::IrrStrictLength) && irr == IrrStatus::InvalidLength)
+    }
+
+    /// The path-blind import decision: the conjunction of every
+    /// path-blind extension's verdict on `announcement` arriving from a
+    /// neighbor that is, from the importing AS's perspective,
+    /// `sender_rel`.
     ///
     /// The origin AS always "accepts" its own announcement; this is the
-    /// import decision for learned routes.
+    /// import decision for learned routes. For routes produced by plain
+    /// valley-free propagation this *is* the full decision — see
+    /// [`RouteAttrs::CLEAN`].
     pub fn accepts(&self, announcement: &Announcement, sender_rel: Relationship) -> bool {
-        if self.rov && announcement.rpki.dropped_by_rov() {
+        if self.contains(PolicyExtension::Rov) && announcement.rpki.dropped_by_rov() {
+            return false;
+        }
+        if self.contains(PolicyExtension::RouteServer)
+            && (announcement.rpki.dropped_by_rov() || self.irr_invalid(announcement.irr))
+        {
             return false;
         }
         let irr_applies = match sender_rel {
-            Relationship::Customer => self.irr_filter_customers,
-            Relationship::Peer => self.irr_filter_peers,
+            Relationship::Customer => self.contains(PolicyExtension::IrrCustomer),
+            Relationship::Peer => self.contains(PolicyExtension::IrrPeer),
             Relationship::Provider => false,
         };
-        if irr_applies {
-            let invalid = announcement.irr == IrrStatus::InvalidAsn
-                || (self.irr_strict_length && announcement.irr == IrrStatus::InvalidLength);
-            if invalid {
-                return false;
-            }
+        if irr_applies && self.irr_invalid(announcement.irr) {
+            return false;
         }
         true
+    }
+
+    /// The full import decision: [`PolicySet::accepts`] AND every
+    /// path-aware extension's verdict against `attrs`.
+    ///
+    /// `accepts_route(a, rel, &RouteAttrs::CLEAN)` is identical to
+    /// `accepts(a, rel)` for every set — path-aware verdicts are
+    /// vacuous on clean routes.
+    pub fn accepts_route(
+        &self,
+        announcement: &Announcement,
+        sender_rel: Relationship,
+        attrs: &RouteAttrs,
+    ) -> bool {
+        if !self.accepts(announcement, sender_rel) {
+            return false;
+        }
+        let lateral_or_up =
+            matches!(sender_rel, Relationship::Customer | Relationship::Peer);
+        if self.contains(PolicyExtension::OnlyToCustomers) && lateral_or_up && attrs.otc_marked {
+            return false;
+        }
+        if self.contains(PolicyExtension::Aspa) && lateral_or_up && !attrs.customer_descent {
+            return false;
+        }
+        if self.contains(PolicyExtension::PathEnd) && !attrs.origin_adjacent {
+            return false;
+        }
+        true
+    }
+}
+
+impl fmt::Debug for PolicySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PolicySet{{")?;
+        let mut first = true;
+        for e in self.iter() {
+            if !first {
+                write!(f, "|")?;
+            }
+            write!(f, "{}", e.name())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<PolicyExtension> for PolicySet {
+    fn from_iter<I: IntoIterator<Item = PolicyExtension>>(iter: I) -> Self {
+        iter.into_iter().fold(PolicySet(0), PolicySet::with)
     }
 }
 
 /// Policies for every AS, with a default for ASes not explicitly listed.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PolicyTable {
-    default: FilteringPolicy,
-    overrides: BTreeMap<Asn, FilteringPolicy>,
+    default: PolicySet,
+    overrides: BTreeMap<Asn, PolicySet>,
 }
 
 impl PolicyTable {
     /// A table where every AS uses `default`.
-    pub fn with_default(default: FilteringPolicy) -> Self {
+    pub fn with_default(default: PolicySet) -> Self {
         PolicyTable { default, overrides: BTreeMap::new() }
     }
 
     /// Sets one AS's policy.
-    pub fn set(&mut self, asn: Asn, policy: FilteringPolicy) {
+    pub fn set(&mut self, asn: Asn, policy: PolicySet) {
         self.overrides.insert(asn, policy);
     }
 
     /// The policy of `asn`.
-    pub fn get(&self, asn: Asn) -> FilteringPolicy {
+    pub fn get(&self, asn: Asn) -> PolicySet {
         self.overrides.get(&asn).copied().unwrap_or(self.default)
     }
 
@@ -113,8 +355,15 @@ impl PolicyTable {
     }
 
     /// Iterates over the explicit overrides.
-    pub fn overrides(&self) -> impl Iterator<Item = (Asn, FilteringPolicy)> + '_ {
+    pub fn overrides(&self) -> impl Iterator<Item = (Asn, PolicySet)> + '_ {
         self.overrides.iter().map(|(a, p)| (*a, *p))
+    }
+
+    /// The union of every policy in the table — the upper bound of what
+    /// any AS might filter on. Drives acceptance-class widening and the
+    /// path-aware forward fallback in `crate::table`.
+    pub fn active_union(&self) -> PolicySet {
+        self.overrides.values().fold(self.default, |u, p| u.union(*p))
     }
 }
 
@@ -129,21 +378,25 @@ mod tests {
         Announcement::new(p, Asn(1), rpki, irr)
     }
 
+    const ALL_RELS: [Relationship; 3] =
+        [Relationship::Customer, Relationship::Peer, Relationship::Provider];
+
     #[test]
     fn open_policy_accepts_everything() {
         let a = ann(RpkiStatus::InvalidAsn, IrrStatus::InvalidAsn);
-        for rel in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
-            assert!(FilteringPolicy::OPEN.accepts(&a, rel));
+        for rel in ALL_RELS {
+            assert!(PolicySet::OPEN.accepts(&a, rel));
+            assert!(PolicySet::OPEN.accepts_route(&a, rel, &RouteAttrs::LEAKED));
         }
     }
 
     #[test]
     fn rov_drops_invalid_from_anyone() {
-        let p = FilteringPolicy { rov: true, ..FilteringPolicy::OPEN };
+        let p = PolicySet::OPEN.with(PolicyExtension::Rov);
         let invalid_asn = ann(RpkiStatus::InvalidAsn, IrrStatus::NotFound);
         let invalid_len = ann(RpkiStatus::InvalidLength, IrrStatus::NotFound);
         let notfound = ann(RpkiStatus::NotFound, IrrStatus::NotFound);
-        for rel in [Relationship::Customer, Relationship::Peer, Relationship::Provider] {
+        for rel in ALL_RELS {
             assert!(!p.accepts(&invalid_asn, rel));
             assert!(!p.accepts(&invalid_len, rel));
             assert!(p.accepts(&notfound, rel), "ROV must let NotFound through");
@@ -152,7 +405,7 @@ mod tests {
 
     #[test]
     fn irr_filtering_is_customer_scoped() {
-        let p = FilteringPolicy::MANRS_ISP;
+        let p = PolicySet::MANRS_ISP;
         let irr_invalid = ann(RpkiStatus::NotFound, IrrStatus::InvalidAsn);
         assert!(!p.accepts(&irr_invalid, Relationship::Customer));
         assert!(p.accepts(&irr_invalid, Relationship::Peer));
@@ -161,7 +414,7 @@ mod tests {
 
     #[test]
     fn cdn_policy_filters_peers_too() {
-        let p = FilteringPolicy::MANRS_CDN;
+        let p = PolicySet::MANRS_CDN;
         let irr_invalid = ann(RpkiStatus::NotFound, IrrStatus::InvalidAsn);
         assert!(!p.accepts(&irr_invalid, Relationship::Customer));
         assert!(!p.accepts(&irr_invalid, Relationship::Peer));
@@ -170,20 +423,132 @@ mod tests {
 
     #[test]
     fn invalid_length_passes_unless_strict() {
-        let lenient = FilteringPolicy::MANRS_ISP;
         let il = ann(RpkiStatus::NotFound, IrrStatus::InvalidLength);
-        assert!(lenient.accepts(&il, Relationship::Customer));
-        let strict = FilteringPolicy { irr_strict_length: true, ..FilteringPolicy::MANRS_ISP };
+        assert!(PolicySet::MANRS_ISP.accepts(&il, Relationship::Customer));
+        let strict = PolicySet::MANRS_ISP.with(PolicyExtension::IrrStrictLength);
         assert!(!strict.accepts(&il, Relationship::Customer));
+        // The modifier alone filters nothing.
+        let alone = PolicySet::OPEN.with(PolicyExtension::IrrStrictLength);
+        for rel in ALL_RELS {
+            assert!(alone.accepts(&il, rel));
+        }
     }
 
     #[test]
-    fn table_defaults_and_overrides() {
-        let mut table = PolicyTable::with_default(FilteringPolicy::OPEN);
-        table.set(Asn(5), FilteringPolicy::MANRS_ISP);
-        assert_eq!(table.get(Asn(5)), FilteringPolicy::MANRS_ISP);
-        assert_eq!(table.get(Asn(6)), FilteringPolicy::OPEN);
+    fn route_server_validates_for_any_relationship() {
+        let rs = PolicySet::ROUTE_SERVER;
+        let rpki_bad = ann(RpkiStatus::InvalidAsn, IrrStatus::Valid);
+        let irr_bad = ann(RpkiStatus::NotFound, IrrStatus::InvalidAsn);
+        let clean = ann(RpkiStatus::NotFound, IrrStatus::NotFound);
+        for rel in ALL_RELS {
+            assert!(!rs.accepts(&rpki_bad, rel), "route server drops RPKI-Invalid from {rel:?}");
+            assert!(!rs.accepts(&irr_bad, rel), "route server drops IRR-Invalid from {rel:?}");
+            assert!(rs.accepts(&clean, rel));
+        }
+        // Invalid-length stays acceptable without the strict modifier.
+        let irr_len = ann(RpkiStatus::NotFound, IrrStatus::InvalidLength);
+        assert!(rs.accepts(&irr_len, Relationship::Peer));
+        assert!(!rs
+            .with(PolicyExtension::IrrStrictLength)
+            .accepts(&irr_len, Relationship::Peer));
+    }
+
+    #[test]
+    fn only_to_customers_rejects_marked_routes_from_below() {
+        // RFC 9234: an OTC-marked route arriving from a customer or
+        // lateral peer is a leak; from a provider it is ordinary
+        // downstream propagation.
+        let p = PolicySet::OPEN.with(PolicyExtension::OnlyToCustomers);
+        let a = ann(RpkiStatus::Valid, IrrStatus::Valid);
+        assert!(!p.accepts_route(&a, Relationship::Customer, &RouteAttrs::LEAKED));
+        assert!(!p.accepts_route(&a, Relationship::Peer, &RouteAttrs::LEAKED));
+        assert!(p.accepts_route(&a, Relationship::Provider, &RouteAttrs::LEAKED));
+        for rel in ALL_RELS {
+            assert!(p.accepts_route(&a, rel, &RouteAttrs::CLEAN));
+        }
+    }
+
+    #[test]
+    fn aspa_rejects_broken_customer_descent() {
+        let p = PolicySet::OPEN.with(PolicyExtension::Aspa);
+        let a = ann(RpkiStatus::Valid, IrrStatus::Valid);
+        assert!(!p.accepts_route(&a, Relationship::Customer, &RouteAttrs::LEAKED));
+        assert!(!p.accepts_route(&a, Relationship::Peer, &RouteAttrs::LEAKED));
+        assert!(p.accepts_route(&a, Relationship::Provider, &RouteAttrs::LEAKED));
+        for rel in ALL_RELS {
+            assert!(p.accepts_route(&a, rel, &RouteAttrs::CLEAN));
+        }
+    }
+
+    #[test]
+    fn path_end_rejects_forged_adjacency() {
+        let p = PolicySet::OPEN.with(PolicyExtension::PathEnd);
+        let a = ann(RpkiStatus::Valid, IrrStatus::Valid);
+        let forged = RouteAttrs { origin_adjacent: false, ..RouteAttrs::CLEAN };
+        for rel in ALL_RELS {
+            assert!(!p.accepts_route(&a, rel, &forged));
+            assert!(p.accepts_route(&a, rel, &RouteAttrs::CLEAN));
+        }
+    }
+
+    #[test]
+    fn clean_attrs_reduce_to_path_blind_decision() {
+        // accepts_route(CLEAN) ≡ accepts for every subset of extensions.
+        for bits in 0u16..256 {
+            let set: PolicySet = PolicyExtension::ALL
+                .into_iter()
+                .filter(|e| bits & e.bit() != 0)
+                .collect();
+            for rpki in [RpkiStatus::Valid, RpkiStatus::InvalidAsn, RpkiStatus::NotFound] {
+                for irr in [IrrStatus::Valid, IrrStatus::InvalidAsn, IrrStatus::InvalidLength] {
+                    let a = ann(rpki, irr);
+                    for rel in ALL_RELS {
+                        assert_eq!(
+                            set.accepts_route(&a, rel, &RouteAttrs::CLEAN),
+                            set.accepts(&a, rel),
+                            "{set:?} {rpki:?} {irr:?} {rel:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_algebra_and_reads_path() {
+        let s = PolicySet::of(&[PolicyExtension::Rov, PolicyExtension::IrrCustomer]);
+        assert_eq!(s, PolicySet::MANRS_ISP);
+        assert!(s.contains(PolicyExtension::Rov));
+        assert!(!s.contains(PolicyExtension::IrrPeer));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(!s.reads_path());
+        assert!(s.with(PolicyExtension::OnlyToCustomers).reads_path());
+        assert!(s.with(PolicyExtension::Aspa).reads_path());
+        assert!(s.with(PolicyExtension::PathEnd).reads_path());
+        assert_eq!(s.with(PolicyExtension::Aspa).without(PolicyExtension::Aspa), s);
+        assert_eq!(s.union(PolicySet::MANRS_CDN), PolicySet::MANRS_CDN);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![
+            PolicyExtension::Rov,
+            PolicyExtension::IrrCustomer
+        ]);
+        assert!(PolicySet::OPEN.is_empty());
+        for e in PolicyExtension::ALL {
+            assert_eq!(PolicySet::OPEN.with(e).reads_path(), e.reads_path());
+        }
+    }
+
+    #[test]
+    fn table_defaults_overrides_and_union() {
+        let mut table = PolicyTable::with_default(PolicySet::OPEN);
+        table.set(Asn(5), PolicySet::MANRS_ISP);
+        assert_eq!(table.get(Asn(5)), PolicySet::MANRS_ISP);
+        assert_eq!(table.get(Asn(6)), PolicySet::OPEN);
         assert_eq!(table.override_count(), 1);
         assert_eq!(table.overrides().count(), 1);
+        assert_eq!(table.active_union(), PolicySet::MANRS_ISP);
+        table.set(Asn(7), PolicySet::ROUTE_SERVER.with(PolicyExtension::OnlyToCustomers));
+        assert!(table.active_union().reads_path());
+        assert!(table.active_union().contains(PolicyExtension::RouteServer));
     }
 }

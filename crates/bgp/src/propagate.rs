@@ -20,7 +20,7 @@
 //! outside.
 
 use crate::announcement::Announcement;
-use crate::policy::{FilteringPolicy, PolicyTable};
+use crate::policy::{PolicySet, PolicyTable, RouteAttrs};
 use manrs_net::Asn;
 use manrs_topology::{AsTopology, Relationship};
 use serde::{Deserialize, Serialize};
@@ -102,7 +102,7 @@ pub struct DenseGraph {
     providers: CsrAdjacency,
     customers: CsrAdjacency,
     peers: CsrAdjacency,
-    policies: Vec<FilteringPolicy>,
+    policies: Vec<PolicySet>,
     /// Dense indices (ascending) of ASes with at least one peer. Peer
     /// offers can only originate from and land on these, so phase 2
     /// scans this list instead of every AS — in provider-heavy graphs
@@ -196,12 +196,12 @@ impl DenseGraph {
     }
 
     /// Filtering policy of the node at `u`.
-    pub(crate) fn policy_at(&self, u: usize) -> &FilteringPolicy {
+    pub(crate) fn policy_at(&self, u: usize) -> &PolicySet {
         &self.policies[u]
     }
 
     /// The filtering policy currently installed at dense index `u`.
-    pub fn policy(&self, u: usize) -> FilteringPolicy {
+    pub fn policy(&self, u: usize) -> PolicySet {
         self.policies[u]
     }
 
@@ -211,8 +211,16 @@ impl DenseGraph {
     /// (e.g. adoption-sweep trials) can flip a handful of ASes without
     /// rebuilding adjacency: mutate, propagate, then restore the saved
     /// policies to return the graph to its base state.
-    pub fn set_policy(&mut self, u: usize, policy: FilteringPolicy) {
+    pub fn set_policy(&mut self, u: usize, policy: PolicySet) {
         self.policies[u] = policy;
+    }
+
+    /// The union of every policy currently installed in the graph —
+    /// the upper bound of what any node might filter on. One O(V) OR
+    /// over the dense policy table, recomputed on demand because
+    /// overlays mutate policies in place.
+    pub fn policy_union(&self) -> PolicySet {
+        self.policies.iter().fold(PolicySet::OPEN, |u, p| u.union(*p))
     }
 }
 
@@ -283,6 +291,11 @@ pub struct PropagationScratch {
     /// Phase 3 bucket queue: `buckets[d]` holds the `(sender, receiver)`
     /// customer-edge offers at path length `d`.
     buckets: Vec<Vec<(u32, u32)>>,
+    /// Leak-wave membership ([`propagate_leak_into`]): dense indices of
+    /// nodes whose route traverses the leaker's re-export, as opposed
+    /// to the leaker's own pre-claimed legit chain. Unused by plain
+    /// propagation.
+    wave: Vec<u32>,
 }
 
 impl PropagationScratch {
@@ -301,6 +314,7 @@ impl PropagationScratch {
             senders: Vec::with_capacity(n),
             peer_offers: Vec::with_capacity(n),
             buckets: Vec::new(),
+            wave: Vec::new(),
         }
     }
 
@@ -317,6 +331,7 @@ impl PropagationScratch {
         self.frontier.clear();
         self.next_frontier.clear();
         self.senders.clear();
+        self.wave.clear();
         for bucket in self.buckets.iter_mut() {
             bucket.clear();
         }
@@ -389,6 +404,7 @@ pub fn propagate_dense_into(
         senders,
         peer_offers,
         buckets,
+        ..
     } = scratch;
 
     let Some(origin_idx) = graph.index_of(announcement.origin) else {
@@ -532,6 +548,194 @@ pub fn propagate_dense_into(
     }
 }
 
+/// Propagates a **route leak**: `leaker` re-exports its selected route
+/// for `announcement` to *every* neighbor, violating the valley-free
+/// export rule, and the wave spreads from there.
+///
+/// `legit` must hold the result of propagating `announcement` over the
+/// same graph ([`propagate_dense_into`]); the wave is seeded from the
+/// leaker's selected route in it. The result written to `scratch` is
+/// the per-AS best route **via the leaker's re-export**: every wave
+/// route's path runs through the leaker and down its legit chain to
+/// the origin (the chain entries are copied over so
+/// [`PropagationScratch::as_path_at`] reconstructs full paths). Nodes
+/// on the legit chain keep their legit entries — a leaked route
+/// reaching them would loop through their own ASN, which BGP loop
+/// detection rejects — and never export the wave.
+///
+/// Import checks along the wave use [`PolicySet::accepts_route`] with
+/// [`RouteAttrs::LEAKED`]: the route carries the RFC 9234 OTC mark
+/// (the leaker learned it from a provider or lateral peer, which set
+/// it on export) and its customer descent is broken at the leaker, so
+/// only-to-customers and ASPA deployments at the leaker's providers
+/// and peers reject it, while propagation *down* from the leaker — the
+/// legal direction — passes path-aware checks and is limited only by
+/// path-blind filters.
+///
+/// No-op (scratch left routeless) when the leaker is unknown, has no
+/// route, or selected a customer/origin route — re-exporting those to
+/// everyone is ordinary valley-free behaviour, not a leak.
+pub fn propagate_leak_into(
+    graph: &DenseGraph,
+    announcement: &Announcement,
+    leaker: Asn,
+    legit: &PropagationScratch,
+    scratch: &mut PropagationScratch,
+) {
+    let n = graph.len();
+    scratch.reset(n);
+    let Some(leak_idx) = graph.index_of(leaker) else { return };
+    let Some(leak_entry) = legit.entries[leak_idx] else { return };
+    if !matches!(leak_entry.provenance, Provenance::Provider(_) | Provenance::Peer(_)) {
+        return;
+    }
+
+    let PropagationScratch {
+        entries,
+        frontier,
+        next_frontier,
+        senders,
+        peer_offers,
+        buckets,
+        wave,
+    } = scratch;
+
+    // Pre-claim the leaker's legit chain so wave paths reconstruct all
+    // the way to the origin and chain nodes are loop-rejected.
+    let mut idx = leak_idx;
+    loop {
+        let e = legit.entries[idx].expect("legit chain entry");
+        entries[idx] = Some(e);
+        match e.via_index() {
+            Some(v) => idx = v,
+            None => break,
+        }
+    }
+    let attrs = RouteAttrs::LEAKED;
+    let base = leak_entry.hops;
+
+    // --- Phase 1: the leaked route climbs provider edges ---------------
+    // Identical level-BFS to plain propagation, but single-sourced at
+    // the leaker with hops offset by the leaker's legit path length,
+    // and imports checked against the leaked route attributes.
+    frontier.clear();
+    frontier.push(leak_idx);
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        next_frontier.clear();
+        frontier.sort_unstable();
+        for &u in frontier.iter() {
+            for &p in graph.providers.row(u) {
+                let p = p as usize;
+                if entries[p].is_some() {
+                    continue;
+                }
+                if graph.policies[p].accepts_route(announcement, Relationship::Customer, &attrs) {
+                    entries[p] = Some(RouteEntry {
+                        provenance: Provenance::Customer(graph.asn_at(u)),
+                        hops: base + depth,
+                        via: u as u32,
+                    });
+                    wave.push(p as u32);
+                    next_frontier.push(p);
+                }
+            }
+        }
+        mem::swap(frontier, next_frontier);
+    }
+
+    // --- Phase 2: one peer hop ------------------------------------------
+    // The leaker and every phase-1 wave node (which holds the leaked
+    // route as a "customer" route) offer to their peers.
+    senders.clear();
+    senders.push(leak_idx);
+    senders.extend(wave.iter().map(|&i| i as usize));
+    senders.retain(|&i| !graph.peers.row(i).is_empty());
+    senders.sort_unstable_by_key(|&i| (entries[i].expect("routed").hops, i));
+    for &u in senders.iter() {
+        let du = entries[u].expect("routed").hops;
+        for &v in graph.peers.row(u) {
+            let v = v as usize;
+            if entries[v].is_some() {
+                continue;
+            }
+            if !graph.policies[v].accepts_route(announcement, Relationship::Peer, &attrs) {
+                continue;
+            }
+            let offer = (du + 1, u as u32);
+            match peer_offers[v] {
+                Some(best) if best <= offer => {}
+                _ => peer_offers[v] = Some(offer),
+            }
+        }
+    }
+    for &v in graph.peered.iter() {
+        let v = v as usize;
+        if let Some((d, sender)) = peer_offers[v].take() {
+            entries[v] = Some(RouteEntry {
+                provenance: Provenance::Peer(graph.asn_at(sender as usize)),
+                hops: d,
+                via: sender,
+            });
+            wave.push(v as u32);
+        }
+    }
+
+    // --- Phase 3: the leaked route descends customer edges -------------
+    // Sources are the leaker plus every wave node; the legit chain does
+    // not re-export the wave (its customers' leak-free routes are the
+    // legit ones already propagated).
+    senders.clear();
+    senders.push(leak_idx);
+    senders.extend(wave.iter().map(|&i| i as usize));
+    for &u in senders.iter() {
+        let e = entries[u].expect("routed");
+        let d = (e.hops + 1) as usize;
+        for &c in graph.customers.row(u) {
+            let c = c as usize;
+            if entries[c].is_none() {
+                if buckets.len() <= d {
+                    buckets.resize_with(d + 1, Vec::new);
+                }
+                buckets[d].push((u as u32, c as u32));
+            }
+        }
+    }
+    let mut d = 0usize;
+    while d < buckets.len() {
+        let mut bucket = mem::take(&mut buckets[d]);
+        bucket.sort_unstable();
+        for &(sender, v) in bucket.iter() {
+            let v = v as usize;
+            if entries[v].is_some() {
+                continue;
+            }
+            if !graph.policies[v].accepts_route(announcement, Relationship::Provider, &attrs) {
+                continue;
+            }
+            entries[v] = Some(RouteEntry {
+                provenance: Provenance::Provider(graph.asn_at(sender as usize)),
+                hops: d as u32,
+                via: sender,
+            });
+            wave.push(v as u32);
+            for &c in graph.customers.row(v) {
+                let c = c as usize;
+                if entries[c].is_none() {
+                    if buckets.len() <= d + 1 {
+                        buckets.resize_with(d + 2, Vec::new);
+                    }
+                    buckets[d + 1].push((v as u32, c as u32));
+                }
+            }
+        }
+        bucket.clear();
+        buckets[d] = bucket;
+        d += 1;
+    }
+}
+
 /// Convenience wrapper: builds the dense graph and propagates once.
 /// For repeated propagation build a [`DenseGraph`] and call
 /// [`propagate_dense`].
@@ -548,6 +752,7 @@ pub fn propagate(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::PolicyExtension;
     use crate::testutil::topo;
     use manrs_irr::IrrStatus;
     use manrs_rpki::RpkiStatus;
@@ -637,7 +842,7 @@ mod tests {
         // announcement RPKI-Invalid: 2 rejects, so 1 never hears it.
         let t = topo(3, &[(1, 2), (2, 3)], &[]);
         let mut policies = PolicyTable::default();
-        policies.set(Asn(2), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+        policies.set(Asn(2), PolicySet::OPEN.with(PolicyExtension::Rov));
         let a = ann_with(3, RpkiStatus::InvalidAsn, IrrStatus::NotFound);
         let (g, o) = propagate(&t, &policies, &a);
         assert!(o.route(&g, Asn(2)).is_none());
@@ -651,10 +856,7 @@ mod tests {
         // Invalid: blocked. But if 3 is 2's *provider*, not blocked.
         let t = topo(3, &[(1, 2), (2, 3)], &[]);
         let mut policies = PolicyTable::default();
-        policies.set(
-            Asn(2),
-            FilteringPolicy { irr_filter_customers: true, ..FilteringPolicy::OPEN },
-        );
+        policies.set(Asn(2), PolicySet::OPEN.with(PolicyExtension::IrrCustomer));
         let a = ann_with(3, RpkiStatus::NotFound, IrrStatus::InvalidAsn);
         let (g, o) = propagate(&t, &policies, &a);
         assert!(o.route(&g, Asn(2)).is_none());
@@ -670,7 +872,7 @@ mod tests {
     fn origin_always_installs_its_own_route() {
         let t = topo(1, &[], &[]);
         let mut policies = PolicyTable::default();
-        policies.set(Asn(1), FilteringPolicy::MANRS_CDN);
+        policies.set(Asn(1), PolicySet::MANRS_CDN);
         let a = ann_with(1, RpkiStatus::InvalidAsn, IrrStatus::InvalidAsn);
         let (g, o) = propagate(&t, &policies, &a);
         assert_eq!(o.route(&g, Asn(1)).unwrap().provenance, Provenance::Origin);
@@ -704,6 +906,98 @@ mod tests {
                 assert_eq!(scratch.as_path(&graph, Asn(asn)), fresh.as_path(&graph, Asn(asn)));
             }
             assert_eq!(scratch.to_outcome().reached(), fresh.reached());
+        }
+    }
+
+    /// Origin 1 under provider 2; 2 peers with 3; 3 and 5 both provide
+    /// to 4 (the multi-homed leaker); 4 peers with 6. Legitimately the
+    /// route reaches {1, 2, 3, 4}; 5 and 6 only ever hear it leaked.
+    fn leak_topo() -> AsTopology {
+        topo(6, &[(2, 1), (3, 4), (5, 4)], &[(2, 3), (4, 6)])
+    }
+
+    fn leak_scratches(
+        policies: &PolicyTable,
+        a: &Announcement,
+        leaker: u32,
+    ) -> (DenseGraph, PropagationScratch, PropagationScratch) {
+        let graph = DenseGraph::build(&leak_topo(), policies);
+        let mut legit = PropagationScratch::new();
+        propagate_dense_into(&graph, a, &mut legit);
+        let mut leak = PropagationScratch::new();
+        propagate_leak_into(&graph, a, Asn(leaker), &legit, &mut leak);
+        (graph, legit, leak)
+    }
+
+    #[test]
+    fn leak_spreads_to_second_provider_and_peer() {
+        let (g, legit, leak) = leak_scratches(&PolicyTable::default(), &ann(1), 4);
+        // Legitimately neither 5 nor 6 hears the route.
+        assert!(legit.route(&g, Asn(5)).is_none());
+        assert!(legit.route(&g, Asn(6)).is_none());
+        // The leak carries it through 4's full path to the origin.
+        assert_eq!(
+            leak.as_path(&g, Asn(5)).unwrap(),
+            vec![Asn(5), Asn(4), Asn(3), Asn(2), Asn(1)]
+        );
+        assert_eq!(
+            leak.as_path(&g, Asn(6)).unwrap(),
+            vec![Asn(6), Asn(4), Asn(3), Asn(2), Asn(1)]
+        );
+        assert_eq!(leak.route(&g, Asn(5)).unwrap().provenance, Provenance::Customer(Asn(4)));
+        assert_eq!(leak.route(&g, Asn(6)).unwrap().provenance, Provenance::Peer(Asn(4)));
+        assert_eq!(leak.route(&g, Asn(5)).unwrap().hops, 4);
+        // Chain nodes keep their legit entries bit-for-bit.
+        for asn in [1u32, 2, 3, 4] {
+            assert_eq!(leak.route(&g, Asn(asn)), legit.route(&g, Asn(asn)));
+        }
+    }
+
+    #[test]
+    fn only_to_customers_contains_the_leak() {
+        let mut policies = PolicyTable::default();
+        policies.set(Asn(5), PolicySet::OPEN.with(PolicyExtension::OnlyToCustomers));
+        policies.set(Asn(6), PolicySet::OPEN.with(PolicyExtension::OnlyToCustomers));
+        let (g, _, leak) = leak_scratches(&policies, &ann(1), 4);
+        // RFC 9234: the OTC-marked route from customer 4 (at 5) and
+        // lateral peer 4 (at 6) is rejected.
+        assert!(leak.route(&g, Asn(5)).is_none());
+        assert!(leak.route(&g, Asn(6)).is_none());
+        assert_eq!(leak.reached(), 4); // just the pre-claimed legit chain
+    }
+
+    #[test]
+    fn aspa_contains_the_leak() {
+        let mut policies = PolicyTable::default();
+        policies.set(Asn(5), PolicySet::OPEN.with(PolicyExtension::Aspa));
+        let (g, _, leak) = leak_scratches(&policies, &ann(1), 4);
+        // The leaked route's descent breaks at 4 (provider-learned), so
+        // provider verification at 5 rejects it; the lateral peer 6
+        // still accepts.
+        assert!(leak.route(&g, Asn(5)).is_none());
+        assert!(leak.route(&g, Asn(6)).is_some());
+    }
+
+    #[test]
+    fn path_blind_filters_still_apply_to_leaks() {
+        let mut policies = PolicyTable::default();
+        policies.set(Asn(5), PolicySet::OPEN.with(PolicyExtension::Rov));
+        let a = ann_with(1, RpkiStatus::InvalidAsn, IrrStatus::NotFound);
+        let (g, _, leak) = leak_scratches(&policies, &a, 4);
+        assert!(leak.route(&g, Asn(5)).is_none(), "ROV drops the leaked Invalid");
+        // A clean announcement passes ROV even when leaked.
+        let a = ann_with(1, RpkiStatus::Valid, IrrStatus::NotFound);
+        let (g, _, leak) = leak_scratches(&policies, &a, 4);
+        assert!(leak.route(&g, Asn(5)).is_some());
+    }
+
+    #[test]
+    fn non_leakable_routes_are_noops() {
+        // Origin, customer-route holder, routeless, and unknown leakers
+        // all produce an empty wave.
+        for leaker in [1u32, 2, 5, 99] {
+            let (_, _, leak) = leak_scratches(&PolicyTable::default(), &ann(1), leaker);
+            assert_eq!(leak.reached(), 0, "leaker {leaker}");
         }
     }
 

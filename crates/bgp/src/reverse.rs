@@ -51,6 +51,7 @@
 //! assignment — and therefore the whole `CollectedRib` — identical.
 
 use crate::announcement::Announcement;
+use crate::policy::{PolicyExtension, PolicySet};
 use crate::propagate::DenseGraph;
 use manrs_irr::IrrStatus;
 use manrs_net::Asn;
@@ -59,27 +60,57 @@ use manrs_topology::Relationship;
 /// Sentinel for "unset" in the dense route rows.
 const NONE: u32 = u32::MAX;
 
-/// The projection of an announcement that import filters can observe:
-/// whether ROV drops it and which IRR bucket it falls in. Two
-/// announcements with equal [`AcceptClass`] are accepted/rejected
-/// identically at every AS and every relationship, so one reverse
-/// traversal serves both — regardless of origin.
+/// The projection of an announcement that the *active* path-blind
+/// import filters can observe: whether ROV drops it and which IRR
+/// bucket it falls in, each dimension collapsed when no active
+/// extension reads it. Two announcements with equal [`AcceptClass`]
+/// are accepted/rejected identically at every AS and every
+/// relationship, so one reverse traversal serves both — regardless of
+/// origin.
+///
+/// Classes are *widened by the active union*: `active` is the union of
+/// every policy in the graph ([`DenseGraph::policy_union`]). An
+/// all-open graph has one class; a graph with ROV but no IRR filtering
+/// has two; strict-length deployments split the IRR dimension three
+/// ways (at most six classes total). Merging announcements no active
+/// filter can tell apart is bit-for-bit safe — their propagations are
+/// identical — and keeps both strategies' work proportional to what
+/// the deployed policies can actually distinguish.
+///
+/// Only meaningful when `active` is path-blind; path-aware extensions
+/// make acceptance depend on route travel, which no per-announcement
+/// class can capture — the collection layer forces forward collection
+/// in that case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct AcceptClass {
     rov_dropped: bool,
     /// IRR statuses collapse to the three buckets filters distinguish:
-    /// invalid-ASN, invalid-length, and everything else.
+    /// invalid-ASN, invalid-length (under strict-length only), and
+    /// everything else.
     irr: u8,
 }
 
 impl AcceptClass {
-    pub(crate) fn of(a: &Announcement) -> Self {
-        let irr = match a.irr {
-            IrrStatus::InvalidAsn => 1,
-            IrrStatus::InvalidLength => 2,
-            _ => 0,
+    pub(crate) fn of(a: &Announcement, active: PolicySet) -> Self {
+        let rov_read = active.contains(PolicyExtension::Rov)
+            || active.contains(PolicyExtension::RouteServer);
+        let irr_read = active.contains(PolicyExtension::IrrCustomer)
+            || active.contains(PolicyExtension::IrrPeer)
+            || active.contains(PolicyExtension::RouteServer);
+        let irr = if irr_read {
+            match a.irr {
+                IrrStatus::InvalidAsn => 1,
+                IrrStatus::InvalidLength
+                    if active.contains(PolicyExtension::IrrStrictLength) =>
+                {
+                    2
+                }
+                _ => 0,
+            }
+        } else {
+            0
         };
-        AcceptClass { rov_dropped: a.rpki.dropped_by_rov(), irr }
+        AcceptClass { rov_dropped: rov_read && a.rpki.dropped_by_rov(), irr }
     }
 }
 
@@ -582,7 +613,7 @@ fn walk_pred(graph: &DenseGraph, pred: &[u32], origin: usize) -> Vec<Asn> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{FilteringPolicy, PolicyTable};
+    use crate::policy::PolicyTable;
     use crate::propagate::{propagate_dense, DenseGraph};
     use crate::testutil::{topo, wide_topo};
     use manrs_irr::IrrStatus;
@@ -640,24 +671,19 @@ mod tests {
         let t = wide_topo(60);
         let mut policies = PolicyTable::default();
         for asn in (2u32..=60).step_by(5) {
-            policies.set(Asn(asn), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+            policies.set(Asn(asn), PolicySet::OPEN.with(PolicyExtension::Rov));
         }
         for asn in (3u32..=60).step_by(7) {
-            policies.set(
-                Asn(asn),
-                FilteringPolicy { irr_filter_customers: true, ..FilteringPolicy::OPEN },
-            );
+            policies.set(Asn(asn), PolicySet::OPEN.with(PolicyExtension::IrrCustomer));
         }
         for asn in (4u32..=60).step_by(11) {
             policies.set(
                 Asn(asn),
-                FilteringPolicy {
-                    rov: true,
-                    irr_filter_customers: true,
-                    irr_filter_peers: true,
-                    irr_strict_length: true,
-                },
+                PolicySet::MANRS_CDN.with(PolicyExtension::IrrStrictLength),
             );
+        }
+        for asn in (6u32..=60).step_by(13) {
+            policies.set(Asn(asn), PolicySet::ROUTE_SERVER);
         }
         for (rpki, irr) in [
             (RpkiStatus::Valid, IrrStatus::Valid),
@@ -671,12 +697,44 @@ mod tests {
 
     #[test]
     fn accept_class_collapses_neutral_irr() {
+        let full = PolicySet::MANRS_CDN.with(PolicyExtension::IrrStrictLength);
         let a = ann_with(1, RpkiStatus::Valid, IrrStatus::Valid);
         let b = ann_with(2, RpkiStatus::NotFound, IrrStatus::NotFound);
-        assert_eq!(AcceptClass::of(&a), AcceptClass::of(&b));
+        assert_eq!(AcceptClass::of(&a, full), AcceptClass::of(&b, full));
         let c = ann_with(1, RpkiStatus::Valid, IrrStatus::InvalidAsn);
-        assert_ne!(AcceptClass::of(&a), AcceptClass::of(&c));
+        assert_ne!(AcceptClass::of(&a, full), AcceptClass::of(&c, full));
         let d = ann_with(1, RpkiStatus::InvalidAsn, IrrStatus::Valid);
-        assert_ne!(AcceptClass::of(&a), AcceptClass::of(&d));
+        assert_ne!(AcceptClass::of(&a, full), AcceptClass::of(&d, full));
+    }
+
+    #[test]
+    fn accept_class_widens_with_the_active_union() {
+        let a = ann_with(1, RpkiStatus::Valid, IrrStatus::Valid);
+        let rov_drop = ann_with(1, RpkiStatus::InvalidAsn, IrrStatus::Valid);
+        let irr_bad = ann_with(1, RpkiStatus::Valid, IrrStatus::InvalidAsn);
+        let irr_len = ann_with(1, RpkiStatus::Valid, IrrStatus::InvalidLength);
+
+        // Nothing active: every announcement shares one class.
+        let open = PolicySet::OPEN;
+        assert_eq!(AcceptClass::of(&a, open), AcceptClass::of(&rov_drop, open));
+        assert_eq!(AcceptClass::of(&a, open), AcceptClass::of(&irr_bad, open));
+
+        // ROV alone reads only the RPKI dimension.
+        let rov = PolicySet::OPEN.with(PolicyExtension::Rov);
+        assert_ne!(AcceptClass::of(&a, rov), AcceptClass::of(&rov_drop, rov));
+        assert_eq!(AcceptClass::of(&a, rov), AcceptClass::of(&irr_bad, rov));
+
+        // IRR filtering reads Invalid-ASN, but Invalid-length only
+        // splits off under the strict-length modifier.
+        let isp = PolicySet::MANRS_ISP;
+        assert_ne!(AcceptClass::of(&a, isp), AcceptClass::of(&irr_bad, isp));
+        assert_eq!(AcceptClass::of(&a, isp), AcceptClass::of(&irr_len, isp));
+        let strict = isp.with(PolicyExtension::IrrStrictLength);
+        assert_ne!(AcceptClass::of(&a, strict), AcceptClass::of(&irr_len, strict));
+
+        // A route server reads both dimensions on its own.
+        let rs = PolicySet::ROUTE_SERVER;
+        assert_ne!(AcceptClass::of(&a, rs), AcceptClass::of(&rov_drop, rs));
+        assert_ne!(AcceptClass::of(&a, rs), AcceptClass::of(&irr_bad, rs));
     }
 }

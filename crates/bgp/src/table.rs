@@ -3,10 +3,14 @@
 //!
 //! Propagating every (prefix, origin) pair independently would repeat
 //! identical work: the routing outcome depends only on the origin and on
-//! how filters react to the announcement's registry statuses. Policies
-//! consult exactly (a) whether ROV drops it and (b) its IRR status, so
-//! announcements from the same origin fall into a handful of equivalence
-//! classes; one propagation per class serves every prefix in it.
+//! how filters react to the announcement's registry statuses. Path-blind
+//! policy extensions consult exactly (a) whether ROV drops it and (b)
+//! its IRR status, so announcements from the same origin fall into a
+//! handful of equivalence classes — widened only along the dimensions
+//! the *active* policy union can read — and one propagation per class
+//! serves every prefix in it. Path-aware extensions (ASPA, RFC 9234
+//! only-to-customers, path-end validation) break this equivalence, so
+//! any path-aware extension in the graph forces forward collection.
 //!
 //! Two collection strategies produce the (bit-for-bit identical) result:
 //!
@@ -27,63 +31,59 @@ use crate::announcement::Announcement;
 use crate::collector::{CollectedRib, Observation};
 use crate::parallel::{par_map_with, ParallelConfig};
 use crate::pathpool::{PathId, PathInterner};
-use crate::policy::PolicyTable;
+use crate::policy::{PolicySet, PolicyTable};
 use crate::propagate::{propagate_dense_into, DenseGraph, PropagationScratch};
 use crate::reverse::{AcceptClass, ReverseScratch};
-use manrs_irr::IrrStatus;
 use manrs_net::Asn;
 use manrs_topology::AsTopology;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-/// The projection of an announcement that filtering can observe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct FilterClass {
-    rov_dropped: bool,
-    irr: IrrStatus,
-}
-
-impl FilterClass {
-    fn of(a: &Announcement) -> Self {
-        FilterClass { rov_dropped: a.rpki.dropped_by_rov(), irr: a.irr }
-    }
-}
-
 /// How a [`CollectionPlan`] turns announcements into a [`CollectedRib`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CollectionStrategy {
-    /// One forward propagation per (origin, filter-class); vantage rows
-    /// are read out of each run. Scales with the class count.
+    /// One forward propagation per (origin, acceptance-class); vantage
+    /// rows are read out of each run. Scales with the class count.
     Forward,
     /// One reverse valley-free traversal per (vantage,
     /// acceptance-class); per-class origins are masked into the shared
-    /// views. Scales with the vantage count.
+    /// views. Scales with the vantage count. Only legal for path-blind
+    /// policy mixes — a path-aware extension anywhere in the graph
+    /// forces [`CollectionStrategy::Forward`] at resolution time.
     Reverse,
-    /// Pick [`CollectionStrategy::Reverse`] exactly when there are
-    /// fewer vantages than (origin, filter-class) equivalence classes,
-    /// otherwise [`CollectionStrategy::Forward`].
+    /// Pick [`CollectionStrategy::Reverse`] exactly when the mix is
+    /// path-blind and the modelled reverse cost undercuts one forward
+    /// propagation per (origin, acceptance-class), otherwise
+    /// [`CollectionStrategy::Forward`].
     #[default]
     Auto,
 }
 
-/// Number of distinct (origin, filter-class) equivalence classes in an
-/// announcement set — the unit of forward-propagation work, and the
-/// quantity [`CollectionStrategy::Auto`] weighs against the reverse
-/// strategy's cost.
-pub fn distinct_classes(announcements: &[Announcement]) -> usize {
-    let mut seen: HashMap<(Asn, FilterClass), ()> = HashMap::new();
+/// Number of distinct (origin, acceptance-class) equivalence classes in
+/// an announcement set under the active policy union — the unit of
+/// forward-propagation work, and the quantity
+/// [`CollectionStrategy::Auto`] weighs against the reverse strategy's
+/// cost.
+///
+/// `active` is the union of every policy deployed in the graph
+/// ([`DenseGraph::policy_union`] /
+/// [`crate::PolicyTable::active_union`]): classes only split on the
+/// dimensions some active extension can read, so an all-open graph has
+/// one class per origin and filtering deployments widen from there.
+pub fn distinct_classes(announcements: &[Announcement], active: PolicySet) -> usize {
+    let mut seen: HashSet<(Asn, AcceptClass)> = HashSet::new();
     for ann in announcements {
-        seen.insert((ann.origin, FilterClass::of(ann)), ());
+        seen.insert((ann.origin, AcceptClass::of(ann, active)));
     }
     seen.len()
 }
 
-/// Number of distinct *acceptance* classes (origin dropped, IRR
-/// statuses bucketed — see [`AcceptClass`]): the unit of
+/// Number of distinct *acceptance* classes (origin aside — see
+/// [`AcceptClass`]) under the active union: the unit of
 /// reverse-traversal work per vantage. At most six.
-fn distinct_accept_classes(announcements: &[Announcement]) -> usize {
+pub fn distinct_accept_classes(announcements: &[Announcement], active: PolicySet) -> usize {
     let mut seen: HashSet<AcceptClass> = HashSet::new();
     for ann in announcements {
-        seen.insert(AcceptClass::of(ann));
+        seen.insert(AcceptClass::of(ann, active));
     }
     seen.len()
 }
@@ -194,20 +194,44 @@ impl<'a> CollectionPlan<'a> {
         self
     }
 
-    /// The strategy [`CollectionStrategy::Auto`] would resolve to for
-    /// this announcement set (returns non-`Auto` strategies verbatim).
+    /// The strategy this plan resolves to for this announcement set,
+    /// under the policy union of this plan's table.
     ///
-    /// Auto compares modelled costs in units of one forward
-    /// propagation: forward costs one unit per (origin, filter-class);
-    /// reverse costs, per (vantage, acceptance-class) work item, a base
-    /// term plus a term linear in the vantage's provider-closure size
-    /// (each closure node runs its own cone BFSes, and the closure
-    /// Dijkstra's seeding scans every origin per node). The constants
-    /// are calibrated from the `reverse_collection` bench stage.
+    /// A path-aware extension anywhere in the active union makes
+    /// reverse collection illegal — acceptance classes cannot capture
+    /// verdicts that read the route's travel — so **any** strategy
+    /// (explicit `Reverse` included) resolves to
+    /// [`CollectionStrategy::Forward`] in that case.
+    ///
+    /// For path-blind unions, Auto compares modelled costs in units of
+    /// one forward propagation: forward costs one unit per (origin,
+    /// acceptance-class); reverse costs, per (vantage,
+    /// acceptance-class) work item, a base term plus a term linear in
+    /// the vantage's provider-closure size (each closure node runs its
+    /// own cone BFSes, and the closure Dijkstra's seeding scans every
+    /// origin per node). The constants are calibrated from the
+    /// `reverse_collection` bench stage.
+    ///
+    /// [`CollectionPlan::collect_on`] resolves against the *graph's*
+    /// current policy union instead, so overlay mutations
+    /// ([`DenseGraph::set_policy`]) are honored.
     pub fn resolved_strategy(&self, announcements: &[Announcement]) -> CollectionStrategy {
+        self.resolve_with(self.policies.active_union(), announcements)
+    }
+
+    /// [`CollectionPlan::resolved_strategy`] under an explicit active
+    /// policy union.
+    fn resolve_with(
+        &self,
+        active: PolicySet,
+        announcements: &[Announcement],
+    ) -> CollectionStrategy {
+        if active.reads_path() {
+            return CollectionStrategy::Forward;
+        }
         match self.strategy {
             CollectionStrategy::Auto => {
-                let forward_cost = distinct_classes(announcements) as f64;
+                let forward_cost = distinct_classes(announcements, active) as f64;
                 let per_vantage: f64 = self
                     .vantages
                     .iter()
@@ -216,7 +240,8 @@ impl<'a> CollectionPlan<'a> {
                             + REVERSE_ITEM_PER_CLOSURE * self.provider_closure_len(v) as f64
                     })
                     .sum();
-                let reverse_cost = distinct_accept_classes(announcements) as f64 * per_vantage;
+                let reverse_cost =
+                    distinct_accept_classes(announcements, active) as f64 * per_vantage;
                 if reverse_cost < forward_cost {
                     CollectionStrategy::Reverse
                 } else {
@@ -263,13 +288,20 @@ impl<'a> CollectionPlan<'a> {
     /// been built from this plan's topology (dense indices must agree);
     /// `collect` is the safe shorthand that guarantees it.
     pub fn collect_on(&self, graph: &DenseGraph, announcements: &[Announcement]) -> CollectedRib {
-        // Serial pass: number the (origin, filter-class) equivalence
-        // classes in first-appearance order, one representative each.
-        let mut memo: HashMap<(Asn, FilterClass), usize> = HashMap::new();
+        // The class machinery and the strategy resolution both key off
+        // the union of policies actually installed in the graph, so
+        // overlay mutations are honored and class widening matches what
+        // deployed filters can observe.
+        let active = graph.policy_union();
+
+        // Serial pass: number the (origin, acceptance-class)
+        // equivalence classes in first-appearance order, one
+        // representative each.
+        let mut memo: HashMap<(Asn, AcceptClass), usize> = HashMap::new();
         let mut reps: Vec<&Announcement> = Vec::new();
         let mut class_of: Vec<usize> = Vec::with_capacity(announcements.len());
         for ann in announcements {
-            let key = (ann.origin, FilterClass::of(ann));
+            let key = (ann.origin, AcceptClass::of(ann, active));
             let next = reps.len();
             let idx = *memo.entry(key).or_insert_with(|| {
                 reps.push(ann);
@@ -283,12 +315,14 @@ impl<'a> CollectionPlan<'a> {
         let vantage_idx: Vec<usize> =
             self.vantages.iter().filter_map(|v| graph.index_of(*v)).collect();
 
-        let strategy = self.resolved_strategy(announcements);
+        let strategy = self.resolve_with(active, announcements);
         let class_paths = match strategy {
             CollectionStrategy::Forward | CollectionStrategy::Auto => {
                 self.collect_forward(graph, &reps, &vantage_idx)
             }
-            CollectionStrategy::Reverse => self.collect_reverse(graph, &reps, &vantage_idx),
+            CollectionStrategy::Reverse => {
+                self.collect_reverse(graph, active, &reps, &vantage_idx)
+            }
         };
 
         // Serial pass: intern each class's paths. Class order is the
@@ -354,6 +388,7 @@ impl<'a> CollectionPlan<'a> {
     fn collect_reverse(
         &self,
         graph: &DenseGraph,
+        active: PolicySet,
         reps: &[&Announcement],
         vantage_idx: &[usize],
     ) -> Vec<Vec<Vec<Asn>>> {
@@ -367,7 +402,7 @@ impl<'a> CollectionPlan<'a> {
         let mut member_pos: Vec<usize> = Vec::with_capacity(reps.len());
         for (r, &rep) in reps.iter().enumerate() {
             let next = areps.len();
-            let a = *amemo.entry(AcceptClass::of(rep)).or_insert_with(|| {
+            let a = *amemo.entry(AcceptClass::of(rep, active)).or_insert_with(|| {
                 areps.push(rep);
                 class_members.push(Vec::new());
                 class_origins.push(Vec::new());
@@ -412,8 +447,9 @@ impl<'a> CollectionPlan<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::FilteringPolicy;
+    use crate::policy::PolicyExtension;
     use crate::testutil::wide_topo;
+    use manrs_irr::IrrStatus;
     use manrs_net::Prefix;
     use manrs_rpki::RpkiStatus;
 
@@ -447,7 +483,7 @@ mod tests {
     fn memoization_does_not_conflate_classes() {
         let t = topo();
         let mut policies = PolicyTable::default();
-        policies.set(Asn(2), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+        policies.set(Asn(2), PolicySet::OPEN.with(PolicyExtension::Rov));
         let anns = vec![
             ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
             ann("10.1.0.0/16", 3, RpkiStatus::InvalidAsn, IrrStatus::Valid),
@@ -479,13 +515,16 @@ mod tests {
     #[test]
     fn auto_strategy_resolution_tracks_counts() {
         let t = topo();
-        let policies = PolicyTable::default();
+        // A deployed MANRS posture keeps both class dimensions live;
+        // an all-open table would collapse every status to one class.
+        let policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
         let anns = vec![
             ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
             ann("10.1.0.0/16", 4, RpkiStatus::Valid, IrrStatus::Valid),
             ann("10.2.0.0/16", 4, RpkiStatus::InvalidAsn, IrrStatus::Valid),
         ];
-        assert_eq!(distinct_classes(&anns), 3);
+        assert_eq!(distinct_classes(&anns, policies.active_union()), 3);
+        assert_eq!(distinct_classes(&anns, PolicySet::OPEN), 2, "open union collapses statuses");
         let one = [Asn(1)];
         let plan = TableCollector::new(&t, &policies, &one).plan();
         assert_eq!(plan.resolved_strategy(&anns), CollectionStrategy::Reverse);
@@ -507,22 +546,60 @@ mod tests {
         // in an existing acceptance class (forward = 3, reverse still
         // 2.6) tips it over — Reverse.
         let t = topo();
-        let policies = PolicyTable::default();
+        let policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
+        let active = policies.active_union();
         let one = [Asn(1)];
         let plan = TableCollector::new(&t, &policies, &one).plan();
         let mut anns = vec![
             ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
             ann("10.1.0.0/16", 3, RpkiStatus::InvalidAsn, IrrStatus::Valid),
         ];
-        assert_eq!(distinct_classes(&anns), 2);
-        assert_eq!(distinct_accept_classes(&anns), 2);
+        assert_eq!(distinct_classes(&anns, active), 2);
+        assert_eq!(distinct_accept_classes(&anns, active), 2);
         assert_eq!(plan.resolved_strategy(&anns), CollectionStrategy::Forward);
         // Same statuses from a different origin: new filter class,
         // same acceptance class.
         anns.push(ann("10.2.0.0/16", 4, RpkiStatus::Valid, IrrStatus::Valid));
-        assert_eq!(distinct_classes(&anns), 3);
-        assert_eq!(distinct_accept_classes(&anns), 2);
+        assert_eq!(distinct_classes(&anns, active), 3);
+        assert_eq!(distinct_accept_classes(&anns, active), 2);
         assert_eq!(plan.resolved_strategy(&anns), CollectionStrategy::Reverse);
+    }
+
+    #[test]
+    fn path_aware_mix_forces_forward() {
+        let t = topo();
+        let mut policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
+        let anns = vec![
+            ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.1.0.0/16", 3, RpkiStatus::InvalidAsn, IrrStatus::Valid),
+            ann("10.2.0.0/16", 4, RpkiStatus::Valid, IrrStatus::Valid),
+        ];
+        let one = [Asn(1)];
+        // Path-blind baseline: this shape resolves to Reverse (see
+        // auto_cost_model_crossover).
+        let plan = TableCollector::new(&t, &policies, &one).plan();
+        assert_eq!(plan.resolved_strategy(&anns), CollectionStrategy::Reverse);
+        // One AS deploying a path-aware extension anywhere flips every
+        // strategy — explicit Reverse included — to Forward.
+        policies.set(Asn(4), PolicySet::OPEN.with(PolicyExtension::OnlyToCustomers));
+        for ext in [
+            PolicyExtension::Aspa,
+            PolicyExtension::OnlyToCustomers,
+            PolicyExtension::PathEnd,
+        ] {
+            policies.set(Asn(4), PolicySet::OPEN.with(ext));
+            let plan = TableCollector::new(&t, &policies, &one).plan();
+            assert_eq!(plan.resolved_strategy(&anns), CollectionStrategy::Forward, "{ext:?}");
+            assert_eq!(
+                plan.strategy(CollectionStrategy::Reverse).resolved_strategy(&anns),
+                CollectionStrategy::Forward,
+                "explicit Reverse must fall back under {ext:?}"
+            );
+        }
+        // Collection still works (and is well-defined) under the
+        // path-aware mix.
+        let rib = TableCollector::new(&t, &policies, &one).collect(&anns);
+        assert_eq!(rib.observations.len(), 3);
     }
 
     #[test]
@@ -530,13 +607,13 @@ mod tests {
         let t = wide_topo(160);
         let mut policies = PolicyTable::default();
         for asn in (2u32..=160).step_by(7) {
-            policies.set(Asn(asn), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+            policies.set(Asn(asn), PolicySet::OPEN.with(PolicyExtension::Rov));
         }
         for asn in (5u32..=160).step_by(9) {
-            policies.set(
-                Asn(asn),
-                FilteringPolicy { irr_filter_customers: true, ..FilteringPolicy::OPEN },
-            );
+            policies.set(Asn(asn), PolicySet::OPEN.with(PolicyExtension::IrrCustomer));
+        }
+        for asn in (11u32..=160).step_by(23) {
+            policies.set(Asn(asn), PolicySet::ROUTE_SERVER);
         }
         let statuses = [
             (RpkiStatus::Valid, IrrStatus::Valid),
@@ -566,7 +643,7 @@ mod tests {
         let t = wide_topo(160);
         let mut policies = PolicyTable::default();
         for asn in (2u32..=160).step_by(7) {
-            policies.set(Asn(asn), FilteringPolicy { rov: true, ..FilteringPolicy::OPEN });
+            policies.set(Asn(asn), PolicySet::OPEN.with(PolicyExtension::Rov));
         }
         let statuses = [
             (RpkiStatus::Valid, IrrStatus::Valid),

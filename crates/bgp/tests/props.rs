@@ -4,8 +4,8 @@
 
 use manrs_bgp::propagate::{propagate_dense, propagate_dense_into, DenseGraph, PropagationScratch};
 use manrs_bgp::{
-    propagate, validate_pairs_batch, Announcement, CollectionStrategy, FilteringPolicy,
-    ParallelConfig, PolicyTable, TableCollector,
+    propagate, validate_pairs_batch, Announcement, CollectionStrategy, ParallelConfig,
+    PolicyExtension, PolicySet, PolicyTable, TableCollector,
 };
 use manrs_irr::{
     validate_irr, CompiledIrrIndex, IrrDatabase, IrrRegistry, IrrStatus, RouteObject,
@@ -135,12 +135,7 @@ proptest! {
         let n = t.len() as u32;
         let origin = (origin_seed as u32 % n) + 1;
         let open = PolicyTable::default();
-        let strict = PolicyTable::with_default(FilteringPolicy {
-            rov: true,
-            irr_filter_customers: true,
-            irr_filter_peers: true,
-            irr_strict_length: false,
-        });
+        let strict = PolicyTable::with_default(PolicySet::MANRS_CDN);
 
         let invalid = ann(origin, RpkiStatus::InvalidAsn, IrrStatus::InvalidAsn);
         let (_, open_out) = propagate(&t, &open, &invalid);
@@ -177,12 +172,7 @@ proptest! {
                 Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
             })
             .collect();
-        let policies = PolicyTable::with_default(FilteringPolicy {
-            rov: true,
-            irr_filter_customers: true,
-            irr_filter_peers: false,
-            irr_strict_length: false,
-        });
+        let policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
         let vantages: Vec<Asn> = vec![Asn(1), Asn(2)];
         let rib = TableCollector::new(&t, &policies, &vantages).plan().collect(&anns);
         for (i, a) in anns.iter().enumerate() {
@@ -215,12 +205,7 @@ proptest! {
                 Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
             })
             .collect();
-        let policies = PolicyTable::with_default(FilteringPolicy {
-            rov: true,
-            irr_filter_customers: true,
-            irr_filter_peers: false,
-            irr_strict_length: false,
-        });
+        let policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
         let vantages: Vec<Asn> = vec![Asn(1), Asn(2)];
         let collector = TableCollector::new(&t, &policies, &vantages);
         let serial = collector.clone().parallel(ParallelConfig::serial()).plan().collect(&anns);
@@ -247,10 +232,7 @@ proptest! {
     fn reverse_collection_matches_forward(
         t in arb_topology(),
         specs in prop::collection::vec((any::<u16>(), 0u8..4, 0u8..4), 1..12),
-        policy_seeds in prop::collection::vec(
-            (any::<u16>(), any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
-            0..8,
-        ),
+        policy_seeds in prop::collection::vec((any::<u16>(), 0u16..32), 0..8),
         vantage_seeds in prop::collection::vec(any::<u16>(), 0..6),
     ) {
         let n = t.len() as u32;
@@ -266,24 +248,27 @@ proptest! {
                 Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
             })
             .collect();
-        // Heterogeneous policies: random per-node overrides on top of a
-        // filtering default, so acceptance differs between transit ASes.
-        let mut policies = PolicyTable::with_default(FilteringPolicy {
-            rov: true,
-            irr_filter_customers: true,
-            irr_filter_peers: false,
-            irr_strict_length: false,
-        });
-        for (node, rov, irrc, irrp, strict) in policy_seeds {
-            policies.set(
-                Asn((node as u32 % n) + 1),
-                FilteringPolicy {
-                    rov,
-                    irr_filter_customers: irrc,
-                    irr_filter_peers: irrp,
-                    irr_strict_length: strict,
-                },
-            );
+        // Heterogeneous policies: random per-node overrides over the
+        // whole path-blind extension space (ROV, IRR customer/peer,
+        // strict length, route server — 32 subsets), so acceptance
+        // differs between transit ASes and the accept-class union
+        // widens past the default.
+        let mut policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
+        let blind = [
+            PolicyExtension::Rov,
+            PolicyExtension::IrrCustomer,
+            PolicyExtension::IrrPeer,
+            PolicyExtension::IrrStrictLength,
+            PolicyExtension::RouteServer,
+        ];
+        for (node, bits) in policy_seeds {
+            let set: PolicySet = blind
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bits & (1 << i) != 0)
+                .map(|(_, e)| *e)
+                .collect();
+            policies.set(Asn((node as u32 % n) + 1), set);
         }
         // Vantages may repeat, may be empty, and may name ASes the
         // topology does not contain (n+1, n+2): all must behave the same
@@ -314,6 +299,65 @@ proptest! {
         let auto = collector.clone().plan().collect(&anns);
         prop_assert_eq!(&auto.observations, &forward.observations);
         prop_assert_eq!(auto.pool(), forward.pool());
+    }
+
+    /// Any policy mix containing a path-aware extension resolves to
+    /// Forward collection — both under `Auto` and when `Reverse` is
+    /// requested explicitly — and the collected table is identical to
+    /// what the same path-blind base mix produces (path-aware verdicts
+    /// are vacuous on valley-free-propagated routes).
+    #[test]
+    fn path_aware_mix_forces_forward(
+        t in arb_topology(),
+        specs in prop::collection::vec((any::<u16>(), 0u8..4, 0u8..4), 1..8),
+        aware_seed in 0u8..3,
+        node_seed in any::<u16>(),
+    ) {
+        let n = t.len() as u32;
+        let rpki_of = |k: u8| [RpkiStatus::Valid, RpkiStatus::InvalidAsn,
+                               RpkiStatus::InvalidLength, RpkiStatus::NotFound][k as usize];
+        let irr_of = |k: u8| [IrrStatus::Valid, IrrStatus::InvalidAsn,
+                              IrrStatus::InvalidLength, IrrStatus::NotFound][k as usize];
+        let anns: Vec<Announcement> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (o, r, ir))| {
+                let prefix = format!("10.{}.0.0/16", i % 250).parse().unwrap();
+                Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
+            })
+            .collect();
+        let aware = [
+            PolicyExtension::Aspa,
+            PolicyExtension::OnlyToCustomers,
+            PolicyExtension::PathEnd,
+        ][aware_seed as usize];
+        let base = PolicyTable::with_default(PolicySet::MANRS_ISP);
+        let mut policies = base.clone();
+        // One node — possibly absent from the topology only if the
+        // modulo wraps, which it cannot — deploys a path-aware defense.
+        policies.set(
+            Asn((node_seed as u32 % n) + 1),
+            PolicySet::MANRS_ISP.with(aware),
+        );
+        prop_assert!(policies.active_union().reads_path());
+        let vantages: Vec<Asn> = vec![Asn(1), Asn(2)];
+        let collector = TableCollector::new(&t, &policies, &vantages);
+        for strategy in [CollectionStrategy::Auto, CollectionStrategy::Reverse] {
+            let plan = collector.clone().plan().strategy(strategy);
+            prop_assert_eq!(
+                plan.resolved_strategy(&anns),
+                CollectionStrategy::Forward,
+                "strategy {:?} must fall back to Forward under {:?}",
+                strategy,
+                aware
+            );
+        }
+        // Path-aware verdicts never fire on valley-free routes: the
+        // collected table matches the path-blind base policy table.
+        let aware_rib = collector.plan().collect(&anns);
+        let base_rib = TableCollector::new(&t, &base, &vantages).plan().collect(&anns);
+        prop_assert_eq!(&aware_rib.observations, &base_rib.observations);
+        prop_assert_eq!(aware_rib.pool(), base_rib.pool());
     }
 
     /// Thread-chunked batched validation returns exactly what the
@@ -371,12 +415,7 @@ proptest! {
                                RpkiStatus::InvalidLength, RpkiStatus::NotFound][k as usize];
         let irr_of = |k: u8| [IrrStatus::Valid, IrrStatus::InvalidAsn,
                               IrrStatus::InvalidLength, IrrStatus::NotFound][k as usize];
-        let policies = PolicyTable::with_default(FilteringPolicy {
-            rov: true,
-            irr_filter_customers: true,
-            irr_filter_peers: false,
-            irr_strict_length: false,
-        });
+        let policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
         let graph = DenseGraph::build(&t, &policies);
         let mut scratch = PropagationScratch::new();
         for (o, r, ir) in specs {

@@ -11,8 +11,8 @@
 //! forward strategy it replaces.
 
 use manrs_bgp::{
-    propagate, Announcement, CollectionStrategy, FilteringPolicy, ParallelConfig, PolicyTable,
-    TableCollector,
+    propagate, Announcement, CollectionStrategy, ParallelConfig, PolicyExtension, PolicySet,
+    PolicyTable, TableCollector,
 };
 use manrs_ihr::hegemony::{hegemony_scores, HegemonyCounter};
 use manrs_irr::IrrStatus;
@@ -77,12 +77,15 @@ proptest! {
                 Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
             })
             .collect();
-        let policies = PolicyTable::with_default(FilteringPolicy {
-            rov: true,
-            irr_filter_customers: true,
-            irr_filter_peers: false,
-            irr_strict_length: false,
-        });
+        // Heterogeneous path-blind mixes: ISP default, one strict CDN,
+        // route servers sprinkled through — the active union spans all
+        // five path-blind extensions, so reverse collection runs with
+        // fully widened accept classes.
+        let mut policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
+        policies.set(Asn(3), PolicySet::MANRS_CDN.with(PolicyExtension::IrrStrictLength));
+        for asn in (5..=n).step_by(7) {
+            policies.set(Asn(asn), PolicySet::ROUTE_SERVER);
+        }
         let vantages: Vec<Asn> = vec![Asn(1), Asn(2), Asn(n.min(4))];
         let collector = TableCollector::new(&t, &policies, &vantages);
 

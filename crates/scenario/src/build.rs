@@ -19,7 +19,7 @@ use crate::behavior::BehaviorModel;
 use crate::config::ScenarioConfig;
 use crate::enroll::enroll;
 use manrs_bgp::{
-    validate_pairs_batch, Announcement, CollectedRib, FilteringPolicy, ParallelConfig,
+    validate_pairs_batch, Announcement, CollectedRib, ParallelConfig, PolicyExtension, PolicySet,
     PolicyTable, TableCollector,
 };
 use manrs_core::{ManrsProgram, ManrsRegistry, PeeringDb, PeeringDbRecord};
@@ -455,7 +455,7 @@ impl ScenarioWorldBuilder {
         }
 
         // --- Policies -------------------------------------------------------
-        let mut policies = PolicyTable::with_default(FilteringPolicy::OPEN);
+        let mut policies = PolicyTable::with_default(PolicySet::OPEN);
         let mut truth_rov = BTreeSet::new();
         let mut truth_irr_filter = BTreeSet::new();
         for &asn in &all_asns {
@@ -463,22 +463,33 @@ impl ScenarioWorldBuilder {
             let irr_filter = irr_filterers.contains(&asn);
             let is_cdn_member =
                 manrs.program_of(asn, snapshot) == Some(ManrsProgram::Cdn);
-            if rov || irr_filter {
-                policies.set(
-                    asn,
-                    FilteringPolicy {
-                        rov,
-                        irr_filter_customers: irr_filter,
-                        irr_filter_peers: irr_filter && is_cdn_member,
-                        irr_strict_length: false,
-                    },
-                );
-            }
+            let mut set = PolicySet::OPEN;
             if rov {
+                set = set.with(PolicyExtension::Rov);
                 truth_rov.insert(asn);
             }
             if irr_filter {
+                set = set.with(PolicyExtension::IrrCustomer);
+                if is_cdn_member {
+                    set = set.with(PolicyExtension::IrrPeer);
+                }
                 truth_irr_filter.insert(asn);
+            }
+            if !set.is_empty() {
+                policies.set(asn, set);
+            }
+        }
+        // IXP route servers: the configured number of highest-peer-degree
+        // ASes validate on behalf of their members (lowest ASN breaks
+        // degree ties, keeping the designation seed-stable).
+        if config.route_servers > 0 {
+            let mut by_degree: Vec<(usize, Asn)> = all_asns
+                .iter()
+                .map(|&asn| (world.topology.peers(asn).len(), asn))
+                .collect();
+            by_degree.sort_by_key(|&(deg, asn)| (std::cmp::Reverse(deg), asn));
+            for &(_, asn) in by_degree.iter().take(config.route_servers) {
+                policies.set(asn, policies.get(asn).union(PolicySet::ROUTE_SERVER));
             }
         }
 

@@ -89,6 +89,11 @@ pub struct ScenarioConfig {
     /// Number of vantage ASes (largest cones are picked first, like
     /// RouteViews peers).
     pub vantage_count: usize,
+    /// Number of IXP route-server parties: the highest-peer-degree ASes
+    /// get the [`manrs_bgp::PolicySet::ROUTE_SERVER`] posture, dropping
+    /// RPKI-Invalid and IRR Invalid-ASN announcements on behalf of
+    /// their members regardless of relationship.
+    pub route_servers: usize,
 }
 
 impl ScenarioConfig {
@@ -117,6 +122,7 @@ impl ScenarioConfig {
             behaviors: BehaviorMatrix::calibrated(),
             perturbations: PerturbationConfig::default(),
             vantage_count: 12,
+            route_servers: 0,
         }
     }
 

@@ -125,10 +125,10 @@ mod tests {
         // while unprotected victims get no help. The calibrated world
         // sits in between (ROV deployment is partial), so the strong
         // assertion runs against a universal-ROV policy table.
-        use manrs_bgp::{FilteringPolicy, PolicyTable};
+        use manrs_bgp::{PolicySet, PolicyTable};
         let w = world();
         let incidents = generate_incidents(&w, 150, 10);
-        let policies = PolicyTable::with_default(FilteringPolicy::MANRS_ISP);
+        let policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
         let graph = DenseGraph::build(&w.world.topology, &policies);
         let mut protected_vis = Vec::new();
         let mut unprotected_vis = Vec::new();

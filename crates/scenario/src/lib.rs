@@ -48,8 +48,8 @@ pub use engine::{
 };
 pub use incidents::{generate_incidents, protection_payoff};
 pub use sweep::{
-    CellReport, MetricSummary, PolicyMix, SweepBase, SweepPlan, SweepReport, SweepTotals,
-    TrialCounters, TrialOutcome, TrialSpec, TrialWorkspace,
+    CellReport, IncidentProfile, MetricSummary, PolicyMix, SweepBase, SweepPlan, SweepReport,
+    SweepTotals, TrialCounters, TrialOutcome, TrialSpec, TrialWorkspace,
 };
 pub use timeline::{
     weekly_steps, yearly_dates, yearly_steps, SeriesStep, SnapshotSeries, YearlySnapshot,

@@ -47,9 +47,9 @@
 
 use crate::build::ScenarioWorld;
 use manrs_bgp::{
-    par_map_with, propagate_dense_into, Announcement, CollectedRib, DenseGraph, FilteringPolicy,
-    Hijack, HijackKind, ParallelConfig, PropagationScratch, Provenance, RouteEntry,
-    TableCollector,
+    par_map_with, propagate_dense_into, propagate_leak_into, Announcement, CollectedRib,
+    DenseGraph, Incident, ParallelConfig, PolicyExtension, PolicySet, PropagationScratch,
+    Provenance, RouteEntry, TableCollector,
 };
 use manrs_irr::{CompiledIrrIndex, IrrStatus};
 use manrs_net::{Asn, BatchScratch, Prefix};
@@ -70,10 +70,8 @@ pub struct PolicyMix {
     pub register_roas: bool,
     /// Adopters register IRR route objects for their resources.
     pub register_irr: bool,
-    /// Adopters deploy ROV (drop RPKI-Invalid).
-    pub deploy_rov: bool,
-    /// Adopters filter their customers against the IRR.
-    pub deploy_irr_filtering: bool,
+    /// The policy extensions adopters add to their base set.
+    pub deploy: PolicySet,
 }
 
 impl PolicyMix {
@@ -83,8 +81,7 @@ impl PolicyMix {
         name: "registration",
         register_roas: true,
         register_irr: true,
-        deploy_rov: false,
-        deploy_irr_filtering: false,
+        deploy: PolicySet::OPEN,
     };
 
     /// Filtering only: adopters deploy ROV and IRR customer filtering
@@ -93,8 +90,7 @@ impl PolicyMix {
         name: "filtering",
         register_roas: false,
         register_irr: false,
-        deploy_rov: true,
-        deploy_irr_filtering: true,
+        deploy: PolicySet::MANRS_ISP,
     };
 
     /// ROV deployment only.
@@ -102,8 +98,7 @@ impl PolicyMix {
         name: "rov",
         register_roas: false,
         register_irr: false,
-        deploy_rov: true,
-        deploy_irr_filtering: false,
+        deploy: PolicySet::OPEN.with(PolicyExtension::Rov),
     };
 
     /// Full Action 1: register and filter.
@@ -111,17 +106,64 @@ impl PolicyMix {
         name: "action1",
         register_roas: true,
         register_irr: true,
-        deploy_rov: true,
-        deploy_irr_filtering: true,
+        deploy: PolicySet::MANRS_ISP,
+    };
+
+    /// RFC 9234 only-to-customers deployment: adopters reject routes
+    /// carrying the OTC mark from customers and lateral peers — the
+    /// route-leak defense. Registers nothing.
+    pub const OTC: PolicyMix = PolicyMix {
+        name: "otc",
+        register_roas: false,
+        register_irr: false,
+        deploy: PolicySet::OPEN.with(PolicyExtension::OnlyToCustomers),
+    };
+
+    /// ASPA-style provider verification: adopters require an unbroken
+    /// customer descent from customer- and peer-learned routes.
+    pub const ASPA: PolicyMix = PolicyMix {
+        name: "aspa",
+        register_roas: false,
+        register_irr: false,
+        deploy: PolicySet::OPEN.with(PolicyExtension::Aspa),
+    };
+
+    /// IXP route-server posture: adopters validate on behalf of their
+    /// members, dropping RPKI-Invalid and IRR Invalid-ASN announcements
+    /// from any relationship.
+    pub const ROUTE_SERVER: PolicyMix = PolicyMix {
+        name: "route_server",
+        register_roas: false,
+        register_irr: false,
+        deploy: PolicySet::ROUTE_SERVER,
     };
 
     /// The policy an adopter with base policy `base` runs under this
     /// mix. Flips are additive: an AS already filtering keeps doing so.
-    pub fn apply(&self, base: FilteringPolicy) -> FilteringPolicy {
-        FilteringPolicy {
-            rov: base.rov || self.deploy_rov,
-            irr_filter_customers: base.irr_filter_customers || self.deploy_irr_filtering,
-            ..base
+    pub fn apply(&self, base: PolicySet) -> PolicySet {
+        base.union(self.deploy)
+    }
+}
+
+/// What kind of routing incidents a sweep injects per trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IncidentProfile {
+    /// Seeded origin hijacks, split 50/50 between exact-prefix and
+    /// more-specific forgeries (the historical default).
+    Hijacks,
+    /// Valley-free route leaks: a random transit AS that learned the
+    /// victim's route from a provider or peer re-exports it to every
+    /// neighbor. Only path-aware defenses (OTC, ASPA) contain these —
+    /// the leaked route is registry-clean.
+    RouteLeaks,
+}
+
+impl IncidentProfile {
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IncidentProfile::Hijacks => "hijacks",
+            IncidentProfile::RouteLeaks => "route_leaks",
         }
     }
 }
@@ -132,7 +174,7 @@ impl PolicyMix {
 pub struct SweepBase {
     world: ScenarioWorld,
     graph: DenseGraph,
-    base_policies: Vec<FilteringPolicy>,
+    base_policies: Vec<PolicySet>,
     vrp_index: CompiledVrpIndex,
     irr_index: CompiledIrrIndex,
     /// Every announced (prefix, origin) pair, announcement order.
@@ -157,7 +199,7 @@ impl SweepBase {
     pub fn new(world: ScenarioWorld) -> Self {
         let graph = DenseGraph::build(&world.world.topology, &world.policies);
         let n = graph.len();
-        let base_policies: Vec<FilteringPolicy> = (0..n).map(|i| graph.policy(i)).collect();
+        let base_policies: Vec<PolicySet> = (0..n).map(|i| graph.policy(i)).collect();
         let vrp_index = CompiledVrpIndex::build(&world.vrps);
         let irr_index = CompiledIrrIndex::build(&world.irr);
         let pairs: Vec<(Prefix, Asn)> =
@@ -402,7 +444,7 @@ impl TrialWorkspace {
         for t in 0..k {
             let idx = self.pick[t] as usize;
             self.adopter_flags[idx] = true;
-            if mix.deploy_rov || mix.deploy_irr_filtering {
+            if !mix.deploy.is_empty() {
                 self.graph.set_policy(idx, mix.apply(base.base_policies[idx]));
             }
             if mix.register_roas {
@@ -515,10 +557,16 @@ impl TrialWorkspace {
     /// Runs one full trial: overlay on, measure, overlay off. The
     /// outcome depends only on (`base`, `spec`) — never on which worker
     /// ran it or what the workspace ran before.
-    pub fn run_trial(&mut self, base: &SweepBase, spec: &TrialSpec, hijacks: usize) -> TrialOutcome {
+    pub fn run_trial(
+        &mut self,
+        base: &SweepBase,
+        spec: &TrialSpec,
+        incidents: usize,
+        profile: IncidentProfile,
+    ) -> TrialOutcome {
         let before = self.counters;
         let adopters = self.apply_overlay(base, spec.mix, spec.fraction, spec.seed);
-        let mut outcome = self.measure(base, spec.seed, hijacks);
+        let mut outcome = self.measure(base, spec.seed, incidents, profile);
         self.clear_overlay(base);
         outcome.adopters = adopters as u32;
         outcome.counters = TrialCounters {
@@ -530,9 +578,15 @@ impl TrialWorkspace {
     }
 
     /// Measures the applied overlay: conformance over every pair, plus
-    /// `hijacks` seeded origin-hijack events propagated over the
-    /// overlay graph. Allocation-free once warm.
-    fn measure(&mut self, base: &SweepBase, seed: u64, hijacks: usize) -> TrialOutcome {
+    /// `incidents` seeded routing incidents — drawn per `profile` —
+    /// propagated over the overlay graph. Allocation-free once warm.
+    fn measure(
+        &mut self,
+        base: &SweepBase,
+        seed: u64,
+        incidents: usize,
+        profile: IncidentProfile,
+    ) -> TrialOutcome {
         let n = base.graph.len();
         let pairs = base.pairs.len();
         // Independent stream from the overlay draw so adding events
@@ -554,37 +608,82 @@ impl TrialWorkspace {
         let mut detected_events = 0u64;
         let mut member_hops = 0u64;
         let mut transit_hops = 0u64;
-        for _ in 0..hijacks {
+        for _ in 0..incidents {
             let vi = rng.random_range(0..pairs);
             let (victim_prefix, victim_origin) = base.pairs[vi];
             let origin_idx =
                 self.graph.index_of(victim_origin).expect("announcement origins are in the topology");
-            let attacker_idx = loop {
-                let a = rng.random_range(0..n);
-                if a != origin_idx {
-                    break a;
-                }
-            };
-            let attacker = self.graph.asn_at(attacker_idx);
-            let kind = if rng.random_bool(0.5) {
-                HijackKind::MoreSpecific
-            } else {
-                HijackKind::ExactPrefix
-            };
-            let hijack = Hijack { victim_prefix, attacker, kind };
-            let forged = hijack.forged_prefix();
-            // The forged announcement is validated against the *overlay*
-            // registries: a victim whose adoption registered a ROA this
-            // trial turns the hijack RPKI-Invalid for every ROV deployer.
-            let forged_ann =
-                Announcement::new(forged, attacker, self.vrp.validate(&forged, attacker), self.irr.validate(&forged, attacker));
             let victim_ann =
                 Announcement::new(victim_prefix, victim_origin, self.rpki_out[vi], self.irr_out[vi]);
             propagate_dense_into(&self.graph, &victim_ann, &mut self.prop_victim);
-            propagate_dense_into(&self.graph, &forged_ann, &mut self.prop_attacker);
             // A more-specific forge wins by longest-prefix match wherever
-            // it propagates; an exact forge competes on route preference.
-            let more_specific = forged != victim_prefix;
+            // it propagates; an exact forge (and a leak, which carries
+            // the victim's own prefix) competes on route preference.
+            let more_specific = match profile {
+                IncidentProfile::Hijacks => {
+                    let attacker_idx = loop {
+                        let a = rng.random_range(0..n);
+                        if a != origin_idx {
+                            break a;
+                        }
+                    };
+                    let attacker = self.graph.asn_at(attacker_idx);
+                    let drawn = if rng.random_bool(0.5) {
+                        Incident::SubprefixHijack { victim_prefix, attacker }
+                    } else {
+                        Incident::OriginHijack { victim_prefix, attacker }
+                    };
+                    // A host-route victim has no more-specific: the draw
+                    // degrades to an exact-prefix hijack explicitly.
+                    let incident = match drawn.forged_prefix() {
+                        Ok(_) => drawn,
+                        Err(_) => Incident::OriginHijack { victim_prefix, attacker },
+                    };
+                    let forged =
+                        incident.forged_prefix().expect("exact hijacks always have a prefix");
+                    // The forged announcement is validated against the
+                    // *overlay* registries: a victim whose adoption
+                    // registered a ROA this trial turns the hijack
+                    // RPKI-Invalid for every ROV deployer.
+                    let forged_ann = Announcement::new(
+                        forged,
+                        attacker,
+                        self.vrp.validate(&forged, attacker),
+                        self.irr.validate(&forged, attacker),
+                    );
+                    propagate_dense_into(&self.graph, &forged_ann, &mut self.prop_attacker);
+                    forged != victim_prefix
+                }
+                IncidentProfile::RouteLeaks => {
+                    // Draw a leakable AS: one whose best route to the
+                    // victim came from a provider or peer (an origin- or
+                    // customer-rooted route re-exported everywhere is
+                    // just normal transit). Bounded retry; a dry draw
+                    // leaves an empty leak wave, counting every slot for
+                    // the victim.
+                    let mut leaker_idx = rng.random_range(0..n);
+                    for _ in 0..4 * n {
+                        if leaker_idx != origin_idx
+                            && matches!(
+                                self.prop_victim.route_at(leaker_idx).map(|e| e.provenance),
+                                Some(Provenance::Provider(_) | Provenance::Peer(_))
+                            )
+                        {
+                            break;
+                        }
+                        leaker_idx = rng.random_range(0..n);
+                    }
+                    let leaker = self.graph.asn_at(leaker_idx);
+                    propagate_leak_into(
+                        &self.graph,
+                        &victim_ann,
+                        leaker,
+                        &self.prop_victim,
+                        &mut self.prop_attacker,
+                    );
+                    false
+                }
+            };
 
             for i in 0..n {
                 match self.classify(i, more_specific) {
@@ -616,12 +715,12 @@ impl TrialWorkspace {
             detected_events += u64::from(detected);
         }
 
-        let slots = (hijacks as u64 * n as u64).max(1) as f64;
+        let slots = (incidents as u64 * n as u64).max(1) as f64;
         TrialOutcome {
             attacker_share: attacker_n as f64 / slots,
             victim_share: victim_n as f64 / slots,
             disconnected_share: disconnected_n as f64 / slots,
-            detected_share: detected_events as f64 / (hijacks.max(1)) as f64,
+            detected_share: detected_events as f64 / (incidents.max(1)) as f64,
             conformant_share: conformant as f64 / pairs.max(1) as f64,
             unconformant_share: unconformant as f64 / pairs.max(1) as f64,
             manrs_transit_share: if transit_hops == 0 {
@@ -762,8 +861,10 @@ pub struct SweepReport {
     pub mixes: Vec<String>,
     /// Trials per cell.
     pub trials_per_cell: usize,
-    /// Hijack events per trial.
+    /// Incident events per trial.
     pub hijacks_per_trial: usize,
+    /// Incident profile injected per trial.
+    pub incidents: String,
     /// Per-cell summaries, fraction-major order.
     pub cells: Vec<CellReport>,
     /// Whole-grid totals.
@@ -794,6 +895,7 @@ pub struct SweepPlan {
     mixes: Vec<PolicyMix>,
     trials: usize,
     hijacks: usize,
+    incidents: IncidentProfile,
     seed: u64,
     bootstrap: usize,
     parallel: ParallelConfig,
@@ -815,6 +917,7 @@ impl SweepPlan {
             mixes: vec![PolicyMix::ROV, PolicyMix::ACTION1],
             trials: 8,
             hijacks: 8,
+            incidents: IncidentProfile::Hijacks,
             seed: 0x004D_414E_5253, // "MANRS"
             bootstrap: 200,
             parallel: ParallelConfig::from_env(),
@@ -839,9 +942,16 @@ impl SweepPlan {
         self
     }
 
-    /// Overrides the hijack events per trial.
+    /// Overrides the incident events per trial.
     pub fn hijacks(mut self, hijacks: usize) -> Self {
         self.hijacks = hijacks.max(1);
+        self
+    }
+
+    /// Overrides the incident profile the trials inject (default:
+    /// origin hijacks).
+    pub fn incidents(mut self, profile: IncidentProfile) -> Self {
+        self.incidents = profile;
         self
     }
 
@@ -893,7 +1003,7 @@ impl SweepPlan {
             &self.parallel,
             &specs,
             || TrialWorkspace::new(base),
-            |ws, spec| ws.run_trial(base, spec, self.hijacks),
+            |ws, spec| ws.run_trial(base, spec, self.hijacks, self.incidents),
         );
 
         let cell_count = self.fractions.len() * self.mixes.len();
@@ -942,6 +1052,7 @@ impl SweepPlan {
             mixes: self.mixes.iter().map(|m| m.name.to_string()).collect(),
             trials_per_cell: self.trials,
             hijacks_per_trial: self.hijacks,
+            incidents: self.incidents.name().to_string(),
             cells,
             totals,
         }
@@ -1048,12 +1159,12 @@ mod tests {
             trial: 0,
             seed: 99,
         };
-        let mut first = ws.run_trial(b, &spec, 4);
+        let mut first = ws.run_trial(b, &spec, 4, IncidentProfile::Hijacks);
         // After clear_overlay the workspace must behave as freshly
         // cloned: same trial, same outcome, and policies equal base.
         // Auto-compaction timing depends on accumulated fragmentation,
         // so only the compaction counter may differ between cycles.
-        let mut second = ws.run_trial(b, &spec, 4);
+        let mut second = ws.run_trial(b, &spec, 4, IncidentProfile::Hijacks);
         first.counters.compactions = 0;
         second.counters.compactions = 0;
         assert_eq!(first, second);
@@ -1070,6 +1181,59 @@ mod tests {
             assert_eq!(irr[i], ann.irr);
         }
         ws.clear_overlay(b);
+    }
+
+    #[test]
+    fn otc_adoption_contains_route_leaks() {
+        // Route leaks are registry-clean, so only the path-aware OTC
+        // defense contains them: at 90% OTC adoption the leak wave must
+        // capture fewer (AS, event) slots than at zero adoption.
+        let report = SweepPlan::new()
+            .fractions(&[0.0, 0.9])
+            .mixes(&[PolicyMix::OTC])
+            .trials(4)
+            .hijacks(8)
+            .incidents(IncidentProfile::RouteLeaks)
+            .seed(5)
+            .parallel(ParallelConfig::serial())
+            .run(base());
+        assert_eq!(report.incidents, "route_leaks");
+        let low = report.cells[0].attacker_share.mean;
+        let high = report.cells[1].attacker_share.mean;
+        assert!(low > 0.0, "unprotected leaks must capture someone");
+        assert!(
+            high < low,
+            "OTC adoption must contain leaks: {low:.4} -> {high:.4}"
+        );
+        // Leaks carry the victim's own announcement: conformance is
+        // untouched by the incident machinery.
+        for cell in &report.cells {
+            let s = &cell.attacker_share;
+            let v = &cell.victim_share;
+            let d = &cell.disconnected_share;
+            assert!((s.mean + v.mean + d.mean - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn route_server_adoption_contains_hijacks() {
+        // The route-server posture validates for members on *any*
+        // relationship: subprefix/exact hijacks of ROA-covered victims
+        // are RPKI-Invalid and get dropped wherever an adopter sits.
+        let report = SweepPlan::new()
+            .fractions(&[0.0, 0.9])
+            .mixes(&[PolicyMix::ROUTE_SERVER])
+            .trials(4)
+            .hijacks(8)
+            .seed(7)
+            .parallel(ParallelConfig::serial())
+            .run(base());
+        let low = report.cells[0].attacker_share.mean;
+        let high = report.cells[1].attacker_share.mean;
+        assert!(
+            high < low,
+            "route-server adoption must shrink hijack reach: {low:.4} -> {high:.4}"
+        );
     }
 
     #[test]

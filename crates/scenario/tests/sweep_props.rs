@@ -131,7 +131,7 @@ proptest! {
                     }
                 }
             }
-            if mix.deploy_rov || mix.deploy_irr_filtering {
+            if !mix.deploy.is_empty() {
                 policies.set(asn, mix.apply(policies.get(asn)));
             }
         }

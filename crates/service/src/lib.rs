@@ -46,6 +46,9 @@ pub mod service;
 pub mod shard;
 
 pub use epoch::{EpochSnapshot, ShardState, SnapshotHandle};
-pub use query::{ConformanceSummary, HegemonySummary, Query, QueryResponse, ServiceClient};
+pub use query::{
+    ConformanceSummary, HegemonySummary, MixImportSummary, PolicyMixDescriptor, Query,
+    QueryResponse, ServiceClient,
+};
 pub use service::{RotationPolicy, ServiceBuilder, ServiceStats, SnapshotService};
 pub use shard::{ShardRouter, ShardSpan, MAX_SHARDS};

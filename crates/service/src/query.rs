@@ -8,9 +8,11 @@
 //! allocations once its buffers are warm.
 
 use crate::epoch::{EpochRegistry, SnapshotHandle};
+use manrs_bgp::{Announcement, PolicySet};
 use manrs_irr::IrrStatus;
 use manrs_net::{Asn, BatchScratch, Prefix};
 use manrs_rpki::RpkiStatus;
+use manrs_topology::Relationship;
 use std::sync::Arc;
 
 /// A read request against the current (or a held) epoch.
@@ -29,6 +31,13 @@ pub enum Query {
     },
     /// The conformance histogram over every visible pair.
     Conformance,
+    /// The conformance histogram plus the per-relationship import
+    /// outcome of every visible pair under a named policy-extension
+    /// mix — "what would a deployer of this mix drop?".
+    ConformanceUnder {
+        /// The mix to evaluate.
+        mix: PolicyMixDescriptor,
+    },
     /// Re-validate the entire visible table against the epoch's own
     /// indexes and report how many stored statuses drift — an
     /// end-to-end self-check that must report zero.
@@ -62,6 +71,17 @@ pub enum QueryResponse {
         /// The histogram.
         summary: ConformanceSummary,
     },
+    /// Answer to [`Query::ConformanceUnder`].
+    MixConformance {
+        /// The answering epoch.
+        epoch: u64,
+        /// The evaluated mix, echoed back.
+        mix: PolicyMixDescriptor,
+        /// The epoch's conformance histogram (mix-independent).
+        summary: ConformanceSummary,
+        /// What the mix would import.
+        imports: MixImportSummary,
+    },
     /// Answer to [`Query::RevalidateAll`].
     Revalidation {
         /// The answering epoch.
@@ -71,6 +91,40 @@ pub enum QueryResponse {
         /// Stored statuses disagreeing with re-validation (must be 0).
         drifted: usize,
     },
+}
+
+/// A named policy-extension mix to evaluate service questions under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyMixDescriptor {
+    /// Display name, echoed in the response.
+    pub name: String,
+    /// The extension set the hypothetical deployer runs.
+    pub set: PolicySet,
+}
+
+impl PolicyMixDescriptor {
+    /// A descriptor named after the set's own debug rendering.
+    pub fn of(set: PolicySet) -> Self {
+        PolicyMixDescriptor { name: format!("{set:?}"), set }
+    }
+}
+
+/// The import outcome of every visible pair under one policy mix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MixImportSummary {
+    /// Visible pairs evaluated.
+    pub pairs: usize,
+    /// Pairs the mix would drop when learned from a customer.
+    pub dropped_from_customer: usize,
+    /// Pairs the mix would drop when learned from a lateral peer.
+    pub dropped_from_peer: usize,
+    /// Pairs the mix would drop when learned from a provider.
+    pub dropped_from_provider: usize,
+    /// True when the mix contains path-aware extensions (ASPA, OTC,
+    /// path-end). The service stores registry statuses, not AS paths,
+    /// so the drop counts reflect only the path-blind conjunction —
+    /// exact for valley-free-propagated routes, silent on leaks.
+    pub path_limited: bool,
 }
 
 /// Per-transit-AS hegemony aggregate over the IHR transit dataset.
@@ -202,6 +256,33 @@ impl ServiceClient {
             Query::Conformance => {
                 let snap = self.handle();
                 QueryResponse::Conformance { epoch: snap.epoch(), summary: snap.conformance() }
+            }
+            Query::ConformanceUnder { mix } => {
+                let snap = self.handle();
+                let mut imports = MixImportSummary {
+                    path_limited: mix.set.reads_path(),
+                    ..MixImportSummary::default()
+                };
+                for shard in snap.shards() {
+                    for (&(prefix, origin), &(rpki, irr)) in
+                        shard.pairs.iter().zip(&shard.status)
+                    {
+                        let ann = Announcement::new(prefix, origin, rpki, irr);
+                        imports.pairs += 1;
+                        imports.dropped_from_customer +=
+                            usize::from(!mix.set.accepts(&ann, Relationship::Customer));
+                        imports.dropped_from_peer +=
+                            usize::from(!mix.set.accepts(&ann, Relationship::Peer));
+                        imports.dropped_from_provider +=
+                            usize::from(!mix.set.accepts(&ann, Relationship::Provider));
+                    }
+                }
+                QueryResponse::MixConformance {
+                    epoch: snap.epoch(),
+                    mix: mix.clone(),
+                    summary: snap.conformance(),
+                    imports,
+                }
             }
             Query::RevalidateAll => {
                 let snap = self.handle();

@@ -6,7 +6,8 @@ use manrs_irr::CompiledIrrIndex;
 use manrs_net::{Asn, Date, Prefix};
 use manrs_rpki::{CompiledVrpIndex, Vrp, VrpSet};
 use manrs_scenario::{weekly_steps, ScenarioConfig, ScenarioWorld, TimelineEngine};
-use manrs_service::{Query, QueryResponse, ShardRouter, SnapshotService};
+use manrs_bgp::{PolicyExtension, PolicySet};
+use manrs_service::{PolicyMixDescriptor, Query, QueryResponse, ShardRouter, SnapshotService};
 use proptest::prelude::*;
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -164,5 +165,61 @@ fn sharded_service_matches_unsharded_oracle() {
         }
         assert_eq!(service.handle().collect_statuses(), oracle_engine.statuses());
         assert!(service.verify());
+    }
+}
+
+/// `ConformanceUnder` answers are shard-count invariant, cross-check
+/// against the conformance histogram, and flag path-aware mixes as
+/// path-limited.
+#[test]
+fn mix_conformance_matches_histogram_across_shards() {
+    let world = ScenarioWorld::builder(ScenarioConfig::small(29)).build();
+    let services: Vec<SnapshotService> = SHARD_COUNTS
+        .iter()
+        .map(|&n| SnapshotService::builder(&world).shards(n).start_date(replay_start()).build())
+        .collect();
+    let mut clients: Vec<_> = services.iter().map(|s| s.client()).collect();
+
+    let mixes = [
+        PolicyMixDescriptor { name: "open".into(), set: PolicySet::OPEN },
+        PolicyMixDescriptor { name: "rov".into(), set: PolicySet::OPEN.with(PolicyExtension::Rov) },
+        PolicyMixDescriptor { name: "manrs_isp".into(), set: PolicySet::MANRS_ISP },
+        PolicyMixDescriptor::of(PolicySet::MANRS_ISP.with(PolicyExtension::Aspa)),
+    ];
+    for mix in &mixes {
+        let baseline = clients[0].query(&Query::ConformanceUnder { mix: mix.clone() });
+        for client in &mut clients[1..] {
+            assert_eq!(client.query(&Query::ConformanceUnder { mix: mix.clone() }), baseline);
+        }
+        let QueryResponse::MixConformance { mix: echoed, summary, imports, .. } = baseline else {
+            panic!("unexpected response");
+        };
+        assert_eq!(&echoed, mix);
+        assert_eq!(imports.pairs as u64, summary.total());
+        assert_eq!(imports.path_limited, mix.set.reads_path());
+        match mix.name.as_str() {
+            "open" => {
+                assert_eq!(imports.dropped_from_customer, 0);
+                assert_eq!(imports.dropped_from_peer, 0);
+                assert_eq!(imports.dropped_from_provider, 0);
+            }
+            "rov" => {
+                // ROV is relationship-blind: every Invalid pair drops
+                // everywhere, exactly the histogram's Invalid rows.
+                let invalid = (summary.rpki_total(manrs_rpki::RpkiStatus::InvalidAsn)
+                    + summary.rpki_total(manrs_rpki::RpkiStatus::InvalidLength))
+                    as usize;
+                assert_eq!(imports.dropped_from_customer, invalid);
+                assert_eq!(imports.dropped_from_peer, invalid);
+                assert_eq!(imports.dropped_from_provider, invalid);
+                assert!(invalid > 0, "world must contain RPKI-Invalid pairs");
+            }
+            _ => {
+                // IRR customer filtering only adds customer-side drops;
+                // the ASPA modifier adds nothing path-blind.
+                assert!(imports.dropped_from_customer >= imports.dropped_from_peer);
+                assert_eq!(imports.dropped_from_peer, imports.dropped_from_provider);
+            }
+        }
     }
 }

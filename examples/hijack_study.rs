@@ -38,9 +38,9 @@ fn main() {
         .expect("a stub attacker");
 
     let worlds: [(&str, PolicyTable); 3] = [
-        ("no filtering anywhere", PolicyTable::with_default(FilteringPolicy::OPEN)),
+        ("no filtering anywhere", PolicyTable::with_default(PolicySet::OPEN)),
         ("calibrated world", world.policies.clone()),
-        ("universal MANRS ISP", PolicyTable::with_default(FilteringPolicy::MANRS_ISP)),
+        ("universal MANRS ISP", PolicyTable::with_default(PolicySet::MANRS_ISP)),
     ];
 
     println!("hijack containment: ASes accepting the forged route (of {n})");
@@ -53,9 +53,13 @@ fn main() {
         let graph = DenseGraph::build(&world.world.topology, policies);
         let mut cells = Vec::new();
         for victim in [signed, unsigned] {
-            for kind in [HijackKind::ExactPrefix, HijackKind::MoreSpecific] {
-                let hijack = Hijack { victim_prefix: victim.prefix, attacker, kind };
-                let ann = hijack.announcement(&world.vrps, &world.irr);
+            for incident in [
+                Incident::OriginHijack { victim_prefix: victim.prefix, attacker },
+                Incident::SubprefixHijack { victim_prefix: victim.prefix, attacker },
+            ] {
+                let ann = incident
+                    .announcement(&world.vrps, &world.irr)
+                    .expect("study victims are splittable");
                 let outcome = propagate_dense(&graph, &ann);
                 // Subtract the attacker itself.
                 cells.push(outcome.reached().saturating_sub(1));

@@ -52,26 +52,26 @@ pub use manrs_topology as topology;
 
 /// The commonly-used names in one import.
 ///
-/// Only the builder-style surface is exported here. The 0.2.0 compat
-/// shims were removed in 0.3.0; old call sites map to the builder
-/// equivalents:
+/// Only the current surface is exported here — 0.4.0 removed the
+/// closed `FilteringPolicy` struct and the `Hijack`/`HijackKind` pair
+/// without shims. Old call sites map to the composable equivalents:
 ///
-/// | removed (0.2.0) | use instead (0.3.0) |
+/// | removed (0.3.0) | use instead (0.4.0) |
 /// |-----------------|---------------------|
-/// | `bgp::compat::collect_table(..)` | [`TableCollector::plan`](manrs_bgp::TableCollector::plan)`().collect(..)` |
-/// | `bgp::compat::collect_with_policy(..)` | [`CollectionPlan::policy`](manrs_bgp::CollectionPlan)` + .collect(..)` |
-/// | `scenario::compat::build_world(..)` | [`ScenarioWorld::builder`](manrs_scenario::ScenarioWorld::builder)`(..).build()` |
-/// | `scenario::compat::yearly_snapshots(..)` | [`SnapshotSeries::yearly`](manrs_scenario::SnapshotSeries::yearly) |
-/// | `scenario::compat::weekly_snapshots(..)` | [`SnapshotSeries::weekly`](manrs_scenario::SnapshotSeries::weekly) |
+/// | `bgp::FilteringPolicy { rov, .. }` | [`PolicySet`](manrs_bgp::PolicySet)` of `[`PolicyExtension`](manrs_bgp::PolicyExtension)`s (e.g. `PolicySet::MANRS_ISP`)` |
+/// | `bgp::Hijack { .., kind: HijackKind::ExactPrefix }` | [`Incident::OriginHijack`](manrs_bgp::Incident) |
+/// | `bgp::Hijack { .., kind: HijackKind::MoreSpecific }` | [`Incident::SubprefixHijack`](manrs_bgp::Incident) |
+/// | `hijack.forged_announcement(..)` | [`Incident::announcement`](manrs_bgp::Incident::announcement)` (fallible: host routes cannot split)` |
 ///
 /// Serving-layer types ([`SnapshotService`](manrs_service::SnapshotService),
 /// [`Query`](manrs_service::Query), …) are part of the prelude so the
 /// quickstart path is one import.
 pub mod prelude {
     pub use manrs_bgp::{
-        Announcement, CollectedRib, CollectionPlan, CollectionStrategy, FilteringPolicy,
-        Hijack, HijackKind, ParallelConfig, PathId, PathInterner, PathPool, PolicyTable,
-        PropagationScratch, TableCollector,
+        propagate_leak_into, Announcement, CollectedRib, CollectionPlan, CollectionStrategy,
+        Incident, IncidentError, ParallelConfig, PathId, PathInterner, PathPool,
+        PolicyExtension, PolicySet, PolicyTable, PropagationScratch, RouteAttrs,
+        TableCollector,
     };
     pub use manrs_core::{
         action1_verdict, action4_verdict, attribute_mismatches, compute_action1,
@@ -85,14 +85,15 @@ pub mod prelude {
     pub use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
     pub use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};
     pub use manrs_scenario::{
-        weekly_steps, BehaviorMatrix, EngineFeed, PolicyMix, RegistryDelta, ScenarioConfig,
-        ScenarioWorld, ScenarioWorldBuilder, SeriesStep, SnapshotSeries, SweepBase, SweepPlan,
-        SweepReport, TimelineEngine, TimelineSnapshot, TrialWorkspace, YearlySnapshot,
+        weekly_steps, BehaviorMatrix, EngineFeed, IncidentProfile, PolicyMix, RegistryDelta,
+        ScenarioConfig, ScenarioWorld, ScenarioWorldBuilder, SeriesStep, SnapshotSeries,
+        SweepBase, SweepPlan, SweepReport, TimelineEngine, TimelineSnapshot, TrialWorkspace,
+        YearlySnapshot,
     };
     pub use manrs_service::{
-        ConformanceSummary, HegemonySummary, Query, QueryResponse, RotationPolicy,
-        ServiceBuilder, ServiceClient, ServiceStats, ShardRouter, SnapshotHandle,
-        SnapshotService,
+        ConformanceSummary, HegemonySummary, MixImportSummary, PolicyMixDescriptor, Query,
+        QueryResponse, RotationPolicy, ServiceBuilder, ServiceClient, ServiceStats,
+        ShardRouter, SnapshotHandle, SnapshotService,
     };
     pub use manrs_topology::{AsTopology, ConeAnalysis, Prefix2As, SizeClass, SizeThresholds};
 }

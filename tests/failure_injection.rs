@@ -31,12 +31,8 @@ fn rov_contains_hijacks_of_signed_prefixes() {
     let attacker = *w.vantages.last().expect("vantages exist");
 
     let run = |victim: &Announcement| {
-        let hijack = Hijack {
-            victim_prefix: victim.prefix,
-            attacker,
-            kind: HijackKind::ExactPrefix,
-        };
-        let ann = hijack.announcement(&w.vrps, &w.irr);
+        let hijack = Incident::OriginHijack { victim_prefix: victim.prefix, attacker };
+        let ann = hijack.announcement(&w.vrps, &w.irr).expect("exact hijacks always announce");
         let rib = TableCollector::new(&w.world.topology, &w.policies, &w.vantages)
             .plan()
             .collect(&[ann]);
