@@ -12,7 +12,11 @@ job, so both validate the exact same contract:
   ``parallel_secs``/``reverse_secs``) plus the vantage/class counts that
   drive the ``Auto`` strategy choice — and whenever there are fewer
   vantages than filter classes, the reverse traversal must be strictly
-  faster than the forward one;
+  faster than the forward one. It also carries the plan's own
+  ``CostReport`` (``forward_cost``/``reverse_cost``/``closure_sum``/
+  ``chosen_strategy``/``cost_path_aware``): the chosen strategy must be
+  consistent with the recorded costs — forward when the mix is
+  path-aware, otherwise whichever modeled cost is lower;
 * ``validation_batch`` carries ``batch_allocations`` (the steady-state
   heap allocations of one warm serial batch run), which must be zero,
   and its serial throughput must beat ``validation_scalar``'s at every
@@ -82,6 +86,27 @@ def main(path: str) -> None:
                 assert key in m, f"missing {key}"
             assert m["forward_secs"] == m["serial_secs"]
             assert m["reverse_secs"] == m["parallel_secs"]
+            for key in (
+                "forward_cost",
+                "reverse_cost",
+                "closure_sum",
+                "chosen_strategy",
+                "cost_path_aware",
+            ):
+                assert key in m, f"missing cost-report key {key}: {m}"
+            assert m["forward_cost"] > 0.0 and m["reverse_cost"] > 0.0, m
+            assert m["chosen_strategy"] in ("forward", "reverse"), m
+            if m["cost_path_aware"]:
+                assert m["chosen_strategy"] == "forward", (
+                    f"path-aware world must force forward collection: {m}"
+                )
+            else:
+                expected = (
+                    "reverse" if m["reverse_cost"] < m["forward_cost"] else "forward"
+                )
+                assert m["chosen_strategy"] == expected, (
+                    f"chosen strategy contradicts the recorded costs: {m}"
+                )
             if m["vantage_count"] < m["class_count"] and m["scale"] != "small":
                 # Small worlds fit in noise; medium and paper scale must
                 # show the asymptotic win whenever Auto would pick reverse.

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Schema and invariant checks for BENCH_vantage.json.
+
+Shared by the CI smoke step (small scale) and the scheduled paper-scale
+job. The vantage-point value optimization ranks vantages by marginal
+coverage and hands back the smallest greedy prefix whose *measured*
+bias against the full-vantage collection sits within tolerance, so the
+structural guarantees are:
+
+* the tolerance-selected subset really is within tolerance — both the
+  bench's own `within_tolerance` verdict and the raw bias fields
+  (max per-AS hegemony delta, worst conformance drift) must clear the
+  requested bound;
+* a warm serial ranking pass performs zero heap allocations (counting
+  global allocator around a full `rank_into` re-run);
+* reverse collection on the selected subset beats the full-vantage
+  collection at medium scale and above (at small scale both are
+  sub-millisecond, so only selected ≤ full coverage is asserted);
+* the greedy order is a valid weighted set cover: marginal link gains
+  never exceed standalone coverage, the cumulative covered-link count
+  is consistent with the link universe, and the selected size never
+  exceeds the vantage total.
+"""
+
+import json
+import sys
+
+SCHEMA = (
+    "host_cpus",
+    "seed",
+    "scale",
+    "threads",
+    "tolerance",
+    "vantages_total",
+    "selected",
+    "total_links",
+    "total_weight",
+    "covered_links_selected",
+    "visible_full",
+    "ases_scored",
+    "selection_secs",
+    "selection_allocs_steady",
+    "reverse_full_secs",
+    "reverse_selected_secs",
+    "reverse_naive_secs",
+    "speedup_selected",
+    "hegemony_mean_abs_delta",
+    "hegemony_max_abs_delta",
+    "hegemony_p95_abs_delta",
+    "max_conformance_drift",
+    "missed_links",
+    "visible_selected",
+    "naive_hegemony_mean_abs_delta",
+    "naive_hegemony_max_abs_delta",
+    "naive_hegemony_p95_abs_delta",
+    "naive_max_conformance_drift",
+    "naive_missed_links",
+    "naive_visible_selected",
+    "within_tolerance",
+    "greedy_order",
+)
+
+
+def main(path: str) -> None:
+    with open(path) as f:
+        data = json.load(f)
+    for key in SCHEMA:
+        assert key in data, f"missing {key}"
+    assert isinstance(data["host_cpus"], int) and data["host_cpus"] >= 1
+    assert data["vantages_total"] > 0, "bench ran with no vantages"
+    assert 0 < data["selected"] <= data["vantages_total"], (
+        f"selected {data['selected']} outside 1..={data['vantages_total']}"
+    )
+    tol = data["tolerance"]
+    assert tol > 0.0, "tolerance must be positive (0 degenerates to the full set)"
+
+    # The whole contract: the subset's measured bias honors the bound.
+    assert data["within_tolerance"] is True, "selected subset exceeded tolerance"
+    assert data["hegemony_max_abs_delta"] <= tol, (
+        f"max hegemony delta {data['hegemony_max_abs_delta']} > tolerance {tol}"
+    )
+    assert data["max_conformance_drift"] <= tol, (
+        f"conformance drift {data['max_conformance_drift']} > tolerance {tol}"
+    )
+    assert 0.0 <= data["hegemony_mean_abs_delta"] <= data["hegemony_max_abs_delta"]
+    assert data["hegemony_p95_abs_delta"] <= data["hegemony_max_abs_delta"]
+
+    # Warm ranking never touches the allocator.
+    assert data["selection_allocs_steady"] == 0, (
+        f"warm ranking hit the allocator: {data['selection_allocs_steady']}"
+    )
+
+    # The payoff: fewer vantages means cheaper reverse collection. Small
+    # worlds finish in microseconds where timer noise dominates, so the
+    # wall-clock gate only applies from medium up.
+    assert data["reverse_full_secs"] > 0.0 and data["reverse_selected_secs"] > 0.0
+    if data["scale"] != "small":
+        assert data["reverse_selected_secs"] < data["reverse_full_secs"], (
+            f"selected-subset collection ({data['reverse_selected_secs']:.6f}s) "
+            f"not faster than full ({data['reverse_full_secs']:.6f}s)"
+        )
+        assert data["speedup_selected"] > 1.0
+
+    # Greedy set-cover sanity over the reported order.
+    order = data["greedy_order"]
+    assert len(order) == data["vantages_total"], "greedy order misses vantages"
+    covered = 0
+    for entry in order:
+        assert entry["marginal_links"] <= entry["standalone_links"], (
+            f"vantage {entry['vantage']}: marginal gain exceeds standalone coverage"
+        )
+        assert entry["marginal_mass"] >= 0.0
+        covered += entry["marginal_links"]
+    assert covered <= data["total_links"], "covered links exceed the link universe"
+    selected_cover = sum(e["marginal_links"] for e in order[: data["selected"]])
+    assert selected_cover == data["covered_links_selected"], (
+        "covered_links_selected disagrees with the greedy prefix"
+    )
+    assert data["missed_links"] <= data["naive_missed_links"] or (
+        data["hegemony_max_abs_delta"] <= data["naive_hegemony_max_abs_delta"]
+    ), "greedy subset dominated by the naive top-k on both bias axes"
+
+    print(f"{path} schema OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_vantage.json")

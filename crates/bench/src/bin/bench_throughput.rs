@@ -30,7 +30,7 @@
 use manrs_bench::{Scale, HARNESS_SEED};
 use manrs_bgp::{
     distinct_accept_classes, distinct_classes, par_map, validate_pairs_batch, CollectionStrategy,
-    ParallelConfig, PolicyExtension, PolicySet, PolicyTable, TableCollector,
+    CostReport, ParallelConfig, PolicyExtension, PolicySet, PolicyTable, TableCollector,
 };
 use manrs_irr::{validate_irr, CompiledIrrIndex, IrrStatus};
 use manrs_net::{match_run, match_run_autovec, Asn, BatchScratch, MatchOutcome};
@@ -108,6 +108,10 @@ struct Measurement {
     /// where `serial_secs` holds the forward strategy's time and
     /// `parallel_secs` the reverse strategy's at the same thread count.
     strategy_split: Option<(usize, usize)>,
+    /// The collection plan's own cost-model verdict for the measured
+    /// world — only for `reverse_collection`, so the JSON records what
+    /// `Auto` *would* choose alongside what both strategies cost.
+    cost_report: Option<CostReport>,
     /// Steady-state heap allocations of one *serial* batch run (last
     /// rep, warm scratch) — only for `validation_batch`, where it must
     /// be zero.
@@ -433,6 +437,7 @@ fn measure_scale(
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: Some(t_legacy),
         strategy_split: None,
+        cost_report: None,
         batch_allocations: None,
     });
 
@@ -457,6 +462,8 @@ fn measure_scale(
         rib_reverse.pool(),
         "reverse collection interned a different pool"
     );
+    let cost =
+        collector.clone().parallel(*parallel).plan().cost_report(&world.announcements);
     out.push(Measurement {
         scale: name,
         stage: "reverse_collection",
@@ -470,6 +477,7 @@ fn measure_scale(
             world.vantages.len(),
             distinct_classes(&world.announcements, world.policies.active_union()),
         )),
+        cost_report: Some(cost),
         batch_allocations: None,
     });
 
@@ -540,6 +548,7 @@ fn measure_scale(
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
         strategy_split: None,
+        cost_report: None,
         batch_allocations: None,
     });
 
@@ -567,6 +576,7 @@ fn measure_scale(
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
         strategy_split: None,
+        cost_report: None,
         batch_allocations: None,
     });
 
@@ -607,6 +617,7 @@ fn measure_scale(
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
         strategy_split: None,
+        cost_report: None,
         batch_allocations: Some(batch_allocs),
     });
 }
@@ -678,6 +689,7 @@ fn measure_kernel(out: &mut Vec<Measurement>) {
         peak_rss_kb: peak_rss_kb(),
         legacy_serial_secs: None,
         strategy_split: None,
+        cost_report: None,
         batch_allocations: None,
     });
 }
@@ -720,6 +732,21 @@ fn render_json(threads: usize, measurements: &[Measurement], mixes: &[MixRecord]
             let _ = writeln!(json, "      \"reverse_secs\": {:.6},", m.parallel_secs);
             let _ = writeln!(json, "      \"vantage_count\": {vantages},");
             let _ = writeln!(json, "      \"class_count\": {classes},");
+        }
+        if let Some(cost) = m.cost_report {
+            let _ = writeln!(json, "      \"forward_cost\": {:.3},", cost.forward_cost);
+            let _ = writeln!(json, "      \"reverse_cost\": {:.3},", cost.reverse_cost);
+            let _ = writeln!(json, "      \"closure_sum\": {},", cost.closure_sum);
+            let _ = writeln!(json, "      \"cost_path_aware\": {},", cost.path_aware);
+            let _ = writeln!(
+                json,
+                "      \"chosen_strategy\": \"{}\",",
+                match cost.chosen {
+                    CollectionStrategy::Forward => "forward",
+                    CollectionStrategy::Reverse => "reverse",
+                    CollectionStrategy::Auto => unreachable!("cost reports never choose Auto"),
+                }
+            );
         }
         if let Some(batch_allocs) = m.batch_allocations {
             let _ = writeln!(json, "      \"batch_allocations\": {batch_allocs},");

@@ -1,0 +1,290 @@
+//! Benchmark: vantage-point value optimization (`manrs_ihr::selection`).
+//!
+//! Collecting a route table costs per (vantage × acceptance-class) on
+//! the reverse strategy, so every redundant vantage point in the feed
+//! is pure waste. The [`VantageSelector`] ranks vantages by marginal
+//! coverage (new AS links plus incremental hegemony mass over the
+//! interned path pool) and `select_within(tol)` picks the smallest
+//! greedy prefix whose measured hegemony/conformance bias against the
+//! full-vantage ground truth stays within `tol`. This bench measures
+//! the whole chain:
+//!
+//! * `selection_secs` — one warm `rank_into` over the collected RIB
+//!   (best of reps); `selection_allocs_steady` is the allocation count
+//!   of a warm serial ranking pass and must be **zero**.
+//! * `reverse_full_secs` / `reverse_selected_secs` /
+//!   `reverse_naive_secs` — explicit reverse-strategy collection over
+//!   all vantages, over the tolerance-selected subset, and over the
+//!   naive standalone-coverage top-k of the same size.
+//!   `speedup_selected = full / selected` is the headline gate.
+//! * The measured [`BiasReport`] of both subsets — the selected set
+//!   must satisfy `within(tolerance)`; the naive set of equal size is
+//!   recorded for comparison (it typically misses more links).
+//!
+//! Results go to `BENCH_vantage.json` (gated by
+//! `ci/check_vantage_bench.py`). `MANRS_SCALE` picks the world size;
+//! `MANRS_BENCH_SEED` overrides the world seed; `MANRS_THREADS`
+//! bounds the fan-out; `MANRS_VANTAGE_TOL` overrides the tolerance.
+
+use manrs_bench::{harness_seed, Scale};
+use manrs_bgp::{CollectionStrategy, ParallelConfig, TableCollector, VantageSet};
+use manrs_ihr::{BiasReport, SelectionScratch, VantageRanking, VantageSelector};
+use manrs_scenario::ScenarioWorld;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Heap-allocation counter wrapped around the system allocator, so the
+/// steady-state probe can assert a warm serial ranking pass touches the
+/// allocator zero times. Only growth (`alloc`/`realloc`) counts.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Default bias tolerance requested from `select_within`.
+const DEFAULT_TOLERANCE: f64 = 0.05;
+
+/// Best-of-`reps` wall time for `f`.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn bias_json(json: &mut String, prefix: &str, bias: &BiasReport) {
+    let _ = writeln!(json, "  \"{prefix}hegemony_mean_abs_delta\": {:.9},", bias.hegemony_mean_abs_delta);
+    let _ = writeln!(json, "  \"{prefix}hegemony_max_abs_delta\": {:.9},", bias.hegemony_max_abs_delta);
+    let _ = writeln!(json, "  \"{prefix}hegemony_p95_abs_delta\": {:.9},", bias.hegemony_p95_abs_delta);
+    let _ = writeln!(json, "  \"{prefix}max_conformance_drift\": {:.9},", bias.max_conformance_drift);
+    let _ = writeln!(json, "  \"{prefix}missed_links\": {},", bias.missed_links);
+    let _ = writeln!(json, "  \"{prefix}visible_selected\": {},", bias.visible_selected);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: &str,
+    threads: usize,
+    seed: u64,
+    tolerance: f64,
+    ranking: &VantageRanking,
+    selected: &VantageSet,
+    bias_selected: &BiasReport,
+    bias_naive: &BiasReport,
+    selection_secs: f64,
+    selection_allocs_steady: u64,
+    reverse_full_secs: f64,
+    reverse_selected_secs: f64,
+    reverse_naive_secs: f64,
+) -> String {
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let k = selected.len();
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"tolerance\": {tolerance},");
+    let _ = writeln!(json, "  \"vantages_total\": {},", ranking.scores.len());
+    let _ = writeln!(json, "  \"selected\": {k},");
+    let _ = writeln!(json, "  \"total_links\": {},", ranking.total_links);
+    let _ = writeln!(json, "  \"total_weight\": {},", ranking.total_weight);
+    let _ = writeln!(json, "  \"covered_links_selected\": {},", ranking.covered_links(k));
+    let _ = writeln!(json, "  \"visible_full\": {},", bias_selected.visible_full);
+    let _ = writeln!(json, "  \"ases_scored\": {},", bias_selected.ases_scored);
+    let _ = writeln!(json, "  \"selection_secs\": {selection_secs:.6},");
+    let _ = writeln!(json, "  \"selection_allocs_steady\": {selection_allocs_steady},");
+    let _ = writeln!(json, "  \"reverse_full_secs\": {reverse_full_secs:.6},");
+    let _ = writeln!(json, "  \"reverse_selected_secs\": {reverse_selected_secs:.6},");
+    let _ = writeln!(json, "  \"reverse_naive_secs\": {reverse_naive_secs:.6},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_selected\": {:.3},",
+        reverse_full_secs / reverse_selected_secs.max(1e-12)
+    );
+    bias_json(&mut json, "", bias_selected);
+    bias_json(&mut json, "naive_", bias_naive);
+    let _ = writeln!(json, "  \"within_tolerance\": {},", bias_selected.within(tolerance));
+    json.push_str("  \"greedy_order\": [\n");
+    for (i, score) in ranking.scores.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"vantage\": {}, \"marginal_links\": {}, \"marginal_mass\": {:.9}, \"standalone_links\": {}}}{}",
+            score.vantage.value(),
+            score.marginal_links,
+            score.marginal_mass,
+            score.standalone_links,
+            if i + 1 == ranking.scores.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}
+
+fn main() {
+    let scale_name = std::env::var("MANRS_SCALE").unwrap_or_else(|_| "medium".into());
+    let scale = Scale::from_env();
+    let par = ParallelConfig::from_env();
+    let threads = par.effective_threads(usize::MAX);
+    let seed = harness_seed();
+    let tolerance = std::env::var("MANRS_VANTAGE_TOL")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let reps = match scale {
+        Scale::Small => 5,
+        _ => 3,
+    };
+
+    eprintln!("[world] building {scale_name} world (seed {seed}) ...");
+    let start = Instant::now();
+    let world = ScenarioWorld::builder(scale.config(seed)).parallel(par).build();
+    eprintln!(
+        "[world] {:.2}s ({} ASes, {} pairs, {} vantages)",
+        start.elapsed().as_secs_f64(),
+        world.world.topology.len(),
+        world.announcements.len(),
+        world.vantages.len()
+    );
+
+    // Selection: warm the scratch once, then take the best-of-reps warm
+    // ranking time at the configured thread count.
+    let selector = VantageSelector::new(&world.rib).parallel(par);
+    let mut scratch = SelectionScratch::new();
+    let mut ranking = VantageRanking::default();
+    selector.rank_into(&mut scratch, &mut ranking);
+    let (selection_secs, ()) = time_best(reps, || selector.rank_into(&mut scratch, &mut ranking));
+    eprintln!(
+        "[rank] {} vantages, {} links, {selection_secs:.4}s warm",
+        ranking.scores.len(),
+        ranking.total_links
+    );
+
+    // Steady-state allocation probe: a *serial* selector with its own
+    // warm scratch — a second ranking pass must not allocate.
+    let serial_selector = VantageSelector::new(&world.rib).parallel(ParallelConfig::serial());
+    let mut serial_scratch = SelectionScratch::new();
+    let mut serial_ranking = VantageRanking::default();
+    serial_selector.rank_into(&mut serial_scratch, &mut serial_ranking);
+    let before = alloc_count();
+    serial_selector.rank_into(&mut serial_scratch, &mut serial_ranking);
+    let selection_allocs_steady = alloc_count() - before;
+    assert_eq!(serial_ranking, ranking, "serial ranking diverged from parallel");
+    eprintln!("[alloc] steady-state allocations across warm ranking: {selection_allocs_steady}");
+
+    // Minimal subset within tolerance, and the naive standalone top-k
+    // of the same size as the strawman.
+    let (selected, bias_selected) = selector.select_within(&ranking, tolerance);
+    let naive = ranking.naive_top(selected.len());
+    let bias_naive = selector.bias_of(&naive);
+    eprintln!(
+        "[select] {}/{} vantages within tol {tolerance} (max heg delta {:.6}, missed links {})",
+        selected.len(),
+        ranking.scores.len(),
+        bias_selected.hegemony_max_abs_delta,
+        bias_selected.missed_links
+    );
+    assert!(
+        bias_selected.within(tolerance),
+        "select_within returned a set violating its own tolerance: {bias_selected:?}"
+    );
+
+    // Reverse-strategy collection at full, selected, and naive vantage
+    // sets — the cost the selection actually saves.
+    let collector =
+        TableCollector::new(&world.world.topology, &world.policies, &world.vantages).parallel(par);
+    let (reverse_full_secs, rib_full) = time_best(reps, || {
+        collector
+            .clone()
+            .plan()
+            .strategy(CollectionStrategy::Reverse)
+            .collect(&world.announcements)
+    });
+    let (reverse_selected_secs, rib_selected) = time_best(reps, || {
+        collector
+            .clone()
+            .plan()
+            .strategy(CollectionStrategy::Reverse)
+            .vantage_set(&selected)
+            .collect(&world.announcements)
+    });
+    let (reverse_naive_secs, _) = time_best(reps, || {
+        collector
+            .clone()
+            .plan()
+            .strategy(CollectionStrategy::Reverse)
+            .vantage_set(&naive)
+            .collect(&world.announcements)
+    });
+    // The subset collection must be the projection of the full table:
+    // every selected observation's paths appear in the full RIB.
+    let full_paths: usize = rib_full.observations.iter().map(|o| o.paths.len()).sum();
+    let selected_paths: usize = rib_selected.observations.iter().map(|o| o.paths.len()).sum();
+    assert!(selected_paths <= full_paths, "subset collection grew the table");
+    assert_eq!(rib_full.observations.len(), rib_selected.observations.len());
+
+    println!(
+        "{:<8} {:>9} {:>9} {:>12} {:>12} {:>12} {:>12} {:>9} {:>8}",
+        "scale", "vantages", "selected", "rank s", "full s", "selected s", "naive s", "speedup", "allocs"
+    );
+    println!(
+        "{:<8} {:>9} {:>9} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>8.2}x {:>8}",
+        scale_name,
+        ranking.scores.len(),
+        selected.len(),
+        selection_secs,
+        reverse_full_secs,
+        reverse_selected_secs,
+        reverse_naive_secs,
+        reverse_full_secs / reverse_selected_secs.max(1e-12),
+        selection_allocs_steady,
+    );
+
+    let json = render_json(
+        &scale_name,
+        threads,
+        seed,
+        tolerance,
+        &ranking,
+        &selected,
+        &bias_selected,
+        &bias_naive,
+        selection_secs,
+        selection_allocs_steady,
+        reverse_full_secs,
+        reverse_selected_secs,
+        reverse_naive_secs,
+    );
+    let path = "BENCH_vantage.json";
+    std::fs::write(path, &json).expect("write benchmark artifact");
+    eprintln!("wrote {path}");
+}

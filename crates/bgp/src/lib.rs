@@ -70,5 +70,6 @@ pub use propagate::{
 };
 pub use stats::{moas_conflicts, table_stats, TableStats};
 pub use table::{
-    distinct_accept_classes, distinct_classes, CollectionPlan, CollectionStrategy, TableCollector,
+    distinct_accept_classes, distinct_classes, CollectionPlan, CollectionStrategy, CostReport,
+    TableCollector, VantageSet,
 };

@@ -130,6 +130,13 @@ impl PathPool {
         &self.universe
     }
 
+    /// Iterates the ids of all interned paths in positional order —
+    /// the way to walk the pool per distinct path (rather than per
+    /// observation) without constructing ids by hand.
+    pub fn ids(&self) -> impl Iterator<Item = PathId> {
+        (0..self.len() as u32).map(PathId)
+    }
+
     /// Iterates all interned paths in id order.
     pub fn iter(&self) -> impl Iterator<Item = &[Asn]> + '_ {
         (0..self.len()).map(|i| self.path(PathId(i as u32)))

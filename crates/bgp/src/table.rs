@@ -99,6 +99,76 @@ pub fn distinct_accept_classes(announcements: &[Announcement], active: PolicySet
 const REVERSE_ITEM_BASE: f64 = 0.55;
 const REVERSE_ITEM_PER_CLOSURE: f64 = 0.75;
 
+/// An explicit, ordered set of vantage ASes for collection — the
+/// output of vantage-value selection (`manrs_ihr::selection`) and the
+/// input of [`CollectionPlan::vantage_set`].
+///
+/// Order is significant: collection emits one path per vantage in set
+/// order, so two plans given the same `VantageSet` produce bit-for-bit
+/// identical RIBs. Selection emits subsets in the *original* vantage
+/// order (not greedy-pick order) for exactly this reason — collecting
+/// on the subset equals projecting the full-vantage RIB onto it.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct VantageSet {
+    vantages: Vec<Asn>,
+}
+
+impl VantageSet {
+    /// Wraps an ordered list of vantage ASes.
+    pub fn new(vantages: Vec<Asn>) -> Self {
+        VantageSet { vantages }
+    }
+
+    /// The vantages, in collection order.
+    pub fn vantages(&self) -> &[Asn] {
+        &self.vantages
+    }
+
+    /// Number of vantages in the set.
+    pub fn len(&self) -> usize {
+        self.vantages.len()
+    }
+
+    /// True when the set holds no vantages.
+    pub fn is_empty(&self) -> bool {
+        self.vantages.is_empty()
+    }
+
+    /// True when `asn` is in the set (linear scan; sets are small).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.vantages.contains(&asn)
+    }
+}
+
+/// The [`CollectionStrategy::Auto`] cost decision, made queryable: both
+/// modelled costs, the counts that drive them, and the strategy the
+/// plan resolves to. Produced by [`CollectionPlan::cost_report`]; the
+/// resolution path itself goes through this same computation, so the
+/// report *is* the decision, not a parallel estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Vantage count the reverse cost scales with (the plan's selected
+    /// vantage set, not the topology's full population).
+    pub vantages: usize,
+    /// Distinct (origin, acceptance-class) classes — forward work units.
+    pub origin_classes: usize,
+    /// Distinct acceptance classes — reverse traversals per vantage.
+    pub accept_classes: usize,
+    /// Sum of the selected vantages' provider-closure sizes.
+    pub closure_sum: usize,
+    /// Modelled forward cost, in units of one forward propagation.
+    pub forward_cost: f64,
+    /// Modelled reverse cost, same units.
+    pub reverse_cost: f64,
+    /// True when the active union reads the path — reverse is illegal
+    /// and every requested strategy resolves to forward.
+    pub path_aware: bool,
+    /// The strategy the plan was configured with.
+    pub requested: CollectionStrategy,
+    /// The strategy the plan resolves to (never `Auto`).
+    pub chosen: CollectionStrategy,
+}
+
 /// Builder-style entry point for whole-table collection: fix the
 /// topology, policies, and vantage points once, optionally override the
 /// parallelism, then collect one or more announcement sets.
@@ -194,6 +264,19 @@ impl<'a> CollectionPlan<'a> {
         self
     }
 
+    /// Collects from `set`'s vantages instead of the collector's full
+    /// population. The borrow must outlive the plan, which is why the
+    /// set is taken by reference — a selection computed once (e.g. by
+    /// `SweepBase`) serves every subsequent collection.
+    ///
+    /// [`CollectionStrategy::Auto`]'s reverse cost scales with the
+    /// *selected* vantage count and provider closures, so shrinking the
+    /// set flips more workloads to reverse.
+    pub fn vantage_set(mut self, set: &'a VantageSet) -> Self {
+        self.vantages = set.vantages();
+        self
+    }
+
     /// The strategy this plan resolves to for this announcement set,
     /// under the policy union of this plan's table.
     ///
@@ -219,6 +302,53 @@ impl<'a> CollectionPlan<'a> {
         self.resolve_with(self.policies.active_union(), announcements)
     }
 
+    /// The full cost decision behind [`CollectionPlan::resolved_strategy`]:
+    /// modelled forward/reverse costs, the counts that drive them, and
+    /// the resolved strategy, under this plan's table's active policy
+    /// union. Resolution delegates here, so there is exactly one cost
+    /// implementation.
+    pub fn cost_report(&self, announcements: &[Announcement]) -> CostReport {
+        self.cost_report_with(self.policies.active_union(), announcements)
+    }
+
+    /// [`CollectionPlan::cost_report`] under an explicit active union.
+    fn cost_report_with(&self, active: PolicySet, announcements: &[Announcement]) -> CostReport {
+        let origin_classes = distinct_classes(announcements, active);
+        let accept_classes = distinct_accept_classes(announcements, active);
+        let closure_sum: usize =
+            self.vantages.iter().map(|&v| self.provider_closure_len(v)).sum();
+        let forward_cost = origin_classes as f64;
+        let reverse_cost = accept_classes as f64
+            * (REVERSE_ITEM_BASE * self.vantages.len() as f64
+                + REVERSE_ITEM_PER_CLOSURE * closure_sum as f64);
+        let path_aware = active.reads_path();
+        let chosen = if path_aware {
+            CollectionStrategy::Forward
+        } else {
+            match self.strategy {
+                CollectionStrategy::Auto => {
+                    if reverse_cost < forward_cost {
+                        CollectionStrategy::Reverse
+                    } else {
+                        CollectionStrategy::Forward
+                    }
+                }
+                s => s,
+            }
+        };
+        CostReport {
+            vantages: self.vantages.len(),
+            origin_classes,
+            accept_classes,
+            closure_sum,
+            forward_cost,
+            reverse_cost,
+            path_aware,
+            requested: self.strategy,
+            chosen,
+        }
+    }
+
     /// [`CollectionPlan::resolved_strategy`] under an explicit active
     /// policy union.
     fn resolve_with(
@@ -226,30 +356,7 @@ impl<'a> CollectionPlan<'a> {
         active: PolicySet,
         announcements: &[Announcement],
     ) -> CollectionStrategy {
-        if active.reads_path() {
-            return CollectionStrategy::Forward;
-        }
-        match self.strategy {
-            CollectionStrategy::Auto => {
-                let forward_cost = distinct_classes(announcements, active) as f64;
-                let per_vantage: f64 = self
-                    .vantages
-                    .iter()
-                    .map(|&v| {
-                        REVERSE_ITEM_BASE
-                            + REVERSE_ITEM_PER_CLOSURE * self.provider_closure_len(v) as f64
-                    })
-                    .sum();
-                let reverse_cost =
-                    distinct_accept_classes(announcements, active) as f64 * per_vantage;
-                if reverse_cost < forward_cost {
-                    CollectionStrategy::Reverse
-                } else {
-                    CollectionStrategy::Forward
-                }
-            }
-            s => s,
-        }
+        self.cost_report_with(active, announcements).chosen
     }
 
     /// Size of `vantage`'s provider closure in the topology (the ASes
@@ -600,6 +707,107 @@ mod tests {
         // path-aware mix.
         let rib = TableCollector::new(&t, &policies, &one).collect(&anns);
         assert_eq!(rib.observations.len(), 3);
+    }
+
+    #[test]
+    fn cost_report_is_the_resolution() {
+        let t = topo();
+        let policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
+        let anns = vec![
+            ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.1.0.0/16", 3, RpkiStatus::InvalidAsn, IrrStatus::Valid),
+            ann("10.2.0.0/16", 4, RpkiStatus::Valid, IrrStatus::Valid),
+        ];
+        let one = [Asn(1)];
+        let plan = TableCollector::new(&t, &policies, &one).plan();
+        let report = plan.cost_report(&anns);
+        assert_eq!(report.vantages, 1);
+        assert_eq!(report.origin_classes, 3);
+        assert_eq!(report.accept_classes, 2);
+        assert_eq!(report.closure_sum, 1, "AS1 has no providers");
+        assert!((report.forward_cost - 3.0).abs() < 1e-12);
+        // 2 accept classes × (0.55 + 0.75 × 1) = 2.6.
+        assert!((report.reverse_cost - 2.6).abs() < 1e-12);
+        assert!(!report.path_aware);
+        assert_eq!(report.requested, CollectionStrategy::Auto);
+        assert_eq!(report.chosen, CollectionStrategy::Reverse);
+        assert_eq!(report.chosen, plan.resolved_strategy(&anns));
+        // Path-aware deployment: both costs still reported, forward
+        // forced regardless of the requested strategy.
+        let mut aware = PolicyTable::with_default(PolicySet::MANRS_ISP);
+        aware.set(Asn(4), PolicySet::OPEN.with(PolicyExtension::Aspa));
+        let plan = TableCollector::new(&t, &aware, &one).plan().strategy(CollectionStrategy::Reverse);
+        let report = plan.cost_report(&anns);
+        assert!(report.path_aware);
+        assert_eq!(report.requested, CollectionStrategy::Reverse);
+        assert_eq!(report.chosen, CollectionStrategy::Forward);
+    }
+
+    #[test]
+    fn vantage_set_overrides_population_and_flips_auto() {
+        let t = topo();
+        let policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
+        let anns = vec![
+            ann("10.0.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.1.0.0/16", 3, RpkiStatus::InvalidAsn, IrrStatus::Valid),
+            ann("10.2.0.0/16", 4, RpkiStatus::Valid, IrrStatus::Valid),
+        ];
+        let four = [Asn(1), Asn(2), Asn(3), Asn(4)];
+        let collector = TableCollector::new(&t, &policies, &four);
+        assert_eq!(
+            collector.plan().resolved_strategy(&anns),
+            CollectionStrategy::Forward,
+            "full population: reverse too expensive"
+        );
+        let selected = VantageSet::new(vec![Asn(1)]);
+        let plan = collector.plan().vantage_set(&selected);
+        assert_eq!(plan.cost_report(&anns).vantages, 1);
+        assert_eq!(
+            plan.resolved_strategy(&anns),
+            CollectionStrategy::Reverse,
+            "selected set flips Auto to reverse"
+        );
+    }
+
+    /// Collecting on a vantage subset equals projecting the
+    /// full-vantage RIB onto it: per-vantage paths are independent, so
+    /// the subset RIB's path lists are the full RIB's filtered to the
+    /// subset's vantages.
+    #[test]
+    fn vantage_subset_collection_matches_projection() {
+        let t = wide_topo(160);
+        let mut policies = PolicyTable::default();
+        for asn in (2u32..=160).step_by(7) {
+            policies.set(Asn(asn), PolicySet::OPEN.with(PolicyExtension::Rov));
+        }
+        let statuses = [
+            (RpkiStatus::Valid, IrrStatus::Valid),
+            (RpkiStatus::InvalidAsn, IrrStatus::Valid),
+            (RpkiStatus::NotFound, IrrStatus::NotFound),
+        ];
+        let anns: Vec<Announcement> = (0..90u32)
+            .map(|i| {
+                let (rpki, irr) = statuses[(i % 3) as usize];
+                ann(&format!("10.{}.{}.0/24", i / 256, i % 256), 1 + (i * 3) % 160, rpki, irr)
+            })
+            .collect();
+        let vantages = [Asn(1), Asn(2), Asn(15), Asn(80), Asn(160)];
+        let collector = TableCollector::new(&t, &policies, &vantages)
+            .parallel(ParallelConfig::serial());
+        let full = collector.collect(&anns);
+        // Subset in original vantage order.
+        let subset = VantageSet::new(vec![Asn(2), Asn(80)]);
+        let sub = collector.plan().vantage_set(&subset).collect(&anns);
+        assert_eq!(sub.vantages, subset.vantages());
+        assert_eq!(sub.observations.len(), full.observations.len());
+        for (so, fo) in sub.observations.iter().zip(&full.observations) {
+            let projected: Vec<Vec<Asn>> = full
+                .materialize_paths(fo)
+                .into_iter()
+                .filter(|p| subset.contains(p[0]))
+                .collect();
+            assert_eq!(sub.materialize_paths(so), projected, "{:?}", so.prefix);
+        }
     }
 
     #[test]

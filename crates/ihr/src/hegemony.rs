@@ -7,14 +7,53 @@
 //! For a single prefix with one path per viewpoint, the per-viewpoint
 //! fraction is an indicator, and hegemony reduces to the trimmed mean of
 //! indicators. Scores sit in [0, 1]; the origin trivially scores 1.
+//!
+//! There is exactly one scoring implementation: [`HegemonyCounter`],
+//! a flat dense-id counter over pool-interned paths. The original
+//! [`hegemony_scores`] free function survives as a thin wrapper that
+//! interns its materialized paths into a throwaway pool and defers to
+//! the counter.
 
-use manrs_bgp::{PathId, PathPool};
+use manrs_bgp::{PathId, PathInterner, PathPool};
 use manrs_net::Asn;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// The fraction trimmed from *each* side of the viewpoint distribution
 /// (10%, following the AS hegemony paper).
 pub const TRIM_FRACTION: f64 = 0.1;
+
+/// Trim parameters for `v` viewpoints: `(trim, kept)` where `trim`
+/// indicators are dropped from each side and `kept = v - 2·trim`
+/// survive. `None` when nothing survives (`v == 0` or the trim eats
+/// the whole distribution).
+#[inline]
+fn trim_params(v: usize) -> Option<(usize, usize)> {
+    if v == 0 {
+        return None;
+    }
+    let trim = ((v as f64) * TRIM_FRACTION).floor() as usize;
+    let kept = v - 2 * trim;
+    if kept == 0 {
+        None
+    } else {
+        Some((trim, kept))
+    }
+}
+
+/// Trimmed mean of `count` ones and `v - count` zeros. The sorted
+/// indicator list is [0 × zeros, 1 × ones]; the low-side trim removes
+/// zeros first (then ones if it runs out), the high-side trim removes
+/// ones first.
+#[inline]
+fn trimmed_mean(count: usize, v: usize, trim: usize, kept: usize) -> f64 {
+    let ones = count.min(v);
+    let zeros = v - ones;
+    let low_from_zeros = trim.min(zeros);
+    let low_from_ones = trim - low_from_zeros;
+    let high_from_ones = trim.min(ones);
+    let surviving_ones = ones.saturating_sub(low_from_ones + high_from_ones);
+    surviving_ones as f64 / kept as f64
+}
 
 /// Computes hegemony scores for every AS appearing on `paths`, where
 /// each path is one viewpoint's AS path toward the destination
@@ -31,61 +70,32 @@ pub const TRIM_FRACTION: f64 = 0.1;
 /// `floor(v * 0.1)` are dropped from each end of each AS's indicator
 /// distribution; for small `v` the trim vanishes, matching the
 /// published estimator's behaviour at low viewpoint counts.
+///
+/// This is a compatibility wrapper: it interns `paths` into a
+/// throwaway pool and defers to [`HegemonyCounter::scores`]. Callers
+/// that already hold interned paths should use the counter directly
+/// and skip the interning cost.
 pub fn hegemony_scores(paths: &[Vec<Asn>], viewpoints: usize) -> BTreeMap<Asn, f64> {
-    let v = viewpoints.max(paths.len());
-    let mut scores = BTreeMap::new();
-    if v == 0 || paths.is_empty() {
-        return scores;
+    if paths.is_empty() {
+        return BTreeMap::new();
     }
-    let trim = ((v as f64) * TRIM_FRACTION).floor() as usize;
-    let kept = v - 2 * trim;
-    if kept == 0 {
-        return scores;
-    }
-    // Count, per AS, how many viewpoints' paths contain it. The counter
-    // is a HashMap (O(1) updates on the hot loop); ordering is restored
-    // once at the end when collecting into the BTreeMap result.
-    let mut on_paths: HashMap<Asn, usize> = HashMap::new();
-    // One sort+dedup buffer reused across paths instead of a fresh
-    // BTreeSet per path.
-    let mut unique: Vec<Asn> = Vec::new();
-    for path in paths {
-        // Dedup within a path defensively: a loop would double-count.
-        unique.clear();
-        unique.extend_from_slice(path);
-        unique.sort_unstable();
-        unique.dedup();
-        for &asn in &unique {
-            *on_paths.entry(asn).or_insert(0) += 1;
-        }
-    }
-    // Trimmed mean of `count` ones and `v - count` zeros. The sorted
-    // indicator list is [0 × zeros, 1 × ones]; the low-side trim removes
-    // zeros first (then ones if it runs out), the high-side trim removes
-    // ones first.
-    for (asn, count) in on_paths {
-        let ones = count.min(v);
-        let zeros = v - ones;
-        let low_from_zeros = trim.min(zeros);
-        let low_from_ones = trim - low_from_zeros;
-        let high_from_ones = trim.min(ones);
-        let surviving_ones = ones.saturating_sub(low_from_ones + high_from_ones);
-        let score = surviving_ones as f64 / kept as f64;
-        if score > 0.0 {
-            scores.insert(asn, score);
-        }
-    }
-    scores
+    // Duplicate paths intern to the same id but stay distinct entries
+    // in `ids`, and the counter counts per id occurrence — so two
+    // viewpoints sharing an identical path still count twice, exactly
+    // as the original per-path estimator did.
+    let mut interner = PathInterner::new();
+    let ids: Vec<PathId> = paths.iter().map(|p| interner.intern(p)).collect();
+    let pool = interner.into_pool();
+    HegemonyCounter::new().scores(&pool, &ids, viewpoints)
 }
 
 /// Reusable flat-counter hegemony over pool-interned paths.
 ///
-/// [`hegemony_scores`] hashes every ASN of every path into a fresh
-/// `HashMap` per (prefix, origin) pair. Interned paths come with a dense
-/// `u32` id per distinct ASN (see `manrs_bgp::PathPool`), so the counter
-/// can be a flat `Vec` indexed by dense id and reused across pairs —
-/// no hashing, no per-pair allocation. Scores are bit-for-bit identical
-/// to [`hegemony_scores`] over the materialized paths.
+/// Interned paths come with a dense `u32` id per distinct ASN (see
+/// `manrs_bgp::PathPool`), so the counter is a flat `Vec` indexed by
+/// dense id and reused across (prefix, origin) pairs — no hashing, no
+/// per-pair allocation once warm. [`hegemony_scores`] is a thin
+/// wrapper over this type for callers holding materialized paths.
 #[derive(Debug, Default)]
 pub struct HegemonyCounter {
     /// Per dense id: how many of the current pair's paths contain it.
@@ -106,24 +116,10 @@ impl HegemonyCounter {
         Self::default()
     }
 
-    /// [`hegemony_scores`] over interned paths: `paths` hold ids into
-    /// `pool`, `viewpoints` has the same semantics as there.
-    pub fn scores(
-        &mut self,
-        pool: &PathPool,
-        paths: &[PathId],
-        viewpoints: usize,
-    ) -> BTreeMap<Asn, f64> {
-        let v = viewpoints.max(paths.len());
-        let mut scores = BTreeMap::new();
-        if v == 0 || paths.is_empty() {
-            return scores;
-        }
-        let trim = ((v as f64) * TRIM_FRACTION).floor() as usize;
-        let kept = v - 2 * trim;
-        if kept == 0 {
-            return scores;
-        }
+    /// Counts, per dense id, how many of `paths` contain it (with
+    /// in-path dedup). Fills `counts` and the `touched` reset list;
+    /// the caller must drain both.
+    fn count_paths(&mut self, pool: &PathPool, paths: &[PathId]) {
         let universe = pool.universe().len();
         if self.counts.len() < universe {
             self.counts.resize(universe, 0);
@@ -142,9 +138,102 @@ impl HegemonyCounter {
                 }
             }
         }
+    }
+
+    /// Hegemony over interned paths: `paths` hold ids into `pool`,
+    /// `viewpoints` has the same semantics as [`hegemony_scores`].
+    /// Only strictly positive scores are returned.
+    pub fn scores(
+        &mut self,
+        pool: &PathPool,
+        paths: &[PathId],
+        viewpoints: usize,
+    ) -> BTreeMap<Asn, f64> {
+        let v = viewpoints.max(paths.len());
+        let mut scores = BTreeMap::new();
+        if paths.is_empty() {
+            return scores;
+        }
+        let Some((trim, kept)) = trim_params(v) else {
+            return scores;
+        };
+        self.count_paths(pool, paths);
         for &d in &self.touched {
             let count = self.counts[d as usize] as usize;
             self.counts[d as usize] = 0;
+            let score = trimmed_mean(count, v, trim, kept);
+            if score > 0.0 {
+                scores.insert(pool.universe()[d as usize], score);
+            }
+        }
+        self.touched.clear();
+        scores
+    }
+
+    /// Adds this destination's hegemony scores into `mass`, indexed by
+    /// dense id (`mass[d] += score(universe[d])`). Semantics match
+    /// [`HegemonyCounter::scores`]; the only difference is the
+    /// accumulation target — a caller-owned flat vector instead of a
+    /// fresh `BTreeMap` — which keeps whole-table aggregation (one
+    /// accumulate per visible pair) allocation-free once warm.
+    ///
+    /// `mass` must cover the pool's universe; shorter slices panic.
+    pub fn accumulate_mass(
+        &mut self,
+        pool: &PathPool,
+        paths: &[PathId],
+        viewpoints: usize,
+        mass: &mut [f64],
+    ) {
+        let v = viewpoints.max(paths.len());
+        if paths.is_empty() {
+            return;
+        }
+        let Some((trim, kept)) = trim_params(v) else {
+            return;
+        };
+        self.count_paths(pool, paths);
+        for &d in &self.touched {
+            let count = self.counts[d as usize] as usize;
+            self.counts[d as usize] = 0;
+            mass[d as usize] += trimmed_mean(count, v, trim, kept);
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// The original pre-consolidation estimator (HashMap count per
+    /// pair), kept verbatim as the equivalence oracle for the wrapper
+    /// and the counter. Any drift between this and the dense-id path
+    /// is a scoring bug.
+    fn legacy_hegemony_scores(paths: &[Vec<Asn>], viewpoints: usize) -> BTreeMap<Asn, f64> {
+        let v = viewpoints.max(paths.len());
+        let mut scores = BTreeMap::new();
+        if v == 0 || paths.is_empty() {
+            return scores;
+        }
+        let trim = ((v as f64) * TRIM_FRACTION).floor() as usize;
+        let kept = v - 2 * trim;
+        if kept == 0 {
+            return scores;
+        }
+        let mut on_paths: HashMap<Asn, usize> = HashMap::new();
+        let mut unique: Vec<Asn> = Vec::new();
+        for path in paths {
+            unique.clear();
+            unique.extend_from_slice(path);
+            unique.sort_unstable();
+            unique.dedup();
+            for &asn in &unique {
+                *on_paths.entry(asn).or_insert(0) += 1;
+            }
+        }
+        for (asn, count) in on_paths {
             let ones = count.min(v);
             let zeros = v - ones;
             let low_from_zeros = trim.min(zeros);
@@ -153,18 +242,11 @@ impl HegemonyCounter {
             let surviving_ones = ones.saturating_sub(low_from_ones + high_from_ones);
             let score = surviving_ones as f64 / kept as f64;
             if score > 0.0 {
-                scores.insert(pool.universe()[d as usize], score);
+                scores.insert(asn, score);
             }
         }
-        self.touched.clear();
         scores
     }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use manrs_bgp::PathInterner;
 
     fn paths(specs: &[&[u32]]) -> Vec<Vec<Asn>> {
         specs
@@ -240,17 +322,40 @@ mod tests {
         }
     }
 
-    /// The dense counter matches the HashMap estimator exactly —
+    /// Shared scenarios for the oracle tests: loops, duplicate paths
+    /// across viewpoints, trim-active sizes, empties.
+    fn scenario_pairs() -> Vec<Vec<Vec<Asn>>> {
+        vec![
+            paths(&[&[1, 2, 9], &[2, 9], &[3, 2, 9], &[4, 9], &[1, 9]]),
+            paths(&[&[1, 2, 2, 9], &[3, 9]]), // loop: dedup in path
+            paths(&[&[1, 2, 9], &[1, 2, 9], &[3, 9]]), // duplicate path, two viewpoints
+            (0..12).map(|i| vec![Asn(100 + i), Asn(7), Asn(9)]).collect(),
+            vec![],
+        ]
+    }
+
+    /// The consolidated wrapper reproduces the pre-consolidation
+    /// HashMap estimator exactly, across trim regimes, duplicate
+    /// paths, loops, and empty inputs.
+    #[test]
+    fn wrapper_matches_legacy_estimator() {
+        for ps in scenario_pairs() {
+            for viewpoints in [0, 1, ps.len(), 10, 20, 50] {
+                assert_eq!(
+                    hegemony_scores(&ps, viewpoints),
+                    legacy_hegemony_scores(&ps, viewpoints),
+                    "paths={ps:?} viewpoints={viewpoints}"
+                );
+            }
+        }
+    }
+
+    /// The dense counter matches the legacy estimator exactly —
     /// including loops (in-path dedup), trims, and counter reuse across
     /// pairs with different path sets.
     #[test]
-    fn counter_matches_hashmap_scores() {
-        let pairs: Vec<Vec<Vec<Asn>>> = vec![
-            paths(&[&[1, 2, 9], &[2, 9], &[3, 2, 9], &[4, 9], &[1, 9]]),
-            paths(&[&[1, 2, 2, 9], &[3, 9]]), // loop: dedup in path
-            (0..12).map(|i| vec![Asn(100 + i), Asn(7), Asn(9)]).collect(),
-            vec![],
-        ];
+    fn counter_matches_legacy_scores() {
+        let pairs = scenario_pairs();
         let mut interner = PathInterner::new();
         let interned: Vec<Vec<PathId>> = pairs
             .iter()
@@ -262,10 +367,41 @@ mod tests {
             for viewpoints in [0, 1, ps.len(), 20] {
                 assert_eq!(
                     counter.scores(&pool, ids, viewpoints),
-                    hegemony_scores(ps, viewpoints),
+                    legacy_hegemony_scores(ps, viewpoints),
                     "paths={ps:?} viewpoints={viewpoints}"
                 );
             }
+        }
+    }
+
+    /// `accumulate_mass` deposits exactly the `scores` values at each
+    /// AS's dense slot and accumulates across destinations.
+    #[test]
+    fn accumulate_mass_matches_scores() {
+        let pairs = scenario_pairs();
+        let mut interner = PathInterner::new();
+        let interned: Vec<Vec<PathId>> = pairs
+            .iter()
+            .map(|ps| ps.iter().map(|p| interner.intern(p)).collect())
+            .collect();
+        let pool = interner.into_pool();
+        let mut counter = HegemonyCounter::new();
+        let mut mass = vec![0.0f64; pool.universe().len()];
+        let mut expected: BTreeMap<Asn, f64> = BTreeMap::new();
+        for ids in &interned {
+            counter.accumulate_mass(&pool, ids, 10, &mut mass);
+            for (asn, s) in counter.scores(&pool, ids, 10) {
+                *expected.entry(asn).or_insert(0.0) += s;
+            }
+        }
+        for (d, asn) in pool.universe().iter().enumerate() {
+            let want = expected.get(asn).copied().unwrap_or(0.0);
+            assert!(
+                (mass[d] - want).abs() < 1e-12,
+                "dense {d} ({asn:?}): {} vs {}",
+                mass[d],
+                want
+            );
         }
     }
 }

@@ -13,15 +13,22 @@
 //! * [`dataset`] — builds the two datasets from a [`CollectedRib`],
 //!   carrying the relationship context (was the announcement learned
 //!   from a direct customer?) that the Action 1 analysis needs.
+//! * [`selection`] — vantage-point value optimization: greedy
+//!   marginal-coverage ranking of a RIB's vantages, minimal-subset
+//!   selection within a measured bias tolerance, and the
+//!   [`BiasReport`] quantifying the subset's hegemony/conformance
+//!   drift against the full-vantage ground truth.
 
 pub mod dataset;
 pub mod hegemony;
 pub mod io;
+pub mod selection;
 
 pub use dataset::{build_snapshot, IhrSnapshot, PrefixOriginRecord, SnapshotIndex, TransitRecord};
 pub use hegemony::{hegemony_scores, HegemonyCounter};
 pub use io::{parse_snapshot, write_prefix_origins, write_transits};
+pub use selection::{BiasReport, SelectionScratch, VantageRanking, VantageScore, VantageSelector};
 
-// Re-exported so downstream analysis code can name the RIB type without
-// depending on manrs-bgp directly.
-pub use manrs_bgp::CollectedRib;
+// Re-exported so downstream analysis code can name the RIB and
+// vantage-set types without depending on manrs-bgp directly.
+pub use manrs_bgp::{CollectedRib, VantageSet};

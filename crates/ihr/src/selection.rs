@@ -1,0 +1,898 @@
+//! Vantage-point value optimization.
+//!
+//! Reverse valley-free collection costs one backward traversal per
+//! (vantage × acceptance-class), so wall-clock is linear in the vantage
+//! count — yet most vantages are redundant: a handful of well-placed
+//! peers observe almost every AS link the full population does. The
+//! simulator uniquely holds full-vantage ground truth, so this module
+//! both *selects* a minimal high-value vantage set and *quantifies* the
+//! bias of using it:
+//!
+//! * [`VantageSelector::rank`] scores every vantage by marginal
+//!   coverage — the AS links it is first to observe, weighted by how
+//!   many observations cross them — via a greedy weighted set-cover
+//!   over the interned [`PathPool`]'s dense ids (no per-observation
+//!   hashing), and emits an ordered [`VantageRanking`].
+//! * [`VantageSelector::select_within`] walks ranking prefixes and
+//!   returns the smallest one whose hegemony and conformance results
+//!   stay within a caller-given tolerance of the full-vantage run —
+//!   verified against the actual full table, not estimated.
+//! * [`BiasReport`] makes the speed/fidelity trade-off explicit:
+//!   per-AS hegemony delta distribution, conformance-share drift, and
+//!   missed-link count vs ground truth.
+//!
+//! Everything is integer-ordered (weights are observation counts) and
+//! evaluated in deterministic order, so the ranking — and every table
+//! derived from a selected set — is bit-for-bit identical for any
+//! thread count. The selected [`VantageSet`] plugs straight into
+//! `CollectionPlan::vantage_set`, whose `Auto` cost model scales
+//! reverse cost with the *selected* vantage count.
+//!
+//! [`PathPool`]: manrs_bgp::PathPool
+//! [`VantageSet`]: manrs_bgp::VantageSet
+
+use crate::hegemony::HegemonyCounter;
+use manrs_bgp::{par_map, CollectedRib, ParallelConfig, VantageSet};
+use manrs_net::Asn;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "path not attributable to any vantage" (defensive: a
+/// collected path always starts at its vantage).
+const NO_SLOT: u32 = u32::MAX;
+
+/// One vantage's value scores, in greedy pick order within a
+/// [`VantageRanking`].
+///
+/// `marginal_*` values are relative to the vantages picked before this
+/// one: the links (and link weight) this vantage was first to cover.
+/// `standalone_*` values ignore the rest of the ranking — what the
+/// vantage would cover alone — and drive the naive top-k baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VantageScore {
+    /// The vantage AS.
+    pub vantage: Asn,
+    /// Its slot in the RIB's original vantage order.
+    pub slot: u32,
+    /// Distinct AS links this pick covered first.
+    pub marginal_links: usize,
+    /// Total observation weight of those links (each link weighted by
+    /// how many observation paths cross it, from any vantage).
+    pub marginal_weight: u64,
+    /// `marginal_weight` as a fraction of the total link weight.
+    pub marginal_mass: f64,
+    /// Distinct AS links this vantage observes at all.
+    pub standalone_links: usize,
+    /// Total observation weight of the links it observes.
+    pub standalone_weight: u64,
+    /// `standalone_weight` as a fraction of the total link weight.
+    pub standalone_mass: f64,
+}
+
+/// The full greedy ranking of a RIB's vantages, most valuable first,
+/// with the coverage totals needed to read scores as fractions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct VantageRanking {
+    /// Per-vantage scores in greedy pick order (every vantage appears
+    /// exactly once; redundant vantages trail with zero marginals).
+    pub scores: Vec<VantageScore>,
+    /// The RIB's vantages in their original collection order —
+    /// [`VantageRanking::select`] emits subsets in this order so that
+    /// collecting on a subset equals projecting the full RIB onto it.
+    pub rib_vantages: Vec<Asn>,
+    /// Distinct AS links observed by the full vantage population.
+    pub total_links: usize,
+    /// Total observation weight across those links.
+    pub total_weight: u64,
+}
+
+impl VantageRanking {
+    /// The top-`k` prefix of the ranking as a [`VantageSet`], emitted
+    /// in original RIB vantage order (not greedy order). `k` saturates
+    /// at the vantage count.
+    pub fn select(&self, k: usize) -> VantageSet {
+        let k = k.min(self.scores.len());
+        let mut slots: Vec<u32> = self.scores[..k].iter().map(|s| s.slot).collect();
+        slots.sort_unstable();
+        VantageSet::new(slots.iter().map(|&s| self.rib_vantages[s as usize]).collect())
+    }
+
+    /// The naive baseline: the `k` vantages with the highest
+    /// *standalone* weight (ties broken by RIB slot), ignoring
+    /// redundancy between them. Emitted in RIB order like
+    /// [`VantageRanking::select`].
+    pub fn naive_top(&self, k: usize) -> VantageSet {
+        let k = k.min(self.scores.len());
+        let mut order: Vec<&VantageScore> = self.scores.iter().collect();
+        order.sort_by(|a, b| {
+            b.standalone_weight.cmp(&a.standalone_weight).then(a.slot.cmp(&b.slot))
+        });
+        let mut slots: Vec<u32> = order[..k].iter().map(|s| s.slot).collect();
+        slots.sort_unstable();
+        VantageSet::new(slots.iter().map(|&s| self.rib_vantages[s as usize]).collect())
+    }
+
+    /// Distinct links covered by the top-`k` prefix.
+    pub fn covered_links(&self, k: usize) -> usize {
+        self.scores[..k.min(self.scores.len())].iter().map(|s| s.marginal_links).sum()
+    }
+
+    /// Link weight covered by the top-`k` prefix.
+    pub fn covered_weight(&self, k: usize) -> u64 {
+        self.scores[..k.min(self.scores.len())].iter().map(|s| s.marginal_weight).sum()
+    }
+}
+
+/// Measured bias of collecting from a vantage subset instead of the
+/// full population, computed against the actual full-vantage RIB (the
+/// projection of the full RIB onto a subset *is* what collecting with
+/// that subset produces — per-vantage paths are independent).
+///
+/// Hegemony deltas compare per-AS mean hegemony over all visible
+/// (prefix, origin) pairs; conformance drift compares the visible
+/// conformant / unconformant shares of the whole table. Both live in
+/// [0, 1], so one tolerance bounds both.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BiasReport {
+    /// Vantages in the subset (that exist in the RIB).
+    pub selected: usize,
+    /// Vantages in the full population.
+    pub total_vantages: usize,
+    /// Pairs visible from the full population.
+    pub visible_full: usize,
+    /// Pairs visible from the subset.
+    pub visible_selected: usize,
+    /// ASes with nonzero hegemony mass under either view.
+    pub ases_scored: usize,
+    /// Mean absolute per-AS hegemony delta.
+    pub hegemony_mean_abs_delta: f64,
+    /// Maximum absolute per-AS hegemony delta.
+    pub hegemony_max_abs_delta: f64,
+    /// 95th-percentile absolute per-AS hegemony delta.
+    pub hegemony_p95_abs_delta: f64,
+    /// Max drift across the visible-conformant and visible-unconformant
+    /// shares of the table.
+    pub max_conformance_drift: f64,
+    /// AS links the full population observes but the subset misses.
+    pub missed_links: usize,
+    /// AS links the full population observes.
+    pub total_links: usize,
+}
+
+impl BiasReport {
+    /// True when both hegemony and conformance drift are within `tol`.
+    pub fn within(&self, tol: f64) -> bool {
+        self.hegemony_max_abs_delta <= tol && self.max_conformance_drift <= tol
+    }
+
+    /// A zero-bias report for the full set (or an empty RIB).
+    fn exact(selected: usize, total_vantages: usize, visible: usize, links: usize) -> Self {
+        BiasReport {
+            selected,
+            total_vantages,
+            visible_full: visible,
+            visible_selected: visible,
+            ases_scored: 0,
+            hegemony_mean_abs_delta: 0.0,
+            hegemony_max_abs_delta: 0.0,
+            hegemony_p95_abs_delta: 0.0,
+            max_conformance_drift: 0.0,
+            missed_links: 0,
+            total_links: links,
+        }
+    }
+}
+
+/// Reusable working state for [`VantageSelector`]: every buffer the
+/// prepare / greedy / bias passes need, so a warm selector re-ranks
+/// with **zero** heap allocations on the serial path (gated by
+/// `bench_vantage`'s counting allocator).
+#[derive(Debug, Default)]
+pub struct SelectionScratch {
+    /// (vantage ASN, RIB slot), sorted by ASN for binary search.
+    vantage_slots: Vec<(Asn, u32)>,
+    /// Per pool path: owning vantage slot (`NO_SLOT` if unattributable).
+    path_vantage: Vec<u32>,
+    /// Per pool path: number of observations referencing it.
+    path_weight: Vec<u64>,
+    /// (link key, vantage slot, path index) triples before aggregation.
+    triples: Vec<(u64, u32, u32)>,
+    /// Distinct link keys, sorted; position = dense link id.
+    link_keys: Vec<u64>,
+    /// Per link: total observation weight across all paths crossing it.
+    link_weight: Vec<u64>,
+    /// (slot << 32 | link id), sorted + deduped → the per-vantage CSR.
+    packed: Vec<u64>,
+    /// CSR offsets into `vlink_ids`, one range per vantage slot.
+    vlink_offsets: Vec<u32>,
+    /// CSR payload: distinct link ids observed per vantage.
+    vlink_ids: Vec<u32>,
+    /// Per link: covered flag for the greedy / bias passes.
+    covered: Vec<bool>,
+    /// Vantage slots not yet picked by the greedy pass.
+    remaining: Vec<u32>,
+    /// Per remaining candidate: (gain, new links) this round.
+    gain_buf: Vec<(u64, u32)>,
+    /// Per vantage slot: membership flag for bias projection.
+    sel_mark: Vec<bool>,
+    /// Subset path-id buffer for bias projection.
+    sel_paths: Vec<manrs_bgp::PathId>,
+    /// Per dense ASN id: full-population hegemony mass.
+    mass_full: Vec<f64>,
+    /// Per dense ASN id: subset hegemony mass.
+    mass_sel: Vec<f64>,
+    /// Per-AS |delta| buffer for the percentile stats.
+    deltas: Vec<f64>,
+    /// Dense-id hegemony counter shared by both mass passes.
+    counter: HegemonyCounter,
+    /// True once the link structures describe the current RIB.
+    prepared: bool,
+}
+
+impl SelectionScratch {
+    /// Empty scratch; buffers grow to their high-water marks on first
+    /// use and are reused afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Scores a [`CollectedRib`]'s vantages by marginal coverage and
+/// selects minimal subsets within a measured bias tolerance. See the
+/// module docs for the algorithm; construction is free — all work
+/// happens in [`VantageSelector::rank`] / [`rank_into`] /
+/// [`select_within`].
+///
+/// [`rank_into`]: VantageSelector::rank_into
+/// [`select_within`]: VantageSelector::select_within
+#[derive(Debug, Clone)]
+pub struct VantageSelector<'a> {
+    rib: &'a CollectedRib,
+    parallel: ParallelConfig,
+}
+
+impl<'a> VantageSelector<'a> {
+    /// A selector over `rib` with the thread count taken from
+    /// `MANRS_THREADS` (auto-detected when unset).
+    pub fn new(rib: &'a CollectedRib) -> Self {
+        VantageSelector { rib, parallel: ParallelConfig::from_env() }
+    }
+
+    /// Overrides the parallelism configuration. The ranking is
+    /// bit-for-bit identical for every thread count; parallelism only
+    /// affects wall-clock of the per-round candidate evaluation.
+    pub fn parallel(mut self, cfg: ParallelConfig) -> Self {
+        self.parallel = cfg;
+        self
+    }
+
+    /// Ranks every vantage by greedy marginal coverage. Convenience
+    /// wrapper over [`VantageSelector::rank_into`] with throwaway
+    /// scratch.
+    pub fn rank(&self) -> VantageRanking {
+        let mut scratch = SelectionScratch::new();
+        let mut out = VantageRanking::default();
+        self.rank_into(&mut scratch, &mut out);
+        out
+    }
+
+    /// Ranks every vantage into `out`, reusing `scratch`'s buffers. A
+    /// warm (scratch, out) pair makes this allocation-free on the
+    /// serial path.
+    pub fn rank_into(&self, scratch: &mut SelectionScratch, out: &mut VantageRanking) {
+        self.prepare(scratch);
+        self.greedy_into(scratch, out);
+    }
+
+    /// Measures the bias of collecting from `set` instead of the full
+    /// population, against the actual full-vantage RIB.
+    pub fn bias_of(&self, set: &VantageSet) -> BiasReport {
+        let mut scratch = SelectionScratch::new();
+        self.prepare(&mut scratch);
+        self.bias_prepared(&mut scratch, set)
+    }
+
+    /// The smallest ranking prefix whose measured bias stays within
+    /// `tolerance`, with that prefix's [`BiasReport`].
+    ///
+    /// `tolerance <= 0` asks for exactness and returns the full set
+    /// (whose bias is zero by construction); the scan otherwise walks
+    /// k = 1, 2, … and verifies each prefix against the full run, so
+    /// the bound is measured, never estimated. Termination is
+    /// guaranteed: the full prefix is the full population.
+    pub fn select_within(
+        &self,
+        ranking: &VantageRanking,
+        tolerance: f64,
+    ) -> (VantageSet, BiasReport) {
+        let total = ranking.scores.len();
+        let mut scratch = SelectionScratch::new();
+        self.prepare(&mut scratch);
+        if total == 0 {
+            return (
+                VantageSet::default(),
+                BiasReport::exact(0, 0, self.rib.visible_count(), scratch.link_keys.len()),
+            );
+        }
+        if tolerance <= 0.0 {
+            let set = ranking.select(total);
+            let report = self.bias_prepared(&mut scratch, &set);
+            return (set, report);
+        }
+        for k in 1..=total {
+            let set = ranking.select(k);
+            let report = self.bias_prepared(&mut scratch, &set);
+            if report.within(tolerance) {
+                return (set, report);
+            }
+        }
+        unreachable!("full prefix has zero bias");
+    }
+
+    /// Builds the link structures: attributes every pool path to its
+    /// vantage, weights it by observation references, extracts the AS
+    /// links it crosses (consecutive dense-id pairs), and aggregates
+    /// into global link weights plus a per-vantage CSR of distinct
+    /// links. Pure integer passes over flat arrays — no hashing.
+    fn prepare(&self, scratch: &mut SelectionScratch) {
+        let rib = self.rib;
+        let pool = rib.pool();
+        let npaths = pool.len();
+
+        scratch.vantage_slots.clear();
+        scratch
+            .vantage_slots
+            .extend(rib.vantages.iter().enumerate().map(|(i, &v)| (v, i as u32)));
+        scratch.vantage_slots.sort_unstable();
+
+        // Pass 1: per-path owning vantage (paths run vantage → origin,
+        // so the first hop is the vantage ASN).
+        scratch.path_vantage.clear();
+        scratch.path_vantage.resize(npaths, NO_SLOT);
+        for (i, path) in pool.iter().enumerate() {
+            if let Some(&first) = path.first() {
+                if let Ok(pos) =
+                    scratch.vantage_slots.binary_search_by_key(&first, |&(v, _)| v)
+                {
+                    scratch.path_vantage[i] = scratch.vantage_slots[pos].1;
+                }
+            }
+        }
+
+        // Pass 2: per-path observation weight (how many table entries
+        // reference the interned path).
+        scratch.path_weight.clear();
+        scratch.path_weight.resize(npaths, 0);
+        for obs in &rib.observations {
+            for &id in &obs.paths {
+                scratch.path_weight[id.index()] += 1;
+            }
+        }
+
+        // Pass 3: link triples. A link is a directed adjacency of
+        // dense ids; keys pack (a, b) into a u64 ordered like (a, b).
+        let universe = pool.universe().len() as u64;
+        scratch.triples.clear();
+        for id in pool.ids() {
+            let i = id.index();
+            let vslot = scratch.path_vantage[i];
+            if vslot == NO_SLOT || scratch.path_weight[i] == 0 {
+                continue;
+            }
+            let dense = pool.dense_path(id);
+            for w in dense.windows(2) {
+                if w[0] != w[1] {
+                    let key = w[0] as u64 * universe + w[1] as u64;
+                    scratch.triples.push((key, vslot, i as u32));
+                }
+            }
+        }
+        // Dedup exact repeats (a pathological loop path crossing the
+        // same link twice must count once).
+        scratch.triples.sort_unstable();
+        scratch.triples.dedup();
+
+        // Distinct links, sorted: position in `link_keys` is the link
+        // id the CSR and covered flags index by.
+        scratch.link_keys.clear();
+        scratch.link_keys.extend(scratch.triples.iter().map(|&(k, _, _)| k));
+        scratch.link_keys.dedup();
+        let nlinks = scratch.link_keys.len();
+
+        scratch.link_weight.clear();
+        scratch.link_weight.resize(nlinks, 0);
+        scratch.packed.clear();
+        {
+            // Walk triples and link keys in lockstep (both sorted), so
+            // link-id resolution is a merge, not a per-triple search.
+            let mut l = 0usize;
+            for &(key, vslot, pidx) in &scratch.triples {
+                while scratch.link_keys[l] != key {
+                    l += 1;
+                }
+                scratch.link_weight[l] += scratch.path_weight[pidx as usize];
+                scratch.packed.push((vslot as u64) << 32 | l as u64);
+            }
+        }
+
+        // Per-vantage CSR of distinct observed links.
+        scratch.packed.sort_unstable();
+        scratch.packed.dedup();
+        let nv = rib.vantages.len();
+        scratch.vlink_offsets.clear();
+        scratch.vlink_offsets.resize(nv + 1, 0);
+        scratch.vlink_ids.clear();
+        for &p in &scratch.packed {
+            let vslot = (p >> 32) as usize;
+            scratch.vlink_offsets[vslot + 1] += 1;
+            scratch.vlink_ids.push(p as u32);
+        }
+        for v in 0..nv {
+            scratch.vlink_offsets[v + 1] += scratch.vlink_offsets[v];
+        }
+        scratch.prepared = true;
+    }
+
+    /// Greedy weighted set-cover over the prepared link structures.
+    /// Gains are integers (observation weights) and ties break on
+    /// (new-link count, RIB slot), so the order is exact and
+    /// thread-invariant; fractional masses are derived afterwards.
+    fn greedy_into(&self, scratch: &mut SelectionScratch, out: &mut VantageRanking) {
+        debug_assert!(scratch.prepared);
+        let nv = self.rib.vantages.len();
+        let nlinks = scratch.link_keys.len();
+        let total_weight: u64 = scratch.link_weight.iter().sum();
+
+        out.scores.clear();
+        out.rib_vantages.clear();
+        out.rib_vantages.extend_from_slice(&self.rib.vantages);
+        out.total_links = nlinks;
+        out.total_weight = total_weight;
+
+        scratch.covered.clear();
+        scratch.covered.resize(nlinks, false);
+        scratch.remaining.clear();
+        scratch.remaining.extend(0..nv as u32);
+
+        let norm = if total_weight == 0 { 1.0 } else { total_weight as f64 };
+        while !scratch.remaining.is_empty() {
+            // Split borrows: the evaluation closure reads the CSR and
+            // covered flags while `gain_buf` collects results.
+            let SelectionScratch {
+                vlink_offsets, vlink_ids, link_weight, covered, remaining, gain_buf, ..
+            } = scratch;
+            let eval = |slot: u32| -> (u64, u32) {
+                let (mut gain, mut new_links) = (0u64, 0u32);
+                let lo = vlink_offsets[slot as usize] as usize;
+                let hi = vlink_offsets[slot as usize + 1] as usize;
+                for &l in &vlink_ids[lo..hi] {
+                    if !covered[l as usize] {
+                        gain += link_weight[l as usize];
+                        new_links += 1;
+                    }
+                }
+                (gain, new_links)
+            };
+            gain_buf.clear();
+            if self.parallel.effective_threads(remaining.len()) > 1 {
+                gain_buf.extend(par_map(&self.parallel, remaining, |&slot| eval(slot)));
+            } else {
+                gain_buf.extend(remaining.iter().map(|&slot| eval(slot)));
+            }
+            // Serial argmax: (gain desc, new links desc, slot asc).
+            let mut best = 0usize;
+            for i in 1..remaining.len() {
+                let (g, n) = gain_buf[i];
+                let (bg, bn) = gain_buf[best];
+                if g > bg || (g == bg && (n > bn || (n == bn && remaining[i] < remaining[best])))
+                {
+                    best = i;
+                }
+            }
+            let (gain, new_links) = gain_buf[best];
+            let slot = remaining.swap_remove(best);
+            // Keep `remaining` in ascending-slot order so candidate
+            // evaluation order (and the slot tie-break above) stays
+            // canonical; swap_remove perturbs it.
+            remaining.sort_unstable();
+            let lo = vlink_offsets[slot as usize] as usize;
+            let hi = vlink_offsets[slot as usize + 1] as usize;
+            let mut standalone_weight = 0u64;
+            for &l in &vlink_ids[lo..hi] {
+                standalone_weight += link_weight[l as usize];
+                covered[l as usize] = true;
+            }
+            out.scores.push(VantageScore {
+                vantage: self.rib.vantages[slot as usize],
+                slot,
+                marginal_links: new_links as usize,
+                marginal_weight: gain,
+                marginal_mass: gain as f64 / norm,
+                standalone_links: hi - lo,
+                standalone_weight,
+                standalone_mass: standalone_weight as f64 / norm,
+            });
+        }
+    }
+
+    /// Bias of `set` over the prepared scratch: projects the full RIB
+    /// onto the subset (per-pair path filtering by owning slot),
+    /// accumulates both hegemony masses through the dense counter, and
+    /// compares conformance shares and link coverage.
+    fn bias_prepared(&self, scratch: &mut SelectionScratch, set: &VantageSet) -> BiasReport {
+        debug_assert!(scratch.prepared);
+        let rib = self.rib;
+        let pool = rib.pool();
+        let nv = rib.vantages.len();
+        let nlinks = scratch.link_keys.len();
+        let universe = pool.universe().len();
+
+        scratch.sel_mark.clear();
+        scratch.sel_mark.resize(nv, false);
+        let mut selected = 0usize;
+        for &v in set.vantages() {
+            if let Ok(pos) = scratch.vantage_slots.binary_search_by_key(&v, |&(x, _)| x) {
+                let slot = scratch.vantage_slots[pos].1 as usize;
+                if !scratch.sel_mark[slot] {
+                    scratch.sel_mark[slot] = true;
+                    selected += 1;
+                }
+            }
+        }
+        if selected == nv {
+            return BiasReport::exact(nv, nv, rib.visible_count(), nlinks);
+        }
+
+        scratch.mass_full.clear();
+        scratch.mass_full.resize(universe, 0.0);
+        scratch.mass_sel.clear();
+        scratch.mass_sel.resize(universe, 0.0);
+
+        let total_obs = rib.observations.len();
+        let mut visible_sel = 0usize;
+        let (mut conf_full, mut unconf_full) = (0usize, 0usize);
+        let (mut conf_sel, mut unconf_sel) = (0usize, 0usize);
+        for obs in &rib.observations {
+            scratch.counter.accumulate_mass(pool, &obs.paths, nv, &mut scratch.mass_full);
+            scratch.sel_paths.clear();
+            scratch.sel_paths.extend(obs.paths.iter().copied().filter(|id| {
+                let slot = scratch.path_vantage[id.index()];
+                slot != NO_SLOT && scratch.sel_mark[slot as usize]
+            }));
+            scratch.counter.accumulate_mass(
+                pool,
+                &scratch.sel_paths,
+                selected,
+                &mut scratch.mass_sel,
+            );
+            let ann = obs.announcement();
+            let (conformant, unconformant) =
+                (ann.is_manrs_conformant(), ann.is_manrs_unconformant());
+            if obs.is_visible() {
+                conf_full += conformant as usize;
+                unconf_full += unconformant as usize;
+            }
+            if !scratch.sel_paths.is_empty() {
+                visible_sel += 1;
+                conf_sel += conformant as usize;
+                unconf_sel += unconformant as usize;
+            }
+        }
+
+        // Per-AS hegemony = mean trimmed score over every pair visible
+        // from the full population; the same denominator on both sides
+        // makes lost visibility show up as score loss.
+        let visible_full = rib.visible_count();
+        let norm = visible_full.max(1) as f64;
+        scratch.deltas.clear();
+        for d in 0..universe {
+            let (hf, hs) = (scratch.mass_full[d] / norm, scratch.mass_sel[d] / norm);
+            if hf > 0.0 || hs > 0.0 {
+                scratch.deltas.push((hf - hs).abs());
+            }
+        }
+        let ases_scored = scratch.deltas.len();
+        scratch.deltas.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let (mean, max, p95) = if ases_scored == 0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            let sum: f64 = scratch.deltas.iter().sum();
+            let p95_idx = ((ases_scored - 1) as f64 * 0.95).floor() as usize;
+            (sum / ases_scored as f64, scratch.deltas[ases_scored - 1], scratch.deltas[p95_idx])
+        };
+
+        let obs_norm = total_obs.max(1) as f64;
+        let conf_drift = ((conf_full as f64 - conf_sel as f64) / obs_norm).abs();
+        let unconf_drift = ((unconf_full as f64 - unconf_sel as f64) / obs_norm).abs();
+
+        // Link coverage of the subset, straight off the CSR.
+        scratch.covered.clear();
+        scratch.covered.resize(nlinks, false);
+        let mut covered_links = 0usize;
+        for slot in 0..nv {
+            if !scratch.sel_mark[slot] {
+                continue;
+            }
+            let lo = scratch.vlink_offsets[slot] as usize;
+            let hi = scratch.vlink_offsets[slot + 1] as usize;
+            for &l in &scratch.vlink_ids[lo..hi] {
+                if !scratch.covered[l as usize] {
+                    scratch.covered[l as usize] = true;
+                    covered_links += 1;
+                }
+            }
+        }
+
+        BiasReport {
+            selected,
+            total_vantages: nv,
+            visible_full,
+            visible_selected: visible_sel,
+            ases_scored,
+            hegemony_mean_abs_delta: mean,
+            hegemony_max_abs_delta: max,
+            hegemony_p95_abs_delta: p95,
+            max_conformance_drift: conf_drift.max(unconf_drift),
+            missed_links: nlinks - covered_links,
+            total_links: nlinks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manrs_bgp::{
+        Announcement, CollectionStrategy, PolicyTable, TableCollector,
+    };
+    use manrs_irr::IrrStatus;
+    use manrs_net::{Prefix, Rir};
+    use manrs_rpki::RpkiStatus;
+    use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId};
+
+    fn ann(prefix: &str, origin: u32, rpki: RpkiStatus, irr: IrrStatus) -> Announcement {
+        Announcement::new(prefix.parse::<Prefix>().unwrap(), Asn(origin), rpki, irr)
+    }
+
+    /// A three-tier topology: core 1—2 (peers), each with customer
+    /// subtrees. Vantages at leaves 5, 6, 7 (7 redundant with 6).
+    fn topo() -> AsTopology {
+        let mut t = AsTopology::new();
+        for asn in 1..=7u32 {
+            t.add_as(AsInfo {
+                asn: Asn(asn),
+                org: OrgId(asn),
+                rir: Rir::Arin,
+                country: "US".into(),
+                kind: NetworkKind::Transit,
+            });
+        }
+        for (c, p) in [(3, 1), (4, 2), (5, 3), (6, 4), (7, 4)] {
+            t.add_provider_customer(Asn(p), Asn(c));
+        }
+        t.add_peer(Asn(1), Asn(2));
+        t
+    }
+
+    fn announcements() -> Vec<Announcement> {
+        vec![
+            ann("10.0.0.0/16", 5, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.1.0.0/16", 6, RpkiStatus::Valid, IrrStatus::Valid),
+            ann("10.2.0.0/16", 7, RpkiStatus::InvalidAsn, IrrStatus::InvalidAsn),
+            ann("10.3.0.0/16", 3, RpkiStatus::Valid, IrrStatus::Valid),
+        ]
+    }
+
+    fn rib(vantages: &[Asn]) -> CollectedRib {
+        TableCollector::new(&topo(), &PolicyTable::default(), vantages)
+            .parallel(ParallelConfig::serial())
+            .collect(&announcements())
+    }
+
+    #[test]
+    fn ranking_covers_all_vantages_once() {
+        let rib = rib(&[Asn(5), Asn(6), Asn(7)]);
+        let ranking = VantageSelector::new(&rib).parallel(ParallelConfig::serial()).rank();
+        assert_eq!(ranking.scores.len(), 3);
+        let mut slots: Vec<u32> = ranking.scores.iter().map(|s| s.slot).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2]);
+        assert_eq!(ranking.rib_vantages, rib.vantages);
+        // Full prefix covers everything.
+        assert_eq!(ranking.covered_links(3), ranking.total_links);
+        assert_eq!(ranking.covered_weight(3), ranking.total_weight);
+        // Marginal masses are a partition of 1.
+        let mass: f64 = ranking.scores.iter().map(|s| s.marginal_mass).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn redundant_vantage_ranks_last_with_zero_marginals() {
+        // 6 and 7 hang off the same provider (4): whichever greedy
+        // picks second leaves the other nearly redundant — only its
+        // own first-hop links are new.
+        let rib = rib(&[Asn(5), Asn(6), Asn(7)]);
+        let ranking = VantageSelector::new(&rib).parallel(ParallelConfig::serial()).rank();
+        let last = ranking.scores.last().unwrap();
+        assert!(last.vantage == Asn(6) || last.vantage == Asn(7));
+        assert!(
+            last.marginal_weight < ranking.scores[0].marginal_weight,
+            "redundant leaf must gain less than the first pick"
+        );
+    }
+
+    #[test]
+    fn select_emits_rib_order_and_projection_matches_collection() {
+        let vantages = [Asn(5), Asn(6), Asn(7)];
+        let rib = rib(&vantages);
+        let ranking = VantageSelector::new(&rib).parallel(ParallelConfig::serial()).rank();
+        for k in 0..=3 {
+            let set = ranking.select(k);
+            assert_eq!(set.len(), k);
+            // RIB order, whatever the greedy order was.
+            let order: Vec<usize> = set
+                .vantages()
+                .iter()
+                .map(|v| vantages.iter().position(|x| x == v).unwrap())
+                .collect();
+            assert!(order.windows(2).all(|w| w[0] < w[1]), "{order:?}");
+            // Collecting on the subset == projecting the full RIB.
+            let sub = TableCollector::new(&topo(), &PolicyTable::default(), &vantages)
+                .parallel(ParallelConfig::serial())
+                .plan()
+                .vantage_set(&set)
+                .collect(&announcements());
+            for (so, fo) in sub.observations.iter().zip(&rib.observations) {
+                let projected: Vec<Vec<Asn>> = rib
+                    .materialize_paths(fo)
+                    .into_iter()
+                    .filter(|p| set.contains(p[0]))
+                    .collect();
+                assert_eq!(sub.materialize_paths(so), projected);
+            }
+        }
+    }
+
+    #[test]
+    fn full_set_bias_is_exactly_zero() {
+        let rib = rib(&[Asn(5), Asn(6), Asn(7)]);
+        let selector = VantageSelector::new(&rib).parallel(ParallelConfig::serial());
+        let ranking = selector.rank();
+        let report = selector.bias_of(&ranking.select(3));
+        assert_eq!(report.selected, 3);
+        assert_eq!(report.hegemony_max_abs_delta, 0.0);
+        assert_eq!(report.max_conformance_drift, 0.0);
+        assert_eq!(report.missed_links, 0);
+        assert!(report.within(0.0));
+    }
+
+    #[test]
+    fn dropping_a_vantage_is_measured_bias() {
+        let rib = rib(&[Asn(5), Asn(6), Asn(7)]);
+        let selector = VantageSelector::new(&rib).parallel(ParallelConfig::serial());
+        let report = selector.bias_of(&VantageSet::new(vec![Asn(5)]));
+        assert_eq!(report.selected, 1);
+        assert_eq!(report.total_vantages, 3);
+        assert!(report.visible_selected <= report.visible_full);
+        assert!(report.hegemony_max_abs_delta > 0.0, "losing viewpoints must move scores");
+        assert!(report.missed_links > 0);
+        // Unknown ASNs in the set are ignored.
+        let unknown = selector.bias_of(&VantageSet::new(vec![Asn(5), Asn(999)]));
+        assert_eq!(unknown.selected, 1);
+        assert_eq!(unknown.hegemony_max_abs_delta, report.hegemony_max_abs_delta);
+    }
+
+    #[test]
+    fn select_within_zero_tolerance_returns_full_set() {
+        let rib = rib(&[Asn(5), Asn(6), Asn(7)]);
+        let selector = VantageSelector::new(&rib).parallel(ParallelConfig::serial());
+        let ranking = selector.rank();
+        let (set, report) = selector.select_within(&ranking, 0.0);
+        assert_eq!(set.len(), 3);
+        assert_eq!(report.hegemony_max_abs_delta, 0.0);
+        assert!(report.within(0.0));
+    }
+
+    #[test]
+    fn select_within_loose_tolerance_shrinks_the_set() {
+        let rib = rib(&[Asn(5), Asn(6), Asn(7)]);
+        let selector = VantageSelector::new(&rib).parallel(ParallelConfig::serial());
+        let ranking = selector.rank();
+        let (set, report) = selector.select_within(&ranking, 1.0);
+        assert_eq!(set.len(), 1, "any single vantage is within tolerance 1.0");
+        assert!(report.within(1.0));
+        assert_eq!(report.selected, 1);
+    }
+
+    #[test]
+    fn empty_vantage_list() {
+        let rib = rib(&[]);
+        let selector = VantageSelector::new(&rib).parallel(ParallelConfig::serial());
+        let ranking = selector.rank();
+        assert!(ranking.scores.is_empty());
+        assert_eq!(ranking.total_links, 0);
+        let (set, report) = selector.select_within(&ranking, 0.05);
+        assert!(set.is_empty());
+        assert!(report.within(0.0));
+    }
+
+    #[test]
+    fn single_vantage() {
+        let rib = rib(&[Asn(5)]);
+        let selector = VantageSelector::new(&rib).parallel(ParallelConfig::serial());
+        let ranking = selector.rank();
+        assert_eq!(ranking.scores.len(), 1);
+        assert_eq!(ranking.scores[0].marginal_links, ranking.total_links);
+        let (set, report) = selector.select_within(&ranking, 0.01);
+        assert_eq!(set.vantages(), &[Asn(5)]);
+        assert_eq!(report.hegemony_max_abs_delta, 0.0);
+    }
+
+    #[test]
+    fn empty_rib_observations() {
+        let rib = TableCollector::new(&topo(), &PolicyTable::default(), &[Asn(5), Asn(6)])
+            .collect(&[]);
+        let selector = VantageSelector::new(&rib).parallel(ParallelConfig::serial());
+        let ranking = selector.rank();
+        assert_eq!(ranking.scores.len(), 2);
+        assert_eq!(ranking.total_links, 0);
+        assert_eq!(ranking.total_weight, 0);
+        let (set, report) = selector.select_within(&ranking, 0.05);
+        assert_eq!(set.len(), 1, "zero bias at any prefix; smallest wins");
+        assert!(report.within(0.0));
+    }
+
+    #[test]
+    fn warm_rank_into_is_stable() {
+        let rib = rib(&[Asn(5), Asn(6), Asn(7)]);
+        let selector = VantageSelector::new(&rib).parallel(ParallelConfig::serial());
+        let mut scratch = SelectionScratch::new();
+        let mut first = VantageRanking::default();
+        selector.rank_into(&mut scratch, &mut first);
+        let mut second = VantageRanking::default();
+        selector.rank_into(&mut scratch, &mut second);
+        assert_eq!(first, second);
+        assert_eq!(first, selector.rank());
+    }
+
+    #[test]
+    fn ranking_thread_invariant() {
+        let rib = rib(&[Asn(5), Asn(6), Asn(7)]);
+        let serial = VantageSelector::new(&rib).parallel(ParallelConfig::serial()).rank();
+        for threads in [2, 4, 8] {
+            let parallel = VantageSelector::new(&rib)
+                .parallel(ParallelConfig::with_threads(threads))
+                .rank();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reverse_collection_on_selected_set_matches_projection() {
+        // End-to-end: tolerance-selected set fed back through an
+        // explicit-Reverse CollectionPlan reproduces the projection.
+        let vantages = [Asn(5), Asn(6), Asn(7)];
+        let rib = rib(&vantages);
+        let selector = VantageSelector::new(&rib).parallel(ParallelConfig::serial());
+        let ranking = selector.rank();
+        let (set, _) = selector.select_within(&ranking, 0.5);
+        let sub = TableCollector::new(&topo(), &PolicyTable::default(), &vantages)
+            .parallel(ParallelConfig::serial())
+            .plan()
+            .strategy(CollectionStrategy::Reverse)
+            .vantage_set(&set)
+            .collect(&announcements());
+        assert_eq!(sub.vantages, set.vantages());
+        for (so, fo) in sub.observations.iter().zip(&rib.observations) {
+            let projected: Vec<Vec<Asn>> = rib
+                .materialize_paths(fo)
+                .into_iter()
+                .filter(|p| set.contains(p[0]))
+                .collect();
+            assert_eq!(sub.materialize_paths(so), projected);
+        }
+        // And Auto's cost model sees the smaller set.
+        let (t, policies) = (topo(), PolicyTable::default());
+        let plan = TableCollector::new(&t, &policies, &vantages).plan().vantage_set(&set);
+        assert_eq!(plan.cost_report(&announcements()).vantages, set.len());
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the vantage-point value optimization.
+//!
+//! Random topologies, policies, and announcement mixes: the greedy
+//! ranking must be bit-for-bit identical across serial and 2/4/8-thread
+//! selection, `select_within(tol)` must never hand back a subset whose
+//! *recomputed* bias violates the requested tolerance, tolerance zero
+//! must return the full vantage set, and collecting on a selected
+//! subset must equal projecting the full-vantage RIB onto it —
+//! including the degenerate empty-vantage and single-vantage worlds.
+
+use manrs_bgp::{
+    Announcement, ParallelConfig, PolicyExtension, PolicySet, PolicyTable, TableCollector,
+};
+use manrs_ihr::{VantageSelector, VantageSet};
+use manrs_irr::IrrStatus;
+use manrs_net::{Asn, Rir};
+use manrs_rpki::RpkiStatus;
+use manrs_topology::{AsInfo, AsTopology, NetworkKind, OrgId};
+use proptest::prelude::*;
+
+/// Random layered topology free of provider cycles (providers only among
+/// lower-numbered ASes).
+fn arb_topology() -> impl Strategy<Value = AsTopology> {
+    (
+        4usize..25,
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..35),
+        prop::collection::vec((any::<u16>(), any::<u16>()), 0..12),
+    )
+        .prop_map(|(n, cp_seeds, pp_seeds)| {
+            let mut t = AsTopology::new();
+            for i in 0..n {
+                t.add_as(AsInfo {
+                    asn: Asn(i as u32 + 1),
+                    org: OrgId(i as u32),
+                    rir: Rir::Arin,
+                    country: "US".into(),
+                    kind: NetworkKind::Transit,
+                });
+            }
+            for (a, b) in cp_seeds {
+                let customer = (a as usize % n).max(1);
+                let provider = b as usize % customer;
+                t.add_provider_customer(Asn(provider as u32 + 1), Asn(customer as u32 + 1));
+            }
+            for (a, b) in pp_seeds {
+                let x = a as usize % n;
+                let y = b as usize % n;
+                if x != y && t.relationship(Asn(x as u32 + 1), Asn(y as u32 + 1)).is_none() {
+                    t.add_peer(Asn(x as u32 + 1), Asn(y as u32 + 1));
+                }
+            }
+            t
+        })
+}
+
+fn announcements(n: u32, specs: &[(u16, u8, u8)]) -> Vec<Announcement> {
+    let rpki_of = |k: u8| {
+        [RpkiStatus::Valid, RpkiStatus::InvalidAsn, RpkiStatus::InvalidLength, RpkiStatus::NotFound]
+            [k as usize]
+    };
+    let irr_of = |k: u8| {
+        [IrrStatus::Valid, IrrStatus::InvalidAsn, IrrStatus::InvalidLength, IrrStatus::NotFound]
+            [k as usize]
+    };
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, (o, r, ir))| {
+            let prefix = format!("10.{}.0.0/16", i % 250).parse().unwrap();
+            Announcement::new(prefix, Asn((*o as u32 % n) + 1), rpki_of(*r), irr_of(*ir))
+        })
+        .collect()
+}
+
+/// Heterogeneous path-blind policy mix, as in the pool-equivalence
+/// suite: ISP default, one strict CDN, route servers sprinkled through.
+fn policies(n: u32) -> PolicyTable {
+    let mut policies = PolicyTable::with_default(PolicySet::MANRS_ISP);
+    policies.set(Asn(3), PolicySet::MANRS_CDN.with(PolicyExtension::IrrStrictLength));
+    for asn in (5..=n).step_by(7) {
+        policies.set(Asn(asn), PolicySet::ROUTE_SERVER);
+    }
+    policies
+}
+
+/// Deduplicated vantage list drawn from raw seeds — may be empty or a
+/// single vantage, covering the degenerate selector inputs.
+fn vantages(n: u32, seeds: &[u16]) -> Vec<Asn> {
+    let mut v: Vec<Asn> = Vec::new();
+    for &s in seeds {
+        let asn = Asn((s as u32 % n) + 1);
+        if !v.contains(&asn) {
+            v.push(asn);
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ranking_is_deterministic_across_thread_counts(
+        t in arb_topology(),
+        specs in prop::collection::vec((any::<u16>(), 0u8..4, 0u8..4), 1..10),
+        vantage_seeds in prop::collection::vec(any::<u16>(), 0..7),
+    ) {
+        let n = t.len() as u32;
+        let anns = announcements(n, &specs);
+        let policies = policies(n);
+        let vantages = vantages(n, &vantage_seeds);
+        let rib = TableCollector::new(&t, &policies, &vantages).plan().collect(&anns);
+
+        let baseline =
+            VantageSelector::new(&rib).parallel(ParallelConfig::serial()).rank();
+        prop_assert_eq!(baseline.scores.len(), vantages.len());
+        prop_assert_eq!(&baseline.rib_vantages, &vantages);
+        for threads in [2, 4, 8] {
+            let ranking = VantageSelector::new(&rib)
+                .parallel(ParallelConfig::with_threads(threads))
+                .rank();
+            prop_assert_eq!(&ranking, &baseline, "ranking diverged at {} threads", threads);
+        }
+        // Rank twice on the same selector: selection reads only the
+        // frozen RIB, so repeats are bit-for-bit stable.
+        let again = VantageSelector::new(&rib).parallel(ParallelConfig::serial()).rank();
+        prop_assert_eq!(again, baseline);
+    }
+
+    #[test]
+    fn select_within_never_exceeds_tolerance(
+        t in arb_topology(),
+        specs in prop::collection::vec((any::<u16>(), 0u8..4, 0u8..4), 1..10),
+        vantage_seeds in prop::collection::vec(any::<u16>(), 0..7),
+        tol_k in 0usize..3,
+    ) {
+        let n = t.len() as u32;
+        let anns = announcements(n, &specs);
+        let policies = policies(n);
+        let vantages = vantages(n, &vantage_seeds);
+        let rib = TableCollector::new(&t, &policies, &vantages).plan().collect(&anns);
+        let selector = VantageSelector::new(&rib);
+        let ranking = selector.rank();
+
+        let tol = [0.05, 0.25, 1.0][tol_k];
+        let (set, report) = selector.select_within(&ranking, tol);
+        prop_assert!(report.within(tol), "returned report exceeds tolerance: {:?}", report);
+        prop_assert!(set.len() <= vantages.len());
+        // The returned report must agree with an independent bias
+        // measurement of the same subset.
+        let recomputed = selector.bias_of(&set);
+        prop_assert_eq!(report, recomputed);
+
+        // Tolerance zero always returns the full set with exact bias.
+        let (full, exact) = selector.select_within(&ranking, 0.0);
+        prop_assert_eq!(full.vantages(), &vantages[..]);
+        prop_assert_eq!(exact.hegemony_max_abs_delta, 0.0);
+        prop_assert_eq!(exact.max_conformance_drift, 0.0);
+        prop_assert_eq!(exact.missed_links, 0);
+    }
+
+    #[test]
+    fn subset_collection_equals_projection_of_full_rib(
+        t in arb_topology(),
+        specs in prop::collection::vec((any::<u16>(), 0u8..4, 0u8..4), 1..8),
+        vantage_seeds in prop::collection::vec(any::<u16>(), 0..7),
+        k_seed in any::<u16>(),
+    ) {
+        let n = t.len() as u32;
+        let anns = announcements(n, &specs);
+        let policies = policies(n);
+        let vantages = vantages(n, &vantage_seeds);
+        let collector = TableCollector::new(&t, &policies, &vantages);
+        let rib = collector.clone().plan().collect(&anns);
+        let ranking = VantageSelector::new(&rib).rank();
+
+        // Any greedy prefix, not just the tolerance-chosen one.
+        let k = if vantages.is_empty() { 0 } else { k_seed as usize % (vantages.len() + 1) };
+        let set: VantageSet = ranking.select(k);
+        let sub = collector.clone().plan().vantage_set(&set).collect(&anns);
+        prop_assert_eq!(sub.observations.len(), rib.observations.len());
+        for (obs_sub, obs_full) in sub.observations.iter().zip(&rib.observations) {
+            let projected: Vec<Vec<Asn>> = rib
+                .materialize_paths(obs_full)
+                .into_iter()
+                .filter(|p| p.first().is_some_and(|&v| set.contains(v)))
+                .collect();
+            prop_assert_eq!(sub.materialize_paths(obs_sub), projected);
+        }
+    }
+}

@@ -51,6 +51,8 @@ use manrs_bgp::{
     DenseGraph, Incident, ParallelConfig, PolicyExtension, PolicySet, PropagationScratch,
     Provenance, RouteEntry, TableCollector,
 };
+use manrs_bgp::VantageSet;
+use manrs_ihr::{BiasReport, VantageRanking, VantageSelector};
 use manrs_irr::{CompiledIrrIndex, IrrStatus};
 use manrs_net::{Asn, BatchScratch, Prefix};
 use manrs_rpki::{CompiledVrpIndex, RpkiStatus, Vrp};
@@ -190,6 +192,10 @@ pub struct SweepBase {
     /// CSR per-AS IRR route-object registrations an adopter would add.
     irr_offsets: Vec<u32>,
     irr_deltas: Vec<(Prefix, Asn)>,
+    /// Greedy marginal-coverage ranking of the world's vantages over
+    /// the base RIB, computed once at freeze time so every warm trial
+    /// (and every `select_vantages_within` call) reuses it.
+    vantage_ranking: VantageRanking,
 }
 
 impl SweepBase {
@@ -250,6 +256,8 @@ impl SweepBase {
             .map(|i| i as u32)
             .collect();
 
+        let vantage_ranking = VantageSelector::new(&world.rib).rank();
+
         SweepBase {
             world,
             graph,
@@ -263,7 +271,22 @@ impl SweepBase {
             roa_deltas,
             irr_offsets,
             irr_deltas,
+            vantage_ranking,
         }
+    }
+
+    /// The precomputed vantage-value ranking of the base RIB.
+    pub fn vantage_ranking(&self) -> &VantageRanking {
+        &self.vantage_ranking
+    }
+
+    /// The smallest ranking prefix whose measured bias against the
+    /// base RIB stays within `tolerance`, with its [`BiasReport`].
+    /// Selection is verified against the actual full-vantage RIB; the
+    /// ranking itself is the frozen one, so repeated calls only pay
+    /// the bias scans.
+    pub fn select_vantages_within(&self, tolerance: f64) -> (VantageSet, BiasReport) {
+        VantageSelector::new(&self.world.rib).select_within(&self.vantage_ranking, tolerance)
     }
 
     /// The frozen world this base was built from.
@@ -551,6 +574,30 @@ impl TrialWorkspace {
         TableCollector::new(&base.world.world.topology, &base.world.policies, &base.world.vantages)
             .parallel(parallel)
             .plan()
+            .collect_on(&self.graph, &announcements)
+    }
+
+    /// [`TrialWorkspace::collect_overlay`] restricted to a selected
+    /// vantage set (typically [`SweepBase::select_vantages_within`]'s
+    /// output): the reverse-collection cost drops with the set size
+    /// while the observed table is exactly the projection of the full
+    /// collection onto the selected vantages.
+    pub fn collect_overlay_selected(
+        &self,
+        base: &SweepBase,
+        set: &VantageSet,
+        parallel: ParallelConfig,
+    ) -> CollectedRib {
+        let announcements: Vec<Announcement> = base
+            .pairs
+            .iter()
+            .zip(self.rpki_out.iter().zip(&self.irr_out))
+            .map(|(&(prefix, origin), (&rpki, &irr))| Announcement::new(prefix, origin, rpki, irr))
+            .collect();
+        TableCollector::new(&base.world.world.topology, &base.world.policies, &base.world.vantages)
+            .parallel(parallel)
+            .plan()
+            .vantage_set(set)
             .collect_on(&self.graph, &announcements)
     }
 
@@ -1109,6 +1156,40 @@ mod tests {
         // The zero-adoption cell splices nothing.
         assert_eq!(report.cells[0].splices, 0);
         assert!(report.cells[1].splices > 0, "adopting trials must splice");
+    }
+
+    #[test]
+    fn base_vantage_ranking_selects_and_projects() {
+        let b = base();
+        let ranking = b.vantage_ranking();
+        assert_eq!(ranking.scores.len(), b.world().vantages.len());
+        assert_eq!(ranking.rib_vantages, b.world().vantages);
+        // A loose tolerance shrinks the set; the bias report is the
+        // measured one for exactly that set.
+        let (set, report) = b.select_vantages_within(0.25);
+        assert!(!set.is_empty());
+        assert!(set.len() <= b.world().vantages.len());
+        assert!(report.within(0.25));
+        assert_eq!(report.selected, set.len());
+        // Collecting the zero-overlay world on the selected set equals
+        // projecting the full overlay collection onto it.
+        let mut ws = TrialWorkspace::new(b);
+        let full = ws.collect_overlay(b, ParallelConfig::serial());
+        let sub = ws.collect_overlay_selected(b, &set, ParallelConfig::serial());
+        assert_eq!(sub.vantages, set.vantages());
+        assert_eq!(sub.observations.len(), full.observations.len());
+        for (so, fo) in sub.observations.iter().zip(&full.observations) {
+            let projected: Vec<Vec<Asn>> = full
+                .materialize_paths(fo)
+                .into_iter()
+                .filter(|p| set.contains(p[0]))
+                .collect();
+            assert_eq!(sub.materialize_paths(so), projected, "{:?}", so.prefix);
+        }
+        // Tolerance 0 is the full set.
+        let (all, zero) = b.select_vantages_within(0.0);
+        assert_eq!(all.len(), b.world().vantages.len());
+        assert_eq!(zero.hegemony_max_abs_delta, 0.0);
     }
 
     #[test]

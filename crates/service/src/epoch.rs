@@ -21,6 +21,7 @@
 
 use crate::query::{ConformanceSummary, HegemonySummary};
 use crate::shard::ShardRouter;
+use manrs_ihr::VantageRanking;
 use manrs_irr::{CompiledIrrIndex, IrrStatus};
 use manrs_net::{Asn, Date, Prefix};
 use manrs_rpki::{CompiledVrpIndex, RpkiStatus};
@@ -61,6 +62,9 @@ pub struct EpochSnapshot {
     /// Per-AS transit hegemony aggregates; paths are fixed, so this is
     /// epoch-invariant and shared.
     pub(crate) hegemony: Arc<BTreeMap<Asn, HegemonySummary>>,
+    /// Greedy marginal-coverage ranking of the world's vantage points;
+    /// like `hegemony`, path-derived and therefore epoch-invariant.
+    pub(crate) vantage_value: Arc<VantageRanking>,
     pub(crate) conformance: ConformanceSummary,
 }
 
@@ -98,6 +102,12 @@ impl EpochSnapshot {
     /// The hegemony aggregate of one transit AS, if it transits at all.
     pub fn hegemony(&self, asn: Asn) -> Option<HegemonySummary> {
         self.hegemony.get(&asn).copied()
+    }
+
+    /// The marginal-coverage ranking of the world's vantage points,
+    /// computed once at service build.
+    pub fn vantage_value(&self) -> &VantageRanking {
+        &self.vantage_value
     }
 
     /// The statuses of every visible pair in global slot order —
@@ -249,6 +259,7 @@ mod tests {
             shards: Vec::new(),
             slot_map: Arc::new(Vec::new()),
             hegemony: Arc::new(BTreeMap::new()),
+            vantage_value: Arc::new(VantageRanking::default()),
             conformance: ConformanceSummary::default(),
         })
     }

@@ -9,6 +9,7 @@
 
 use crate::epoch::{EpochRegistry, SnapshotHandle};
 use manrs_bgp::{Announcement, PolicySet};
+use manrs_ihr::VantageRanking;
 use manrs_irr::IrrStatus;
 use manrs_net::{Asn, BatchScratch, Prefix};
 use manrs_rpki::RpkiStatus;
@@ -42,6 +43,10 @@ pub enum Query {
     /// indexes and report how many stored statuses drift — an
     /// end-to-end self-check that must report zero.
     RevalidateAll,
+    /// The marginal-coverage value of every vantage point: the greedy
+    /// [`VantageRanking`] the service computed at build time, for
+    /// clients deciding which vantage feeds are worth collecting.
+    VantageValue,
 }
 
 /// A typed answer, stamped with the answering epoch.
@@ -90,6 +95,14 @@ pub enum QueryResponse {
         pairs: usize,
         /// Stored statuses disagreeing with re-validation (must be 0).
         drifted: usize,
+    },
+    /// Answer to [`Query::VantageValue`].
+    VantageValue {
+        /// The answering epoch.
+        epoch: u64,
+        /// The greedy marginal-coverage ranking (epoch-invariant:
+        /// vantage paths are fixed for the service's lifetime).
+        ranking: VantageRanking,
     },
 }
 
@@ -306,6 +319,13 @@ impl ServiceClient {
                     }
                 }
                 QueryResponse::Revalidation { epoch: snap.epoch(), pairs, drifted }
+            }
+            Query::VantageValue => {
+                let snap = self.handle();
+                QueryResponse::VantageValue {
+                    epoch: snap.epoch(),
+                    ranking: snap.vantage_value().clone(),
+                }
             }
         }
     }

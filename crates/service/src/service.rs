@@ -17,7 +17,7 @@ use crate::epoch::{EpochRegistry, EpochSnapshot, ShardState, SnapshotHandle};
 use crate::query::{ConformanceSummary, HegemonySummary, ServiceClient};
 use crate::shard::ShardRouter;
 use manrs_bgp::{par_map, ParallelConfig};
-use manrs_ihr::IhrSnapshot;
+use manrs_ihr::{IhrSnapshot, VantageSelector};
 use manrs_irr::{CompiledIrrIndex, IrrStatus};
 use manrs_net::{Asn, BatchScratch, Date, Prefix};
 use manrs_rpki::{CompiledVrpIndex, RpkiStatus};
@@ -207,6 +207,9 @@ impl<'w> ServiceBuilder<'w> {
             shards,
             slot_map: Arc::new(slot_map),
             hegemony: Arc::new(aggregate_hegemony(&self.world.ihr)),
+            vantage_value: Arc::new(
+                VantageSelector::new(&self.world.rib).parallel(self.workers).rank(),
+            ),
             conformance,
         };
         // Spare buffers are full clones of epoch 0, so steady-state
@@ -605,6 +608,34 @@ mod tests {
         }
         match client.query(&Query::Hegemony { asn: Asn(u32::MAX) }) {
             QueryResponse::Hegemony { summary: None, .. } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vantage_value_query_serves_the_build_time_ranking() {
+        let w = world();
+        let service =
+            SnapshotService::builder(&w).shards(2).start_date(replay_start()).build();
+        let mut client = service.client();
+        let expected = VantageSelector::new(&w.rib).rank();
+        match client.query(&Query::VantageValue) {
+            QueryResponse::VantageValue { epoch: 0, ranking } => {
+                assert_eq!(ranking, expected, "served ranking must match a direct rank()");
+                assert_eq!(ranking.scores.len(), ranking.rib_vantages.len());
+                assert!(!ranking.scores.is_empty(), "small worlds still have vantages");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Epoch rotation does not recompute the (path-invariant) ranking.
+        for step in weekly_steps(&w, 2, 0.05, w.config.seed) {
+            service.apply_step(&step);
+        }
+        match client.query(&Query::VantageValue) {
+            QueryResponse::VantageValue { epoch, ranking } => {
+                assert!(epoch > 0);
+                assert_eq!(ranking, expected);
+            }
             other => panic!("unexpected response {other:?}"),
         }
     }

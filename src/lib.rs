@@ -69,9 +69,9 @@ pub use manrs_topology as topology;
 pub mod prelude {
     pub use manrs_bgp::{
         propagate_leak_into, Announcement, CollectedRib, CollectionPlan, CollectionStrategy,
-        Incident, IncidentError, ParallelConfig, PathId, PathInterner, PathPool,
+        CostReport, Incident, IncidentError, ParallelConfig, PathId, PathInterner, PathPool,
         PolicyExtension, PolicySet, PolicyTable, PropagationScratch, RouteAttrs,
-        TableCollector,
+        TableCollector, VantageSet,
     };
     pub use manrs_core::{
         action1_verdict, action4_verdict, attribute_mismatches, compute_action1,
@@ -80,7 +80,10 @@ pub mod prelude {
         Action1Verdict, Action4Metrics, Action4Verdict, ConformanceThreshold, Ecdf,
         ManrsProgram, ManrsRegistry, MemberRecord, ParticipationAnalysis, StabilityClass,
     };
-    pub use manrs_ihr::{build_snapshot, hegemony_scores, HegemonyCounter, IhrSnapshot};
+    pub use manrs_ihr::{
+        build_snapshot, hegemony_scores, BiasReport, HegemonyCounter, IhrSnapshot,
+        SelectionScratch, VantageRanking, VantageScore, VantageSelector,
+    };
     pub use manrs_irr::{validate_irr, IrrDatabase, IrrRegistry, IrrStatus, RouteObject};
     pub use manrs_net::{Asn, Date, Ipv4Prefix, Prefix, Rir};
     pub use manrs_rpki::{validate_origin, RelyingParty, Roa, RpkiRepository, RpkiStatus, Vrp, VrpSet};
